@@ -1,0 +1,186 @@
+//! Thread-per-rank communicator — the MPI stand-in.
+//!
+//! The paper's only collective is an `MPI_Allreduce` of per-rank scalar
+//! means (§3.6, §4.3); everything else is rank-local. [`run_ranks`] spawns
+//! one thread per rank and hands each a [`Comm`] supporting `barrier`,
+//! `allreduce_sum` and `allgather` with the same blocking semantics MPI
+//! gives, so in situ code reads like its MPI counterpart.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    size: usize,
+}
+
+struct State {
+    arrived: usize,
+    generation: u64,
+    sum: f64,
+    result: f64,
+    gathered: Vec<f64>,
+    gather_result: Vec<f64>,
+}
+
+/// Per-rank handle to the collective state.
+#[derive(Clone)]
+pub struct Comm {
+    shared: Arc<Shared>,
+    rank: usize,
+}
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Block until every rank has entered the barrier.
+    pub fn barrier(&self) {
+        let _ = self.allreduce_sum(0.0);
+    }
+
+    /// Sum `value` across all ranks; every rank receives the total.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        let sh = &self.shared;
+        let mut st = sh.state.lock();
+        let gen = st.generation;
+        st.sum += value;
+        st.arrived += 1;
+        if st.arrived == sh.size {
+            st.result = st.sum;
+            st.sum = 0.0;
+            st.arrived = 0;
+            st.generation += 1;
+            sh.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                sh.cv.wait(&mut st);
+            }
+        }
+        st.result
+    }
+
+    /// Mean of `value` across ranks (the collective the paper actually
+    /// performs for the global mean).
+    pub fn allreduce_mean(&self, value: f64) -> f64 {
+        self.allreduce_sum(value) / self.shared.size as f64
+    }
+
+    /// Gather one value from each rank; every rank receives the full
+    /// rank-ordered vector.
+    pub fn allgather(&self, value: f64) -> Vec<f64> {
+        let sh = &self.shared;
+        let mut st = sh.state.lock();
+        let gen = st.generation;
+        st.gathered[self.rank] = value;
+        st.arrived += 1;
+        if st.arrived == sh.size {
+            st.gather_result = st.gathered.clone();
+            st.arrived = 0;
+            st.generation += 1;
+            sh.cv.notify_all();
+        } else {
+            while st.generation == gen {
+                sh.cv.wait(&mut st);
+            }
+        }
+        st.gather_result.clone()
+    }
+}
+
+/// Run `f(rank, comm)` on `size` OS threads; returns per-rank results in
+/// rank order. Uses crossbeam scoped threads so `f` can borrow.
+pub fn run_ranks<R, F>(size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &Comm) -> R + Sync,
+{
+    assert!(size > 0);
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            arrived: 0,
+            generation: 0,
+            sum: 0.0,
+            result: 0.0,
+            gathered: vec![0.0; size],
+            gather_result: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        size,
+    });
+
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..size)
+            .map(|rank| {
+                let comm = Comm { shared: Arc::clone(&shared), rank };
+                let f = &f;
+                s.spawn(move |_| f(rank, &comm))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+    .expect("scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let out = run_ranks(8, |rank, comm| comm.allreduce_sum(rank as f64));
+        let expect = (0..8).sum::<usize>() as f64;
+        assert!(out.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn allreduce_mean_matches() {
+        let out = run_ranks(4, |rank, comm| comm.allreduce_mean((rank + 1) as f64));
+        assert!(out.iter().all(|&v| (v - 2.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn repeated_collectives_reuse_state() {
+        let out = run_ranks(4, |rank, comm| {
+            let a = comm.allreduce_sum(1.0);
+            comm.barrier();
+            let b = comm.allreduce_sum(rank as f64);
+            (a, b)
+        });
+        for &(a, b) in &out {
+            assert_eq!(a, 4.0);
+            assert_eq!(b, 6.0);
+        }
+    }
+
+    #[test]
+    fn allgather_is_rank_ordered() {
+        let out = run_ranks(5, |rank, comm| comm.allgather(rank as f64 * 10.0));
+        for v in out {
+            assert_eq!(v, vec![0.0, 10.0, 20.0, 30.0, 40.0]);
+        }
+    }
+
+    #[test]
+    fn results_are_rank_ordered() {
+        let out = run_ranks(6, |rank, _| rank * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn single_rank_degenerates() {
+        let out = run_ranks(1, |_, comm| {
+            comm.barrier();
+            comm.allreduce_sum(7.0)
+        });
+        assert_eq!(out, vec![7.0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! FFT / power-spectrum error propagation (paper §3.3, Eqs. 3–10).
+//!
+//! The compressor injects error `e ~ U[−eb, eb]` at every cell (Eq. 3).
+//! A DFT coefficient is a phase-weighted sum of all cells, so by the CLT
+//! its error is Gaussian with mean 0. Averaging the per-term variance of
+//! `e·sin(2πnk/N)` over a period gives `Var = eb²/6` per term (Eq. 7 —
+//! half the uniform variance `eb²/3` because `E[sin²] = ½`), hence for `N`
+//! summed terms
+//!
+//! ```text
+//! σ_DFT = √(N/6) · eb        (real or imaginary axis, Eq. 8/9)
+//! ```
+//!
+//! With per-partition bounds the sum splits over partitions of equal size
+//! `N/M` and the variance contributions add:
+//! exact: σ² = (N/(6M))·Σ eb_m² ; the paper's working approximation (Eq.
+//! 10) replaces this by σ = √(N/6)·mean(eb_m), exact when all `eb_m` are
+//! equal and conservative-to-slightly-optimistic otherwise. Both forms are
+//! provided; the optimizer constrains `mean(eb_m)` per the paper.
+
+use crate::math::prob_within_k_sigma;
+
+/// Error model for FFT-based analyses over a grid of `total_cells` cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FftErrorModel {
+    total_cells: usize,
+}
+
+impl FftErrorModel {
+    /// Model for a full grid (e.g. `512³` cells).
+    pub fn new(total_cells: usize) -> Self {
+        assert!(total_cells > 0);
+        Self { total_cells }
+    }
+
+    /// Total number of cells the DFT sums over.
+    pub fn total_cells(&self) -> usize {
+        self.total_cells
+    }
+
+    /// σ of a DFT coefficient's error under a **uniform** bound `eb`
+    /// (Eq. 9): `σ = √(N/6)·eb`.
+    pub fn sigma_uniform(&self, eb: f64) -> f64 {
+        assert!(eb >= 0.0);
+        (self.total_cells as f64 / 6.0).sqrt() * eb
+    }
+
+    /// σ under per-partition bounds via the paper's Eq. 10
+    /// (σ = √(N/6)·mean(eb_m); partitions are assumed equal-sized).
+    pub fn sigma_mixed(&self, ebs: &[f64]) -> f64 {
+        assert!(!ebs.is_empty());
+        let mean = ebs.iter().sum::<f64>() / ebs.len() as f64;
+        self.sigma_uniform(mean)
+    }
+
+    /// σ under per-partition bounds with exact variance addition:
+    /// `σ² = (N/(6M))·Σ eb_m²`. Equals [`Self::sigma_mixed`] when all
+    /// bounds coincide; slightly larger when they spread (Cauchy–Schwarz).
+    pub fn sigma_mixed_exact(&self, ebs: &[f64]) -> f64 {
+        assert!(!ebs.is_empty());
+        let m = ebs.len() as f64;
+        let sum_sq: f64 = ebs.iter().map(|e| e * e).sum();
+        (self.total_cells as f64 / 6.0 * sum_sq / m).sqrt()
+    }
+
+    /// Invert Eq. 10: the average bound whose modeled σ equals
+    /// `sigma_target`.
+    pub fn eb_avg_for_sigma(&self, sigma_target: f64) -> f64 {
+        assert!(sigma_target > 0.0);
+        sigma_target / (self.total_cells as f64 / 6.0).sqrt()
+    }
+
+    /// Probability a DFT error lands within `±k·σ` of zero — the paper maps
+    /// `k = 2` to a 95.45 % no-escape confidence (§4.2, Fig. 13).
+    pub fn confidence_within(&self, k: f64) -> f64 {
+        prob_within_k_sigma(k)
+    }
+
+    /// Acceptance σ implied by a power-spectrum ratio tolerance.
+    ///
+    /// For a mode with amplitude `|X|`, `P'/P ≈ 1 + 2·Re(δX)/|X|`, so a
+    /// ratio tolerance `tol` at amplitude floor `amp_floor` with confidence
+    /// `k` maps to `σ ≤ tol·amp_floor / (2k)`.
+    pub fn sigma_budget_from_ratio_tol(&self, tol: f64, amp_floor: f64, k: f64) -> f64 {
+        assert!(tol > 0.0 && amp_floor > 0.0 && k > 0.0);
+        tol * amp_floor / (2.0 * k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sigma_formula() {
+        let m = FftErrorModel::new(512 * 512 * 512);
+        let eb = 1.0;
+        let expect = ((512f64 * 512.0 * 512.0) / 6.0).sqrt();
+        assert!((m.sigma_uniform(eb) - expect).abs() < 1e-9);
+        assert_eq!(m.sigma_uniform(0.0), 0.0);
+    }
+
+    #[test]
+    fn sigma_scales_linearly_in_eb() {
+        let m = FftErrorModel::new(64 * 64 * 64);
+        assert!((m.sigma_uniform(2.0) - 2.0 * m.sigma_uniform(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_grids_are_less_tolerant() {
+        // Paper observation (1): higher resolution ⇒ bigger absolute FFT
+        // error at the same bound.
+        let small = FftErrorModel::new(256usize.pow(3));
+        let large = FftErrorModel::new(512usize.pow(3));
+        assert!(large.sigma_uniform(0.1) > small.sigma_uniform(0.1));
+    }
+
+    #[test]
+    fn mixed_equals_uniform_when_bounds_equal() {
+        let m = FftErrorModel::new(4096);
+        let ebs = vec![0.3; 8];
+        assert!((m.sigma_mixed(&ebs) - m.sigma_uniform(0.3)).abs() < 1e-12);
+        assert!((m.sigma_mixed_exact(&ebs) - m.sigma_uniform(0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_mixture_dominates_mean_form() {
+        let m = FftErrorModel::new(4096);
+        let ebs = [0.1, 0.1, 0.9, 0.9];
+        assert!(m.sigma_mixed_exact(&ebs) >= m.sigma_mixed(&ebs));
+    }
+
+    #[test]
+    fn eb_for_sigma_inverts() {
+        let m = FftErrorModel::new(32768);
+        let eb = m.eb_avg_for_sigma(100.0);
+        assert!((m.sigma_uniform(eb) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence_quotes_match_paper() {
+        let m = FftErrorModel::new(8);
+        assert!((m.confidence_within(2.0) - 0.9545).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ratio_tolerance_mapping_monotone() {
+        let m = FftErrorModel::new(1 << 20);
+        let tight = m.sigma_budget_from_ratio_tol(0.01, 1000.0, 2.0);
+        let loose = m.sigma_budget_from_ratio_tol(0.05, 1000.0, 2.0);
+        assert!(loose > tight);
+        assert!((tight - 0.01 * 1000.0 / 4.0).abs() < 1e-12);
+    }
+}

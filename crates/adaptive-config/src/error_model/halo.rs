@@ -1,0 +1,145 @@
+//! Halo-finder error-impact model (paper §3.4, Eqs. 11–14).
+//!
+//! Lossy error can only change the halo finder's output by flipping the
+//! candidacy of *edge cells* — cells whose density lies within `±eb` of
+//! `t_boundary`. For uniform error `U[−eb, eb]` and a locally flat value
+//! histogram, the flip probability of such a cell is
+//!
+//! ```text
+//! p_fault = ½ ∫₀^eb (x/eb) dx / eb = 25 %          (Eq. 12)
+//! ```
+//!
+//! so a partition with `n_bc` edge cells contributes `e_m = n_bc/4`
+//! expected flips (Eq. 13). Each flip changes some halo's mass by roughly
+//! the threshold density `t_boundary` (Table 1), giving the aggregate mass
+//! fault `M_fault = t_boundary · Σ e_m` (Eq. 11). Per-halo cell-count
+//! error is Gaussian with `σ = √(n_bc/3)` by the CLT (Eq. 14).
+
+/// Flip probability of an edge cell (Eq. 12).
+pub const P_FAULT: f64 = 0.25;
+
+/// Halo-finder error model for a given boundary threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HaloErrorModel {
+    /// The finder's candidate threshold `t_boundary`.
+    pub t_boundary: f64,
+}
+
+impl HaloErrorModel {
+    pub fn new(t_boundary: f64) -> Self {
+        assert!(t_boundary > 0.0);
+        Self { t_boundary }
+    }
+
+    /// Expected fault (flipped) cells in a partition with `n_bc` boundary
+    /// cells (Eq. 13).
+    pub fn expected_fault_cells(&self, n_bc: f64) -> f64 {
+        assert!(n_bc >= 0.0);
+        n_bc * P_FAULT
+    }
+
+    /// Expected aggregate |mass| fault given per-partition boundary-cell
+    /// counts (Eq. 11): `t_boundary · Σ n_bc/4`.
+    pub fn expected_mass_fault(&self, boundary_cells: &[f64]) -> f64 {
+        self.t_boundary * boundary_cells.iter().map(|&n| self.expected_fault_cells(n)).sum::<f64>()
+    }
+
+    /// σ of a large halo's cell-count change when `n_bc` of its edge cells
+    /// sit in the flip band (Eq. 14).
+    pub fn cell_count_sigma(&self, n_bc: f64) -> f64 {
+        assert!(n_bc >= 0.0);
+        (n_bc / 3.0).sqrt()
+    }
+
+    /// Expected mass change per flipped cell — the paper observes this is
+    /// ≈ `t_boundary` itself (Table 1), because a flip moves a whole cell
+    /// of ≈ threshold density in or out of the halo.
+    pub fn mass_per_flipped_cell(&self) -> f64 {
+        self.t_boundary
+    }
+
+    /// Expected boundary cells at bound `eb`, scaled linearly from a count
+    /// measured at `eb_ref` (the in situ feature extraction measures once
+    /// at a reference bound: `n_bc(eb) = n_bc(eb_ref)·eb/eb_ref`).
+    pub fn boundary_cells_at(n_ref: f64, eb_ref: f64, eb: f64) -> f64 {
+        assert!(eb_ref > 0.0 && eb >= 0.0 && n_ref >= 0.0);
+        n_ref * eb / eb_ref
+    }
+
+    /// Largest average scale factor `s` such that applying `eb_m = s·eb_ref`
+    /// keeps the modeled mass fault within `budget`. Returns `None` when no
+    /// boundary cells exist (any bound is safe for the halo metric).
+    pub fn max_scale_for_budget(
+        &self,
+        boundary_cells_at_ref: &[f64],
+        eb_ref: f64,
+        budget: f64,
+    ) -> Option<f64> {
+        assert!(budget >= 0.0 && eb_ref > 0.0);
+        let total_ref: f64 = boundary_cells_at_ref.iter().sum();
+        if total_ref <= 0.0 {
+            return None;
+        }
+        // M_fault(s) = t_b · Σ (n_ref·s)/4 = s · t_b · total_ref / 4.
+        Some(budget / (self.t_boundary * total_ref * P_FAULT))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_cells_are_quarter_of_boundary() {
+        let m = HaloErrorModel::new(88.16);
+        assert!((m.expected_fault_cells(100.0) - 25.0).abs() < 1e-12);
+        assert_eq!(m.expected_fault_cells(0.0), 0.0);
+    }
+
+    #[test]
+    fn mass_fault_is_threshold_times_total_faults() {
+        let m = HaloErrorModel::new(88.16);
+        let nbc = [100.0, 60.0, 40.0];
+        let expect = 88.16 * (100.0 + 60.0 + 40.0) / 4.0;
+        assert!((m.expected_mass_fault(&nbc) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_count_sigma_formula() {
+        let m = HaloErrorModel::new(50.0);
+        assert!((m.cell_count_sigma(300.0) - 10.0).abs() < 1e-12);
+        assert_eq!(m.cell_count_sigma(0.0), 0.0);
+    }
+
+    #[test]
+    fn boundary_cells_scale_linearly() {
+        assert!((HaloErrorModel::boundary_cells_at(200.0, 1.0, 0.25) - 50.0).abs() < 1e-12);
+        assert!((HaloErrorModel::boundary_cells_at(200.0, 0.5, 1.0) - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_inversion_roundtrips() {
+        let m = HaloErrorModel::new(88.16);
+        let nbc_ref = [100.0, 50.0];
+        let eb_ref = 1.0;
+        let budget = 500.0;
+        let s = m.max_scale_for_budget(&nbc_ref, eb_ref, budget).unwrap();
+        // Applying scale s must produce exactly the budget.
+        let scaled: Vec<f64> = nbc_ref.iter().map(|&n| n * s).collect();
+        assert!((m.expected_mass_fault(&scaled) - budget).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_boundary_cells_means_unconstrained() {
+        let m = HaloErrorModel::new(88.16);
+        assert!(m.max_scale_for_budget(&[0.0, 0.0], 1.0, 10.0).is_none());
+    }
+
+    #[test]
+    fn mass_per_cell_matches_threshold() {
+        // Table 1: measured "diff per cell" ≈ 81–92 against the threshold
+        // 88.16 — the model pins it at the threshold.
+        let m = HaloErrorModel::new(88.16);
+        assert_eq!(m.mass_per_flipped_cell(), 88.16);
+    }
+}

@@ -1,0 +1,5 @@
+//! Post-hoc analysis error-impact models (paper §3.2–§3.4).
+
+pub mod fft;
+pub mod halo;
+pub mod sz_error;

@@ -1,0 +1,41 @@
+//! # adaptive-config — fine-grained rate-quality modeling (the paper's core)
+//!
+//! Implements the HPDC'21 contribution end to end:
+//!
+//! * [`error_model::fft`] — propagation of the compressor's uniform error
+//!   into FFT/power-spectrum results (Eqs. 3–10): the 3-D DFT error is
+//!   normal with `σ = √(N/6)·eb` (N = total cells), and under mixed
+//!   per-partition bounds `σ = √(N/6)·mean(eb_m)`;
+//! * [`error_model::halo`] — halo-finder fault model (Eqs. 11–14):
+//!   flipped-candidacy probability 25 % inside the `±eb` band around
+//!   `t_boundary`, expected mass fault `t_boundary·Σ n_bc/4`;
+//! * [`error_model::sz_error`] — empirical validation hooks for the
+//!   uniform-error premise (Fig. 3);
+//! * [`ratio_model`] — the bit-rate model `b_m = C_m·eb^c` with shared
+//!   exponent `c` and `C_m` predicted from the partition **mean** via a
+//!   logarithmic fit (Eq. 15, Fig. 10);
+//! * [`optimizer`] — the closed-form per-partition bound
+//!   `eb_m = eb_avg·exp(ln(C_m/C_a)/c)` with `[eb/4, 4eb]` clamping and the
+//!   halo-finder boundary condition (Eq. 16, §3.6);
+//! * [`pipeline`] — the in situ flow: per-rank feature extraction
+//!   (mean + boundary-cell count), an `MPI_Allreduce`-style reduction
+//!   ([`comm`]), optimization, per-partition compression, and the
+//!   traditional single-bound baseline for comparison;
+//! * [`comm`] — a thread-per-rank communicator standing in for MPI.
+//!
+//! The experiment binaries in the `bench` crate drive these pieces to
+//! regenerate every figure and table of the paper's evaluation.
+
+pub mod comm;
+pub mod error_model;
+pub mod math;
+pub mod optimizer;
+pub mod pipeline;
+pub mod ratio_model;
+pub mod trial_and_error;
+
+pub use error_model::fft::FftErrorModel;
+pub use error_model::halo::HaloErrorModel;
+pub use optimizer::{OptimizedConfig, Optimizer, QualityTarget};
+pub use pipeline::{InSituPipeline, PipelineConfig, PipelineResult};
+pub use ratio_model::{PartitionFeature, RatioModel};

@@ -1,0 +1,105 @@
+//! Small numerical helpers shared by the models: error function, normal
+//! tail probabilities, and least-squares line fitting.
+
+/// Error function via the Abramowitz & Stegun 7.1.26 rational approximation
+/// (|error| < 1.5e-7 — far tighter than any use here needs).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Probability that a `N(0, σ²)` sample lies within `±k·σ`.
+///
+/// The paper quotes 95.45 % for `k = 2` (§3.3) when mapping the modeled
+/// FFT error σ to an acceptance band.
+pub fn prob_within_k_sigma(k: f64) -> f64 {
+    assert!(k >= 0.0);
+    erf(k / std::f64::consts::SQRT_2)
+}
+
+/// Ordinary least squares fit `y = a + b·x`; returns `(a, b)`.
+///
+/// Panics on fewer than two points or zero variance in `x`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "x values are degenerate");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+/// Coefficient of determination R² of a fitted line on the same data.
+pub fn r_squared(xs: &[f64], ys: &[f64], a: f64, b: f64) -> f64 {
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if ss_tot == 0.0 {
+        return 1.0;
+    }
+    let ss_res: f64 =
+        xs.iter().zip(ys).map(|(x, y)| (y - (a + b * x)) * (y - (a + b * x))).sum();
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!(erf(0.0).abs() < 1.5e-7); // approximation accuracy, not exact 0
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(5.0) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn two_sigma_is_9545() {
+        // The exact number the paper quotes.
+        assert!((prob_within_k_sigma(2.0) - 0.9545).abs() < 1e-3);
+        assert!((prob_within_k_sigma(1.0) - 0.6827).abs() < 1e-3);
+        assert!(prob_within_k_sigma(0.0).abs() < 1.5e-7);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 - 2.0 * x).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b + 2.0).abs() < 1e-12);
+        assert!((r_squared(&xs, &ys, a, b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_with_noise_is_close() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.0 + 0.5 * x + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 1.0).abs() < 0.02);
+        assert!((b - 0.5).abs() < 0.02);
+        assert!(r_squared(&xs, &ys, a, b) > 0.99);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_x_panics() {
+        let _ = linear_fit(&[1.0, 1.0], &[2.0, 3.0]);
+    }
+}

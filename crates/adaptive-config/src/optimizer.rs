@@ -1,0 +1,344 @@
+//! Per-partition error-bound optimization (paper §3.6, Eq. 16).
+//!
+//! Given the quality budget expressed as an **average** bound `eb_avg`
+//! (from the FFT model's Eq. 10 inversion), the optimizer equalises the
+//! marginal bit-cost `∂b_m/∂eb_m` across partitions — the paper's stated
+//! condition ("their derivatives of bit-rate to error-bound curve are the
+//! same", §3.6). For the power-law rate model `b_m = C_m·eb^c` under the
+//! constraint `mean(eb_m) = eb_avg`, the stationary point is
+//!
+//! ```text
+//! eb_m = eb_avg · (C_m / C_a)^(1/(1−c)) · κ
+//! ```
+//!
+//! with `C_a` the coefficient at the average of the partition means and
+//! `κ` a normaliser restoring the mean budget. (The paper's Eq. 16 as
+//! typeset uses `exp(ln(C_m/C_a)/c)`, which *decreases* in `C_m` for
+//! `c < 0` — the opposite of both the derivative-equalisation condition it
+//! is derived from and the paper's own narrative of trading quality on
+//! low-compressibility partitions; we implement the stationarity condition
+//! of their Eq. 15, and DESIGN.md records the discrepancy.)
+//! Outlier partitions that fit the model badly would otherwise get absurd
+//! bounds, so each `eb_m` is clamped to `[eb_avg/4, 4·eb_avg]` (§3.6), and
+//! the vector is rescaled so the *mean* bound still meets the budget.
+//! When a halo-finder constraint is present, the modeled mass fault of the
+//! chosen combination is checked and, if violated, the whole vector is
+//! scaled down to the halo boundary condition.
+
+use crate::error_model::halo::HaloErrorModel;
+use crate::ratio_model::{PartitionFeature, RatioModel};
+use serde::{Deserialize, Serialize};
+
+/// Quality budget for one field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityTarget {
+    /// Average error bound allowed by the FFT/power-spectrum model.
+    pub eb_avg: f64,
+    /// Optional halo-finder constraint (baryon density only).
+    pub halo: Option<HaloTarget>,
+}
+
+/// Halo-finder boundary condition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HaloTarget {
+    /// Candidate threshold of the halo finder.
+    pub t_boundary: f64,
+    /// Acceptable total |mass| fault (same units as cell density × cells).
+    pub mass_fault_budget: f64,
+}
+
+impl QualityTarget {
+    /// FFT-only target.
+    pub fn fft_only(eb_avg: f64) -> Self {
+        assert!(eb_avg > 0.0);
+        Self { eb_avg, halo: None }
+    }
+
+    /// FFT target plus a halo mass-fault budget.
+    pub fn with_halo(eb_avg: f64, t_boundary: f64, mass_fault_budget: f64) -> Self {
+        assert!(eb_avg > 0.0 && mass_fault_budget >= 0.0);
+        Self { eb_avg, halo: Some(HaloTarget { t_boundary, mass_fault_budget }) }
+    }
+}
+
+/// The optimizer: rate model + clamp policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Optimizer {
+    pub ratio_model: RatioModel,
+    /// Clamp factor `f`: bounds stay within `[eb_avg/f, f·eb_avg]`.
+    pub clamp_factor: f64,
+}
+
+/// The optimizer's decision for one field/snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizedConfig {
+    /// Per-partition absolute error bounds (partition-id order).
+    pub ebs: Vec<f64>,
+    /// The average bound actually realised (≤ target's `eb_avg` + ε).
+    pub eb_avg: f64,
+    /// Model-predicted overall bit rate (bits/value).
+    pub predicted_bitrate: f64,
+    /// Modeled halo mass fault of this combination, when a halo target
+    /// was supplied.
+    pub predicted_mass_fault: Option<f64>,
+    /// True when the halo boundary condition forced a down-scale.
+    pub halo_limited: bool,
+}
+
+impl Optimizer {
+    pub fn new(ratio_model: RatioModel) -> Self {
+        Self { ratio_model, clamp_factor: 4.0 }
+    }
+
+    /// Compute the optimized per-partition bounds for the given features.
+    pub fn optimize(
+        &self,
+        features: &[PartitionFeature],
+        target: &QualityTarget,
+    ) -> OptimizedConfig {
+        assert!(!features.is_empty(), "no partitions to optimize");
+        assert!(self.clamp_factor > 1.0);
+        let m = features.len() as f64;
+        let eb_avg = target.eb_avg;
+        let model = &self.ratio_model;
+
+        // Derivative-equalising form of Eq. 16 with C_a at the average
+        // mean: eb_m ∝ C_m^(1/(1−c)).
+        let avg_mean = features.iter().map(|f| f.mean).sum::<f64>() / m;
+        let c_a = model.coefficient(avg_mean);
+        let exponent = 1.0 / (1.0 - model.c);
+        let mut ebs: Vec<f64> = features
+            .iter()
+            .map(|f| {
+                let c_m = model.coefficient(f.mean);
+                eb_avg * (c_m / c_a).powf(exponent)
+            })
+            .collect();
+
+        // Clamp outliers, then restore the mean budget. Scaling down never
+        // violates the upper clamp, so a few iterations settle.
+        let lo = eb_avg / self.clamp_factor;
+        let hi = eb_avg * self.clamp_factor;
+        for _ in 0..8 {
+            for e in &mut ebs {
+                *e = e.clamp(lo, hi);
+            }
+            let mean = ebs.iter().sum::<f64>() / m;
+            if (mean - eb_avg).abs() <= 1e-12 * eb_avg {
+                break;
+            }
+            let s = eb_avg / mean;
+            for e in &mut ebs {
+                *e *= s;
+            }
+        }
+        // Final guarantee: the budget is never exceeded.
+        let mean = ebs.iter().sum::<f64>() / m;
+        if mean > eb_avg {
+            let s = eb_avg / mean;
+            for e in &mut ebs {
+                *e *= s;
+            }
+        }
+
+        // Halo boundary condition (§3.6): scale the combination down if its
+        // modeled mass fault exceeds the budget.
+        let mut halo_limited = false;
+        let predicted_mass_fault = target.halo.map(|h| {
+            let hm = HaloErrorModel::new(h.t_boundary);
+            let fault_at = |ebs: &[f64]| {
+                let nbc: Vec<f64> = features
+                    .iter()
+                    .zip(ebs)
+                    .map(|(f, &e)| HaloErrorModel::boundary_cells_at(f.boundary_cells_ref, f.eb_ref, e))
+                    .collect();
+                hm.expected_mass_fault(&nbc)
+            };
+            let fault = fault_at(&ebs);
+            if fault > h.mass_fault_budget && fault > 0.0 {
+                let s = h.mass_fault_budget / fault;
+                for e in &mut ebs {
+                    *e *= s;
+                }
+                halo_limited = true;
+                fault_at(&ebs)
+            } else {
+                fault
+            }
+        });
+
+        let means: Vec<f64> = features.iter().map(|f| f.mean).collect();
+        let predicted_bitrate = model.predict_overall_bitrate(&means, &ebs);
+        let eb_avg_real = ebs.iter().sum::<f64>() / m;
+        OptimizedConfig {
+            ebs,
+            eb_avg: eb_avg_real,
+            predicted_bitrate,
+            predicted_mass_fault,
+            halo_limited,
+        }
+    }
+
+    /// The traditional static configuration: one bound everywhere.
+    pub fn traditional(&self, features: &[PartitionFeature], eb: f64) -> OptimizedConfig {
+        assert!(!features.is_empty() && eb > 0.0);
+        let means: Vec<f64> = features.iter().map(|f| f.mean).collect();
+        let ebs = vec![eb; features.len()];
+        OptimizedConfig {
+            predicted_bitrate: self.ratio_model.predict_overall_bitrate(&means, &ebs),
+            ebs,
+            eb_avg: eb,
+            predicted_mass_fault: None,
+            halo_limited: false,
+        }
+    }
+}
+
+/// Bit-quality ratio of a partition — the derivative `db/d(eb)` of the
+/// modeled rate curve at the chosen bound (Fig. 12's y-axis). After
+/// optimization every partition should sit at a similar value.
+pub fn bit_quality_ratio(model: &RatioModel, mean: f64, eb: f64) -> f64 {
+    // d/d(eb) [C·eb^c] = C·c·eb^(c−1)
+    model.coefficient(mean) * model.c * eb.powf(model.c - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RatioModel {
+        // b = C·eb^-0.5, C = 0.5 + 0.3·ln(mean+1e-9)
+        RatioModel { c: -0.5, a0: 0.5, a1: 0.3 }
+    }
+
+    fn feats(means: &[f64]) -> Vec<PartitionFeature> {
+        means
+            .iter()
+            .map(|&m| PartitionFeature {
+                mean: m,
+                boundary_cells_ref: m, // proportional for test purposes
+                eb_ref: 1.0,
+                cells: 4096,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equal_partitions_get_equal_bounds() {
+        let opt = Optimizer::new(model());
+        let cfg = opt.optimize(&feats(&[10.0, 10.0, 10.0]), &QualityTarget::fft_only(0.2));
+        for &e in &cfg.ebs {
+            assert!((e - 0.2).abs() < 1e-9);
+        }
+        assert!((cfg.eb_avg - 0.2).abs() < 1e-9);
+        assert!(!cfg.halo_limited);
+    }
+
+    #[test]
+    fn compressible_partitions_get_larger_bounds() {
+        // With c < 0 and C increasing in mean: high-mean (hard) partitions
+        // get eb above average, trading their quality for ratio — and the
+        // optimizer's direction is consistent with Eq. 16.
+        let opt = Optimizer::new(model());
+        let f = feats(&[1.0, 1000.0]);
+        let cfg = opt.optimize(&f, &QualityTarget::fft_only(0.2));
+        let c0 = model().coefficient(1.0);
+        let c1 = model().coefficient(1000.0);
+        assert!(c1 > c0);
+        assert!(cfg.ebs[1] > cfg.ebs[0], "{:?}", cfg.ebs);
+    }
+
+    #[test]
+    fn mean_budget_is_respected() {
+        let opt = Optimizer::new(model());
+        let means: Vec<f64> = (1..=64).map(|i| i as f64 * 7.0).collect();
+        let cfg = opt.optimize(&feats(&means), &QualityTarget::fft_only(0.1));
+        let mean_eb = cfg.ebs.iter().sum::<f64>() / cfg.ebs.len() as f64;
+        assert!(mean_eb <= 0.1 * (1.0 + 1e-9), "mean {mean_eb}");
+        assert!(mean_eb >= 0.09, "budget left unused: {mean_eb}");
+    }
+
+    #[test]
+    fn clamping_bounds_extremes() {
+        let opt = Optimizer::new(model());
+        // Huge spread in means would produce wild bounds without clamps.
+        let cfg = opt.optimize(&feats(&[1e-6, 1.0, 1e12]), &QualityTarget::fft_only(0.2));
+        for &e in &cfg.ebs {
+            assert!(e >= 0.2 / 4.0 - 1e-12 && e <= 0.2 * 4.0 + 1e-12, "eb {e}");
+        }
+    }
+
+    #[test]
+    fn equalizes_bit_quality_ratio() {
+        // Fig. 12's claim: after optimization the |d bitrate/d eb| spread
+        // across partitions shrinks versus the traditional configuration.
+        let m = model();
+        let opt = Optimizer::new(m);
+        let means = [2.0, 8.0, 32.0, 128.0, 512.0];
+        let f = feats(&means);
+        let adaptive = opt.optimize(&f, &QualityTarget::fft_only(0.2));
+        let spread = |ebs: &[f64]| {
+            let qs: Vec<f64> = means
+                .iter()
+                .zip(ebs)
+                .map(|(&mean, &e)| bit_quality_ratio(&m, mean, e).abs())
+                .collect();
+            let max = qs.iter().fold(f64::MIN, |a, &b| a.max(b));
+            let min = qs.iter().fold(f64::MAX, |a, &b| a.min(b));
+            max / min
+        };
+        let uniform = vec![0.2; 5];
+        assert!(spread(&adaptive.ebs) < spread(&uniform), "adaptive should equalise");
+    }
+
+    #[test]
+    fn adaptive_beats_traditional_in_predicted_ratio() {
+        let opt = Optimizer::new(model());
+        let means = [1.0, 5.0, 50.0, 500.0, 5000.0, 50000.0];
+        let f = feats(&means);
+        let adaptive = opt.optimize(&f, &QualityTarget::fft_only(0.2));
+        let traditional = opt.traditional(&f, 0.2);
+        assert!(
+            adaptive.predicted_bitrate < traditional.predicted_bitrate,
+            "adaptive {} vs traditional {}",
+            adaptive.predicted_bitrate,
+            traditional.predicted_bitrate
+        );
+    }
+
+    #[test]
+    fn halo_constraint_scales_down() {
+        let opt = Optimizer::new(model());
+        let f = feats(&[100.0, 100.0]);
+        // boundary_cells_ref = 100 at eb_ref = 1; at eb ≈ 0.2 the modeled
+        // fault is t_b · (2·100·0.2)/4 = t_b·10. Set budget below that.
+        let t_b = 88.16;
+        let unconstrained =
+            opt.optimize(&f, &QualityTarget::fft_only(0.2)).predicted_bitrate;
+        let tgt = QualityTarget::with_halo(0.2, t_b, 100.0);
+        let cfg = opt.optimize(&f, &tgt);
+        assert!(cfg.halo_limited);
+        let fault = cfg.predicted_mass_fault.unwrap();
+        assert!(fault <= 100.0 * (1.0 + 1e-9), "fault {fault}");
+        // Tighter bounds ⇒ more bits than the unconstrained solution.
+        assert!(cfg.predicted_bitrate > unconstrained);
+    }
+
+    #[test]
+    fn halo_constraint_inactive_when_loose() {
+        let opt = Optimizer::new(model());
+        let f = feats(&[100.0, 100.0]);
+        let tgt = QualityTarget::with_halo(0.2, 88.16, 1e9);
+        let cfg = opt.optimize(&f, &tgt);
+        assert!(!cfg.halo_limited);
+        assert!(cfg.predicted_mass_fault.unwrap() < 1e9);
+    }
+
+    #[test]
+    fn traditional_uses_uniform_bound() {
+        let opt = Optimizer::new(model());
+        let cfg = opt.traditional(&feats(&[1.0, 10.0]), 0.3);
+        assert_eq!(cfg.ebs, vec![0.3, 0.3]);
+        assert_eq!(cfg.eb_avg, 0.3);
+    }
+}

@@ -1,0 +1,338 @@
+//! Compression-ratio (bit-rate) modeling — paper §3.5, Eq. 15, Fig. 9/10.
+//!
+//! Empirically, SZ's bit rate against the error bound follows a power law
+//! per partition, `b_m = C_m · eb^c`, with the exponent `c` shared across
+//! partitions/fields/snapshots and only the coefficient `C_m` varying.
+//! Measuring `C_m` per partition by trial compression would defeat the
+//! purpose, so the paper predicts it from the partition **mean value**
+//! through a logarithmic fit — the single cheapest feature that tracks
+//! compressibility on Nyx-like data.
+//!
+//! [`RatioModel::calibrate`] performs the paper's two-step procedure on a
+//! handful of sample partitions (one-off, offline or first-snapshot):
+//! 1. sweep a few bounds per sample, fit per-partition `(C_m, c_m)` in
+//!    log-log space, share `c = mean(c_m)`;
+//! 2. re-fit each `C_m` under the shared `c`, then fit
+//!    `C(mean) = a₀ + a₁·ln(mean)` across samples.
+
+use crate::math::{linear_fit, r_squared};
+use gridlab::{Dim3, Field3, Scalar};
+use rsz::{compress_slice, SzConfig};
+use serde::{Deserialize, Serialize};
+
+/// The per-partition features the in situ layer ships to the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionFeature {
+    /// Mean value of the partition (bit-rate model input).
+    pub mean: f64,
+    /// Boundary cells measured at `eb_ref` (halo model input; 0 for
+    /// non-density fields).
+    pub boundary_cells_ref: f64,
+    /// Reference bound for `boundary_cells_ref`.
+    pub eb_ref: f64,
+    /// Cells in the partition.
+    pub cells: usize,
+}
+
+impl From<gridlab::stats::PartitionFeatures> for PartitionFeature {
+    fn from(f: gridlab::stats::PartitionFeatures) -> Self {
+        Self {
+            mean: f.mean,
+            boundary_cells_ref: f.boundary_cells as f64,
+            eb_ref: f.eb_ref,
+            cells: f.cells,
+        }
+    }
+}
+
+/// Fitted bit-rate model `b(mean, eb) = C(mean) · eb^c`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioModel {
+    /// Shared power-law exponent (negative: bigger bound ⇒ fewer bits).
+    pub c: f64,
+    /// Intercept of the logarithmic coefficient fit.
+    pub a0: f64,
+    /// Slope of the logarithmic coefficient fit.
+    pub a1: f64,
+}
+
+/// Floor for predicted coefficients/bit rates so inversions stay finite.
+const C_FLOOR: f64 = 1e-4;
+
+/// Per-sample diagnostics from calibration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// `(mean, fitted C_m)` per sample partition.
+    pub samples: Vec<(f64, f64)>,
+    /// Per-sample exponents before sharing.
+    pub exponents: Vec<f64>,
+    /// R² of the `C(mean)` logarithmic fit.
+    pub c_fit_r2: f64,
+}
+
+impl RatioModel {
+    /// Coefficient for a partition with the given mean.
+    pub fn coefficient(&self, mean: f64) -> f64 {
+        let x = ln_mean(mean);
+        (self.a0 + self.a1 * x).max(C_FLOOR)
+    }
+
+    /// Predicted bit rate (bits/value) for one partition.
+    pub fn predict_bitrate(&self, mean: f64, eb: f64) -> f64 {
+        assert!(eb > 0.0);
+        self.coefficient(mean) * eb.powf(self.c)
+    }
+
+    /// Predicted overall bit rate for equal-size partitions (Eq. 15:
+    /// `B = Σ b_m / M`).
+    pub fn predict_overall_bitrate(&self, means: &[f64], ebs: &[f64]) -> f64 {
+        assert_eq!(means.len(), ebs.len());
+        assert!(!means.is_empty());
+        means
+            .iter()
+            .zip(ebs)
+            .map(|(&m, &e)| self.predict_bitrate(m, e))
+            .sum::<f64>()
+            / means.len() as f64
+    }
+
+    /// Predicted compression ratio against `bits_per_value` originals.
+    pub fn predict_ratio(&self, means: &[f64], ebs: &[f64], bits_per_value: f64) -> f64 {
+        bits_per_value / self.predict_overall_bitrate(means, ebs)
+    }
+
+    /// Invert the per-partition law: bound that hits a target bit rate.
+    pub fn eb_for_bitrate(&self, mean: f64, bitrate: f64) -> f64 {
+        assert!(bitrate > 0.0);
+        (bitrate / self.coefficient(mean)).powf(1.0 / self.c)
+    }
+
+    /// Calibrate on sample bricks with an error-bound sweep.
+    ///
+    /// `bricks` should be a representative handful of partitions (the
+    /// paper samples 16 of 512 for Fig. 9); `eb_sweep` needs ≥ 2 bounds.
+    pub fn calibrate<T: Scalar>(
+        bricks: &[&Field3<T>],
+        eb_sweep: &[f64],
+        base: &SzConfig,
+    ) -> (RatioModel, CalibrationReport) {
+        assert!(bricks.len() >= 2, "need at least two sample partitions");
+        assert!(eb_sweep.len() >= 2, "need at least two bounds in the sweep");
+        let ln_ebs: Vec<f64> = eb_sweep.iter().map(|e| e.ln()).collect();
+
+        // Pass 1: measure bit rates, fit per-brick exponents.
+        let mut exponents = Vec::with_capacity(bricks.len());
+        let mut ln_rates: Vec<Vec<f64>> = Vec::with_capacity(bricks.len());
+        let mut means = Vec::with_capacity(bricks.len());
+        for brick in bricks {
+            let mean = gridlab::stats::mean(brick.as_slice());
+            means.push(mean);
+            let rates: Vec<f64> = eb_sweep
+                .iter()
+                .map(|&eb| {
+                    let mut cfg = *base;
+                    cfg.mode = rsz::ErrorMode::Abs(eb);
+                    let c = compress_slice(brick.as_slice(), brick.dims(), &cfg);
+                    (8.0 * c.len() as f64 / brick.len() as f64).max(1e-6).ln()
+                })
+                .collect();
+            let (_, slope) = linear_fit(&ln_ebs, &rates);
+            exponents.push(slope);
+            ln_rates.push(rates);
+        }
+        let c_shared = exponents.iter().sum::<f64>() / exponents.len() as f64;
+
+        // Pass 2: C_m under the shared exponent, then the logarithmic fit.
+        let coeffs: Vec<f64> = ln_rates
+            .iter()
+            .map(|rates| {
+                let ln_c = rates
+                    .iter()
+                    .zip(&ln_ebs)
+                    .map(|(lb, le)| lb - c_shared * le)
+                    .sum::<f64>()
+                    / rates.len() as f64;
+                ln_c.exp()
+            })
+            .collect();
+        let xs: Vec<f64> = means.iter().map(|&m| ln_mean(m)).collect();
+        let (a0, a1) = linear_fit(&xs, &coeffs);
+        let r2 = r_squared(&xs, &coeffs, a0, a1);
+
+        (
+            RatioModel { c: c_shared, a0, a1 },
+            CalibrationReport {
+                samples: means.into_iter().zip(coeffs).collect(),
+                exponents,
+                c_fit_r2: r2,
+            },
+        )
+    }
+}
+
+/// Log-feature of a mean value, guarded for non-positive means (velocity
+/// fields can average near zero; the guard keeps the feature finite).
+fn ln_mean(mean: f64) -> f64 {
+    (mean.abs() + 1e-9).ln()
+}
+
+/// Extract [`PartitionFeature`]s for every brick of a decomposed field in
+/// one parallel pass — the in situ feature-extraction step.
+pub fn extract_features<T: Scalar>(
+    field: &Field3<T>,
+    dec: &gridlab::Decomposition,
+    t_boundary: f64,
+    eb_ref: f64,
+) -> Vec<PartitionFeature> {
+    dec.par_map(field, |_, brick| {
+        gridlab::stats::PartitionFeatures::extract(brick.as_slice(), t_boundary, eb_ref).into()
+    })
+}
+
+/// Measure the actual bit rate of one brick at one bound (ground truth for
+/// model validation).
+pub fn measured_bitrate<T: Scalar>(brick: &Field3<T>, eb: f64) -> f64 {
+    let c = compress_slice(brick.as_slice(), brick.dims(), &SzConfig::abs(eb));
+    8.0 * c.len() as f64 / brick.len() as f64
+}
+
+/// Convenience: split a field and return the per-partition bricks that
+/// calibration samples from (every `stride`-th partition).
+pub fn sample_bricks<T: Scalar>(
+    field: &Field3<T>,
+    dec: &gridlab::Decomposition,
+    stride: usize,
+) -> Vec<Field3<T>> {
+    assert!(stride >= 1);
+    dec.iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0)
+        .map(|(_, p)| field.extract(p.origin, p.dims))
+        .collect()
+}
+
+/// Dimensions helper re-exported for the bench crate's workload builders.
+pub fn brick_dims(dec: &gridlab::Decomposition) -> Dim3 {
+    dec.brick()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridlab::Decomposition;
+
+    /// Bricks with controllable roughness: higher `amp` ⇒ more bits.
+    fn brick(n: usize, amp: f64, offset: f64, seed: u64) -> Field3<f32> {
+        let mut state = seed;
+        Field3::from_fn(Dim3::cube(n), |x, y, z| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            (offset
+                + amp
+                    * ((x as f64 * 0.8).sin() + (y as f64 * 0.6).cos() + (z as f64 * 0.9).sin()
+                        + noise)) as f32
+        })
+    }
+
+    fn calibrated() -> (RatioModel, CalibrationReport) {
+        // Mean tracks amplitude so the mean→C relation is learnable,
+        // mirroring lognormal density data where bright partitions are
+        // also rough partitions.
+        let bricks: Vec<Field3<f32>> = (0..6)
+            .map(|i| {
+                let amp = 2.0f64.powi(i);
+                brick(12, amp, 10.0 * amp, 17 + i as u64)
+            })
+            .collect();
+        let refs: Vec<&Field3<f32>> = bricks.iter().collect();
+        RatioModel::calibrate(&refs, &[0.05, 0.1, 0.2, 0.4, 0.8], &SzConfig::abs(1.0))
+    }
+
+    #[test]
+    fn exponent_is_negative() {
+        let (model, report) = calibrated();
+        assert!(model.c < 0.0, "c = {}", model.c);
+        assert!(report.exponents.iter().all(|&e| e < 0.0));
+    }
+
+    #[test]
+    fn bitrate_prediction_tracks_measurement() {
+        let (model, _) = calibrated();
+        // Validate on a held-out brick inside the calibration range.
+        let held = brick(12, 3.0, 30.0, 999);
+        let mean = gridlab::stats::mean(held.as_slice());
+        for eb in [0.1, 0.4] {
+            let predicted = model.predict_bitrate(mean, eb);
+            let measured = measured_bitrate(&held, eb);
+            let rel = (predicted - measured).abs() / measured;
+            assert!(rel < 0.5, "eb {eb}: predicted {predicted}, measured {measured}");
+        }
+    }
+
+    #[test]
+    fn coefficient_grows_with_mean_on_this_family() {
+        let (model, report) = calibrated();
+        assert!(report.c_fit_r2 > 0.6, "r2 {}", report.c_fit_r2);
+        assert!(model.coefficient(100.0) > model.coefficient(1.0));
+    }
+
+    #[test]
+    fn overall_bitrate_is_partition_average() {
+        let (model, _) = calibrated();
+        let means = [5.0, 50.0];
+        let ebs = [0.1, 0.1];
+        let overall = model.predict_overall_bitrate(&means, &ebs);
+        let manual =
+            (model.predict_bitrate(5.0, 0.1) + model.predict_bitrate(50.0, 0.1)) / 2.0;
+        assert!((overall - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eb_for_bitrate_inverts_prediction() {
+        let (model, _) = calibrated();
+        let mean = 20.0;
+        let eb = 0.3;
+        let b = model.predict_bitrate(mean, eb);
+        let back = model.eb_for_bitrate(mean, b);
+        assert!((back - eb).abs() < 1e-9, "{back} vs {eb}");
+    }
+
+    #[test]
+    fn ratio_is_bits_over_bitrate() {
+        let (model, _) = calibrated();
+        let means = [10.0, 20.0];
+        let ebs = [0.2, 0.2];
+        let r = model.predict_ratio(&means, &ebs, 32.0);
+        assert!((r - 32.0 / model.predict_overall_bitrate(&means, &ebs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn features_extraction_matches_manual() {
+        let f = brick(16, 2.0, 20.0, 5);
+        let dec = Decomposition::cubic(16, 2).unwrap();
+        let feats = extract_features(&f, &dec, 20.0, 1.0);
+        assert_eq!(feats.len(), 8);
+        let bricks = dec.split(&f);
+        for (feat, b) in feats.iter().zip(&bricks) {
+            assert!((feat.mean - gridlab::stats::mean(b.as_slice())).abs() < 1e-9);
+            assert_eq!(feat.cells, 8 * 8 * 8);
+        }
+    }
+
+    #[test]
+    fn sample_bricks_stride() {
+        let f = brick(16, 1.0, 0.0, 2);
+        let dec = Decomposition::cubic(16, 4).unwrap();
+        assert_eq!(sample_bricks(&f, &dec, 1).len(), 64);
+        assert_eq!(sample_bricks(&f, &dec, 4).len(), 16);
+        assert_eq!(brick_dims(&dec), Dim3::cube(4));
+    }
+
+    #[test]
+    fn coefficient_floor_keeps_model_finite() {
+        let model = RatioModel { c: -0.5, a0: -100.0, a1: 0.0 };
+        assert!(model.coefficient(1.0) >= 1e-4);
+        assert!(model.predict_bitrate(1.0, 0.1).is_finite());
+        assert!(model.eb_for_bitrate(1.0, 0.5).is_finite());
+    }
+}

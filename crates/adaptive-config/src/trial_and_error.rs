@@ -1,0 +1,153 @@
+//! The traditional trial-and-error configurator (paper §4.3's foil).
+//!
+//! Without rate-quality models, the conventional workflow searches a
+//! uniform bound by repeatedly compressing, decompressing and re-running
+//! the (expensive) post-hoc analysis until the quality check passes. This
+//! module implements that loop — both as the honest baseline for the
+//! overhead comparison and to let experiments quantify how many full
+//! compress+analyse rounds the models avoid.
+
+use gridlab::{Field3, Scalar};
+use rsz::{compress, decompress, SzConfig};
+use std::time::{Duration, Instant};
+
+/// Outcome of a trial-and-error search.
+#[derive(Debug, Clone)]
+pub struct TrialSearchResult {
+    /// The uniform bound selected (largest tried bound that passed).
+    pub eb: f64,
+    /// Bounds tried, in order, with their pass/fail verdicts.
+    pub trials: Vec<(f64, bool)>,
+    /// Wall-clock spent compressing/decompressing during the search.
+    pub codec_time: Duration,
+    /// Wall-clock spent inside the quality-check callback (the post-hoc
+    /// analysis the paper calls "computationally intensive").
+    pub analysis_time: Duration,
+}
+
+impl TrialSearchResult {
+    /// Number of full compress → decompress → analyse rounds performed.
+    pub fn rounds(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Total search cost.
+    pub fn total_time(&self) -> Duration {
+        self.codec_time + self.analysis_time
+    }
+}
+
+/// Bisection search over uniform bounds.
+///
+/// `quality_ok(original, reconstructed)` is the domain check (e.g. "P(k)
+/// ratio within 1 %"). The search brackets `[eb_lo, eb_hi]`, assumes
+/// monotonicity (looser bound ⇒ worse quality), and refines for
+/// `iterations` rounds, returning the loosest passing bound. If even
+/// `eb_lo` fails, that is reported as a zero-width result at `eb_lo` with
+/// `trials` showing the failures.
+pub fn search_uniform_bound<T, Q>(
+    field: &Field3<T>,
+    eb_lo: f64,
+    eb_hi: f64,
+    iterations: usize,
+    mut quality_ok: Q,
+) -> TrialSearchResult
+where
+    T: Scalar,
+    Q: FnMut(&Field3<T>, &Field3<T>) -> bool,
+{
+    assert!(eb_lo > 0.0 && eb_hi > eb_lo && iterations > 0);
+    let mut codec_time = Duration::ZERO;
+    let mut analysis_time = Duration::ZERO;
+    let mut trials = Vec::new();
+
+    let mut try_eb = |eb: f64, codec: &mut Duration, analysis: &mut Duration| -> bool {
+        let t0 = Instant::now();
+        let c = compress(field, &SzConfig::abs(eb));
+        let recon: Field3<T> = decompress(&c).expect("self-produced container decodes");
+        *codec += t0.elapsed();
+        let t1 = Instant::now();
+        let ok = quality_ok(field, &recon);
+        *analysis += t1.elapsed();
+        ok
+    };
+
+    let mut lo = eb_lo; // assumed (verified below) passing side
+    let mut hi = eb_hi;
+    let lo_ok = try_eb(lo, &mut codec_time, &mut analysis_time);
+    trials.push((lo, lo_ok));
+    if !lo_ok {
+        return TrialSearchResult { eb: lo, trials, codec_time, analysis_time };
+    }
+    let hi_ok = try_eb(hi, &mut codec_time, &mut analysis_time);
+    trials.push((hi, hi_ok));
+    if hi_ok {
+        return TrialSearchResult { eb: hi, trials, codec_time, analysis_time };
+    }
+    for _ in 0..iterations {
+        let mid = (lo * hi).sqrt(); // geometric: the rate curve is log-linear
+        let ok = try_eb(mid, &mut codec_time, &mut analysis_time);
+        trials.push((mid, ok));
+        if ok {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    TrialSearchResult { eb: lo, trials, codec_time, analysis_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridlab::Dim3;
+
+    fn field() -> Field3<f32> {
+        Field3::from_fn(Dim3::cube(12), |x, y, z| {
+            ((x as f32) * 0.4).sin() * 30.0 + ((y + z) as f32) * 0.7
+        })
+    }
+
+    #[test]
+    fn finds_loosest_passing_bound() {
+        let f = field();
+        // Quality check: max error below 0.5 — so the search should settle
+        // just under eb = 0.5 (the compressor guarantees err ≤ eb and
+        // typically fills most of the band).
+        let r = search_uniform_bound(&f, 0.01, 10.0, 8, |a, b| a.max_abs_diff(b) <= 0.5);
+        assert!(r.eb >= 0.01 && r.eb <= 0.7, "selected {}", r.eb);
+        // The selected bound actually passes.
+        let c = compress(&f, &SzConfig::abs(r.eb));
+        let recon: Field3<f32> = decompress(&c).unwrap();
+        assert!(f.max_abs_diff(&recon) <= 0.5);
+        assert!(r.rounds() >= 3);
+        assert!(r.total_time() >= r.codec_time);
+    }
+
+    #[test]
+    fn reports_failure_when_even_tightest_fails() {
+        let f = field();
+        let r = search_uniform_bound(&f, 0.1, 1.0, 4, |_, _| false);
+        assert_eq!(r.eb, 0.1);
+        assert_eq!(r.trials.len(), 1);
+        assert!(!r.trials[0].1);
+    }
+
+    #[test]
+    fn short_circuits_when_loosest_passes() {
+        let f = field();
+        let r = search_uniform_bound(&f, 0.1, 1.0, 8, |_, _| true);
+        assert_eq!(r.eb, 1.0);
+        assert_eq!(r.rounds(), 2);
+    }
+
+    #[test]
+    fn more_iterations_never_tighten_the_result_below_truth() {
+        let f = field();
+        let check = |a: &Field3<f32>, b: &Field3<f32>| a.max_abs_diff(b) <= 1.0;
+        let coarse = search_uniform_bound(&f, 0.01, 100.0, 4, check);
+        let fine = search_uniform_bound(&f, 0.01, 100.0, 10, check);
+        assert!(fine.eb >= coarse.eb * 0.99, "fine {} coarse {}", fine.eb, coarse.eb);
+        assert!(fine.rounds() > coarse.rounds());
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion: post-hoc analysis throughput (halo finder + power spectrum)
+//! — the costs the paper's in situ modeling avoids re-running per trial.
+
+use bench::{workloads, Scale};
+use cosmoanalysis::{find_halos, power_spectrum, SpectrumKind};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_analysis(c: &mut Criterion) {
+    let scale = Scale { n: 64, parts: 4, seed: 42 };
+    let snap = workloads::snapshot(&scale);
+    let field = &snap.baryon_density;
+    let hc = workloads::halo_config(field);
+
+    let mut g = c.benchmark_group("post_hoc_analysis");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(field.len() as u64));
+    g.bench_function("halo_finder", |b| b.iter(|| find_halos(field, &hc)));
+    g.bench_function("power_spectrum", |b| {
+        b.iter(|| power_spectrum(field, SpectrumKind::Overdensity))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion: rsz compress/decompress throughput per field and bound, and
+//! the zfplite baseline (supports §4.3's performance discussion).
+
+use bench::{workloads, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridlab::Field3;
+use rsz::{compress, decompress, SzConfig};
+use zfplite::{zfp_compress, ZfpConfig};
+
+fn bench_compress(c: &mut Criterion) {
+    let scale = Scale { n: 64, parts: 4, seed: 42 };
+    let snap = workloads::snapshot(&scale);
+    let bytes = (snap.dims.len() * 4) as u64;
+
+    let mut g = c.benchmark_group("rsz_compress");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    for (kind, field) in
+        [("baryon_density", &snap.baryon_density), ("temperature", &snap.temperature)]
+    {
+        let eb = workloads::default_eb_avg(field);
+        g.bench_with_input(BenchmarkId::new("abs", kind), field, |b, f| {
+            b.iter(|| compress(f, &SzConfig::abs(eb)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("rsz_decompress");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    let eb = workloads::default_eb_avg(&snap.temperature);
+    let compressed = compress(&snap.temperature, &SzConfig::abs(eb));
+    g.bench_function("temperature", |b| {
+        b.iter(|| decompress::<f32>(&compressed).expect("container decodes"))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("zfp_baseline");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    g.bench_function("fixed_rate_8", |b| {
+        let f: &Field3<f32> = &snap.temperature;
+        b.iter(|| zfp_compress(f, &ZfpConfig::fixed_rate(8.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

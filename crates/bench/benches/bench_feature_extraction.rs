@@ -1,0 +1,35 @@
+//! Criterion: the in situ feature-extraction cost vs compression cost —
+//! the measurement behind the paper's "~1 % overhead" claim (P1).
+
+use adaptive_config::ratio_model::extract_features;
+use bench::{workloads, Scale};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rsz::{compress, SzConfig};
+
+fn bench_features(c: &mut Criterion) {
+    let scale = Scale { n: 64, parts: 4, seed: 42 };
+    let snap = workloads::snapshot(&scale);
+    let dec = workloads::decomposition(&scale);
+    let field = &snap.baryon_density;
+    let hc = workloads::halo_config(field);
+    let bytes = (field.len() * 4) as u64;
+
+    let mut g = c.benchmark_group("in_situ_overhead");
+    g.throughput(Throughput::Bytes(bytes));
+    g.sample_size(10);
+    g.bench_function("features_mean_only", |b| {
+        // t_boundary = 0 short-circuits most of the boundary check.
+        b.iter(|| extract_features(field, &dec, 0.0, 1.0))
+    });
+    g.bench_function("features_with_boundary_cells", |b| {
+        b.iter(|| extract_features(field, &dec, hc.t_boundary, 1.0))
+    });
+    let eb = workloads::default_eb_avg(field);
+    g.bench_function("compression_for_reference", |b| {
+        b.iter(|| compress(field, &SzConfig::abs(eb)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

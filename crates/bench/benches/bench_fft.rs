@@ -1,0 +1,48 @@
+//! Criterion: fftlite 3-D transform scaling (the substrate cost of the
+//! power-spectrum analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fftlite::{Complex64, Fft3};
+
+fn bench_fft3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft3_forward");
+    g.sample_size(10);
+    for n in [32usize, 64] {
+        let fft = Fft3::cube(n);
+        let data: Vec<Complex64> =
+            (0..n * n * n).map(|i| Complex64::new((i as f64 * 0.37).sin(), 0.0)).collect();
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| {
+                let mut buf = d.clone();
+                fft.forward(&mut buf);
+                buf[0]
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fft1_kernels");
+    g.sample_size(20);
+    for n in [1024usize, 1000] {
+        // 1024 = radix-2 path, 1000 = Bluestein path.
+        let plan = fftlite::FftPlan::new(n);
+        let data: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).cos(), (i as f64).sin())).collect();
+        g.bench_with_input(
+            BenchmarkId::new(if plan.is_radix2() { "radix2" } else { "bluestein" }, n),
+            &data,
+            |b, d| {
+                b.iter(|| {
+                    let mut buf = d.clone();
+                    plan.forward(&mut buf);
+                    buf[0]
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft3);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion: the optimizer must be negligible next to compression — this
+//! is the paper's scalability argument against trial-and-error (§4.3).
+
+use adaptive_config::optimizer::{Optimizer, QualityTarget};
+use adaptive_config::ratio_model::{PartitionFeature, RatioModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_optimizer(c: &mut Criterion) {
+    let model = RatioModel { c: -0.4, a0: -1.0, a1: 0.4 };
+    let opt = Optimizer::new(model);
+    let mut g = c.benchmark_group("optimize_bounds");
+    for m in [512usize, 4096, 32768] {
+        let features: Vec<PartitionFeature> = (0..m)
+            .map(|i| PartitionFeature {
+                mean: 1.0 + (i % 97) as f64 * 13.7,
+                boundary_cells_ref: (i % 31) as f64,
+                eb_ref: 1.0,
+                cells: 64 * 64 * 64,
+            })
+            .collect();
+        let target = QualityTarget::with_halo(0.5, 88.16, 1e4);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &features, |b, f| {
+            b.iter(|| opt.optimize(f, &target))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion: end-to-end in situ snapshot step — adaptive (features +
+//! optimize + compress) vs traditional (compress only). The difference is
+//! the paper's total overhead claim.
+
+use adaptive_config::optimizer::QualityTarget;
+use bench::{workloads, Scale};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scale = Scale { n: 64, parts: 4, seed: 42 };
+    let snap = workloads::snapshot(&scale);
+    let field = &snap.baryon_density;
+    let dec = workloads::decomposition(&scale);
+    let eb_avg = workloads::default_eb_avg(field);
+    let pipeline = workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
+
+    let mut g = c.benchmark_group("insitu_step");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((field.len() * 4) as u64));
+    g.bench_function("adaptive", |b| b.iter(|| pipeline.run_adaptive(field)));
+    g.bench_function("traditional", |b| {
+        b.iter(|| pipeline.run_traditional(field, workloads::traditional_eb(eb_avg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

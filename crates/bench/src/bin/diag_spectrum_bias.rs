@@ -1,0 +1,33 @@
+//! Diagnostic: decompose the P(k) ratio drift of reconstructed baryon
+//! density into mean/variance shifts, and contrast the raw-spectrum vs
+//! overdensity-spectrum views. This is the measurement behind the
+//! `SpectrumKind::OverdensityFixedMean` design note (see EXPERIMENTS.md).
+
+use cosmoanalysis::{power_spectrum, SpectrumKind};
+use nyxlite::NyxConfig;
+use rsz::{compress, decompress, SzConfig};
+
+fn main() {
+    let snap = NyxConfig::new(64, 42).generate(42.0);
+    let field = &snap.baryon_density;
+    let s0 = gridlab::stats::summarize(field.as_slice());
+    let ps0_raw = power_spectrum(field, SpectrumKind::Raw);
+    let ps0_od = power_spectrum(field, SpectrumKind::Overdensity);
+    println!("orig: mean {:.4} var {:.4}", s0.mean, s0.variance);
+    for eb in [1.0, 2.5, 5.0, 10.0] {
+        let c = compress(field, &SzConfig::abs(eb));
+        let recon: gridlab::Field3<f32> = decompress(&c).expect("decodes");
+        let s = gridlab::stats::summarize(recon.as_slice());
+        let rr = power_spectrum(&recon, SpectrumKind::Raw).ratio(&ps0_raw);
+        let ro = power_spectrum(&recon, SpectrumKind::Overdensity).ratio(&ps0_od);
+        println!(
+            "eb {eb:5}: mean shift {:+.5}% var shift {:+.4}% | raw ratio k1 {:.4} k5 {:.4} | od ratio k1 {:.4} k5 {:.4}",
+            (s.mean / s0.mean - 1.0) * 100.0,
+            (s.variance / s0.variance - 1.0) * 100.0,
+            rr[0],
+            rr[4],
+            ro[0],
+            ro[4]
+        );
+    }
+}

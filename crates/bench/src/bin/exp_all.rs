@@ -1,0 +1,43 @@
+//! Runs every experiment in DESIGN.md's index and saves all reports under
+//! `results/`. Scale via env: `REPRO_N`, `REPRO_PARTS`, `REPRO_SEED`.
+
+use bench::experiments as e;
+use bench::{Report, Scale};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "running all experiments at {}^3 with {}^3 partitions (seed {})",
+        scale.n, scale.parts, scale.seed
+    );
+    let runs: Vec<(&str, fn(&Scale) -> Report)> = vec![
+        ("fig03", e::fig03_error_distribution::run),
+        ("fig04", e::fig04_fft_error_dist::run),
+        ("fig05", e::fig05_fft_error_variance::run),
+        ("fig06", e::fig06_candidate_cells::run),
+        ("table1", e::table1_mass_per_cell::run),
+        ("fig07", e::fig07_halo_mass_dist::run),
+        ("fig08", e::fig08_cell_change_model::run),
+        ("fig09", e::fig09_bitrate_curves::run),
+        ("fig10", e::fig10_cm_estimation::run),
+        ("fig11", e::fig11_eb_map::run),
+        ("fig12", e::fig12_bit_quality::run),
+        ("fig13", e::fig13_power_spectrum::run),
+        ("fig14", e::fig14_effective_cells::run),
+        ("fig15", e::fig15_all_fields::run),
+        ("fig16", e::fig16_redshifts::run),
+        ("fig17", e::fig17_eb_evolution::run),
+        ("fig18", e::fig18_partition_size::run),
+        ("fig19", e::fig19_scale::run),
+        ("perf", e::perf_overhead::run),
+    ];
+    for (name, run) in runs {
+        let t = Instant::now();
+        let report = run(&scale);
+        report.print();
+        report.save();
+        println!("  [{name} took {:.2}s]", t.elapsed().as_secs_f64());
+    }
+    println!("\nall reports saved under results/");
+}

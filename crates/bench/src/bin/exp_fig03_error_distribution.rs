@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 3 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig03_error_distribution::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 4 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig04_fft_error_dist::run(&scale);
+    report.print();
+    report.save();
+}

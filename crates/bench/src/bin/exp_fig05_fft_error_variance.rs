@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 5 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig05_fft_error_variance::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 6 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig06_candidate_cells::run(&scale);
+    report.print();
+    report.save();
+}

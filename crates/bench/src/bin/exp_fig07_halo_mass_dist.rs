@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 7 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig07_halo_mass_dist::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 8 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig08_cell_change_model::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 9 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig09_bitrate_curves::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 10 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig10_cm_estimation::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 11 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig11_eb_map::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 12 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig12_bit_quality::run(&scale);
+    report.print();
+    report.save();
+}

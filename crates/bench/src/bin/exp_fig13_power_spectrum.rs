@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 13 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig13_power_spectrum::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 14 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig14_effective_cells::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 15 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig15_all_fields::run(&scale);
+    report.print();
+    report.save();
+}

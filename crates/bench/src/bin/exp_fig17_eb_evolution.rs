@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 17 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig17_eb_evolution::run(&scale);
+    report.print();
+    report.save();
+}

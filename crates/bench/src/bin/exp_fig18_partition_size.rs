@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 18 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::fig18_partition_size::run(&scale);
+    report.print();
+    report.save();
+}

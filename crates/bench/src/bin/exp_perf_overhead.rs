@@ -1,0 +1,7 @@
+//! Regenerates the paper's §4.3 performance numbers (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::perf_overhead::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 1 (see DESIGN.md experiment index).
+fn main() {
+    let scale = bench::Scale::from_env();
+    let report = bench::experiments::table1_mass_per_cell::run(&scale);
+    report.print();
+    report.save();
+}

@@ -1,0 +1,96 @@
+//! Fig. 4: real vs estimated FFT-error distribution under mixed
+//! per-partition bounds (temperature field, average bound scaled to data).
+//!
+//! The model (Eqs. 5–10) predicts the DFT coefficient error is
+//! `N(0, σ²)` with `σ = √(N/6)·mean(eb_m)`. We compress each partition at
+//! its own bound, FFT original and reconstruction, and histogram the real
+//! axis of the spectral error in units of the modeled σ against the
+//! standard normal density.
+
+use crate::report::{f, Report, Scale};
+use crate::workloads;
+use adaptive_config::FftErrorModel;
+use fftlite::{Complex64, Fft3};
+use gridlab::Field3;
+use rsz::{compress_slice, decompress, SzConfig};
+
+pub fn run(scale: &Scale) -> Report {
+    let snap = workloads::snapshot(scale);
+    let field = &snap.temperature;
+    let dec = workloads::decomposition(scale);
+
+    // Mixed bounds: alternate between 0.5× and 1.5× of a base bound.
+    let base = workloads::default_eb_avg(field);
+    let ebs: Vec<f64> =
+        (0..dec.num_partitions()).map(|i| if i % 2 == 0 { 0.5 * base } else { 1.5 * base }).collect();
+
+    // Compress/decompress per partition.
+    let bricks = dec.par_map(field, |p, brick| {
+        let c = compress_slice(brick.as_slice(), brick.dims(), &SzConfig::abs(ebs[p.id]));
+        decompress::<f32>(&c).expect("self-produced container decodes")
+    });
+    let recon = dec.assemble(&bricks).expect("brick count matches");
+
+    let spectral_error = |a: &Field3<f32>, b: &Field3<f32>| -> Vec<Complex64> {
+        let d = a.dims();
+        let mut buf: Vec<Complex64> = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| Complex64::real(x as f64 - y as f64))
+            .collect();
+        Fft3::new(d.nx, d.ny, d.nz).forward(&mut buf);
+        buf
+    };
+    let errs = spectral_error(field, &recon);
+
+    let model = FftErrorModel::new(field.len());
+    let sigma_model = model.sigma_mixed(&ebs);
+    let re: Vec<f64> = errs.iter().map(|z| z.re).collect();
+    let sigma_real =
+        (re.iter().map(|e| e * e).sum::<f64>() / re.len() as f64).sqrt();
+
+    let mut r = Report::new(
+        "fig04",
+        "FFT error distribution: measured vs N(0, σ_model)",
+        &["x_over_sigma", "measured_density", "normal_density"],
+    );
+    let bins = 16;
+    let lo = -4.0;
+    let hi = 4.0;
+    let w = (hi - lo) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for e in &re {
+        let x = e / sigma_model;
+        if x >= lo && x < hi {
+            counts[((x - lo) / w) as usize] += 1;
+        }
+    }
+    let n = re.len() as f64;
+    for (i, &c) in counts.iter().enumerate() {
+        let x = lo + (i as f64 + 0.5) * w;
+        let density = c as f64 / n / w;
+        let normal = (-x * x / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        r.row(vec![f(x), f(density), f(normal)]);
+    }
+    r.note(format!(
+        "σ_model = {}, σ_measured = {}, ratio = {}",
+        f(sigma_model),
+        f(sigma_real),
+        f(sigma_real / sigma_model)
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sigma_within_factor_two_of_measured() {
+        let r = run(&Scale { n: 32, parts: 4, seed: 3 });
+        let note = r.notes.iter().find(|n| n.contains("ratio")).expect("ratio note");
+        let ratio: f64 = note.rsplit('=').next().unwrap().trim().parse().unwrap();
+        assert!(ratio > 0.5 && ratio < 2.0, "σ ratio {ratio}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Fig. 5: modeled vs measured FFT-error σ across a range of bounds.
+
+use crate::report::{f, Report, Scale};
+use crate::workloads;
+use adaptive_config::FftErrorModel;
+use fftlite::{Complex64, Fft3};
+use rsz::{compress_slice, decompress, SzConfig};
+
+pub fn run(scale: &Scale) -> Report {
+    let snap = workloads::snapshot(scale);
+    let field = &snap.temperature;
+    let dec = workloads::decomposition(scale);
+    let model = FftErrorModel::new(field.len());
+    let base = workloads::default_eb_avg(field);
+
+    let mut r = Report::new(
+        "fig05",
+        "FFT error σ: model √(N/6)·mean(eb) vs measurement",
+        &["eb_avg", "sigma_model", "sigma_measured", "ratio"],
+    );
+    for mult in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let eb_avg = base * mult;
+        // Mixed bounds around the average (±50 %), exercising Eq. 10.
+        let ebs: Vec<f64> = (0..dec.num_partitions())
+            .map(|i| if i % 2 == 0 { 0.5 * eb_avg } else { 1.5 * eb_avg })
+            .collect();
+        let bricks = dec.par_map(field, |p, brick| {
+            let c = compress_slice(brick.as_slice(), brick.dims(), &SzConfig::abs(ebs[p.id]));
+            decompress::<f32>(&c).expect("container decodes")
+        });
+        let recon = dec.assemble(&bricks).expect("brick count matches");
+        let d = field.dims();
+        let mut buf: Vec<Complex64> = field
+            .as_slice()
+            .iter()
+            .zip(recon.as_slice())
+            .map(|(&a, &b)| Complex64::real(a as f64 - b as f64))
+            .collect();
+        Fft3::new(d.nx, d.ny, d.nz).forward(&mut buf);
+        let measured =
+            (buf.iter().map(|z| z.re * z.re).sum::<f64>() / buf.len() as f64).sqrt();
+        let predicted = model.sigma_mixed(&ebs);
+        r.row(vec![f(eb_avg), f(predicted), f(measured), f(measured / predicted)]);
+    }
+    r.note("ratio ≈ 1 across the sweep validates Eq. 10's linear-in-eb scaling");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_tracks_model_across_sweep() {
+        let r = run(&Scale { n: 32, parts: 4, seed: 5 });
+        assert_eq!(r.rows.len(), 5);
+        for row in &r.rows {
+            let ratio: f64 = row[3].parse().unwrap();
+            assert!(ratio > 0.4 && ratio < 2.0, "ratio {ratio}");
+        }
+    }
+}

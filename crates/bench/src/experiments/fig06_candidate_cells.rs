@@ -1,0 +1,79 @@
+//! Fig. 6: halo-candidate cells before vs after lossy compression.
+//!
+//! The paper visualises a 64³ partition at the (deliberately coarse)
+//! bound eb = 10 and observes candidacy changes only on halo edges. We
+//! report the counts and the overlap so the "edge-only" claim is checkable
+//! numerically.
+
+use crate::report::{f, Report, Scale};
+use crate::workloads;
+use rsz::{compress, decompress, SzConfig};
+
+pub fn run(scale: &Scale) -> Report {
+    let snap = workloads::snapshot(scale);
+    let field = &snap.baryon_density;
+    let hc = workloads::halo_config(field);
+
+    let mut r = Report::new(
+        "fig06",
+        "Halo-candidate cells before/after compression",
+        &["eb", "candidates_orig", "candidates_recon", "flips_in", "flips_out", "interior_flips"],
+    );
+    for eb in [0.1, 1.0, 10.0] {
+        let c = compress(field, &SzConfig::abs(eb));
+        let recon: gridlab::Field3<f32> = decompress(&c).expect("container decodes");
+        let t = hc.t_boundary;
+        let orig_mask: Vec<bool> = field.as_slice().iter().map(|&v| v as f64 > t).collect();
+        let recon_mask: Vec<bool> = recon.as_slice().iter().map(|&v| v as f64 > t).collect();
+        let mut flips_in = 0u64;
+        let mut flips_out = 0u64;
+        let mut interior = 0u64;
+        for ((&o, &rm), &v) in orig_mask.iter().zip(&recon_mask).zip(field.as_slice()) {
+            if o != rm {
+                if rm {
+                    flips_in += 1;
+                } else {
+                    flips_out += 1;
+                }
+                // A flip is "interior" (not an edge cell) if the original
+                // value was further than eb from the threshold — the model
+                // says these cannot happen.
+                if (v as f64 - t).abs() > eb {
+                    interior += 1;
+                }
+            }
+        }
+        r.row(vec![
+            f(eb),
+            orig_mask.iter().filter(|&&m| m).count().to_string(),
+            recon_mask.iter().filter(|&&m| m).count().to_string(),
+            flips_in.to_string(),
+            flips_out.to_string(),
+            interior.to_string(),
+        ]);
+    }
+    r.note("interior_flips must be 0: only cells within ±eb of t_boundary can flip");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flips_are_edge_only() {
+        let r = run(&Scale { n: 32, parts: 2, seed: 9 });
+        for row in &r.rows {
+            assert_eq!(row[5], "0", "interior flip detected: {row:?}");
+        }
+    }
+
+    #[test]
+    fn more_error_more_flips() {
+        let r = run(&Scale { n: 32, parts: 2, seed: 9 });
+        let flips = |i: usize| -> u64 {
+            r.rows[i][3].parse::<u64>().unwrap() + r.rows[i][4].parse::<u64>().unwrap()
+        };
+        assert!(flips(2) >= flips(0), "eb=10 flips {} < eb=0.1 flips {}", flips(2), flips(0));
+    }
+}

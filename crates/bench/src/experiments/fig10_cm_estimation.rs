@@ -1,0 +1,101 @@
+//! Fig. 10: (a) accuracy of predicting C_m from the partition mean;
+//! (b) consistency of the compressor's rate curves across snapshots.
+
+use crate::report::{f, Report, Scale};
+use crate::workloads;
+use adaptive_config::math::linear_fit;
+use adaptive_config::ratio_model::measured_bitrate;
+use nyxlite::NyxConfig;
+
+pub fn run(scale: &Scale) -> Report {
+    let snap = workloads::snapshot(scale);
+    let field = &snap.baryon_density;
+    let dec = workloads::decomposition(scale);
+    let base = workloads::default_eb_avg(field);
+    let model = workloads::calibrated_model(field, &dec, base);
+
+    let mut r = Report::new(
+        "fig10",
+        "C_m prediction from partition mean + rate-curve consistency",
+        &["partition", "mean", "C_measured", "C_predicted", "rel_err"],
+    );
+
+    // (a) Validate C prediction on partitions not necessarily in the
+    // calibration sample: measure C via two-point fit at the shared c.
+    let sweep = [0.5 * base, 2.0 * base];
+    let ln_eb: Vec<f64> = sweep.iter().map(|e| e.ln()).collect();
+    let m = dec.num_partitions();
+    let stride = (m / 12).max(1);
+    let mut rel_errs = Vec::new();
+    for pid in (0..m).step_by(stride) {
+        let p = dec.partition(pid).expect("in range");
+        let brick = field.extract(p.origin, p.dims);
+        let mean = gridlab::stats::mean(brick.as_slice());
+        let ln_b: Vec<f64> =
+            sweep.iter().map(|&eb| measured_bitrate(&brick, eb).max(1e-6).ln()).collect();
+        // C from the measured points under the shared exponent.
+        let ln_c = ln_b
+            .iter()
+            .zip(&ln_eb)
+            .map(|(lb, le)| lb - model.c * le)
+            .sum::<f64>()
+            / 2.0;
+        let c_meas = ln_c.exp();
+        let c_pred = model.coefficient(mean);
+        let rel = (c_pred - c_meas).abs() / c_meas;
+        rel_errs.push(rel);
+        r.row(vec![pid.to_string(), f(mean), f(c_meas), f(c_pred), f(rel)]);
+    }
+    let mean_rel = rel_errs.iter().sum::<f64>() / rel_errs.len() as f64;
+    r.note(format!("mean relative C error = {}", f(mean_rel)));
+
+    // (b) Consistency: fit the exponent on two different snapshots; SZ-class
+    // prediction+quantisation gives nearly identical curves.
+    let snap_b = NyxConfig::new(scale.n, scale.seed + 1).generate(workloads::Z_DEFAULT);
+    let slope_of = |fld: &gridlab::Field3<f32>| -> f64 {
+        let p = dec.partition(0).expect("partition 0");
+        let brick = fld.extract(p.origin, p.dims);
+        let ebs = [0.5 * base, base, 2.0 * base];
+        let ln_e: Vec<f64> = ebs.iter().map(|e| e.ln()).collect();
+        let ln_b: Vec<f64> =
+            ebs.iter().map(|&eb| measured_bitrate(&brick, eb).max(1e-6).ln()).collect();
+        linear_fit(&ln_e, &ln_b).1
+    };
+    let sa = slope_of(field);
+    let sb = slope_of(&snap_b.baryon_density);
+    r.note(format!(
+        "rate-curve exponent snapshot A = {}, snapshot B = {} (consistent c)",
+        f(sa),
+        f(sb)
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_error_is_bounded() {
+        let r = run(&Scale { n: 32, parts: 4, seed: 19 });
+        let note = r.notes.iter().find(|n| n.contains("mean relative")).expect("note");
+        let v: f64 = note.rsplit('=').next().unwrap().trim().parse().unwrap();
+        assert!(v < 0.6, "mean relative C error {v}");
+    }
+
+    #[test]
+    fn exponents_agree_across_snapshots() {
+        let r = run(&Scale { n: 32, parts: 4, seed: 19 });
+        let note = r.notes.iter().find(|n| n.contains("snapshot A")).expect("note");
+        // parse "... A = x, snapshot B = y (consistent c)"
+        let nums: Vec<f64> = note
+            .split('=')
+            .skip(1)
+            .filter_map(|s| {
+                s.trim().split([',', ' ']).next().and_then(|t| t.parse::<f64>().ok())
+            })
+            .collect();
+        assert_eq!(nums.len(), 2, "{note}");
+        assert!((nums[0] - nums[1]).abs() < 0.5 * nums[0].abs().max(0.2), "{note}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 11: the optimized per-partition error-bound map.
+//!
+//! The paper renders a 512-partition map next to the temperature field.
+//! We print the bound assigned to each partition of the first z-layer of
+//! bricks and summary statistics over all partitions.
+
+use crate::report::{f, Report, Scale};
+use crate::workloads;
+use adaptive_config::optimizer::QualityTarget;
+
+pub fn run(scale: &Scale) -> Report {
+    let snap = workloads::snapshot(scale);
+    let field = &snap.temperature;
+    let dec = workloads::decomposition(scale);
+    let eb_avg = workloads::default_eb_avg(field);
+    let pipeline = workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
+    let result = pipeline.run_adaptive(field);
+
+    let mut r = Report::new(
+        "fig11",
+        "Optimized error-bound configuration per partition (z-layer 0)",
+        &["brick_x", "brick_y", "eb", "eb_over_avg"],
+    );
+    let (cx, cy, _) = dec.counts();
+    for bx in 0..cx {
+        for by in 0..cy {
+            // Partition id layout: (bx·cy + by)·cz + bz with bz = 0.
+            let id = (bx * cy + by) * dec.counts().2;
+            let eb = result.ebs[id];
+            r.row(vec![bx.to_string(), by.to_string(), f(eb), f(eb / eb_avg)]);
+        }
+    }
+    let min = result.ebs.iter().cloned().fold(f64::MAX, f64::min);
+    let max = result.ebs.iter().cloned().fold(f64::MIN, f64::max);
+    let mean = result.ebs.iter().sum::<f64>() / result.ebs.len() as f64;
+    r.note(format!(
+        "all {} partitions: eb ∈ [{}, {}], mean {} (budget {})",
+        result.ebs.len(),
+        f(min),
+        f(max),
+        f(mean),
+        f(eb_avg)
+    ));
+    r.note(format!("spread max/min = {} (1.0 would mean no adaptation)", f(max / min)));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_adapts_and_respects_budget() {
+        let r = run(&Scale { n: 32, parts: 4, seed: 21 });
+        assert_eq!(r.rows.len(), 16); // 4×4 bricks in the layer
+        let spread_note = r.notes.iter().find(|n| n.contains("spread")).expect("note");
+        let spread: f64 = spread_note
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(spread > 1.05, "no adaptation: spread {spread}");
+        assert!(spread <= 16.0 + 1e-9, "clamp violated: {spread}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig. 12: bit-quality ratio (the rate-curve derivative) per partition,
+//! traditional vs adaptive.
+//!
+//! Under the traditional single bound, partitions sit at wildly different
+//! marginal costs; the optimizer equalises them — the spread collapsing is
+//! exactly the optimisation criterion.
+
+use crate::report::{f, Report, Scale};
+use crate::workloads;
+use adaptive_config::optimizer::{bit_quality_ratio, QualityTarget};
+use adaptive_config::ratio_model::extract_features;
+
+pub fn run(scale: &Scale) -> Report {
+    let snap = workloads::snapshot(scale);
+    let field = &snap.temperature;
+    let dec = workloads::decomposition(scale);
+    let eb_avg = workloads::default_eb_avg(field);
+    let pipeline = workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
+    let model = pipeline.optimizer.ratio_model;
+    let adaptive = pipeline.run_adaptive(field);
+    let features = extract_features(field, &dec, 0.0, 1.0);
+
+    let ratios = |ebs: &[f64]| -> Vec<f64> {
+        features
+            .iter()
+            .zip(ebs)
+            .map(|(feat, &eb)| bit_quality_ratio(&model, feat.mean, eb).abs())
+            .collect()
+    };
+    let trad = ratios(&vec![eb_avg; features.len()]);
+    let adap = ratios(&adaptive.ebs);
+
+    // Normalise to the adaptive mean, as the paper's y-axis does.
+    let mean_adap = adap.iter().sum::<f64>() / adap.len() as f64;
+
+    let mut r = Report::new(
+        "fig12",
+        "Bit-quality ratio per partition (normalised): traditional vs adaptive",
+        &["partition", "traditional", "adaptive"],
+    );
+    let stride = (features.len() / 16).max(1);
+    for i in (0..features.len()).step_by(stride) {
+        r.row(vec![i.to_string(), f(trad[i] / mean_adap), f(adap[i] / mean_adap)]);
+    }
+    let spread = |v: &[f64]| {
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        let min = v.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    };
+    r.note(format!(
+        "spread (max/min): traditional {}, adaptive {}",
+        f(spread(&trad)),
+        f(spread(&adap))
+    ));
+    r.note("adaptive spread ≪ traditional spread = equalised marginal cost");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_spread_is_smaller() {
+        let r = run(&Scale { n: 32, parts: 4, seed: 23 });
+        let note = r.notes.iter().find(|n| n.contains("spread")).expect("note");
+        let nums: Vec<f64> = note
+            .split(|c: char| !c.is_ascii_digit() && c != '.' && c != 'e' && c != '-')
+            .filter_map(|s| s.parse::<f64>().ok())
+            .collect();
+        assert!(nums.len() >= 2, "{note}");
+        let (trad, adap) = (nums[0], nums[1]);
+        assert!(adap <= trad, "adaptive {adap} vs traditional {trad}");
+    }
+}

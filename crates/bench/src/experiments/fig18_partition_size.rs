@@ -1,0 +1,65 @@
+//! Fig. 18: improvement vs partition size.
+//!
+//! Paper: shrinking the partition edge from 512 to 64 (on 512³ data)
+//! raises the improvement from 27.1 % to 56.0 % — large partitions average
+//! out the contrast the optimizer feeds on.
+
+use crate::report::{f, Report, Scale};
+use crate::workloads;
+use adaptive_config::optimizer::QualityTarget;
+use gridlab::Decomposition;
+
+pub fn run(scale: &Scale) -> Report {
+    let snap = workloads::snapshot(scale);
+    let field = &snap.baryon_density;
+    let eb_avg = workloads::default_eb_avg(field);
+
+    let mut r = Report::new(
+        "fig18",
+        "Ratio improvement vs partition size (same field, same quality)",
+        &["parts_per_axis", "brick_dim", "ratio_traditional", "ratio_adaptive", "improvement_%"],
+    );
+    let mut parts_list = vec![2usize];
+    if scale.n % 4 == 0 {
+        parts_list.push(4);
+    }
+    if scale.n % 8 == 0 && scale.n / 8 >= 8 {
+        parts_list.push(8);
+    }
+    for &parts in &parts_list {
+        let dec = Decomposition::cubic(scale.n, parts).expect("divides");
+        let pipeline =
+            workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
+        let a = pipeline.run_adaptive(field).ratio();
+        let t = pipeline.run_traditional(field, workloads::traditional_eb(eb_avg)).ratio();
+        r.row(vec![
+            parts.to_string(),
+            (scale.n / parts).to_string(),
+            f(t),
+            f(a),
+            f((a / t - 1.0) * 100.0),
+        ]);
+    }
+    r.note(
+        "paper trend (gain grows as bricks shrink) holds for paper-scale bricks (>= 64^3); \
+         below that, per-container costs (Huffman table, Lorenzo restart) flatten the \
+         per-partition rate curves and the gain recedes — run with REPRO_N=256+ to stay \
+         in the paper's brick range",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_wins_at_every_partition_size() {
+        let r = run(&Scale { n: 64, parts: 4, seed: 35 });
+        assert!(r.rows.len() >= 2);
+        for row in &r.rows {
+            let imp: f64 = row[4].parse().unwrap();
+            assert!(imp > 5.0, "parts {}: improvement {imp}%", row[0]);
+        }
+    }
+}

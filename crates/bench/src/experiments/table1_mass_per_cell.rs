@@ -1,0 +1,96 @@
+//! Table 1: mass difference per changed cell on a large halo.
+//!
+//! Paper claim: as the bound grows the number of member cells of a big
+//! halo changes, but the mass difference *per changed cell* stays ≈ the
+//! finder threshold (88.16 there) — i.e. faults are whole edge cells
+//! moving in/out, not value drift.
+
+use crate::report::{f, Report, Scale};
+use crate::workloads;
+use cosmoanalysis::{compare_catalogs, find_halos};
+use rsz::{compress, decompress, SzConfig};
+
+pub fn run(scale: &Scale) -> Report {
+    let snap = workloads::snapshot(scale);
+    let field = &snap.baryon_density;
+    let hc = workloads::halo_config(field);
+    let orig = find_halos(field, &hc);
+    let big = orig.largest().copied();
+
+    let mut r = Report::new(
+        "table1",
+        "Mass difference per changed cell on the largest halo",
+        &["eb", "cells", "mass", "mass_diff", "diff_per_cell", "t_boundary"],
+    );
+    if let Some(h0) = big {
+        r.row(vec![
+            "original".into(),
+            h0.cells.to_string(),
+            f(h0.mass),
+            "-".into(),
+            "-".into(),
+            f(hc.t_boundary),
+        ]);
+        for eb in [0.01, 0.1, 1.0, 10.0] {
+            let c = compress(field, &SzConfig::abs(eb));
+            let recon: gridlab::Field3<f32> = decompress(&c).expect("container decodes");
+            let cat = find_halos(&recon, &hc);
+            // Match the big halo by position.
+            let matched = cat
+                .halos
+                .iter()
+                .min_by(|a, b| {
+                    let da = dist2(a.position, h0.position);
+                    let db = dist2(b.position, h0.position);
+                    da.partial_cmp(&db).expect("finite")
+                })
+                .copied();
+            if let Some(h) = matched {
+                let dmass = h.mass - h0.mass;
+                let dcells = (h.cells as i64 - h0.cells as i64).abs();
+                let per_cell = if dcells > 0 { dmass.abs() / dcells as f64 } else { 0.0 };
+                r.row(vec![
+                    f(eb),
+                    h.cells.to_string(),
+                    f(h.mass),
+                    f(dmass),
+                    if dcells > 0 { f(per_cell) } else { "-".into() },
+                    f(hc.t_boundary),
+                ]);
+            }
+        }
+        r.note("diff_per_cell should hover near t_boundary once cells change");
+        let _ = compare_catalogs(&orig, &orig, 2.0); // link the comparison API
+    } else {
+        r.note("no halos found at this scale — increase REPRO_N");
+    }
+    r
+}
+
+fn dist2(a: (f64, f64, f64), b: (f64, f64, f64)) -> f64 {
+    (a.0 - b.0).powi(2) + (a.1 - b.1).powi(2) + (a.2 - b.2).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_cell_diff_tracks_threshold() {
+        let r = run(&Scale { n: 48, parts: 2, seed: 11 });
+        assert!(r.rows.len() >= 3, "no halos found");
+        let t_b: f64 = r.rows[0][5].parse().unwrap();
+        // Take rows where cells actually changed and check the per-cell
+        // figure is within a factor ~3 of the threshold (Table 1 spreads
+        // 81.7–92.2 around 88.16; small halos add noise at our scale).
+        let mut checked = 0;
+        for row in &r.rows[1..] {
+            if row[4] != "-" {
+                let pc: f64 = row[4].parse().unwrap();
+                assert!(pc > t_b / 3.0 && pc < t_b * 3.0, "per-cell {pc} vs t_b {t_b}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no row with changed cells; broaden eb sweep");
+    }
+}

@@ -1,0 +1,39 @@
+//! # bench — experiment harness regenerating the paper's tables & figures
+//!
+//! One module per paper artifact (see DESIGN.md's experiment index); each
+//! exposes `run(&Scale) -> Report`, and thin `exp_*` binaries wrap them so
+//! `cargo run --release -p bench --bin exp_fig15_all_fields` reproduces one
+//! figure while `exp_all` reproduces everything and dumps JSON rows under
+//! `results/`.
+//!
+//! Scale note: the paper runs 512³–2048³ grids on Cori/Frontera; default
+//! experiment scale here is 64³–128³ with the same partition *counts* so a
+//! laptop regenerates every artifact in minutes. `Scale::paper_like()`
+//! raises the sizes for cluster-class runs.
+
+pub mod report;
+pub mod workloads;
+
+pub mod experiments {
+    pub mod fig03_error_distribution;
+    pub mod fig04_fft_error_dist;
+    pub mod fig05_fft_error_variance;
+    pub mod fig06_candidate_cells;
+    pub mod fig07_halo_mass_dist;
+    pub mod fig08_cell_change_model;
+    pub mod fig09_bitrate_curves;
+    pub mod fig10_cm_estimation;
+    pub mod fig11_eb_map;
+    pub mod fig12_bit_quality;
+    pub mod fig13_power_spectrum;
+    pub mod fig14_effective_cells;
+    pub mod fig15_all_fields;
+    pub mod fig16_redshifts;
+    pub mod fig17_eb_evolution;
+    pub mod fig18_partition_size;
+    pub mod fig19_scale;
+    pub mod perf_overhead;
+    pub mod table1_mass_per_cell;
+}
+
+pub use report::{Report, Scale};

@@ -1,0 +1,176 @@
+//! Report formatting and experiment scaling.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Grid cells per axis for single-snapshot experiments.
+    pub n: usize,
+    /// Partitions per axis (the paper's 512-partition runs are 8³).
+    pub parts: usize,
+    /// RNG seed for workload generation.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self { n: 64, parts: 4, seed: 42 }
+    }
+}
+
+impl Scale {
+    /// Larger configuration for machines with time to spare.
+    pub fn paper_like() -> Self {
+        Self { n: 256, parts: 8, seed: 42 }
+    }
+
+    /// Parse from env (`REPRO_N`, `REPRO_PARTS`, `REPRO_SEED`), falling
+    /// back to defaults — lets `exp_*` binaries scale without CLI plumbing.
+    pub fn from_env() -> Self {
+        let get = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
+        let mut s = Self::default();
+        if let Some(n) = get("REPRO_N") {
+            s.n = n;
+        }
+        if let Some(p) = get("REPRO_PARTS") {
+            s.parts = p;
+        }
+        if let Some(seed) = get("REPRO_SEED") {
+            s.seed = seed as u64;
+        }
+        s
+    }
+}
+
+/// A rendered experiment result: headers + rows + free-form notes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Artifact id, e.g. "fig15".
+    pub id: String,
+    /// What the artifact shows.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows (stringified values).
+    pub rows: Vec<Vec<String>>,
+    /// Shape claims checked / caveats.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Pretty-print to stdout.
+    pub fn print(&self) {
+        println!("\n== {} — {} ==", self.id, self.title);
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String]| {
+            let mut s = String::from("| ");
+            for (c, w) in cells.iter().zip(&widths) {
+                s.push_str(&format!("{c:>w$} | ", w = w));
+            }
+            s
+        };
+        println!("{}", line(&self.headers));
+        println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
+        for r in &self.rows {
+            println!("{}", line(r));
+        }
+        for n in &self.notes {
+            println!("  note: {n}");
+        }
+    }
+
+    /// Persist as JSON under `results/<id>.json` (best-effort).
+    pub fn save(&self) {
+        let dir = PathBuf::from("results");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        if let Ok(json) = serde_json::to_string_pretty(self) {
+            let _ = std::fs::write(dir.join(format!("{}.json", self.id)), json);
+        }
+    }
+}
+
+/// Format a float with 4 significant-ish decimals.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_rows_and_notes() {
+        let mut r = Report::new("figX", "test", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.note("shape ok");
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.notes.len(), 1);
+        r.print(); // smoke
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut r = Report::new("figX", "test", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1.5), "1.5000");
+        assert!(f(12345.0).contains('e'));
+        assert!(f(0.0001).contains('e'));
+    }
+
+    #[test]
+    fn scale_defaults() {
+        let s = Scale::default();
+        assert_eq!(s.n % s.parts, 0);
+        let p = Scale::paper_like();
+        assert!(p.n > s.n);
+    }
+}

@@ -1,0 +1,117 @@
+//! Shared workload builders for the experiments.
+
+use adaptive_config::optimizer::QualityTarget;
+use adaptive_config::pipeline::{InSituPipeline, PipelineConfig};
+use adaptive_config::ratio_model::RatioModel;
+use cosmoanalysis::HaloFinderConfig;
+use gridlab::{Decomposition, Field3};
+use nyxlite::{FieldKind, NyxConfig, Snapshot};
+
+use crate::report::Scale;
+
+/// The calibration sweep used throughout (log-spaced bounds).
+pub const EB_SWEEP: [f64; 5] = [0.05, 0.1, 0.2, 0.4, 0.8];
+
+/// Safety factor of the *traditional* static configuration.
+///
+/// Without the paper's rate-quality models, users cannot map a post-hoc
+/// analysis tolerance onto an error bound, so they trial-and-error one
+/// early snapshot and then run the rest of the simulation with a margin
+/// ("simulation users usually choose a relatively lower error-bound for
+/// lossy compressor based on empirical studies compared to the optimized
+/// solution", §4.2). We encode that conventional margin as 2×: the
+/// traditional baseline compresses at `eb_avg / 2`. Experiments also
+/// report the redistribution-only gain against a matched-bound baseline
+/// so the two components of the paper's improvement stay separable.
+pub const TRADITIONAL_SAFETY: f64 = 2.0;
+
+/// The uniform bound the traditional workflow would pick for a quality
+/// budget of `eb_avg`.
+pub fn traditional_eb(eb_avg: f64) -> f64 {
+    eb_avg / TRADITIONAL_SAFETY
+}
+
+/// Reference redshift used by single-snapshot experiments.
+pub const Z_DEFAULT: f64 = 42.0;
+
+/// Generate the standard snapshot for a scale.
+pub fn snapshot(scale: &Scale) -> Snapshot {
+    NyxConfig::new(scale.n, scale.seed).generate(Z_DEFAULT)
+}
+
+/// The standard decomposition for a scale.
+pub fn decomposition(scale: &Scale) -> Decomposition {
+    Decomposition::cubic(scale.n, scale.parts).expect("scale.parts divides scale.n")
+}
+
+/// Halo-finder thresholds relative to the baryon-density mean: boundary at
+/// 2.2×mean, halo peak at 4×mean — tuned so a default snapshot holds a
+/// realistic population of small and large halos.
+pub fn halo_config(field: &Field3<f32>) -> HaloFinderConfig {
+    let mean = gridlab::stats::mean(field.as_slice());
+    HaloFinderConfig::relative_to_mean(mean, 2.2, 4.0)
+}
+
+/// Average error bound used when an experiment needs "a sensible quality
+/// target" for a field: 10 % of the field's std-dev, which places the
+/// compressor in the paper's operating regime (overall bit rate < 2,
+/// ratios ≳ 16×, §3.5) while mapping through Eq. 10 to a fixed FFT
+/// confidence regardless of units.
+pub fn default_eb_avg(field: &Field3<f32>) -> f64 {
+    let s = gridlab::stats::summarize(field.as_slice());
+    (s.std_dev() * 0.10).max(1e-6)
+}
+
+/// Calibrate a pipeline for `field` with the standard sweep.
+pub fn calibrated_pipeline(
+    field: &Field3<f32>,
+    dec: &Decomposition,
+    target: QualityTarget,
+) -> InSituPipeline {
+    // Scale the sweep to the field's own eb regime so calibration probes
+    // the same curve region the optimizer will use.
+    let eb_avg = target.eb_avg;
+    let sweep: Vec<f64> = EB_SWEEP.iter().map(|s| s / 0.2 * eb_avg).collect();
+    let cfg = PipelineConfig::new(dec.clone(), target);
+    let stride = (dec.num_partitions() / 16).max(1);
+    let (p, _) = InSituPipeline::calibrate(cfg, field, stride, &sweep);
+    p
+}
+
+/// Calibrate and return just the model (for model-accuracy experiments).
+pub fn calibrated_model(field: &Field3<f32>, dec: &Decomposition, eb_avg: f64) -> RatioModel {
+    calibrated_pipeline(field, dec, QualityTarget::fft_only(eb_avg)).optimizer.ratio_model
+}
+
+/// All six fields of a snapshot with their kinds.
+pub fn all_fields(snap: &Snapshot) -> Vec<(FieldKind, &Field3<f32>)> {
+    snap.fields().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builders_are_consistent() {
+        let scale = Scale { n: 16, parts: 2, seed: 1 };
+        let snap = snapshot(&scale);
+        let dec = decomposition(&scale);
+        assert_eq!(snap.dims.len(), 16 * 16 * 16);
+        assert_eq!(dec.num_partitions(), 8);
+        let hc = halo_config(&snap.baryon_density);
+        assert!(hc.t_halo > hc.t_boundary);
+        assert!(default_eb_avg(&snap.baryon_density) > 0.0);
+        assert_eq!(all_fields(&snap).len(), 6);
+    }
+
+    #[test]
+    fn pipeline_calibration_smoke() {
+        let scale = Scale { n: 16, parts: 2, seed: 2 };
+        let snap = snapshot(&scale);
+        let dec = decomposition(&scale);
+        let eb = default_eb_avg(&snap.temperature);
+        let p = calibrated_pipeline(&snap.temperature, &dec, QualityTarget::fft_only(eb));
+        assert!(p.optimizer.ratio_model.c < 0.0);
+    }
+}

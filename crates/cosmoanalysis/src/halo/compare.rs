@@ -1,0 +1,164 @@
+//! Halo catalog comparison — the paper's three halo-quality criteria
+//! (§2.1): (1) halo positions, (2) halo count, (3) per-halo mass change,
+//! with emphasis on preserving middle/large halos over small ones.
+
+use crate::halo::finder::{Halo, HaloCatalog};
+use serde::{Deserialize, Serialize};
+
+/// Result of matching a reconstructed catalog against the original.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogComparison {
+    /// Halos in the original catalog.
+    pub n_original: usize,
+    /// Halos in the reconstructed catalog.
+    pub n_reconstructed: usize,
+    /// Matched pairs (greedy nearest-centroid within `match_radius`).
+    pub n_matched: usize,
+    /// RMS centroid displacement over matched halos (cells).
+    pub position_rmse: f64,
+    /// RMS of the mass ratio `m'/m` over matched halos (the paper keeps
+    /// this within `1 ± 0.01`).
+    pub mass_ratio_rmse: f64,
+    /// Mean absolute mass change over matched halos.
+    pub mean_abs_mass_change: f64,
+    /// Total |Δmass| over matched halos — the quantity Eq. 11 estimates.
+    pub total_abs_mass_change: f64,
+    /// Mean absolute change in member-cell count over matched halos.
+    pub mean_abs_cell_change: f64,
+}
+
+fn dist2(a: (f64, f64, f64), b: (f64, f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    let dz = a.2 - b.2;
+    dx * dx + dy * dy + dz * dz
+}
+
+/// Greedily match halos by centroid proximity (largest original first) and
+/// compute the comparison statistics.
+pub fn compare_catalogs(
+    original: &HaloCatalog,
+    reconstructed: &HaloCatalog,
+    match_radius: f64,
+) -> CatalogComparison {
+    let r2 = match_radius * match_radius;
+    let mut used = vec![false; reconstructed.halos.len()];
+    let mut matched: Vec<(&Halo, &Halo)> = Vec::new();
+
+    for orig in &original.halos {
+        let mut best: Option<(usize, f64)> = None;
+        for (j, rec) in reconstructed.halos.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            let d2 = dist2(orig.position, rec.position);
+            if d2 <= r2 && best.map_or(true, |(_, bd)| d2 < bd) {
+                best = Some((j, d2));
+            }
+        }
+        if let Some((j, _)) = best {
+            used[j] = true;
+            matched.push((orig, &reconstructed.halos[j]));
+        }
+    }
+
+    let n_matched = matched.len();
+    let (mut pos_acc, mut ratio_acc, mut dmass_acc, mut dcell_acc) = (0.0, 0.0, 0.0, 0.0);
+    for (o, r) in &matched {
+        pos_acc += dist2(o.position, r.position);
+        let ratio = if o.mass > 0.0 { r.mass / o.mass } else { 1.0 };
+        ratio_acc += (ratio - 1.0) * (ratio - 1.0);
+        dmass_acc += (r.mass - o.mass).abs();
+        dcell_acc += (r.cells as f64 - o.cells as f64).abs();
+    }
+    let nm = n_matched.max(1) as f64;
+    CatalogComparison {
+        n_original: original.len(),
+        n_reconstructed: reconstructed.len(),
+        n_matched,
+        position_rmse: (pos_acc / nm).sqrt(),
+        mass_ratio_rmse: (ratio_acc / nm).sqrt(),
+        mean_abs_mass_change: dmass_acc / nm,
+        total_abs_mass_change: dmass_acc,
+        mean_abs_cell_change: dcell_acc / nm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::halo::finder::HaloFinderConfig;
+
+    fn catalog(halos: Vec<Halo>) -> HaloCatalog {
+        HaloCatalog {
+            config: HaloFinderConfig { t_boundary: 10.0, t_halo: 20.0, min_cells: 1 },
+            candidate_cells: halos.iter().map(|h| h.cells).sum(),
+            halos,
+        }
+    }
+
+    fn halo(pos: (f64, f64, f64), mass: f64, cells: usize) -> Halo {
+        Halo { cells, mass, position: pos, max_density: mass / cells as f64 }
+    }
+
+    #[test]
+    fn identical_catalogs_match_perfectly() {
+        let c = catalog(vec![halo((1.0, 1.0, 1.0), 100.0, 10), halo((9.0, 9.0, 9.0), 50.0, 5)]);
+        let cmp = compare_catalogs(&c, &c.clone(), 2.0);
+        assert_eq!(cmp.n_matched, 2);
+        assert_eq!(cmp.position_rmse, 0.0);
+        assert_eq!(cmp.mass_ratio_rmse, 0.0);
+        assert_eq!(cmp.total_abs_mass_change, 0.0);
+    }
+
+    #[test]
+    fn small_mass_changes_are_measured() {
+        let a = catalog(vec![halo((1.0, 1.0, 1.0), 100.0, 10)]);
+        let b = catalog(vec![halo((1.0, 1.0, 1.0), 102.0, 11)]);
+        let cmp = compare_catalogs(&a, &b, 2.0);
+        assert_eq!(cmp.n_matched, 1);
+        assert!((cmp.mass_ratio_rmse - 0.02).abs() < 1e-12);
+        assert!((cmp.total_abs_mass_change - 2.0).abs() < 1e-12);
+        assert!((cmp.mean_abs_cell_change - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn far_halos_do_not_match() {
+        let a = catalog(vec![halo((1.0, 1.0, 1.0), 100.0, 10)]);
+        let b = catalog(vec![halo((20.0, 20.0, 20.0), 100.0, 10)]);
+        let cmp = compare_catalogs(&a, &b, 2.0);
+        assert_eq!(cmp.n_matched, 0);
+        assert_eq!(cmp.n_original, 1);
+        assert_eq!(cmp.n_reconstructed, 1);
+    }
+
+    #[test]
+    fn each_reconstructed_halo_matches_once() {
+        let a = catalog(vec![halo((1.0, 1.0, 1.0), 100.0, 10), halo((1.5, 1.0, 1.0), 90.0, 9)]);
+        let b = catalog(vec![halo((1.2, 1.0, 1.0), 95.0, 9)]);
+        let cmp = compare_catalogs(&a, &b, 2.0);
+        assert_eq!(cmp.n_matched, 1);
+    }
+
+    #[test]
+    fn nearest_candidate_wins() {
+        let a = catalog(vec![halo((0.0, 0.0, 0.0), 100.0, 10)]);
+        let b = catalog(vec![
+            halo((1.5, 0.0, 0.0), 40.0, 4),
+            halo((0.1, 0.0, 0.0), 99.0, 10),
+        ]);
+        let cmp = compare_catalogs(&a, &b, 2.0);
+        assert_eq!(cmp.n_matched, 1);
+        // Matched with the nearer (mass 99) one: ratio error 1%.
+        assert!((cmp.mass_ratio_rmse - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_catalogs_are_safe() {
+        let a = catalog(vec![]);
+        let b = catalog(vec![]);
+        let cmp = compare_catalogs(&a, &b, 2.0);
+        assert_eq!(cmp.n_matched, 0);
+        assert_eq!(cmp.position_rmse, 0.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Eulerian density-threshold halo finder.
+//!
+//! The algorithm the paper models (§3.4, after Friesen et al. 2016):
+//!
+//! 1. mark **candidate cells** with density above `t_boundary`;
+//! 2. group face-adjacent candidates into connected components;
+//! 3. keep components whose **peak** density exceeds `t_halo` (and that
+//!    have at least `min_cells` cells) as halos;
+//! 4. record per halo the centroid position and the cell-weighted mass
+//!    (sum of member densities).
+//!
+//! The paper's error analysis hinges on *edge cells*: compression error can
+//! only flip candidacy of cells within `±eb` of `t_boundary`, each flip
+//! changing the halo mass by ≈ `t_boundary` (Table 1).
+
+use crate::halo::union_find::UnionFind;
+use gridlab::{Field3, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for the finder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HaloFinderConfig {
+    /// Candidate (boundary) threshold — the paper's `t_boundary`.
+    pub t_boundary: f64,
+    /// Peak threshold a component must reach to count as a halo.
+    pub t_halo: f64,
+    /// Minimum component size in cells (1 = keep everything).
+    pub min_cells: usize,
+}
+
+impl HaloFinderConfig {
+    /// Thresholds as multiples of the field mean — convenient because the
+    /// density mean is fixed by the simulation (§4.3).
+    pub fn relative_to_mean(mean: f64, boundary_factor: f64, halo_factor: f64) -> Self {
+        assert!(halo_factor >= boundary_factor);
+        Self { t_boundary: mean * boundary_factor, t_halo: mean * halo_factor, min_cells: 1 }
+    }
+}
+
+/// One identified halo.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Halo {
+    /// Number of member cells.
+    pub cells: usize,
+    /// Cell-weighted mass (sum of member densities).
+    pub mass: f64,
+    /// Unweighted centroid of member cell coordinates.
+    pub position: (f64, f64, f64),
+    /// Peak density within the halo.
+    pub max_density: f64,
+}
+
+/// All halos found in one field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HaloCatalog {
+    pub config: HaloFinderConfig,
+    /// Halos sorted by descending mass.
+    pub halos: Vec<Halo>,
+    /// Total candidate cells above `t_boundary` (the paper's Fig. 6/8
+    /// quantity, including non-halo components).
+    pub candidate_cells: usize,
+}
+
+impl HaloCatalog {
+    pub fn len(&self) -> usize {
+        self.halos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.halos.is_empty()
+    }
+
+    /// Total mass across halos.
+    pub fn total_mass(&self) -> f64 {
+        self.halos.iter().map(|h| h.mass).sum()
+    }
+
+    /// The most massive halo, if any.
+    pub fn largest(&self) -> Option<&Halo> {
+        self.halos.first()
+    }
+}
+
+/// Run the halo finder over a density field.
+pub fn find_halos<T: Scalar>(field: &Field3<T>, config: &HaloFinderConfig) -> HaloCatalog {
+    let d = field.dims();
+    let vals = field.as_slice();
+    let n = d.len();
+
+    // Pass 1: candidate mask.
+    let mask: Vec<bool> = vals.iter().map(|v| v.to_f64() > config.t_boundary).collect();
+    let candidate_cells = mask.iter().filter(|&&m| m).count();
+
+    // Pass 2: union face-adjacent candidates. Only the three "backward"
+    // neighbours are needed when scanning forward.
+    let mut uf = UnionFind::new(n);
+    for x in 0..d.nx {
+        for y in 0..d.ny {
+            for z in 0..d.nz {
+                let i = d.index(x, y, z);
+                if !mask[i] {
+                    continue;
+                }
+                if x > 0 {
+                    let j = d.index(x - 1, y, z);
+                    if mask[j] {
+                        uf.union(i, j);
+                    }
+                }
+                if y > 0 {
+                    let j = d.index(x, y - 1, z);
+                    if mask[j] {
+                        uf.union(i, j);
+                    }
+                }
+                if z > 0 {
+                    let j = d.index(x, y, z - 1);
+                    if mask[j] {
+                        uf.union(i, j);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: accumulate per-component statistics.
+    #[derive(Default, Clone)]
+    struct Acc {
+        cells: usize,
+        mass: f64,
+        cx: f64,
+        cy: f64,
+        cz: f64,
+        max: f64,
+    }
+    use std::collections::HashMap;
+    let mut groups: HashMap<usize, Acc> = HashMap::new();
+    for i in 0..n {
+        if !mask[i] {
+            continue;
+        }
+        let root = uf.find(i);
+        let (x, y, z) = d.coords(i);
+        let v = vals[i].to_f64();
+        let a = groups.entry(root).or_default();
+        a.cells += 1;
+        a.mass += v;
+        a.cx += x as f64;
+        a.cy += y as f64;
+        a.cz += z as f64;
+        a.max = a.max.max(v);
+    }
+
+    let mut halos: Vec<Halo> = groups
+        .into_values()
+        .filter(|a| a.max > config.t_halo && a.cells >= config.min_cells)
+        .map(|a| Halo {
+            cells: a.cells,
+            mass: a.mass,
+            position: (
+                a.cx / a.cells as f64,
+                a.cy / a.cells as f64,
+                a.cz / a.cells as f64,
+            ),
+            max_density: a.max,
+        })
+        .collect();
+    halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).expect("finite masses"));
+
+    HaloCatalog { config: *config, halos, candidate_cells }
+}
+
+/// Count cells with value in the open interval
+/// `(t_boundary − eb, t_boundary + eb)` — the paper's `n_bc` feature.
+pub fn boundary_cells<T: Scalar>(field: &Field3<T>, t_boundary: f64, eb: f64) -> usize {
+    gridlab::stats::count_in_range(field.as_slice(), t_boundary - eb, t_boundary + eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridlab::Dim3;
+
+    fn cfg(tb: f64, th: f64) -> HaloFinderConfig {
+        HaloFinderConfig { t_boundary: tb, t_halo: th, min_cells: 1 }
+    }
+
+    /// A field with two separated blobs: a strong one at (4,4,4) and a weak
+    /// one at (12,12,12).
+    fn two_blobs(n: usize) -> Field3<f64> {
+        Field3::from_fn(Dim3::cube(n), |x, y, z| {
+            let d1 = ((x as f64 - 4.0).powi(2) + (y as f64 - 4.0).powi(2)
+                + (z as f64 - 4.0).powi(2))
+            .sqrt();
+            let d2 = ((x as f64 - 12.0).powi(2) + (y as f64 - 12.0).powi(2)
+                + (z as f64 - 12.0).powi(2))
+            .sqrt();
+            100.0 * (-d1 * d1 / 4.0).exp() + 30.0 * (-d2 * d2 / 4.0).exp() + 1.0
+        })
+    }
+
+    #[test]
+    fn finds_two_halos_when_both_peak() {
+        let f = two_blobs(16);
+        let cat = find_halos(&f, &cfg(10.0, 20.0));
+        assert_eq!(cat.len(), 2);
+        // Sorted by mass: the 100-peak blob first.
+        assert!(cat.halos[0].mass > cat.halos[1].mass);
+        assert!(cat.halos[0].max_density > 90.0);
+    }
+
+    #[test]
+    fn peak_threshold_filters_weak_blob() {
+        let f = two_blobs(16);
+        let cat = find_halos(&f, &cfg(10.0, 50.0));
+        assert_eq!(cat.len(), 1);
+        assert!(cat.halos[0].max_density > 90.0);
+    }
+
+    #[test]
+    fn positions_are_blob_centers() {
+        let f = two_blobs(16);
+        let cat = find_halos(&f, &cfg(10.0, 20.0));
+        let big = cat.halos[0].position;
+        assert!((big.0 - 4.0).abs() < 0.5 && (big.1 - 4.0).abs() < 0.5);
+        let small = cat.halos[1].position;
+        assert!((small.0 - 12.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn mass_is_sum_of_member_cells() {
+        let f = two_blobs(16);
+        let cat = find_halos(&f, &cfg(10.0, 20.0));
+        // Recompute by brute force over cells near each blob.
+        let manual: f64 = f
+            .as_slice()
+            .iter()
+            .filter(|&&v| v > 10.0)
+            .sum();
+        assert!((cat.total_mass() - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_when_nothing_crosses_threshold() {
+        let f = Field3::constant(Dim3::cube(8), 1.0f64);
+        let cat = find_halos(&f, &cfg(10.0, 20.0));
+        assert!(cat.is_empty());
+        assert_eq!(cat.candidate_cells, 0);
+        assert!(cat.largest().is_none());
+    }
+
+    #[test]
+    fn whole_field_is_one_halo_when_all_above() {
+        let f = Field3::constant(Dim3::cube(4), 50.0f64);
+        let cat = find_halos(&f, &cfg(10.0, 20.0));
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.halos[0].cells, 64);
+        assert!((cat.halos[0].mass - 64.0 * 50.0).abs() < 1e-9);
+        assert_eq!(cat.candidate_cells, 64);
+    }
+
+    #[test]
+    fn diagonal_cells_are_not_connected() {
+        // Two cells touching only at a corner are separate components.
+        let mut f = Field3::constant(Dim3::cube(4), 0.0f64);
+        f.set(0, 0, 0, 100.0);
+        f.set(1, 1, 1, 100.0);
+        let cat = find_halos(&f, &cfg(10.0, 20.0));
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn face_adjacent_cells_merge() {
+        let mut f = Field3::constant(Dim3::cube(4), 0.0f64);
+        f.set(0, 0, 0, 100.0);
+        f.set(0, 0, 1, 15.0);
+        f.set(0, 0, 2, 100.0);
+        let cat = find_halos(&f, &cfg(10.0, 20.0));
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.halos[0].cells, 3);
+    }
+
+    #[test]
+    fn min_cells_filter() {
+        let mut f = Field3::constant(Dim3::cube(4), 0.0f64);
+        f.set(0, 0, 0, 100.0); // 1-cell component
+        f.set(2, 2, 2, 100.0);
+        f.set(2, 2, 3, 100.0); // 2-cell component
+        let mut c = cfg(10.0, 20.0);
+        c.min_cells = 2;
+        let cat = find_halos(&f, &c);
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.halos[0].cells, 2);
+    }
+
+    #[test]
+    fn candidate_cells_counts_sub_halo_components() {
+        let mut f = Field3::constant(Dim3::cube(4), 0.0f64);
+        f.set(0, 0, 0, 15.0); // above boundary, below halo peak
+        let cat = find_halos(&f, &cfg(10.0, 20.0));
+        assert_eq!(cat.candidate_cells, 1);
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn boundary_cells_matches_range_count() {
+        let f = two_blobs(16);
+        let nb = boundary_cells(&f, 10.0, 1.0);
+        let manual = f
+            .as_slice()
+            .iter()
+            .filter(|&&v| v > 9.0 && v < 11.0)
+            .count();
+        assert_eq!(nb, manual);
+        assert!(nb > 0);
+    }
+
+    #[test]
+    fn relative_config_builder() {
+        let c = HaloFinderConfig::relative_to_mean(40.0, 2.0, 4.0);
+        assert_eq!(c.t_boundary, 80.0);
+        assert_eq!(c.t_halo, 160.0);
+    }
+
+    #[test]
+    fn f32_field_works() {
+        let f: Field3<f32> = two_blobs(16).cast();
+        let cat = find_halos(&f, &cfg(10.0, 20.0));
+        assert_eq!(cat.len(), 2);
+    }
+}

@@ -1,0 +1,5 @@
+//! Density-threshold halo finding and catalog comparison.
+
+pub mod compare;
+pub mod finder;
+pub mod union_find;

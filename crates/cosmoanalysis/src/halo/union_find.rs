@@ -1,0 +1,122 @@
+//! Disjoint-set union with path halving and union by size.
+//!
+//! Backbone of the halo finder's connected-components pass: candidate
+//! cells above the boundary threshold are unioned with face-adjacent
+//! candidates; each resulting set is one halo candidate group.
+
+/// Array-based disjoint-set structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "UnionFind capacity exceeded");
+        Self { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+    }
+
+    /// Merge the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) =
+            if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small as usize] = big as u32;
+        self.size[big] += self.size[small];
+        big
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_start_disconnected() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.len(), 4);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.set_size(2), 1);
+    }
+
+    #[test]
+    fn union_connects_transitively() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.set_size(0), 3);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        let r1 = uf.union(0, 1);
+        let r2 = uf.union(0, 1);
+        assert_eq!(r1, r2);
+        assert_eq!(uf.set_size(1), 2);
+    }
+
+    #[test]
+    fn chain_compresses() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.set_size(0), n);
+        assert!(uf.connected(0, n - 1));
+    }
+
+    #[test]
+    fn independent_components_stay_separate() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(4, 5);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(1, 2));
+        assert!(!uf.connected(3, 4));
+        assert_eq!(uf.set_size(4), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! # cosmoanalysis — the paper's post-hoc analyses
+//!
+//! Two domain-specific quality metrics drive the paper's adaptive
+//! configuration; both are implemented here, operating on `gridlab` fields:
+//!
+//! * [`power_spectrum`] — the 3-D-FFT matter power spectrum `P(k)` binned
+//!   in spherical `k`-shells, plus the distortion-ratio acceptance check
+//!   (`P'(k)/P(k)` within `1 ± tol` for `k` below a cut — §2.1, Fig. 13);
+//! * [`halo`] — the Eulerian density-threshold halo finder (candidate
+//!   cells above `t_boundary`, face-connected components, halo when the
+//!   component peak exceeds `t_halo`; centroid + cell-weighted mass), and
+//!   catalog comparison (count / position / mass change — §3.4);
+//! * [`metrics`] — the general-purpose distortion metrics (PSNR/MSE/NRMSE)
+//!   the paper argues are *insufficient* on their own, kept for reference
+//!   comparisons.
+
+pub mod halo;
+pub mod metrics;
+pub mod power_spectrum;
+pub mod ssim;
+
+pub use halo::compare::{compare_catalogs, CatalogComparison};
+pub use halo::finder::{find_halos, Halo, HaloCatalog, HaloFinderConfig};
+pub use power_spectrum::{band_ratio_ok, power_spectrum, PowerSpectrumResult, SpectrumKind};
+pub use ssim::{ssim, SsimConfig};

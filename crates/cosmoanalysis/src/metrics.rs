@@ -1,0 +1,113 @@
+//! General-purpose distortion metrics (PSNR / MSE / NRMSE / max error).
+//!
+//! The paper's premise is that these are *not sufficient* for cosmology
+//! post-hoc quality (§1, §2.1) — they are provided so experiments can show
+//! both the generic and the domain-specific views side by side.
+
+use gridlab::{Field3, Scalar};
+
+/// Mean squared error between two equally-shaped fields.
+pub fn mse<T: Scalar>(a: &Field3<T>, b: &Field3<T>) -> f64 {
+    assert_eq!(a.dims(), b.dims(), "mse shape mismatch");
+    let n = a.len() as f64;
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = x.to_f64() - y.to_f64();
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Root-mean-square error.
+pub fn rmse<T: Scalar>(a: &Field3<T>, b: &Field3<T>) -> f64 {
+    mse(a, b).sqrt()
+}
+
+/// RMSE normalised by the value range of `a`.
+pub fn nrmse<T: Scalar>(a: &Field3<T>, b: &Field3<T>) -> f64 {
+    let s = gridlab::stats::summarize_field(a);
+    let range = s.range();
+    if range == 0.0 {
+        return if rmse(a, b) == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    rmse(a, b) / range
+}
+
+/// Peak signal-to-noise ratio in dB, with the peak taken as the value range
+/// of the reference (the convention used for scientific float data).
+pub fn psnr<T: Scalar>(a: &Field3<T>, b: &Field3<T>) -> f64 {
+    let s = gridlab::stats::summarize_field(a);
+    let range = s.range();
+    let m = mse(a, b);
+    if m == 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * range.log10() - 10.0 * m.log10()
+}
+
+/// Maximum absolute point-wise error.
+pub fn max_abs_error<T: Scalar>(a: &Field3<T>, b: &Field3<T>) -> f64 {
+    a.max_abs_diff(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridlab::Dim3;
+
+    fn ramp() -> Field3<f64> {
+        Field3::from_fn(Dim3::cube(4), |x, y, z| (x * 16 + y * 4 + z) as f64)
+    }
+
+    #[test]
+    fn identical_fields_are_perfect() {
+        let a = ramp();
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(nrmse(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+        assert_eq!(max_abs_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn constant_offset_has_known_metrics() {
+        let a = ramp();
+        let mut b = a.clone();
+        b.map_inplace(|v| v + 2.0);
+        assert!((mse(&a, &b) - 4.0).abs() < 1e-12);
+        assert!((rmse(&a, &b) - 2.0).abs() < 1e-12);
+        // Range of the ramp is 63.
+        assert!((nrmse(&a, &b) - 2.0 / 63.0).abs() < 1e-12);
+        assert_eq!(max_abs_error(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_more_noise() {
+        let a = ramp();
+        let mut small = a.clone();
+        small.map_inplace(|v| v + 0.1);
+        let mut big = a.clone();
+        big.map_inplace(|v| v + 5.0);
+        assert!(psnr(&a, &small) > psnr(&a, &big));
+    }
+
+    #[test]
+    fn psnr_matches_formula() {
+        let a = ramp();
+        let mut b = a.clone();
+        b.map_inplace(|v| v + 1.0);
+        let expect = 20.0 * 63f64.log10() - 10.0 * 1f64.log10();
+        assert!((psnr(&a, &b) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_of_flat_reference() {
+        let a = Field3::constant(Dim3::cube(2), 3.0f32);
+        let b = Field3::constant(Dim3::cube(2), 4.0f32);
+        assert_eq!(nrmse(&a, &a), 0.0);
+        assert_eq!(nrmse(&a, &b), f64::INFINITY);
+    }
+}

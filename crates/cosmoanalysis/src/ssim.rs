@@ -1,0 +1,165 @@
+//! Structural similarity (SSIM) over 3-D fields.
+//!
+//! The paper's stated future work is extending the approach to other
+//! domains "such as climate simulation with SSIM" (§5). We provide the
+//! standard windowed SSIM generalised to 3-D bricks so that extension is
+//! ready to use: per-window luminance/contrast/structure terms, averaged
+//! over a brick tiling.
+
+use gridlab::{Dim3, Field3, Scalar};
+
+/// SSIM parameters (Wang et al. defaults, with the dynamic range taken
+/// from the reference field).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsimConfig {
+    /// Cubic window edge in cells.
+    pub window: usize,
+    /// Stabiliser K1 (luminance term).
+    pub k1: f64,
+    /// Stabiliser K2 (contrast/structure term).
+    pub k2: f64,
+}
+
+impl Default for SsimConfig {
+    fn default() -> Self {
+        Self { window: 8, k1: 0.01, k2: 0.03 }
+    }
+}
+
+/// Mean SSIM between a reference field and a distorted field.
+///
+/// Windows tile the domain; trailing partial windows are skipped (standard
+/// practice for brick-aligned scientific data). Returns a value in
+/// `(-1, 1]`, 1 for identical fields.
+pub fn ssim<T: Scalar>(reference: &Field3<T>, distorted: &Field3<T>, cfg: &SsimConfig) -> f64 {
+    assert_eq!(reference.dims(), distorted.dims(), "ssim shape mismatch");
+    assert!(cfg.window >= 2, "window must be at least 2 cells");
+    let d = reference.dims();
+    let w = cfg.window.min(d.nx).min(d.ny).min(d.nz);
+    let s = gridlab::stats::summarize(reference.as_slice());
+    let range = s.range().max(f64::MIN_POSITIVE);
+    let c1 = (cfg.k1 * range) * (cfg.k1 * range);
+    let c2 = (cfg.k2 * range) * (cfg.k2 * range);
+
+    let mut acc = 0.0f64;
+    let mut windows = 0u64;
+    let wdims = Dim3::new(w, w, w);
+    let mut x0 = 0;
+    while x0 + w <= d.nx {
+        let mut y0 = 0;
+        while y0 + w <= d.ny {
+            let mut z0 = 0;
+            while z0 + w <= d.nz {
+                let a = reference.extract((x0, y0, z0), wdims);
+                let b = distorted.extract((x0, y0, z0), wdims);
+                acc += window_ssim(a.as_slice(), b.as_slice(), c1, c2);
+                windows += 1;
+                z0 += w;
+            }
+            y0 += w;
+        }
+        x0 += w;
+    }
+    assert!(windows > 0, "field smaller than one window");
+    acc / windows as f64
+}
+
+fn window_ssim<T: Scalar>(a: &[T], b: &[T], c1: f64, c2: f64) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().map(|v| v.to_f64()).sum::<f64>() / n;
+    let mb = b.iter().map(|v| v.to_f64()).sum::<f64>() / n;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    let mut cov = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let dx = x.to_f64() - ma;
+        let dy = y.to_f64() - mb;
+        va += dx * dx;
+        vb += dy * dy;
+        cov += dx * dy;
+    }
+    va /= n;
+    vb /= n;
+    cov /= n;
+    ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+        / ((ma * ma + mb * mb + c1) * (va + vb + c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(n: usize) -> Field3<f64> {
+        Field3::from_fn(Dim3::cube(n), |x, y, z| {
+            100.0 + 20.0 * ((x as f64) * 0.7).sin() + 10.0 * ((y * z) as f64 * 0.13).cos()
+        })
+    }
+
+    #[test]
+    fn identical_fields_score_one() {
+        let f = textured(16);
+        let s = ssim(&f, &f, &SsimConfig::default());
+        assert!((s - 1.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn more_noise_scores_lower() {
+        let f = textured(16);
+        let mut state = 5u64;
+        let mut noisy = |amp: f64| {
+            let mut g = f.clone();
+            g.map_inplace(|v| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                v + amp * ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+            });
+            g
+        };
+        let small = ssim(&f, &noisy(1.0), &SsimConfig::default());
+        let large = ssim(&f, &noisy(30.0), &SsimConfig::default());
+        assert!(small > large, "{small} vs {large}");
+        assert!(small > 0.9 && small <= 1.0);
+        assert!(large < 0.9);
+    }
+
+    #[test]
+    fn mean_shift_penalised_by_luminance_term() {
+        let f = textured(16);
+        let mut g = f.clone();
+        g.map_inplace(|v| v + 30.0);
+        let s = ssim(&f, &g, &SsimConfig::default());
+        // Luminance term: (2·μ_a·μ_b + c1)/(μ_a² + μ_b² + c1) ≈ 0.967 for
+        // means 100 vs 130 — clearly below a perfect score.
+        assert!(s < 0.98, "{s}");
+        assert!(s > 0.5, "{s}");
+    }
+
+    #[test]
+    fn compression_quality_is_monotone_in_bound() {
+        let f: Field3<f32> = textured(16).cast();
+        let cfg = SsimConfig::default();
+        let at = |eb: f64| {
+            let c = rsz::compress(&f, &rsz::SzConfig::abs(eb));
+            let g: Field3<f32> = rsz::decompress(&c).expect("decodes");
+            ssim(&f, &g, &cfg)
+        };
+        let tight = at(0.05);
+        let loose = at(5.0);
+        assert!(tight > loose, "{tight} vs {loose}");
+        assert!(tight > 0.999);
+    }
+
+    #[test]
+    fn window_larger_than_field_is_clamped() {
+        let f = textured(4);
+        let s = ssim(&f, &f, &SsimConfig { window: 64, ..SsimConfig::default() });
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let a = textured(8);
+        let b = textured(4);
+        let _ = ssim(&a, &b, &SsimConfig::default());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the analyses: halo-finder invariants and power
+//! spectrum algebra on arbitrary fields.
+
+use cosmoanalysis::{find_halos, power_spectrum, HaloFinderConfig, SpectrumKind};
+use gridlab::{Dim3, Field3};
+use proptest::prelude::*;
+
+fn arb_density() -> impl Strategy<Value = Field3<f64>> {
+    (2usize..=8, 2usize..=8, 2usize..=8).prop_flat_map(|(nx, ny, nz)| {
+        let d = Dim3::new(nx, ny, nz);
+        proptest::collection::vec(0.0f64..1000.0, d.len())
+            .prop_map(move |v| Field3::from_vec(d, v).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn halo_mass_equals_member_cell_sum(f in arb_density(), tb in 1.0f64..500.0) {
+        let cfg = HaloFinderConfig { t_boundary: tb, t_halo: tb, min_cells: 1 };
+        let cat = find_halos(&f, &cfg);
+        // With t_halo == t_boundary every candidate belongs to some halo,
+        // so total halo mass equals the sum over candidate cells.
+        let manual: f64 = f.as_slice().iter().filter(|&&v| v > tb).sum();
+        prop_assert!((cat.total_mass() - manual).abs() <= 1e-9 * manual.max(1.0));
+        let cells: usize = cat.halos.iter().map(|h| h.cells).sum();
+        prop_assert_eq!(cells, cat.candidate_cells);
+    }
+
+    #[test]
+    fn halo_count_monotone_in_peak_threshold(f in arb_density(), tb in 1.0f64..200.0) {
+        let low = HaloFinderConfig { t_boundary: tb, t_halo: tb, min_cells: 1 };
+        let high = HaloFinderConfig { t_boundary: tb, t_halo: tb * 2.0, min_cells: 1 };
+        let n_low = find_halos(&f, &low).len();
+        let n_high = find_halos(&f, &high).len();
+        prop_assert!(n_high <= n_low);
+    }
+
+    #[test]
+    fn candidate_cells_monotone_in_boundary(f in arb_density(), tb in 1.0f64..200.0) {
+        let a = find_halos(&f, &HaloFinderConfig { t_boundary: tb, t_halo: tb, min_cells: 1 });
+        let b = find_halos(&f, &HaloFinderConfig { t_boundary: tb * 2.0, t_halo: tb * 2.0, min_cells: 1 });
+        prop_assert!(b.candidate_cells <= a.candidate_cells);
+    }
+
+    #[test]
+    fn halo_positions_inside_grid(f in arb_density(), tb in 1.0f64..500.0) {
+        let cfg = HaloFinderConfig { t_boundary: tb, t_halo: tb, min_cells: 1 };
+        let d = f.dims();
+        for h in &find_halos(&f, &cfg).halos {
+            prop_assert!(h.position.0 >= 0.0 && h.position.0 < d.nx as f64);
+            prop_assert!(h.position.1 >= 0.0 && h.position.1 < d.ny as f64);
+            prop_assert!(h.position.2 >= 0.0 && h.position.2 < d.nz as f64);
+            prop_assert!(h.max_density > cfg.t_halo);
+            prop_assert!(h.cells >= 1);
+        }
+    }
+
+    #[test]
+    fn halos_sorted_by_mass(f in arb_density(), tb in 1.0f64..300.0) {
+        let cfg = HaloFinderConfig { t_boundary: tb, t_halo: tb, min_cells: 1 };
+        let cat = find_halos(&f, &cfg);
+        for w in cat.halos.windows(2) {
+            prop_assert!(w[0].mass >= w[1].mass);
+        }
+    }
+
+    #[test]
+    fn spectrum_scales_quadratically(f in arb_density(), alpha in 0.1f64..10.0) {
+        let a = power_spectrum(&f, SpectrumKind::Raw);
+        let mut g = f.clone();
+        g.map_inplace(|v| v * alpha);
+        let b = power_spectrum(&g, SpectrumKind::Raw);
+        for (x, y) in a.power.iter().zip(&b.power) {
+            if *x > 1e-12 {
+                prop_assert!((y / (x * alpha * alpha) - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_bins_cover_nyquist(f in arb_density()) {
+        let ps = power_spectrum(&f, SpectrumKind::Raw);
+        let d = f.dims();
+        let kmax = d.nx.min(d.ny).min(d.nz) / 2;
+        prop_assert_eq!(ps.len(), kmax);
+        prop_assert!(ps.power.iter().all(|p| p.is_finite() && *p >= 0.0));
+    }
+
+    #[test]
+    fn overdensity_invariant_to_scale(f in arb_density(), alpha in 0.5f64..2.0) {
+        prop_assume!(f.as_slice().iter().sum::<f64>() > 1.0);
+        let a = power_spectrum(&f, SpectrumKind::Overdensity);
+        let mut g = f.clone();
+        g.map_inplace(|v| v * alpha);
+        let b = power_spectrum(&g, SpectrumKind::Overdensity);
+        for (x, y) in a.power.iter().zip(&b.power) {
+            prop_assert!((x - y).abs() <= 1e-6 * x.max(1e-12));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Bluestein (chirp-z) FFT for arbitrary lengths.
+//!
+//! Re-expresses a length-`n` DFT as a circular convolution of length
+//! `m ≥ 2n − 1` (rounded up to a power of two), which the radix-2 kernel
+//! evaluates. This keeps the planner total: partition extents in experiments
+//! are usually powers of two, but nothing in the public API requires it.
+
+use crate::radix2::{fft_in_place, forward_twiddles, ifft_in_place};
+use crate::Complex64;
+
+/// Precomputed state for Bluestein transforms of a fixed length.
+#[derive(Debug, Clone)]
+pub struct Bluestein {
+    n: usize,
+    m: usize,
+    /// Chirp `c[k] = exp(-πi·k²/n)`.
+    chirp: Vec<Complex64>,
+    /// FFT of the zero-padded conjugate-chirp filter.
+    filter_spec: Vec<Complex64>,
+    twiddles_m: Vec<Complex64>,
+}
+
+impl Bluestein {
+    /// Plan a forward transform of length `n` (> 0).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Bluestein length must be positive");
+        let m = (2 * n - 1).next_power_of_two();
+        // k² mod 2n keeps the phase argument small and exact.
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let k2 = (k * k) % (2 * n);
+                Complex64::cis(-std::f64::consts::PI * k2 as f64 / n as f64)
+            })
+            .collect();
+        let twiddles_m = forward_twiddles(m);
+        let mut filter = vec![Complex64::ZERO; m];
+        filter[0] = chirp[0].conj();
+        for k in 1..n {
+            let c = chirp[k].conj();
+            filter[k] = c;
+            filter[m - k] = c;
+        }
+        let mut filter_spec = filter;
+        fft_in_place(&mut filter_spec, &twiddles_m);
+        Self { n, m, chirp, filter_spec, twiddles_m }
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate zero-length plan (which cannot exist).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward DFT of `data` (length must equal [`Bluestein::len`]).
+    pub fn forward(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "input length mismatch");
+        let mut work = vec![Complex64::ZERO; self.m];
+        for k in 0..self.n {
+            work[k] = data[k] * self.chirp[k];
+        }
+        fft_in_place(&mut work, &self.twiddles_m);
+        for (w, f) in work.iter_mut().zip(&self.filter_spec) {
+            *w = *w * *f;
+        }
+        ifft_in_place(&mut work, &self.twiddles_m);
+        for k in 0..self.n {
+            data[k] = work[k] * self.chirp[k];
+        }
+    }
+
+    /// Inverse DFT with `1/n` normalisation.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.n, "input length mismatch");
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(data);
+        let scale = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.conj().scale(scale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| Complex64::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_dft_on_awkward_lengths() {
+        for n in [1usize, 2, 3, 5, 7, 12, 15, 17, 31, 33, 60, 100] {
+            let x = rand_signal(n, n as u64);
+            let plan = Bluestein::new(n);
+            let mut fast = x.clone();
+            plan.forward(&mut fast);
+            let slow = dft(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).abs() < 1e-7 * (n as f64).max(1.0), "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dft_on_pow2_too() {
+        let n = 64;
+        let x = rand_signal(n, 5);
+        let plan = Bluestein::new(n);
+        let mut fast = x.clone();
+        plan.forward(&mut fast);
+        let slow = dft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for n in [9usize, 20, 49] {
+            let x = rand_signal(n, 11 * n as u64);
+            let plan = Bluestein::new(n);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_accessor() {
+        let plan = Bluestein::new(13);
+        assert_eq!(plan.len(), 13);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_panics() {
+        let plan = Bluestein::new(8);
+        let mut v = vec![Complex64::ZERO; 7];
+        plan.forward(&mut v);
+    }
+}

@@ -1,0 +1,113 @@
+//! Naive O(N²) discrete Fourier transform.
+//!
+//! This is the textbook sum from the paper's Eq. 1 and serves as the ground
+//! truth the fast paths are tested against (FFT must equal DFT exactly up to
+//! floating-point roundoff — the paper leans on this equivalence to reason
+//! about FFT error with DFT algebra).
+
+use crate::Complex64;
+
+/// Forward DFT: `X(k) = Σ_n x(n)·exp(-2πi·nk/N)`.
+pub fn dft(input: &[Complex64]) -> Vec<Complex64> {
+    transform(input, -1.0)
+}
+
+/// Inverse DFT with `1/N` normalisation.
+pub fn idft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    let mut out = transform(input, 1.0);
+    let scale = 1.0 / n as f64;
+    for v in &mut out {
+        *v = v.scale(scale);
+    }
+    out
+}
+
+fn transform(input: &[Complex64], sign: f64) -> Vec<Complex64> {
+    let n = input.len();
+    let mut out = vec![Complex64::ZERO; n];
+    if n == 0 {
+        return out;
+    }
+    let base = sign * 2.0 * std::f64::consts::PI / n as f64;
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (i, &x) in input.iter().enumerate() {
+            // i*k can exceed 2^53 only for absurd N; reduce mod n first.
+            let phase = base * ((i * k) % n) as f64;
+            acc += x * Complex64::cis(phase);
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        let spec = dft(&x);
+        for v in spec {
+            assert!((v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let x = vec![Complex64::ONE; 8];
+        let spec = dft(&x);
+        assert!((spec[0] - Complex64::real(8.0)).abs() < 1e-12);
+        for v in &spec[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let x: Vec<Complex64> =
+            (0..16).map(|i| Complex64::new((i as f64).sin(), (i as f64).cos())).collect();
+        let back = idft(&dft(&x));
+        approx_eq(&x, &back, 1e-10);
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 32;
+        let k0 = 5;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        let spec = dft(&x);
+        assert!((spec[k0].abs() - n as f64).abs() < 1e-9);
+        for (k, v) in spec.iter().enumerate() {
+            if k != k0 {
+                assert!(v.abs() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex64> =
+            (0..10).map(|i| Complex64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq: f64 = dft(&x).iter().map(|v| v.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time - freq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(dft(&[]).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # fftlite — self-contained FFT for the power-spectrum analysis
+//!
+//! The paper's power-spectrum post-hoc analysis and its error-propagation
+//! model (Eqs. 1–10) are built on the discrete Fourier transform. No FFT
+//! crate is assumed available offline, so this crate implements one from
+//! scratch:
+//!
+//! * [`Complex64`] — a small complex number type,
+//! * [`dft`] — the O(N²) reference transform used as ground truth in tests,
+//! * [`radix2`] — iterative in-place Cooley–Tukey for power-of-two sizes,
+//! * [`bluestein`] — chirp-z re-expression so *any* length runs in
+//!   O(N log N) through the radix-2 kernel,
+//! * [`plan`] — a caching planner choosing between the two,
+//! * [`nd`] — 2-D/3-D tensor transforms with rayon-parallel pencil sweeps.
+//!
+//! The FFT computes the unnormalised forward sum
+//! `X(k) = Σ_n x(n)·exp(-2πi·nk/N)` (the convention of the paper's Eq. 1);
+//! the inverse divides by `N`.
+
+pub mod bluestein;
+pub mod complex;
+pub mod dft;
+pub mod nd;
+pub mod plan;
+pub mod radix2;
+
+pub use complex::Complex64;
+pub use nd::{fft_3d, fft_3d_inverse, Fft3};
+pub use plan::{FftDirection, FftPlan};

@@ -1,0 +1,278 @@
+//! 2-D/3-D tensor FFTs.
+//!
+//! A multi-dimensional DFT factors into 1-D transforms along each axis.
+//! Layout matches `gridlab`: row-major with z fastest
+//! (`idx = (x·ny + y)·nz + z`). The z axis is contiguous and transformed
+//! with rayon over rows; the y axis works slab-local with a gather/scatter
+//! pencil; the x axis is handled via an explicit transpose so the transforms
+//! run on contiguous memory — transposition costs one pass but keeps the
+//! kernels cache-friendly and trivially parallel.
+
+use crate::plan::FftPlan;
+use crate::{Complex64, FftDirection};
+use rayon::prelude::*;
+
+/// Reusable 3-D FFT over an `(nx, ny, nz)` row-major buffer.
+#[derive(Debug, Clone)]
+pub struct Fft3 {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    plan_x: FftPlan,
+    plan_y: FftPlan,
+    plan_z: FftPlan,
+}
+
+impl Fft3 {
+    /// Plan transforms for an `(nx, ny, nz)` grid.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0);
+        Self {
+            nx,
+            ny,
+            nz,
+            plan_x: FftPlan::new(nx),
+            plan_y: FftPlan::new(ny),
+            plan_z: FftPlan::new(nz),
+        }
+    }
+
+    /// Cubic convenience constructor.
+    pub fn cube(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Never true (extents are validated non-zero).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Execute in the given direction, in place.
+    pub fn process(&self, data: &mut [Complex64], dir: FftDirection) {
+        assert_eq!(data.len(), self.len(), "buffer does not match planned dims");
+        self.transform_z(data, dir);
+        self.transform_y(data, dir);
+        self.transform_x(data, dir);
+    }
+
+    /// Forward 3-D DFT in place (unnormalised).
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.process(data, FftDirection::Forward);
+    }
+
+    /// Inverse 3-D DFT in place (each 1-D pass divides by its length, so the
+    /// total normalisation is `1/(nx·ny·nz)`).
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.process(data, FftDirection::Inverse);
+    }
+
+    fn transform_z(&self, data: &mut [Complex64], dir: FftDirection) {
+        let plan = &self.plan_z;
+        data.par_chunks_mut(self.nz).for_each(|row| plan.process(row, dir));
+    }
+
+    fn transform_y(&self, data: &mut [Complex64], dir: FftDirection) {
+        let (ny, nz) = (self.ny, self.nz);
+        let plan = &self.plan_y;
+        // Each x-slab (ny·nz cells) contains complete y pencils.
+        data.par_chunks_mut(ny * nz).for_each(|slab| {
+            let mut pencil = vec![Complex64::ZERO; ny];
+            for z in 0..nz {
+                for (y, p) in pencil.iter_mut().enumerate() {
+                    *p = slab[y * nz + z];
+                }
+                plan.process(&mut pencil, dir);
+                for (y, p) in pencil.iter().enumerate() {
+                    slab[y * nz + z] = *p;
+                }
+            }
+        });
+    }
+
+    fn transform_x(&self, data: &mut [Complex64], dir: FftDirection) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        if nx == 1 {
+            return;
+        }
+        let plan = &self.plan_x;
+        let slab = ny * nz;
+        // Transpose to x-contiguous: t[(y·nz+z)·nx + x] = data[x·slab + y·nz + z].
+        let mut t = vec![Complex64::ZERO; data.len()];
+        t.par_chunks_mut(nx).enumerate().for_each(|(yz, pencil)| {
+            for (x, p) in pencil.iter_mut().enumerate() {
+                *p = data[x * slab + yz];
+            }
+            plan.process(pencil, dir);
+        });
+        // Scatter back, parallel over x-slabs of the destination.
+        data.par_chunks_mut(slab).enumerate().for_each(|(x, dst)| {
+            for (yz, d) in dst.iter_mut().enumerate() {
+                *d = t[yz * nx + x];
+            }
+        });
+    }
+}
+
+/// Convert a real-valued slice into a complex buffer.
+pub fn real_to_complex(values: &[f64]) -> Vec<Complex64> {
+    values.iter().map(|&v| Complex64::real(v)).collect()
+}
+
+/// One-shot forward 3-D FFT of a real field; returns the complex spectrum.
+pub fn fft_3d(values: &[f64], nx: usize, ny: usize, nz: usize) -> Vec<Complex64> {
+    let fft = Fft3::new(nx, ny, nz);
+    let mut buf = real_to_complex(values);
+    fft.forward(&mut buf);
+    buf
+}
+
+/// One-shot inverse 3-D FFT; returns the real part (imaginary parts of a
+/// spectrum with Hermitian symmetry cancel to roundoff).
+pub fn fft_3d_inverse(spectrum: &[Complex64], nx: usize, ny: usize, nz: usize) -> Vec<f64> {
+    let fft = Fft3::new(nx, ny, nz);
+    let mut buf = spectrum.to_vec();
+    fft.inverse(&mut buf);
+    buf.iter().map(|z| z.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    /// Naive 3-D DFT by directly evaluating the triple sum (tiny sizes only).
+    fn dft3_naive(x: &[Complex64], nx: usize, ny: usize, nz: usize) -> Vec<Complex64> {
+        let idx = |a: usize, b: usize, c: usize| (a * ny + b) * nz + c;
+        let mut out = vec![Complex64::ZERO; x.len()];
+        let tau = -2.0 * std::f64::consts::PI;
+        for kx in 0..nx {
+            for ky in 0..ny {
+                for kz in 0..nz {
+                    let mut acc = Complex64::ZERO;
+                    for a in 0..nx {
+                        for b in 0..ny {
+                            for c in 0..nz {
+                                let phase = tau
+                                    * ((a * kx) as f64 / nx as f64
+                                        + (b * ky) as f64 / ny as f64
+                                        + (c * kz) as f64 / nz as f64);
+                                acc += x[idx(a, b, c)] * Complex64::cis(phase);
+                            }
+                        }
+                    }
+                    out[idx(kx, ky, kz)] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn rand_complex(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| Complex64::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_naive_3d_cube() {
+        let (nx, ny, nz) = (4, 4, 4);
+        let x = rand_complex(nx * ny * nz, 1);
+        let mut fast = x.clone();
+        Fft3::new(nx, ny, nz).forward(&mut fast);
+        let slow = dft3_naive(&x, nx, ny, nz);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_naive_3d_rectangular_mixed_kernels() {
+        // ny = 3 exercises Bluestein inside the tensor loop.
+        let (nx, ny, nz) = (4, 3, 2);
+        let x = rand_complex(nx * ny * nz, 2);
+        let mut fast = x.clone();
+        Fft3::new(nx, ny, nz).forward(&mut fast);
+        let slow = dft3_naive(&x, nx, ny, nz);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let (nx, ny, nz) = (8, 4, 6);
+        let x = rand_complex(nx * ny * nz, 3);
+        let fft = Fft3::new(nx, ny, nz);
+        let mut y = x.clone();
+        fft.forward(&mut y);
+        fft.inverse(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_axes_reduce_to_1d() {
+        // nx = ny = 1 makes the 3-D transform a plain length-nz DFT.
+        let nz = 16;
+        let x = rand_complex(nz, 4);
+        let mut fast = x.clone();
+        Fft3::new(1, 1, nz).forward(&mut fast);
+        let slow = dft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_field_concentrates_at_dc() {
+        let n = 8;
+        let spec = fft_3d(&vec![2.5; n * n * n], n, n, n);
+        assert!((spec[0].re - 2.5 * (n * n * n) as f64).abs() < 1e-6);
+        assert!(spec[1..].iter().all(|z| z.abs() < 1e-6));
+    }
+
+    #[test]
+    fn real_roundtrip_helpers() {
+        let n = 4;
+        let vals: Vec<f64> = (0..n * n * n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let spec = fft_3d(&vals, n, n, n);
+        let back = fft_3d_inverse(&spec, n, n, n);
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_3d() {
+        let (nx, ny, nz) = (4, 8, 2);
+        let x = rand_complex(nx * ny * nz, 9);
+        let time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut spec = x.clone();
+        Fft3::new(nx, ny, nz).forward(&mut spec);
+        let freq: f64 =
+            spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / (nx * ny * nz) as f64;
+        assert!((time - freq).abs() < 1e-8 * time.max(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_buffer_length_panics() {
+        let fft = Fft3::cube(4);
+        let mut v = vec![Complex64::ZERO; 63];
+        fft.forward(&mut v);
+    }
+}

@@ -1,0 +1,151 @@
+//! Length-dispatching FFT planner.
+//!
+//! [`FftPlan`] owns the precomputed state for one transform length and picks
+//! the radix-2 kernel for powers of two, Bluestein otherwise. Plans are
+//! cheap to clone-share (`Arc` inside) and safe to use from rayon workers.
+
+use crate::bluestein::Bluestein;
+use crate::radix2::{fft_in_place, forward_twiddles, ifft_in_place};
+use crate::Complex64;
+use std::sync::Arc;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftDirection {
+    Forward,
+    Inverse,
+}
+
+#[derive(Debug, Clone)]
+enum Kernel {
+    Radix2 { twiddles: Arc<[Complex64]> },
+    Bluestein(Arc<Bluestein>),
+}
+
+/// A reusable FFT plan for a fixed length.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    kernel: Kernel,
+}
+
+impl FftPlan {
+    /// Plan a transform of length `n` (> 0).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be positive");
+        let kernel = if n.is_power_of_two() {
+            Kernel::Radix2 { twiddles: forward_twiddles(n).into() }
+        } else {
+            Kernel::Bluestein(Arc::new(Bluestein::new(n)))
+        };
+        Self { n, kernel }
+    }
+
+    /// Planned transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never true: zero-length plans are rejected at construction.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// True when the fast power-of-two path is in use.
+    pub fn is_radix2(&self) -> bool {
+        matches!(self.kernel, Kernel::Radix2 { .. })
+    }
+
+    /// Execute in place in the given direction.
+    pub fn process(&self, data: &mut [Complex64], dir: FftDirection) {
+        assert_eq!(data.len(), self.n, "data length does not match plan");
+        match (&self.kernel, dir) {
+            (Kernel::Radix2 { twiddles }, FftDirection::Forward) => {
+                fft_in_place(data, twiddles);
+            }
+            (Kernel::Radix2 { twiddles }, FftDirection::Inverse) => {
+                ifft_in_place(data, twiddles);
+            }
+            (Kernel::Bluestein(b), FftDirection::Forward) => b.forward(data),
+            (Kernel::Bluestein(b), FftDirection::Inverse) => b.inverse(data),
+        }
+    }
+
+    /// Forward transform in place.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.process(data, FftDirection::Forward);
+    }
+
+    /// Inverse transform in place (with `1/N`).
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.process(data, FftDirection::Inverse);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    #[test]
+    fn picks_radix2_for_pow2() {
+        assert!(FftPlan::new(64).is_radix2());
+        assert!(!FftPlan::new(48).is_radix2());
+    }
+
+    #[test]
+    fn both_kernels_match_dft() {
+        for n in [16usize, 24] {
+            let x: Vec<Complex64> =
+                (0..n).map(|i| Complex64::new((i as f64).cos(), 0.3 * i as f64)).collect();
+            let plan = FftPlan::new(n);
+            let mut fast = x.clone();
+            plan.forward(&mut fast);
+            let slow = dft(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_plan() {
+        for n in [8usize, 11] {
+            let x: Vec<Complex64> = (0..n).map(|i| Complex64::real(i as f64)).collect();
+            let plan = FftPlan::new(n);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_shareable_across_threads() {
+        let plan = FftPlan::new(32);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let p = plan.clone();
+                std::thread::spawn(move || {
+                    let mut v: Vec<Complex64> =
+                        (0..32).map(|i| Complex64::real((i + t) as f64)).collect();
+                    p.forward(&mut v);
+                    v[0].re
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let plan = FftPlan::new(8);
+        let mut v = vec![Complex64::ZERO; 9];
+        plan.forward(&mut v);
+    }
+}

@@ -1,0 +1,167 @@
+//! Iterative in-place radix-2 Cooley–Tukey FFT.
+//!
+//! Decimation-in-time with a bit-reversal permutation followed by log₂N
+//! butterfly passes. Twiddle factors are precomputed by the caller
+//! ([`crate::plan::FftPlan`]) so repeated transforms of the same length do no
+//! trigonometry.
+
+use crate::Complex64;
+
+/// Precompute the twiddle table for length `n` (power of two):
+/// `w[j] = exp(-2πi·j/n)` for `j < n/2`.
+pub fn forward_twiddles(n: usize) -> Vec<Complex64> {
+    assert!(n.is_power_of_two(), "radix-2 FFT requires power-of-two length");
+    let half = n / 2;
+    let base = -2.0 * std::f64::consts::PI / n as f64;
+    (0..half).map(|j| Complex64::cis(base * j as f64)).collect()
+}
+
+/// Bit-reversal permutation of `data` (length must be a power of two).
+pub fn bit_reverse_permute(data: &mut [Complex64]) {
+    let n = data.len();
+    if n <= 2 {
+        return;
+    }
+    let shift = usize::BITS - n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// In-place forward FFT using a twiddle table from [`forward_twiddles`].
+///
+/// `data.len()` must equal the table's implied length (`2 × twiddles.len()`).
+pub fn fft_in_place(data: &mut [Complex64], twiddles: &[Complex64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two());
+    assert!(n <= 1 || twiddles.len() == n / 2, "twiddle table length mismatch");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let mut len = 2usize;
+    while len <= n {
+        let half = len / 2;
+        let step = n / len; // stride into the twiddle table
+        for start in (0..n).step_by(len) {
+            for j in 0..half {
+                let w = twiddles[j * step];
+                let a = data[start + j];
+                let b = data[start + j + half] * w;
+                data[start + j] = a + b;
+                data[start + j + half] = a - b;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place inverse FFT (conjugate trick + 1/N scaling).
+pub fn ifft_in_place(data: &mut [Complex64], twiddles: &[Complex64]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    for v in data.iter_mut() {
+        *v = v.conj();
+    }
+    fft_in_place(data, twiddles);
+    let scale = 1.0 / n as f64;
+    for v in data.iter_mut() {
+        *v = v.conj().scale(scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft, idft};
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        // Small deterministic LCG; avoids pulling rand into the hot crate.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| Complex64::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_dft_for_all_pow2_up_to_256() {
+        for log_n in 0..=8 {
+            let n = 1usize << log_n;
+            let x = rand_signal(n, 42 + log_n as u64);
+            let mut fast = x.clone();
+            fft_in_place(&mut fast, &forward_twiddles(n));
+            let slow = dft(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).abs() < 1e-8 * (n as f64).max(1.0), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let n = 128;
+        let x = rand_signal(n, 7);
+        let tw = forward_twiddles(n);
+        let mut y = x.clone();
+        fft_in_place(&mut y, &tw);
+        ifft_in_place(&mut y, &tw);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ifft_matches_naive_idft() {
+        let n = 64;
+        let x = rand_signal(n, 99);
+        let tw = forward_twiddles(n);
+        let mut fast = x.clone();
+        ifft_in_place(&mut fast, &tw);
+        let slow = idft(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_involution() {
+        let n = 64;
+        let x = rand_signal(n, 3);
+        let mut y = x.clone();
+        bit_reverse_permute(&mut y);
+        bit_reverse_permute(&mut y);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn bit_reversal_known_order_n8() {
+        let mut v: Vec<Complex64> = (0..8).map(|i| Complex64::real(i as f64)).collect();
+        bit_reverse_permute(&mut v);
+        let order: Vec<f64> = v.iter().map(|z| z.re).collect();
+        assert_eq!(order, vec![0.0, 4.0, 2.0, 6.0, 1.0, 5.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_pow2_panics() {
+        let mut v = vec![Complex64::ZERO; 12];
+        let tw = forward_twiddles(16);
+        fft_in_place(&mut v, &tw);
+    }
+
+    #[test]
+    fn trivial_lengths() {
+        let tw = forward_twiddles(1);
+        assert!(tw.is_empty());
+        let mut one = vec![Complex64::real(5.0)];
+        fft_in_place(&mut one, &tw);
+        assert_eq!(one[0], Complex64::real(5.0));
+    }
+}

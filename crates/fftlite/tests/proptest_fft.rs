@@ -1,0 +1,95 @@
+//! Property tests: the fast transforms must agree with the naive DFT and
+//! satisfy DFT algebra (linearity, Parseval, inversion) on arbitrary input.
+
+use fftlite::dft::dft;
+use fftlite::{Complex64, Fft3, FftPlan};
+use proptest::prelude::*;
+
+fn arb_signal(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    (1usize..=max_len).prop_flat_map(|n| {
+        proptest::collection::vec((-1.0e3f64..1.0e3, -1.0e3f64..1.0e3), n)
+            .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plan_matches_naive_dft(x in arb_signal(48)) {
+        let plan = FftPlan::new(x.len());
+        let mut fast = x.clone();
+        plan.forward(&mut fast);
+        let slow = dft(&x);
+        let scale = x.iter().map(|z| z.abs()).fold(1.0, f64::max);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-7 * scale * x.len() as f64);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_is_identity(x in arb_signal(64)) {
+        let plan = FftPlan::new(x.len());
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        let scale = x.iter().map(|z| z.abs()).fold(1.0, f64::max);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-9 * scale * x.len() as f64);
+        }
+    }
+
+    #[test]
+    fn transform_is_linear(x in arb_signal(32), alpha in -5.0f64..5.0) {
+        let n = x.len();
+        let plan = FftPlan::new(n);
+        // F(αx) = αF(x)
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let mut fax: Vec<Complex64> = x.iter().map(|z| z.scale(alpha)).collect();
+        plan.forward(&mut fax);
+        let scale = fx.iter().map(|z| z.abs()).fold(1.0, f64::max);
+        for (a, b) in fax.iter().zip(&fx) {
+            prop_assert!((*a - b.scale(alpha)).abs() < 1e-8 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn parseval_holds(x in arb_signal(64)) {
+        let plan = FftPlan::new(x.len());
+        let time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut spec = x.clone();
+        plan.forward(&mut spec);
+        let freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((time - freq).abs() <= 1e-8 * time.max(1.0));
+    }
+
+    #[test]
+    fn fft3_inverse_roundtrip(nx in 1usize..=4, ny in 1usize..=4, nz in 1usize..=6, seed in 0u64..300) {
+        let n = nx * ny * nz;
+        let mut state = seed;
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                Complex64::new(((state >> 20) % 1000) as f64, ((state >> 30) % 1000) as f64)
+            })
+            .collect();
+        let fft = Fft3::new(nx, ny, nz);
+        let mut y = x.clone();
+        fft.forward(&mut y);
+        fft.inverse(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dc_component_is_sum(x in arb_signal(32)) {
+        let plan = FftPlan::new(x.len());
+        let mut spec = x.clone();
+        plan.forward(&mut spec);
+        let sum: Complex64 = x.iter().copied().sum();
+        let scale = sum.abs().max(1.0);
+        prop_assert!((spec[0] - sum).abs() < 1e-8 * scale * x.len() as f64);
+    }
+}

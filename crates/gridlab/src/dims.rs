@@ -1,0 +1,191 @@
+//! Grid dimensions and row-major index arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dimensions of a 3-D grid, stored as `(nx, ny, nz)`.
+///
+/// Linearisation is row-major with `z` fastest:
+/// `idx = (x * ny + y) * nz + z`. This matches how the rest of the
+/// workspace lays out field data, and how the Lorenzo predictor in `rsz`
+/// walks its neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim3 {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl Dim3 {
+    /// Create dimensions; all extents must be non-zero.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "Dim3 extents must be non-zero");
+        Self { nx, ny, nz }
+    }
+
+    /// Cubic dimensions `n × n × n`.
+    pub fn cube(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True when the grid holds no cells (never true for a valid `Dim3`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(x, y, z)`.
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        (x * self.ny + y) * self.nz + z
+    }
+
+    /// Inverse of [`Dim3::index`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        debug_assert!(idx < self.len());
+        let z = idx % self.nz;
+        let rest = idx / self.nz;
+        let y = rest % self.ny;
+        let x = rest / self.ny;
+        (x, y, z)
+    }
+
+    /// Checked linear index: `None` when out of bounds.
+    #[inline]
+    pub fn checked_index(&self, x: usize, y: usize, z: usize) -> Option<usize> {
+        if x < self.nx && y < self.ny && z < self.nz {
+            Some(self.index(x, y, z))
+        } else {
+            None
+        }
+    }
+
+    /// Whether every extent is a power of two (fast-path requirement for the
+    /// radix-2 FFT used by the power-spectrum analysis).
+    pub fn is_pow2(&self) -> bool {
+        self.nx.is_power_of_two() && self.ny.is_power_of_two() && self.nz.is_power_of_two()
+    }
+
+    /// Whether `other` exactly tiles `self` along every axis.
+    pub fn divides(&self, other: Dim3) -> bool {
+        self.nx % other.nx == 0 && self.ny % other.ny == 0 && self.nz % other.nz == 0
+    }
+
+    /// Iterate over all `(x, y, z)` coordinates in linear-index order.
+    pub fn iter_coords(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let d = *self;
+        (0..d.len()).map(move |i| d.coords(i))
+    }
+
+    /// The six face-adjacent neighbours of `(x, y, z)` that are in bounds.
+    ///
+    /// Used by the halo finder's connected-components pass (the paper's
+    /// Eulerian halo finder groups face-adjacent over-dense cells).
+    pub fn face_neighbors(&self, x: usize, y: usize, z: usize) -> impl Iterator<Item = usize> + '_ {
+        let d = *self;
+        let deltas: [(isize, isize, isize); 6] = [
+            (-1, 0, 0),
+            (1, 0, 0),
+            (0, -1, 0),
+            (0, 1, 0),
+            (0, 0, -1),
+            (0, 0, 1),
+        ];
+        deltas.into_iter().filter_map(move |(dx, dy, dz)| {
+            let nx = x.checked_add_signed(dx)?;
+            let ny = y.checked_add_signed(dy)?;
+            let nz = z.checked_add_signed(dz)?;
+            d.checked_index(nx, ny, nz)
+        })
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.nx, self.ny, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let d = Dim3::new(3, 4, 5);
+        for idx in 0..d.len() {
+            let (x, y, z) = d.coords(idx);
+            assert_eq!(d.index(x, y, z), idx);
+        }
+    }
+
+    #[test]
+    fn index_is_z_fastest() {
+        let d = Dim3::new(2, 2, 4);
+        assert_eq!(d.index(0, 0, 0), 0);
+        assert_eq!(d.index(0, 0, 1), 1);
+        assert_eq!(d.index(0, 1, 0), 4);
+        assert_eq!(d.index(1, 0, 0), 8);
+    }
+
+    #[test]
+    fn cube_and_len() {
+        let d = Dim3::cube(8);
+        assert_eq!(d.len(), 512);
+        assert!(d.is_pow2());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn checked_index_bounds() {
+        let d = Dim3::new(2, 3, 4);
+        assert!(d.checked_index(1, 2, 3).is_some());
+        assert!(d.checked_index(2, 0, 0).is_none());
+        assert!(d.checked_index(0, 3, 0).is_none());
+        assert!(d.checked_index(0, 0, 4).is_none());
+    }
+
+    #[test]
+    fn divides_exact_tiling() {
+        assert!(Dim3::cube(64).divides(Dim3::cube(16)));
+        assert!(!Dim3::cube(64).divides(Dim3::cube(48)));
+        assert!(Dim3::new(128, 64, 32).divides(Dim3::new(32, 32, 32)));
+    }
+
+    #[test]
+    fn face_neighbors_corner_and_center() {
+        let d = Dim3::cube(3);
+        let corner: Vec<_> = d.face_neighbors(0, 0, 0).collect();
+        assert_eq!(corner.len(), 3);
+        let center: Vec<_> = d.face_neighbors(1, 1, 1).collect();
+        assert_eq!(center.len(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_extent_panics() {
+        let _ = Dim3::new(0, 1, 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Dim3::new(1, 2, 3).to_string(), "1x2x3");
+    }
+
+    #[test]
+    fn iter_coords_matches_len() {
+        let d = Dim3::new(3, 2, 2);
+        assert_eq!(d.iter_coords().count(), d.len());
+        let v: Vec<_> = d.iter_coords().collect();
+        assert_eq!(v[0], (0, 0, 0));
+        assert_eq!(v[d.len() - 1], (2, 1, 1));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type shared by the gridlab APIs.
+
+use std::fmt;
+
+/// Errors produced by grid construction, decomposition, and snapshot I/O.
+#[derive(Debug)]
+pub enum GridError {
+    /// Data length does not match the stated dimensions.
+    ShapeMismatch { expected: usize, got: usize },
+    /// A decomposition does not tile the domain exactly.
+    BadDecomposition { domain: String, brick: String },
+    /// Partition index outside the decomposition.
+    PartitionOutOfRange { id: usize, count: usize },
+    /// Snapshot parse failure.
+    Format(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::ShapeMismatch { expected, got } => {
+                write!(f, "data length {got} does not match dimensions ({expected} cells)")
+            }
+            GridError::BadDecomposition { domain, brick } => {
+                write!(f, "brick {brick} does not tile domain {domain}")
+            }
+            GridError::PartitionOutOfRange { id, count } => {
+                write!(f, "partition {id} out of range (decomposition has {count})")
+            }
+            GridError::Format(msg) => write!(f, "snapshot format error: {msg}"),
+            GridError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GridError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GridError {
+    fn from(e: std::io::Error) -> Self {
+        GridError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GridError::ShapeMismatch { expected: 8, got: 7 };
+        assert!(e.to_string().contains("does not match"));
+        let e = GridError::PartitionOutOfRange { id: 9, count: 8 };
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: GridError = inner.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,147 @@
+//! Self-describing binary field format.
+//!
+//! The Nyx reference datasets ship as HDF5; we substitute a minimal
+//! little-endian container ("GLB1") so snapshots can be persisted and
+//! reloaded without external dependencies. The layout is:
+//!
+//! ```text
+//! magic  b"GLB1"          4 bytes
+//! tag    u8 length + utf8 scalar tag ("f32" / "f64")
+//! dims   3 × u64          nx, ny, nz
+//! data   n × scalar (LE)
+//! ```
+
+use crate::{Dim3, Field3, GridError, Scalar};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"GLB1";
+
+/// Serialize a field into a byte vector.
+pub fn to_bytes<T: Scalar>(field: &Field3<T>) -> Vec<u8> {
+    let d = field.dims();
+    let mut out = Vec::with_capacity(4 + 1 + T::TAG.len() + 24 + field.len() * T::BYTES);
+    out.extend_from_slice(MAGIC);
+    out.push(T::TAG.len() as u8);
+    out.extend_from_slice(T::TAG.as_bytes());
+    for n in [d.nx, d.ny, d.nz] {
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+    }
+    for v in field.as_slice() {
+        v.write_le(&mut out);
+    }
+    out
+}
+
+/// Deserialize a field from bytes produced by [`to_bytes`].
+pub fn from_bytes<T: Scalar>(buf: &[u8]) -> Result<Field3<T>, GridError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], GridError> {
+        if *pos + n > buf.len() {
+            return Err(GridError::Format("unexpected end of buffer".into()));
+        }
+        let s = &buf[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(GridError::Format("bad magic (expected GLB1)".into()));
+    }
+    let tag_len = take(&mut pos, 1)?[0] as usize;
+    let tag = std::str::from_utf8(take(&mut pos, tag_len)?)
+        .map_err(|_| GridError::Format("non-utf8 scalar tag".into()))?;
+    if tag != T::TAG {
+        return Err(GridError::Format(format!(
+            "scalar tag mismatch: file has {tag}, expected {}",
+            T::TAG
+        )));
+    }
+    let mut dims = [0usize; 3];
+    for d in &mut dims {
+        let b: [u8; 8] = take(&mut pos, 8)?.try_into().expect("8 bytes");
+        let v = u64::from_le_bytes(b);
+        if v == 0 || v > usize::MAX as u64 {
+            return Err(GridError::Format("invalid dimension".into()));
+        }
+        *d = v as usize;
+    }
+    let dims = Dim3::new(dims[0], dims[1], dims[2]);
+    let n = dims.len();
+    let payload = take(&mut pos, n * T::BYTES)?;
+    let mut data = Vec::with_capacity(n);
+    for i in 0..n {
+        data.push(T::read_le(&payload[i * T::BYTES..]));
+    }
+    Field3::from_vec(dims, data)
+}
+
+/// Write a field to a file.
+pub fn save<T: Scalar>(field: &Field3<T>, path: impl AsRef<Path>) -> Result<(), GridError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_bytes(field))?;
+    Ok(())
+}
+
+/// Read a field from a file written by [`save`].
+pub fn load<T: Scalar>(path: impl AsRef<Path>) -> Result<Field3<T>, GridError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip_f32() {
+        let f = Field3::from_fn(Dim3::new(3, 4, 5), |x, y, z| (x * 20 + y * 5 + z) as f32);
+        let bytes = to_bytes(&f);
+        let g: Field3<f32> = from_bytes(&bytes).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn bytes_roundtrip_f64() {
+        let f = Field3::from_fn(Dim3::cube(4), |x, y, z| (x as f64).sin() + y as f64 + z as f64);
+        let g: Field3<f64> = from_bytes(&to_bytes(&f)).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let f = Field3::<f32>::zeros(Dim3::cube(2));
+        let mut bytes = to_bytes(&f);
+        bytes[0] = b'X';
+        assert!(from_bytes::<f32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_tag_mismatch() {
+        let f = Field3::<f32>::zeros(Dim3::cube(2));
+        let bytes = to_bytes(&f);
+        assert!(from_bytes::<f64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let f = Field3::<f32>::zeros(Dim3::cube(2));
+        let bytes = to_bytes(&f);
+        assert!(from_bytes::<f32>(&bytes[..bytes.len() - 1]).is_err());
+        assert!(from_bytes::<f32>(&bytes[..6]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("gridlab_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("field.glb");
+        let f = Field3::from_fn(Dim3::cube(8), |x, y, z| (x ^ y ^ z) as f32);
+        save(&f, &path).unwrap();
+        let g: Field3<f32> = load(&path).unwrap();
+        assert_eq!(f, g);
+        std::fs::remove_file(path).ok();
+    }
+}

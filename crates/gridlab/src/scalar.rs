@@ -1,0 +1,169 @@
+//! Floating-point scalar abstraction so fields, compressors and models work
+//! for both `f32` (Nyx's native precision) and `f64` (model arithmetic).
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A minimal IEEE-754 float abstraction.
+///
+/// Only what the workspace actually needs: conversions to/from `f64`,
+/// bit-level access for serialization, and ordinary arithmetic.
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + PartialOrd
+    + PartialEq
+    + Default
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Number of bytes in the wire representation.
+    const BYTES: usize;
+    /// Bits per value (used to report bit rates against the uncompressed size).
+    const BITS: u32;
+    /// Short type tag for the snapshot format ("f32" / "f64").
+    const TAG: &'static str;
+
+    fn zero() -> Self;
+    fn one() -> Self;
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn abs(self) -> Self;
+    fn is_finite(self) -> bool;
+    /// Append the little-endian byte representation to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Parse a value from the first `Self::BYTES` bytes of `buf`.
+    fn read_le(buf: &[u8]) -> Self;
+}
+
+impl Scalar for f32 {
+    const BYTES: usize = 4;
+    const BITS: u32 = 32;
+    const TAG: &'static str = "f32";
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(buf: &[u8]) -> Self {
+        f32::from_le_bytes(buf[..4].try_into().expect("short buffer for f32"))
+    }
+}
+
+impl Scalar for f64 {
+    const BYTES: usize = 8;
+    const BITS: u32 = 64;
+    const TAG: &'static str = "f64";
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(buf: &[u8]) -> Self {
+        f64::from_le_bytes(buf[..8].try_into().expect("short buffer for f64"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>(v: T) {
+        let mut buf = Vec::new();
+        v.write_le(&mut buf);
+        assert_eq!(buf.len(), T::BYTES);
+        let back = T::read_le(&buf);
+        assert_eq!(back.to_f64(), v.to_f64());
+    }
+
+    #[test]
+    fn f32_wire_roundtrip() {
+        roundtrip(1.5f32);
+        roundtrip(-0.0f32);
+        roundtrip(f32::MAX);
+    }
+
+    #[test]
+    fn f64_wire_roundtrip() {
+        roundtrip(std::f64::consts::PI);
+        roundtrip(f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(<f32 as Scalar>::from_f64(2.0), 2.0f32);
+        assert_eq!(2.0f64.to_f64(), 2.0);
+        assert_eq!(f32::TAG, "f32");
+        assert_eq!(f64::TAG, "f64");
+    }
+
+    #[test]
+    fn abs_and_finite() {
+        assert_eq!((-3.0f32).abs(), 3.0);
+        assert!(!(f64::NAN).is_finite());
+        assert!(1.0f64.is_finite());
+    }
+}

@@ -1,0 +1,330 @@
+//! Per-partition feature extraction.
+//!
+//! The paper's in situ overhead budget hinges on these being cheap: the
+//! optimizer needs only the **mean value** of each partition (bit-rate model,
+//! Eq. 15), plus — for baryon density — the **boundary-cell count** within
+//! `(t_boundary − eb, t_boundary + eb)` (halo-finder model, Eq. 13).
+//! Histogram and entropy are provided for model calibration and validation
+//! (entropy is the "better but more expensive" compressibility proxy the
+//! paper mentions before settling on the mean).
+
+use crate::{Field3, Scalar};
+
+/// Summary statistics of a slice of scalar values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Population variance.
+    pub variance: f64,
+}
+
+impl Summary {
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Value range `max - min`.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// One-pass summary (Welford) of a value slice.
+///
+/// Welford's update keeps the variance numerically stable for the huge
+/// dynamic ranges of cosmology fields (densities span ~9 decades).
+pub fn summarize<T: Scalar>(values: &[T]) -> Summary {
+    assert!(!values.is_empty(), "cannot summarize an empty slice");
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (i, v) in values.iter().enumerate() {
+        let x = v.to_f64();
+        min = min.min(x);
+        max = max.max(x);
+        let delta = x - mean;
+        mean += delta / (i + 1) as f64;
+        m2 += delta * (x - mean);
+    }
+    Summary { count: values.len(), mean, min, max, variance: m2 / values.len() as f64 }
+}
+
+/// Convenience wrapper over [`summarize`] for a field.
+pub fn summarize_field<T: Scalar>(f: &Field3<T>) -> Summary {
+    summarize(f.as_slice())
+}
+
+/// Mean value only — the single cheapest feature; used in situ per partition.
+pub fn mean<T: Scalar>(values: &[T]) -> f64 {
+    assert!(!values.is_empty());
+    values.iter().map(|v| v.to_f64()).sum::<f64>() / values.len() as f64
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets.
+///
+/// Values outside the range are clamped into the first/last bucket so the
+/// total count always equals the input length (matches how the paper's
+/// error-distribution plots are binned).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    pub lo: f64,
+    pub hi: f64,
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build a histogram of `values`.
+    pub fn build<T: Scalar>(values: &[T], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "invalid histogram spec");
+        let mut counts = vec![0u64; bins];
+        let w = (hi - lo) / bins as f64;
+        for v in values {
+            let x = v.to_f64();
+            let b = if x < lo {
+                0
+            } else if x >= hi {
+                bins - 1
+            } else {
+                (((x - lo) / w) as usize).min(bins - 1)
+            };
+            counts[b] += 1;
+        }
+        Self { lo, hi, counts }
+    }
+
+    /// Histogram spanning the data's own min/max.
+    pub fn auto<T: Scalar>(values: &[T], bins: usize) -> Self {
+        let s = summarize(values);
+        let (lo, hi) = if s.max > s.min { (s.min, s.max) } else { (s.min, s.min + 1.0) };
+        Self::build(values, lo, hi, bins)
+    }
+
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins() as f64
+    }
+
+    /// Center of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width()
+    }
+
+    /// Shannon entropy (bits) of the bin occupancy distribution.
+    pub fn entropy_bits(&self) -> f64 {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Coefficient of variation of bin counts — a quick uniformity score.
+    /// A perfectly uniform histogram scores 0.
+    pub fn uniformity_cv(&self) -> f64 {
+        let n = self.bins() as f64;
+        let mean = self.total() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+/// Count of values in the open interval `(lo, hi)`.
+///
+/// With `lo = t_boundary − eb`, `hi = t_boundary + eb` this is the paper's
+/// `n_bc` — the number of halo-boundary cells whose candidacy lossy error can
+/// flip (Eq. 13).
+pub fn count_in_range<T: Scalar>(values: &[T], lo: f64, hi: f64) -> usize {
+    values
+        .iter()
+        .filter(|v| {
+            let x = v.to_f64();
+            x > lo && x < hi
+        })
+        .count()
+}
+
+/// The paper's per-partition feature record, extracted in one pass.
+///
+/// `boundary_cells` is `n_bc` measured at the reference bound
+/// `eb_ref` (the paper extracts once at `eb = 1.0` and scales linearly:
+/// `n_bc(eb) ≈ n_bc(eb_ref) · eb / eb_ref`, valid because the local value
+/// histogram is approximately flat at halo-threshold scale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionFeatures {
+    /// Mean of all cells — drives the bit-rate model.
+    pub mean: f64,
+    /// Cells within `(t_boundary − eb_ref, t_boundary + eb_ref)`.
+    pub boundary_cells: usize,
+    /// Reference bound the boundary-cell count was taken at.
+    pub eb_ref: f64,
+    /// Cell count of the partition.
+    pub cells: usize,
+}
+
+impl PartitionFeatures {
+    /// Extract features in a single fused pass over the brick.
+    pub fn extract<T: Scalar>(values: &[T], t_boundary: f64, eb_ref: f64) -> Self {
+        assert!(!values.is_empty());
+        assert!(eb_ref > 0.0);
+        let lo = t_boundary - eb_ref;
+        let hi = t_boundary + eb_ref;
+        let mut sum = 0.0f64;
+        let mut nbc = 0usize;
+        for v in values {
+            let x = v.to_f64();
+            sum += x;
+            if x > lo && x < hi {
+                nbc += 1;
+            }
+        }
+        Self { mean: sum / values.len() as f64, boundary_cells: nbc, eb_ref, cells: values.len() }
+    }
+
+    /// Linearly rescale the boundary-cell count to a different error bound
+    /// (the paper's `n_bc = n × eb` relation, §4.2 / Fig. 14 discussion).
+    pub fn boundary_cells_at(&self, eb: f64) -> f64 {
+        self.boundary_cells as f64 * eb / self.eb_ref
+    }
+}
+
+/// Shannon entropy (bits/value) of the values quantized into `2·half_bins`
+/// buckets of width `quantum` centred on the data mean.
+///
+/// This mirrors the quantization-code entropy that lower-bounds the Huffman
+/// stage of an SZ-style compressor; it is the expensive compressibility
+/// feature the paper replaces with the mean.
+pub fn quantized_entropy_bits<T: Scalar>(values: &[T], quantum: f64, half_bins: usize) -> f64 {
+    assert!(quantum > 0.0 && half_bins > 0);
+    let m = mean(values);
+    let lo = m - quantum * half_bins as f64;
+    let hi = m + quantum * half_bins as f64;
+    Histogram::build(values, lo, hi, 2 * half_bins).entropy_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dim3;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = summarize(&[1.0f64, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert!((s.std_dev() - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.range(), 3.0);
+    }
+
+    #[test]
+    fn welford_matches_naive_on_large_offsets() {
+        // A mean offset of 1e9 would destroy a naive sum-of-squares variance.
+        let vals: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 10) as f64).collect();
+        let s = summarize(&vals);
+        let naive_mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((s.mean - naive_mean).abs() < 1e-3);
+        assert!((s.variance - 8.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamping() {
+        let vals = [-1.0f64, 0.0, 0.5, 0.99, 5.0];
+        let h = Histogram::build(&vals, 0.0, 1.0, 2);
+        assert_eq!(h.total(), 5);
+        // -1 clamps into bin 0; 0.5, 0.99 land in bin 1; 5.0 clamps into bin 1.
+        assert_eq!(h.counts, vec![2, 3]);
+        assert!((h.width() - 0.5).abs() < 1e-12);
+        assert!((h.center(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_auto_covers_data() {
+        let vals = [2.0f32, 4.0, 6.0];
+        let h = Histogram::auto(&vals, 4);
+        assert_eq!(h.lo, 2.0);
+        assert_eq!(h.hi, 6.0);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let uniform = Histogram { lo: 0.0, hi: 1.0, counts: vec![5, 5, 5, 5] };
+        assert!((uniform.entropy_bits() - 2.0).abs() < 1e-12);
+        assert!((uniform.uniformity_cv()).abs() < 1e-12);
+        let point = Histogram { lo: 0.0, hi: 1.0, counts: vec![20, 0, 0, 0] };
+        assert_eq!(point.entropy_bits(), 0.0);
+        assert!(point.uniformity_cv() > 1.0);
+    }
+
+    #[test]
+    fn count_in_range_is_open_interval() {
+        let vals = [1.0f64, 2.0, 3.0];
+        assert_eq!(count_in_range(&vals, 1.0, 3.0), 1); // endpoints excluded
+        assert_eq!(count_in_range(&vals, 0.0, 4.0), 3);
+    }
+
+    #[test]
+    fn features_fused_pass_matches_separate() {
+        let f = Field3::from_fn(Dim3::cube(8), |x, y, z| (x + y + z) as f64);
+        let vals = f.as_slice();
+        let t = 10.0;
+        let ebr = 2.0;
+        let feat = PartitionFeatures::extract(vals, t, ebr);
+        assert!((feat.mean - mean(vals)).abs() < 1e-12);
+        assert_eq!(feat.boundary_cells, count_in_range(vals, t - ebr, t + ebr));
+        assert_eq!(feat.cells, 512);
+    }
+
+    #[test]
+    fn boundary_cells_scale_linearly() {
+        let feat =
+            PartitionFeatures { mean: 0.0, boundary_cells: 100, eb_ref: 1.0, cells: 1000 };
+        assert!((feat.boundary_cells_at(0.5) - 50.0).abs() < 1e-12);
+        assert!((feat.boundary_cells_at(2.0) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantized_entropy_constant_field_is_zero() {
+        let vals = vec![5.0f32; 100];
+        assert_eq!(quantized_entropy_bits(&vals, 0.1, 8), 0.0);
+    }
+
+    #[test]
+    fn quantized_entropy_spread_is_positive() {
+        let vals: Vec<f64> = (0..128).map(|i| i as f64 * 0.1).collect();
+        assert!(quantized_entropy_bits(&vals, 0.1, 64) > 3.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the grid substrate: index algebra, brick extraction,
+//! statistics, and the snapshot wire format.
+
+use gridlab::stats::{count_in_range, summarize, Histogram, PartitionFeatures};
+use gridlab::{io, Decomposition, Dim3, Field3};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = Dim3> {
+    (1usize..=8, 1usize..=8, 1usize..=8).prop_map(|(x, y, z)| Dim3::new(x, y, z))
+}
+
+fn arb_field() -> impl Strategy<Value = Field3<f32>> {
+    arb_dims().prop_flat_map(|d| {
+        proptest::collection::vec(-1.0e5f32..1.0e5f32, d.len())
+            .prop_map(move |v| Field3::from_vec(d, v).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn index_coords_roundtrip(d in arb_dims(), i in 0usize..512) {
+        prop_assume!(i < d.len());
+        let (x, y, z) = d.coords(i);
+        prop_assert_eq!(d.index(x, y, z), i);
+        prop_assert!(x < d.nx && y < d.ny && z < d.nz);
+    }
+
+    #[test]
+    fn extract_insert_roundtrip(f in arb_field()) {
+        let d = f.dims();
+        // Extract a random sub-brick deterministically derived from dims.
+        let bx = 1 + d.nx / 2;
+        let by = 1 + d.ny / 2;
+        let bz = 1 + d.nz / 2;
+        let brick = Dim3::new(bx.min(d.nx), by.min(d.ny), bz.min(d.nz));
+        let b = f.extract((0, 0, 0), brick);
+        let mut g = Field3::<f32>::zeros(d);
+        g.insert((0, 0, 0), &b);
+        for x in 0..brick.nx {
+            for y in 0..brick.ny {
+                for z in 0..brick.nz {
+                    prop_assert_eq!(g.get(x, y, z), f.get(x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_assemble_identity(n in 2usize..=8, parts in 1usize..=4, seed in 0u64..300) {
+        prop_assume!(n % parts == 0);
+        let mut state = seed;
+        let f = Field3::from_fn(Dim3::cube(n), |_, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 40) as f32
+        });
+        let dec = Decomposition::cubic(n, parts).expect("divides");
+        prop_assert_eq!(dec.assemble(&dec.split(&f)).expect("assembles"), f);
+    }
+
+    #[test]
+    fn partition_of_cell_consistent_with_origins(n in 2usize..=8, parts in 1usize..=4) {
+        prop_assume!(n % parts == 0);
+        let dec = Decomposition::cubic(n, parts).expect("divides");
+        for p in dec.iter() {
+            let (ox, oy, oz) = p.origin;
+            prop_assert_eq!(dec.partition_of_cell(ox, oy, oz), p.id);
+        }
+    }
+
+    #[test]
+    fn summary_bounds_are_tight(f in arb_field()) {
+        let s = summarize(f.as_slice());
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.variance >= 0.0);
+        prop_assert_eq!(s.count, f.len());
+        for v in f.as_slice() {
+            prop_assert!((*v as f64) >= s.min && (*v as f64) <= s.max);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_count(f in arb_field(), bins in 1usize..40) {
+        let h = Histogram::auto(f.as_slice(), bins);
+        prop_assert_eq!(h.total() as usize, f.len());
+        prop_assert_eq!(h.bins(), bins);
+    }
+
+    #[test]
+    fn range_count_monotone_in_width(f in arb_field(), center in -1e4f64..1e4, w in 0.0f64..1e4) {
+        let narrow = count_in_range(f.as_slice(), center - w, center + w);
+        let wide = count_in_range(f.as_slice(), center - 2.0 * w, center + 2.0 * w);
+        prop_assert!(wide >= narrow);
+    }
+
+    #[test]
+    fn fused_features_match_separate_passes(f in arb_field(), t in -1e4f64..1e4, eb in 1e-3f64..1e4) {
+        let feat = PartitionFeatures::extract(f.as_slice(), t, eb);
+        let mean = f.as_slice().iter().map(|v| *v as f64).sum::<f64>() / f.len() as f64;
+        prop_assert!((feat.mean - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert_eq!(feat.boundary_cells, count_in_range(f.as_slice(), t - eb, t + eb));
+    }
+
+    #[test]
+    fn io_roundtrip(f in arb_field()) {
+        let bytes = io::to_bytes(&f);
+        let g: Field3<f32> = io::from_bytes(&bytes).expect("parses");
+        prop_assert_eq!(f, g);
+    }
+
+    #[test]
+    fn io_rejects_any_truncation(f in arb_field(), cut in 1usize..64) {
+        let bytes = io::to_bytes(&f);
+        prop_assume!(cut < bytes.len());
+        prop_assert!(io::from_bytes::<f32>(&bytes[..bytes.len() - cut]).is_err());
+    }
+}

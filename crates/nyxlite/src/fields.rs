@@ -1,0 +1,299 @@
+//! Derivation of the six Nyx fields from one set of density modes.
+//!
+//! | Field              | Construction                                       | Table-2 range |
+//! |--------------------|----------------------------------------------------|---------------|
+//! | Baryon density     | lognormal map of the GRF, mean-normalised          | (0, 1e5)      |
+//! | Dark matter density| lognormal with higher bias (clumpier)              | (0, 1e4)      |
+//! | Temperature        | `T ∝ ρ_b^(γ−1)` power law with lognormal scatter   | (1e2, 1e7)    |
+//! | Velocity x/y/z     | Zel'dovich `v_k ∝ i·k/k²·δ_k` from the same modes  | (−1e8, 1e8)   |
+//!
+//! The lognormal map `ρ = ρ̄·exp(b·δ − b²σ²/2)` keeps the mean fixed at
+//! `ρ̄` regardless of growth — matching the paper's note that the density
+//! fields have a fixed overall mean "set by the simulation" (§4.3), while
+//! the *contrast between partitions* grows as the amplitude does.
+
+use crate::grf::{field_from_modes, freq};
+use fftlite::Complex64;
+use gridlab::{Dim3, Field3};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The six fields of a Nyx snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldKind {
+    BaryonDensity,
+    DarkMatterDensity,
+    Temperature,
+    VelocityX,
+    VelocityY,
+    VelocityZ,
+}
+
+impl FieldKind {
+    /// All six, in the paper's order.
+    pub const ALL: [FieldKind; 6] = [
+        FieldKind::BaryonDensity,
+        FieldKind::DarkMatterDensity,
+        FieldKind::Temperature,
+        FieldKind::VelocityX,
+        FieldKind::VelocityY,
+        FieldKind::VelocityZ,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FieldKind::BaryonDensity => "baryon_density",
+            FieldKind::DarkMatterDensity => "dark_matter_density",
+            FieldKind::Temperature => "temperature",
+            FieldKind::VelocityX => "velocity_x",
+            FieldKind::VelocityY => "velocity_y",
+            FieldKind::VelocityZ => "velocity_z",
+        }
+    }
+
+    /// Whether the halo finder applies (density fields only; the paper runs
+    /// it on baryon density).
+    pub fn is_halo_field(&self) -> bool {
+        matches!(self, FieldKind::BaryonDensity)
+    }
+}
+
+impl std::fmt::Display for FieldKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Physical-ish constants used to map the dimensionless GRF onto Table-2
+/// value ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FieldParams {
+    /// Mean baryon density (Table 2 range tops at 1e5; clumps reach it).
+    pub rho_b_mean: f64,
+    /// Mean dark-matter density.
+    pub rho_dm_mean: f64,
+    /// Lognormal bias for baryons.
+    pub bias_b: f64,
+    /// Lognormal bias for dark matter (clumpier).
+    pub bias_dm: f64,
+    /// Temperature normalisation at mean density.
+    pub t0: f64,
+    /// Temperature–density slope `γ − 1`.
+    pub gamma_m1: f64,
+    /// Lognormal scatter (std of log) of temperature.
+    pub t_scatter: f64,
+    /// Velocity amplitude scale.
+    pub v_scale: f64,
+}
+
+impl Default for FieldParams {
+    fn default() -> Self {
+        Self {
+            rho_b_mean: 40.0,
+            rho_dm_mean: 30.0,
+            bias_b: 1.0,
+            bias_dm: 1.3,
+            t0: 2.0e4,
+            gamma_m1: 0.55,
+            // Small: per-cell scatter is white noise the compressor cannot
+            // predict; real Nyx temperature is smooth at cell scale.
+            t_scatter: 0.05,
+            v_scale: 2.0e7,
+        }
+    }
+}
+
+/// Lognormal density map with fixed mean: `ρ = ρ̄·exp(bσδ̂ − (bσ)²/2)`
+/// where `δ̂` is the unit-variance GRF and `σ` the growth-scaled amplitude.
+pub fn lognormal_density(delta_hat: &Field3<f64>, mean: f64, bias_sigma: f64) -> Field3<f64> {
+    let correction = bias_sigma * bias_sigma / 2.0;
+    let mut out = delta_hat.clone();
+    out.map_inplace(|d| mean * (bias_sigma * d - correction).exp());
+    out
+}
+
+/// Temperature from the density via the IGM power-law relation, with
+/// deterministic lognormal scatter, clamped to the Table-2 range.
+pub fn temperature_field(
+    rho_b: &Field3<f64>,
+    rho_mean: f64,
+    params: &FieldParams,
+    seed: u64,
+) -> Field3<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7e6d_5c4b);
+    let data: Vec<f64> = rho_b
+        .as_slice()
+        .iter()
+        .map(|&rho| {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let t = params.t0
+                * (rho / rho_mean).powf(params.gamma_m1)
+                * (params.t_scatter * g).exp();
+            t.clamp(1.0e2, 1.0e7)
+        })
+        .collect();
+    Field3::from_vec(rho_b.dims(), data).expect("same dims")
+}
+
+/// Zel'dovich velocity components from the density modes:
+/// `v_i(k) = i·k_i/k²·δ(k)`, inverse-transformed and scaled.
+///
+/// Returns `(vx, vy, vz)`, each normalised to unit variance then scaled by
+/// `v_scale` (so the Table-2 `±1e8` range holds with σ = 2e7 at ~4σ tails).
+pub fn zeldovich_velocities(
+    dims: Dim3,
+    modes: &[Complex64],
+    v_scale: f64,
+) -> (Field3<f64>, Field3<f64>, Field3<f64>) {
+    let component = |axis: usize| -> Field3<f64> {
+        let mut vk = vec![Complex64::ZERO; modes.len()];
+        let mut idx = 0usize;
+        for i in 0..dims.nx {
+            for j in 0..dims.ny {
+                for k in 0..dims.nz {
+                    let kv = [freq(i, dims.nx), freq(j, dims.ny), freq(k, dims.nz)];
+                    let k2: f64 = kv.iter().map(|v| v * v).sum();
+                    if k2 > 0.0 {
+                        // i·k_a/k² · δ_k  (multiplication by i rotates re/im)
+                        let h = kv[axis] / k2;
+                        let d = modes[idx];
+                        vk[idx] = Complex64::new(-h * d.im, h * d.re);
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        let mut f = field_from_modes(dims, &vk);
+        f.map_inplace(|v| v * v_scale);
+        f
+    };
+    (component(0), component(1), component(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grf::{gaussian_field, grf_modes};
+    use crate::spectrum::PowerSpectrum;
+    use gridlab::stats::summarize_field;
+
+    fn delta(n: usize, seed: u64) -> Field3<f64> {
+        gaussian_field(Dim3::cube(n), &PowerSpectrum::default(), seed)
+    }
+
+    #[test]
+    fn field_kind_enumeration() {
+        assert_eq!(FieldKind::ALL.len(), 6);
+        assert!(FieldKind::BaryonDensity.is_halo_field());
+        assert!(!FieldKind::Temperature.is_halo_field());
+        assert_eq!(FieldKind::VelocityX.name(), "velocity_x");
+    }
+
+    #[test]
+    fn lognormal_preserves_mean() {
+        let d = delta(16, 2);
+        for sigma in [0.5, 1.0, 2.0] {
+            let rho = lognormal_density(&d, 40.0, sigma);
+            let s = summarize_field(&rho);
+            // E[exp(σδ − σ²/2)] = 1 for Gaussian δ; sample error shrinks
+            // with volume but lognormal tails are heavy, allow 15%.
+            assert!((s.mean - 40.0).abs() < 6.0, "sigma {sigma}: mean {}", s.mean);
+            assert!(s.min > 0.0, "density must be positive");
+        }
+    }
+
+    #[test]
+    fn higher_amplitude_is_clumpier() {
+        let d = delta(16, 3);
+        let lo = lognormal_density(&d, 40.0, 0.5);
+        let hi = lognormal_density(&d, 40.0, 2.0);
+        let s_lo = summarize_field(&lo);
+        let s_hi = summarize_field(&hi);
+        assert!(s_hi.max > s_lo.max);
+        assert!(s_hi.variance > s_lo.variance);
+    }
+
+    #[test]
+    fn temperature_follows_density_power_law() {
+        let d = delta(12, 4);
+        let params = FieldParams { t_scatter: 0.0, ..FieldParams::default() };
+        let rho = lognormal_density(&d, params.rho_b_mean, 1.0);
+        let t = temperature_field(&rho, params.rho_b_mean, &params, 9);
+        // With zero scatter T is an exact power law of ρ.
+        for (r, tt) in rho.as_slice().iter().zip(t.as_slice()) {
+            let expect =
+                (params.t0 * (r / params.rho_b_mean).powf(params.gamma_m1)).clamp(1e2, 1e7);
+            assert!((tt - expect).abs() < 1e-6 * expect, "{tt} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn temperature_respects_table2_range() {
+        let d = delta(12, 5);
+        let params = FieldParams::default();
+        let rho = lognormal_density(&d, params.rho_b_mean, 3.0);
+        let t = temperature_field(&rho, params.rho_b_mean, &params, 10);
+        let s = summarize_field(&t);
+        assert!(s.min >= 1.0e2 && s.max <= 1.0e7);
+    }
+
+    #[test]
+    fn temperature_scatter_is_deterministic() {
+        let d = delta(8, 6);
+        let params = FieldParams::default();
+        let rho = lognormal_density(&d, params.rho_b_mean, 1.0);
+        let a = temperature_field(&rho, params.rho_b_mean, &params, 1);
+        let b = temperature_field(&rho, params.rho_b_mean, &params, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn velocities_are_zero_mean_scaled() {
+        let dims = Dim3::cube(16);
+        let modes = grf_modes(dims, &PowerSpectrum::default(), 8);
+        let (vx, vy, vz) = zeldovich_velocities(dims, &modes, 2.0e7);
+        for v in [&vx, &vy, &vz] {
+            let s = summarize_field(v);
+            assert!(s.mean.abs() < 1e-4 * 2.0e7);
+            assert!((s.std_dev() - 2.0e7).abs() < 1e-3 * 2.0e7);
+            assert!(s.min > -1.0e8 && s.max < 1.0e8, "range {} {}", s.min, s.max);
+        }
+    }
+
+    #[test]
+    fn velocity_components_differ() {
+        let dims = Dim3::cube(8);
+        let modes = grf_modes(dims, &PowerSpectrum::default(), 12);
+        let (vx, vy, _) = zeldovich_velocities(dims, &modes, 1.0);
+        assert_ne!(vx, vy);
+    }
+
+    #[test]
+    fn velocities_are_smoother_than_density() {
+        // v ∝ δ_k/k suppresses high frequencies, so neighbouring-cell
+        // differences (relative to field std) are smaller for velocity.
+        let dims = Dim3::cube(16);
+        let modes = grf_modes(dims, &PowerSpectrum::default(), 13);
+        let d = field_from_modes(dims, &modes);
+        let (vx, _, _) = zeldovich_velocities(dims, &modes, 1.0);
+        let roughness = |f: &Field3<f64>| {
+            let mut acc = 0.0;
+            let mut cnt = 0u64;
+            for x in 0..dims.nx {
+                for y in 0..dims.ny {
+                    for z in 1..dims.nz {
+                        let dd = f.get(x, y, z) - f.get(x, y, z - 1);
+                        acc += dd * dd;
+                        cnt += 1;
+                    }
+                }
+            }
+            (acc / cnt as f64).sqrt() / summarize_field(f).std_dev()
+        };
+        assert!(roughness(&vx) < roughness(&d));
+    }
+}

@@ -1,0 +1,201 @@
+//! Gaussian random fields with a prescribed power spectrum.
+//!
+//! Synthesis is the standard FFT-filter recipe: draw white Gaussian noise
+//! in real space (its spectrum is flat), transform, multiply each mode by
+//! `sqrt(P(|k|))`, transform back. Because the filter is real and even in
+//! `k`, Hermitian symmetry is preserved and the output is real to
+//! roundoff. Phases are fully determined by the seed, so a redshift series
+//! can grow amplitudes while keeping the same structures in place.
+
+use crate::spectrum::PowerSpectrum;
+use fftlite::{Complex64, Fft3};
+use gridlab::{Dim3, Field3};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Signed frequency of index `j` on an `n`-point axis (grid units).
+#[inline]
+pub fn freq(j: usize, n: usize) -> f64 {
+    if j <= n / 2 {
+        j as f64
+    } else {
+        j as f64 - n as f64
+    }
+}
+
+/// Magnitude of the wavevector at grid index `(i, j, k)`.
+#[inline]
+pub fn k_mag(i: usize, j: usize, k: usize, dims: Dim3) -> f64 {
+    let kx = freq(i, dims.nx);
+    let ky = freq(j, dims.ny);
+    let kz = freq(k, dims.nz);
+    (kx * kx + ky * ky + kz * kz).sqrt()
+}
+
+/// White Gaussian noise field (mean 0, variance 1), deterministic per seed.
+pub fn white_noise(dims: Dim3, seed: u64) -> Field3<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..dims.len())
+        .map(|_| {
+            // Box–Muller from two uniforms.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+        .collect();
+    Field3::from_vec(dims, data).expect("length matches dims")
+}
+
+/// The spectral modes of a GRF: white noise filtered by `sqrt(P(k))`.
+///
+/// Returned in k-space so callers can derive correlated quantities
+/// (velocities, displaced densities) from the *same* modes.
+pub fn grf_modes(dims: Dim3, spectrum: &PowerSpectrum, seed: u64) -> Vec<Complex64> {
+    let noise = white_noise(dims, seed);
+    let fft = Fft3::new(dims.nx, dims.ny, dims.nz);
+    let mut modes: Vec<Complex64> =
+        noise.as_slice().iter().map(|&v| Complex64::real(v)).collect();
+    fft.forward(&mut modes);
+    let mut idx = 0usize;
+    for i in 0..dims.nx {
+        for j in 0..dims.ny {
+            for k in 0..dims.nz {
+                let f = spectrum.filter(k_mag(i, j, k, dims));
+                modes[idx] = modes[idx].scale(f);
+                idx += 1;
+            }
+        }
+    }
+    modes
+}
+
+/// Real-space GRF with unit variance (modes rescaled after synthesis) and
+/// zero mean.
+pub fn gaussian_field(dims: Dim3, spectrum: &PowerSpectrum, seed: u64) -> Field3<f64> {
+    let modes = grf_modes(dims, spectrum, seed);
+    field_from_modes(dims, &modes)
+}
+
+/// Inverse-transform spectral modes and normalise to mean 0, variance 1.
+pub fn field_from_modes(dims: Dim3, modes: &[Complex64]) -> Field3<f64> {
+    let fft = Fft3::new(dims.nx, dims.ny, dims.nz);
+    let mut buf = modes.to_vec();
+    fft.inverse(&mut buf);
+    let mut data: Vec<f64> = buf.iter().map(|z| z.re).collect();
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let inv_std = if var > 0.0 { 1.0 / var.sqrt() } else { 1.0 };
+    for v in &mut data {
+        *v = (*v - mean) * inv_std;
+    }
+    Field3::from_vec(dims, data).expect("length matches dims")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridlab::stats::summarize_field;
+
+    #[test]
+    fn freq_is_signed() {
+        assert_eq!(freq(0, 8), 0.0);
+        assert_eq!(freq(4, 8), 4.0);
+        assert_eq!(freq(5, 8), -3.0);
+        assert_eq!(freq(7, 8), -1.0);
+    }
+
+    #[test]
+    fn white_noise_is_standardish() {
+        let f = white_noise(Dim3::cube(16), 1);
+        let s = summarize_field(&f);
+        assert!(s.mean.abs() < 0.05, "mean {}", s.mean);
+        assert!((s.variance - 1.0).abs() < 0.1, "var {}", s.variance);
+    }
+
+    #[test]
+    fn white_noise_is_deterministic() {
+        let a = white_noise(Dim3::cube(8), 7);
+        let b = white_noise(Dim3::cube(8), 7);
+        assert_eq!(a, b);
+        let c = white_noise(Dim3::cube(8), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_field_is_normalised() {
+        let f = gaussian_field(Dim3::cube(16), &PowerSpectrum::default(), 3);
+        let s = summarize_field(&f);
+        assert!(s.mean.abs() < 1e-10);
+        assert!((s.variance - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn field_is_real_valued_to_roundoff() {
+        // Imaginary residue after the inverse transform must be tiny
+        // relative to the field amplitude.
+        let dims = Dim3::cube(8);
+        let modes = grf_modes(dims, &PowerSpectrum::default(), 5);
+        let fft = Fft3::new(8, 8, 8);
+        let mut buf = modes.clone();
+        fft.inverse(&mut buf);
+        let max_im = buf.iter().map(|z| z.im.abs()).fold(0.0, f64::max);
+        let max_re = buf.iter().map(|z| z.re.abs()).fold(0.0, f64::max);
+        assert!(max_im < 1e-9 * max_re.max(1.0), "im {max_im} re {max_re}");
+    }
+
+    #[test]
+    fn spectrum_shape_is_imprinted() {
+        // Measure band power of the synthesized field: low-k band should
+        // carry more power than the highest band for the default spectrum.
+        let dims = Dim3::cube(32);
+        let f = gaussian_field(dims, &PowerSpectrum::default(), 11);
+        let fft = Fft3::new(32, 32, 32);
+        let mut modes: Vec<Complex64> =
+            f.as_slice().iter().map(|&v| Complex64::real(v)).collect();
+        fft.forward(&mut modes);
+        let mut low = 0.0;
+        let mut nlow = 0u64;
+        let mut high = 0.0;
+        let mut nhigh = 0u64;
+        let mut idx = 0;
+        for i in 0..32 {
+            for j in 0..32 {
+                for k in 0..32 {
+                    let km = k_mag(i, j, k, dims);
+                    if km > 0.5 && km < 4.0 {
+                        low += modes[idx].norm_sqr();
+                        nlow += 1;
+                    } else if km > 12.0 {
+                        high += modes[idx].norm_sqr();
+                        nhigh += 1;
+                    }
+                    idx += 1;
+                }
+            }
+        }
+        let low_avg = low / nlow as f64;
+        let high_avg = high / nhigh as f64;
+        assert!(low_avg > 10.0 * high_avg, "low {low_avg} high {high_avg}");
+    }
+
+    #[test]
+    fn same_seed_different_spectra_share_phases() {
+        // Fields from the same seed but different amplitudes must be highly
+        // correlated — the property the redshift series relies on.
+        let dims = Dim3::cube(16);
+        let p1 = PowerSpectrum::default();
+        let p2 = PowerSpectrum { amplitude: 5.0, ..p1 };
+        let a = gaussian_field(dims, &p1, 21);
+        let b = gaussian_field(dims, &p2, 21);
+        let n = a.len() as f64;
+        let corr: f64 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| x * y)
+            .sum::<f64>()
+            / n;
+        assert!(corr > 0.99, "corr {corr}"); // both are unit variance
+    }
+}

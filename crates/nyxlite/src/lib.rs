@@ -1,0 +1,30 @@
+//! # nyxlite — synthetic Nyx-like cosmology snapshots
+//!
+//! The paper evaluates on Nyx simulation dumps (512³–2048³ grids, six
+//! fields, HDF5) that are not redistributable. This crate builds the
+//! closest synthetic equivalent (see DESIGN.md substitutions):
+//!
+//! * [`spectrum`] — a BBKS-flavoured matter power spectrum `P(k)` and a
+//!   matter-dominated growth factor `D(z)`, so snapshots evolve the way the
+//!   paper's redshift series does (Figs. 16/17: structure sharpens and
+//!   contrast grows as `z` drops),
+//! * [`grf`] — Gaussian random fields with a prescribed spectrum, generated
+//!   by FFT-filtering white noise (deterministic per seed),
+//! * [`fields`] — the six Nyx fields derived from one underlying density
+//!   perturbation: lognormal baryon & dark-matter density (dense clumps ⇒
+//!   halos), a power-law temperature–density relation with scatter, and
+//!   Zel'dovich velocities from the same modes,
+//! * [`snapshot`] — the `Snapshot` container (all six fields + metadata)
+//!   and redshift-series generation with frozen phases.
+//!
+//! Value ranges follow the paper's Table 2 (baryon density `(0, 1e5)`,
+//! temperature `(1e2, 1e7)`, velocity `(−1e8, 1e8)`, …).
+
+pub mod fields;
+pub mod grf;
+pub mod snapshot;
+pub mod spectrum;
+
+pub use fields::FieldKind;
+pub use snapshot::{NyxConfig, Snapshot};
+pub use spectrum::{growth_factor, PowerSpectrum};

@@ -1,0 +1,170 @@
+//! Bit-granular writer/reader used by the Huffman coder.
+//!
+//! Bits are packed MSB-first within each byte; the writer pads the final
+//! byte with zeros. MSB-first keeps canonical Huffman decoding a simple
+//! numeric comparison walk.
+
+/// Append-only bit writer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the last byte (0..8; 0 means byte boundary).
+    used: u8,
+}
+
+impl BitWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of whole bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.used as usize
+        }
+    }
+
+    /// Write one bit (LSB of `bit`).
+    #[inline]
+    pub fn push_bit(&mut self, bit: u32) {
+        if self.used == 0 || self.used == 8 {
+            self.buf.push(0);
+            self.used = 0;
+        }
+        if bit & 1 != 0 {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << (7 - self.used);
+        }
+        self.used += 1;
+    }
+
+    /// Write the low `count` bits of `value`, most-significant bit first.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, count: u8) {
+        debug_assert!(count <= 64);
+        for i in (0..count).rev() {
+            self.push_bit(((value >> i) & 1) as u32);
+        }
+    }
+
+    /// Finish and return the packed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize, // absolute bit position
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() * 8 - self.pos
+    }
+
+    /// Read one bit; `None` at end of stream.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<u32> {
+        let byte = self.buf.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8) as u32)) & 1;
+        self.pos += 1;
+        Some(bit as u32)
+    }
+
+    /// Read `count` bits MSB-first; `None` if the stream is short.
+    #[inline]
+    pub fn read_bits(&mut self, count: u8) -> Option<u64> {
+        if self.remaining() < count as usize {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let pattern = [1u32, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.push_bit(b);
+        }
+        assert_eq!(w.bit_len(), pattern.len());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_roundtrip() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        w.push_bits(0xFFFF, 16);
+        w.push_bits(0, 5);
+        w.push_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(16), Some(0xFFFF));
+        assert_eq!(r.read_bits(5), Some(0));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn msb_first_packing() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1, 1);
+        w.push_bits(0, 7);
+        assert_eq!(w.into_bytes(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn reader_detects_exhaustion() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b11, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8), Some(0b1100_0000)); // padded zeros readable
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        let bytes = w.into_bytes();
+        assert!(bytes.is_empty());
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1010, 4);
+        assert_eq!(w.bit_len(), 4);
+        w.push_bits(0b1010_1010, 8);
+        assert_eq!(w.bit_len(), 12);
+        assert_eq!(w.into_bytes().len(), 2);
+    }
+}

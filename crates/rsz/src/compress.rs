@@ -1,0 +1,861 @@
+//! Compression pipeline and container format.
+//!
+//! Assembles the SZ stages (Lorenzo → quantise → RLE-fold → Huffman →
+//! optional LZSS) into a self-describing byte container, and runs the exact
+//! mirror walk for decompression.
+//!
+//! ## Determinism contract
+//! Both walks maintain the same `f64` reconstruction buffer and visit cells
+//! in identical raster order, so predictions agree bit-for-bit and the
+//! user-facing guarantee holds:
+//!
+//! * ABS mode: `|x' − x| ≤ eb` point-wise,
+//! * PW_REL mode: `|x' − x| ≤ rel·|x|` for `|x| > zero_thresh`, and
+//!   `x' = 0` with `|x| ≤ zero_thresh` otherwise.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::huffman::{CodeBook, HuffmanError};
+use crate::lossless::{lzss_compress, lzss_decompress, LzssError};
+use crate::predictor::lorenzo3;
+use crate::quantizer::{Quantizer, UNPREDICTABLE};
+use crate::rle::{dominant_code, fold, unfold, RUN_MARKER};
+use gridlab::{Dim3, Field3, Scalar};
+use std::collections::HashMap;
+
+const MAGIC: &[u8; 4] = b"RSZ1";
+const VERSION: u8 = 1;
+/// Default quantisation radius (same as SZ's default 2^15 bins).
+pub const DEFAULT_RADIUS: u32 = 1 << 15;
+
+/// Error-bound mode, mirroring SZ's ABS and PW_REL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorMode {
+    /// Point-wise absolute bound `|x' − x| ≤ eb`.
+    Abs(f64),
+    /// Point-wise relative bound `|x' − x| ≤ rel·|x|`, implemented through
+    /// the logarithmic transform. Values with `|x| ≤ zero_thresh` are
+    /// reconstructed as exactly `0`.
+    PwRel { rel: f64, zero_thresh: f64 },
+}
+
+impl ErrorMode {
+    fn tag(&self) -> u8 {
+        match self {
+            ErrorMode::Abs(_) => 0,
+            ErrorMode::PwRel { .. } => 1,
+        }
+    }
+}
+
+/// Compressor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SzConfig {
+    pub mode: ErrorMode,
+    /// Quantisation radius: codes span `1 ..= 2·radius − 1`.
+    pub radius: u32,
+    /// Apply the LZSS lossless pass to the container payload.
+    pub lossless: bool,
+}
+
+impl SzConfig {
+    /// ABS mode with the given bound.
+    pub fn abs(eb: f64) -> Self {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
+        Self { mode: ErrorMode::Abs(eb), radius: DEFAULT_RADIUS, lossless: false }
+    }
+
+    /// PW_REL mode with the given relative bound and zero threshold.
+    pub fn pw_rel(rel: f64, zero_thresh: f64) -> Self {
+        assert!(rel > 0.0 && rel < 1.0, "relative bound must be in (0, 1)");
+        assert!(zero_thresh >= 0.0);
+        Self {
+            mode: ErrorMode::PwRel { rel, zero_thresh },
+            radius: DEFAULT_RADIUS,
+            lossless: false,
+        }
+    }
+
+    /// Builder-style: enable the LZSS payload pass.
+    pub fn with_lossless(mut self, on: bool) -> Self {
+        self.lossless = on;
+        self
+    }
+
+    /// Builder-style: override the quantisation radius.
+    pub fn with_radius(mut self, radius: u32) -> Self {
+        assert!(radius >= 2);
+        self.radius = radius;
+        self
+    }
+}
+
+/// Errors surfaced by decompression (compression is total by construction).
+#[derive(Debug)]
+pub enum SzError {
+    Format(String),
+    Huffman(HuffmanError),
+    Lossless(LzssError),
+}
+
+impl std::fmt::Display for SzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SzError::Format(m) => write!(f, "container format error: {m}"),
+            SzError::Huffman(e) => write!(f, "huffman error: {e}"),
+            SzError::Lossless(e) => write!(f, "lossless error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SzError {}
+
+impl From<HuffmanError> for SzError {
+    fn from(e: HuffmanError) -> Self {
+        SzError::Huffman(e)
+    }
+}
+
+impl From<LzssError> for SzError {
+    fn from(e: LzssError) -> Self {
+        SzError::Lossless(e)
+    }
+}
+
+/// A compressed field: opaque bytes plus the parsed header.
+#[derive(Debug, Clone)]
+pub struct Compressed {
+    bytes: Vec<u8>,
+    dims: Dim3,
+    mode: ErrorMode,
+    n_unpredictable: usize,
+}
+
+impl Compressed {
+    /// Full container size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw container bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Re-wrap container bytes (e.g. read back from storage).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SzError> {
+        let h = Header::parse(&bytes)?;
+        Ok(Self { dims: h.dims, mode: h.mode, n_unpredictable: 0, bytes })
+    }
+
+    /// Grid dimensions of the compressed field.
+    pub fn dims(&self) -> Dim3 {
+        self.dims
+    }
+
+    /// The error mode the data was compressed under.
+    pub fn mode(&self) -> ErrorMode {
+        self.mode
+    }
+
+    /// Number of values that had to be stored verbatim.
+    pub fn n_unpredictable(&self) -> usize {
+        self.n_unpredictable
+    }
+
+    /// Rate/ratio statistics for a `T`-typed original.
+    pub fn stats<T: Scalar>(&self) -> CodecStats {
+        let n = self.dims.len();
+        let original = n * T::BYTES;
+        CodecStats {
+            original_bytes: original,
+            compressed_bytes: self.bytes.len(),
+            bit_rate: 8.0 * self.bytes.len() as f64 / n as f64,
+            ratio: original as f64 / self.bytes.len() as f64,
+        }
+    }
+}
+
+/// Size accounting for one compression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecStats {
+    pub original_bytes: usize,
+    pub compressed_bytes: usize,
+    /// Bits per value.
+    pub bit_rate: f64,
+    /// `original / compressed`.
+    pub ratio: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128) for the run side-channel.
+// ---------------------------------------------------------------------------
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, SzError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos).ok_or_else(|| SzError::Format("varint truncated".into()))?;
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(SzError::Format("varint overflow".into()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header
+// ---------------------------------------------------------------------------
+
+struct Header {
+    dims: Dim3,
+    mode: ErrorMode,
+    radius: u32,
+    dom: u32,
+    lossless: bool,
+    payload_at: usize,
+    tag: String,
+}
+
+impl Header {
+    fn parse(bytes: &[u8]) -> Result<Header, SzError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], SzError> {
+            if *pos + n > bytes.len() {
+                return Err(SzError::Format("header truncated".into()));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(SzError::Format("bad magic".into()));
+        }
+        let version = take(&mut pos, 1)?[0];
+        if version != VERSION {
+            return Err(SzError::Format(format!("unsupported version {version}")));
+        }
+        let tag_len = take(&mut pos, 1)?[0] as usize;
+        let tag = std::str::from_utf8(take(&mut pos, tag_len)?)
+            .map_err(|_| SzError::Format("bad scalar tag".into()))?
+            .to_string();
+        let mut dims = [0usize; 3];
+        for d in &mut dims {
+            let b: [u8; 8] = take(&mut pos, 8)?.try_into().expect("8");
+            let v = u64::from_le_bytes(b);
+            if v == 0 {
+                return Err(SzError::Format("zero dimension".into()));
+            }
+            *d = v as usize;
+        }
+        let mode_tag = take(&mut pos, 1)?[0];
+        let eb = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        let zt = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        let mode = match mode_tag {
+            0 => ErrorMode::Abs(eb),
+            1 => ErrorMode::PwRel { rel: eb, zero_thresh: zt },
+            t => return Err(SzError::Format(format!("unknown mode tag {t}"))),
+        };
+        let radius = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
+        if radius < 2 {
+            return Err(SzError::Format("radius too small".into()));
+        }
+        let dom = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
+        let flags = take(&mut pos, 1)?[0];
+        Ok(Header {
+            dims: Dim3::new(dims[0], dims[1], dims[2]),
+            mode,
+            radius,
+            dom,
+            lossless: flags & 1 != 0,
+            payload_at: pos,
+            tag,
+        })
+    }
+}
+
+fn write_header<T: Scalar>(cfg: &SzConfig, dims: Dim3, dom: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(T::TAG.len() as u8);
+    out.extend_from_slice(T::TAG.as_bytes());
+    for n in [dims.nx, dims.ny, dims.nz] {
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+    }
+    out.push(cfg.mode.tag());
+    let (eb, zt) = match cfg.mode {
+        ErrorMode::Abs(eb) => (eb, 0.0),
+        ErrorMode::PwRel { rel, zero_thresh } => (rel, zero_thresh),
+    };
+    out.extend_from_slice(&eb.to_le_bytes());
+    out.extend_from_slice(&zt.to_le_bytes());
+    out.extend_from_slice(&cfg.radius.to_le_bytes());
+    out.extend_from_slice(&dom.to_le_bytes());
+    out.push(if cfg.lossless { 1 } else { 0 });
+}
+
+// ---------------------------------------------------------------------------
+// Bitmaps (PW_REL side-channels)
+// ---------------------------------------------------------------------------
+
+fn pack_bitmap(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; (bits.len() + 7) / 8];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bitmap(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The quantisation walk
+// ---------------------------------------------------------------------------
+
+/// Result of the forward walk before entropy coding.
+struct WalkOutput<T> {
+    codes: Vec<u32>,
+    unpredictable: Vec<T>,
+}
+
+/// Forward walk in an arbitrary transformed domain.
+///
+/// `target(i)` is the value to encode at linear index `i`; `store(i, recon)`
+/// lets the caller verify/override in the *original* domain and decide
+/// whether the reconstruction is acceptable (returning the value to keep in
+/// the reconstruction buffer, or `None` to force verbatim storage).
+fn forward_walk<T, FT, FS>(
+    dims: Dim3,
+    quant: &Quantizer,
+    target: FT,
+    mut accept: FS,
+    originals: &[T],
+) -> WalkOutput<T>
+where
+    T: Scalar,
+    FT: Fn(usize) -> f64,
+    FS: FnMut(usize, f64) -> Option<f64>,
+{
+    let n = dims.len();
+    let (ny, nz) = (dims.ny, dims.nz);
+    let mut recon = vec![0.0f64; n];
+    let mut codes = Vec::with_capacity(n);
+    let mut unpredictable = Vec::new();
+    let mut idx = 0usize;
+    for x in 0..dims.nx {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                let val = target(idx);
+                let pred = lorenzo3(&recon, ny, nz, x, y, z);
+                let mut stored = None;
+                if let Some((code, r)) = quant.quantize(val, pred) {
+                    if let Some(keep) = accept(idx, r) {
+                        codes.push(code);
+                        stored = Some(keep);
+                    }
+                }
+                match stored {
+                    Some(r) => recon[idx] = r,
+                    None => {
+                        codes.push(UNPREDICTABLE);
+                        unpredictable.push(originals[idx]);
+                        recon[idx] = val; // exact in the transformed domain
+                    }
+                }
+                idx += 1;
+            }
+        }
+    }
+    WalkOutput { codes, unpredictable }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Compress a field under `cfg`. Total: never fails.
+pub fn compress<T: Scalar>(field: &Field3<T>, cfg: &SzConfig) -> Compressed {
+    compress_slice(field.as_slice(), field.dims(), cfg)
+}
+
+/// Compress a raw slice laid out as `dims` (z fastest).
+pub fn compress_slice<T: Scalar>(values: &[T], dims: Dim3, cfg: &SzConfig) -> Compressed {
+    assert_eq!(values.len(), dims.len(), "slice length must match dims");
+    let n = dims.len();
+
+    // Phase 1: quantisation walk (mode-specific target domain).
+    let (walk, sign_bitmap, zero_bitmap) = match cfg.mode {
+        ErrorMode::Abs(eb) => {
+            let quant = Quantizer::new(eb, cfg.radius);
+            let vals: Vec<f64> = values.iter().map(|v| v.to_f64()).collect();
+            let w = forward_walk(
+                dims,
+                &quant,
+                |i| vals[i],
+                |i, r| {
+                    // Verify in T precision: the decompressor's output cast
+                    // must still honour the bound.
+                    let rt = T::from_f64(r).to_f64();
+                    if (rt - vals[i]).abs() <= eb {
+                        Some(r)
+                    } else {
+                        None
+                    }
+                },
+                values,
+            );
+            (w, None, None)
+        }
+        ErrorMode::PwRel { rel, zero_thresh } => {
+            let eb_log = (1.0 + rel).ln() / 2.0;
+            let quant = Quantizer::new(eb_log, cfg.radius);
+            let floor = zero_thresh.max(f64::MIN_POSITIVE);
+            let signs: Vec<bool> = values.iter().map(|v| v.to_f64() < 0.0).collect();
+            let zeros: Vec<bool> = values.iter().map(|v| v.to_f64().abs() <= zero_thresh).collect();
+            let logs: Vec<f64> =
+                values.iter().map(|v| v.to_f64().abs().max(floor).ln()).collect();
+            let w = forward_walk(
+                dims,
+                &quant,
+                |i| logs[i],
+                |i, r| {
+                    if zeros[i] {
+                        // Output is forced to 0; any in-bound recon is fine
+                        // for the prediction walk.
+                        return Some(r);
+                    }
+                    let v = values[i].to_f64();
+                    let mag = r.exp();
+                    let out = T::from_f64(if signs[i] { -mag } else { mag }).to_f64();
+                    if (out - v).abs() <= rel * v.abs() {
+                        Some(r)
+                    } else {
+                        None
+                    }
+                },
+                values,
+            );
+            (w, Some(pack_bitmap(&signs)), Some(pack_bitmap(&zeros)))
+        }
+    };
+
+    // Phase 2: RLE folding + Huffman.
+    let dom = dominant_code(&walk.codes);
+    let (symbols, runs) = fold(&walk.codes, dom);
+    let mut freqs: HashMap<u32, u64> = HashMap::new();
+    for &s in &symbols {
+        *freqs.entry(s).or_insert(0) += 1;
+    }
+    let book = CodeBook::from_freqs(&freqs);
+    let mut bw = BitWriter::new();
+    book.encode(&symbols, &mut bw).expect("all symbols are in the book");
+    let bitstream = bw.into_bytes();
+
+    // Phase 3: payload assembly.
+    let mut payload = Vec::new();
+    write_varint(&mut payload, symbols.len() as u64);
+    write_varint(&mut payload, book.entries().len() as u64);
+    // Table entries sorted by symbol, delta-varint coded: quantisation
+    // codes cluster around the bias, so deltas are tiny. This matters for
+    // small partitions where a flat 5-byte/entry table would dominate the
+    // container.
+    let mut by_symbol: Vec<(u32, u8)> = book.entries().to_vec();
+    by_symbol.sort_unstable();
+    let mut prev = 0u32;
+    for &(sym, len) in &by_symbol {
+        write_varint(&mut payload, (sym - prev) as u64);
+        payload.push(len);
+        prev = sym;
+    }
+    write_varint(&mut payload, bitstream.len() as u64);
+    payload.extend_from_slice(&bitstream);
+    write_varint(&mut payload, runs.len() as u64);
+    for &r in &runs {
+        write_varint(&mut payload, r as u64);
+    }
+    write_varint(&mut payload, walk.unpredictable.len() as u64);
+    for v in &walk.unpredictable {
+        v.write_le(&mut payload);
+    }
+    if let (Some(sb), Some(zb)) = (&sign_bitmap, &zero_bitmap) {
+        payload.extend_from_slice(sb);
+        payload.extend_from_slice(zb);
+    }
+
+    let payload = if cfg.lossless { lzss_compress(&payload) } else { payload };
+
+    let mut bytes = Vec::with_capacity(64 + payload.len());
+    write_header::<T>(cfg, dims, dom, &mut bytes);
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    debug_assert_eq!(walk.codes.len(), n);
+    Compressed {
+        bytes,
+        dims,
+        mode: cfg.mode,
+        n_unpredictable: walk.unpredictable.len(),
+    }
+}
+
+/// Decompress into a field.
+pub fn decompress<T: Scalar>(c: &Compressed) -> Result<Field3<T>, SzError> {
+    let (values, dims) = decompress_slice::<T>(c.as_bytes())?;
+    Field3::from_vec(dims, values).map_err(|e| SzError::Format(e.to_string()))
+}
+
+/// Decompress raw container bytes; returns the values and their dims.
+pub fn decompress_slice<T: Scalar>(bytes: &[u8]) -> Result<(Vec<T>, Dim3), SzError> {
+    let h = Header::parse(bytes)?;
+    if h.tag != T::TAG {
+        return Err(SzError::Format(format!(
+            "scalar tag mismatch: container has {}, requested {}",
+            h.tag,
+            T::TAG
+        )));
+    }
+    let dims = h.dims;
+    let n = dims.len();
+    let mut pos = h.payload_at;
+    let take = |pos: &mut usize, k: usize| -> Result<&[u8], SzError> {
+        if *pos + k > bytes.len() {
+            return Err(SzError::Format("container truncated".into()));
+        }
+        let s = &bytes[*pos..*pos + k];
+        *pos += k;
+        Ok(s)
+    };
+    let payload_len =
+        u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
+    let raw = take(&mut pos, payload_len)?;
+    let payload_owned;
+    let payload: &[u8] = if h.lossless {
+        payload_owned = lzss_decompress(raw)?;
+        &payload_owned
+    } else {
+        raw
+    };
+
+    // --- parse payload sections ---
+    let mut p = 0usize;
+    let ptake = |p: &mut usize, k: usize| -> Result<&[u8], SzError> {
+        if *p + k > payload.len() {
+            return Err(SzError::Format("payload truncated".into()));
+        }
+        let s = &payload[*p..*p + k];
+        *p += k;
+        Ok(s)
+    };
+    let pvarint = |p: &mut usize| -> Result<u64, SzError> {
+        let mut vp = *p;
+        let v = read_varint(payload, &mut vp)?;
+        *p = vp;
+        Ok(v)
+    };
+    let n_symbols = pvarint(&mut p)? as usize;
+    let table_len = pvarint(&mut p)? as usize;
+    let mut entries = Vec::with_capacity(table_len);
+    let mut prev = 0u64;
+    for _ in 0..table_len {
+        let delta = pvarint(&mut p)?;
+        let sym = prev + delta;
+        prev = sym;
+        if sym > u32::MAX as u64 {
+            return Err(SzError::Format("symbol overflow in table".into()));
+        }
+        let len = ptake(&mut p, 1)?[0];
+        if len == 0 || len > 64 {
+            return Err(SzError::Format("invalid code length".into()));
+        }
+        entries.push((sym as u32, len));
+    }
+    let book = CodeBook::from_lengths(entries);
+    let bs_len = pvarint(&mut p)? as usize;
+    let bitstream = ptake(&mut p, bs_len)?;
+    let mut reader = BitReader::new(bitstream);
+    let symbols = book.decode(&mut reader, n_symbols)?;
+
+    let n_runs = pvarint(&mut p)? as usize;
+    let mut runs = Vec::with_capacity(n_runs);
+    for _ in 0..n_runs {
+        runs.push(pvarint(&mut p)? as u32);
+    }
+    let n_unpred = pvarint(&mut p)? as usize;
+    let unpred_bytes = ptake(&mut p, n_unpred * T::BYTES)?;
+    let mut unpredictable = Vec::with_capacity(n_unpred);
+    for i in 0..n_unpred {
+        unpredictable.push(T::read_le(&unpred_bytes[i * T::BYTES..]));
+    }
+
+    let (signs, zeros) = match h.mode {
+        ErrorMode::Abs(_) => (None, None),
+        ErrorMode::PwRel { .. } => {
+            let bm_len = (n + 7) / 8;
+            let sb = unpack_bitmap(ptake(&mut p, bm_len)?, n);
+            let zb = unpack_bitmap(ptake(&mut p, bm_len)?, n);
+            (Some(sb), Some(zb))
+        }
+    };
+
+    // --- reverse the RLE fold ---
+    let codes = unfold(&symbols, &runs, h.dom)
+        .ok_or_else(|| SzError::Format("run side-channel mismatch".into()))?;
+    if codes.len() != n {
+        return Err(SzError::Format(format!(
+            "code count {} does not match {} cells",
+            codes.len(),
+            n
+        )));
+    }
+    if codes.iter().any(|&c| c != UNPREDICTABLE && c != RUN_MARKER && c > 2 * h.radius - 1) {
+        return Err(SzError::Format("quantisation code out of range".into()));
+    }
+
+    // --- mirror walk ---
+    let (eb_walk, is_pwrel, rel_floor) = match h.mode {
+        ErrorMode::Abs(eb) => (eb, false, 0.0),
+        ErrorMode::PwRel { rel, zero_thresh } => {
+            ((1.0 + rel).ln() / 2.0, true, zero_thresh.max(f64::MIN_POSITIVE))
+        }
+    };
+    let quant = Quantizer::new(eb_walk, h.radius);
+    let (ny, nz) = (dims.ny, dims.nz);
+    let mut recon = vec![0.0f64; n];
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let mut up_iter = unpredictable.iter();
+    let mut idx = 0usize;
+    for x in 0..dims.nx {
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                let code = codes[idx];
+                if code == UNPREDICTABLE {
+                    let &v = up_iter
+                        .next()
+                        .ok_or_else(|| SzError::Format("missing verbatim value".into()))?;
+                    out.push(v);
+                    recon[idx] = if is_pwrel {
+                        v.to_f64().abs().max(rel_floor).ln()
+                    } else {
+                        v.to_f64()
+                    };
+                } else {
+                    let pred = lorenzo3(&recon, ny, nz, x, y, z);
+                    let r = quant.dequantize(code, pred);
+                    recon[idx] = r;
+                    if is_pwrel {
+                        let zeros = zeros.as_ref().expect("pwrel bitmaps present");
+                        let signs = signs.as_ref().expect("pwrel bitmaps present");
+                        if zeros[idx] {
+                            out.push(T::zero());
+                        } else {
+                            let mag = r.exp();
+                            out.push(T::from_f64(if signs[idx] { -mag } else { mag }));
+                        }
+                    } else {
+                        out.push(T::from_f64(r));
+                    }
+                }
+                idx += 1;
+            }
+        }
+    }
+    if up_iter.next().is_some() {
+        return Err(SzError::Format("unused verbatim values".into()));
+    }
+    Ok((out, dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy_field(n: usize) -> Field3<f32> {
+        Field3::from_fn(Dim3::cube(n), |x, y, z| {
+            let (x, y, z) = (x as f32, y as f32, z as f32);
+            (x * 0.3).sin() * 40.0 + (y * 0.2).cos() * 25.0 + (z * 0.45).sin() * 10.0 + 100.0
+        })
+    }
+
+    #[test]
+    fn abs_roundtrip_respects_bound() {
+        let f = wavy_field(16);
+        for eb in [1.0, 0.1, 0.01] {
+            let c = compress(&f, &SzConfig::abs(eb));
+            let g: Field3<f32> = decompress(&c).unwrap();
+            assert_eq!(g.dims(), f.dims());
+            let err = f.max_abs_diff(&g);
+            assert!(err <= eb + 1e-9, "eb={eb} got {err}");
+        }
+    }
+
+    #[test]
+    fn smooth_field_compresses_hard() {
+        let f = wavy_field(32);
+        let c = compress(&f, &SzConfig::abs(0.5));
+        let s = c.stats::<f32>();
+        assert!(s.ratio > 16.0, "ratio {}", s.ratio);
+        assert!(s.bit_rate < 2.0, "bit rate {}", s.bit_rate);
+    }
+
+    #[test]
+    fn higher_bound_means_higher_ratio() {
+        let f = wavy_field(16);
+        let r1 = compress(&f, &SzConfig::abs(0.01)).stats::<f32>().ratio;
+        let r2 = compress(&f, &SzConfig::abs(1.0)).stats::<f32>().ratio;
+        assert!(r2 > r1, "{r2} <= {r1}");
+    }
+
+    #[test]
+    fn lossless_pass_roundtrips() {
+        let f = wavy_field(12);
+        let c = compress(&f, &SzConfig::abs(0.1).with_lossless(true));
+        let g: Field3<f32> = decompress(&c).unwrap();
+        assert!(f.max_abs_diff(&g) <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn constant_field_is_tiny() {
+        let f = Field3::constant(Dim3::cube(32), 42.0f32);
+        let c = compress(&f, &SzConfig::abs(0.001));
+        assert!(c.len() < 400, "container {} bytes", c.len());
+        let g: Field3<f32> = decompress(&c).unwrap();
+        assert!(f.max_abs_diff(&g) <= 0.001);
+    }
+
+    #[test]
+    fn random_noise_still_bounded() {
+        let mut state = 77u64;
+        let f = Field3::from_fn(Dim3::cube(10), |_, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) as f32 * 2000.0
+        });
+        let eb = 0.5;
+        let c = compress(&f, &SzConfig::abs(eb));
+        let g: Field3<f32> = decompress(&c).unwrap();
+        assert!(f.max_abs_diff(&g) <= eb + 1e-9);
+    }
+
+    #[test]
+    fn pwrel_roundtrip_respects_relative_bound() {
+        let f = Field3::from_fn(Dim3::cube(12), |x, y, z| {
+            let v = (1.0 + x as f64 + 10.0 * y as f64) * (z as f64 + 1.0);
+            (if (x + y) % 2 == 0 { v } else { -v }) as f32
+        });
+        let rel = 0.01;
+        let c = compress(&f, &SzConfig::pw_rel(rel, 1e-12));
+        let g: Field3<f32> = decompress(&c).unwrap();
+        for (a, b) in f.as_slice().iter().zip(g.as_slice()) {
+            let (a, b) = (*a as f64, *b as f64);
+            assert!((a - b).abs() <= rel * a.abs() + 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pwrel_zero_threshold_zeros_small_values() {
+        let f = Field3::from_fn(Dim3::cube(8), |x, _, _| if x == 0 { 1e-9f32 } else { 5.0 });
+        let c = compress(&f, &SzConfig::pw_rel(0.05, 1e-6));
+        let g: Field3<f32> = decompress(&c).unwrap();
+        assert_eq!(g.get(0, 3, 3), 0.0);
+        assert!((g.get(4, 3, 3) - 5.0).abs() <= 0.25);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let f = Field3::from_fn(Dim3::cube(8), |x, y, z| (x + y + z) as f64 * 1.7);
+        let c = compress(&f, &SzConfig::abs(0.01));
+        let g: Field3<f64> = decompress(&c).unwrap();
+        assert!(f.max_abs_diff(&g) <= 0.01);
+    }
+
+    #[test]
+    fn container_roundtrip_through_bytes() {
+        let f = wavy_field(8);
+        let c = compress(&f, &SzConfig::abs(0.1));
+        let c2 = Compressed::from_bytes(c.as_bytes().to_vec()).unwrap();
+        assert_eq!(c2.dims(), f.dims());
+        let g: Field3<f32> = decompress(&c2).unwrap();
+        assert!(f.max_abs_diff(&g) <= 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn wrong_scalar_type_rejected() {
+        let f = wavy_field(8);
+        let c = compress(&f, &SzConfig::abs(0.1));
+        assert!(decompress::<f64>(&c).is_err());
+    }
+
+    #[test]
+    fn corrupt_container_rejected() {
+        let f = wavy_field(8);
+        let mut bytes = compress(&f, &SzConfig::abs(0.1)).as_bytes().to_vec();
+        bytes[0] = b'X';
+        assert!(Compressed::from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_container_rejected() {
+        let f = wavy_field(8);
+        let bytes = compress(&f, &SzConfig::abs(0.1)).as_bytes().to_vec();
+        let half = bytes.len() / 2;
+        assert!(decompress_slice::<f32>(&bytes[..half]).is_err());
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let f = wavy_field(16);
+        let c = compress(&f, &SzConfig::abs(0.1));
+        let s = c.stats::<f32>();
+        assert_eq!(s.original_bytes, 16 * 16 * 16 * 4);
+        assert_eq!(s.compressed_bytes, c.len());
+        assert!((s.ratio - s.original_bytes as f64 / s.compressed_bytes as f64).abs() < 1e-12);
+        assert!(
+            (s.bit_rate - 8.0 * s.compressed_bytes as f64 / (16.0 * 16.0 * 16.0)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn error_distribution_is_roughly_uniform() {
+        // Validates the paper's Eq. 3 premise on this implementation.
+        let f = wavy_field(24);
+        let eb = 0.2;
+        let c = compress(&f, &SzConfig::abs(eb));
+        let g: Field3<f32> = decompress(&c).unwrap();
+        let errs: Vec<f64> = f
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(&a, &b)| a as f64 - b as f64)
+            .collect();
+        let mean: f64 = errs.iter().sum::<f64>() / errs.len() as f64;
+        let var: f64 =
+            errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        // Uniform on [-eb, eb] has variance eb²/3; allow generous slack for
+        // the dominant-code structure of smooth fields.
+        assert!(var > 0.2 * eb * eb / 3.0 && var < 2.0 * eb * eb / 3.0, "var {var}");
+    }
+}

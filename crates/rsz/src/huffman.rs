@@ -1,0 +1,377 @@
+//! Canonical Huffman coding over `u32` symbols.
+//!
+//! SZ applies a customized Huffman stage to its quantisation codes; we do
+//! the same. Code assignment is *canonical*: after computing optimal code
+//! lengths from the symbol frequencies, codes are assigned in
+//! (length, symbol) order. Only `(symbol, length)` pairs need to be stored
+//! in the container, and decoding walks the lengths numerically without
+//! materialising a tree.
+
+use crate::bitstream::{BitReader, BitWriter};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Errors from Huffman encode/decode.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// The code table is empty but symbols were requested.
+    EmptyTable,
+    /// The bit stream ended mid-codeword or held an unknown codeword.
+    CorruptStream,
+    /// A symbol outside the table was passed to the encoder.
+    UnknownSymbol(u32),
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffmanError::EmptyTable => write!(f, "empty Huffman table"),
+            HuffmanError::CorruptStream => write!(f, "corrupt Huffman bit stream"),
+            HuffmanError::UnknownSymbol(s) => write!(f, "symbol {s} not in Huffman table"),
+        }
+    }
+}
+
+impl std::error::Error for HuffmanError {}
+
+/// Compute optimal code lengths for `freqs` (symbol → count) via the
+/// standard two-queue/heap Huffman construction.
+///
+/// Returns `(symbol, length)` pairs for every symbol with non-zero count.
+/// Single-symbol alphabets get length 1.
+pub fn code_lengths(freqs: &HashMap<u32, u64>) -> Vec<(u32, u8)> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        tie: u32, // deterministic tie-break
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(u32),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // BinaryHeap is a max-heap; invert for min-heap behaviour.
+            other.weight.cmp(&self.weight).then(other.tie.cmp(&self.tie))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut symbols: Vec<(u32, u64)> = freqs.iter().map(|(&s, &c)| (s, c)).collect();
+    symbols.sort_unstable();
+    if symbols.is_empty() {
+        return Vec::new();
+    }
+    if symbols.len() == 1 {
+        return vec![(symbols[0].0, 1)];
+    }
+
+    let mut heap: BinaryHeap<Node> = symbols
+        .iter()
+        .map(|&(s, c)| Node { weight: c, tie: s, kind: NodeKind::Leaf(s) })
+        .collect();
+    let mut tie = u32::MAX;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len > 1");
+        let b = heap.pop().expect("len > 1");
+        tie = tie.wrapping_sub(1);
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            tie,
+            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+        });
+    }
+    let root = heap.pop().expect("non-empty heap");
+
+    let mut out = Vec::with_capacity(symbols.len());
+    // Iterative DFS to avoid recursion depth on degenerate distributions.
+    let mut stack = vec![(root, 0u8)];
+    while let Some((node, depth)) = stack.pop() {
+        match node.kind {
+            NodeKind::Leaf(s) => out.push((s, depth.max(1))),
+            NodeKind::Internal(a, b) => {
+                stack.push((*a, depth + 1));
+                stack.push((*b, depth + 1));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// A canonical Huffman code book (encoder + decoder state).
+#[derive(Debug, Clone)]
+pub struct CodeBook {
+    /// (symbol, length) sorted by (length, symbol) — canonical order.
+    entries: Vec<(u32, u8)>,
+    /// symbol → (code, length)
+    encode_map: HashMap<u32, (u64, u8)>,
+    max_len: u8,
+    /// For each length L: (first_code[L], index of first symbol of length L).
+    first_code: Vec<u64>,
+    first_index: Vec<usize>,
+}
+
+impl CodeBook {
+    /// Build a canonical book from `(symbol, length)` pairs.
+    pub fn from_lengths(mut lengths: Vec<(u32, u8)>) -> Self {
+        lengths.sort_unstable_by_key(|&(s, l)| (l, s));
+        let max_len = lengths.last().map(|&(_, l)| l).unwrap_or(0);
+        let mut encode_map = HashMap::with_capacity(lengths.len());
+        let mut first_code = vec![0u64; max_len as usize + 2];
+        let mut first_index = vec![0usize; max_len as usize + 2];
+
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for (i, &(sym, len)) in lengths.iter().enumerate() {
+            code <<= len - prev_len;
+            if prev_len != len {
+                for l in (prev_len + 1)..=len {
+                    first_code[l as usize] = code << 0;
+                    first_index[l as usize] = i;
+                }
+                // first_code for this exact length is the current code.
+                first_code[len as usize] = code;
+                first_index[len as usize] = i;
+            }
+            encode_map.insert(sym, (code, len));
+            code += 1;
+            prev_len = len;
+        }
+        Self { entries: lengths, encode_map, max_len, first_code, first_index }
+    }
+
+    /// Build directly from symbol frequencies.
+    pub fn from_freqs(freqs: &HashMap<u32, u64>) -> Self {
+        Self::from_lengths(code_lengths(freqs))
+    }
+
+    /// Number of distinct symbols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The canonical `(symbol, length)` table (for container serialization).
+    pub fn entries(&self) -> &[(u32, u8)] {
+        &self.entries
+    }
+
+    /// Code length of `sym`, if present.
+    pub fn length_of(&self, sym: u32) -> Option<u8> {
+        self.encode_map.get(&sym).map(|&(_, l)| l)
+    }
+
+    /// Encode `symbols` into `w`.
+    pub fn encode(&self, symbols: &[u32], w: &mut BitWriter) -> Result<(), HuffmanError> {
+        for &s in symbols {
+            let &(code, len) =
+                self.encode_map.get(&s).ok_or(HuffmanError::UnknownSymbol(s))?;
+            w.push_bits(code, len);
+        }
+        Ok(())
+    }
+
+    /// Decode exactly `count` symbols from `r`.
+    pub fn decode(&self, r: &mut BitReader<'_>, count: usize) -> Result<Vec<u32>, HuffmanError> {
+        if self.entries.is_empty() {
+            return if count == 0 { Ok(Vec::new()) } else { Err(HuffmanError::EmptyTable) };
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut code = 0u64;
+            let mut len = 0u8;
+            loop {
+                let bit = r.read_bit().ok_or(HuffmanError::CorruptStream)?;
+                code = (code << 1) | bit as u64;
+                len += 1;
+                if len > self.max_len {
+                    return Err(HuffmanError::CorruptStream);
+                }
+                // Canonical property: codes of length L form a contiguous
+                // numeric range starting at first_code[L].
+                let idx_base = self.first_index[len as usize];
+                let first = self.first_code[len as usize];
+                if code >= first {
+                    let offset = (code - first) as usize;
+                    let idx = idx_base + offset;
+                    if idx < self.entries.len() && self.entries[idx].1 == len {
+                        out.push(self.entries[idx].0);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Shannon-optimal expected bits/symbol for the given frequencies — a
+    /// lower bound the Huffman stage approaches within 1 bit.
+    pub fn expected_bits(&self, freqs: &HashMap<u32, u64>) -> f64 {
+        let total: u64 = freqs.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        freqs
+            .iter()
+            .filter_map(|(s, &c)| self.length_of(*s).map(|l| c as f64 * l as f64))
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freq_of(symbols: &[u32]) -> HashMap<u32, u64> {
+        let mut m = HashMap::new();
+        for &s in symbols {
+            *m.entry(s).or_insert(0) += 1;
+        }
+        m
+    }
+
+    fn roundtrip(symbols: &[u32]) -> Vec<u32> {
+        let book = CodeBook::from_freqs(&freq_of(symbols));
+        let mut w = BitWriter::new();
+        book.encode(symbols, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        book.decode(&mut r, symbols.len()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_small_alphabet() {
+        let syms = vec![1, 1, 1, 2, 2, 3, 1, 1, 2, 3, 3, 1];
+        assert_eq!(roundtrip(&syms), syms);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        let syms = vec![42u32; 100];
+        assert_eq!(roundtrip(&syms), syms);
+        let book = CodeBook::from_freqs(&freq_of(&syms));
+        assert_eq!(book.length_of(42), Some(1));
+    }
+
+    #[test]
+    fn roundtrip_skewed_distribution() {
+        let mut syms = vec![0u32; 1000];
+        syms.extend([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(roundtrip(&syms), syms);
+        // Dominant symbol must get the shortest code.
+        let book = CodeBook::from_freqs(&freq_of(&syms));
+        let l0 = book.length_of(0).unwrap();
+        for s in 1..=8 {
+            assert!(book.length_of(s).unwrap() >= l0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_random_alphabet() {
+        let mut state = 123u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 500) as u32
+        };
+        let syms: Vec<u32> = (0..5000).map(|_| next()).collect();
+        assert_eq!(roundtrip(&syms), syms);
+    }
+
+    #[test]
+    fn compressed_size_beats_fixed_width_on_skew() {
+        let mut syms = vec![7u32; 10_000];
+        syms.extend(0..128u32);
+        let book = CodeBook::from_freqs(&freq_of(&syms));
+        let mut w = BitWriter::new();
+        book.encode(&syms, &mut w).unwrap();
+        let bits = w.bit_len() as f64 / syms.len() as f64;
+        // Fixed-width coding of a 129-symbol alphabet needs 8 bits.
+        assert!(bits < 1.5, "got {bits} bits/symbol");
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let mut freqs = HashMap::new();
+        for s in 0..100u32 {
+            freqs.insert(s, (s as u64 % 7) * 13 + 1);
+        }
+        let lengths = code_lengths(&freqs);
+        let kraft: f64 = lengths.iter().map(|&(_, l)| 2f64.powi(-(l as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-12, "Kraft sum {kraft}");
+    }
+
+    #[test]
+    fn unknown_symbol_is_error() {
+        let book = CodeBook::from_freqs(&freq_of(&[1, 2, 3]));
+        let mut w = BitWriter::new();
+        assert_eq!(book.encode(&[99], &mut w), Err(HuffmanError::UnknownSymbol(99)));
+    }
+
+    #[test]
+    fn truncated_stream_is_error() {
+        let syms = vec![1u32, 2, 3, 1, 2, 3, 1, 1, 1];
+        let book = CodeBook::from_freqs(&freq_of(&syms));
+        let mut w = BitWriter::new();
+        book.encode(&syms, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // Ask for more symbols than encoded: must hit CorruptStream (or run
+        // into padding that decodes — then lengths won't match the request).
+        let res = book.decode(&mut r, syms.len() + 64);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn canonical_codes_are_rebuildable_from_entries() {
+        let syms = vec![5u32, 5, 5, 9, 9, 1, 0, 0, 0, 0];
+        let book = CodeBook::from_freqs(&freq_of(&syms));
+        let rebuilt = CodeBook::from_lengths(book.entries().to_vec());
+        let mut w = BitWriter::new();
+        book.encode(&syms, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(rebuilt.decode(&mut r, syms.len()).unwrap(), syms);
+    }
+
+    #[test]
+    fn expected_bits_close_to_entropy() {
+        let mut freqs = HashMap::new();
+        freqs.insert(0u32, 900u64);
+        freqs.insert(1, 50);
+        freqs.insert(2, 50);
+        let book = CodeBook::from_freqs(&freqs);
+        let total = 1000f64;
+        let entropy: f64 = [900f64, 50.0, 50.0]
+            .iter()
+            .map(|&c| {
+                let p = c / total;
+                -p * p.log2()
+            })
+            .sum();
+        let expected = book.expected_bits(&freqs);
+        assert!(expected >= entropy - 1e-9);
+        assert!(expected <= entropy + 1.0, "redundancy above 1 bit: {expected} vs {entropy}");
+    }
+
+    #[test]
+    fn empty_table_behaviour() {
+        let book = CodeBook::from_freqs(&HashMap::new());
+        assert!(book.is_empty());
+        assert_eq!(book.len(), 0);
+        let bytes: Vec<u8> = Vec::new();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(book.decode(&mut r, 0).unwrap(), Vec::<u32>::new());
+        assert_eq!(book.decode(&mut r, 1), Err(HuffmanError::EmptyTable));
+    }
+}

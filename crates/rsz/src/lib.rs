@@ -1,0 +1,39 @@
+//! # rsz — a pure-Rust SZ-class error-bounded lossy compressor
+//!
+//! The paper compresses Nyx fields with SZ/cuSZ through FFI; no native Rust
+//! SZ exists, so this crate re-implements the SZ algorithm family from
+//! scratch (the substitution DESIGN.md documents):
+//!
+//! 1. **Prediction** — a 1/2/3-D Lorenzo predictor over *reconstructed*
+//!    neighbours ([`predictor`]), exactly as CPU-SZ does, so compressor and
+//!    decompressor stay in lockstep and errors never accumulate.
+//! 2. **Error-controlled linear-scaling quantisation** ([`quantizer`]) —
+//!    the prediction residual is quantised in units of `2·eb`; any value the
+//!    quantiser cannot bound is stored verbatim ("unpredictable").
+//! 3. **Entropy coding** — run-length folding of the dominant code followed
+//!    by canonical Huffman ([`huffman`], [`rle`]) over a bit stream
+//!    ([`bitstream`]), plus an optional LZSS lossless pass ([`lossless`]).
+//!
+//! Two error modes are supported, mirroring SZ:
+//! * [`ErrorMode::Abs`] — point-wise absolute bound `|x' − x| ≤ eb`;
+//! * [`ErrorMode::PwRel`] — point-wise relative bound via the standard
+//!   logarithmic transform.
+//!
+//! The crate guarantees the bound *by construction* and the test-suite
+//! (incl. property tests) verifies it on adversarial inputs. The error the
+//! quantiser injects is approximately uniform on `[-eb, eb]` — the paper's
+//! Eq. 3 — which the model layer (`adaptive-config`) depends on and
+//! validates empirically (Fig. 3).
+
+pub mod bitstream;
+pub mod compress;
+pub mod huffman;
+pub mod lossless;
+pub mod predictor;
+pub mod quantizer;
+pub mod rle;
+
+pub use compress::{
+    compress, compress_slice, decompress, decompress_slice, CodecStats, Compressed, ErrorMode,
+    SzConfig, SzError,
+};

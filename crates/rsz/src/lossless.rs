@@ -1,0 +1,241 @@
+//! LZSS byte-oriented lossless codec.
+//!
+//! SZ finishes with a general-purpose lossless pass (zstd/gzip in the C
+//! implementation). We implement LZSS with a hash-chain matcher: literals
+//! and (distance, length) back-references, flagged in groups of eight. It
+//! is applied to container sections where redundancy survives the entropy
+//! stage (headers, varint side-channels, verbatim values).
+//!
+//! Format: `u64` original length, then groups of a flag byte (bit i set ⇒
+//! item i is a match) followed by 8 items; a literal is one byte, a match
+//! is `u16` distance (1-based) + `u8` length (MIN_MATCH-based).
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+const WINDOW: usize = 65_535;
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`; always succeeds (worst case grows by ~1/8 + 9 bytes).
+pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; input.len()];
+
+    let mut flags_pos = usize::MAX;
+    let mut flag_bit = 8u8;
+    let push_flag = |out: &mut Vec<u8>, is_match: bool, flags_pos: &mut usize, flag_bit: &mut u8| {
+        if *flag_bit == 8 {
+            out.push(0);
+            *flags_pos = out.len() - 1;
+            *flag_bit = 0;
+        }
+        if is_match {
+            out[*flags_pos] |= 1 << *flag_bit;
+        }
+        *flag_bit += 1;
+    };
+
+    let mut i = 0;
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash4(input, i);
+            let mut candidate = head[h];
+            let mut chain = 0;
+            while candidate != usize::MAX && i - candidate <= WINDOW && chain < 32 {
+                let max_len = (input.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < max_len && input[candidate + l] == input[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - candidate;
+                    if l == max_len {
+                        break;
+                    }
+                }
+                candidate = prev[candidate];
+                chain += 1;
+            }
+            // Insert current position into the chain.
+            prev[i] = head[h];
+            head[h] = i;
+        }
+
+        if best_len >= MIN_MATCH {
+            push_flag(&mut out, true, &mut flags_pos, &mut flag_bit);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Register skipped positions so later matches can reference them.
+            let end = (i + best_len).min(input.len().saturating_sub(MIN_MATCH - 1));
+            for j in (i + 1)..end {
+                let h = hash4(input, j);
+                prev[j] = head[h];
+                head[h] = j;
+            }
+            i += best_len;
+        } else {
+            push_flag(&mut out, false, &mut flags_pos, &mut flag_bit);
+            out.push(input[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Errors from [`lzss_decompress`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LzssError {
+    Truncated,
+    BadReference,
+}
+
+impl std::fmt::Display for LzssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzssError::Truncated => write!(f, "LZSS stream truncated"),
+            LzssError::BadReference => write!(f, "LZSS back-reference out of range"),
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+/// Decompress a stream produced by [`lzss_compress`].
+pub fn lzss_decompress(input: &[u8]) -> Result<Vec<u8>, LzssError> {
+    if input.len() < 8 {
+        return Err(LzssError::Truncated);
+    }
+    let n = u64::from_le_bytes(input[..8].try_into().expect("8 bytes")) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut pos = 8usize;
+    let mut flags = 0u8;
+    let mut flag_bit = 8u8;
+    while out.len() < n {
+        if flag_bit == 8 {
+            flags = *input.get(pos).ok_or(LzssError::Truncated)?;
+            pos += 1;
+            flag_bit = 0;
+        }
+        let is_match = flags & (1 << flag_bit) != 0;
+        flag_bit += 1;
+        if is_match {
+            if pos + 3 > input.len() {
+                return Err(LzssError::Truncated);
+            }
+            let dist =
+                u16::from_le_bytes(input[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+            let len = input[pos + 2] as usize + MIN_MATCH;
+            pos += 3;
+            if dist == 0 || dist > out.len() {
+                return Err(LzssError::BadReference);
+            }
+            let start = out.len() - dist;
+            for j in 0..len {
+                let b = out[start + j];
+                out.push(b);
+            }
+        } else {
+            let b = *input.get(pos).ok_or(LzssError::Truncated)?;
+            pos += 1;
+            out.push(b);
+        }
+    }
+    out.truncate(n);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = lzss_compress(data);
+        let d = lzss_decompress(&c).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_compresses_well() {
+        let data: Vec<u8> = b"abcdefgh".iter().cycle().take(8000).copied().collect();
+        let c = lzss_compress(&data);
+        assert!(c.len() < data.len() / 10, "{} vs {}", c.len(), data.len());
+        assert_eq!(lzss_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_grows_bounded() {
+        let mut state = 9u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let c = lzss_compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 8 + 16);
+        assert_eq!(lzss_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        // Classic LZ trick: run of a single byte uses distance 1.
+        let data = vec![7u8; 1000];
+        let c = lzss_compress(&data);
+        assert!(c.len() < 40);
+        assert_eq!(lzss_decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn structured_binary_roundtrip() {
+        let mut data = Vec::new();
+        for i in 0..500u32 {
+            data.extend_from_slice(&(i / 7).to_le_bytes());
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let c = lzss_compress(b"hello world hello world hello world");
+        assert_eq!(lzss_decompress(&c[..4]), Err(LzssError::Truncated));
+        assert!(lzss_decompress(&c[..c.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn corrupt_reference_errors() {
+        // Hand-craft: length 4, one match item with distance 9 but no output yet.
+        let mut s = Vec::new();
+        s.extend_from_slice(&4u64.to_le_bytes());
+        s.push(0b0000_0001); // first item is a match
+        s.extend_from_slice(&9u16.to_le_bytes());
+        s.push(0);
+        assert_eq!(lzss_decompress(&s), Err(LzssError::BadReference));
+    }
+
+    #[test]
+    fn long_input_many_windows() {
+        let mut data = Vec::new();
+        for i in 0..200_000u32 {
+            data.push((i % 251) as u8);
+        }
+        roundtrip(&data);
+    }
+}

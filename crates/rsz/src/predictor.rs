@@ -1,0 +1,159 @@
+//! Lorenzo prediction stencils.
+//!
+//! SZ predicts each value from its already-reconstructed causal neighbours;
+//! in 3-D that is the Lorenzo stencil (Ibarria et al. 2003): the inclusion–
+//! exclusion sum over the 7 neighbours of the unit cube behind the point.
+//! Out-of-bounds neighbours read as zero, which makes the 3-D formula
+//! degrade gracefully to 2-D on the first plane, 1-D on the first row, and
+//! plain "predict 0" at the origin — no special-casing needed.
+//!
+//! Prediction **must** run on reconstructed (lossy) values, never the
+//! originals: the decompressor only has reconstructed values, so using them
+//! on both sides keeps the two walks bit-identical and stops error from
+//! compounding along the scan.
+
+/// 1-D Lorenzo: previous value.
+#[inline]
+pub fn lorenzo1(recon: &[f64], i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        recon[i - 1]
+    }
+}
+
+/// 2-D Lorenzo on a row-major `(ny, nz)` plane (z fastest).
+#[inline]
+pub fn lorenzo2(recon: &[f64], nz: usize, y: usize, z: usize) -> f64 {
+    let at = |yy: isize, zz: isize| -> f64 {
+        if yy < 0 || zz < 0 {
+            0.0
+        } else {
+            recon[yy as usize * nz + zz as usize]
+        }
+    };
+    let y = y as isize;
+    let z = z as isize;
+    at(y - 1, z) + at(y, z - 1) - at(y - 1, z - 1)
+}
+
+/// 3-D Lorenzo on a row-major `(nx, ny, nz)` volume (z fastest).
+///
+/// `pred = f(x−1,y,z) + f(x,y−1,z) + f(x,y,z−1)
+///        − f(x−1,y−1,z) − f(x−1,y,z−1) − f(x,y−1,z−1)
+///        + f(x−1,y−1,z−1)`
+#[inline]
+pub fn lorenzo3(recon: &[f64], ny: usize, nz: usize, x: usize, y: usize, z: usize) -> f64 {
+    #[inline]
+    fn at(recon: &[f64], ny: usize, nz: usize, x: isize, y: isize, z: isize) -> f64 {
+        if x < 0 || y < 0 || z < 0 {
+            0.0
+        } else {
+            recon[(x as usize * ny + y as usize) * nz + z as usize]
+        }
+    }
+    let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+    at(recon, ny, nz, xi - 1, yi, zi) + at(recon, ny, nz, xi, yi - 1, zi)
+        + at(recon, ny, nz, xi, yi, zi - 1)
+        - at(recon, ny, nz, xi - 1, yi - 1, zi)
+        - at(recon, ny, nz, xi - 1, yi, zi - 1)
+        - at(recon, ny, nz, xi, yi - 1, zi - 1)
+        + at(recon, ny, nz, xi - 1, yi - 1, zi - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lorenzo1_is_previous() {
+        let r = [1.0, 2.0, 3.0];
+        assert_eq!(lorenzo1(&r, 0), 0.0);
+        assert_eq!(lorenzo1(&r, 1), 1.0);
+        assert_eq!(lorenzo1(&r, 2), 2.0);
+    }
+
+    #[test]
+    fn lorenzo2_exact_on_bilinear() {
+        // f(y, z) = 2y + 3z + 4 is affine, so the 2-D Lorenzo stencil
+        // predicts interior points exactly.
+        let (ny, nz) = (4, 5);
+        let f = |y: usize, z: usize| 2.0 * y as f64 + 3.0 * z as f64 + 4.0;
+        let mut grid = vec![0.0; ny * nz];
+        for y in 0..ny {
+            for z in 0..nz {
+                grid[y * nz + z] = f(y, z);
+            }
+        }
+        for y in 1..ny {
+            for z in 1..nz {
+                assert!((lorenzo2(&grid, nz, y, z) - f(y, z)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo2_border_degrades_to_1d() {
+        let (ny, nz) = (3, 3);
+        let grid: Vec<f64> = (0..ny * nz).map(|i| i as f64).collect();
+        // On the y = 0 row the stencil reduces to the z-predecessor.
+        assert_eq!(lorenzo2(&grid, nz, 0, 1), grid[0]);
+        assert_eq!(lorenzo2(&grid, nz, 0, 2), grid[1]);
+        // At the origin it predicts zero.
+        assert_eq!(lorenzo2(&grid, nz, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn lorenzo3_exact_on_bilinear_sums() {
+        // The 3-D Lorenzo residual is the mixed third difference ΔxΔyΔz, so
+        // it annihilates any sum of terms each independent of ≥1 axis:
+        // 1, x, y, z, xy, xz, yz (but NOT xyz).
+        let (nx, ny, nz) = (4, 4, 4);
+        let f = |x: usize, y: usize, z: usize| {
+            let (x, y, z) = (x as f64, y as f64, z as f64);
+            1.0 + 2.0 * x + 3.0 * y + 4.0 * z + 5.0 * x * y + 6.0 * x * z + 7.0 * y * z
+        };
+        let mut grid = vec![0.0; nx * ny * nz];
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    grid[(x * ny + y) * nz + z] = f(x, y, z);
+                }
+            }
+        }
+        for x in 1..nx {
+            for y in 1..ny {
+                for z in 1..nz {
+                    let p = lorenzo3(&grid, ny, nz, x, y, z);
+                    assert!((p - f(x, y, z)).abs() < 1e-9, "at ({x},{y},{z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo3_first_plane_is_2d() {
+        let (nx, ny, nz) = (2, 3, 3);
+        let grid: Vec<f64> = (0..nx * ny * nz).map(|i| (i * i) as f64).collect();
+        for y in 0..ny {
+            for z in 0..nz {
+                let p3 = lorenzo3(&grid, ny, nz, 0, y, z);
+                let p2 = lorenzo2(&grid[..ny * nz], nz, y, z);
+                assert_eq!(p3, p2);
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo3_origin_predicts_zero() {
+        let grid = vec![9.0; 27];
+        assert_eq!(lorenzo3(&grid, 3, 3, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn lorenzo3_constant_field_interior() {
+        let grid = vec![5.0; 64];
+        // Interior of a constant field: 3·5 − 3·5 + 5 = 5.
+        assert_eq!(lorenzo3(&grid, 4, 4, 1, 1, 1), 5.0);
+    }
+}

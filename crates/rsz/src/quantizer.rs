@@ -1,0 +1,181 @@
+//! Error-controlled linear-scaling quantisation (SZ step 2).
+//!
+//! Residual `d = value − prediction` is quantised to the nearest multiple of
+//! `2·eb`: `q = round(d / 2eb)`, reconstructed as `pred + q·2eb`, which
+//! bounds the point-wise error by `eb`. Codes are biased by `radius` so the
+//! stream is non-negative, and code 0 is reserved for "unpredictable"
+//! values that are stored verbatim.
+//!
+//! The quantisation error is the fractional part of `d / 2eb` scaled back —
+//! for residuals that wander over many quanta it is very close to uniform
+//! on `[-eb, eb]` (paper Eq. 3 and Fig. 3), the property every downstream
+//! model builds on.
+
+/// Reserved code meaning "stored verbatim".
+pub const UNPREDICTABLE: u32 = 0;
+
+/// Linear-scaling quantiser with a fixed bound and code radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    eb: f64,
+    radius: u32,
+}
+
+impl Quantizer {
+    /// `eb` must be positive; `radius` ≥ 2 gives codes
+    /// `1 ..= 2·radius − 1` around the bias point `radius`.
+    pub fn new(eb: f64, radius: u32) -> Self {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive and finite");
+        assert!(radius >= 2, "radius must be at least 2");
+        Self { eb, radius }
+    }
+
+    pub fn error_bound(&self) -> f64 {
+        self.eb
+    }
+
+    pub fn radius(&self) -> u32 {
+        self.radius
+    }
+
+    /// Largest code value this quantiser can emit (`2·radius − 1`).
+    pub fn max_code(&self) -> u32 {
+        2 * self.radius - 1
+    }
+
+    /// Quantise `value` against `pred`.
+    ///
+    /// Returns `Some((code, reconstructed))` when the residual fits the code
+    /// range **and** the reconstruction honours the bound; `None` means the
+    /// caller must store the value verbatim.
+    #[inline]
+    pub fn quantize(&self, value: f64, pred: f64) -> Option<(u32, f64)> {
+        let diff = value - pred;
+        if !diff.is_finite() {
+            return None;
+        }
+        let q = (diff / (2.0 * self.eb)).round();
+        if q.abs() >= self.radius as f64 {
+            return None;
+        }
+        let recon = pred + q * 2.0 * self.eb;
+        // Guard against floating-point edge cases (huge pred with tiny eb):
+        // the reconstruction itself must satisfy the bound.
+        if (recon - value).abs() > self.eb {
+            return None;
+        }
+        let code = (q as i64 + self.radius as i64) as u32;
+        debug_assert!(code != UNPREDICTABLE && code <= self.max_code());
+        Some((code, recon))
+    }
+
+    /// Reconstruct from a non-zero code and the same prediction.
+    #[inline]
+    pub fn dequantize(&self, code: u32, pred: f64) -> f64 {
+        debug_assert!(code != UNPREDICTABLE && code <= self.max_code());
+        let q = code as i64 - self.radius as i64;
+        pred + q as f64 * 2.0 * self.eb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_residual_maps_to_bias_code() {
+        let q = Quantizer::new(0.5, 16);
+        let (code, recon) = q.quantize(3.0, 3.0).unwrap();
+        assert_eq!(code, 16);
+        assert_eq!(recon, 3.0);
+    }
+
+    #[test]
+    fn roundtrip_respects_bound() {
+        let q = Quantizer::new(0.1, 256);
+        for i in 0..1000 {
+            let value = (i as f64 * 0.37).sin() * 10.0;
+            let pred = (i as f64 * 0.36).sin() * 10.0;
+            if let Some((code, recon)) = q.quantize(value, pred) {
+                assert!((recon - value).abs() <= 0.1 + 1e-15);
+                assert_eq!(q.dequantize(code, pred), recon);
+                assert_ne!(code, UNPREDICTABLE);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_residual_is_unpredictable() {
+        let q = Quantizer::new(0.01, 4);
+        // Residual of 1.0 needs q = 50, beyond radius 4.
+        assert!(q.quantize(1.0, 0.0).is_none());
+        // Residual of 0.06 → q = 3 < 4 still fits.
+        assert!(q.quantize(0.06, 0.0).is_some());
+    }
+
+    #[test]
+    fn non_finite_residual_is_unpredictable() {
+        let q = Quantizer::new(1.0, 16);
+        assert!(q.quantize(f64::NAN, 0.0).is_none());
+        assert!(q.quantize(f64::INFINITY, 0.0).is_none());
+    }
+
+    #[test]
+    fn codes_are_symmetric_around_bias() {
+        let q = Quantizer::new(1.0, 8);
+        let (cp, _) = q.quantize(6.0, 0.0).unwrap(); // q = 3
+        let (cm, _) = q.quantize(-6.0, 0.0).unwrap(); // q = -3
+        assert_eq!(cp, 8 + 3);
+        assert_eq!(cm, 8 - 3);
+    }
+
+    #[test]
+    fn error_is_uniform_ish_over_many_samples() {
+        // Quantisation error of pseudo-random residuals should fill
+        // [-eb, eb] roughly evenly: check mean ≈ 0 and spread ≈ eb²/3.
+        let eb = 0.5;
+        let q = Quantizer::new(eb, 1 << 15);
+        let mut state = 7u64;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let value = ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1000.0;
+            let (_, recon) = q.quantize(value, 0.0).unwrap();
+            let e = recon - value;
+            sum += e;
+            sum2 += e * e;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        let expected_var = eb * eb / 3.0;
+        assert!((var - expected_var).abs() < 0.1 * expected_var, "var {var} vs {expected_var}");
+    }
+
+    #[test]
+    fn huge_magnitude_catastrophic_cancellation_guard() {
+        // pred ≈ 1e17 with eb = 1e-3: quantum is below one ulp, so the
+        // reconstruction check must reject rather than silently violate.
+        let q = Quantizer::new(1e-3, 1 << 15);
+        let value = 1e17 + 0.4;
+        let pred = 1e17;
+        match q.quantize(value, pred) {
+            Some((_, recon)) => assert!((recon - value).abs() <= 1e-3),
+            None => {} // verbatim storage — also correct
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bound_rejected() {
+        let _ = Quantizer::new(0.0, 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_radius_rejected() {
+        let _ = Quantizer::new(1.0, 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the rsz codec: the bound guarantee and container
+//! integrity must hold for arbitrary shapes, values, and configurations.
+
+use gridlab::{Dim3, Field3};
+use proptest::prelude::*;
+use rsz::{compress, decompress, Compressed, ErrorMode, SzConfig};
+
+fn arb_field() -> impl Strategy<Value = Field3<f32>> {
+    (1usize..=8, 1usize..=8, 1usize..=8)
+        .prop_flat_map(|(nx, ny, nz)| {
+            let n = nx * ny * nz;
+            (Just(Dim3::new(nx, ny, nz)), proptest::collection::vec(-1.0e6f32..1.0e6f32, n))
+        })
+        .prop_map(|(dims, data)| Field3::from_vec(dims, data).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn abs_mode_bound_holds(field in arb_field(), eb in 1e-4f64..1e4) {
+        let c = compress(&field, &SzConfig::abs(eb));
+        let g: Field3<f32> = decompress(&c).expect("decodes");
+        prop_assert_eq!(g.dims(), field.dims());
+        prop_assert!(field.max_abs_diff(&g) <= eb * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn abs_mode_bound_holds_f64(dims in 1usize..=6, eb in 1e-6f64..1e2, seed in 0u64..500) {
+        let mut state = seed;
+        let field = Field3::from_fn(Dim3::cube(dims), |_, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 1e8
+        });
+        let c = compress(&field, &SzConfig::abs(eb));
+        let g: Field3<f64> = decompress(&c).expect("decodes");
+        prop_assert!(field.max_abs_diff(&g) <= eb * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn pw_rel_mode_bound_holds(field in arb_field(), rel in 1e-3f64..0.3) {
+        let zt = 1e-20;
+        let c = compress(&field, &SzConfig::pw_rel(rel, zt));
+        let g: Field3<f32> = decompress(&c).expect("decodes");
+        for (&a, &b) in field.as_slice().iter().zip(g.as_slice()) {
+            let (a, b) = (a as f64, b as f64);
+            if a.abs() <= zt {
+                prop_assert_eq!(b, 0.0);
+            } else {
+                prop_assert!((a - b).abs() <= rel * a.abs() + 1e-30, "{} vs {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn container_roundtrips_through_bytes(field in arb_field(), eb in 1e-2f64..1e2) {
+        let c = compress(&field, &SzConfig::abs(eb));
+        let c2 = Compressed::from_bytes(c.as_bytes().to_vec()).expect("parses");
+        prop_assert_eq!(c2.dims(), field.dims());
+        match c2.mode() {
+            ErrorMode::Abs(e) => prop_assert!((e - eb).abs() < 1e-12),
+            _ => prop_assert!(false, "mode changed"),
+        }
+        let g: Field3<f32> = decompress(&c2).expect("decodes");
+        prop_assert!(field.max_abs_diff(&g) <= eb * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn truncated_containers_never_panic(field in arb_field(), eb in 1e-2f64..1e2, cut in 0usize..100) {
+        let bytes = compress(&field, &SzConfig::abs(eb)).as_bytes().to_vec();
+        let cut = cut.min(bytes.len());
+        // Must return an error (or, for cut == len, decode fine) — never panic.
+        let _ = rsz::decompress_slice::<f32>(&bytes[..cut]);
+        let _ = rsz::decompress_slice::<f32>(&bytes[..bytes.len() - cut.min(bytes.len() - 1)]);
+    }
+
+    #[test]
+    fn monotone_ratio_in_eb(seed in 0u64..200) {
+        let mut state = seed;
+        let field = Field3::from_fn(Dim3::cube(8), |x, y, z| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x + y + z) as f32) * 3.0 + ((state >> 40) as f32) * 1e-3
+        });
+        let small = compress(&field, &SzConfig::abs(0.01)).len();
+        let large = compress(&field, &SzConfig::abs(10.0)).len();
+        prop_assert!(large <= small, "{large} > {small}");
+    }
+}

@@ -1,0 +1,484 @@
+//! Fixed-rate block codec: normalisation, bit-plane coding, container.
+
+use crate::transform::{
+    from_negabinary, fwd_xform, inv_xform, sequency_order, to_negabinary,
+};
+use gridlab::{Dim3, Field3, Scalar};
+
+const MAGIC: &[u8; 4] = b"ZFL1";
+/// Fixed-point position: block values are scaled so `|q| < 2^Q_BITS`.
+const Q_BITS: i32 = 50;
+/// Bits of per-block header inside the budget (flag + exponent + top plane).
+const BLOCK_HEADER_BITS: usize = 1 + 16 + 6;
+
+/// Configuration: target rate in bits per value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZfpConfig {
+    /// Bits per value; every 4×4×4 block consumes exactly `64·rate` bits.
+    pub rate: f64,
+}
+
+impl ZfpConfig {
+    pub fn fixed_rate(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 64.0, "rate must be in (0, 64]");
+        Self { rate }
+    }
+
+    fn block_bits(&self) -> usize {
+        ((self.rate * 64.0).ceil() as usize).max(BLOCK_HEADER_BITS + 1)
+    }
+}
+
+/// Errors from decoding a zfplite container.
+#[derive(Debug)]
+pub enum ZfpError {
+    Format(String),
+}
+
+impl std::fmt::Display for ZfpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZfpError::Format(m) => write!(f, "zfplite container error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ZfpError {}
+
+/// A fixed-rate compressed field.
+#[derive(Debug, Clone)]
+pub struct ZfpCompressed {
+    bytes: Vec<u8>,
+    dims: Dim3,
+    rate: f64,
+}
+
+impl ZfpCompressed {
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Re-wrap container bytes (e.g. read back from storage). Validates the
+    /// header only; payload integrity is checked at decode time.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, ZfpError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], ZfpError> {
+            if *pos + n > bytes.len() {
+                return Err(ZfpError::Format("truncated header".into()));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != MAGIC {
+            return Err(ZfpError::Format("bad magic".into()));
+        }
+        let tag_len = take(&mut pos, 1)?[0] as usize;
+        let _tag = take(&mut pos, tag_len)?;
+        let mut dims = [0usize; 3];
+        for d in &mut dims {
+            *d = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
+            if *d == 0 {
+                return Err(ZfpError::Format("zero dimension".into()));
+            }
+        }
+        let rate = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        Ok(Self { dims: Dim3::new(dims[0], dims[1], dims[2]), rate, bytes })
+    }
+
+    pub fn dims(&self) -> Dim3 {
+        self.dims
+    }
+
+    /// The configured rate (bits/value over whole blocks).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Achieved compression ratio against a `T`-typed original.
+    pub fn ratio<T: Scalar>(&self) -> f64 {
+        (self.dims.len() * T::BYTES) as f64 / self.bytes.len() as f64
+    }
+}
+
+// --- minimal MSB-first bit I/O (local: zfplite is independent of rsz) ---
+
+#[derive(Default)]
+struct Bits {
+    buf: Vec<u8>,
+    used: u8,
+}
+
+impl Bits {
+    fn push(&mut self, bit: u64) {
+        if self.used == 0 || self.used == 8 {
+            self.buf.push(0);
+            self.used = 0;
+        }
+        if bit & 1 != 0 {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << (7 - self.used);
+        }
+        self.used += 1;
+    }
+
+    fn push_bits(&mut self, v: u64, n: usize) {
+        for i in (0..n).rev() {
+            self.push((v >> i) & 1);
+        }
+    }
+
+    fn bit_len(&self) -> usize {
+        if self.used == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.used as usize
+        }
+    }
+}
+
+struct BitCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitCursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn seek(&mut self, bit: usize) {
+        self.pos = bit;
+    }
+
+    fn read(&mut self) -> Option<u64> {
+        let byte = self.buf.get(self.pos / 8)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Some(bit as u64)
+    }
+
+    fn read_bits(&mut self, n: usize) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read()?;
+        }
+        Some(v)
+    }
+}
+
+// --- block gather/scatter with edge replication ---
+
+fn gather_block<T: Scalar>(f: &Field3<T>, bx: usize, by: usize, bz: usize) -> [f64; 64] {
+    let d = f.dims();
+    let mut out = [0.0f64; 64];
+    for i in 0..4 {
+        for j in 0..4 {
+            for k in 0..4 {
+                let x = (4 * bx + i).min(d.nx - 1);
+                let y = (4 * by + j).min(d.ny - 1);
+                let z = (4 * bz + k).min(d.nz - 1);
+                out[16 * i + 4 * j + k] = f.get(x, y, z).to_f64();
+            }
+        }
+    }
+    out
+}
+
+fn scatter_block<T: Scalar>(f: &mut Field3<T>, bx: usize, by: usize, bz: usize, vals: &[f64; 64]) {
+    let d = f.dims();
+    for i in 0..4 {
+        for j in 0..4 {
+            for k in 0..4 {
+                let x = 4 * bx + i;
+                let y = 4 * by + j;
+                let z = 4 * bz + k;
+                if x < d.nx && y < d.ny && z < d.nz {
+                    f.set(x, y, z, T::from_f64(vals[16 * i + 4 * j + k]));
+                }
+            }
+        }
+    }
+}
+
+fn encode_block(vals: &[f64; 64], budget: usize, order: &[usize; 64], bits: &mut Bits) {
+    let start = bits.bit_len();
+    let maxabs = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    if maxabs == 0.0 || !maxabs.is_finite() {
+        bits.push(0); // empty block
+    } else {
+        bits.push(1);
+        // e such that max|v| < 2^e.
+        let e = maxabs.log2().floor() as i32 + 1;
+        bits.push_bits((e + 1024) as u64, 16);
+        let scale = 2f64.powi(Q_BITS - e);
+        let mut q = [0i64; 64];
+        for (qi, v) in q.iter_mut().zip(vals) {
+            *qi = (v * scale).round() as i64;
+        }
+        fwd_xform(&mut q);
+        let mut nb = [0u64; 64];
+        for (slot, &src) in nb.iter_mut().zip(order.iter()) {
+            *slot = to_negabinary(q[src]);
+        }
+        let top = nb.iter().map(|u| 64 - u.leading_zeros()).max().unwrap_or(0) as usize;
+        bits.push_bits(top as u64, 6); // 0..=63 (top plane index + 1, capped)
+        let top = top.min(63);
+        // MSB-first bit planes until the block budget is spent.
+        let mut plane = top;
+        while plane > 0 {
+            if bits.bit_len() - start + 64 > budget {
+                break;
+            }
+            let b = plane - 1;
+            for u in &nb {
+                bits.push((u >> b) & 1);
+            }
+            plane -= 1;
+        }
+    }
+    // Pad to the exact fixed-rate boundary.
+    while bits.bit_len() - start < budget {
+        bits.push(0);
+    }
+    debug_assert_eq!(bits.bit_len() - start, budget);
+}
+
+fn decode_block(cur: &mut BitCursor<'_>, budget: usize, order: &[usize; 64]) -> Option<[f64; 64]> {
+    let start = cur.pos;
+    let flag = cur.read()?;
+    let mut out = [0.0f64; 64];
+    if flag == 1 {
+        let e = cur.read_bits(16)? as i32 - 1024;
+        let top = cur.read_bits(6)? as usize;
+        let top = top.min(63);
+        let mut nb = [0u64; 64];
+        let mut consumed = cur.pos - start;
+        let mut plane = top;
+        while plane > 0 {
+            if consumed + 64 > budget {
+                break;
+            }
+            let b = plane - 1;
+            for u in nb.iter_mut() {
+                *u |= cur.read()? << b;
+            }
+            consumed += 64;
+            plane -= 1;
+        }
+        let mut q = [0i64; 64];
+        for (slot, &dst) in nb.iter().zip(order.iter()) {
+            q[dst] = from_negabinary(*slot);
+        }
+        inv_xform(&mut q);
+        let scale = 2f64.powi(e - Q_BITS);
+        for (o, &qi) in out.iter_mut().zip(q.iter()) {
+            *o = qi as f64 * scale;
+        }
+    }
+    cur.seek(start + budget);
+    Some(out)
+}
+
+/// Compress a field at the configured fixed rate.
+pub fn zfp_compress<T: Scalar>(field: &Field3<T>, cfg: &ZfpConfig) -> ZfpCompressed {
+    let d = field.dims();
+    let (bx, by, bz) = ((d.nx + 3) / 4, (d.ny + 3) / 4, (d.nz + 3) / 4);
+    let budget = cfg.block_bits();
+    let order = sequency_order();
+
+    let mut bits = Bits::default();
+    for i in 0..bx {
+        for j in 0..by {
+            for k in 0..bz {
+                let block = gather_block(field, i, j, k);
+                encode_block(&block, budget, &order, &mut bits);
+            }
+        }
+    }
+
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(MAGIC);
+    bytes.push(T::TAG.len() as u8);
+    bytes.extend_from_slice(T::TAG.as_bytes());
+    for n in [d.nx, d.ny, d.nz] {
+        bytes.extend_from_slice(&(n as u64).to_le_bytes());
+    }
+    bytes.extend_from_slice(&cfg.rate.to_le_bytes());
+    bytes.extend_from_slice(&(budget as u32).to_le_bytes());
+    bytes.extend_from_slice(&bits.buf);
+    ZfpCompressed { bytes, dims: d, rate: cfg.rate }
+}
+
+/// Decompress a container produced by [`zfp_compress`].
+pub fn zfp_decompress<T: Scalar>(c: &ZfpCompressed) -> Result<Field3<T>, ZfpError> {
+    let bytes = &c.bytes;
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], ZfpError> {
+        if *pos + n > bytes.len() {
+            return Err(ZfpError::Format("truncated".into()));
+        }
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(ZfpError::Format("bad magic".into()));
+    }
+    let tag_len = take(&mut pos, 1)?[0] as usize;
+    let tag = std::str::from_utf8(take(&mut pos, tag_len)?)
+        .map_err(|_| ZfpError::Format("bad tag".into()))?;
+    if tag != T::TAG {
+        return Err(ZfpError::Format(format!("tag {tag} != {}", T::TAG)));
+    }
+    let mut dims = [0usize; 3];
+    for d in &mut dims {
+        *d = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
+        if *d == 0 {
+            return Err(ZfpError::Format("zero dimension".into()));
+        }
+    }
+    let d = Dim3::new(dims[0], dims[1], dims[2]);
+    let _rate = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+    let budget = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+    let payload = &bytes[pos..];
+
+    let (nbx, nby, nbz) = ((d.nx + 3) / 4, (d.ny + 3) / 4, (d.nz + 3) / 4);
+    let total_bits = nbx * nby * nbz * budget;
+    if payload.len() * 8 < total_bits {
+        return Err(ZfpError::Format("payload shorter than block budget".into()));
+    }
+
+    let order = sequency_order();
+    let mut cur = BitCursor::new(payload);
+    let mut out = Field3::<T>::zeros(d);
+    for i in 0..nbx {
+        for j in 0..nby {
+            for k in 0..nbz {
+                let block = decode_block(&mut cur, budget, &order)
+                    .ok_or_else(|| ZfpError::Format("block truncated".into()))?;
+                scatter_block(&mut out, i, j, k, &block);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_field(n: usize) -> Field3<f32> {
+        Field3::from_fn(Dim3::cube(n), |x, y, z| {
+            ((x as f32) * 0.2).sin() * 30.0 + ((y as f32) * 0.15).cos() * 20.0
+                + ((z as f32) * 0.1).sin() * 10.0
+        })
+    }
+
+    #[test]
+    fn high_rate_is_near_lossless() {
+        let f = smooth_field(16);
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(32.0));
+        let g: Field3<f32> = zfp_decompress(&c).unwrap();
+        let err = f.max_abs_diff(&g);
+        assert!(err < 1e-3, "err {err}");
+    }
+
+    #[test]
+    fn rate_controls_size_exactly() {
+        let f = smooth_field(16);
+        for rate in [2.0, 4.0, 8.0] {
+            let c = zfp_compress(&f, &ZfpConfig::fixed_rate(rate));
+            let blocks = 4 * 4 * 4;
+            let expected_payload_bits = blocks * (rate as usize) * 64;
+            let header = 4 + 1 + 3 + 24 + 8 + 4;
+            let got_bits = (c.len() - header) * 8;
+            assert!(
+                got_bits >= expected_payload_bits && got_bits < expected_payload_bits + 8,
+                "rate {rate}: {got_bits} vs {expected_payload_bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_rate_means_more_error() {
+        let f = smooth_field(16);
+        let hi = zfp_decompress::<f32>(&zfp_compress(&f, &ZfpConfig::fixed_rate(16.0))).unwrap();
+        let lo = zfp_decompress::<f32>(&zfp_compress(&f, &ZfpConfig::fixed_rate(2.0))).unwrap();
+        assert!(f.max_abs_diff(&lo) >= f.max_abs_diff(&hi));
+    }
+
+    #[test]
+    fn zero_field_roundtrip() {
+        let f = Field3::<f32>::zeros(Dim3::cube(8));
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(1.0));
+        let g: Field3<f32> = zfp_decompress(&c).unwrap();
+        assert_eq!(f.max_abs_diff(&g), 0.0);
+    }
+
+    #[test]
+    fn non_multiple_of_four_dims() {
+        let f = Field3::from_fn(Dim3::new(5, 7, 9), |x, y, z| (x + y + z) as f32);
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(24.0));
+        let g: Field3<f32> = zfp_decompress(&c).unwrap();
+        assert_eq!(g.dims(), f.dims());
+        assert!(f.max_abs_diff(&g) < 1e-2);
+    }
+
+    #[test]
+    fn ratio_reflects_rate() {
+        let f = smooth_field(32);
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(4.0));
+        // 32 bits/value originally, 4 bits/value now → ratio ≈ 8 (minus header).
+        let r = c.ratio::<f32>();
+        assert!(r > 7.0 && r <= 8.1, "ratio {r}");
+    }
+
+    #[test]
+    fn no_error_bound_guarantee_at_low_rate() {
+        // The contrast with rsz: a spiky field at a starved rate shows
+        // errors far above what an ABS bound would allow.
+        let f = Field3::from_fn(Dim3::cube(8), |x, y, z| {
+            if (x, y, z) == (3, 3, 3) {
+                1e6f32
+            } else {
+                (x as f32 * 0.01).sin()
+            }
+        });
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(1.0));
+        let g: Field3<f32> = zfp_decompress(&c).unwrap();
+        assert!(f.max_abs_diff(&g) > 1.0);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let f = smooth_field(8);
+        let mut c = zfp_compress(&f, &ZfpConfig::fixed_rate(8.0));
+        c.bytes[0] = b'Q';
+        assert!(zfp_decompress::<f32>(&c).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let f = smooth_field(8);
+        let mut c = zfp_compress(&f, &ZfpConfig::fixed_rate(8.0));
+        c.bytes.truncate(c.bytes.len() / 2);
+        assert!(zfp_decompress::<f32>(&c).is_err());
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let f = Field3::from_fn(Dim3::cube(8), |x, y, z| ((x * y + z) as f64).sqrt());
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(40.0));
+        let g: Field3<f64> = zfp_decompress(&c).unwrap();
+        assert!(f.max_abs_diff(&g) < 1e-6);
+    }
+}

@@ -1,0 +1,26 @@
+//! # zfplite — a simplified fixed-rate block-transform codec
+//!
+//! The paper contrasts SZ with ZFP: a transform-based compressor whose
+//! fixed-rate mode trades a hard size guarantee for the *absence* of an
+//! absolute error bound (the reason the authors pick SZ, §2.2), and whose
+//! rate curves are less consistent than prediction-based SZ (Fig. 10(b)).
+//! To reproduce those comparisons without FFI we implement the ZFP recipe
+//! in miniature:
+//!
+//! 1. partition the field into 4×4×4 blocks (edge blocks padded by
+//!    replication),
+//! 2. block-normalise to a common exponent and promote to fixed point,
+//! 3. apply ZFP's reversible integer lifting transform along each axis
+//!    ([`transform`]),
+//! 4. reorder coefficients by total sequency, convert to negabinary, and
+//!    emit bit planes MSB-first until the per-block bit budget is spent
+//!    ([`codec`]).
+//!
+//! Decompression mirrors the steps; whatever bit planes were cut simply
+//! stay zero, which is where the (unbounded, data-dependent) error comes
+//! from.
+
+pub mod codec;
+pub mod transform;
+
+pub use codec::{zfp_compress, zfp_decompress, ZfpCompressed, ZfpConfig, ZfpError};

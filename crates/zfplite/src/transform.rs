@@ -1,0 +1,254 @@
+//! ZFP's reversible integer lifting transform on 4-point vectors, extended
+//! to 4×4×4 blocks by applying it along each axis.
+//!
+//! The forward transform is the non-orthogonal lifted approximation of the
+//! DCT used by ZFP (Lindstrom 2014); its inverse reverses the lifting steps
+//! exactly in integer arithmetic, so transform ∘ inverse is the identity —
+//! all loss in the codec comes from bit-plane truncation, never from the
+//! transform.
+
+/// Forward lifting on a stride-`s` 4-vector starting at `p` within `data`.
+#[inline]
+pub fn fwd_lift(data: &mut [i64], p: usize, s: usize) {
+    let (mut x, mut y, mut z, mut w) =
+        (data[p], data[p + s], data[p + 2 * s], data[p + 3 * s]);
+    // Lifted transform from the ZFP reference implementation.
+    x += w;
+    x >>= 1;
+    w -= x;
+    z += y;
+    z >>= 1;
+    y -= z;
+    x += z;
+    x >>= 1;
+    z -= x;
+    w += y;
+    w >>= 1;
+    y -= w;
+    w += y >> 1;
+    y -= w >> 1;
+    data[p] = x;
+    data[p + s] = y;
+    data[p + 2 * s] = z;
+    data[p + 3 * s] = w;
+}
+
+/// Inverse lifting (exact inverse of [`fwd_lift`]).
+#[inline]
+pub fn inv_lift(data: &mut [i64], p: usize, s: usize) {
+    let (mut x, mut y, mut z, mut w) =
+        (data[p], data[p + s], data[p + 2 * s], data[p + 3 * s]);
+    y += w >> 1;
+    w -= y >> 1;
+    y += w;
+    w <<= 1;
+    w -= y;
+    z += x;
+    x <<= 1;
+    x -= z;
+    y += z;
+    z <<= 1;
+    z -= y;
+    w += x;
+    x <<= 1;
+    x -= w;
+    data[p] = x;
+    data[p + s] = y;
+    data[p + 2 * s] = z;
+    data[p + 3 * s] = w;
+}
+
+/// Forward 3-D transform of a 64-element block (x stride 16, y stride 4,
+/// z stride 1 — matching the row-major z-fastest layout).
+pub fn fwd_xform(block: &mut [i64; 64]) {
+    // Along z.
+    for x in 0..4 {
+        for y in 0..4 {
+            fwd_lift(block, 16 * x + 4 * y, 1);
+        }
+    }
+    // Along y.
+    for x in 0..4 {
+        for z in 0..4 {
+            fwd_lift(block, 16 * x + z, 4);
+        }
+    }
+    // Along x.
+    for y in 0..4 {
+        for z in 0..4 {
+            fwd_lift(block, 4 * y + z, 16);
+        }
+    }
+}
+
+/// Inverse 3-D transform (reverse axis order).
+pub fn inv_xform(block: &mut [i64; 64]) {
+    for y in 0..4 {
+        for z in 0..4 {
+            inv_lift(block, 4 * y + z, 16);
+        }
+    }
+    for x in 0..4 {
+        for z in 0..4 {
+            inv_lift(block, 16 * x + z, 4);
+        }
+    }
+    for x in 0..4 {
+        for y in 0..4 {
+            inv_lift(block, 16 * x + 4 * y, 1);
+        }
+    }
+}
+
+/// Total-sequency permutation: coefficient order sorted by `i + j + k`
+/// (low frequencies first), so early bit planes carry the smoothest
+/// structure. Computed once.
+pub fn sequency_order() -> [usize; 64] {
+    let mut idx: Vec<usize> = (0..64).collect();
+    idx.sort_by_key(|&i| {
+        let (x, y, z) = (i / 16, (i / 4) % 4, i % 4);
+        (x + y + z, i)
+    });
+    let mut out = [0usize; 64];
+    out.copy_from_slice(&idx);
+    out
+}
+
+/// Negabinary encoding of a signed coefficient (ZFP's sign-free bit planes).
+#[inline]
+pub fn to_negabinary(v: i64) -> u64 {
+    const MASK: u64 = 0xaaaa_aaaa_aaaa_aaaa;
+    ((v as u64).wrapping_add(MASK)) ^ MASK
+}
+
+/// Inverse of [`to_negabinary`].
+#[inline]
+pub fn from_negabinary(u: u64) -> i64 {
+    const MASK: u64 = 0xaaaa_aaaa_aaaa_aaaa;
+    ((u ^ MASK).wrapping_sub(MASK)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_block(seed: u64, amp: i64) -> [i64; 64] {
+        let mut state = seed;
+        let mut out = [0i64; 64];
+        for o in &mut out {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *o = ((state >> 33) as i64 % (2 * amp)) - amp;
+        }
+        out
+    }
+
+    #[test]
+    fn lift_roundtrip_exact_on_aligned_values() {
+        // The lifting pair truncates low bits in `>>`; values with enough
+        // trailing zeros survive the full roundtrip exactly.
+        for seed in 0..20 {
+            let mut v = rand_block(seed, 1 << 20);
+            for x in v.iter_mut() {
+                *x <<= 16;
+            }
+            let orig = v;
+            fwd_lift(&mut v, 0, 1);
+            inv_lift(&mut v, 0, 1);
+            assert_eq!(&v[..4], &orig[..4]);
+        }
+    }
+
+    #[test]
+    fn lift_roundtrip_near_exact_in_general() {
+        // On arbitrary integers the truncation error stays O(1) per value —
+        // far below the coded precision of 2^50-scaled blocks.
+        for seed in 0..20 {
+            let mut v = rand_block(seed, 1 << 24);
+            let orig = v;
+            fwd_lift(&mut v, 0, 1);
+            inv_lift(&mut v, 0, 1);
+            for (a, b) in v[..4].iter().zip(&orig[..4]) {
+                assert!((a - b).abs() <= 4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn xform_roundtrip_3d_bounded_truncation() {
+        for seed in 0..10 {
+            let mut b = rand_block(seed, 1 << 24);
+            let orig = b;
+            fwd_xform(&mut b);
+            inv_xform(&mut b);
+            for (a, o) in b.iter().zip(&orig) {
+                assert!((a - o).abs() <= 64, "{a} vs {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn xform_roundtrip_3d_exact_on_aligned() {
+        for seed in 0..10 {
+            let mut b = rand_block(seed, 1 << 20);
+            for x in b.iter_mut() {
+                *x <<= 24;
+            }
+            let orig = b;
+            fwd_xform(&mut b);
+            inv_xform(&mut b);
+            assert_eq!(b, orig);
+        }
+    }
+
+    #[test]
+    fn constant_block_concentrates_at_dc() {
+        let mut b = [1024i64; 64];
+        fwd_xform(&mut b);
+        assert_ne!(b[0], 0);
+        assert!(b[1..].iter().all(|&v| v == 0), "AC leakage: {:?}", &b[..8]);
+    }
+
+    #[test]
+    fn smooth_ramp_energy_compacts() {
+        let mut b = [0i64; 64];
+        for x in 0..4 {
+            for y in 0..4 {
+                for z in 0..4 {
+                    b[16 * x + 4 * y + z] = (1000 * (x + y + z)) as i64;
+                }
+            }
+        }
+        fwd_xform(&mut b);
+        let order = sequency_order();
+        let low: i64 = order[..8].iter().map(|&i| b[i].abs()).sum();
+        let high: i64 = order[32..].iter().map(|&i| b[i].abs()).sum();
+        assert!(low > 10 * high.max(1), "low {low} high {high}");
+    }
+
+    #[test]
+    fn sequency_order_is_permutation() {
+        let order = sequency_order();
+        let mut seen = [false; 64];
+        for &i in &order {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert_eq!(order[0], 0); // DC first
+    }
+
+    #[test]
+    fn negabinary_roundtrip() {
+        for v in [-5i64, -1, 0, 1, 7, 123456, -987654, i32::MAX as i64, i32::MIN as i64] {
+            assert_eq!(from_negabinary(to_negabinary(v)), v);
+        }
+    }
+
+    #[test]
+    fn negabinary_small_values_have_few_bits() {
+        // Negabinary keeps small-magnitude values in low bit planes, which
+        // is what makes MSB-first truncation graceful.
+        assert!(to_negabinary(0).leading_zeros() == 64);
+        assert!(to_negabinary(1).leading_zeros() >= 62);
+        assert!(to_negabinary(-1).leading_zeros() >= 62);
+    }
+}

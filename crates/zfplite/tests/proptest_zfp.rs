@@ -1,0 +1,81 @@
+//! Property tests for the zfplite baseline: the fixed-rate size guarantee
+//! must hold for every input, and high rates must be near-lossless.
+
+use gridlab::{Dim3, Field3};
+use proptest::prelude::*;
+use zfplite::{zfp_compress, zfp_decompress, ZfpConfig};
+
+fn arb_field() -> impl Strategy<Value = Field3<f32>> {
+    (1usize..=9, 1usize..=9, 1usize..=9).prop_flat_map(|(nx, ny, nz)| {
+        let d = Dim3::new(nx, ny, nz);
+        proptest::collection::vec(-1.0e6f32..1.0e6f32, d.len())
+            .prop_map(move |v| Field3::from_vec(d, v).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fixed_rate_size_is_exact(f in arb_field(), rate in 1.0f64..32.0) {
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(rate));
+        let d = f.dims();
+        let blocks = ((d.nx + 3) / 4) * ((d.ny + 3) / 4) * ((d.nz + 3) / 4);
+        let budget_bits = ((rate * 64.0).ceil() as usize).max(24) * blocks;
+        let header = 4 + 1 + 3 + 24 + 8 + 4;
+        let payload = c.len() - header;
+        prop_assert!(payload * 8 >= budget_bits);
+        prop_assert!(payload * 8 < budget_bits + 8, "payload {} bits vs {}", payload * 8, budget_bits);
+    }
+
+    #[test]
+    fn decode_never_fails_on_own_output(f in arb_field(), rate in 1.0f64..48.0) {
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(rate));
+        let g: Field3<f32> = zfp_decompress(&c).expect("self-produced container decodes");
+        prop_assert_eq!(g.dims(), f.dims());
+        prop_assert!(g.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn high_rate_is_accurate(f in arb_field()) {
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(44.0));
+        let g: Field3<f32> = zfp_decompress(&c).expect("decodes");
+        let amp = f.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs())) as f64;
+        prop_assert!(f.max_abs_diff(&g) <= 1e-4 * amp.max(1e-6), "err {}", f.max_abs_diff(&g));
+    }
+
+    #[test]
+    fn more_rate_never_more_error(f in arb_field()) {
+        let lo = zfp_decompress::<f32>(&zfp_compress(&f, &ZfpConfig::fixed_rate(4.0))).expect("decodes");
+        let hi = zfp_decompress::<f32>(&zfp_compress(&f, &ZfpConfig::fixed_rate(24.0))).expect("decodes");
+        // Allow a hair of slack: bit-plane truncation is not strictly
+        // monotone point-wise, but the max error must not invert badly.
+        prop_assert!(f.max_abs_diff(&hi) <= f.max_abs_diff(&lo) * 1.01 + 1e-12);
+    }
+
+    #[test]
+    fn truncation_is_detected(f in arb_field(), cut in 1usize..64) {
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(8.0));
+        let bytes = c.as_bytes().len();
+        prop_assume!(cut < bytes);
+        let mut truncated = c.as_bytes().to_vec();
+        truncated.truncate(bytes - cut);
+        match zfplite::ZfpCompressed::from_bytes(truncated) {
+            // Header parsed: the payload-length check at decode must fire.
+            Ok(short) => prop_assert!(zfp_decompress::<f32>(&short).is_err()),
+            // Header itself truncated: also a detected failure.
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn container_roundtrips_through_bytes(f in arb_field(), rate in 2.0f64..16.0) {
+        let c = zfp_compress(&f, &ZfpConfig::fixed_rate(rate));
+        let c2 = zfplite::ZfpCompressed::from_bytes(c.as_bytes().to_vec()).expect("parses");
+        prop_assert_eq!(c2.dims(), f.dims());
+        prop_assert!((c2.rate() - rate).abs() < 1e-12);
+        let a: Field3<f32> = zfp_decompress(&c).expect("decodes");
+        let b: Field3<f32> = zfp_decompress(&c2).expect("decodes");
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

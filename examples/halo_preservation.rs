@@ -1,0 +1,64 @@
+//! Halo-finder quality under adaptive compression: runs the finder on
+//! original and reconstructed baryon density and prints the paper's three
+//! halo criteria (count, position, per-halo mass change), plus the halo
+//! error model's prediction for the chosen bounds.
+//!
+//! ```text
+//! cargo run --release --example halo_preservation
+//! ```
+
+use adaptive_config::optimizer::QualityTarget;
+use adaptive_config::pipeline::{InSituPipeline, PipelineConfig};
+use adaptive_config::HaloErrorModel;
+use cosmoanalysis::{compare_catalogs, find_halos, HaloFinderConfig};
+use gridlab::{Decomposition, Field3};
+use nyxlite::NyxConfig;
+
+fn main() {
+    let n = 64;
+    let snap = NyxConfig::new(n, 11).generate(42.0);
+    let field = &snap.baryon_density;
+    let dec = Decomposition::cubic(n, 4).expect("4 divides 64");
+
+    let mean = gridlab::stats::mean(field.as_slice());
+    let hc = HaloFinderConfig::relative_to_mean(mean, 2.2, 4.0);
+    let sigma = gridlab::stats::summarize(field.as_slice()).std_dev();
+    let eb_avg = 0.08 * sigma;
+
+    // Quality target: FFT budget + a halo mass-fault budget of 0.1 % of
+    // the total halo mass.
+    let orig_catalog = find_halos(field, &hc);
+    let mass_budget = orig_catalog.total_mass() * 1e-3;
+    let target = QualityTarget::with_halo(eb_avg, hc.t_boundary, mass_budget);
+
+    let cfg = PipelineConfig::new(dec.clone(), target);
+    let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
+    let (pipeline, _) = InSituPipeline::calibrate(cfg, field, 4, &sweep);
+    let result = pipeline.run_adaptive(field);
+    let decision = result.decision.as_ref().expect("adaptive run has a decision");
+
+    println!("halo finder: t_boundary {:.2}, t_halo {:.2}", hc.t_boundary, hc.t_halo);
+    println!(
+        "optimizer: mean eb {:.3}, halo-limited: {}, modeled mass fault {:.1} (budget {:.1})",
+        decision.eb_avg,
+        decision.halo_limited,
+        decision.predicted_mass_fault.unwrap_or(f64::NAN),
+        mass_budget
+    );
+
+    let recon: Field3<f32> = result.reconstruct(&dec).expect("assembles");
+    let recon_catalog = find_halos(&recon, &hc);
+    let cmp = compare_catalogs(&orig_catalog, &recon_catalog, 2.0);
+
+    println!("halos: original {}, reconstructed {}, matched {}", cmp.n_original, cmp.n_reconstructed, cmp.n_matched);
+    println!("position RMSE: {:.4} cells", cmp.position_rmse);
+    println!("mass-ratio RMSE: {:.5} (paper keeps this within 0.01)", cmp.mass_ratio_rmse);
+    println!(
+        "total |Δmass|: {:.1} — model predicted {:.1}",
+        cmp.total_abs_mass_change,
+        decision.predicted_mass_fault.unwrap_or(f64::NAN)
+    );
+    let hm = HaloErrorModel::new(hc.t_boundary);
+    println!("mass per flipped cell (model): {:.2}", hm.mass_per_flipped_cell());
+    println!("compression ratio achieved: {:.1}x", result.ratio());
+}

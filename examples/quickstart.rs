@@ -1,0 +1,65 @@
+//! Quickstart: generate a small Nyx-like snapshot, compress one field
+//! adaptively, and verify the error bound and the ratio win.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use adaptive_config::optimizer::QualityTarget;
+use adaptive_config::pipeline::{InSituPipeline, PipelineConfig};
+use gridlab::{Decomposition, Field3};
+use nyxlite::NyxConfig;
+
+fn main() {
+    // 1. A 64³ synthetic snapshot at redshift 42 (deterministic per seed).
+    let snap = NyxConfig::new(64, 2024).generate(42.0);
+    let field = &snap.baryon_density;
+    println!("generated snapshot: {} ({} MB for 6 fields)", snap.dims, snap.total_bytes() >> 20);
+
+    // 2. Decompose into 4³ = 64 partitions (one per simulated MPI rank).
+    let dec = Decomposition::cubic(64, 4).expect("4 divides 64");
+
+    // 3. Quality budget: an average absolute bound (here 10 % of the field
+    //    std-dev; see the fig13 experiment for deriving it from a P(k)
+    //    tolerance through the paper's FFT error model).
+    let sigma = gridlab::stats::summarize(field.as_slice()).std_dev();
+    let eb_avg = 0.1 * sigma;
+
+    // 4. Calibrate the rate model on sample partitions (one-off), then run.
+    let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(eb_avg));
+    let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
+    let (pipeline, report) = InSituPipeline::calibrate(cfg, field, 4, &sweep);
+    println!(
+        "calibrated rate model: c = {:.3}, C(mean) fit R² = {:.3}",
+        pipeline.optimizer.ratio_model.c, report.c_fit_r2
+    );
+
+    let adaptive = pipeline.run_adaptive(field);
+    let traditional = pipeline.run_traditional(field, eb_avg / 2.0); // conservative baseline
+
+    println!(
+        "adaptive:    {:6.1}x ratio at mean eb {:.3} (bounds span {:.3}..{:.3})",
+        adaptive.ratio(),
+        adaptive.ebs.iter().sum::<f64>() / adaptive.ebs.len() as f64,
+        adaptive.ebs.iter().cloned().fold(f64::MAX, f64::min),
+        adaptive.ebs.iter().cloned().fold(f64::MIN, f64::max),
+    );
+    println!("traditional: {:6.1}x ratio at uniform conservative eb", traditional.ratio());
+    println!(
+        "improvement: {:.1} %",
+        (adaptive.ratio() / traditional.ratio() - 1.0) * 100.0
+    );
+
+    // 5. Verify the per-partition bound guarantee on the reconstruction.
+    let recon: Field3<f32> = adaptive.reconstruct(&dec).expect("assembles");
+    let worst = dec
+        .split(field)
+        .iter()
+        .zip(dec.split(&recon).iter())
+        .zip(&adaptive.ebs)
+        .map(|((o, r), &eb)| o.max_abs_diff(r) / eb)
+        .fold(0.0f64, f64::max);
+    println!("worst partition error / its bound = {worst:.3} (must be <= 1)");
+    assert!(worst <= 1.0 + 1e-9);
+    println!("quickstart OK");
+}

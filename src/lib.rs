@@ -1,0 +1,12 @@
+//! Umbrella crate for the HPDC'21 reproduction workspace.
+//!
+//! Re-exports every member crate so the root-level examples and integration
+//! tests can address the whole stack through one dependency.
+
+pub use adaptive_config;
+pub use cosmoanalysis;
+pub use fftlite;
+pub use gridlab;
+pub use nyxlite;
+pub use rsz;
+pub use zfplite;

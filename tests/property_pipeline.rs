@@ -1,0 +1,111 @@
+//! Property-based tests over the whole stack: random fields and random
+//! configurations must never break the core guarantees.
+
+use adaptive_config::optimizer::{Optimizer, QualityTarget};
+use adaptive_config::ratio_model::{PartitionFeature, RatioModel};
+use gridlab::{Decomposition, Dim3, Field3};
+use proptest::prelude::*;
+use rsz::{compress, decompress, SzConfig};
+
+fn small_field() -> impl Strategy<Value = Field3<f32>> {
+    // Dims 4..=10 per axis, values spanning positive/negative magnitudes.
+    (4usize..=10, 4usize..=10, 4usize..=10)
+        .prop_flat_map(|(nx, ny, nz)| {
+            let n = nx * ny * nz;
+            (
+                Just(Dim3::new(nx, ny, nz)),
+                proptest::collection::vec(-1.0e4f32..1.0e4f32, n),
+            )
+        })
+        .prop_map(|(dims, data)| Field3::from_vec(dims, data).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn abs_bound_never_violated(field in small_field(), eb in 1e-3f64..1e3) {
+        let c = compress(&field, &SzConfig::abs(eb));
+        let recon: Field3<f32> = decompress(&c).expect("self-produced container decodes");
+        prop_assert!(field.max_abs_diff(&recon) <= eb * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn compression_is_deterministic(field in small_field(), eb in 1e-2f64..1e2) {
+        let a = compress(&field, &SzConfig::abs(eb));
+        let b = compress(&field, &SzConfig::abs(eb));
+        prop_assert_eq!(a.as_bytes(), b.as_bytes());
+    }
+
+    #[test]
+    fn lossless_pass_changes_nothing_semantically(field in small_field(), eb in 1e-2f64..1e2) {
+        let plain = compress(&field, &SzConfig::abs(eb));
+        let packed = compress(&field, &SzConfig::abs(eb).with_lossless(true));
+        let r1: Field3<f32> = decompress(&plain).expect("decodes");
+        let r2: Field3<f32> = decompress(&packed).expect("decodes");
+        prop_assert_eq!(r1.as_slice(), r2.as_slice());
+    }
+
+    #[test]
+    fn optimizer_respects_budget_and_clamp(
+        means in proptest::collection::vec(1e-3f64..1e6, 2..64),
+        eb_avg in 1e-3f64..1e3,
+        c in -2.0f64..-0.05,
+        a1 in -1.0f64..1.0,
+    ) {
+        let model = RatioModel { c, a0: 0.5, a1 };
+        let opt = Optimizer::new(model);
+        let features: Vec<PartitionFeature> = means
+            .iter()
+            .map(|&m| PartitionFeature { mean: m, boundary_cells_ref: 0.0, eb_ref: 1.0, cells: 64 })
+            .collect();
+        let cfg = opt.optimize(&features, &QualityTarget::fft_only(eb_avg));
+        let mean_eb = cfg.ebs.iter().sum::<f64>() / cfg.ebs.len() as f64;
+        prop_assert!(mean_eb <= eb_avg * (1.0 + 1e-6), "budget exceeded: {mean_eb} > {eb_avg}");
+        for &e in &cfg.ebs {
+            prop_assert!(e > 0.0 && e.is_finite());
+            prop_assert!(e <= eb_avg * 4.0 * (1.0 + 1e-9), "clamp violated: {e}");
+        }
+    }
+
+    #[test]
+    fn optimizer_never_predicts_worse_than_traditional(
+        means in proptest::collection::vec(1e-2f64..1e5, 2..32),
+        eb_avg in 1e-2f64..1e2,
+    ) {
+        let model = RatioModel { c: -0.5, a0: 0.2, a1: 0.3 };
+        let opt = Optimizer::new(model);
+        let features: Vec<PartitionFeature> = means
+            .iter()
+            .map(|&m| PartitionFeature { mean: m, boundary_cells_ref: 0.0, eb_ref: 1.0, cells: 64 })
+            .collect();
+        let adaptive = opt.optimize(&features, &QualityTarget::fft_only(eb_avg));
+        let traditional = opt.traditional(&features, eb_avg);
+        // At the same mean bound the stationary point cannot be worse than
+        // the uniform point (it is the optimum of the same objective);
+        // clamping can only bring it back toward uniform.
+        prop_assert!(
+            adaptive.predicted_bitrate <= traditional.predicted_bitrate * (1.0 + 1e-6),
+            "adaptive {} > traditional {}",
+            adaptive.predicted_bitrate,
+            traditional.predicted_bitrate
+        );
+    }
+
+    #[test]
+    fn split_assemble_identity_on_random_decompositions(
+        parts in 1usize..=4,
+        seed in 0u64..1000,
+    ) {
+        let n = 8;
+        let mut state = seed;
+        let field = Field3::from_fn(Dim3::cube(n), |_, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 40) as f32
+        });
+        prop_assume!(n % parts == 0);
+        let dec = Decomposition::cubic(n, parts).expect("divides");
+        let back = dec.assemble(&dec.split(&field)).expect("assembles");
+        prop_assert_eq!(field, back);
+    }
+}
