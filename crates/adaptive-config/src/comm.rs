@@ -97,7 +97,7 @@ impl Comm {
 }
 
 /// Run `f(rank, comm)` on `size` OS threads; returns per-rank results in
-/// rank order. Uses crossbeam scoped threads so `f` can borrow.
+/// rank order. Uses std scoped threads so `f` can borrow.
 pub fn run_ranks<R, F>(size: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -117,17 +117,16 @@ where
         size,
     });
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = (0..size)
             .map(|rank| {
                 let comm = Comm { shared: Arc::clone(&shared), rank };
                 let f = &f;
-                s.spawn(move |_| f(rank, &comm))
+                s.spawn(move || f(rank, &comm))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
     })
-    .expect("scope panicked")
 }
 
 #[cfg(test)]

@@ -264,7 +264,7 @@ mod tests {
         // Huge spread in means would produce wild bounds without clamps.
         let cfg = opt.optimize(&feats(&[1e-6, 1.0, 1e12]), &QualityTarget::fft_only(0.2));
         for &e in &cfg.ebs {
-            assert!(e >= 0.2 / 4.0 - 1e-12 && e <= 0.2 * 4.0 + 1e-12, "eb {e}");
+            assert!((0.2 / 4.0 - 1e-12..=0.2 * 4.0 + 1e-12).contains(&e), "eb {e}");
         }
     }
 

@@ -1,0 +1,49 @@
+//! Cheap CI tripwire: calibrate + run the adaptive pipeline on a 16³
+//! snapshot and sanity-check the result, fast enough (<1s) that every
+//! `cargo test` run exercises the full in-situ path even when the heavier
+//! integration suites are filtered out.
+
+use adaptive_config::optimizer::QualityTarget;
+use adaptive_config::pipeline::{InSituPipeline, PipelineConfig};
+use gridlab::{Decomposition, Field3};
+use nyxlite::NyxConfig;
+use std::time::Instant;
+
+#[test]
+fn calibrate_and_run_adaptive_on_16_cubed() {
+    let start = Instant::now();
+
+    let snap = NyxConfig::new(16, 2024).generate(42.0);
+    let field = &snap.baryon_density;
+    let dec = Decomposition::cubic(16, 2).expect("divides");
+    let sigma = gridlab::stats::summarize(field.as_slice()).std_dev();
+    let eb_avg = 0.1 * sigma;
+    let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
+
+    let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(eb_avg));
+    let (pipeline, _report) = InSituPipeline::calibrate(cfg, field, 2, &sweep);
+    let result = pipeline.run_adaptive(field);
+
+    // One eb per partition, all positive/finite, mean within the budget.
+    assert_eq!(result.ebs.len(), dec.num_partitions());
+    assert!(result.ebs.iter().all(|&e| e > 0.0 && e.is_finite()));
+    let mean_eb = result.ebs.iter().sum::<f64>() / result.ebs.len() as f64;
+    assert!(mean_eb <= eb_avg * (1.0 + 1e-6), "budget exceeded: {mean_eb} > {eb_avg}");
+
+    // The per-partition bound holds on the reconstruction.
+    let recon: Field3<f32> = result.reconstruct(&dec).expect("assembles");
+    for ((orig, rec), &eb) in
+        dec.split(field).iter().zip(dec.split(&recon).iter()).zip(&result.ebs)
+    {
+        assert!(orig.max_abs_diff(rec) <= eb + 1e-9);
+    }
+
+    // Compression actually happened.
+    assert!(result.ratio() > 1.0, "ratio {}", result.ratio());
+
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 1.0,
+        "16^3 smoke pipeline took {elapsed:?}; the cheap CI tripwire must stay under 1s"
+    );
+}

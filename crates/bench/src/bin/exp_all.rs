@@ -5,13 +5,15 @@ use bench::experiments as e;
 use bench::{Report, Scale};
 use std::time::Instant;
 
+type ExperimentFn = fn(&Scale) -> Report;
+
 fn main() {
     let scale = Scale::from_env();
     println!(
         "running all experiments at {}^3 with {}^3 partitions (seed {})",
         scale.n, scale.parts, scale.seed
     );
-    let runs: Vec<(&str, fn(&Scale) -> Report)> = vec![
+    let runs: Vec<(&str, ExperimentFn)> = vec![
         ("fig03", e::fig03_error_distribution::run),
         ("fig04", e::fig04_fft_error_dist::run),
         ("fig05", e::fig05_fft_error_variance::run),

@@ -20,10 +20,10 @@ pub fn run(scale: &Scale) -> Report {
         &["parts_per_axis", "brick_dim", "ratio_traditional", "ratio_adaptive", "improvement_%"],
     );
     let mut parts_list = vec![2usize];
-    if scale.n % 4 == 0 {
+    if scale.n.is_multiple_of(4) {
         parts_list.push(4);
     }
-    if scale.n % 8 == 0 && scale.n / 8 >= 8 {
+    if scale.n.is_multiple_of(8) && scale.n / 8 >= 8 {
         parts_list.push(8);
     }
     for &parts in &parts_list {

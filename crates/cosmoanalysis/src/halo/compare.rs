@@ -52,7 +52,7 @@ pub fn compare_catalogs(
                 continue;
             }
             let d2 = dist2(orig.position, rec.position);
-            if d2 <= r2 && best.map_or(true, |(_, bd)| d2 < bd) {
+            if d2 <= r2 && best.is_none_or(|(_, bd)| d2 < bd) {
                 best = Some((j, d2));
             }
         }

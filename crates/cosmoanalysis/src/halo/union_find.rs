@@ -49,7 +49,7 @@ impl UnionFind {
         }
         let (big, small) =
             if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
-        self.parent[small as usize] = big as u32;
+        self.parent[small] = big as u32;
         self.size[big] += self.size[small];
         big
     }

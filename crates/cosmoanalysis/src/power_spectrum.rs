@@ -87,7 +87,7 @@ pub fn power_spectrum<T: Scalar>(field: &Field3<T>, kind: SpectrumKind) -> Power
     Fft3::new(d.nx, d.ny, d.nz).forward(&mut buf);
 
     // Maximum meaningful |k| is the Nyquist radius of the smallest axis.
-    let k_max = (d.nx.min(d.ny).min(d.nz) / 2) as usize;
+    let k_max = d.nx.min(d.ny).min(d.nz) / 2;
     let mut power = vec![0.0f64; k_max];
     let mut counts = vec![0u64; k_max];
 

@@ -64,7 +64,7 @@ impl Bluestein {
         }
         fft_in_place(&mut work, &self.twiddles_m);
         for (w, f) in work.iter_mut().zip(&self.filter_spec) {
-            *w = *w * *f;
+            *w *= *f;
         }
         ifft_in_place(&mut work, &self.twiddles_m);
         for k in 0..self.n {

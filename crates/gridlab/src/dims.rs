@@ -76,7 +76,7 @@ impl Dim3 {
 
     /// Whether `other` exactly tiles `self` along every axis.
     pub fn divides(&self, other: Dim3) -> bool {
-        self.nx % other.nx == 0 && self.ny % other.ny == 0 && self.nz % other.nz == 0
+        self.nx.is_multiple_of(other.nx) && self.ny.is_multiple_of(other.ny) && self.nz.is_multiple_of(other.nz)
     }
 
     /// Iterate over all `(x, y, z)` coordinates in linear-index order.

@@ -65,7 +65,7 @@ mod tests {
     #[test]
     fn io_source_is_preserved() {
         use std::error::Error;
-        let inner = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let inner = std::io::Error::other("boom");
         let e: GridError = inner.into();
         assert!(e.source().is_some());
     }

@@ -67,7 +67,7 @@ impl Decomposition {
     /// Decomposition of a cubic domain into `parts_per_axis`³ bricks.
     pub fn cubic(domain_n: usize, parts_per_axis: usize) -> Result<Self, GridError> {
         let domain = Dim3::cube(domain_n);
-        if parts_per_axis == 0 || domain_n % parts_per_axis != 0 {
+        if parts_per_axis == 0 || !domain_n.is_multiple_of(parts_per_axis) {
             return Err(GridError::BadDecomposition {
                 domain: domain.to_string(),
                 brick: format!("{parts_per_axis} parts/axis"),

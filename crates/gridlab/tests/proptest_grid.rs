@@ -49,7 +49,7 @@ proptest! {
 
     #[test]
     fn split_assemble_identity(n in 2usize..=8, parts in 1usize..=4, seed in 0u64..300) {
-        prop_assume!(n % parts == 0);
+        prop_assume!(n.is_multiple_of(parts));
         let mut state = seed;
         let f = Field3::from_fn(Dim3::cube(n), |_, _, _| {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -61,7 +61,7 @@ proptest! {
 
     #[test]
     fn partition_of_cell_consistent_with_origins(n in 2usize..=8, parts in 1usize..=4) {
-        prop_assume!(n % parts == 0);
+        prop_assume!(n.is_multiple_of(parts));
         let dec = Decomposition::cubic(n, parts).expect("divides");
         for p in dec.iter() {
             let (ox, oy, oz) = p.origin;

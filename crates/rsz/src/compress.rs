@@ -319,7 +319,7 @@ fn write_header<T: Scalar>(cfg: &SzConfig, dims: Dim3, dom: u32, out: &mut Vec<u
 // ---------------------------------------------------------------------------
 
 fn pack_bitmap(bits: &[bool]) -> Vec<u8> {
-    let mut out = vec![0u8; (bits.len() + 7) / 8];
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
     for (i, &b) in bits.iter().enumerate() {
         if b {
             out[i / 8] |= 1 << (i % 8);
@@ -614,7 +614,7 @@ pub fn decompress_slice<T: Scalar>(bytes: &[u8]) -> Result<(Vec<T>, Dim3), SzErr
     let (signs, zeros) = match h.mode {
         ErrorMode::Abs(_) => (None, None),
         ErrorMode::PwRel { .. } => {
-            let bm_len = (n + 7) / 8;
+            let bm_len = n.div_ceil(8);
             let sb = unpack_bitmap(ptake(&mut p, bm_len)?, n);
             let zb = unpack_bitmap(ptake(&mut p, bm_len)?, n);
             (Some(sb), Some(zb))

@@ -133,7 +133,7 @@ impl CodeBook {
             code <<= len - prev_len;
             if prev_len != len {
                 for l in (prev_len + 1)..=len {
-                    first_code[l as usize] = code << 0;
+                    first_code[l as usize] = code;
                     first_index[l as usize] = i;
                 }
                 // first_code for this exact length is the current code.

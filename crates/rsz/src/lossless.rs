@@ -78,6 +78,7 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
             out.push((best_len - MIN_MATCH) as u8);
             // Register skipped positions so later matches can reference them.
             let end = (i + best_len).min(input.len().saturating_sub(MIN_MATCH - 1));
+            #[allow(clippy::needless_range_loop)] // j indexes prev, head, and input together
             for j in (i + 1)..end {
                 let h = hash4(input, j);
                 prev[j] = head[h];

@@ -161,9 +161,9 @@ mod tests {
         let q = Quantizer::new(1e-3, 1 << 15);
         let value = 1e17 + 0.4;
         let pred = 1e17;
-        match q.quantize(value, pred) {
-            Some((_, recon)) => assert!((recon - value).abs() <= 1e-3),
-            None => {} // verbatim storage — also correct
+        // Verbatim storage (None) is also correct here.
+        if let Some((_, recon)) = q.quantize(value, pred) {
+            assert!((recon - value).abs() <= 1e-3);
         }
     }
 

@@ -43,7 +43,7 @@ pub fn fold(codes: &[u32], dom: u32) -> (Vec<u32>, Vec<u32>) {
                 symbols.push(RUN_MARKER);
                 runs.push(run as u32);
             } else {
-                symbols.extend(std::iter::repeat(dom).take(run));
+                symbols.extend(std::iter::repeat_n(dom, run));
             }
             i = j;
         } else {
@@ -63,7 +63,7 @@ pub fn unfold(symbols: &[u32], runs: &[u32], dom: u32) -> Option<Vec<u32>> {
     for &s in symbols {
         if s == RUN_MARKER {
             let &len = run_iter.next()?;
-            out.extend(std::iter::repeat(dom).take(len as usize));
+            out.extend(std::iter::repeat_n(dom, len as usize));
         } else {
             out.push(s);
         }

@@ -1,0 +1,102 @@
+//! Deterministic-seed round-trip tests for the rsz codec on the shapes
+//! most likely to break header/stride logic: a single cell, non-power-of-
+//! two bricks, and all-constant fields. Complements the property suite
+//! with fixed inputs that fail reproducibly.
+
+use gridlab::{Dim3, Field3};
+use rsz::{compress, decompress, SzConfig};
+
+/// Deterministic pseudo-random field from an LCG — no RNG crate involved,
+/// so these inputs are stable across toolchains and shim changes.
+fn lcg_field(dims: Dim3, seed: u64, amplitude: f32) -> Field3<f32> {
+    let mut state = seed;
+    Field3::from_fn(dims, |_, _, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * amplitude
+    })
+}
+
+fn assert_bound_roundtrip(field: &Field3<f32>, eb: f64) {
+    let c = compress(field, &SzConfig::abs(eb));
+    let recon: Field3<f32> = decompress(&c).expect("self-produced container decodes");
+    assert_eq!(recon.dims(), field.dims());
+    let err = field.max_abs_diff(&recon);
+    assert!(err <= eb * (1.0 + 1e-9), "bound violated: {err} > {eb} on {:?}", field.dims());
+}
+
+#[test]
+fn one_cell_field_roundtrips() {
+    for value in [0.0f32, 1.0, -3.5e6, 4.2e-12] {
+        let field = Field3::from_vec(Dim3::new(1, 1, 1), vec![value]).expect("sized");
+        assert_bound_roundtrip(&field, 1e-3);
+    }
+}
+
+#[test]
+fn one_cell_tight_bound() {
+    let field = Field3::from_vec(Dim3::new(1, 1, 1), vec![123.456f32]).expect("sized");
+    assert_bound_roundtrip(&field, 1e-9);
+}
+
+#[test]
+fn degenerate_pencils_and_slabs_roundtrip() {
+    // 1-D and 2-D degenerate shapes exercise the Lorenzo predictor's
+    // dimensional fallbacks.
+    for dims in [
+        Dim3::new(17, 1, 1),
+        Dim3::new(1, 23, 1),
+        Dim3::new(1, 1, 31),
+        Dim3::new(13, 7, 1),
+        Dim3::new(1, 11, 5),
+        Dim3::new(9, 1, 19),
+    ] {
+        let field = lcg_field(dims, 0xE1, 2.0e4);
+        assert_bound_roundtrip(&field, 0.5);
+    }
+}
+
+#[test]
+fn non_power_of_two_cube_roundtrips() {
+    for (n, seed) in [(3usize, 7u64), (5, 11), (7, 13), (13, 17)] {
+        let field = lcg_field(Dim3::cube(n), seed, 1.0e5);
+        assert_bound_roundtrip(&field, 1.0);
+    }
+}
+
+#[test]
+fn ragged_dims_roundtrip() {
+    let field = lcg_field(Dim3::new(6, 10, 15), 0xBEEF, 3.0e3);
+    assert_bound_roundtrip(&field, 0.25);
+}
+
+#[test]
+fn all_constant_field_compresses_tiny() {
+    let dims = Dim3::cube(16);
+    let field = Field3::from_fn(dims, |_, _, _| 42.0f32);
+    let c = compress(&field, &SzConfig::abs(1e-3));
+    let recon: Field3<f32> = decompress(&c).expect("decodes");
+    assert!(field.max_abs_diff(&recon) <= 1e-3 * (1.0 + 1e-9));
+    // A constant field is the best case for Lorenzo + RLE: the container
+    // must be a small fraction of the raw 16³×4 bytes.
+    let raw = dims.len() * std::mem::size_of::<f32>();
+    assert!(c.len() * 20 < raw, "constant field barely compressed: {} of {raw}", c.len());
+}
+
+#[test]
+fn all_zero_field_roundtrips() {
+    let field = Field3::<f32>::zeros(Dim3::new(4, 1, 9));
+    assert_bound_roundtrip(&field, 1e-6);
+    let recon: Field3<f32> =
+        decompress(&compress(&field, &SzConfig::abs(1e-6))).expect("decodes");
+    assert!(recon.as_slice().iter().all(|&v| v.abs() <= 1e-6));
+}
+
+#[test]
+fn compression_is_bitwise_deterministic_on_edge_shapes() {
+    for dims in [Dim3::new(1, 1, 1), Dim3::cube(5), Dim3::new(6, 10, 15)] {
+        let field = lcg_field(dims, 99, 1.0e4);
+        let a = compress(&field, &SzConfig::abs(0.1));
+        let b = compress(&field, &SzConfig::abs(0.1));
+        assert_eq!(a.as_bytes(), b.as_bytes(), "nondeterministic container on {dims:?}");
+    }
+}

@@ -291,7 +291,7 @@ fn decode_block(cur: &mut BitCursor<'_>, budget: usize, order: &[usize; 64]) -> 
 /// Compress a field at the configured fixed rate.
 pub fn zfp_compress<T: Scalar>(field: &Field3<T>, cfg: &ZfpConfig) -> ZfpCompressed {
     let d = field.dims();
-    let (bx, by, bz) = ((d.nx + 3) / 4, (d.ny + 3) / 4, (d.nz + 3) / 4);
+    let (bx, by, bz) = (d.nx.div_ceil(4), d.ny.div_ceil(4), d.nz.div_ceil(4));
     let budget = cfg.block_bits();
     let order = sequency_order();
 
@@ -351,7 +351,7 @@ pub fn zfp_decompress<T: Scalar>(c: &ZfpCompressed) -> Result<Field3<T>, ZfpErro
     let budget = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
     let payload = &bytes[pos..];
 
-    let (nbx, nby, nbz) = ((d.nx + 3) / 4, (d.ny + 3) / 4, (d.nz + 3) / 4);
+    let (nbx, nby, nbz) = (d.nx.div_ceil(4), d.ny.div_ceil(4), d.nz.div_ceil(4));
     let total_bits = nbx * nby * nbz * budget;
     if payload.len() * 8 < total_bits {
         return Err(ZfpError::Format("payload shorter than block budget".into()));

@@ -118,7 +118,7 @@ fn eq10_mixture_matches_uniform_at_equal_mean() {
         (err.iter().map(|z| z.re * z.re).sum::<f64>() / err.len() as f64).sqrt()
     };
 
-    let uniform = spectral_sigma(&vec![eb; 8]);
+    let uniform = spectral_sigma(&[eb; 8]);
     let mixed: Vec<f64> =
         (0..8).map(|i| if i % 2 == 0 { 0.5 * eb } else { 1.5 * eb }).collect();
     let mixed_sigma = spectral_sigma(&mixed);

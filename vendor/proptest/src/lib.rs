@@ -1,0 +1,192 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this shim re-implements
+//! the subset the workspace's property suites use: the `proptest!` macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range and tuple
+//! strategies, `Just`, `prop_map`/`prop_flat_map`/`prop_filter`, and
+//! `proptest::collection::vec`. Differences from the real crate:
+//!
+//! * **no shrinking** — a failing case reports its case number and the
+//!   deterministic per-test seed instead of a minimised input;
+//! * **deterministic by default** — the RNG seed is derived from the test
+//!   name (override with `PROPTEST_RNG_SEED`), so failures reproduce;
+//! * `PROPTEST_CASES` *caps* the per-test case count (even one set via
+//!   `ProptestConfig::with_cases`), which is how CI keeps suites fast.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    /// Namespace mirror (`prop::collection::vec(...)` style).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests. Each argument is drawn from its strategy fresh
+/// per case; the body runs inside a closure so `prop_assert*` can abort
+/// the case without panicking machinery.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let cases = config.effective_cases();
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                while passed < cases {
+                    if rejected > config.max_global_rejects {
+                        panic!(
+                            "proptest shim: `{}` rejected {} inputs before reaching {} cases — \
+                             loosen prop_assume! or widen the strategies",
+                            stringify!($name), rejected, cases
+                        );
+                    }
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => rejected += 1,
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest shim: `{}` failed at case #{} (seed {}): {}",
+                            stringify!($name), passed, rng.seed(), msg
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assert_eq failed: `{}` = {:?} vs `{}` = {:?}",
+                stringify!($left), left, stringify!($right), right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assert_ne failed: both sides = {:?}", left
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (does not count toward the case target).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.5f64..2.5, z in 1u64..=9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!((1..=9).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_vec(dims in (1usize..=4, 1usize..=4), data in crate::collection::vec(0.0f32..1.0, 2..10)) {
+            prop_assert!(dims.0 >= 1 && dims.1 <= 4);
+            prop_assert!(data.len() >= 2 && data.len() < 10);
+            for v in &data {
+                prop_assert!((0.0..1.0).contains(v));
+            }
+        }
+
+        #[test]
+        fn flat_map_links_sizes(v in (1usize..=8).prop_flat_map(|n| crate::collection::vec(0u64..100, n)).prop_map(|v| v)) {
+            prop_assert!(!v.is_empty() && v.len() <= 8);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::for_test("abc");
+        let mut b = crate::test_runner::TestRng::for_test("abc");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn env_caps_cases() {
+        let cfg = ProptestConfig::with_cases(1000);
+        // Without the env var set this is just the explicit count.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(cfg.effective_cases(), 1000);
+        } else {
+            assert!(cfg.effective_cases() <= 1000);
+        }
+    }
+}

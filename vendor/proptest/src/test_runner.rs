@@ -1,0 +1,90 @@
+//! Case-loop configuration, the per-test RNG, and case outcomes.
+
+/// Mirror of proptest's `ProptestConfig`, reduced to what the suites set.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Requested number of successful cases.
+    pub cases: u32,
+    /// Abort if `prop_assume!` discards this many inputs in one test.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, max_global_rejects: 4096 }
+    }
+
+    /// The count actually run: `PROPTEST_CASES` (when set and parseable)
+    /// caps the configured value so CI can bound suite cost globally.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+            Some(cap) => self.cases.min(cap.max(1)),
+            None => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestCaseError {
+    /// `prop_assert*` failure: fails the test.
+    Fail(String),
+    /// `prop_assume!` miss: case is discarded and redrawn.
+    Reject(String),
+}
+
+/// SplitMix64-based deterministic RNG, seeded from the test's name so
+/// every run draws the same inputs (no shrinking to compensate with).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    seed: u64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_RNG_SEED").ok().and_then(|v| v.parse().ok()) {
+            Some(s) => s,
+            None => {
+                // FNV-1a over the test name.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            }
+        };
+        TestRng { state: seed, seed }
+    }
+
+    /// The seed in use, reported on failure for reproduction.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline stand-in for `rand` 0.8: the trait surface only.
+//!
+//! The concrete generator lives in the sibling `rand_chacha` shim; this
+//! crate supplies `RngCore`, `SeedableRng`, and the `Rng` extension trait
+//! (`gen`, `gen_range`, `gen_bool`) the workspace calls. Floating-point
+//! conversion follows rand's convention: 53 random mantissa bits mapped
+//! uniformly onto `[0, 1)`.
+
+use std::ops::Range;
+
+/// Raw generator interface: a source of uniform random words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with the same PCG32-style scheme
+    /// rand_core 0.6 uses, so `seed_from_u64(s)` produces bit-identical
+    /// seeds (and therefore identical streams) to upstream rand 0.8.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let n = chunk.len();
+            chunk.copy_from_slice(&x.to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly from a generator's raw words.
+pub trait Uniformable: Sized + Copy + PartialOrd {
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl Uniformable for f64 {
+    // rand 0.8's `Standard` for f64: 53 mantissa bits mapped onto [0, 1).
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+    // rand 0.8's `UniformFloat::sample_single`: draw in [1, 2) via the
+    // exponent trick (52 bits), shift to [0, 1), scale, reject overshoot.
+    // Upstream computes `value1_2 * scale + (low - scale)` instead; the
+    // two agree except on a ~2^-52-probability rounding edge (where
+    // upstream can even yield exactly 0.0 for `MIN_POSITIVE..1.0` —
+    // this form never returns below `low`).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        let scale = range.end - range.start;
+        loop {
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | 0x3FF0_0000_0000_0000);
+            let res = (value1_2 - 1.0) * scale + range.start;
+            if res < range.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl Uniformable for f32 {
+    // rand 0.8's `Standard` for f32: 24 mantissa bits onto [0, 1).
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<f32>) -> f32 {
+        assert!(range.start < range.end, "empty range");
+        let scale = range.end - range.start;
+        loop {
+            let value1_2 = f32::from_bits((rng.next_u32() >> 9) | 0x3F80_0000);
+            let res = (value1_2 - 1.0) * scale + range.start;
+            if res < range.end {
+                return res;
+            }
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Uniformable for $t {
+            fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo, NOT upstream rand's Lemire rejection: bias is
+                // < 2^-64 per draw, but streams diverge from upstream
+                // here (no in-tree caller draws integer ranges).
+                let draw = rng.next_u64() as u128 % span;
+                (range.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing extension methods, auto-implemented for every generator.
+pub trait Rng: RngCore {
+    fn gen<T: Uniformable>(&mut self) -> T {
+        T::sample_unit(self)
+    }
+
+    fn gen_range<T: Uniformable>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_unit(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Placeholder module mirroring rand's layout (no OS entropy offline).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = Lcg(7);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut r = Lcg(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&v));
+            let i = r.gen_range(5usize..17);
+            assert!((5..17).contains(&i));
+        }
+    }
+}

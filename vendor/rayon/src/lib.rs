@@ -1,0 +1,188 @@
+//! Offline stand-in for `rayon`'s parallel iterators.
+//!
+//! No crates.io access in the build container, so this shim supplies the
+//! subset the workspace uses (`par_iter`, `par_iter_mut`, `par_chunks`,
+//! `par_chunks_mut`, `into_par_iter`, then `map`/`enumerate`/`for_each`/
+//! `collect`/`sum`) with *real* parallelism: work items are split into
+//! contiguous chunks, one `std::thread::scope` thread per chunk, results
+//! concatenated in input order. Unlike rayon the combinators are eager —
+//! `map` runs immediately — which is observably identical for the
+//! map→collect / enumerate→for_each shapes used here, minus work stealing.
+
+use std::num::NonZeroUsize;
+
+fn thread_count(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    hw.min(items).max(1)
+}
+
+/// Run `f` over `items` on multiple threads, preserving input order.
+fn run<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut slots: Vec<Vec<R>> = Vec::with_capacity(threads);
+    let mut pending: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(chunk));
+        pending.push(tail);
+    }
+    pending.reverse(); // split_off took tails, so restore front-to-back order
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = pending
+            .into_iter()
+            .map(|batch| scope.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            slots.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    slots.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": a materialised work list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter { items: run(self.items, f) }
+    }
+
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let keep = run(self.items, |t| if f(&t) { Some(t) } else { None });
+        ParIter { items: keep.into_iter().flatten().collect() }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> T
+    where
+        Id: Fn() -> T,
+        Op: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter { items: self.chunks(size).collect() }
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter { items: self.chunks_mut(size).collect() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+pub mod slice {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint() {
+        let mut v = vec![0u64; 997];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = i as u64;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[10], 1);
+        assert_eq!(v[996], 99);
+    }
+
+    #[test]
+    fn par_iter_sum_matches_serial() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim.
+//!
+//! syn/quote are unavailable (no registry), so the input item is parsed
+//! directly from `proc_macro::TokenStream`. Supported shapes — which is
+//! exactly what this workspace derives on:
+//!
+//! * non-generic structs with named fields,
+//! * non-generic enums whose variants are unit or tuple (any arity).
+//!
+//! `#[serde(...)]` attributes are not supported and none exist in-tree;
+//! anything unsupported fails the build with a clear message rather than
+//! silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!(\"serde shim derive: {msg}\");").parse().unwrap()
+        }
+    };
+    let code = match (&item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => struct_ser(name, fields),
+        (Item::Struct { name, fields }, Mode::Deserialize) => struct_de(name, fields),
+        (Item::Enum { name, variants }, Mode::Serialize) => enum_ser(name, variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => enum_de(name, variants),
+    };
+    code.parse().expect("derive produced invalid Rust")
+}
+
+/// Parse `[attrs] [pub] (struct|enum) Name { ... }` out of the token
+/// stream rustc hands a derive macro.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("generic type `{name}` is not supported by the shim derive"))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple struct `{name}` is not supported by the shim derive"))
+            }
+            Some(_) => continue,
+            None => return Err(format!("no body found for `{name}`")),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct { name, fields: parse_named_fields(body)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_variants(body)? }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names from `{ a: T, pub b: U<V, W>, ... }`. Commas inside
+/// parenthesised groups are invisible (they are nested token groups);
+/// commas inside generic arguments are skipped by tracking `<`/`>` depth.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        let mut angle_depth = 0usize;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// `(variant name, payload arity)` pairs; arity 0 = unit variant.
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = tokens.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = tuple_arity(g.stream());
+                    tokens.next();
+                }
+                Delimiter::Brace => {
+                    return Err(format!(
+                        "struct variant `{name}` is not supported by the shim derive"
+                    ))
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, arity));
+        for tok in tokens.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 1;
+    let mut angle_depth = 0usize;
+    let mut saw_any = false;
+    for tok in stream {
+        saw_any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth = angle_depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        arity
+    } else {
+        0
+    }
+}
+
+fn struct_ser(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn struct_de(name: &str, fields: &[String]) -> String {
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::field(map, \"{f}\")?)?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let map = v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+                 Ok({name} {{ {entries} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn bindings(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("f{i}")).collect()
+}
+
+fn enum_ser(name: &str, variants: &[(String, usize)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(v, arity)| match arity {
+            0 => format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"),
+            1 => format!(
+                "{name}::{v}(f0) => ::serde::Value::Map(vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(f0))]),"
+            ),
+            &n => {
+                let binds = bindings(n).join(", ");
+                let items: String = bindings(n)
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                    .collect();
+                format!(
+                    "{name}::{v}({binds}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Seq(vec![{items}]))]),"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_de(name: &str, variants: &[(String, usize)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, a)| *a == 0)
+        .map(|(v, _)| format!("::serde::Value::Str(s) if s == \"{v}\" => Ok({name}::{v}),"))
+        .collect();
+    let payload_arms: String = variants
+        .iter()
+        .filter(|(_, a)| *a > 0)
+        .map(|(v, arity)| {
+            if *arity == 1 {
+                format!(
+                    "::serde::Value::Map(m) if m.len() == 1 && m[0].0 == \"{v}\" => \
+                         Ok({name}::{v}(::serde::Deserialize::from_value(&m[0].1)?)),"
+                )
+            } else {
+                let elems: String = (0..*arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(seq.get({i}).ok_or_else(|| ::serde::Error::custom(\"short variant payload\"))?)?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Map(m) if m.len() == 1 && m[0].0 == \"{v}\" => {{\n\
+                         let seq = m[0].1.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected payload sequence\"))?;\n\
+                         Ok({name}::{v}({elems}))\n\
+                     }},"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                     {unit_arms}\n\
+                     {payload_arms}\n\
+                     _ => Err(::serde::Error::custom(\"unrecognised {name} value\")),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,407 @@
+//! Offline stand-in for `serde_json`, rendering the serde shim's
+//! [`Value`] tree to JSON text and parsing it back.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // Always keep a decimal point or exponent so the value
+                // re-parses as a float.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Seq(items) => {
+            render_container(out, '[', ']', items.len(), indent, depth, |i, out, d| {
+                render(&items[i], indent, d, out)
+            })
+        }
+        Value::Map(entries) => {
+            render_container(out, '{', '}', entries.len(), indent, depth, |i, out, d| {
+                escape_into(&entries[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(&entries[i].1, indent, d, out)
+            })
+        }
+    }
+}
+
+fn render_container(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut item: impl FnMut(usize, &mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(i, out, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| Error("unexpected end".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        c => return Err(Error(format!("bad array separator `{}`", c as char))),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    entries.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        c => return Err(Error(format!("bad object separator `{}`", c as char))),
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()? as u32;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: a low surrogate escape
+                                // must follow; combine into one scalar.
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(Error("unpaired high surrogate".into()));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()? as u32;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error("invalid low surrogate".into()));
+                                }
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| Error("bad surrogate pair".into()))?,
+                                );
+                            } else {
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error("unpaired low surrogate".into()))?,
+                                );
+                            }
+                        }
+                        c => return Err(Error(format!("unknown escape `\\{}`", c as char))),
+                    }
+                }
+                b => {
+                    // Re-sync multi-byte UTF-8 sequences.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        let chunk = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| Error("invalid utf-8".into()))?;
+                        out.push_str(chunk);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error("short \\u escape".into()))?;
+        self.pos += 4;
+        u16::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error("bad hex".into()))?,
+            16,
+        )
+        .map_err(|_| Error("bad hex".into()))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".into()))?;
+        if text.is_empty() {
+            return Err(Error(format!("expected value at byte {start}")));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) });
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| Error(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_pretty_json() {
+        let v = Value::Map(vec![
+            ("id".into(), Value::Str("fig15".into())),
+            ("rows".into(), Value::Seq(vec![Value::U64(1), Value::F64(2.5)])),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"id\": \"fig15\""));
+        assert!(s.contains("2.5"));
+    }
+
+    #[test]
+    fn value_is_serializable_itself() {
+        // Value implements Serialize via the blanket &T? No — give it one.
+        let s = to_string(&42u64).unwrap();
+        assert_eq!(s, "42");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let src = r#"{"a": [1, -2, 3.5], "b": "x\ny", "c": null, "d": true}"#;
+        let v = parse_value(src).unwrap();
+        let rendered = {
+            struct W(Value);
+            impl Serialize for W {
+                fn to_value(&self) -> Value {
+                    self.0.clone()
+                }
+            }
+            to_string(&W(v)).unwrap()
+        };
+        let v2 = parse_value(&rendered).unwrap();
+        assert_eq!(parse_value(src).unwrap(), v2);
+    }
+
+    #[test]
+    fn floats_keep_a_point() {
+        let s = to_string(&3.0f64).unwrap();
+        assert_eq!(s, "3.0");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{oops}").is_err());
+        assert!(parse_value("[1,").is_err());
+        assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // 😀 as a conforming serializer's ASCII escape.
+        let v = parse_value(r#""😀""#).unwrap();
+        assert_eq!(v, Value::Str("😀".to_string()));
+        // Lone surrogates are errors, not replacement characters.
+        assert!(parse_value(r#""\ud83d""#).is_err());
+        assert!(parse_value(r#""\ud83dx""#).is_err());
+        assert!(parse_value(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn out_of_range_integers_rejected() {
+        assert!(from_str::<u8>("300").is_err());
+        assert!(from_str::<u32>("-1").is_err());
+        assert_eq!(from_str::<u8>("255").unwrap(), 255);
+        assert_eq!(from_str::<i8>("-128").unwrap(), -128);
+    }
+}
