@@ -98,6 +98,12 @@ impl Comm {
 
 /// Run `f(rank, comm)` on `size` OS threads; returns per-rank results in
 /// rank order. Uses std scoped threads so `f` can borrow.
+///
+/// Deliberately **not** bounded by `available_parallelism`, unlike the
+/// rayon shim's data-parallel scheduler: every rank may block inside a
+/// collective waiting for all `size` peers, so capping the thread count
+/// below `size` would deadlock the barrier generation. Oversubscription is
+/// the faithful price of MPI semantics; keep rank counts test-sized.
 pub fn run_ranks<R, F>(size: usize, f: F) -> Vec<R>
 where
     R: Send,

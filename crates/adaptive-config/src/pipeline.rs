@@ -1,6 +1,19 @@
 //! The in situ flow (paper §3.6 & §4.3): feature extraction → optimization
 //! → per-partition compression, plus the traditional single-bound baseline
 //! and the timing breakdown behind the "≈1 % overhead" claim.
+//!
+//! ## Parallel execution & determinism
+//! Compression ([`InSituPipeline::run_adaptive`]/[`run_traditional`]) and
+//! decompression ([`PipelineResult::reconstruct`]) shard across partitions:
+//! each brick is handled by a scoped worker from the rayon shim's dynamic
+//! scheduler (bounded by `available_parallelism`), and per-worker scratch
+//! buffers inside `rsz` keep the hot loop allocation-free. Partition
+//! results are merged in id order and each partition's walk is independent
+//! of every other's, so the containers are **byte-identical** to a serial
+//! run — worker count and scheduling order can never leak into simulation
+//! output (enforced by `tests/parallel_determinism.rs`).
+//!
+//! [`run_traditional`]: InSituPipeline::run_traditional
 
 use crate::optimizer::{OptimizedConfig, Optimizer, QualityTarget};
 use crate::ratio_model::{extract_features, sample_bricks, CalibrationReport, RatioModel};

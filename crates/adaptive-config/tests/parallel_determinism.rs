@@ -1,0 +1,115 @@
+//! The pipeline's determinism contract: compressing partitions through the
+//! parallel brick map must produce containers **byte-identical** to a
+//! strictly serial walk over the same partitions, and reconstructions must
+//! be bit-identical. This is what makes the parallel engine a pure
+//! performance change — simulation outputs cannot depend on the worker
+//! count or scheduling order.
+
+use adaptive_config::optimizer::QualityTarget;
+use adaptive_config::pipeline::{InSituPipeline, PipelineConfig};
+use gridlab::{Decomposition, Dim3, Field3};
+use rsz::{compress_slice, decompress, Compressed, ErrorMode, SzConfig};
+
+/// Mixed smooth/rough field so partitions differ wildly in cost and
+/// unpredictable-cell counts (the load-imbalance case the dynamic
+/// scheduler exists for).
+fn contrast_field(n: usize) -> Field3<f32> {
+    let mut state = 3u64;
+    Field3::from_fn(Dim3::cube(n), |x, y, z| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        if x >= n / 2 && y >= n / 2 {
+            (200.0 + 80.0 * noise + (z as f64 * 0.9).sin() * 40.0) as f32
+        } else {
+            (10.0 + 0.5 * (x as f64 * 0.2).sin() + 0.1 * noise) as f32
+        }
+    })
+}
+
+/// Serial reference for `InSituPipeline::compress_with`: one partition at a
+/// time, in id order, on the calling thread.
+fn serial_containers(
+    field: &Field3<f32>,
+    dec: &Decomposition,
+    base: SzConfig,
+    ebs: &[f64],
+) -> Vec<Compressed> {
+    dec.iter()
+        .map(|p| {
+            let brick = field.extract(p.origin, p.dims);
+            let mut cfg = base;
+            cfg.mode = ErrorMode::Abs(ebs[p.id]);
+            compress_slice(brick.as_slice(), brick.dims(), &cfg)
+        })
+        .collect()
+}
+
+fn pipeline(n: usize, parts: usize, eb_avg: f64) -> (InSituPipeline, Field3<f32>) {
+    let field = contrast_field(n);
+    let dec = Decomposition::cubic(n, parts).unwrap();
+    let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg));
+    let (p, _) = InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
+    (p, field)
+}
+
+#[test]
+fn parallel_adaptive_containers_match_serial_bytes() {
+    let (p, field) = pipeline(32, 4, 0.2);
+    let run = p.run_adaptive(&field);
+    let reference = serial_containers(&field, &p.cfg.dec, p.cfg.sz_base, &run.ebs);
+    assert_eq!(run.containers.len(), reference.len());
+    for (id, (par, ser)) in run.containers.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            par.as_bytes(),
+            ser.as_bytes(),
+            "partition {id}: parallel container differs from serial"
+        );
+    }
+}
+
+#[test]
+fn parallel_traditional_containers_match_serial_bytes() {
+    let (p, field) = pipeline(32, 4, 0.2);
+    let run = p.run_traditional(&field, 0.15);
+    let reference = serial_containers(&field, &p.cfg.dec, p.cfg.sz_base, &run.ebs);
+    for (id, (par, ser)) in run.containers.iter().zip(&reference).enumerate() {
+        assert_eq!(par.as_bytes(), ser.as_bytes(), "partition {id} differs");
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Scheduling order varies run to run; output must not.
+    let (p, field) = pipeline(16, 2, 0.3);
+    let first = p.run_adaptive(&field);
+    for round in 0..3 {
+        let again = p.run_adaptive(&field);
+        assert_eq!(again.ebs, first.ebs, "round {round}: optimizer drifted");
+        for (id, (a, b)) in again.containers.iter().zip(&first.containers).enumerate() {
+            assert_eq!(a.as_bytes(), b.as_bytes(), "round {round}, partition {id}");
+        }
+    }
+}
+
+#[test]
+fn parallel_reconstruction_is_bit_identical_to_serial_decode() {
+    let (p, field) = pipeline(32, 4, 0.2);
+    let run = p.run_adaptive(&field);
+    // Parallel path: PipelineResult::reconstruct (par_iter decompress).
+    let recon_par: Field3<f32> = run.reconstruct(&p.cfg.dec).unwrap();
+    // Serial path: decompress each container on this thread, assemble.
+    let bricks: Vec<Field3<f32>> =
+        run.containers.iter().map(|c| decompress::<f32>(c).unwrap()).collect();
+    let recon_ser = p.cfg.dec.assemble(&bricks).unwrap();
+    let a = recon_par.as_slice();
+    let b = recon_ser.as_slice();
+    assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        assert!(
+            a[i].to_bits() == b[i].to_bits(),
+            "cell {i}: parallel {} vs serial {} differ in bits",
+            a[i],
+            b[i]
+        );
+    }
+}

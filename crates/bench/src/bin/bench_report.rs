@@ -1,0 +1,222 @@
+//! Regenerate the `BENCH_*.json` performance trajectory (see ROADMAP.md).
+//!
+//! Re-runs the workloads of the six criterion benches with the same
+//! median-of-samples methodology as the vendored criterion shim, plus a
+//! serial-vs-parallel run of the multi-partition pipeline compression so
+//! the trajectory records the threading speedup on the measuring host.
+//!
+//! Usage:
+//! * `cargo run --release -p bench --bin bench_report` — full workloads,
+//!   writes `results/BENCH_<next>.json` and prints it.
+//! * `... -- --smoke` — tiny workloads, prints the JSON to stdout only
+//!   (CI compile-and-run gate; nothing is written).
+
+use adaptive_config::optimizer::QualityTarget;
+use bench::trajectory::Trajectory;
+use bench::{workloads, Scale};
+use cosmoanalysis::{find_halos, power_spectrum, SpectrumKind};
+use fftlite::{Complex64, Fft3};
+use gridlab::{Decomposition, Field3};
+use rsz::{compress, compress_slice, decompress, SzConfig};
+use std::hint::black_box;
+use zfplite::{zfp_compress, ZfpConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (scale, samples) =
+        if smoke { (Scale { n: 16, parts: 2, seed: 42 }, 3) } else { (Scale::default(), 10) };
+
+    let mut t = Trajectory::new();
+    // `--note <text>` (repeatable): free-form context for the trajectory,
+    // e.g. measured deltas vs the previous BENCH_*.json entry.
+    for pair in args.windows(2) {
+        if pair[0] == "--note" {
+            t.note(pair[1].clone());
+        }
+    }
+    t.note(format!(
+        "scale: n={} parts={} seed={}{}",
+        scale.n,
+        scale.parts,
+        scale.seed,
+        if smoke { " (smoke)" } else { "" }
+    ));
+
+    let snap = workloads::snapshot(&scale);
+    let dec = workloads::decomposition(&scale);
+    let grid = format!("{0}x{0}x{0}", scale.n);
+    let bytes = (snap.dims.len() * 4) as u64;
+
+    // --- bench_compression workloads ---
+    for (kind, field) in
+        [("baryon_density", &snap.baryon_density), ("temperature", &snap.temperature)]
+    {
+        let eb = workloads::default_eb_avg(field);
+        t.measure(&format!("rsz_compress/abs/{kind}"), &grid, samples, Some(bytes), || {
+            black_box(compress(field, &SzConfig::abs(eb)));
+        });
+    }
+    {
+        let eb = workloads::default_eb_avg(&snap.temperature);
+        let compressed = compress(&snap.temperature, &SzConfig::abs(eb));
+        t.measure("rsz_decompress/temperature", &grid, samples, Some(bytes), || {
+            black_box(decompress::<f32>(&compressed).expect("container decodes"));
+        });
+        t.measure("zfp_baseline/fixed_rate_8", &grid, samples, Some(bytes), || {
+            black_box(zfp_compress(&snap.temperature, &ZfpConfig::fixed_rate(8.0)));
+        });
+    }
+
+    // --- bench_fft workloads ---
+    for n in if smoke { vec![16usize] } else { vec![32, 64] } {
+        let fft = Fft3::cube(n);
+        let data: Vec<Complex64> =
+            (0..n * n * n).map(|i| Complex64::new((i as f64 * 0.37).sin(), 0.0)).collect();
+        t.measure(
+            &format!("fft3_forward/{n}"),
+            &format!("{n}x{n}x{n}"),
+            samples,
+            Some((n * n * n * 16) as u64),
+            || {
+                let mut buf = data.clone();
+                fft.forward(&mut buf);
+                black_box(buf[0]);
+            },
+        );
+    }
+
+    // --- bench_feature_extraction workloads ---
+    {
+        let field = &snap.baryon_density;
+        let hc = workloads::halo_config(field);
+        t.measure("in_situ_overhead/features_mean_only", &grid, samples, Some(bytes), || {
+            black_box(adaptive_config::ratio_model::extract_features(field, &dec, 0.0, 1.0));
+        });
+        t.measure(
+            "in_situ_overhead/features_with_boundary_cells",
+            &grid,
+            samples,
+            Some(bytes),
+            || {
+                black_box(adaptive_config::ratio_model::extract_features(
+                    field,
+                    &dec,
+                    hc.t_boundary,
+                    1.0,
+                ));
+            },
+        );
+    }
+
+    // --- bench_optimizer workloads ---
+    {
+        use adaptive_config::optimizer::Optimizer;
+        use adaptive_config::ratio_model::{PartitionFeature, RatioModel};
+        let model = RatioModel { c: -0.4, a0: -1.0, a1: 0.4 };
+        let opt = Optimizer::new(model);
+        for m in if smoke { vec![512usize] } else { vec![512, 4096, 32768] } {
+            let features: Vec<PartitionFeature> = (0..m)
+                .map(|i| PartitionFeature {
+                    mean: 1.0 + (i % 97) as f64 * 13.7,
+                    boundary_cells_ref: (i % 31) as f64,
+                    eb_ref: 1.0,
+                    cells: 64 * 64 * 64,
+                })
+                .collect();
+            let target = QualityTarget::with_halo(0.5, 88.16, 1e4);
+            t.measure(
+                &format!("optimize_bounds/{m}"),
+                &format!("{m} partitions"),
+                samples,
+                None,
+                || {
+                    black_box(opt.optimize(&features, &target));
+                },
+            );
+        }
+    }
+
+    // --- bench_analysis workloads ---
+    {
+        let field = &snap.baryon_density;
+        let hc = workloads::halo_config(field);
+        t.measure("post_hoc_analysis/halo_finder", &grid, samples, Some(bytes), || {
+            black_box(find_halos(field, &hc));
+        });
+        t.measure("post_hoc_analysis/power_spectrum", &grid, samples, Some(bytes), || {
+            black_box(power_spectrum(field, SpectrumKind::Overdensity));
+        });
+    }
+
+    // --- bench_pipeline workloads + serial-vs-parallel speedup ---
+    {
+        let field = &snap.baryon_density;
+        let eb_avg = workloads::default_eb_avg(field);
+        let pipeline =
+            workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
+        t.measure("insitu_step/adaptive", &grid, samples, Some(bytes), || {
+            black_box(pipeline.run_adaptive(field));
+        });
+        let eb = workloads::traditional_eb(eb_avg);
+        t.measure("insitu_step/traditional", &grid, samples, Some(bytes), || {
+            black_box(pipeline.run_traditional(field, eb));
+        });
+
+        // The same per-partition compression work, once strictly serial and
+        // once through the parallel brick map — the trajectory's
+        // threading-speedup probe.
+        let cfg = SzConfig::abs(eb);
+        let serial = t.measure(
+            "insitu_step/compress_serial",
+            &format!("{grid}/{} parts", dec.num_partitions()),
+            samples,
+            Some(bytes),
+            || {
+                let out: Vec<_> = dec
+                    .iter()
+                    .map(|p| {
+                        let brick = field.extract(p.origin, p.dims);
+                        compress_slice(brick.as_slice(), brick.dims(), &cfg)
+                    })
+                    .collect();
+                black_box(out);
+            },
+        );
+        let parallel = t.measure(
+            "insitu_step/compress_parallel",
+            &format!("{grid}/{} parts", dec.num_partitions()),
+            samples,
+            Some(bytes),
+            || {
+                let out = par_compress(&dec, field, &cfg);
+                black_box(out);
+            },
+        );
+        if parallel > 0 {
+            t.note(format!(
+                "pipeline speedup parallel-over-serial: {:.2}x on {} core(s)",
+                serial as f64 / parallel as f64,
+                t.host_parallelism
+            ));
+        }
+    }
+
+    println!("{}", t.to_json());
+    if smoke {
+        eprintln!("smoke run: not persisted");
+    } else {
+        let path = t
+            .save_next(std::path::Path::new("results"))
+            .expect("write trajectory under results/");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn par_compress(
+    dec: &Decomposition,
+    field: &Field3<f32>,
+    cfg: &SzConfig,
+) -> Vec<rsz::Compressed> {
+    dec.par_map(field, |_, brick| compress_slice(brick.as_slice(), brick.dims(), cfg))
+}

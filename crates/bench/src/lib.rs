@@ -12,6 +12,7 @@
 //! raises the sizes for cluster-class runs.
 
 pub mod report;
+pub mod trajectory;
 pub mod workloads;
 
 pub mod experiments {

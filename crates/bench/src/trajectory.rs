@@ -1,0 +1,201 @@
+//! `BENCH_*.json` performance-trajectory entries.
+//!
+//! Every perf-focused PR records a machine-readable baseline under
+//! `results/BENCH_<seq>.json` so later optimisation work has a number to
+//! beat (convention defined in ROADMAP.md). The `bench_report` binary
+//! builds a [`Trajectory`] by re-running the criterion benches' workloads
+//! with the same median-of-samples methodology as the vendored criterion
+//! shim, then persists it through [`Trajectory::save_next`].
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Schema identifier written into every trajectory file.
+pub const SCHEMA: &str = "bench-trajectory-v1";
+
+/// One measured workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchEntry {
+    /// Bench name, `group/function` style matching the criterion benches.
+    pub bench: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: u64,
+    /// Throughput derived from the median (MiB/s over the workload bytes,
+    /// or elements/s where bytes make no sense); 0 when not meaningful.
+    pub throughput: f64,
+    /// Throughput unit: "MiB/s", "Melem/s", or "".
+    pub throughput_unit: String,
+    /// Workload size, e.g. "64x64x64" or "4096 partitions".
+    pub grid: String,
+}
+
+/// A full trajectory file: one `bench_report` run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Trajectory {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// `git rev-parse --short HEAD` at measurement time ("unknown" outside
+    /// a git checkout).
+    pub commit: String,
+    /// `std::thread::available_parallelism` on the measuring host — needed
+    /// to interpret the serial-vs-parallel pipeline entries.
+    pub host_parallelism: usize,
+    /// Measured workloads.
+    pub entries: Vec<BenchEntry>,
+    /// Free-form context (scale, caveats, derived speedups).
+    pub notes: Vec<String>,
+}
+
+impl Trajectory {
+    pub fn new() -> Self {
+        Self {
+            schema: SCHEMA.to_string(),
+            commit: commit_hash(),
+            host_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            entries: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Record one workload: time `f`, derive throughput from `bytes` when
+    /// given.
+    pub fn measure<F: FnMut()>(
+        &mut self,
+        bench: &str,
+        grid: &str,
+        samples: usize,
+        bytes: Option<u64>,
+        f: F,
+    ) -> u64 {
+        let median = median_ns(samples, f);
+        let secs = median as f64 / 1e9;
+        let (throughput, unit) = match bytes {
+            Some(b) if median > 0 => (b as f64 / secs / (1 << 20) as f64, "MiB/s"),
+            _ => (0.0, ""),
+        };
+        self.entries.push(BenchEntry {
+            bench: bench.to_string(),
+            median_ns: median,
+            throughput,
+            throughput_unit: unit.to_string(),
+            grid: grid.to_string(),
+        });
+        median
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trajectory serializes")
+    }
+
+    /// Write to `dir/BENCH_<next>.json` (scans for the first free sequence
+    /// number) and return the path.
+    pub fn save_next(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = next_bench_path(dir);
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+impl Default for Trajectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// First unused `BENCH_<seq>.json` path under `dir` (sequence starts at 1).
+pub fn next_bench_path(dir: &Path) -> PathBuf {
+    for seq in 1..10_000u32 {
+        let p = dir.join(format!("BENCH_{seq:04}.json"));
+        if !p.exists() {
+            return p;
+        }
+    }
+    dir.join("BENCH_overflow.json")
+}
+
+/// Short commit hash of HEAD, or "unknown".
+pub fn commit_hash() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Median ns/iteration of `samples` timed samples, with the same warm-up +
+/// iteration-count calibration as the vendored criterion shim (so
+/// `bench_report` numbers are comparable to `cargo bench` output).
+pub fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> u64 {
+    for _ in 0..2 {
+        f();
+    }
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+    let mut timings: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        timings.push((start.elapsed() / iters).as_nanos() as u64);
+    }
+    timings.sort_unstable();
+    timings[timings.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_busy_loop_is_positive() {
+        let mut acc = 0u64;
+        let m = median_ns(3, || {
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(m > 0);
+    }
+
+    #[test]
+    fn trajectory_records_entries_and_serializes() {
+        let mut t = Trajectory::new();
+        let m = t.measure("group/fn", "8x8x8", 3, Some(2048), || {
+            std::hint::black_box((0..500u64).sum::<u64>());
+        });
+        assert!(m > 0);
+        t.note("smoke");
+        assert_eq!(t.schema, SCHEMA);
+        assert_eq!(t.entries.len(), 1);
+        let json = t.to_json();
+        assert!(json.contains("bench-trajectory-v1"));
+        assert!(json.contains("group/fn"));
+        assert!(json.contains("MiB/s"));
+    }
+
+    #[test]
+    fn next_bench_path_skips_existing() {
+        let dir = std::env::temp_dir().join(format!("bench_traj_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(next_bench_path(&dir).ends_with("BENCH_0001.json"));
+        std::fs::write(dir.join("BENCH_0001.json"), "{}").unwrap();
+        assert!(next_bench_path(&dir).ends_with("BENCH_0002.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

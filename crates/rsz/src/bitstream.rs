@@ -3,13 +3,21 @@
 //! Bits are packed MSB-first within each byte; the writer pads the final
 //! byte with zeros. MSB-first keeps canonical Huffman decoding a simple
 //! numeric comparison walk.
+//!
+//! The writer batches bits through a 64-bit accumulator and flushes whole
+//! bytes, so `push_bits` costs a couple of shifts per call instead of one
+//! branch per bit; the reader adds `peek_bits`/`consume_bits` so table-
+//! driven decoders can probe a window without committing to it.
 
 /// Append-only bit writer.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Bits already used in the last byte (0..8; 0 means byte boundary).
-    used: u8,
+    /// Pending bits, right-aligned: the low `pending` bits of `acc`, in
+    /// stream order (earlier bits more significant). Invariant after every
+    /// public call: `pending < 8`.
+    acc: u64,
+    pending: u8,
 }
 
 impl BitWriter {
@@ -19,38 +27,45 @@ impl BitWriter {
 
     /// Number of whole bits written so far.
     pub fn bit_len(&self) -> usize {
-        if self.used == 0 {
-            self.buf.len() * 8
-        } else {
-            (self.buf.len() - 1) * 8 + self.used as usize
-        }
+        self.buf.len() * 8 + self.pending as usize
     }
 
     /// Write one bit (LSB of `bit`).
     #[inline]
     pub fn push_bit(&mut self, bit: u32) {
-        if self.used == 0 || self.used == 8 {
-            self.buf.push(0);
-            self.used = 0;
-        }
-        if bit & 1 != 0 {
-            let last = self.buf.len() - 1;
-            self.buf[last] |= 1 << (7 - self.used);
-        }
-        self.used += 1;
+        self.push_bits((bit & 1) as u64, 1);
     }
 
     /// Write the low `count` bits of `value`, most-significant bit first.
     #[inline]
     pub fn push_bits(&mut self, value: u64, count: u8) {
         debug_assert!(count <= 64);
-        for i in (0..count).rev() {
-            self.push_bit(((value >> i) & 1) as u32);
+        if count == 0 {
+            return;
+        }
+        if count > 56 {
+            // Accumulator holds < 8 pending bits, so ≤ 56 fit in one step;
+            // split long words (only reachable with ≥ 57-bit codes).
+            let hi = count - 32;
+            self.push_bits(value >> 32, hi);
+            self.push_bits(value & 0xFFFF_FFFF, 32);
+            return;
+        }
+        let mask = if count == 64 { u64::MAX } else { (1u64 << count) - 1 };
+        self.acc = (self.acc << count) | (value & mask);
+        self.pending += count;
+        while self.pending >= 8 {
+            self.pending -= 8;
+            self.buf.push((self.acc >> self.pending) as u8);
         }
     }
 
     /// Finish and return the packed bytes.
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.pending > 0 {
+            let byte = (self.acc << (8 - self.pending)) as u8;
+            self.buf.push(byte);
+        }
         self.buf
     }
 }
@@ -81,17 +96,50 @@ impl<'a> BitReader<'a> {
         Some(bit as u32)
     }
 
-    /// Read `count` bits MSB-first; `None` if the stream is short.
+    /// Read `count` bits (up to 64) MSB-first; `None` if the stream is
+    /// short.
     #[inline]
     pub fn read_bits(&mut self, count: u8) -> Option<u64> {
+        debug_assert!(count <= 64);
         if self.remaining() < count as usize {
             return None;
         }
-        let mut v = 0u64;
-        for _ in 0..count {
-            v = (v << 1) | self.read_bit()? as u64;
+        if count > 57 {
+            // peek_bits gathers through a single u64, which caps one probe
+            // at 57 bits from an arbitrary bit offset; split wide reads.
+            let hi = self.read_bits(count - 32)?;
+            let lo = self.read_bits(32)?;
+            return Some((hi << 32) | lo);
         }
+        let v = self.peek_bits(count);
+        self.pos += count as usize;
         Some(v)
+    }
+
+    /// Look at the next `count` bits (MSB-first) without consuming them.
+    /// Bits past the end of the stream read as zero — callers probing a
+    /// fixed window near the end must check [`Self::remaining`] before
+    /// trusting a match.
+    #[inline]
+    pub fn peek_bits(&self, count: u8) -> u64 {
+        debug_assert!(count <= 57, "peek window limited by the 64-bit gather");
+        let mut v = 0u64;
+        let first = self.pos / 8;
+        let nbytes = (self.pos % 8 + count as usize).div_ceil(8);
+        for k in 0..nbytes {
+            v = (v << 8) | *self.buf.get(first + k).unwrap_or(&0) as u64;
+        }
+        let have = nbytes * 8 - self.pos % 8;
+        v >>= have - count as usize;
+        v & if count == 0 { 0 } else { u64::MAX >> (64 - count) }
+    }
+
+    /// Consume `count` bits previously inspected via [`Self::peek_bits`].
+    /// Callers must have verified `remaining() >= count`.
+    #[inline]
+    pub fn consume_bits(&mut self, count: u8) {
+        debug_assert!(self.remaining() >= count as usize);
+        self.pos += count as usize;
     }
 }
 
@@ -127,6 +175,23 @@ mod tests {
         assert_eq!(r.read_bits(16), Some(0xFFFF));
         assert_eq!(r.read_bits(5), Some(0));
         assert_eq!(r.read_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn wide_reads_at_unaligned_positions() {
+        // 58–64-bit reads cross the single-u64 peek window when the bit
+        // cursor is unaligned; they must still return the exact bits.
+        for lead in 1u8..8 {
+            let mut w = BitWriter::new();
+            w.push_bits(0, lead);
+            w.push_bits(u64::MAX, 64);
+            w.push_bits(0xABCD_EF01_2345_6789 >> 6, 58);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.read_bits(lead), Some(0));
+            assert_eq!(r.read_bits(64), Some(u64::MAX), "lead {lead}");
+            assert_eq!(r.read_bits(58), Some(0xABCD_EF01_2345_6789 >> 6), "lead {lead}");
+        }
     }
 
     #[test]
@@ -166,5 +231,58 @@ mod tests {
         w.push_bits(0b1010_1010, 8);
         assert_eq!(w.bit_len(), 12);
         assert_eq!(w.into_bytes().len(), 2);
+    }
+
+    #[test]
+    fn mixed_width_stream_matches_bitwise_reference() {
+        // Cross-check the accumulator writer against a bit-at-a-time
+        // reference over a pseudo-random width schedule.
+        let mut state = 9u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let mut fast = BitWriter::new();
+        let mut slow_bits: Vec<u32> = Vec::new();
+        for _ in 0..500 {
+            let width = (next() % 24 + 1) as u8;
+            let value = next();
+            fast.push_bits(value, width);
+            for i in (0..width).rev() {
+                slow_bits.push(((value >> i) & 1) as u32);
+            }
+        }
+        let bytes = fast.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (i, &b) in slow_bits.iter().enumerate() {
+            assert_eq!(r.read_bit(), Some(b), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b1011_0110_1101, 12);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits(5), 0b10110);
+        assert_eq!(r.peek_bits(5), 0b10110);
+        r.consume_bits(5);
+        assert_eq!(r.peek_bits(7), 0b1101101);
+        assert_eq!(r.read_bits(7), Some(0b1101101));
+        assert_eq!(r.remaining(), 4); // final padding
+    }
+
+    #[test]
+    fn peek_past_end_zero_pads() {
+        let bytes = [0b1100_0000u8];
+        let mut r = BitReader::new(&bytes);
+        r.consume_bits(6);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.peek_bits(10), 0); // 2 real zero bits + 8 phantom zeros
+        let bytes = [0b0000_0011u8];
+        let mut r = BitReader::new(&bytes);
+        r.consume_bits(6);
+        assert_eq!(r.peek_bits(10), 0b11_0000_0000);
     }
 }

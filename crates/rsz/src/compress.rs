@@ -12,20 +12,38 @@
 //! * ABS mode: `|x' − x| ≤ eb` point-wise,
 //! * PW_REL mode: `|x' − x| ≤ rel·|x|` for `|x| > zero_thresh`, and
 //!   `x' = 0` with `|x| ≤ zero_thresh` otherwise.
+//!
+//! ## Hot path
+//! The forward walk fuses Lorenzo prediction and quantisation into a single
+//! raster pass: boundary cells (`x == 0`, `y == 0`, or `z == 0`) take the
+//! branchy general stencil, interior spans use flat-index arithmetic
+//! ([`crate::predictor::lorenzo3_interior`]). All per-partition working
+//! buffers (reconstruction plane, code stream, fold output, frequency
+//! counts) live in a reusable [`SzScratch`], fetched thread-locally by
+//! [`compress_slice`]/[`decompress_slice`] — so compressing many partitions
+//! (serially or one scoped worker per core) allocates only the output
+//! container. Symbol statistics are counted in a dense array indexed by
+//! quantisation code (bounded by `2·radius`) instead of a hash map.
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::huffman::{CodeBook, HuffmanError};
 use crate::lossless::{lzss_compress, lzss_decompress, LzssError};
-use crate::predictor::lorenzo3;
+use crate::predictor::{lorenzo3, lorenzo3_interior};
 use crate::quantizer::{Quantizer, UNPREDICTABLE};
-use crate::rle::{dominant_code, fold, unfold, RUN_MARKER};
+use crate::rle::{fold_into, unfold, RUN_MARKER};
 use gridlab::{Dim3, Field3, Scalar};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 const MAGIC: &[u8; 4] = b"RSZ1";
 const VERSION: u8 = 1;
 /// Default quantisation radius (same as SZ's default 2^15 bins).
 pub const DEFAULT_RADIUS: u32 = 1 << 15;
+
+/// Code spaces at most this large use dense array counting; anything wider
+/// (exotic `with_radius` configurations) falls back to hash-map counting
+/// rather than allocating gigabyte-scale scratch.
+const DENSE_COUNT_LIMIT: usize = 1 << 20;
 
 /// Error-bound mode, mirroring SZ's ABS and PW_REL.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -333,64 +351,167 @@ fn unpack_bitmap(bytes: &[u8], n: usize) -> Vec<bool> {
 }
 
 // ---------------------------------------------------------------------------
+// Reusable scratch
+// ---------------------------------------------------------------------------
+
+/// Reusable per-thread working memory for the compression/decompression hot
+/// paths. All buffers are cleared (not shrunk) between fields, so a loop
+/// over many partitions — the in situ pipeline's shape — performs no
+/// per-partition allocation beyond the output container itself.
+#[derive(Debug, Default)]
+pub struct SzScratch {
+    /// `f64` reconstruction buffer shared by both walks.
+    recon: Vec<f64>,
+    /// Transformed target values (identity for ABS, `ln|x|` for PW_REL).
+    vals: Vec<f64>,
+    /// Quantisation code stream.
+    codes: Vec<u32>,
+    /// Linear indices of verbatim-stored cells.
+    unpred: Vec<usize>,
+    /// Dense frequency counts indexed by code; zeroed sparsely via `touched`.
+    freq: Vec<u64>,
+    /// Codes with non-zero `freq` entries (for sparse reset + sorted pairs).
+    touched: Vec<u32>,
+    /// RLE-folded symbol stream and run side-channel.
+    symbols: Vec<u32>,
+    runs: Vec<u32>,
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<SzScratch> = RefCell::new(SzScratch::default());
+}
+
+/// Run `f` with the calling thread's scratch buffer (fresh fallback if the
+/// thread-local is unexpectedly busy).
+fn with_tls_scratch<R>(f: impl FnOnce(&mut SzScratch) -> R) -> R {
+    TLS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut SzScratch::default()),
+    })
+}
+
+/// Count each value of `items` into `scratch.freq` (dense, `< limit`) and
+/// return sorted `(value, count)` pairs. The dense array is reset sparsely
+/// through `scratch.touched` so repeated small partitions stay cheap.
+fn dense_sorted_counts(items: &[u32], limit: usize, scratch: &mut SzScratch) -> Vec<(u32, u64)> {
+    if scratch.freq.len() < limit {
+        scratch.freq.resize(limit, 0);
+    }
+    scratch.touched.clear();
+    for &c in items {
+        let slot = &mut scratch.freq[c as usize];
+        if *slot == 0 {
+            scratch.touched.push(c);
+        }
+        *slot += 1;
+    }
+    scratch.touched.sort_unstable();
+    let pairs: Vec<(u32, u64)> =
+        scratch.touched.iter().map(|&c| (c, scratch.freq[c as usize])).collect();
+    for &c in &scratch.touched {
+        scratch.freq[c as usize] = 0;
+    }
+    pairs
+}
+
+/// Sorted `(value, count)` pairs via a hash map — the fallback for code
+/// spaces too wide for dense counting.
+fn hashed_sorted_counts(items: &[u32]) -> Vec<(u32, u64)> {
+    let mut map: HashMap<u32, u64> = HashMap::new();
+    for &c in items {
+        *map.entry(c).or_insert(0) += 1;
+    }
+    let mut pairs: Vec<(u32, u64)> = map.into_iter().collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+// ---------------------------------------------------------------------------
 // The quantisation walk
 // ---------------------------------------------------------------------------
 
-/// Result of the forward walk before entropy coding.
-struct WalkOutput<T> {
-    codes: Vec<u32>,
-    unpredictable: Vec<T>,
+/// One cell of the forward walk: quantise `vals[idx]` against `pred`,
+/// recording either the code + accepted reconstruction or a verbatim marker.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn forward_cell<FS>(
+    quant: &Quantizer,
+    vals: &[f64],
+    idx: usize,
+    pred: f64,
+    accept: &mut FS,
+    codes: &mut Vec<u32>,
+    recon: &mut [f64],
+    unpred: &mut Vec<usize>,
+) where
+    FS: FnMut(usize, f64) -> Option<f64>,
+{
+    let val = vals[idx];
+    if let Some((code, r)) = quant.quantize(val, pred) {
+        if let Some(keep) = accept(idx, r) {
+            codes.push(code);
+            recon[idx] = keep;
+            return;
+        }
+    }
+    codes.push(UNPREDICTABLE);
+    unpred.push(idx);
+    recon[idx] = val; // exact in the transformed domain
 }
 
-/// Forward walk in an arbitrary transformed domain.
+/// Forward walk in an arbitrary transformed domain, fused: Lorenzo
+/// prediction and quantisation happen in one raster pass over the
+/// reconstruction buffer.
 ///
-/// `target(i)` is the value to encode at linear index `i`; `store(i, recon)`
+/// `vals[i]` is the value to encode at linear index `i`; `accept(i, recon)`
 /// lets the caller verify/override in the *original* domain and decide
 /// whether the reconstruction is acceptable (returning the value to keep in
-/// the reconstruction buffer, or `None` to force verbatim storage).
-fn forward_walk<T, FT, FS>(
+/// the reconstruction buffer, or `None` to force verbatim storage, which
+/// records the cell index in `scratch.unpred`).
+fn forward_walk<FS>(
     dims: Dim3,
     quant: &Quantizer,
-    target: FT,
+    vals: &[f64],
     mut accept: FS,
-    originals: &[T],
-) -> WalkOutput<T>
-where
-    T: Scalar,
-    FT: Fn(usize) -> f64,
+    scratch: &mut SzScratch,
+) where
     FS: FnMut(usize, f64) -> Option<f64>,
 {
     let n = dims.len();
     let (ny, nz) = (dims.ny, dims.nz);
-    let mut recon = vec![0.0f64; n];
-    let mut codes = Vec::with_capacity(n);
-    let mut unpredictable = Vec::new();
+    let (sx, sy) = (ny * nz, nz);
+    scratch.recon.clear();
+    scratch.recon.resize(n, 0.0);
+    scratch.codes.clear();
+    scratch.codes.reserve(n);
+    scratch.unpred.clear();
+    let SzScratch { recon, codes, unpred, .. } = scratch;
+    let recon = &mut recon[..];
     let mut idx = 0usize;
     for x in 0..dims.nx {
-        for y in 0..dims.ny {
-            for z in 0..dims.nz {
-                let val = target(idx);
-                let pred = lorenzo3(&recon, ny, nz, x, y, z);
-                let mut stored = None;
-                if let Some((code, r)) = quant.quantize(val, pred) {
-                    if let Some(keep) = accept(idx, r) {
-                        codes.push(code);
-                        stored = Some(keep);
-                    }
+        for y in 0..ny {
+            if x == 0 || y == 0 {
+                // Boundary planes: the general stencil's zero-extension
+                // handles the dimensional fallback.
+                for z in 0..nz {
+                    let pred = lorenzo3(recon, ny, nz, x, y, z);
+                    forward_cell(quant, vals, idx, pred, &mut accept, codes, recon, unpred);
+                    idx += 1;
                 }
-                match stored {
-                    Some(r) => recon[idx] = r,
-                    None => {
-                        codes.push(UNPREDICTABLE);
-                        unpredictable.push(originals[idx]);
-                        recon[idx] = val; // exact in the transformed domain
-                    }
-                }
+            } else {
+                // Interior row: peel z == 0, then branch-free stencil.
+                let pred = lorenzo3(recon, ny, nz, x, y, 0);
+                forward_cell(quant, vals, idx, pred, &mut accept, codes, recon, unpred);
                 idx += 1;
+                for _z in 1..nz {
+                    let pred = lorenzo3_interior(recon, sx, sy, idx);
+                    forward_cell(quant, vals, idx, pred, &mut accept, codes, recon, unpred);
+                    idx += 1;
+                }
             }
         }
     }
-    WalkOutput { codes, unpredictable }
+    debug_assert_eq!(idx, n);
 }
 
 // ---------------------------------------------------------------------------
@@ -403,19 +524,35 @@ pub fn compress<T: Scalar>(field: &Field3<T>, cfg: &SzConfig) -> Compressed {
 }
 
 /// Compress a raw slice laid out as `dims` (z fastest).
+///
+/// Uses the calling thread's scratch buffers; see [`compress_slice_with`]
+/// to manage scratch explicitly.
 pub fn compress_slice<T: Scalar>(values: &[T], dims: Dim3, cfg: &SzConfig) -> Compressed {
+    with_tls_scratch(|scratch| compress_slice_with(values, dims, cfg, scratch))
+}
+
+/// [`compress_slice`] with caller-owned scratch (for benchmarks or callers
+/// that want deterministic buffer lifetimes).
+pub fn compress_slice_with<T: Scalar>(
+    values: &[T],
+    dims: Dim3,
+    cfg: &SzConfig,
+    scratch: &mut SzScratch,
+) -> Compressed {
     assert_eq!(values.len(), dims.len(), "slice length must match dims");
     let n = dims.len();
 
-    // Phase 1: quantisation walk (mode-specific target domain).
-    let (walk, sign_bitmap, zero_bitmap) = match cfg.mode {
+    // Phase 1: fused predict/quantise walk (mode-specific target domain).
+    let (sign_bitmap, zero_bitmap) = match cfg.mode {
         ErrorMode::Abs(eb) => {
             let quant = Quantizer::new(eb, cfg.radius);
-            let vals: Vec<f64> = values.iter().map(|v| v.to_f64()).collect();
-            let w = forward_walk(
+            scratch.vals.clear();
+            scratch.vals.extend(values.iter().map(|v| v.to_f64()));
+            let vals = std::mem::take(&mut scratch.vals);
+            forward_walk(
                 dims,
                 &quant,
-                |i| vals[i],
+                &vals,
                 |i, r| {
                     // Verify in T precision: the decompressor's output cast
                     // must still honour the bound.
@@ -426,9 +563,10 @@ pub fn compress_slice<T: Scalar>(values: &[T], dims: Dim3, cfg: &SzConfig) -> Co
                         None
                     }
                 },
-                values,
+                scratch,
             );
-            (w, None, None)
+            scratch.vals = vals;
+            (None, None)
         }
         ErrorMode::PwRel { rel, zero_thresh } => {
             let eb_log = (1.0 + rel).ln() / 2.0;
@@ -436,12 +574,13 @@ pub fn compress_slice<T: Scalar>(values: &[T], dims: Dim3, cfg: &SzConfig) -> Co
             let floor = zero_thresh.max(f64::MIN_POSITIVE);
             let signs: Vec<bool> = values.iter().map(|v| v.to_f64() < 0.0).collect();
             let zeros: Vec<bool> = values.iter().map(|v| v.to_f64().abs() <= zero_thresh).collect();
-            let logs: Vec<f64> =
-                values.iter().map(|v| v.to_f64().abs().max(floor).ln()).collect();
-            let w = forward_walk(
+            scratch.vals.clear();
+            scratch.vals.extend(values.iter().map(|v| v.to_f64().abs().max(floor).ln()));
+            let vals = std::mem::take(&mut scratch.vals);
+            forward_walk(
                 dims,
                 &quant,
-                |i| logs[i],
+                &vals,
                 |i, r| {
                     if zeros[i] {
                         // Output is forced to 0; any in-bound recon is fine
@@ -457,20 +596,51 @@ pub fn compress_slice<T: Scalar>(values: &[T], dims: Dim3, cfg: &SzConfig) -> Co
                         None
                     }
                 },
-                values,
+                scratch,
             );
-            (w, Some(pack_bitmap(&signs)), Some(pack_bitmap(&zeros)))
+            scratch.vals = vals;
+            (Some(pack_bitmap(&signs)), Some(pack_bitmap(&zeros)))
         }
     };
+    debug_assert_eq!(scratch.codes.len(), n);
+    let n_unpredictable = scratch.unpred.len();
 
-    // Phase 2: RLE folding + Huffman.
-    let dom = dominant_code(&walk.codes);
-    let (symbols, runs) = fold(&walk.codes, dom);
-    let mut freqs: HashMap<u32, u64> = HashMap::new();
-    for &s in &symbols {
-        *freqs.entry(s).or_insert(0) += 1;
+    // Phase 2: dominant-code RLE folding + Huffman, with dense statistics.
+    // Codes are bounded by 2·radius, so counting indexes a flat array; the
+    // folded-stream frequencies are then derived arithmetically (literal
+    // dominant occurrences = total − folded cells) instead of re-counting.
+    let code_space = 2 * cfg.radius as usize;
+    let codes = std::mem::take(&mut scratch.codes);
+    let code_counts = if code_space <= DENSE_COUNT_LIMIT {
+        dense_sorted_counts(&codes, code_space, scratch)
+    } else {
+        hashed_sorted_counts(&codes)
+    };
+    // Most frequent code, ties toward the smaller code (counts are sorted
+    // by code, so strict `>` keeps the first maximum).
+    let dom = code_counts
+        .iter()
+        .fold((0u32, 0u64), |best, &(c, k)| if k > best.1 { (c, k) } else { best })
+        .0;
+    let mut symbols = std::mem::take(&mut scratch.symbols);
+    let mut runs = std::mem::take(&mut scratch.runs);
+    fold_into(&codes, dom, &mut symbols, &mut runs);
+    let folded_cells: u64 = runs.iter().map(|&r| r as u64).sum();
+    let mut freq_pairs: Vec<(u32, u64)> = Vec::with_capacity(code_counts.len() + 1);
+    for &(c, k) in &code_counts {
+        if c == dom {
+            let literal = k - folded_cells;
+            if literal > 0 {
+                freq_pairs.push((c, literal));
+            }
+        } else {
+            freq_pairs.push((c, k));
+        }
     }
-    let book = CodeBook::from_freqs(&freqs);
+    if !runs.is_empty() {
+        freq_pairs.push((RUN_MARKER, runs.len() as u64)); // RUN_MARKER = u32::MAX sorts last
+    }
+    let book = CodeBook::from_sorted_freqs(&freq_pairs);
     let mut bw = BitWriter::new();
     book.encode(&symbols, &mut bw).expect("all symbols are in the book");
     let bitstream = bw.into_bytes();
@@ -497,14 +667,17 @@ pub fn compress_slice<T: Scalar>(values: &[T], dims: Dim3, cfg: &SzConfig) -> Co
     for &r in &runs {
         write_varint(&mut payload, r as u64);
     }
-    write_varint(&mut payload, walk.unpredictable.len() as u64);
-    for v in &walk.unpredictable {
-        v.write_le(&mut payload);
+    write_varint(&mut payload, n_unpredictable as u64);
+    for &i in &scratch.unpred {
+        values[i].write_le(&mut payload);
     }
     if let (Some(sb), Some(zb)) = (&sign_bitmap, &zero_bitmap) {
         payload.extend_from_slice(sb);
         payload.extend_from_slice(zb);
     }
+    scratch.codes = codes;
+    scratch.symbols = symbols;
+    scratch.runs = runs;
 
     let payload = if cfg.lossless { lzss_compress(&payload) } else { payload };
 
@@ -513,13 +686,7 @@ pub fn compress_slice<T: Scalar>(values: &[T], dims: Dim3, cfg: &SzConfig) -> Co
     bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     bytes.extend_from_slice(&payload);
 
-    debug_assert_eq!(walk.codes.len(), n);
-    Compressed {
-        bytes,
-        dims,
-        mode: cfg.mode,
-        n_unpredictable: walk.unpredictable.len(),
-    }
+    Compressed { bytes, dims, mode: cfg.mode, n_unpredictable }
 }
 
 /// Decompress into a field.
@@ -530,6 +697,14 @@ pub fn decompress<T: Scalar>(c: &Compressed) -> Result<Field3<T>, SzError> {
 
 /// Decompress raw container bytes; returns the values and their dims.
 pub fn decompress_slice<T: Scalar>(bytes: &[u8]) -> Result<(Vec<T>, Dim3), SzError> {
+    with_tls_scratch(|scratch| decompress_slice_with(bytes, scratch))
+}
+
+/// [`decompress_slice`] with caller-owned scratch.
+pub fn decompress_slice_with<T: Scalar>(
+    bytes: &[u8],
+    scratch: &mut SzScratch,
+) -> Result<(Vec<T>, Dim3), SzError> {
     let h = Header::parse(bytes)?;
     if h.tag != T::TAG {
         return Err(SzError::Format(format!(
@@ -634,8 +809,15 @@ pub fn decompress_slice<T: Scalar>(bytes: &[u8]) -> Result<(Vec<T>, Dim3), SzErr
     if codes.iter().any(|&c| c != UNPREDICTABLE && c != RUN_MARKER && c > 2 * h.radius - 1) {
         return Err(SzError::Format("quantisation code out of range".into()));
     }
+    let verbatim_cells = codes.iter().filter(|&&c| c == UNPREDICTABLE).count();
+    if verbatim_cells > unpredictable.len() {
+        return Err(SzError::Format("missing verbatim value".into()));
+    }
+    if verbatim_cells < unpredictable.len() {
+        return Err(SzError::Format("unused verbatim values".into()));
+    }
 
-    // --- mirror walk ---
+    // --- mirror walk, pass 1: rebuild the f64 reconstruction buffer ---
     let (eb_walk, is_pwrel, rel_floor) = match h.mode {
         ErrorMode::Abs(eb) => (eb, false, 0.0),
         ErrorMode::PwRel { rel, zero_thresh } => {
@@ -644,47 +826,82 @@ pub fn decompress_slice<T: Scalar>(bytes: &[u8]) -> Result<(Vec<T>, Dim3), SzErr
     };
     let quant = Quantizer::new(eb_walk, h.radius);
     let (ny, nz) = (dims.ny, dims.nz);
-    let mut recon = vec![0.0f64; n];
-    let mut out: Vec<T> = Vec::with_capacity(n);
-    let mut up_iter = unpredictable.iter();
+    let (sx, sy) = (ny * nz, nz);
+    // Verbatim cells enter the prediction buffer in the transformed domain.
+    let up_recon: Vec<f64> = unpredictable
+        .iter()
+        .map(|v| if is_pwrel { v.to_f64().abs().max(rel_floor).ln() } else { v.to_f64() })
+        .collect();
+    scratch.recon.clear();
+    scratch.recon.resize(n, 0.0);
+    let recon = &mut scratch.recon[..];
+    let mut up_pos = 0usize;
     let mut idx = 0usize;
     for x in 0..dims.nx {
-        for y in 0..dims.ny {
-            for z in 0..dims.nz {
+        for y in 0..ny {
+            if x == 0 || y == 0 {
+                for z in 0..nz {
+                    let code = codes[idx];
+                    if code == UNPREDICTABLE {
+                        recon[idx] = up_recon[up_pos];
+                        up_pos += 1;
+                    } else {
+                        let pred = lorenzo3(recon, ny, nz, x, y, z);
+                        recon[idx] = quant.dequantize(code, pred);
+                    }
+                    idx += 1;
+                }
+            } else {
                 let code = codes[idx];
                 if code == UNPREDICTABLE {
-                    let &v = up_iter
-                        .next()
-                        .ok_or_else(|| SzError::Format("missing verbatim value".into()))?;
-                    out.push(v);
-                    recon[idx] = if is_pwrel {
-                        v.to_f64().abs().max(rel_floor).ln()
-                    } else {
-                        v.to_f64()
-                    };
+                    recon[idx] = up_recon[up_pos];
+                    up_pos += 1;
                 } else {
-                    let pred = lorenzo3(&recon, ny, nz, x, y, z);
-                    let r = quant.dequantize(code, pred);
-                    recon[idx] = r;
-                    if is_pwrel {
-                        let zeros = zeros.as_ref().expect("pwrel bitmaps present");
-                        let signs = signs.as_ref().expect("pwrel bitmaps present");
-                        if zeros[idx] {
-                            out.push(T::zero());
-                        } else {
-                            let mag = r.exp();
-                            out.push(T::from_f64(if signs[idx] { -mag } else { mag }));
-                        }
-                    } else {
-                        out.push(T::from_f64(r));
-                    }
+                    let pred = lorenzo3(recon, ny, nz, x, y, 0);
+                    recon[idx] = quant.dequantize(code, pred);
                 }
                 idx += 1;
+                for _z in 1..nz {
+                    let code = codes[idx];
+                    if code == UNPREDICTABLE {
+                        recon[idx] = up_recon[up_pos];
+                        up_pos += 1;
+                    } else {
+                        let pred = lorenzo3_interior(recon, sx, sy, idx);
+                        recon[idx] = quant.dequantize(code, pred);
+                    }
+                    idx += 1;
+                }
             }
         }
     }
-    if up_iter.next().is_some() {
-        return Err(SzError::Format("unused verbatim values".into()));
+
+    // --- mirror walk, pass 2: emit T values in the original domain ---
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let mut up_pos = 0usize;
+    if is_pwrel {
+        let zeros = zeros.as_ref().expect("pwrel bitmaps present");
+        let signs = signs.as_ref().expect("pwrel bitmaps present");
+        for idx in 0..n {
+            if codes[idx] == UNPREDICTABLE {
+                out.push(unpredictable[up_pos]);
+                up_pos += 1;
+            } else if zeros[idx] {
+                out.push(T::zero());
+            } else {
+                let mag = recon[idx].exp();
+                out.push(T::from_f64(if signs[idx] { -mag } else { mag }));
+            }
+        }
+    } else {
+        for idx in 0..n {
+            if codes[idx] == UNPREDICTABLE {
+                out.push(unpredictable[up_pos]);
+                up_pos += 1;
+            } else {
+                out.push(T::from_f64(recon[idx]));
+            }
+        }
     }
     Ok((out, dims))
 }
@@ -857,5 +1074,36 @@ mod tests {
         // Uniform on [-eb, eb] has variance eb²/3; allow generous slack for
         // the dominant-code structure of smooth fields.
         assert!(var > 0.2 * eb * eb / 3.0 && var < 2.0 * eb * eb / 3.0, "var {var}");
+    }
+
+    #[test]
+    fn explicit_scratch_reuse_is_byte_identical() {
+        // One scratch across many different fields/shapes must not leak
+        // state between compressions.
+        let mut scratch = SzScratch::default();
+        let cfg = SzConfig::abs(0.1);
+        for dims in [Dim3::cube(12), Dim3::new(1, 1, 40), Dim3::new(5, 9, 2), Dim3::cube(12)] {
+            let f = Field3::from_fn(dims, |x, y, z| {
+                ((x * 31 + y * 7 + z * 3) % 97) as f32 * 0.5
+            });
+            let fresh = compress_slice_with(f.as_slice(), dims, &cfg, &mut SzScratch::default());
+            let reused = compress_slice_with(f.as_slice(), dims, &cfg, &mut scratch);
+            assert_eq!(fresh.as_bytes(), reused.as_bytes(), "scratch leak on {dims:?}");
+            let (via_scratch, _) =
+                decompress_slice_with::<f32>(fresh.as_bytes(), &mut scratch).unwrap();
+            let (via_fresh, _) = decompress_slice::<f32>(fresh.as_bytes()).unwrap();
+            assert_eq!(via_scratch, via_fresh);
+        }
+    }
+
+    #[test]
+    fn huge_radius_falls_back_to_hashed_counting() {
+        // 2·radius beyond DENSE_COUNT_LIMIT must not allocate a dense array
+        // (and must produce the same container as any other path would).
+        let f = wavy_field(8);
+        let cfg = SzConfig::abs(0.05).with_radius(1 << 24);
+        let c = compress(&f, &cfg);
+        let g: Field3<f32> = decompress(&c).unwrap();
+        assert!(f.max_abs_diff(&g) <= 0.05 + 1e-9);
     }
 }

@@ -6,10 +6,31 @@
 //! (length, symbol) order. Only `(symbol, length)` pairs need to be stored
 //! in the container, and decoding walks the lengths numerically without
 //! materialising a tree.
+//!
+//! ## Hot-path layout
+//!
+//! Quantisation codes are bounded by `2·radius` and cluster tightly around
+//! the bias, so the encoder keys a **dense table** by `symbol − min_symbol`
+//! instead of hashing every symbol: one bounds check + one indexed load per
+//! encoded symbol. Symbols far outside the cluster (in practice only the
+//! RLE `RUN_MARKER`) fall back to a tiny linear-scanned side table. The
+//! decoder front-loads a `(1 << PEEK_BITS)`-entry prefix LUT: one peek
+//! resolves any codeword of ≤ [`PEEK_BITS`] bits in a single lookup, and
+//! only longer codewords take the canonical `first_code`/`first_index`
+//! comparison walk.
 
 use crate::bitstream::{BitReader, BitWriter};
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+
+/// Codewords at most this long resolve through the decoder's prefix LUT.
+const PEEK_BITS: u8 = 12;
+
+/// Widest `symbol − min_symbol` span the dense encode table will cover
+/// (2× the default-radius code space). Wider spans — only reachable via
+/// adversarial containers — go to the sparse side table instead of
+/// ballooning the allocation.
+const DENSE_SPAN: u32 = 1 << 17;
 
 /// Errors from Huffman encode/decode.
 #[derive(Debug, PartialEq, Eq)]
@@ -34,12 +55,14 @@ impl std::fmt::Display for HuffmanError {
 
 impl std::error::Error for HuffmanError {}
 
-/// Compute optimal code lengths for `freqs` (symbol → count) via the
-/// standard two-queue/heap Huffman construction.
+/// Compute optimal code lengths from `(symbol, count)` pairs sorted by
+/// symbol (strictly increasing, counts non-zero) via the standard heap
+/// Huffman construction.
 ///
-/// Returns `(symbol, length)` pairs for every symbol with non-zero count.
-/// Single-symbol alphabets get length 1.
-pub fn code_lengths(freqs: &HashMap<u32, u64>) -> Vec<(u32, u8)> {
+/// Returns `(symbol, length)` pairs for every symbol. Single-symbol
+/// alphabets get length 1. This is the allocation-lean entry point the
+/// compressor's dense frequency counting feeds directly.
+pub fn code_lengths_sorted(freqs: &[(u32, u64)]) -> Vec<(u32, u8)> {
     #[derive(PartialEq, Eq)]
     struct Node {
         weight: u64,
@@ -63,16 +86,15 @@ pub fn code_lengths(freqs: &HashMap<u32, u64>) -> Vec<(u32, u8)> {
         }
     }
 
-    let mut symbols: Vec<(u32, u64)> = freqs.iter().map(|(&s, &c)| (s, c)).collect();
-    symbols.sort_unstable();
-    if symbols.is_empty() {
+    debug_assert!(freqs.windows(2).all(|w| w[0].0 < w[1].0), "freqs sorted by symbol");
+    if freqs.is_empty() {
         return Vec::new();
     }
-    if symbols.len() == 1 {
-        return vec![(symbols[0].0, 1)];
+    if freqs.len() == 1 {
+        return vec![(freqs[0].0, 1)];
     }
 
-    let mut heap: BinaryHeap<Node> = symbols
+    let mut heap: BinaryHeap<Node> = freqs
         .iter()
         .map(|&(s, c)| Node { weight: c, tie: s, kind: NodeKind::Leaf(s) })
         .collect();
@@ -89,7 +111,7 @@ pub fn code_lengths(freqs: &HashMap<u32, u64>) -> Vec<(u32, u8)> {
     }
     let root = heap.pop().expect("non-empty heap");
 
-    let mut out = Vec::with_capacity(symbols.len());
+    let mut out = Vec::with_capacity(freqs.len());
     // Iterative DFS to avoid recursion depth on degenerate distributions.
     let mut stack = vec![(root, 0u8)];
     while let Some((node, depth)) = stack.pop() {
@@ -105,17 +127,34 @@ pub fn code_lengths(freqs: &HashMap<u32, u64>) -> Vec<(u32, u8)> {
     out
 }
 
+/// Compute optimal code lengths for `freqs` (symbol → count).
+///
+/// Convenience wrapper over [`code_lengths_sorted`] for map-shaped callers.
+pub fn code_lengths(freqs: &HashMap<u32, u64>) -> Vec<(u32, u8)> {
+    let mut pairs: Vec<(u32, u64)> = freqs.iter().map(|(&s, &c)| (s, c)).collect();
+    pairs.sort_unstable();
+    code_lengths_sorted(&pairs)
+}
+
 /// A canonical Huffman code book (encoder + decoder state).
 #[derive(Debug, Clone)]
 pub struct CodeBook {
     /// (symbol, length) sorted by (length, symbol) — canonical order.
     entries: Vec<(u32, u8)>,
-    /// symbol → (code, length)
-    encode_map: HashMap<u32, (u64, u8)>,
+    /// Dense encode table: `(code, len)` at index `symbol − dense_base`;
+    /// `len == 0` marks an absent symbol.
+    dense: Vec<(u64, u8)>,
+    dense_base: u32,
+    /// Symbols outside the dense span (`(symbol, code, len)`), linear-scanned.
+    sparse: Vec<(u32, u64, u8)>,
     max_len: u8,
     /// For each length L: (first_code[L], index of first symbol of length L).
     first_code: Vec<u64>,
     first_index: Vec<usize>,
+    /// Prefix LUT: `(symbol, len)` for every `peek`-bit window whose prefix
+    /// is a codeword of length ≤ `peek`; `len == 0` marks "longer code".
+    lut: Vec<(u32, u8)>,
+    peek: u8,
 }
 
 impl CodeBook {
@@ -123,9 +162,22 @@ impl CodeBook {
     pub fn from_lengths(mut lengths: Vec<(u32, u8)>) -> Self {
         lengths.sort_unstable_by_key(|&(s, l)| (l, s));
         let max_len = lengths.last().map(|&(_, l)| l).unwrap_or(0);
-        let mut encode_map = HashMap::with_capacity(lengths.len());
         let mut first_code = vec![0u64; max_len as usize + 2];
         let mut first_index = vec![0usize; max_len as usize + 2];
+
+        let dense_base = lengths.iter().map(|&(s, _)| s).min().unwrap_or(0);
+        let dense_len = lengths
+            .iter()
+            .map(|&(s, _)| s - dense_base)
+            .filter(|&off| off < DENSE_SPAN)
+            .max()
+            .map(|off| off as usize + 1)
+            .unwrap_or(0);
+        let mut dense = vec![(0u64, 0u8); dense_len];
+        let mut sparse = Vec::new();
+
+        let peek = max_len.min(PEEK_BITS);
+        let mut lut = vec![(0u32, 0u8); if max_len == 0 { 0 } else { 1usize << peek }];
 
         let mut code = 0u64;
         let mut prev_len = 0u8;
@@ -140,11 +192,40 @@ impl CodeBook {
                 first_code[len as usize] = code;
                 first_index[len as usize] = i;
             }
-            encode_map.insert(sym, (code, len));
+            let off = sym - dense_base;
+            if off < DENSE_SPAN {
+                dense[off as usize] = (code, len);
+            } else {
+                sparse.push((sym, code, len));
+            }
+            if len <= peek {
+                // Clamp: Kraft-violating tables (reachable only through
+                // corrupt containers) could otherwise overrun the LUT.
+                let lo = ((code << (peek - len)) as usize).min(lut.len());
+                let hi = (((code + 1) << (peek - len)) as usize).min(lut.len());
+                for slot in &mut lut[lo..hi] {
+                    *slot = (sym, len);
+                }
+            }
             code += 1;
             prev_len = len;
         }
-        Self { entries: lengths, encode_map, max_len, first_code, first_index }
+        Self {
+            entries: lengths,
+            dense,
+            dense_base,
+            sparse,
+            max_len,
+            first_code,
+            first_index,
+            lut,
+            peek,
+        }
+    }
+
+    /// Build directly from `(symbol, count)` pairs sorted by symbol.
+    pub fn from_sorted_freqs(freqs: &[(u32, u64)]) -> Self {
+        Self::from_lengths(code_lengths_sorted(freqs))
     }
 
     /// Build directly from symbol frequencies.
@@ -166,16 +247,28 @@ impl CodeBook {
         &self.entries
     }
 
+    /// `(code, length)` of `sym`, if present.
+    #[inline]
+    fn lookup(&self, sym: u32) -> Option<(u64, u8)> {
+        let off = sym.wrapping_sub(self.dense_base);
+        if (off as usize) < self.dense.len() {
+            let (code, len) = self.dense[off as usize];
+            if len != 0 {
+                return Some((code, len));
+            }
+        }
+        self.sparse.iter().find(|&&(s, _, _)| s == sym).map(|&(_, c, l)| (c, l))
+    }
+
     /// Code length of `sym`, if present.
     pub fn length_of(&self, sym: u32) -> Option<u8> {
-        self.encode_map.get(&sym).map(|&(_, l)| l)
+        self.lookup(sym).map(|(_, l)| l)
     }
 
     /// Encode `symbols` into `w`.
     pub fn encode(&self, symbols: &[u32], w: &mut BitWriter) -> Result<(), HuffmanError> {
         for &s in symbols {
-            let &(code, len) =
-                self.encode_map.get(&s).ok_or(HuffmanError::UnknownSymbol(s))?;
+            let (code, len) = self.lookup(s).ok_or(HuffmanError::UnknownSymbol(s))?;
             w.push_bits(code, len);
         }
         Ok(())
@@ -188,6 +281,16 @@ impl CodeBook {
         }
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
+            // Fast path: one peek resolves codewords of ≤ `peek` bits. The
+            // window zero-pads past end-of-stream, so a hit only counts when
+            // the stream really holds `len` more bits; otherwise the slow
+            // path below re-reads and reports the truncation.
+            let (sym, len) = self.lut[r.peek_bits(self.peek) as usize];
+            if len != 0 && r.remaining() >= len as usize {
+                r.consume_bits(len);
+                out.push(sym);
+                continue;
+            }
             let mut code = 0u64;
             let mut len = 0u8;
             loop {
@@ -289,6 +392,31 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_far_flung_symbols() {
+        // RUN_MARKER-style symbols sit ~2³² away from the quantisation
+        // cluster: they must route through the sparse side table and still
+        // roundtrip exactly.
+        let mut syms = vec![32_768u32; 400];
+        syms.extend([u32::MAX; 37]);
+        syms.extend([32_700, 32_800, u32::MAX, 32_768]);
+        assert_eq!(roundtrip(&syms), syms);
+        let book = CodeBook::from_freqs(&freq_of(&syms));
+        assert!(book.length_of(u32::MAX).is_some());
+        assert_eq!(book.length_of(5), None);
+    }
+
+    #[test]
+    fn sorted_freqs_match_hashmap_construction() {
+        let syms = [9u32, 9, 9, 9, 4, 4, 7, 1, 1, 1, 1, 1, 1];
+        let map = freq_of(&syms);
+        let mut pairs: Vec<(u32, u64)> = map.iter().map(|(&s, &c)| (s, c)).collect();
+        pairs.sort_unstable();
+        let a = CodeBook::from_freqs(&map);
+        let b = CodeBook::from_sorted_freqs(&pairs);
+        assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
     fn compressed_size_beats_fixed_width_on_skew() {
         let mut syms = vec![7u32; 10_000];
         syms.extend(0..128u32);
@@ -330,6 +458,25 @@ mod tests {
         // into padding that decodes — then lengths won't match the request).
         let res = book.decode(&mut r, syms.len() + 64);
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn long_codes_fall_back_past_the_lut() {
+        // An exponential frequency ladder forces code lengths well past
+        // PEEK_BITS, exercising the slow canonical walk after a LUT miss.
+        let mut pairs: Vec<(u32, u64)> = Vec::new();
+        for s in 0..24u32 {
+            pairs.push((s, 1u64 << s.min(40)));
+        }
+        let book = CodeBook::from_sorted_freqs(&pairs);
+        let max = book.entries().iter().map(|&(_, l)| l).max().unwrap();
+        assert!(max > PEEK_BITS, "ladder only reached {max} bits");
+        let syms: Vec<u32> = (0..24u32).chain((0..24u32).rev()).collect();
+        let mut w = BitWriter::new();
+        book.encode(&syms, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(book.decode(&mut r, syms.len()).unwrap(), syms);
     }
 
     #[test]

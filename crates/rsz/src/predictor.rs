@@ -61,6 +61,24 @@ pub fn lorenzo3(recon: &[f64], ny: usize, nz: usize, x: usize, y: usize, z: usiz
         + at(recon, ny, nz, xi - 1, yi - 1, zi - 1)
 }
 
+/// 3-D Lorenzo for strictly interior points (`x ≥ 1 && y ≥ 1 && z ≥ 1`),
+/// expressed in flat-index arithmetic so hot loops skip the per-neighbour
+/// bounds branches of [`lorenzo3`].
+///
+/// `sx`/`sy` are the x/y strides (`ny·nz` and `nz`) and `idx` the linear
+/// index of the point being predicted. Callers must guarantee interiority;
+/// the walk loops in `compress.rs` do so structurally by peeling the
+/// `x == 0`, `y == 0` and `z == 0` boundary cells.
+#[inline(always)]
+pub fn lorenzo3_interior(recon: &[f64], sx: usize, sy: usize, idx: usize) -> f64 {
+    debug_assert!(idx > sx + sy);
+    recon[idx - 1] + recon[idx - sy] + recon[idx - sx]
+        - recon[idx - sy - 1]
+        - recon[idx - sx - 1]
+        - recon[idx - sx - sy]
+        + recon[idx - sx - sy - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +173,25 @@ mod tests {
         let grid = vec![5.0; 64];
         // Interior of a constant field: 3·5 − 3·5 + 5 = 5.
         assert_eq!(lorenzo3(&grid, 4, 4, 1, 1, 1), 5.0);
+    }
+
+    #[test]
+    fn lorenzo3_interior_matches_general_stencil() {
+        let (nx, ny, nz) = (4usize, 5usize, 6usize);
+        let grid: Vec<f64> =
+            (0..nx * ny * nz).map(|i| ((i * 37) % 101) as f64 * 0.25 - 3.0).collect();
+        let (sx, sy) = (ny * nz, nz);
+        for x in 1..nx {
+            for y in 1..ny {
+                for z in 1..nz {
+                    let idx = (x * ny + y) * nz + z;
+                    assert_eq!(
+                        lorenzo3_interior(&grid, sx, sy, idx),
+                        lorenzo3(&grid, ny, nz, x, y, z),
+                        "at ({x},{y},{z})"
+                    );
+                }
+            }
+        }
     }
 }

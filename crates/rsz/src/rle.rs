@@ -29,8 +29,18 @@ pub fn dominant_code(codes: &[u32]) -> u32 {
 
 /// Fold runs of `dom`; returns `(symbols, run_lengths)`.
 pub fn fold(codes: &[u32], dom: u32) -> (Vec<u32>, Vec<u32>) {
-    let mut symbols = Vec::with_capacity(codes.len());
+    let mut symbols = Vec::new();
     let mut runs = Vec::new();
+    fold_into(codes, dom, &mut symbols, &mut runs);
+    (symbols, runs)
+}
+
+/// [`fold`] into caller-owned buffers (cleared first) so hot loops can
+/// reuse allocations across partitions.
+pub fn fold_into(codes: &[u32], dom: u32, symbols: &mut Vec<u32>, runs: &mut Vec<u32>) {
+    symbols.clear();
+    symbols.reserve(codes.len());
+    runs.clear();
     let mut i = 0;
     while i < codes.len() {
         if codes[i] == dom {
@@ -51,7 +61,6 @@ pub fn fold(codes: &[u32], dom: u32) -> (Vec<u32>, Vec<u32>) {
             i += 1;
         }
     }
-    (symbols, runs)
 }
 
 /// Expand a folded stream back to the original codes.

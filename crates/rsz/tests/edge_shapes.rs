@@ -100,3 +100,72 @@ fn compression_is_bitwise_deterministic_on_edge_shapes() {
         assert_eq!(a.as_bytes(), b.as_bytes(), "nondeterministic container on {dims:?}");
     }
 }
+
+// --- adversarial shapes for the fused hot loop ---------------------------
+// The fused walk peels x == 0 / y == 0 / z == 0 boundaries from the
+// interior fast path; these inputs make one of the two paths empty or make
+// every cell take the verbatim branch.
+
+#[test]
+fn long_pencils_roundtrip_across_the_fold_threshold() {
+    // 1×1×N (and permutations) never reach the interior fast path at all;
+    // long smooth pencils additionally produce dominant-code runs crossing
+    // the RLE MIN_RUN threshold.
+    for dims in [Dim3::new(1, 1, 4096), Dim3::new(1, 4096, 1), Dim3::new(4096, 1, 1)] {
+        let smooth = Field3::from_fn(dims, |x, y, z| ((x + y + z) as f32 * 0.01).sin() * 3.0);
+        assert_bound_roundtrip(&smooth, 0.05);
+        let rough = lcg_field(dims, 0xFACE, 5.0e3);
+        assert_bound_roundtrip(&rough, 0.5);
+    }
+}
+
+#[test]
+fn all_unpredictable_field_roundtrips_exactly() {
+    // Tiny radius + huge jumps: every residual overflows the code range, so
+    // every cell is stored verbatim and must reconstruct bit-exactly.
+    let dims = Dim3::new(7, 5, 9);
+    let field = lcg_field(dims, 0xDEAD, 1.0e9);
+    let cfg = SzConfig::abs(1e-6).with_radius(2);
+    let c = compress(&field, &cfg);
+    assert_eq!(c.n_unpredictable(), dims.len(), "expected every cell verbatim");
+    let recon: Field3<f32> = decompress(&c).expect("decodes");
+    for (a, b) in field.as_slice().iter().zip(recon.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "verbatim cell not bit-exact");
+    }
+}
+
+#[test]
+fn minimum_radius_roundtrips_on_mixed_fields() {
+    // radius = 2 is the smallest the format allows: codes {1, 2, 3} around
+    // the bias, so almost any roughness forces the verbatim path — the
+    // harshest mix of branches in the fused loop.
+    for (dims, amplitude) in [
+        (Dim3::cube(9), 1.0e3f32),
+        (Dim3::new(1, 1, 200), 50.0),
+        (Dim3::new(3, 17, 2), 0.0),
+    ] {
+        let field = lcg_field(dims, 0xBEE5, amplitude);
+        let cfg = SzConfig::abs(0.25).with_radius(2);
+        let c = compress(&field, &cfg);
+        let recon: Field3<f32> = decompress(&c).expect("decodes");
+        assert!(
+            field.max_abs_diff(&recon) <= 0.25 * (1.0 + 1e-9),
+            "bound violated at radius 2 on {dims:?}"
+        );
+    }
+}
+
+#[test]
+fn pencil_containers_equal_their_own_recompression() {
+    // Compressing a decompressed pencil at the same bound must be stable
+    // (idempotence of the fixed point), guarding scratch-state leaks
+    // between calls on degenerate shapes.
+    let dims = Dim3::new(1, 1, 513);
+    let field = lcg_field(dims, 0x51, 800.0);
+    let cfg = SzConfig::abs(0.1);
+    let c1 = compress(&field, &cfg);
+    let r1: Field3<f32> = decompress(&c1).expect("decodes");
+    let c2 = compress(&r1, &cfg);
+    let r2: Field3<f32> = decompress(&c2).expect("decodes");
+    assert!(r1.max_abs_diff(&r2) <= 0.1 * (1.0 + 1e-9));
+}

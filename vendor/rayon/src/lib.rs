@@ -2,137 +2,238 @@
 //!
 //! No crates.io access in the build container, so this shim supplies the
 //! subset the workspace uses (`par_iter`, `par_iter_mut`, `par_chunks`,
-//! `par_chunks_mut`, `into_par_iter`, then `map`/`enumerate`/`for_each`/
-//! `collect`/`sum`) with *real* parallelism: work items are split into
-//! contiguous chunks, one `std::thread::scope` thread per chunk, results
-//! concatenated in input order. Unlike rayon the combinators are eager —
-//! `map` runs immediately — which is observably identical for the
-//! map→collect / enumerate→for_each shapes used here, minus work stealing.
+//! `par_chunks_mut`, `into_par_iter`, then `map`/`enumerate`/`filter`/
+//! `for_each`/`collect`/`sum`/`count`/`reduce`) on top of std scoped
+//! threads.
+//!
+//! ## Scheduling model
+//!
+//! Unlike the first version of this shim (which ran every combinator
+//! eagerly, paying one full thread fan-out *per combinator*), combinators
+//! are now **lazy**: a [`ParIter`] is a plain `Vec` of source items plus
+//! one composed per-item closure — `map`/`enumerate` merely wrap that
+//! closure (no allocation, no dynamic dispatch), and exactly one fan-out
+//! happens at the terminal operation (`collect`, `for_each`, `sum`,
+//! `reduce`, `count`). Work distribution is dynamic self-scheduling rather
+//! than static chunking:
+//!
+//! 1. The item list is cut into contiguous batches of
+//!    `⌈n / (workers · 4)⌉` items (several batches per worker so uneven
+//!    per-item costs — e.g. dense vs empty cosmology partitions — balance
+//!    out without work stealing).
+//! 2. `min(available_parallelism, n)` workers are spawned under
+//!    `std::thread::scope`; each repeatedly pops the next batch from a
+//!    shared queue and applies the composed closure until the queue drains.
+//! 3. Batch results carry their original start index, so the merged output
+//!    is in input order — observably identical to serial iteration.
+//!
+//! Differences from real rayon, by design: no work stealing across batch
+//! boundaries, no nested-pool sharing (each terminal op spawns its own
+//! scoped workers), and `filter` is a materialisation barrier (it drives
+//! the chain, then re-wraps the survivors). All are fine for the
+//! partition-/pencil-granularity workloads in this workspace.
 
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+/// Batches handed to the dynamic queue per worker; >1 gives load balancing
+/// for uneven item costs at negligible queue-lock overhead.
+const BATCHES_PER_WORKER: usize = 4;
 
 fn thread_count(items: usize) -> usize {
     let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
     hw.min(items).max(1)
 }
 
-/// Run `f` over `items` on multiple threads, preserving input order.
-fn run<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    let n = items.len();
-    let threads = thread_count(n);
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
+fn ident<T>(t: T) -> T {
+    t
+}
+
+/// A freshly constructed [`ParIter`] whose per-item closure is the
+/// identity.
+pub type SourceIter<'a, T> = ParIter<'a, T, T, fn(T) -> T>;
+
+/// A lazy "parallel iterator": source items plus one composed per-item
+/// closure. Combinator calls wrap the closure; the single parallel fan-out
+/// happens at the terminal operation.
+pub struct ParIter<'a, S, T, F> {
+    items: Vec<S>,
+    f: F,
+    _lt: PhantomData<&'a fn(S) -> T>,
+}
+
+impl<'a, S, T, F> ParIter<'a, S, T, F>
+where
+    S: Send + 'a,
+    T: Send + 'a,
+    F: Fn(S) -> T + Send + Sync + 'a,
+{
+    fn from_items(items: Vec<S>) -> SourceIter<'a, S> {
+        ParIter { items, f: ident::<S>, _lt: PhantomData }
     }
-    let chunk = n.div_ceil(threads);
-    let mut slots: Vec<Vec<R>> = Vec::with_capacity(threads);
-    let mut pending: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut items = items;
-    while !items.is_empty() {
-        let tail = items.split_off(items.len().saturating_sub(chunk));
-        pending.push(tail);
-    }
-    pending.reverse(); // split_off took tails, so restore front-to-back order
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = pending
-            .into_iter()
-            .map(|batch| scope.spawn(move || batch.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for h in handles {
-            slots.push(h.join().expect("parallel worker panicked"));
+
+    /// Pair each item with its input-order index (lazy).
+    #[allow(clippy::type_complexity)]
+    pub fn enumerate(
+        self,
+    ) -> ParIter<'a, (usize, S), (usize, T), impl Fn((usize, S)) -> (usize, T) + Send + Sync + 'a>
+    {
+        let f = self.f;
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+            f: move |(i, s)| (i, f(s)),
+            _lt: PhantomData,
         }
-    });
-    slots.into_iter().flatten().collect()
-}
-
-/// An eager "parallel iterator": a materialised work list.
-pub struct ParIter<T> {
-    items: Vec<T>,
-}
-
-impl<T: Send> ParIter<T> {
-    pub fn enumerate(self) -> ParIter<(usize, T)> {
-        ParIter { items: self.items.into_iter().enumerate().collect() }
     }
 
-    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
-        ParIter { items: run(self.items, f) }
+    /// Compose `g` onto the per-item closure (lazy — no threads spawned,
+    /// no allocation).
+    pub fn map<R, G>(self, g: G) -> ParIter<'a, S, R, impl Fn(S) -> R + Send + Sync + 'a>
+    where
+        R: Send + 'a,
+        G: Fn(T) -> R + Send + Sync + 'a,
+    {
+        let f = self.f;
+        ParIter { items: self.items, f: move |s| g(f(s)), _lt: PhantomData }
     }
 
-    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
-        let keep = run(self.items, |t| if f(&t) { Some(t) } else { None });
-        ParIter { items: keep.into_iter().flatten().collect() }
+    /// Keep items satisfying `g`. This is a materialisation barrier: the
+    /// pending chain runs (in parallel) and survivors are re-wrapped.
+    pub fn filter<G>(self, g: G) -> SourceIter<'a, T>
+    where
+        G: Fn(&T) -> bool + Send + Sync + 'a,
+    {
+        let kept: Vec<T> =
+            self.map(move |t| if g(&t) { Some(t) } else { None }).drive().into_iter().flatten().collect();
+        ParIter::<T, T, fn(T) -> T>::from_items(kept)
     }
 
-    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
-        run(self.items, f);
+    /// Terminal: run the chain plus `g` across workers.
+    pub fn for_each<G: Fn(T) + Send + Sync + 'a>(self, g: G) {
+        self.map(g).drive();
     }
 
+    /// Terminal: run the chain and collect results in input order.
     pub fn collect<C: FromIterator<T>>(self) -> C {
-        self.items.into_iter().collect()
+        self.drive().into_iter().collect()
     }
 
-    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
-        self.items.into_iter().sum()
+    /// Terminal: run the chain and sum the results.
+    pub fn sum<Z: std::iter::Sum<T>>(self) -> Z {
+        self.drive().into_iter().sum()
     }
 
+    /// Terminal: number of items (drives the chain for side effects).
     pub fn count(self) -> usize {
-        self.items.len()
+        self.drive().len()
     }
 
+    /// Terminal: fold results with `op` starting from `identity()`.
     pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> T
     where
         Id: Fn() -> T,
         Op: Fn(T, T) -> T,
     {
-        self.items.into_iter().fold(identity(), op)
+        self.drive().into_iter().fold(identity(), op)
+    }
+
+    /// Execute the composed chain across scoped workers with dynamic batch
+    /// scheduling, returning results in input order. This is the shim's
+    /// single fan-out point — every terminal operation funnels through it.
+    fn drive(self) -> Vec<T> {
+        let Self { mut items, f, .. } = self;
+        let n = items.len();
+        let workers = thread_count(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let batch = n.div_ceil(workers * BATCHES_PER_WORKER).max(1);
+        let mut queue: VecDeque<(usize, Vec<S>)> = VecDeque::with_capacity(n.div_ceil(batch));
+        let mut start = 0usize;
+        while !items.is_empty() {
+            let take = batch.min(items.len());
+            let rest = items.split_off(take);
+            queue.push_back((start, std::mem::replace(&mut items, rest)));
+            start += take;
+        }
+        let queue = Mutex::new(queue);
+        let f = &f;
+        let mut merged: Vec<(usize, Vec<T>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, Vec<T>)> = Vec::new();
+                        loop {
+                            let next = queue.lock().expect("queue lock").pop_front();
+                            match next {
+                                Some((at, batch)) => {
+                                    done.push((at, batch.into_iter().map(f).collect()));
+                                }
+                                None => break,
+                            }
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                merged.extend(h.join().expect("parallel worker panicked"));
+            }
+        });
+        merged.sort_unstable_by_key(|&(at, _)| at);
+        merged.into_iter().flat_map(|(_, v)| v).collect()
     }
 }
 
-pub trait IntoParallelIterator {
-    type Item: Send;
-    fn into_par_iter(self) -> ParIter<Self::Item>;
+pub trait IntoParallelIterator<'a> {
+    type Item: Send + 'a;
+    fn into_par_iter(self) -> SourceIter<'a, Self::Item>;
 }
 
-impl<T: Send> IntoParallelIterator for Vec<T> {
+impl<'a, T: Send + 'a> IntoParallelIterator<'a> for Vec<T> {
     type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
+    fn into_par_iter(self) -> SourceIter<'a, T> {
+        ParIter::<T, T, fn(T) -> T>::from_items(self)
     }
 }
 
-impl IntoParallelIterator for std::ops::Range<usize> {
+impl<'a> IntoParallelIterator<'a> for std::ops::Range<usize> {
     type Item = usize;
-    fn into_par_iter(self) -> ParIter<usize> {
-        ParIter { items: self.collect() }
+    fn into_par_iter(self) -> SourceIter<'a, usize> {
+        ParIter::<usize, usize, fn(usize) -> usize>::from_items(self.collect())
     }
 }
 
 pub trait ParallelSlice<T: Sync> {
-    fn par_iter(&self) -> ParIter<&T>;
-    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+    fn par_iter(&self) -> SourceIter<'_, &T>;
+    fn par_chunks(&self, size: usize) -> SourceIter<'_, &[T]>;
 }
 
-impl<T: Sync> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<&T> {
-        ParIter { items: self.iter().collect() }
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SourceIter<'_, &T> {
+        ParIter::<&T, &T, fn(&T) -> &T>::from_items(self.iter().collect())
     }
-    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
-        ParIter { items: self.chunks(size).collect() }
+    fn par_chunks(&self, size: usize) -> SourceIter<'_, &[T]> {
+        ParIter::<&[T], &[T], fn(&[T]) -> &[T]>::from_items(self.chunks(size).collect())
     }
 }
 
 pub trait ParallelSliceMut<T: Send> {
-    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+    fn par_iter_mut(&mut self) -> SourceIter<'_, &mut T>;
+    fn par_chunks_mut(&mut self, size: usize) -> SourceIter<'_, &mut [T]>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
-        ParIter { items: self.iter_mut().collect() }
+    fn par_iter_mut(&mut self) -> SourceIter<'_, &mut T> {
+        ParIter::<&mut T, &mut T, fn(&mut T) -> &mut T>::from_items(self.iter_mut().collect())
     }
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
-        ParIter { items: self.chunks_mut(size).collect() }
+    fn par_chunks_mut(&mut self, size: usize) -> SourceIter<'_, &mut [T]> {
+        ParIter::<&mut [T], &mut [T], fn(&mut [T]) -> &mut [T]>::from_items(
+            self.chunks_mut(size).collect(),
+        )
     }
 }
 
@@ -160,6 +261,19 @@ mod tests {
     }
 
     #[test]
+    fn chained_maps_fuse_and_preserve_order() {
+        let out: Vec<String> = (0..257)
+            .into_par_iter()
+            .map(|x| x + 1)
+            .enumerate()
+            .map(|(i, x)| format!("{i}:{x}"))
+            .collect();
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("{i}:{}", i + 1));
+        }
+    }
+
+    #[test]
     fn chunks_mut_writes_disjoint() {
         let mut v = vec![0u64; 997];
         v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
@@ -177,6 +291,52 @@ mod tests {
         let v: Vec<u64> = (0..10_000).collect();
         let s: u64 = v.par_iter().map(|&x| x).sum();
         assert_eq!(s, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Items with wildly different costs: dynamic batches must not
+        // reorder the merged output.
+        let out: Vec<usize> = (0..64)
+            .into_par_iter()
+            .map(|i| {
+                let spin = if i % 7 == 0 { 20_000 } else { 10 };
+                let mut acc = 0usize;
+                for k in 0..spin {
+                    acc = acc.wrapping_add(k ^ i);
+                }
+                std::hint::black_box(acc);
+                i
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_keeps_matching_in_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().filter(|&x| x % 3 == 0).collect();
+        assert_eq!(out, (0..100).filter(|&x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_folds_all_items() {
+        let total = (1..101usize).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn count_drives_chain() {
+        assert_eq!((0..37).into_par_iter().map(|x| x * x).count(), 37);
+    }
+
+    #[test]
+    fn borrowed_captures_work() {
+        // Closures capturing references (the par_map pattern) must compile
+        // and run — the shim cannot demand 'static.
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let slice = &data;
+        let out: Vec<f64> = (0..10usize).into_par_iter().map(|i| slice[i * 10]).collect();
+        assert_eq!(out[3], 30.0);
     }
 
     #[test]
