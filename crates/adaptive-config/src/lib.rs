@@ -13,18 +13,25 @@
 //!   uniform-error premise (Fig. 3);
 //! * [`ratio_model`] — the bit-rate model `b_m = C_m·eb^c` with shared
 //!   exponent `c` and `C_m` predicted from the partition **mean** via a
-//!   logarithmic fit (Eq. 15, Fig. 10);
-//! * [`optimizer`] — the closed-form per-partition bound
-//!   `eb_m = eb_avg·exp(ln(C_m/C_a)/c)` with `[eb/4, 4eb]` clamping and the
-//!   halo-finder boundary condition (Eq. 16, §3.6);
+//!   logarithmic fit (Eq. 15, Fig. 10), fitted **per codec backend**
+//!   ([`ratio_model::CodecModelBank`]: one model each for `rsz` and
+//!   `zfplite`'s error-bounded accuracy mode, through `codec-core`);
+//! * [`optimizer`] — the joint per-partition (codec, bound) decision:
+//!   derivative-equalised bounds (`eb_m = eb_avg·exp(ln(C_m/C_a)/c)` with
+//!   `[eb/4, 4eb]` clamping for a single codec; a bisected multiplier
+//!   across heterogeneous power laws when codecs mix) plus cheapest-codec
+//!   assignment, under the halo-finder boundary condition (Eq. 16, §3.6);
 //! * [`pipeline`] — the in situ flow: per-rank feature extraction
 //!   (mean + boundary-cell count), an `MPI_Allreduce`-style reduction
-//!   ([`comm`]), optimization, per-partition compression, and the
-//!   traditional single-bound baseline for comparison;
+//!   ([`comm`]), optimization, per-partition compression into versioned
+//!   codec-tagged containers (`codec_core::Container`, v2; legacy v1
+//!   bare-rsz bytes still decode), and the traditional single-bound
+//!   baseline for comparison;
 //! * [`comm`] — a thread-per-rank communicator standing in for MPI.
 //!
 //! The experiment binaries in the `bench` crate drive these pieces to
-//! regenerate every figure and table of the paper's evaluation.
+//! regenerate every figure and table of the paper's evaluation, plus the
+//! `codec_select` entries of the BENCH_*.json trajectory.
 
 pub mod comm;
 pub mod error_model;
@@ -34,8 +41,9 @@ pub mod pipeline;
 pub mod ratio_model;
 pub mod trial_and_error;
 
+pub use codec_core::{CodecId, Container};
 pub use error_model::fft::FftErrorModel;
 pub use error_model::halo::HaloErrorModel;
 pub use optimizer::{OptimizedConfig, Optimizer, QualityTarget};
 pub use pipeline::{InSituPipeline, PipelineConfig, PipelineResult};
-pub use ratio_model::{PartitionFeature, RatioModel};
+pub use ratio_model::{CodecModelBank, PartitionFeature, RatioModel};

@@ -1,11 +1,12 @@
-//! Per-partition error-bound optimization (paper §3.6, Eq. 16).
+//! Per-partition (codec, error-bound) optimization (paper §3.6, Eq. 16,
+//! generalised to multiple codec backends).
 //!
 //! Given the quality budget expressed as an **average** bound `eb_avg`
 //! (from the FFT model's Eq. 10 inversion), the optimizer equalises the
 //! marginal bit-cost `∂b_m/∂eb_m` across partitions — the paper's stated
 //! condition ("their derivatives of bit-rate to error-bound curve are the
 //! same", §3.6). For the power-law rate model `b_m = C_m·eb^c` under the
-//! constraint `mean(eb_m) = eb_avg`, the stationary point is
+//! constraint `mean(eb_m) = eb_avg`, the single-codec stationary point is
 //!
 //! ```text
 //! eb_m = eb_avg · (C_m / C_a)^(1/(1−c)) · κ
@@ -18,15 +19,34 @@
 //! is derived from and the paper's own narrative of trading quality on
 //! low-compressibility partitions; we implement the stationarity condition
 //! of their Eq. 15, and DESIGN.md records the discrepancy.)
+//!
+//! ## The codec dimension
+//!
+//! With a [`CodecModelBank`] holding one fitted rate model per backend,
+//! the decision becomes joint: pick for each partition both a codec and a
+//! bound. The optimizer alternates two exact sub-steps (a small
+//! coordinate descent, deterministic and convergent in ≤ 4 rounds):
+//!
+//! 1. **Assignment** — at the current bounds, each partition takes the
+//!    codec with the lowest predicted bit rate (ties to the bank's
+//!    priority order, so the primary/bound-guaranteed backend wins).
+//! 2. **Bounds** — with codecs fixed, derivative equalisation across
+//!    *heterogeneous* power laws: `C_m·c_m·eb_m^(c_m−1) = −μ` for a global
+//!    multiplier `μ > 0`, solved for `mean(eb_m) = eb_avg` by bisection on
+//!    `ln μ` (each `eb_m` is strictly decreasing in `μ`, so the mean is
+//!    too).
+//!
 //! Outlier partitions that fit the model badly would otherwise get absurd
 //! bounds, so each `eb_m` is clamped to `[eb_avg/4, 4·eb_avg]` (§3.6), and
 //! the vector is rescaled so the *mean* bound still meets the budget.
 //! When a halo-finder constraint is present, the modeled mass fault of the
 //! chosen combination is checked and, if violated, the whole vector is
-//! scaled down to the halo boundary condition.
+//! scaled down to the halo boundary condition. A single-codec bank takes
+//! the legacy closed-form path, so existing rsz-only flows are unchanged.
 
 use crate::error_model::halo::HaloErrorModel;
-use crate::ratio_model::{PartitionFeature, RatioModel};
+use crate::ratio_model::{CodecModelBank, PartitionFeature, RatioModel};
+use codec_core::CodecId;
 use serde::{Deserialize, Serialize};
 
 /// Quality budget for one field.
@@ -61,10 +81,10 @@ impl QualityTarget {
     }
 }
 
-/// The optimizer: rate model + clamp policy.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The optimizer: per-codec rate models + clamp policy.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Optimizer {
-    pub ratio_model: RatioModel,
+    pub models: CodecModelBank,
     /// Clamp factor `f`: bounds stay within `[eb_avg/f, f·eb_avg]`.
     pub clamp_factor: f64,
 }
@@ -74,6 +94,8 @@ pub struct Optimizer {
 pub struct OptimizedConfig {
     /// Per-partition absolute error bounds (partition-id order).
     pub ebs: Vec<f64>,
+    /// Per-partition codec assignment (partition-id order).
+    pub codecs: Vec<CodecId>,
     /// The average bound actually realised (≤ target's `eb_avg` + ε).
     pub eb_avg: f64,
     /// Model-predicted overall bit rate (bits/value).
@@ -85,12 +107,41 @@ pub struct OptimizedConfig {
     pub halo_limited: bool,
 }
 
+impl OptimizedConfig {
+    /// How many partitions each codec won (first-appearance order; handy
+    /// for asserting genuine mixing).
+    pub fn codec_counts(&self) -> Vec<(CodecId, usize)> {
+        codec_core::codec_counts(self.codecs.iter().copied())
+    }
+}
+
+/// Power-law exponents this close to 0 (or positive, from degenerate fits
+/// on incompressible/constant samples) break the stationarity algebra;
+/// they are pulled to this ceiling before use.
+const C_CEILING: f64 = -0.01;
+
+fn effective_c(model: &RatioModel) -> f64 {
+    model.c.min(C_CEILING)
+}
+
 impl Optimizer {
+    /// Single-codec (rsz) optimizer — the legacy constructor.
     pub fn new(ratio_model: RatioModel) -> Self {
-        Self { ratio_model, clamp_factor: 4.0 }
+        Self::with_models(CodecModelBank::single(CodecId::Rsz, ratio_model))
     }
 
-    /// Compute the optimized per-partition bounds for the given features.
+    /// Multi-codec optimizer over a fitted bank.
+    pub fn with_models(models: CodecModelBank) -> Self {
+        Self { models, clamp_factor: 4.0 }
+    }
+
+    /// The primary codec's fitted model (what legacy single-codec call
+    /// sites previously read as `optimizer.ratio_model`).
+    pub fn primary_model(&self) -> RatioModel {
+        *self.models.primary().1
+    }
+
+    /// Compute the optimized per-partition (codec, bound) pairs.
     pub fn optimize(
         &self,
         features: &[PartitionFeature],
@@ -100,20 +151,23 @@ impl Optimizer {
         assert!(self.clamp_factor > 1.0);
         let m = features.len() as f64;
         let eb_avg = target.eb_avg;
-        let model = &self.ratio_model;
 
-        // Derivative-equalising form of Eq. 16 with C_a at the average
-        // mean: eb_m ∝ C_m^(1/(1−c)).
-        let avg_mean = features.iter().map(|f| f.mean).sum::<f64>() / m;
-        let c_a = model.coefficient(avg_mean);
-        let exponent = 1.0 / (1.0 - model.c);
-        let mut ebs: Vec<f64> = features
-            .iter()
-            .map(|f| {
-                let c_m = model.coefficient(f.mean);
-                eb_avg * (c_m / c_a).powf(exponent)
-            })
-            .collect();
+        // --- joint (codec, bound) decision -------------------------------
+        let mut codecs = self.assign_codecs(features, &vec![eb_avg; features.len()]);
+        let mut ebs = self.stationary_bounds(features, &codecs, eb_avg);
+        if self.models.len() > 1 {
+            // Coordinate descent: re-price codecs at the optimized bounds,
+            // re-optimize bounds under the new assignment; deterministic
+            // and settled within a few rounds (kept bounded regardless).
+            for _ in 0..3 {
+                let next = self.assign_codecs(features, &ebs);
+                if next == codecs {
+                    break;
+                }
+                codecs = next;
+                ebs = self.stationary_bounds(features, &codecs, eb_avg);
+            }
+        }
 
         // Clamp outliers, then restore the mean budget. Scaling down never
         // violates the upper clamp, so a few iterations settle.
@@ -150,7 +204,9 @@ impl Optimizer {
                 let nbc: Vec<f64> = features
                     .iter()
                     .zip(ebs)
-                    .map(|(f, &e)| HaloErrorModel::boundary_cells_at(f.boundary_cells_ref, f.eb_ref, e))
+                    .map(|(f, &e)| {
+                        HaloErrorModel::boundary_cells_at(f.boundary_cells_ref, f.eb_ref, e)
+                    })
                     .collect();
                 hm.expected_mass_fault(&nbc)
             };
@@ -167,11 +223,11 @@ impl Optimizer {
             }
         });
 
-        let means: Vec<f64> = features.iter().map(|f| f.mean).collect();
-        let predicted_bitrate = model.predict_overall_bitrate(&means, &ebs);
+        let predicted_bitrate = self.predict_bitrate(features, &codecs, &ebs);
         let eb_avg_real = ebs.iter().sum::<f64>() / m;
         OptimizedConfig {
             ebs,
+            codecs,
             eb_avg: eb_avg_real,
             predicted_bitrate,
             predicted_mass_fault,
@@ -179,18 +235,125 @@ impl Optimizer {
         }
     }
 
-    /// The traditional static configuration: one bound everywhere.
+    /// The traditional static configuration: the primary codec at one
+    /// uniform bound everywhere.
     pub fn traditional(&self, features: &[PartitionFeature], eb: f64) -> OptimizedConfig {
         assert!(!features.is_empty() && eb > 0.0);
-        let means: Vec<f64> = features.iter().map(|f| f.mean).collect();
+        let (primary, _) = self.models.primary();
+        let codecs = vec![primary; features.len()];
         let ebs = vec![eb; features.len()];
         OptimizedConfig {
-            predicted_bitrate: self.ratio_model.predict_overall_bitrate(&means, &ebs),
+            predicted_bitrate: self.predict_bitrate(features, &codecs, &ebs),
             ebs,
+            codecs,
             eb_avg: eb,
             predicted_mass_fault: None,
             halo_limited: false,
         }
+    }
+
+    /// Cheapest codec per partition at the given bounds (ties to bank
+    /// priority order).
+    fn assign_codecs(&self, features: &[PartitionFeature], ebs: &[f64]) -> Vec<CodecId> {
+        features
+            .iter()
+            .zip(ebs)
+            .map(|(f, &eb)| {
+                let mut best = self.models.primary().0;
+                let mut best_rate = f64::INFINITY;
+                for (codec, model) in self.models.entries() {
+                    let rate = model.predict_bitrate(f.mean, eb);
+                    if rate < best_rate {
+                        best_rate = rate;
+                        best = *codec;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Derivative-equalising bounds under a fixed codec assignment, with
+    /// `mean(eb) = eb_avg` (pre-clamp).
+    fn stationary_bounds(
+        &self,
+        features: &[PartitionFeature],
+        codecs: &[CodecId],
+        eb_avg: f64,
+    ) -> Vec<f64> {
+        if self.models.len() == 1 {
+            // Legacy closed form: C_a at the average mean, shared exponent.
+            let model = self.models.primary().1;
+            let m = features.len() as f64;
+            let avg_mean = features.iter().map(|f| f.mean).sum::<f64>() / m;
+            let c_a = model.coefficient(avg_mean);
+            let exponent = 1.0 / (1.0 - effective_c(model));
+            return features
+                .iter()
+                .map(|f| {
+                    let c_m = model.coefficient(f.mean);
+                    eb_avg * (c_m / c_a).powf(exponent)
+                })
+                .collect();
+        }
+
+        // Heterogeneous exponents: solve C_m·|c_m|·eb_m^(c_m−1) = μ.
+        // ln eb_m = (ln μ − ln(C_m·|c_m|)) / (c_m − 1), strictly decreasing
+        // in ln μ, so the mean is bisectable.
+        let params: Vec<(f64, f64)> = features
+            .iter()
+            .zip(codecs)
+            .map(|(f, codec)| {
+                let model = self.models.get(*codec).expect("assigned codec is in the bank");
+                let c = effective_c(model);
+                (model.coefficient(f.mean) * c.abs(), c)
+            })
+            .collect();
+        let mean_at = |ln_mu: f64| -> f64 {
+            params
+                .iter()
+                .map(|&(a, c)| ((ln_mu - a.ln()) / (c - 1.0)).clamp(-80.0, 80.0).exp())
+                .sum::<f64>()
+                / params.len() as f64
+        };
+        let (mut lo, mut hi) = (-120.0f64, 120.0f64); // ln μ bracket
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if mean_at(mid) > eb_avg {
+                lo = mid; // mean too large ⇒ μ too small
+            } else {
+                hi = mid;
+            }
+        }
+        let ln_mu = 0.5 * (lo + hi);
+        params
+            .iter()
+            .map(|&(a, c)| ((ln_mu - a.ln()) / (c - 1.0)).clamp(-80.0, 80.0).exp())
+            .collect()
+    }
+
+    /// Modeled overall bit rate of a (codec, bound) combination (Eq. 15:
+    /// `B = Σ b_m / M`, each term priced by its partition's codec model).
+    fn predict_bitrate(
+        &self,
+        features: &[PartitionFeature],
+        codecs: &[CodecId],
+        ebs: &[f64],
+    ) -> f64 {
+        assert_eq!(features.len(), codecs.len());
+        assert_eq!(features.len(), ebs.len());
+        features
+            .iter()
+            .zip(codecs)
+            .zip(ebs)
+            .map(|((f, codec), &eb)| {
+                self.models
+                    .get(*codec)
+                    .expect("assigned codec is in the bank")
+                    .predict_bitrate(f.mean, eb)
+            })
+            .sum::<f64>()
+            / features.len() as f64
     }
 }
 
@@ -223,6 +386,15 @@ mod tests {
             .collect()
     }
 
+    /// A two-codec bank where codec choice flips with the partition mean:
+    /// rsz prices low-mean partitions cheaper, zfp high-mean ones.
+    fn mixed_bank() -> CodecModelBank {
+        CodecModelBank::new(vec![
+            (CodecId::Rsz, RatioModel { c: -0.5, a0: 0.5, a1: 0.6 }),
+            (CodecId::Zfp, RatioModel { c: -0.4, a0: 1.5, a1: 0.3 }),
+        ])
+    }
+
     #[test]
     fn equal_partitions_get_equal_bounds() {
         let opt = Optimizer::new(model());
@@ -232,6 +404,7 @@ mod tests {
         }
         assert!((cfg.eb_avg - 0.2).abs() < 1e-9);
         assert!(!cfg.halo_limited);
+        assert!(cfg.codecs.iter().all(|&c| c == CodecId::Rsz));
     }
 
     #[test]
@@ -335,10 +508,86 @@ mod tests {
     }
 
     #[test]
-    fn traditional_uses_uniform_bound() {
-        let opt = Optimizer::new(model());
+    fn traditional_uses_uniform_bound_and_primary_codec() {
+        let opt = Optimizer::with_models(mixed_bank());
         let cfg = opt.traditional(&feats(&[1.0, 10.0]), 0.3);
         assert_eq!(cfg.ebs, vec![0.3, 0.3]);
         assert_eq!(cfg.eb_avg, 0.3);
+        assert!(cfg.codecs.iter().all(|&c| c == CodecId::Rsz));
+    }
+
+    // --- the codec dimension ------------------------------------------------
+
+    #[test]
+    fn disagreeing_models_mix_codecs() {
+        let opt = Optimizer::with_models(mixed_bank());
+        // At eb = 0.2: rsz is cheaper below the crossover mean, zfp above.
+        let f = feats(&[1.0, 2.0, 1e6, 1e7]);
+        let cfg = opt.optimize(&f, &QualityTarget::fft_only(0.2));
+        assert_eq!(cfg.codecs[0], CodecId::Rsz, "{:?}", cfg.codecs);
+        assert_eq!(cfg.codecs[3], CodecId::Zfp, "{:?}", cfg.codecs);
+        let counts = cfg.codec_counts();
+        assert_eq!(counts.iter().map(|(_, n)| n).sum::<usize>(), 4);
+        assert!(counts.len() == 2, "expected a genuine mix: {counts:?}");
+    }
+
+    #[test]
+    fn mixed_choice_beats_either_single_codec_in_predicted_rate() {
+        let bank = mixed_bank();
+        let f = feats(&[1.0, 3.0, 1e5, 1e6, 1e7, 2.0]);
+        let tgt = QualityTarget::fft_only(0.2);
+        let mixed = Optimizer::with_models(bank.clone()).optimize(&f, &tgt);
+        for (codec, m) in bank.entries() {
+            let single =
+                Optimizer::with_models(CodecModelBank::single(*codec, *m)).optimize(&f, &tgt);
+            assert!(
+                mixed.predicted_bitrate <= single.predicted_bitrate * (1.0 + 1e-9),
+                "mixed {} vs {codec}-only {}",
+                mixed.predicted_bitrate,
+                single.predicted_bitrate
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_budget_is_still_respected() {
+        let opt = Optimizer::with_models(mixed_bank());
+        let means: Vec<f64> = (0..32).map(|i| 10f64.powi(i % 8)).collect();
+        let cfg = opt.optimize(&feats(&means), &QualityTarget::fft_only(0.15));
+        let mean_eb = cfg.ebs.iter().sum::<f64>() / cfg.ebs.len() as f64;
+        assert!(mean_eb <= 0.15 * (1.0 + 1e-9), "mean {mean_eb}");
+        assert!(mean_eb >= 0.9 * 0.15, "budget left unused: {mean_eb}");
+        for &e in &cfg.ebs {
+            assert!((0.15 / 4.0 - 1e-12..=0.15 * 4.0 + 1e-12).contains(&e), "eb {e}");
+        }
+    }
+
+    #[test]
+    fn mixed_decision_is_deterministic() {
+        let opt = Optimizer::with_models(mixed_bank());
+        let means: Vec<f64> = (0..16).map(|i| 3f64.powi(i)).collect();
+        let a = opt.optimize(&feats(&means), &QualityTarget::fft_only(0.2));
+        let b = opt.optimize(&feats(&means), &QualityTarget::fft_only(0.2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_exponent_is_guarded() {
+        // A flat (c ≈ 0) fit must not explode the stationarity algebra.
+        let bank = CodecModelBank::new(vec![
+            (CodecId::Rsz, RatioModel { c: -0.5, a0: 0.5, a1: 0.3 }),
+            (CodecId::Zfp, RatioModel { c: 0.3, a0: 0.4, a1: 0.1 }),
+        ]);
+        let opt = Optimizer::with_models(bank);
+        let cfg = opt.optimize(&feats(&[1.0, 100.0, 1e4]), &QualityTarget::fft_only(0.2));
+        assert!(cfg.ebs.iter().all(|e| e.is_finite() && *e > 0.0));
+        let mean_eb = cfg.ebs.iter().sum::<f64>() / cfg.ebs.len() as f64;
+        assert!(mean_eb <= 0.2 * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn primary_model_matches_legacy_accessor() {
+        let opt = Optimizer::new(model());
+        assert_eq!(opt.primary_model(), model());
     }
 }

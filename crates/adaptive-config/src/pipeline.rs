@@ -1,25 +1,39 @@
-//! The in situ flow (paper §3.6 & §4.3): feature extraction → optimization
-//! → per-partition compression, plus the traditional single-bound baseline
-//! and the timing breakdown behind the "≈1 % overhead" claim.
+//! The in situ flow (paper §3.6 & §4.3): feature extraction → joint
+//! (codec, bound) optimization → per-partition compression, plus the
+//! traditional single-bound baseline and the timing breakdown behind the
+//! "≈1 % overhead" claim.
+//!
+//! ## Multi-codec emission
+//! Partitions are stored as versioned [`Container`]s (v2: codec tag +
+//! payload checksum, see `codec_core::container`), so a snapshot may mix
+//! backends freely — the optimizer picks, per partition, both the codec
+//! and its bound against the global quality target. Legacy v1 containers
+//! (bare rsz bytes) still decode through the same path. The enabled
+//! backend set is [`PipelineConfig::codecs`]; the default is rsz-only,
+//! which reproduces the paper's single-codec behaviour, and
+//! [`PipelineConfig::with_codecs`] opens the selection space.
 //!
 //! ## Parallel execution & determinism
 //! Compression ([`InSituPipeline::run_adaptive`]/[`run_traditional`]) and
 //! decompression ([`PipelineResult::reconstruct`]) shard across partitions:
 //! each brick is handled by a scoped worker from the rayon shim's dynamic
 //! scheduler (bounded by `available_parallelism`), and per-worker scratch
-//! buffers inside `rsz` keep the hot loop allocation-free. Partition
-//! results are merged in id order and each partition's walk is independent
-//! of every other's, so the containers are **byte-identical** to a serial
-//! run — worker count and scheduling order can never leak into simulation
-//! output (enforced by `tests/parallel_determinism.rs`).
+//! buffers (`codec_core::CodecScratch`, bundling every backend's) keep the
+//! hot loops allocation-free. Partition results are merged in id order and
+//! each partition's walk is independent of every other's, so the
+//! containers are **byte-identical** to a serial run — worker count and
+//! scheduling order can never leak into simulation output (enforced by
+//! `tests/parallel_determinism.rs`, including the mixed-codec case).
 //!
 //! [`run_traditional`]: InSituPipeline::run_traditional
 
 use crate::optimizer::{OptimizedConfig, Optimizer, QualityTarget};
-use crate::ratio_model::{extract_features, sample_bricks, CalibrationReport, RatioModel};
+use crate::ratio_model::{
+    extract_features, sample_bricks, CalibrationReport, CodecModelBank,
+};
+use codec_core::{CodecId, Container};
 use gridlab::{Decomposition, Field3, GridError, Scalar};
 use rayon::prelude::*;
-use rsz::{compress_slice, decompress, Compressed, SzConfig};
 use std::time::{Duration, Instant};
 
 /// Static configuration of the pipeline.
@@ -29,16 +43,24 @@ pub struct PipelineConfig {
     pub dec: Decomposition,
     /// Quality budget per snapshot.
     pub target: QualityTarget,
-    /// Base compressor settings (the mode's bound is overridden per
-    /// partition).
-    pub sz_base: SzConfig,
+    /// Enabled codec backends, in selection-priority order; the first is
+    /// the primary (traditional-baseline) codec.
+    pub codecs: Vec<CodecId>,
     /// Reference bound for the boundary-cell feature extraction.
     pub eb_ref: f64,
 }
 
 impl PipelineConfig {
+    /// Single-codec (rsz) pipeline — the paper's configuration.
     pub fn new(dec: Decomposition, target: QualityTarget) -> Self {
-        Self { dec, target, sz_base: SzConfig::abs(1.0), eb_ref: 1.0 }
+        Self { dec, target, codecs: vec![CodecId::Rsz], eb_ref: 1.0 }
+    }
+
+    /// Builder-style: open the codec selection space.
+    pub fn with_codecs(mut self, codecs: &[CodecId]) -> Self {
+        assert!(!codecs.is_empty(), "need at least one codec");
+        self.codecs = codecs.to_vec();
+        self
     }
 }
 
@@ -72,8 +94,11 @@ impl Timings {
 pub struct PipelineResult {
     /// Per-partition bounds used (uniform for the traditional baseline).
     pub ebs: Vec<f64>,
-    /// Per-partition containers (partition-id order).
-    pub containers: Vec<Compressed>,
+    /// Per-partition codec assignment (uniform for the traditional
+    /// baseline).
+    pub codecs: Vec<CodecId>,
+    /// Per-partition v2 containers (partition-id order).
+    pub containers: Vec<Container>,
     /// Uncompressed size in bytes.
     pub original_bytes: usize,
     /// Total compressed size in bytes.
@@ -95,12 +120,17 @@ impl PipelineResult {
         bits * self.compressed_bytes as f64 / self.original_bytes as f64
     }
 
+    /// How many partitions each codec won.
+    pub fn codec_counts(&self) -> Vec<(CodecId, usize)> {
+        codec_core::codec_counts(self.codecs.iter().copied())
+    }
+
     /// Decompress every partition and reassemble the full field.
     pub fn reconstruct<T: Scalar>(&self, dec: &Decomposition) -> Result<Field3<T>, GridError> {
         let bricks: Vec<Field3<T>> = self
             .containers
             .par_iter()
-            .map(|c| decompress::<T>(c).expect("self-produced container decodes"))
+            .map(|c| c.decode_field::<T>().expect("self-produced container decodes"))
             .collect();
         dec.assemble(&bricks)
     }
@@ -114,25 +144,43 @@ pub struct InSituPipeline {
 }
 
 impl InSituPipeline {
-    /// Build with an already-fitted rate model.
-    pub fn with_model(cfg: PipelineConfig, model: RatioModel) -> Self {
-        Self { cfg, optimizer: Optimizer::new(model) }
+    /// Build with an already-fitted model bank.
+    pub fn with_models(cfg: PipelineConfig, models: CodecModelBank) -> Self {
+        for &codec in &cfg.codecs {
+            assert!(models.get(codec).is_some(), "no model fitted for enabled codec {codec}");
+        }
+        Self { cfg, optimizer: Optimizer::with_models(models) }
     }
 
-    /// Calibrate the rate model on sample partitions of `field` (every
-    /// `sample_stride`-th partition, compressed at each bound in `sweep`),
-    /// then build the pipeline. This is the one-off trial step; it replaces
-    /// the traditional per-snapshot trial-and-error.
+    /// Calibrate one rate model per enabled codec on sample partitions of
+    /// `field` (every `sample_stride`-th partition, compressed at each
+    /// bound in `sweep`), then build the pipeline. This is the one-off
+    /// trial step; it replaces the traditional per-snapshot
+    /// trial-and-error. Returns the primary codec's diagnostics; see
+    /// [`InSituPipeline::calibrate_all`] for every backend's.
     pub fn calibrate<T: Scalar>(
         cfg: PipelineConfig,
         field: &Field3<T>,
         sample_stride: usize,
         sweep: &[f64],
     ) -> (Self, CalibrationReport) {
+        let (pipeline, mut reports) = Self::calibrate_all(cfg, field, sample_stride, sweep);
+        let primary = reports.remove(0).1;
+        (pipeline, primary)
+    }
+
+    /// [`InSituPipeline::calibrate`] returning the per-codec diagnostics
+    /// for every enabled backend (bank priority order).
+    pub fn calibrate_all<T: Scalar>(
+        cfg: PipelineConfig,
+        field: &Field3<T>,
+        sample_stride: usize,
+        sweep: &[f64],
+    ) -> (Self, Vec<(CodecId, CalibrationReport)>) {
         let bricks = sample_bricks(field, &cfg.dec, sample_stride);
         let refs: Vec<&Field3<T>> = bricks.iter().collect();
-        let (model, report) = RatioModel::calibrate(&refs, sweep, &cfg.sz_base);
-        (Self::with_model(cfg, model), report)
+        let (models, reports) = CodecModelBank::calibrate(&cfg.codecs, &refs, sweep);
+        (Self::with_models(cfg, models), reports)
     }
 
     /// Run the full adaptive flow on one field.
@@ -148,10 +196,12 @@ impl InSituPipeline {
         let decision = self.optimizer.optimize(&features, &self.cfg.target);
         let t_optimize = t1.elapsed();
 
-        let (containers, t_compress) = self.compress_with(field, &decision.ebs);
+        let (containers, t_compress) =
+            self.compress_with(field, &decision.ebs, &decision.codecs);
         let compressed_bytes = containers.iter().map(|c| c.len()).sum();
         PipelineResult {
             ebs: decision.ebs.clone(),
+            codecs: decision.codecs.clone(),
             containers,
             original_bytes: field.len() * T::BYTES,
             compressed_bytes,
@@ -160,14 +210,18 @@ impl InSituPipeline {
         }
     }
 
-    /// The traditional baseline: the same uniform bound everywhere.
+    /// The traditional baseline: the primary codec at the same uniform
+    /// bound everywhere.
     pub fn run_traditional<T: Scalar>(&self, field: &Field3<T>, eb: f64) -> PipelineResult {
         assert!(eb > 0.0);
-        let ebs = vec![eb; self.cfg.dec.num_partitions()];
-        let (containers, t_compress) = self.compress_with(field, &ebs);
+        let m = self.cfg.dec.num_partitions();
+        let ebs = vec![eb; m];
+        let codecs = vec![self.cfg.codecs[0]; m];
+        let (containers, t_compress) = self.compress_with(field, &ebs, &codecs);
         let compressed_bytes = containers.iter().map(|c| c.len()).sum();
         PipelineResult {
             ebs,
+            codecs,
             containers,
             original_bytes: field.len() * T::BYTES,
             compressed_bytes,
@@ -176,19 +230,36 @@ impl InSituPipeline {
         }
     }
 
+    /// Run the adaptive flow restricted to a single backend (for
+    /// codec-vs-codec comparisons at the same quality target).
+    pub fn run_adaptive_single<T: Scalar>(
+        &self,
+        field: &Field3<T>,
+        codec: CodecId,
+    ) -> PipelineResult {
+        let model = *self
+            .optimizer
+            .models
+            .get(codec)
+            .unwrap_or_else(|| panic!("no model fitted for codec {codec}"));
+        let mut cfg = self.cfg.clone();
+        cfg.codecs = vec![codec];
+        let single = Self::with_models(cfg, CodecModelBank::single(codec, model));
+        single.run_adaptive(field)
+    }
+
     fn compress_with<T: Scalar>(
         &self,
         field: &Field3<T>,
         ebs: &[f64],
-    ) -> (Vec<Compressed>, Duration) {
+        codecs: &[CodecId],
+    ) -> (Vec<Container>, Duration) {
         let dec = &self.cfg.dec;
         assert_eq!(ebs.len(), dec.num_partitions());
-        let base = self.cfg.sz_base;
+        assert_eq!(codecs.len(), dec.num_partitions());
         let t = Instant::now();
         let containers = dec.par_map(field, |p, brick| {
-            let mut cfg = base;
-            cfg.mode = rsz::ErrorMode::Abs(ebs[p.id]);
-            compress_slice(brick.as_slice(), brick.dims(), &cfg)
+            Container::compress(codecs[p.id], brick.as_slice(), brick.dims(), ebs[p.id])
         });
         (containers, t.elapsed())
     }
@@ -220,6 +291,16 @@ mod tests {
         let field = contrast_field(n);
         let dec = Decomposition::cubic(n, parts).unwrap();
         let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg));
+        let (p, _) =
+            InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
+        (p, field)
+    }
+
+    fn multi_pipeline(n: usize, parts: usize, eb_avg: f64) -> (InSituPipeline, Field3<f32>) {
+        let field = contrast_field(n);
+        let dec = Decomposition::cubic(n, parts).unwrap();
+        let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg))
+            .with_codecs(&CodecId::ALL);
         let (p, _) =
             InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
         (p, field)
@@ -268,6 +349,7 @@ mod tests {
         let (p, field) = pipeline(16, 2, 0.3);
         let r = p.run_traditional(&field, 0.25);
         assert!(r.ebs.iter().all(|&e| e == 0.25));
+        assert!(r.codecs.iter().all(|&c| c == CodecId::Rsz));
         assert!(r.decision.is_none());
         let recon: Field3<f32> = r.reconstruct(&p.cfg.dec).unwrap();
         assert!(field.max_abs_diff(&recon) <= 0.25 + 1e-9);
@@ -326,5 +408,69 @@ mod tests {
             // (bench crate experiments).
             assert!(imp > 0.95, "parts {parts}: improvement {imp}");
         }
+    }
+
+    // --- multi-codec ------------------------------------------------------
+
+    #[test]
+    fn containers_are_v2_and_tagged() {
+        let (p, field) = multi_pipeline(16, 2, 0.3);
+        let r = p.run_adaptive(&field);
+        for (c, codec) in r.containers.iter().zip(&r.codecs) {
+            assert_eq!(c.version(), codec_core::CONTAINER_VERSION);
+            assert_eq!(c.codec(), *codec);
+            assert!(c.checksum().is_some());
+        }
+    }
+
+    #[test]
+    fn multi_codec_reconstruction_respects_bounds() {
+        let (p, field) = multi_pipeline(16, 2, 0.3);
+        let r = p.run_adaptive(&field);
+        let recon: Field3<f32> = r.reconstruct(&p.cfg.dec).unwrap();
+        let bricks_o = p.cfg.dec.split(&field);
+        let bricks_r = p.cfg.dec.split(&recon);
+        for (((bo, br), &eb), codec) in
+            bricks_o.iter().zip(&bricks_r).zip(&r.ebs).zip(&r.codecs)
+        {
+            let err = bo.max_abs_diff(br);
+            assert!(err <= eb + 1e-9, "{codec} partition err {err} > eb {eb}");
+        }
+    }
+
+    #[test]
+    fn single_codec_restriction_uses_one_backend() {
+        let (p, field) = multi_pipeline(16, 2, 0.3);
+        for codec in CodecId::ALL {
+            let r = p.run_adaptive_single(&field, codec);
+            assert!(r.codecs.iter().all(|&c| c == codec), "{codec}: {:?}", r.codec_counts());
+            let recon: Field3<f32> = r.reconstruct(&p.cfg.dec).unwrap();
+            let worst = field.max_abs_diff(&recon);
+            let max_eb = r.ebs.iter().fold(0.0f64, |a, &b| a.max(b));
+            assert!(worst <= max_eb + 1e-9, "{codec}: {worst} > {max_eb}");
+        }
+    }
+
+    #[test]
+    fn codec_counts_sum_to_partitions() {
+        let (p, field) = multi_pipeline(32, 4, 0.2);
+        let r = p.run_adaptive(&field);
+        let total: usize = r.codec_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, p.cfg.dec.num_partitions());
+    }
+
+    #[test]
+    fn with_models_rejects_missing_codec() {
+        let field = contrast_field(16);
+        let dec = Decomposition::cubic(16, 2).unwrap();
+        let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(0.2));
+        let (p, _) = InSituPipeline::calibrate(cfg, &field, 2, &[0.1, 0.2, 0.4]);
+        // rsz-only bank, but a config that enables both codecs:
+        let both = PipelineConfig::new(dec, QualityTarget::fft_only(0.2))
+            .with_codecs(&CodecId::ALL);
+        let bank = p.optimizer.models.clone();
+        assert!(
+            std::panic::catch_unwind(move || InSituPipeline::with_models(both, bank)).is_err()
+        );
     }
 }

@@ -14,8 +14,18 @@
 //!    log-log space, share `c = mean(c_m)`;
 //! 2. re-fit each `C_m` under the shared `c`, then fit
 //!    `C(mean) = a₀ + a₁·ln(mean)` across samples.
+//!
+//! The law is codec-agnostic: any error-bounded backend traces a
+//! rate-vs-bound curve the power law can approximate (transform codecs
+//! trace a flatter, log-like curve — the paper's Fig. 10(b) observes
+//! exactly this looser fit for ZFP). [`RatioModel::calibrate_codec`] fits
+//! the same model against any [`codec_core::CodecId`] backend, measuring
+//! each codec's intrinsic payload bytes, and [`CodecModelBank`] holds one
+//! fitted model per enabled codec so the optimizer can price every
+//! (codec, bound) combination.
 
 use crate::math::{linear_fit, r_squared};
+use codec_core::{CodecId, Container};
 use gridlab::{Dim3, Field3, Scalar};
 use rsz::{compress_slice, SzConfig};
 use serde::{Deserialize, Serialize};
@@ -107,7 +117,9 @@ impl RatioModel {
         (bitrate / self.coefficient(mean)).powf(1.0 / self.c)
     }
 
-    /// Calibrate on sample bricks with an error-bound sweep.
+    /// Calibrate on sample bricks with an error-bound sweep, measuring
+    /// through bare `rsz` containers under `base` (the legacy single-codec
+    /// path; radius/lossless settings of `base` are honoured).
     ///
     /// `bricks` should be a representative handful of partitions (the
     /// paper samples 16 of 512 for Fig. 9); `eb_sweep` needs ≥ 2 bounds.
@@ -115,6 +127,36 @@ impl RatioModel {
         bricks: &[&Field3<T>],
         eb_sweep: &[f64],
         base: &SzConfig,
+    ) -> (RatioModel, CalibrationReport) {
+        Self::calibrate_by(bricks, eb_sweep, |brick, eb| {
+            let mut cfg = *base;
+            cfg.mode = rsz::ErrorMode::Abs(eb);
+            let c = compress_slice(brick.as_slice(), brick.dims(), &cfg);
+            8.0 * c.len() as f64 / brick.len() as f64
+        })
+    }
+
+    /// Calibrate against a codec backend, measuring its intrinsic payload
+    /// bytes (the constant v2 wrapper overhead is excluded so it cannot
+    /// pollute the power-law fit; for `rsz` this reproduces the legacy
+    /// single-codec calibration exactly).
+    pub fn calibrate_codec<T: Scalar>(
+        codec: CodecId,
+        bricks: &[&Field3<T>],
+        eb_sweep: &[f64],
+    ) -> (RatioModel, CalibrationReport) {
+        Self::calibrate_by(bricks, eb_sweep, |brick, eb| {
+            let c = Container::compress(codec, brick.as_slice(), brick.dims(), eb);
+            8.0 * c.payload_len() as f64 / brick.len() as f64
+        })
+    }
+
+    /// The paper's two-step fit over an arbitrary bit-rate measurement
+    /// (bits/value at a given bound).
+    pub fn calibrate_by<T: Scalar>(
+        bricks: &[&Field3<T>],
+        eb_sweep: &[f64],
+        measure: impl Fn(&Field3<T>, f64) -> f64,
     ) -> (RatioModel, CalibrationReport) {
         assert!(bricks.len() >= 2, "need at least two sample partitions");
         assert!(eb_sweep.len() >= 2, "need at least two bounds in the sweep");
@@ -129,12 +171,7 @@ impl RatioModel {
             means.push(mean);
             let rates: Vec<f64> = eb_sweep
                 .iter()
-                .map(|&eb| {
-                    let mut cfg = *base;
-                    cfg.mode = rsz::ErrorMode::Abs(eb);
-                    let c = compress_slice(brick.as_slice(), brick.dims(), &cfg);
-                    (8.0 * c.len() as f64 / brick.len() as f64).max(1e-6).ln()
-                })
+                .map(|&eb| measure(brick, eb).max(1e-6).ln())
                 .collect();
             let (_, slope) = linear_fit(&ln_ebs, &rates);
             exponents.push(slope);
@@ -214,6 +251,78 @@ pub fn sample_bricks<T: Scalar>(
 /// Dimensions helper re-exported for the bench crate's workload builders.
 pub fn brick_dims(dec: &gridlab::Decomposition) -> Dim3 {
     dec.brick()
+}
+
+/// One fitted [`RatioModel`] per enabled codec backend — the optimizer's
+/// pricing table for the joint (codec, bound) decision. The first entry is
+/// the **primary** codec: the baseline for traditional runs and the model
+/// legacy single-codec call sites read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecModelBank {
+    entries: Vec<(CodecId, RatioModel)>,
+}
+
+impl CodecModelBank {
+    /// Build from per-codec fits. Order is selection-priority order: ties
+    /// in predicted cost go to the earlier entry.
+    pub fn new(entries: Vec<(CodecId, RatioModel)>) -> Self {
+        assert!(!entries.is_empty(), "bank needs at least one codec model");
+        for (i, (a, _)) in entries.iter().enumerate() {
+            assert!(
+                entries[..i].iter().all(|(b, _)| b != a),
+                "duplicate codec {a} in bank"
+            );
+        }
+        Self { entries }
+    }
+
+    /// A single-codec bank (the legacy shape).
+    pub fn single(codec: CodecId, model: RatioModel) -> Self {
+        Self::new(vec![(codec, model)])
+    }
+
+    /// Calibrate one model per codec on the same sample bricks/sweep.
+    /// Returns the bank plus every codec's diagnostics.
+    pub fn calibrate<T: Scalar>(
+        codecs: &[CodecId],
+        bricks: &[&Field3<T>],
+        eb_sweep: &[f64],
+    ) -> (Self, Vec<(CodecId, CalibrationReport)>) {
+        assert!(!codecs.is_empty(), "need at least one codec");
+        let mut entries = Vec::with_capacity(codecs.len());
+        let mut reports = Vec::with_capacity(codecs.len());
+        for &codec in codecs {
+            let (model, report) = RatioModel::calibrate_codec(codec, bricks, eb_sweep);
+            entries.push((codec, model));
+            reports.push((codec, report));
+        }
+        (Self::new(entries), reports)
+    }
+
+    /// The model fitted for `codec`, if enabled.
+    pub fn get(&self, codec: CodecId) -> Option<&RatioModel> {
+        self.entries.iter().find(|(c, _)| *c == codec).map(|(_, m)| m)
+    }
+
+    /// The primary (first) codec and its model.
+    pub fn primary(&self) -> (CodecId, &RatioModel) {
+        let (c, m) = &self.entries[0];
+        (*c, m)
+    }
+
+    /// All `(codec, model)` pairs in priority order.
+    pub fn entries(&self) -> &[(CodecId, RatioModel)] {
+        &self.entries
+    }
+
+    /// Number of enabled codecs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -334,5 +443,39 @@ mod tests {
         assert!(model.coefficient(1.0) >= 1e-4);
         assert!(model.predict_bitrate(1.0, 0.1).is_finite());
         assert!(model.eb_for_bitrate(1.0, 0.5).is_finite());
+    }
+
+    #[test]
+    fn per_codec_calibration_fits_both_backends() {
+        let bricks: Vec<Field3<f32>> = (0..4)
+            .map(|i| {
+                let amp = 3.0f64.powi(i);
+                brick(12, amp, 10.0 * amp, 31 + i as u64)
+            })
+            .collect();
+        let refs: Vec<&Field3<f32>> = bricks.iter().collect();
+        let sweep = [0.05, 0.1, 0.2, 0.4, 0.8];
+        let (bank, reports) = CodecModelBank::calibrate(&CodecId::ALL, &refs, &sweep);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(reports.len(), 2);
+        for (codec, model) in bank.entries() {
+            assert!(model.c < 0.0, "{codec}: rate must fall with the bound, c = {}", model.c);
+        }
+        assert_eq!(bank.primary().0, CodecId::Rsz);
+        assert!(bank.get(CodecId::Zfp).is_some());
+    }
+
+    #[test]
+    fn bank_rejects_duplicates_and_empties() {
+        let m = RatioModel { c: -0.5, a0: 0.5, a1: 0.3 };
+        assert!(std::panic::catch_unwind(|| CodecModelBank::new(vec![])).is_err());
+        assert!(std::panic::catch_unwind(|| CodecModelBank::new(vec![
+            (CodecId::Rsz, m),
+            (CodecId::Rsz, m),
+        ]))
+        .is_err());
+        let bank = CodecModelBank::single(CodecId::Zfp, m);
+        assert_eq!(bank.primary().0, CodecId::Zfp);
+        assert!(bank.get(CodecId::Rsz).is_none());
     }
 }

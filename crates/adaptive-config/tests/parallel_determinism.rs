@@ -1,18 +1,20 @@
 //! The pipeline's determinism contract: compressing partitions through the
 //! parallel brick map must produce containers **byte-identical** to a
 //! strictly serial walk over the same partitions, and reconstructions must
-//! be bit-identical. This is what makes the parallel engine a pure
+//! be bit-identical — including when the optimizer mixes codec backends
+//! within one snapshot. This is what makes the parallel engine a pure
 //! performance change — simulation outputs cannot depend on the worker
 //! count or scheduling order.
 
 use adaptive_config::optimizer::QualityTarget;
 use adaptive_config::pipeline::{InSituPipeline, PipelineConfig};
+use codec_core::{CodecId, CodecScratch, Container};
 use gridlab::{Decomposition, Dim3, Field3};
-use rsz::{compress_slice, decompress, Compressed, ErrorMode, SzConfig};
 
 /// Mixed smooth/rough field so partitions differ wildly in cost and
 /// unpredictable-cell counts (the load-imbalance case the dynamic
-/// scheduler exists for).
+/// scheduler exists for) — and so the multi-codec optimizer genuinely
+/// mixes backends.
 fn contrast_field(n: usize) -> Field3<f32> {
     let mut state = 3u64;
     Field3::from_fn(Dim3::cube(n), |x, y, z| {
@@ -27,36 +29,46 @@ fn contrast_field(n: usize) -> Field3<f32> {
 }
 
 /// Serial reference for `InSituPipeline::compress_with`: one partition at a
-/// time, in id order, on the calling thread.
+/// time, in id order, on the calling thread, through one reused scratch.
 fn serial_containers(
     field: &Field3<f32>,
     dec: &Decomposition,
-    base: SzConfig,
+    codecs: &[CodecId],
     ebs: &[f64],
-) -> Vec<Compressed> {
+) -> Vec<Container> {
+    let mut scratch = CodecScratch::default();
     dec.iter()
         .map(|p| {
             let brick = field.extract(p.origin, p.dims);
-            let mut cfg = base;
-            cfg.mode = ErrorMode::Abs(ebs[p.id]);
-            compress_slice(brick.as_slice(), brick.dims(), &cfg)
+            Container::compress_with(
+                codecs[p.id],
+                brick.as_slice(),
+                brick.dims(),
+                ebs[p.id],
+                &mut scratch,
+            )
         })
         .collect()
 }
 
-fn pipeline(n: usize, parts: usize, eb_avg: f64) -> (InSituPipeline, Field3<f32>) {
+fn pipeline(
+    n: usize,
+    parts: usize,
+    eb_avg: f64,
+    codecs: &[CodecId],
+) -> (InSituPipeline, Field3<f32>) {
     let field = contrast_field(n);
     let dec = Decomposition::cubic(n, parts).unwrap();
-    let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg));
+    let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg)).with_codecs(codecs);
     let (p, _) = InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
     (p, field)
 }
 
 #[test]
 fn parallel_adaptive_containers_match_serial_bytes() {
-    let (p, field) = pipeline(32, 4, 0.2);
+    let (p, field) = pipeline(32, 4, 0.2, &[CodecId::Rsz]);
     let run = p.run_adaptive(&field);
-    let reference = serial_containers(&field, &p.cfg.dec, p.cfg.sz_base, &run.ebs);
+    let reference = serial_containers(&field, &p.cfg.dec, &run.codecs, &run.ebs);
     assert_eq!(run.containers.len(), reference.len());
     for (id, (par, ser)) in run.containers.iter().zip(&reference).enumerate() {
         assert_eq!(
@@ -69,22 +81,43 @@ fn parallel_adaptive_containers_match_serial_bytes() {
 
 #[test]
 fn parallel_traditional_containers_match_serial_bytes() {
-    let (p, field) = pipeline(32, 4, 0.2);
+    let (p, field) = pipeline(32, 4, 0.2, &[CodecId::Rsz]);
     let run = p.run_traditional(&field, 0.15);
-    let reference = serial_containers(&field, &p.cfg.dec, p.cfg.sz_base, &run.ebs);
+    let reference = serial_containers(&field, &p.cfg.dec, &run.codecs, &run.ebs);
     for (id, (par, ser)) in run.containers.iter().zip(&reference).enumerate() {
         assert_eq!(par.as_bytes(), ser.as_bytes(), "partition {id} differs");
     }
 }
 
 #[test]
+fn mixed_codec_parallel_containers_match_serial_bytes() {
+    // The multi-codec path: workers pick up partitions with *different*
+    // codecs in scheduler order, all through one per-thread CodecScratch —
+    // cross-codec scratch state must never leak into the bytes.
+    let (p, field) = pipeline(32, 4, 0.2, &CodecId::ALL);
+    let run = p.run_adaptive(&field);
+    let reference = serial_containers(&field, &p.cfg.dec, &run.codecs, &run.ebs);
+    assert_eq!(run.containers.len(), reference.len());
+    for (id, (par, ser)) in run.containers.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            par.as_bytes(),
+            ser.as_bytes(),
+            "partition {id} ({}): parallel v2 container differs from serial",
+            run.codecs[id]
+        );
+    }
+}
+
+#[test]
 fn repeated_parallel_runs_are_stable() {
-    // Scheduling order varies run to run; output must not.
-    let (p, field) = pipeline(16, 2, 0.3);
+    // Scheduling order varies run to run; output must not — codec
+    // assignment included.
+    let (p, field) = pipeline(16, 2, 0.3, &CodecId::ALL);
     let first = p.run_adaptive(&field);
     for round in 0..3 {
         let again = p.run_adaptive(&field);
         assert_eq!(again.ebs, first.ebs, "round {round}: optimizer drifted");
+        assert_eq!(again.codecs, first.codecs, "round {round}: codec choice drifted");
         for (id, (a, b)) in again.containers.iter().zip(&first.containers).enumerate() {
             assert_eq!(a.as_bytes(), b.as_bytes(), "round {round}, partition {id}");
         }
@@ -93,13 +126,13 @@ fn repeated_parallel_runs_are_stable() {
 
 #[test]
 fn parallel_reconstruction_is_bit_identical_to_serial_decode() {
-    let (p, field) = pipeline(32, 4, 0.2);
+    let (p, field) = pipeline(32, 4, 0.2, &CodecId::ALL);
     let run = p.run_adaptive(&field);
-    // Parallel path: PipelineResult::reconstruct (par_iter decompress).
+    // Parallel path: PipelineResult::reconstruct (par_iter decode).
     let recon_par: Field3<f32> = run.reconstruct(&p.cfg.dec).unwrap();
-    // Serial path: decompress each container on this thread, assemble.
+    // Serial path: decode each container on this thread, assemble.
     let bricks: Vec<Field3<f32>> =
-        run.containers.iter().map(|c| decompress::<f32>(c).unwrap()).collect();
+        run.containers.iter().map(|c| c.decode_field::<f32>().unwrap()).collect();
     let recon_ser = p.cfg.dec.assemble(&bricks).unwrap();
     let a = recon_par.as_slice();
     let b = recon_ser.as_slice();

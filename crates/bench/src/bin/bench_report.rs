@@ -202,6 +202,88 @@ fn main() {
         }
     }
 
+    // --- codec_select workloads: rsz-only vs zfp-only vs adaptive-mixed ---
+    // The multi-codec subsystem at the partition granularity where backend
+    // trade-offs are real (small bricks: rsz pays its Huffman table, zfp
+    // its per-block headers). All three runs share one calibration and one
+    // quality target, so the ratio entries compare equal-quality storage.
+    {
+        use adaptive_config::CodecId;
+        let parts = if smoke { scale.parts } else { 8 };
+        let sel_dec = Decomposition::cubic(scale.n, parts).expect("parts divides n");
+        let sel_grid = format!("{grid}/{} parts", sel_dec.num_partitions());
+        for (kind, field) in
+            [("baryon_density", &snap.baryon_density), ("temperature", &snap.temperature)]
+        {
+            let eb_avg = workloads::default_eb_avg(field);
+            let pipeline = workloads::calibrated_pipeline_with_codecs(
+                field,
+                &sel_dec,
+                QualityTarget::fft_only(eb_avg),
+                &CodecId::ALL,
+            );
+            let mixed = pipeline.run_adaptive(field);
+            let rsz_only = pipeline.run_adaptive_single(field, CodecId::Rsz);
+            let zfp_only = pipeline.run_adaptive_single(field, CodecId::Zfp);
+
+            t.measure(
+                &format!("codec_select/adaptive_mixed/{kind}"),
+                &sel_grid,
+                samples,
+                Some(bytes),
+                || {
+                    black_box(pipeline.run_adaptive(field));
+                },
+            );
+            t.measure(
+                &format!("codec_select/rsz_only/{kind}"),
+                &sel_grid,
+                samples,
+                Some(bytes),
+                || {
+                    black_box(pipeline.run_adaptive_single(field, CodecId::Rsz));
+                },
+            );
+            t.measure(
+                &format!("codec_select/zfp_only/{kind}"),
+                &sel_grid,
+                samples,
+                Some(bytes),
+                || {
+                    black_box(pipeline.run_adaptive_single(field, CodecId::Zfp));
+                },
+            );
+
+            // Equal-quality compression ratios as machine-readable entries
+            // (median_ns is meaningless here; the ratio is the datum).
+            for (which, run) in
+                [("adaptive_mixed", &mixed), ("rsz_only", &rsz_only), ("zfp_only", &zfp_only)]
+            {
+                t.entries.push(bench::trajectory::BenchEntry {
+                    bench: format!("codec_select/ratio/{which}/{kind}"),
+                    median_ns: 0,
+                    throughput: run.ratio(),
+                    throughput_unit: "x".to_string(),
+                    grid: sel_grid.clone(),
+                });
+            }
+            let mix: Vec<String> = mixed
+                .codec_counts()
+                .iter()
+                .map(|(c, n)| format!("{n} {c}"))
+                .collect();
+            t.note(format!(
+                "codec_select {kind}: adaptive-mixed {:.2}x ({}) vs rsz-only {:.2}x vs \
+                 zfp-only {:.2}x at mean eb {:.4}",
+                mixed.ratio(),
+                mix.join(" + "),
+                rsz_only.ratio(),
+                zfp_only.ratio(),
+                eb_avg,
+            ));
+        }
+    }
+
     println!("{}", t.to_json());
     if smoke {
         eprintln!("smoke run: not persisted");

@@ -1,0 +1,41 @@
+//! Regenerate the legacy v1-container golden fixture used by the root
+//! `container_compat` test.
+//!
+//! The fixture is a bare `rsz` `RSZ1` container — exactly what the
+//! pipeline emitted before the multi-codec v2 format existed — over a
+//! deterministic LCG field (no RNG crate, stable across toolchains). If
+//! `tests/fixtures/` has drifted or the fixture needs to be re-rooted
+//! after a *deliberate* v1-format change (there should never be one),
+//! run:
+//!
+//! ```text
+//! cargo run --release -p bench --bin diag_v1_fixture
+//! ```
+//!
+//! and commit the new bytes together with the rationale.
+
+use gridlab::{Dim3, Field3};
+use rsz::SzConfig;
+
+/// Must match `tests/container_compat.rs`.
+fn fixture_field() -> Field3<f32> {
+    let mut state = 0x517EC0DEu64;
+    Field3::from_fn(Dim3::cube(16), |_, _, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * 2.0e3
+    })
+}
+
+fn main() {
+    let field = fixture_field();
+    let c = rsz::compress(&field, &SzConfig::abs(0.25));
+    let path = std::path::Path::new("tests/fixtures/v1_rsz_16cube.bin");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir fixtures");
+    std::fs::write(path, c.as_bytes()).expect("write fixture");
+    println!(
+        "wrote {} ({} bytes, fnv1a64 {:#018x})",
+        path.display(),
+        c.len(),
+        codec_core::fnv1a64(c.as_bytes())
+    );
+}

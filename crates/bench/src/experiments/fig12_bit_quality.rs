@@ -16,7 +16,7 @@ pub fn run(scale: &Scale) -> Report {
     let dec = workloads::decomposition(scale);
     let eb_avg = workloads::default_eb_avg(field);
     let pipeline = workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
-    let model = pipeline.optimizer.ratio_model;
+    let model = pipeline.optimizer.primary_model();
     let adaptive = pipeline.run_adaptive(field);
     let features = extract_features(field, &dec, 0.0, 1.0);
 

@@ -8,6 +8,7 @@
 use crate::report::{f, Report, Scale};
 use crate::workloads;
 use adaptive_config::optimizer::QualityTarget;
+use adaptive_config::{CodecId, Container};
 use nyxlite::NyxConfig;
 
 pub fn run(scale: &Scale) -> Report {
@@ -31,13 +32,15 @@ pub fn run(scale: &Scale) -> Report {
         let snap = cfg.generate(z);
         let field = &snap.baryon_density;
         let adaptive = pipeline.run_adaptive(field).ratio();
-        // Static: reuse the early-snapshot bounds.
+        // Static: reuse the early-snapshot bounds (same v2 container
+        // format as the pipeline, so the comparison is storage-fair).
         let static_r = {
             let containers = dec.par_map(field, |p, brick| {
-                rsz::compress_slice(
+                Container::compress(
+                    CodecId::Rsz,
                     brick.as_slice(),
                     brick.dims(),
-                    &rsz::SzConfig::abs(static_ebs[p.id]),
+                    static_ebs[p.id],
                 )
             });
             let bytes: usize = containers.iter().map(|c| c.len()).sum();

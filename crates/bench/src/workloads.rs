@@ -68,11 +68,23 @@ pub fn calibrated_pipeline(
     dec: &Decomposition,
     target: QualityTarget,
 ) -> InSituPipeline {
+    calibrated_pipeline_with_codecs(field, dec, target, &[adaptive_config::CodecId::Rsz])
+}
+
+/// [`calibrated_pipeline`] with an explicit codec selection space — pass
+/// `CodecId::ALL` for the multi-backend pipeline the `codec_select`
+/// trajectory entries measure.
+pub fn calibrated_pipeline_with_codecs(
+    field: &Field3<f32>,
+    dec: &Decomposition,
+    target: QualityTarget,
+    codecs: &[adaptive_config::CodecId],
+) -> InSituPipeline {
     // Scale the sweep to the field's own eb regime so calibration probes
     // the same curve region the optimizer will use.
     let eb_avg = target.eb_avg;
     let sweep: Vec<f64> = EB_SWEEP.iter().map(|s| s / 0.2 * eb_avg).collect();
-    let cfg = PipelineConfig::new(dec.clone(), target);
+    let cfg = PipelineConfig::new(dec.clone(), target).with_codecs(codecs);
     let stride = (dec.num_partitions() / 16).max(1);
     let (p, _) = InSituPipeline::calibrate(cfg, field, stride, &sweep);
     p
@@ -80,7 +92,7 @@ pub fn calibrated_pipeline(
 
 /// Calibrate and return just the model (for model-accuracy experiments).
 pub fn calibrated_model(field: &Field3<f32>, dec: &Decomposition, eb_avg: f64) -> RatioModel {
-    calibrated_pipeline(field, dec, QualityTarget::fft_only(eb_avg)).optimizer.ratio_model
+    calibrated_pipeline(field, dec, QualityTarget::fft_only(eb_avg)).optimizer.primary_model()
 }
 
 /// All six fields of a snapshot with their kinds.
@@ -112,6 +124,6 @@ mod tests {
         let dec = decomposition(&scale);
         let eb = default_eb_avg(&snap.temperature);
         let p = calibrated_pipeline(&snap.temperature, &dec, QualityTarget::fft_only(eb));
-        assert!(p.optimizer.ratio_model.c < 0.0);
+        assert!(p.optimizer.primary_model().c < 0.0);
     }
 }

@@ -1,0 +1,418 @@
+//! The [`LossyCodec`] trait, codec identifiers, capability flags, shared
+//! scratch, and the adapter implementations for `rsz` and `zfplite`.
+
+use gridlab::{Dim3, Scalar};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// Stable identifier of a codec backend, written into v2 containers.
+///
+/// Tags are wire format: existing values must never be renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodecId {
+    /// `rsz` — SZ-style Lorenzo prediction + quantisation + Huffman.
+    Rsz,
+    /// `zfplite` — ZFP-style block transform in accuracy (error-bounded)
+    /// mode.
+    Zfp,
+}
+
+impl CodecId {
+    /// Every known backend, in tag order.
+    pub const ALL: [CodecId; 2] = [CodecId::Rsz, CodecId::Zfp];
+
+    /// Wire tag of this codec.
+    pub fn tag(self) -> u8 {
+        match self {
+            CodecId::Rsz => 0,
+            CodecId::Zfp => 1,
+        }
+    }
+
+    /// Inverse of [`CodecId::tag`].
+    pub fn from_tag(tag: u8) -> Option<CodecId> {
+        match tag {
+            0 => Some(CodecId::Rsz),
+            1 => Some(CodecId::Zfp),
+            _ => None,
+        }
+    }
+
+    /// Human-readable backend name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::Rsz => "rsz",
+            CodecId::Zfp => "zfp",
+        }
+    }
+
+    /// Capability flags of the backend behind this id.
+    pub fn caps(self) -> CodecCaps {
+        match self {
+            CodecId::Rsz => RszCodec.caps(),
+            CodecId::Zfp => ZfpCodec.caps(),
+        }
+    }
+
+    /// Static dispatch to the backend's compressor (the enum is the
+    /// registry: generic methods keep [`LossyCodec`] non-object-safe, so
+    /// heterogeneous call sites go through the id).
+    pub fn compress_slice_with<T: Scalar>(
+        self,
+        values: &[T],
+        dims: Dim3,
+        eb: f64,
+        scratch: &mut CodecScratch,
+    ) -> Vec<u8> {
+        match self {
+            CodecId::Rsz => RszCodec.compress_slice_with(values, dims, eb, scratch),
+            CodecId::Zfp => ZfpCodec.compress_slice_with(values, dims, eb, scratch),
+        }
+    }
+
+    /// Static dispatch to the backend's decompressor.
+    pub fn decompress_slice_with<T: Scalar>(
+        self,
+        bytes: &[u8],
+        scratch: &mut CodecScratch,
+    ) -> Result<(Vec<T>, Dim3), CodecError> {
+        match self {
+            CodecId::Rsz => RszCodec.decompress_slice_with(bytes, scratch),
+            CodecId::Zfp => ZfpCodec.decompress_slice_with(bytes, scratch),
+        }
+    }
+
+    /// Grid dims recorded in a backend payload (borrowing header probe —
+    /// no payload copy).
+    pub fn probe_dims(self, payload: &[u8]) -> Result<Dim3, CodecError> {
+        match self {
+            CodecId::Rsz => Ok(rsz::compress::probe_dims(payload)?),
+            CodecId::Zfp => Ok(zfplite::codec::probe_dims(payload)?),
+        }
+    }
+}
+
+impl std::fmt::Display for CodecId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tally a per-partition codec assignment into `(codec, count)` pairs, in
+/// first-appearance order — the one implementation behind every
+/// `codec_counts` accessor.
+pub fn codec_counts(ids: impl IntoIterator<Item = CodecId>) -> Vec<(CodecId, usize)> {
+    let mut out: Vec<(CodecId, usize)> = Vec::new();
+    for c in ids {
+        match out.iter_mut().find(|(k, _)| *k == c) {
+            Some((_, n)) => *n += 1,
+            None => out.push((c, 1)),
+        }
+    }
+    out
+}
+
+/// What a backend can promise. The optimizer and the pipeline read these
+/// instead of hard-coding codec knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecCaps {
+    /// Accepts an absolute error bound and targets it point-wise.
+    pub error_bounded: bool,
+    /// The bound holds by construction for **every** finite input. When
+    /// false the backend verifies per block but has a noise floor below
+    /// which it emits its best (see the adapter docs).
+    pub bound_guaranteed: bool,
+    /// Also offers a hard fixed-rate mode (not used by the adaptive
+    /// pipeline, which is quality-targeted).
+    pub supports_fixed_rate: bool,
+    /// Non-finite values (NaN/∞) survive a round trip bit-exactly.
+    pub preserves_non_finite: bool,
+}
+
+/// Decode-side errors, unified across backends.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Wrapper/container-level problem (bad magic, truncation, checksum).
+    Format(String),
+    /// `rsz` payload error.
+    Rsz(rsz::SzError),
+    /// `zfplite` payload error.
+    Zfp(zfplite::ZfpError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Format(m) => write!(f, "container error: {m}"),
+            CodecError::Rsz(e) => write!(f, "rsz: {e}"),
+            CodecError::Zfp(e) => write!(f, "zfp: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<rsz::SzError> for CodecError {
+    fn from(e: rsz::SzError) -> Self {
+        CodecError::Rsz(e)
+    }
+}
+
+impl From<zfplite::ZfpError> for CodecError {
+    fn from(e: zfplite::ZfpError) -> Self {
+        CodecError::Zfp(e)
+    }
+}
+
+/// Union of every backend's reusable working memory, so one thread-local
+/// serves a partition loop regardless of which codec each partition picked.
+#[derive(Debug, Default)]
+pub struct CodecScratch {
+    pub sz: rsz::SzScratch,
+    pub zfp: zfplite::ZfpScratch,
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<CodecScratch> = RefCell::new(CodecScratch::default());
+}
+
+/// Run `f` with the calling thread's [`CodecScratch`] (fresh fallback if
+/// the thread-local is unexpectedly busy).
+pub fn with_scratch<R>(f: impl FnOnce(&mut CodecScratch) -> R) -> R {
+    TLS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut CodecScratch::default()),
+    })
+}
+
+/// An error-bounded lossy compressor over partition slices.
+///
+/// See the crate docs for the full contract (bound semantics, determinism,
+/// scratch reuse). Methods are generic over the scalar type, so the trait
+/// is used through static dispatch — [`CodecId`] is the runtime registry.
+pub trait LossyCodec {
+    /// Stable identifier (and wire tag) of this backend.
+    fn id(&self) -> CodecId;
+
+    /// Capability flags.
+    fn caps(&self) -> CodecCaps;
+
+    /// Compress a brick under absolute bound `eb` into a self-describing
+    /// payload. Must be deterministic and total.
+    fn compress_slice_with<T: Scalar>(
+        &self,
+        values: &[T],
+        dims: Dim3,
+        eb: f64,
+        scratch: &mut CodecScratch,
+    ) -> Vec<u8>;
+
+    /// Exact inverse of [`Self::compress_slice_with`].
+    fn decompress_slice_with<T: Scalar>(
+        &self,
+        bytes: &[u8],
+        scratch: &mut CodecScratch,
+    ) -> Result<(Vec<T>, Dim3), CodecError>;
+
+    /// [`Self::compress_slice_with`] on the thread-local scratch.
+    fn compress_slice<T: Scalar>(&self, values: &[T], dims: Dim3, eb: f64) -> Vec<u8> {
+        with_scratch(|s| self.compress_slice_with(values, dims, eb, s))
+    }
+
+    /// [`Self::decompress_slice_with`] on the thread-local scratch.
+    fn decompress_slice<T: Scalar>(&self, bytes: &[u8]) -> Result<(Vec<T>, Dim3), CodecError> {
+        with_scratch(|s| self.decompress_slice_with(bytes, s))
+    }
+}
+
+/// Adapter for `rsz` (ABS mode, default radius, no lossless pass): the
+/// bound-guaranteed prediction-based backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RszCodec;
+
+impl LossyCodec for RszCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Rsz
+    }
+
+    fn caps(&self) -> CodecCaps {
+        CodecCaps {
+            error_bounded: true,
+            bound_guaranteed: true,
+            supports_fixed_rate: false,
+            preserves_non_finite: true,
+        }
+    }
+
+    fn compress_slice_with<T: Scalar>(
+        &self,
+        values: &[T],
+        dims: Dim3,
+        eb: f64,
+        scratch: &mut CodecScratch,
+    ) -> Vec<u8> {
+        let cfg = rsz::SzConfig::abs(eb);
+        rsz::compress_slice_with(values, dims, &cfg, &mut scratch.sz).into_bytes()
+    }
+
+    fn decompress_slice_with<T: Scalar>(
+        &self,
+        bytes: &[u8],
+        scratch: &mut CodecScratch,
+    ) -> Result<(Vec<T>, Dim3), CodecError> {
+        Ok(rsz::decompress_slice_with(bytes, &mut scratch.sz)?)
+    }
+}
+
+/// Adapter for `zfplite` in accuracy mode: the transform-based backend.
+/// Error-bounded with per-block verification; best effort only below the
+/// fixed-point floor (`eb ≲ 2^(e_block−44)`) and on non-finite inputs,
+/// which reconstruct as zeros — see `zfplite::codec`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZfpCodec;
+
+impl LossyCodec for ZfpCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Zfp
+    }
+
+    fn caps(&self) -> CodecCaps {
+        CodecCaps {
+            error_bounded: true,
+            bound_guaranteed: false,
+            supports_fixed_rate: true,
+            preserves_non_finite: false,
+        }
+    }
+
+    fn compress_slice_with<T: Scalar>(
+        &self,
+        values: &[T],
+        dims: Dim3,
+        eb: f64,
+        scratch: &mut CodecScratch,
+    ) -> Vec<u8> {
+        let cfg = zfplite::ZfpConfig::accuracy(eb);
+        zfplite::zfp_compress_slice_with(values, dims, &cfg, &mut scratch.zfp).into_bytes()
+    }
+
+    fn decompress_slice_with<T: Scalar>(
+        &self,
+        bytes: &[u8],
+        _scratch: &mut CodecScratch,
+    ) -> Result<(Vec<T>, Dim3), CodecError> {
+        Ok(zfplite::zfp_decompress_slice(bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(dims: Dim3, seed: u64, amp: f32) -> Vec<f32> {
+        let mut state = seed;
+        (0..dims.len())
+            .map(|_| {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * amp
+            })
+            .collect()
+    }
+
+    fn roundtrip_bound<C: LossyCodec>(codec: &C, dims: Dim3, eb: f64) {
+        let vals = lcg(dims, 0xC0DEC, 1.0e3);
+        let bytes = codec.compress_slice(&vals, dims, eb);
+        let (back, d) = codec.decompress_slice::<f32>(&bytes).expect("decodes");
+        assert_eq!(d, dims);
+        assert_eq!(back.len(), vals.len());
+        let worst = vals
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (*a as f64 - *b as f64).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= eb * (1.0 + 1e-9), "{}: {worst} > {eb}", codec.id());
+    }
+
+    #[test]
+    fn both_adapters_respect_the_bound() {
+        for dims in [Dim3::cube(9), Dim3::new(1, 1, 33), Dim3::new(5, 7, 3)] {
+            roundtrip_bound(&RszCodec, dims, 0.5);
+            roundtrip_bound(&ZfpCodec, dims, 0.5);
+        }
+    }
+
+    #[test]
+    fn tags_roundtrip_and_cover_all() {
+        for id in CodecId::ALL {
+            assert_eq!(CodecId::from_tag(id.tag()), Some(id));
+        }
+        assert_eq!(CodecId::from_tag(200), None);
+        assert_ne!(CodecId::Rsz.tag(), CodecId::Zfp.tag());
+    }
+
+    #[test]
+    fn caps_reflect_backend_semantics() {
+        assert!(CodecId::Rsz.caps().bound_guaranteed);
+        assert!(!CodecId::Zfp.caps().bound_guaranteed);
+        assert!(CodecId::Rsz.caps().error_bounded && CodecId::Zfp.caps().error_bounded);
+        assert!(CodecId::Zfp.caps().supports_fixed_rate);
+    }
+
+    #[test]
+    fn dispatch_matches_direct_adapters() {
+        let dims = Dim3::cube(6);
+        let vals = lcg(dims, 7, 50.0);
+        let mut scratch = CodecScratch::default();
+        for id in CodecId::ALL {
+            let via_id = id.compress_slice_with(&vals, dims, 0.1, &mut scratch);
+            let direct = match id {
+                CodecId::Rsz => RszCodec.compress_slice(&vals, dims, 0.1),
+                CodecId::Zfp => ZfpCodec.compress_slice(&vals, dims, 0.1),
+            };
+            assert_eq!(via_id, direct, "{id}");
+            let (a, _) = id
+                .decompress_slice_with::<f32>(&via_id, &mut scratch)
+                .expect("decodes");
+            assert_eq!(a.len(), dims.len());
+        }
+    }
+
+    #[test]
+    fn probe_dims_reads_payload_headers() {
+        let dims = Dim3::new(3, 8, 5);
+        let vals = lcg(dims, 9, 10.0);
+        for id in CodecId::ALL {
+            let bytes = with_scratch(|s| id.compress_slice_with(&vals, dims, 0.2, s));
+            assert_eq!(id.probe_dims(&bytes).expect("parses"), dims);
+        }
+    }
+
+    #[test]
+    fn cross_codec_decode_is_rejected() {
+        let dims = Dim3::cube(4);
+        let vals = lcg(dims, 3, 5.0);
+        let rsz_bytes = RszCodec.compress_slice(&vals, dims, 0.1);
+        assert!(ZfpCodec.decompress_slice::<f32>(&rsz_bytes).is_err());
+        let zfp_bytes = ZfpCodec.compress_slice(&vals, dims, 0.1);
+        assert!(RszCodec.decompress_slice::<f32>(&zfp_bytes).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical_across_codecs() {
+        // Interleave both codecs on one scratch: neither may leak state
+        // into the other's next compression.
+        let mut scratch = CodecScratch::default();
+        for round in 0..3 {
+            for dims in [Dim3::cube(5), Dim3::new(1, 9, 2)] {
+                let vals = lcg(dims, round, 200.0);
+                for id in CodecId::ALL {
+                    let reused = id.compress_slice_with(&vals, dims, 0.3, &mut scratch);
+                    let fresh =
+                        id.compress_slice_with(&vals, dims, 0.3, &mut CodecScratch::default());
+                    assert_eq!(reused, fresh, "{id} round {round} {dims:?}");
+                }
+            }
+        }
+    }
+}

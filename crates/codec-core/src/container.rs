@@ -1,0 +1,321 @@
+//! Versioned per-partition containers.
+//!
+//! ## v2 layout (current)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "ACC2"
+//! 4       1     version (= 2)
+//! 5       1     codec tag (CodecId::tag)
+//! 6       8     FNV-1a-64 checksum of the payload, little-endian
+//! 14      8     payload length, little-endian u64
+//! 22      n     payload: the codec's own self-describing container
+//!               (rsz "RSZ1" / zfplite "ZFL2" bytes)
+//! ```
+//!
+//! The wrapper carries exactly what a mixed-codec snapshot needs and
+//! nothing the payload already records (dims, bound, scalar tag live in
+//! the codec headers). The checksum covers the payload only — the wrapper
+//! fields are validated structurally — and is verified on every decode,
+//! so a corrupted partition fails loudly instead of reconstructing
+//! garbage inside an otherwise-valid snapshot.
+//!
+//! ## v1 compatibility
+//!
+//! Version 1 "containers" are bare `rsz` `RSZ1` bytes — the only thing the
+//! pipeline emitted before the codec dimension existed. [`Container::from_bytes`]
+//! sniffs the magic: `RSZ1` payloads are wrapped as legacy v1 (codec
+//! `Rsz`, no checksum) and decode through the same [`Container::decode`]
+//! path. The golden-bytes fixture under the repo-root `tests/` pins this
+//! promise.
+
+use crate::codec::{with_scratch, CodecError, CodecId, CodecScratch};
+use gridlab::{Dim3, Field3, Scalar};
+
+const MAGIC: &[u8; 4] = b"ACC2";
+/// Current container version.
+pub const CONTAINER_VERSION: u8 = 2;
+/// Wrapper bytes preceding the payload in a v2 container.
+const WRAPPER_LEN: usize = 4 + 1 + 1 + 8 + 8;
+/// Magic of a legacy (v1) bare-rsz container.
+const V1_MAGIC: &[u8; 4] = b"RSZ1";
+
+/// FNV-1a 64-bit hash — the payload checksum. Stable, allocation-free,
+/// and fast enough to be invisible next to entropy coding.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One compressed partition: codec-tagged bytes plus the parsed wrapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Container {
+    bytes: Vec<u8>,
+    codec: CodecId,
+    dims: Dim3,
+    version: u8,
+}
+
+impl Container {
+    /// Compress `values` with `codec` under absolute bound `eb` into a v2
+    /// container, using the thread-local scratch.
+    pub fn compress<T: Scalar>(codec: CodecId, values: &[T], dims: Dim3, eb: f64) -> Self {
+        with_scratch(|s| Self::compress_with(codec, values, dims, eb, s))
+    }
+
+    /// [`Container::compress`] with caller-owned scratch.
+    pub fn compress_with<T: Scalar>(
+        codec: CodecId,
+        values: &[T],
+        dims: Dim3,
+        eb: f64,
+        scratch: &mut CodecScratch,
+    ) -> Self {
+        let payload = codec.compress_slice_with(values, dims, eb, scratch);
+        let mut bytes = Vec::with_capacity(WRAPPER_LEN + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(CONTAINER_VERSION);
+        bytes.push(codec.tag());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        Self { bytes, codec, dims, version: CONTAINER_VERSION }
+    }
+
+    /// Parse container bytes: v2 wrappers and legacy v1 (bare `RSZ1`)
+    /// both accepted. Validates structure; payload integrity (checksum)
+    /// is verified at decode time.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, CodecError> {
+        if bytes.len() >= 4 && &bytes[..4] == V1_MAGIC {
+            // Legacy v1: the payload *is* the container.
+            let dims = CodecId::Rsz.probe_dims(&bytes)?;
+            return Ok(Self { bytes, codec: CodecId::Rsz, dims, version: 1 });
+        }
+        if bytes.len() < WRAPPER_LEN {
+            return Err(CodecError::Format("container shorter than wrapper".into()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(CodecError::Format("bad container magic".into()));
+        }
+        let version = bytes[4];
+        if version != CONTAINER_VERSION {
+            return Err(CodecError::Format(format!("unsupported container version {version}")));
+        }
+        let codec = CodecId::from_tag(bytes[5])
+            .ok_or_else(|| CodecError::Format(format!("unknown codec tag {}", bytes[5])))?;
+        let payload_len =
+            u64::from_le_bytes(bytes[14..22].try_into().expect("8 bytes")) as usize;
+        if bytes.len() != WRAPPER_LEN + payload_len {
+            return Err(CodecError::Format(format!(
+                "payload length {} does not match container size {}",
+                payload_len,
+                bytes.len()
+            )));
+        }
+        let dims = codec.probe_dims(&bytes[WRAPPER_LEN..])?;
+        Ok(Self { bytes, codec, dims, version })
+    }
+
+    /// Full container size in bytes (wrapper + payload for v2).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw container bytes (what goes to storage / over the wire).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The codec that produced the payload.
+    pub fn codec(&self) -> CodecId {
+        self.codec
+    }
+
+    /// Grid dimensions of the compressed brick.
+    pub fn dims(&self) -> Dim3 {
+        self.dims
+    }
+
+    /// Container format version (1 for legacy bare-rsz, else 2).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// Stored payload checksum (v2 only).
+    pub fn checksum(&self) -> Option<u64> {
+        (self.version >= 2)
+            .then(|| u64::from_le_bytes(self.bytes[6..14].try_into().expect("8 bytes")))
+    }
+
+    fn payload(&self) -> &[u8] {
+        if self.version == 1 {
+            &self.bytes
+        } else {
+            &self.bytes[WRAPPER_LEN..]
+        }
+    }
+
+    /// Size of the codec payload alone — the backend's intrinsic rate,
+    /// excluding the constant wrapper overhead. Rate models calibrate on
+    /// this so the power-law fit is not polluted by a fixed offset.
+    pub fn payload_len(&self) -> usize {
+        self.payload().len()
+    }
+
+    /// Decode into values + dims, verifying the checksum first (v2).
+    pub fn decode<T: Scalar>(&self) -> Result<(Vec<T>, Dim3), CodecError> {
+        with_scratch(|s| self.decode_with(s))
+    }
+
+    /// [`Container::decode`] with caller-owned scratch.
+    pub fn decode_with<T: Scalar>(
+        &self,
+        scratch: &mut CodecScratch,
+    ) -> Result<(Vec<T>, Dim3), CodecError> {
+        let payload = self.payload();
+        if let Some(stored) = self.checksum() {
+            let actual = fnv1a64(payload);
+            if actual != stored {
+                return Err(CodecError::Format(format!(
+                    "payload checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+                )));
+            }
+        }
+        self.codec.decompress_slice_with(payload, scratch)
+    }
+
+    /// Decode into a [`Field3`].
+    pub fn decode_field<T: Scalar>(&self) -> Result<Field3<T>, CodecError> {
+        let (values, dims) = self.decode()?;
+        Field3::from_vec(dims, values).map_err(|e| CodecError::Format(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(dims: Dim3, seed: u64, amp: f32) -> Vec<f32> {
+        let mut state = seed;
+        (0..dims.len())
+            .map(|_| {
+                state =
+                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * amp
+            })
+            .collect()
+    }
+
+    #[test]
+    fn v2_roundtrip_both_codecs() {
+        let dims = Dim3::new(6, 5, 9);
+        let vals = lcg(dims, 11, 300.0);
+        for id in CodecId::ALL {
+            let c = Container::compress(id, &vals, dims, 0.25);
+            assert_eq!(c.codec(), id);
+            assert_eq!(c.dims(), dims);
+            assert_eq!(c.version(), CONTAINER_VERSION);
+            assert!(c.checksum().is_some());
+            let (back, d) = c.decode::<f32>().expect("decodes");
+            assert_eq!(d, dims);
+            let worst = vals
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (*a as f64 - *b as f64).abs())
+                .fold(0.0f64, f64::max);
+            assert!(worst <= 0.25, "{id}: {worst}");
+        }
+    }
+
+    #[test]
+    fn v2_bytes_reparse_identically() {
+        let dims = Dim3::cube(7);
+        let vals = lcg(dims, 5, 40.0);
+        for id in CodecId::ALL {
+            let c = Container::compress(id, &vals, dims, 0.1);
+            let c2 = Container::from_bytes(c.as_bytes().to_vec()).expect("parses");
+            assert_eq!(c, c2);
+            let a = c.decode::<f32>().unwrap().0;
+            let b = c2.decode::<f32>().unwrap().0;
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn v1_bare_rsz_bytes_still_decode() {
+        let dims = Dim3::cube(8);
+        let vals = lcg(dims, 21, 100.0);
+        let v1 = rsz::compress_slice(&vals, dims, &rsz::SzConfig::abs(0.2));
+        let c = Container::from_bytes(v1.as_bytes().to_vec()).expect("v1 recognised");
+        assert_eq!(c.version(), 1);
+        assert_eq!(c.codec(), CodecId::Rsz);
+        assert_eq!(c.checksum(), None);
+        assert_eq!(c.dims(), dims);
+        let (back, _) = c.decode::<f32>().expect("decodes");
+        let direct = rsz::decompress_slice::<f32>(v1.as_bytes()).unwrap().0;
+        assert_eq!(back, direct);
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption() {
+        let dims = Dim3::cube(6);
+        let vals = lcg(dims, 33, 10.0);
+        let c = Container::compress(CodecId::Rsz, &vals, dims, 0.1);
+        let mut bytes = c.as_bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        // Reparse may succeed (header untouched) — decode must fail.
+        if let Ok(bad) = Container::from_bytes(bytes) {
+            let err = bad.decode::<f32>().expect_err("corruption detected");
+            assert!(err.to_string().contains("checksum"), "{err}");
+        }
+    }
+
+    #[test]
+    fn wrapper_corruption_is_rejected() {
+        let dims = Dim3::cube(4);
+        let vals = lcg(dims, 2, 5.0);
+        let c = Container::compress(CodecId::Zfp, &vals, dims, 0.1);
+        // Bad magic.
+        let mut b = c.as_bytes().to_vec();
+        b[0] = b'X';
+        assert!(Container::from_bytes(b).is_err());
+        // Unknown version.
+        let mut b = c.as_bytes().to_vec();
+        b[4] = 9;
+        assert!(Container::from_bytes(b).is_err());
+        // Unknown codec tag.
+        let mut b = c.as_bytes().to_vec();
+        b[5] = 77;
+        assert!(Container::from_bytes(b).is_err());
+        // Truncated payload.
+        let mut b = c.as_bytes().to_vec();
+        b.truncate(b.len() - 3);
+        assert!(Container::from_bytes(b).is_err());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn decode_field_assembles() {
+        let dims = Dim3::new(3, 4, 5);
+        let vals = lcg(dims, 8, 2.0);
+        let c = Container::compress(CodecId::Rsz, &vals, dims, 0.01);
+        let f = c.decode_field::<f32>().expect("field");
+        assert_eq!(f.dims(), dims);
+    }
+}

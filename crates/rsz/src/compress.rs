@@ -163,6 +163,11 @@ impl Compressed {
         &self.bytes
     }
 
+    /// Take ownership of the container bytes without copying.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
     /// Re-wrap container bytes (e.g. read back from storage).
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, SzError> {
         let h = Header::parse(&bytes)?;
@@ -687,6 +692,12 @@ pub fn compress_slice_with<T: Scalar>(
     bytes.extend_from_slice(&payload);
 
     Compressed { bytes, dims, mode: cfg.mode, n_unpredictable }
+}
+
+/// Parse just the header of container bytes and return the grid dims —
+/// a borrowing probe for readers that must not pay a payload copy.
+pub fn probe_dims(bytes: &[u8]) -> Result<Dim3, SzError> {
+    Ok(Header::parse(bytes)?.dims)
 }
 
 /// Decompress into a field.

@@ -34,6 +34,6 @@ pub mod quantizer;
 pub mod rle;
 
 pub use compress::{
-    compress, compress_slice, decompress, decompress_slice, CodecStats, Compressed, ErrorMode,
-    SzConfig, SzError,
+    compress, compress_slice, compress_slice_with, decompress, decompress_slice,
+    decompress_slice_with, CodecStats, Compressed, ErrorMode, SzConfig, SzError, SzScratch,
 };

@@ -1,31 +1,97 @@
-//! Fixed-rate block codec: normalisation, bit-plane coding, container.
+//! Block codec: normalisation, bit-plane coding, container.
+//!
+//! Two modes share the block machinery (gather → fixed-point → lifting
+//! transform → sequency reorder → negabinary → MSB-first bit planes):
+//!
+//! * **Fixed-rate** ([`ZfpMode::FixedRate`]) — every 4×4×4 block consumes
+//!   exactly `64·rate` bits (hard size guarantee, unbounded error; the
+//!   paper's §2.2 contrast case). Planes are emitted verbatim until the
+//!   block budget is spent.
+//! * **Accuracy** ([`ZfpMode::Accuracy`]) — error-bounded: each block emits
+//!   bit planes until its own *verified* reconstruction error is within the
+//!   absolute bound, mirroring ZFP's fixed-accuracy mode. The plane count is
+//!   found by binary search over candidate cuts, each verified by running
+//!   the exact decoder arithmetic (integer transform + negabinary), so the
+//!   bound holds by construction for all finite inputs with
+//!   `eb ≳ 2^(e_block − 44)` (below that, fixed-point rounding and lifting
+//!   truncation dominate and the codec emits every plane — best effort).
+//!   Planes are entropy-squeezed with ZFP's group-testing scheme
+//!   (significance-ordered unary runs), so sparse high-sequency planes cost
+//!   a few bits instead of 64.
+//!
+//! Non-finite values cannot be bounded: a block containing NaN/∞ is stored
+//! as the empty block (reconstructs as zeros) in both modes.
+//!
+//! ## Scratch reuse
+//! The only per-call heap allocation besides the output container is the
+//! encoder's bit buffer; [`ZfpScratch`] owns it and is fetched thread-
+//! locally by [`zfp_compress_slice`] (or passed explicitly to
+//! [`zfp_compress_slice_with`]), so compressing many partitions — one
+//! scoped worker per core — does not allocate per call, matching
+//! `rsz::SzScratch`.
 
 use crate::transform::{
     from_negabinary, fwd_xform, inv_xform, sequency_order, to_negabinary,
 };
 use gridlab::{Dim3, Field3, Scalar};
+use std::cell::RefCell;
 
-const MAGIC: &[u8; 4] = b"ZFL1";
+const MAGIC: &[u8; 4] = b"ZFL2";
 /// Fixed-point position: block values are scaled so `|q| < 2^Q_BITS`.
 const Q_BITS: i32 = 50;
-/// Bits of per-block header inside the budget (flag + exponent + top plane).
+/// Bits of per-block header inside the fixed-rate budget
+/// (flag + exponent + top plane).
 const BLOCK_HEADER_BITS: usize = 1 + 16 + 6;
 
-/// Configuration: target rate in bits per value.
+/// Rate/accuracy mode of one compression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ZfpMode {
+    /// Bits per value; every 4×4×4 block consumes exactly `64·rate` bits.
+    FixedRate(f64),
+    /// Absolute error bound `|x' − x| ≤ eb` (verified per block).
+    Accuracy(f64),
+}
+
+/// Configuration: mode plus its parameter.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZfpConfig {
-    /// Bits per value; every 4×4×4 block consumes exactly `64·rate` bits.
-    pub rate: f64,
+    pub mode: ZfpMode,
 }
 
 impl ZfpConfig {
+    /// Fixed-rate mode at `rate` bits per value.
     pub fn fixed_rate(rate: f64) -> Self {
         assert!(rate > 0.0 && rate <= 64.0, "rate must be in (0, 64]");
-        Self { rate }
+        Self { mode: ZfpMode::FixedRate(rate) }
+    }
+
+    /// Accuracy (error-bounded) mode with absolute bound `eb`.
+    pub fn accuracy(eb: f64) -> Self {
+        assert!(eb > 0.0 && eb.is_finite(), "error bound must be positive");
+        Self { mode: ZfpMode::Accuracy(eb) }
     }
 
     fn block_bits(&self) -> usize {
-        ((self.rate * 64.0).ceil() as usize).max(BLOCK_HEADER_BITS + 1)
+        match self.mode {
+            ZfpMode::FixedRate(rate) => {
+                ((rate * 64.0).ceil() as usize).max(BLOCK_HEADER_BITS + 1)
+            }
+            ZfpMode::Accuracy(_) => 0,
+        }
+    }
+
+    fn mode_tag(&self) -> u8 {
+        match self.mode {
+            ZfpMode::FixedRate(_) => 0,
+            ZfpMode::Accuracy(_) => 1,
+        }
+    }
+
+    fn param(&self) -> f64 {
+        match self.mode {
+            ZfpMode::FixedRate(r) => r,
+            ZfpMode::Accuracy(e) => e,
+        }
     }
 }
 
@@ -45,12 +111,12 @@ impl std::fmt::Display for ZfpError {
 
 impl std::error::Error for ZfpError {}
 
-/// A fixed-rate compressed field.
+/// A compressed field.
 #[derive(Debug, Clone)]
 pub struct ZfpCompressed {
     bytes: Vec<u8>,
     dims: Dim3,
-    rate: f64,
+    mode: ZfpMode,
 }
 
 impl ZfpCompressed {
@@ -66,9 +132,54 @@ impl ZfpCompressed {
         &self.bytes
     }
 
+    /// Take ownership of the container bytes without copying.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
     /// Re-wrap container bytes (e.g. read back from storage). Validates the
     /// header only; payload integrity is checked at decode time.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, ZfpError> {
+        let h = Header::parse(&bytes)?;
+        Ok(Self { dims: h.dims, mode: h.mode, bytes })
+    }
+
+    pub fn dims(&self) -> Dim3 {
+        self.dims
+    }
+
+    /// The configured mode (rate or error bound).
+    pub fn mode(&self) -> ZfpMode {
+        self.mode
+    }
+
+    /// The mode parameter: bits/value for fixed-rate, the error bound for
+    /// accuracy mode.
+    pub fn rate(&self) -> f64 {
+        match self.mode {
+            ZfpMode::FixedRate(r) => r,
+            ZfpMode::Accuracy(e) => e,
+        }
+    }
+
+    /// Achieved compression ratio against a `T`-typed original.
+    pub fn ratio<T: Scalar>(&self) -> f64 {
+        (self.dims.len() * T::BYTES) as f64 / self.bytes.len() as f64
+    }
+}
+
+// --- header ----------------------------------------------------------------
+
+struct Header {
+    dims: Dim3,
+    mode: ZfpMode,
+    budget: usize,
+    payload_at: usize,
+    tag: String,
+}
+
+impl Header {
+    fn parse(bytes: &[u8]) -> Result<Header, ZfpError> {
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], ZfpError> {
             if *pos + n > bytes.len() {
@@ -82,7 +193,9 @@ impl ZfpCompressed {
             return Err(ZfpError::Format("bad magic".into()));
         }
         let tag_len = take(&mut pos, 1)?[0] as usize;
-        let _tag = take(&mut pos, tag_len)?;
+        let tag = std::str::from_utf8(take(&mut pos, tag_len)?)
+            .map_err(|_| ZfpError::Format("bad tag".into()))?
+            .to_string();
         let mut dims = [0usize; 3];
         for d in &mut dims {
             *d = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
@@ -90,34 +203,50 @@ impl ZfpCompressed {
                 return Err(ZfpError::Format("zero dimension".into()));
             }
         }
-        let rate = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
-        Ok(Self { dims: Dim3::new(dims[0], dims[1], dims[2]), rate, bytes })
+        let mode_tag = take(&mut pos, 1)?[0];
+        let param = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        let mode = match mode_tag {
+            0 => ZfpMode::FixedRate(param),
+            1 => ZfpMode::Accuracy(param),
+            t => return Err(ZfpError::Format(format!("unknown mode tag {t}"))),
+        };
+        let budget = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        Ok(Header {
+            dims: Dim3::new(dims[0], dims[1], dims[2]),
+            mode,
+            budget,
+            payload_at: pos,
+            tag,
+        })
     }
+}
 
-    pub fn dims(&self) -> Dim3 {
-        self.dims
+fn write_header<T: Scalar>(cfg: &ZfpConfig, dims: Dim3, out: &mut Vec<u8>) {
+    out.extend_from_slice(MAGIC);
+    out.push(T::TAG.len() as u8);
+    out.extend_from_slice(T::TAG.as_bytes());
+    for n in [dims.nx, dims.ny, dims.nz] {
+        out.extend_from_slice(&(n as u64).to_le_bytes());
     }
-
-    /// The configured rate (bits/value over whole blocks).
-    pub fn rate(&self) -> f64 {
-        self.rate
-    }
-
-    /// Achieved compression ratio against a `T`-typed original.
-    pub fn ratio<T: Scalar>(&self) -> f64 {
-        (self.dims.len() * T::BYTES) as f64 / self.bytes.len() as f64
-    }
+    out.push(cfg.mode_tag());
+    out.extend_from_slice(&cfg.param().to_le_bytes());
+    out.extend_from_slice(&(cfg.block_bits() as u32).to_le_bytes());
 }
 
 // --- minimal MSB-first bit I/O (local: zfplite is independent of rsz) ---
 
-#[derive(Default)]
+#[derive(Default, Debug)]
 struct Bits {
     buf: Vec<u8>,
     used: u8,
 }
 
 impl Bits {
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.used = 0;
+    }
+
     fn push(&mut self, bit: u64) {
         if self.used == 0 || self.used == 8 {
             self.buf.push(0);
@@ -130,8 +259,17 @@ impl Bits {
         self.used += 1;
     }
 
+    /// MSB-first fixed-width field.
     fn push_bits(&mut self, v: u64, n: usize) {
         for i in (0..n).rev() {
+            self.push((v >> i) & 1);
+        }
+    }
+
+    /// LSB-first prefix of `v` (the group-coding convention: coefficient
+    /// index 0 first).
+    fn push_bits_lsb(&mut self, v: u64, n: usize) {
+        for i in 0..n {
             self.push((v >> i) & 1);
         }
     }
@@ -175,10 +313,36 @@ impl<'a> BitCursor<'a> {
     }
 }
 
+// --- reusable scratch ------------------------------------------------------
+
+/// Reusable per-thread working memory for compression: owns the encoder's
+/// bit buffer so a loop over many partitions allocates only the output
+/// container itself (parity with `rsz::SzScratch`).
+#[derive(Debug, Default)]
+pub struct ZfpScratch {
+    bits: Bits,
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<ZfpScratch> = RefCell::new(ZfpScratch::default());
+}
+
+fn with_tls_scratch<R>(f: impl FnOnce(&mut ZfpScratch) -> R) -> R {
+    TLS_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut ZfpScratch::default()),
+    })
+}
+
 // --- block gather/scatter with edge replication ---
 
-fn gather_block<T: Scalar>(f: &Field3<T>, bx: usize, by: usize, bz: usize) -> [f64; 64] {
-    let d = f.dims();
+fn gather_block<T: Scalar>(
+    values: &[T],
+    d: Dim3,
+    bx: usize,
+    by: usize,
+    bz: usize,
+) -> [f64; 64] {
     let mut out = [0.0f64; 64];
     for i in 0..4 {
         for j in 0..4 {
@@ -186,15 +350,21 @@ fn gather_block<T: Scalar>(f: &Field3<T>, bx: usize, by: usize, bz: usize) -> [f
                 let x = (4 * bx + i).min(d.nx - 1);
                 let y = (4 * by + j).min(d.ny - 1);
                 let z = (4 * bz + k).min(d.nz - 1);
-                out[16 * i + 4 * j + k] = f.get(x, y, z).to_f64();
+                out[16 * i + 4 * j + k] = values[(x * d.ny + y) * d.nz + z].to_f64();
             }
         }
     }
     out
 }
 
-fn scatter_block<T: Scalar>(f: &mut Field3<T>, bx: usize, by: usize, bz: usize, vals: &[f64; 64]) {
-    let d = f.dims();
+fn scatter_block<T: Scalar>(
+    values: &mut [T],
+    d: Dim3,
+    bx: usize,
+    by: usize,
+    bz: usize,
+    vals: &[f64; 64],
+) {
     for i in 0..4 {
         for j in 0..4 {
             for k in 0..4 {
@@ -202,47 +372,94 @@ fn scatter_block<T: Scalar>(f: &mut Field3<T>, bx: usize, by: usize, bz: usize, 
                 let y = 4 * by + j;
                 let z = 4 * bz + k;
                 if x < d.nx && y < d.ny && z < d.nz {
-                    f.set(x, y, z, T::from_f64(vals[16 * i + 4 * j + k]));
+                    values[(x * d.ny + y) * d.nz + z] = T::from_f64(vals[16 * i + 4 * j + k]);
                 }
             }
         }
     }
 }
 
-fn encode_block(vals: &[f64; 64], budget: usize, order: &[usize; 64], bits: &mut Bits) {
-    let start = bits.bit_len();
+// --- shared block quantisation ---------------------------------------------
+
+/// Fixed-point quantise + transform + sequency reorder + negabinary.
+/// Returns `(exponent, nb, top)` or `None` for the empty block (all zeros
+/// or any non-finite value).
+fn block_to_planes(vals: &[f64; 64], order: &[usize; 64]) -> Option<(i32, [u64; 64], usize)> {
+    // NaN must be caught explicitly: `f64::max` ignores it.
+    if vals.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
     let maxabs = vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-    if maxabs == 0.0 || !maxabs.is_finite() {
-        bits.push(0); // empty block
-    } else {
-        bits.push(1);
-        // e such that max|v| < 2^e.
-        let e = maxabs.log2().floor() as i32 + 1;
-        bits.push_bits((e + 1024) as u64, 16);
-        let scale = 2f64.powi(Q_BITS - e);
-        let mut q = [0i64; 64];
-        for (qi, v) in q.iter_mut().zip(vals) {
-            *qi = (v * scale).round() as i64;
-        }
-        fwd_xform(&mut q);
-        let mut nb = [0u64; 64];
-        for (slot, &src) in nb.iter_mut().zip(order.iter()) {
-            *slot = to_negabinary(q[src]);
-        }
-        let top = nb.iter().map(|u| 64 - u.leading_zeros()).max().unwrap_or(0) as usize;
-        bits.push_bits(top as u64, 6); // 0..=63 (top plane index + 1, capped)
-        let top = top.min(63);
-        // MSB-first bit planes until the block budget is spent.
-        let mut plane = top;
-        while plane > 0 {
-            if bits.bit_len() - start + 64 > budget {
-                break;
+    if maxabs == 0.0 {
+        return None;
+    }
+    // e such that max|v| < 2^e.
+    let e = maxabs.log2().floor() as i32 + 1;
+    // The header stores e with a 16-bit +1024 bias; blocks entirely below
+    // 2^-1024 (deep f64 subnormal range) would wrap it, so they round to
+    // the empty block instead — an error < 2^-1024, below any positive
+    // normal bound.
+    if e + 1024 < 0 {
+        return None;
+    }
+    let scale = 2f64.powi(Q_BITS - e);
+    let mut q = [0i64; 64];
+    for (qi, v) in q.iter_mut().zip(vals) {
+        *qi = (v * scale).round() as i64;
+    }
+    fwd_xform(&mut q);
+    let mut nb = [0u64; 64];
+    for (slot, &src) in nb.iter_mut().zip(order.iter()) {
+        *slot = to_negabinary(q[src]);
+    }
+    let top = nb.iter().map(|u| 64 - u.leading_zeros()).max().unwrap_or(0) as usize;
+    Some((e, nb, top.min(63)))
+}
+
+/// The exact decoder arithmetic for a truncated block: negabinary →
+/// inverse sequency → inverse transform → value domain. Used both by the
+/// decoder and by the encoder's per-block bound verification.
+fn planes_to_block(
+    e: i32,
+    nb: &[u64; 64],
+    cut: usize,
+    order: &[usize; 64],
+    out: &mut [f64; 64],
+) {
+    let keep = if cut == 0 { !0u64 } else { !0u64 << cut };
+    let mut q = [0i64; 64];
+    for (slot, &dst) in nb.iter().zip(order.iter()) {
+        q[dst] = from_negabinary(*slot & keep);
+    }
+    inv_xform(&mut q);
+    let scale = 2f64.powi(e - Q_BITS);
+    for (o, &qi) in out.iter_mut().zip(q.iter()) {
+        *o = qi as f64 * scale;
+    }
+}
+
+// --- fixed-rate block coding (verbatim planes, hard budget) ---------------
+
+fn encode_block_fixed(vals: &[f64; 64], budget: usize, order: &[usize; 64], bits: &mut Bits) {
+    let start = bits.bit_len();
+    match block_to_planes(vals, order) {
+        None => bits.push(0), // empty block
+        Some((e, nb, top)) => {
+            bits.push(1);
+            bits.push_bits((e + 1024) as u64, 16);
+            bits.push_bits(top as u64, 6);
+            // MSB-first bit planes until the block budget is spent.
+            let mut plane = top;
+            while plane > 0 {
+                if bits.bit_len() - start + 64 > budget {
+                    break;
+                }
+                let b = plane - 1;
+                for u in &nb {
+                    bits.push((u >> b) & 1);
+                }
+                plane -= 1;
             }
-            let b = plane - 1;
-            for u in &nb {
-                bits.push((u >> b) & 1);
-            }
-            plane -= 1;
         }
     }
     // Pad to the exact fixed-rate boundary.
@@ -252,14 +469,17 @@ fn encode_block(vals: &[f64; 64], budget: usize, order: &[usize; 64], bits: &mut
     debug_assert_eq!(bits.bit_len() - start, budget);
 }
 
-fn decode_block(cur: &mut BitCursor<'_>, budget: usize, order: &[usize; 64]) -> Option<[f64; 64]> {
+fn decode_block_fixed(
+    cur: &mut BitCursor<'_>,
+    budget: usize,
+    order: &[usize; 64],
+) -> Option<[f64; 64]> {
     let start = cur.pos;
     let flag = cur.read()?;
     let mut out = [0.0f64; 64];
     if flag == 1 {
         let e = cur.read_bits(16)? as i32 - 1024;
-        let top = cur.read_bits(6)? as usize;
-        let top = top.min(63);
+        let top = (cur.read_bits(6)? as usize).min(63);
         let mut nb = [0u64; 64];
         let mut consumed = cur.pos - start;
         let mut plane = top;
@@ -274,102 +494,249 @@ fn decode_block(cur: &mut BitCursor<'_>, budget: usize, order: &[usize; 64]) -> 
             consumed += 64;
             plane -= 1;
         }
-        let mut q = [0i64; 64];
-        for (slot, &dst) in nb.iter().zip(order.iter()) {
-            q[dst] = from_negabinary(*slot);
-        }
-        inv_xform(&mut q);
-        let scale = 2f64.powi(e - Q_BITS);
-        for (o, &qi) in out.iter_mut().zip(q.iter()) {
-            *o = qi as f64 * scale;
-        }
+        planes_to_block(e, &nb, 0, order, &mut out);
     }
     cur.seek(start + budget);
     Some(out)
 }
 
-/// Compress a field at the configured fixed rate.
+// --- accuracy-mode block coding (group-tested planes, verified bound) -----
+
+/// ZFP's per-plane embedded coding: the first `n` (already-significant)
+/// coefficient bits verbatim, then unary-coded significance groups. `n`
+/// persists across planes and only grows.
+fn encode_plane_grouped(bits: &mut Bits, mut x: u64, n: &mut usize) {
+    bits.push_bits_lsb(x, *n);
+    if *n < 64 {
+        x >>= *n;
+    } else {
+        return;
+    }
+    while *n < 64 {
+        let any = (x != 0) as u64;
+        bits.push(any);
+        if any == 0 {
+            return;
+        }
+        while *n < 63 {
+            let b = x & 1;
+            bits.push(b);
+            if b != 0 {
+                break;
+            }
+            x >>= 1;
+            *n += 1;
+        }
+        // The significant coefficient itself (written above, or implied at
+        // position 63).
+        x >>= 1;
+        *n += 1;
+    }
+}
+
+/// Mirror of [`encode_plane_grouped`].
+fn decode_plane_grouped(cur: &mut BitCursor<'_>, n: &mut usize) -> Option<u64> {
+    let mut x = 0u64;
+    for i in 0..*n {
+        x |= cur.read()? << i;
+    }
+    while *n < 64 {
+        if cur.read()? == 0 {
+            return Some(x);
+        }
+        while *n < 63 {
+            if cur.read()? != 0 {
+                break;
+            }
+            *n += 1;
+        }
+        x |= 1u64 << *n;
+        *n += 1;
+    }
+    Some(x)
+}
+
+/// Max |cast(recon) − original| of the block when planes below `cut` are
+/// dropped, in the original value domain through `T`'s precision.
+fn truncation_error<T: Scalar>(
+    vals: &[f64; 64],
+    e: i32,
+    nb: &[u64; 64],
+    cut: usize,
+    order: &[usize; 64],
+) -> f64 {
+    let mut recon = [0.0f64; 64];
+    planes_to_block(e, nb, cut, order, &mut recon);
+    vals.iter()
+        .zip(recon.iter())
+        .map(|(&v, &r)| (T::from_f64(r).to_f64() - v).abs())
+        .fold(0.0f64, f64::max)
+}
+
+fn encode_block_accuracy<T: Scalar>(
+    vals: &[f64; 64],
+    eb: f64,
+    order: &[usize; 64],
+    bits: &mut Bits,
+) {
+    match block_to_planes(vals, order) {
+        None => bits.push(0),
+        Some((e, nb, top)) => {
+            bits.push(1);
+            bits.push_bits((e + 1024) as u64, 16);
+            bits.push_bits(top as u64, 6);
+            // Smallest plane count meeting the bound: binary search over the
+            // cut (error is monotone in practice), then a verified walk-down
+            // so the final choice always passes the exact decoder check.
+            let mut lo = 0usize; // cut=0 ⇒ all planes (best effort floor)
+            let mut hi = top; // cut=top ⇒ no planes
+            while lo < hi {
+                let mid = (lo + hi).div_ceil(2);
+                if truncation_error::<T>(vals, e, &nb, mid, order) <= eb {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            let mut cut = lo;
+            while cut > 0 && truncation_error::<T>(vals, e, &nb, cut, order) > eb {
+                cut -= 1;
+            }
+            let nplanes = top - cut;
+            bits.push_bits(nplanes as u64, 6);
+            let mut n = 0usize;
+            for b in (cut..top).rev() {
+                let mut mask = 0u64;
+                for (i, u) in nb.iter().enumerate() {
+                    mask |= ((u >> b) & 1) << i;
+                }
+                encode_plane_grouped(bits, mask, &mut n);
+            }
+        }
+    }
+}
+
+fn decode_block_accuracy(cur: &mut BitCursor<'_>, order: &[usize; 64]) -> Option<[f64; 64]> {
+    let flag = cur.read()?;
+    let mut out = [0.0f64; 64];
+    if flag == 1 {
+        let e = cur.read_bits(16)? as i32 - 1024;
+        let top = (cur.read_bits(6)? as usize).min(63);
+        let nplanes = (cur.read_bits(6)? as usize).min(top);
+        let cut = top - nplanes;
+        let mut nb = [0u64; 64];
+        let mut n = 0usize;
+        for b in (cut..top).rev() {
+            let mask = decode_plane_grouped(cur, &mut n)?;
+            for (i, u) in nb.iter_mut().enumerate() {
+                *u |= ((mask >> i) & 1) << b;
+            }
+        }
+        planes_to_block(e, &nb, 0, order, &mut out);
+    }
+    Some(out)
+}
+
+// --- public API ------------------------------------------------------------
+
+/// Compress a field under `cfg`.
 pub fn zfp_compress<T: Scalar>(field: &Field3<T>, cfg: &ZfpConfig) -> ZfpCompressed {
-    let d = field.dims();
+    zfp_compress_slice(field.as_slice(), field.dims(), cfg)
+}
+
+/// Compress a raw slice laid out as `dims` (z fastest), using the calling
+/// thread's scratch buffer.
+pub fn zfp_compress_slice<T: Scalar>(values: &[T], dims: Dim3, cfg: &ZfpConfig) -> ZfpCompressed {
+    with_tls_scratch(|scratch| zfp_compress_slice_with(values, dims, cfg, scratch))
+}
+
+/// [`zfp_compress_slice`] with caller-owned scratch.
+pub fn zfp_compress_slice_with<T: Scalar>(
+    values: &[T],
+    dims: Dim3,
+    cfg: &ZfpConfig,
+    scratch: &mut ZfpScratch,
+) -> ZfpCompressed {
+    assert_eq!(values.len(), dims.len(), "slice length must match dims");
+    let d = dims;
     let (bx, by, bz) = (d.nx.div_ceil(4), d.ny.div_ceil(4), d.nz.div_ceil(4));
-    let budget = cfg.block_bits();
     let order = sequency_order();
 
-    let mut bits = Bits::default();
+    let bits = &mut scratch.bits;
+    bits.clear();
     for i in 0..bx {
         for j in 0..by {
             for k in 0..bz {
-                let block = gather_block(field, i, j, k);
-                encode_block(&block, budget, &order, &mut bits);
+                let block = gather_block(values, d, i, j, k);
+                match cfg.mode {
+                    ZfpMode::FixedRate(_) => {
+                        encode_block_fixed(&block, cfg.block_bits(), &order, bits)
+                    }
+                    ZfpMode::Accuracy(eb) => encode_block_accuracy::<T>(&block, eb, &order, bits),
+                }
             }
         }
     }
 
-    let mut bytes = Vec::new();
-    bytes.extend_from_slice(MAGIC);
-    bytes.push(T::TAG.len() as u8);
-    bytes.extend_from_slice(T::TAG.as_bytes());
-    for n in [d.nx, d.ny, d.nz] {
-        bytes.extend_from_slice(&(n as u64).to_le_bytes());
-    }
-    bytes.extend_from_slice(&cfg.rate.to_le_bytes());
-    bytes.extend_from_slice(&(budget as u32).to_le_bytes());
+    let mut bytes = Vec::with_capacity(64 + bits.buf.len());
+    write_header::<T>(cfg, d, &mut bytes);
     bytes.extend_from_slice(&bits.buf);
-    ZfpCompressed { bytes, dims: d, rate: cfg.rate }
+    ZfpCompressed { bytes, dims: d, mode: cfg.mode }
+}
+
+/// Parse just the header of container bytes and return the grid dims —
+/// a borrowing probe for readers that must not pay a payload copy.
+pub fn probe_dims(bytes: &[u8]) -> Result<Dim3, ZfpError> {
+    Ok(Header::parse(bytes)?.dims)
 }
 
 /// Decompress a container produced by [`zfp_compress`].
 pub fn zfp_decompress<T: Scalar>(c: &ZfpCompressed) -> Result<Field3<T>, ZfpError> {
-    let bytes = &c.bytes;
-    let mut pos = 0usize;
-    let take = |pos: &mut usize, n: usize| -> Result<&[u8], ZfpError> {
-        if *pos + n > bytes.len() {
-            return Err(ZfpError::Format("truncated".into()));
-        }
-        let s = &bytes[*pos..*pos + n];
-        *pos += n;
-        Ok(s)
-    };
-    if take(&mut pos, 4)? != MAGIC {
-        return Err(ZfpError::Format("bad magic".into()));
-    }
-    let tag_len = take(&mut pos, 1)?[0] as usize;
-    let tag = std::str::from_utf8(take(&mut pos, tag_len)?)
-        .map_err(|_| ZfpError::Format("bad tag".into()))?;
-    if tag != T::TAG {
-        return Err(ZfpError::Format(format!("tag {tag} != {}", T::TAG)));
-    }
-    let mut dims = [0usize; 3];
-    for d in &mut dims {
-        *d = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
-        if *d == 0 {
-            return Err(ZfpError::Format("zero dimension".into()));
-        }
-    }
-    let d = Dim3::new(dims[0], dims[1], dims[2]);
-    let _rate = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
-    let budget = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
-    let payload = &bytes[pos..];
+    let (values, dims) = zfp_decompress_slice(c.as_bytes())?;
+    Field3::from_vec(dims, values).map_err(|e| ZfpError::Format(e.to_string()))
+}
 
+/// Decompress raw container bytes; returns the values and their dims.
+pub fn zfp_decompress_slice<T: Scalar>(bytes: &[u8]) -> Result<(Vec<T>, Dim3), ZfpError> {
+    let h = Header::parse(bytes)?;
+    if h.tag != T::TAG {
+        return Err(ZfpError::Format(format!("tag {} != {}", h.tag, T::TAG)));
+    }
+    let d = h.dims;
+    let payload = &bytes[h.payload_at..];
     let (nbx, nby, nbz) = (d.nx.div_ceil(4), d.ny.div_ceil(4), d.nz.div_ceil(4));
-    let total_bits = nbx * nby * nbz * budget;
-    if payload.len() * 8 < total_bits {
-        return Err(ZfpError::Format("payload shorter than block budget".into()));
-    }
-
     let order = sequency_order();
     let mut cur = BitCursor::new(payload);
-    let mut out = Field3::<T>::zeros(d);
-    for i in 0..nbx {
-        for j in 0..nby {
-            for k in 0..nbz {
-                let block = decode_block(&mut cur, budget, &order)
-                    .ok_or_else(|| ZfpError::Format("block truncated".into()))?;
-                scatter_block(&mut out, i, j, k, &block);
+    let mut out = vec![T::zero(); d.len()];
+    match h.mode {
+        ZfpMode::FixedRate(_) => {
+            let total_bits = nbx * nby * nbz * h.budget;
+            if payload.len() * 8 < total_bits {
+                return Err(ZfpError::Format("payload shorter than block budget".into()));
+            }
+            for i in 0..nbx {
+                for j in 0..nby {
+                    for k in 0..nbz {
+                        let block = decode_block_fixed(&mut cur, h.budget, &order)
+                            .ok_or_else(|| ZfpError::Format("block truncated".into()))?;
+                        scatter_block(&mut out, d, i, j, k, &block);
+                    }
+                }
+            }
+        }
+        ZfpMode::Accuracy(_) => {
+            for i in 0..nbx {
+                for j in 0..nby {
+                    for k in 0..nbz {
+                        let block = decode_block_accuracy(&mut cur, &order)
+                            .ok_or_else(|| ZfpError::Format("block truncated".into()))?;
+                        scatter_block(&mut out, d, i, j, k, &block);
+                    }
+                }
             }
         }
     }
-    Ok(out)
+    Ok((out, d))
 }
 
 #[cfg(test)]
@@ -399,7 +766,7 @@ mod tests {
             let c = zfp_compress(&f, &ZfpConfig::fixed_rate(rate));
             let blocks = 4 * 4 * 4;
             let expected_payload_bits = blocks * (rate as usize) * 64;
-            let header = 4 + 1 + 3 + 24 + 8 + 4;
+            let header = 4 + 1 + 3 + 24 + 1 + 8 + 4;
             let got_bits = (c.len() - header) * 8;
             assert!(
                 got_bits >= expected_payload_bits && got_bits < expected_payload_bits + 8,
@@ -480,5 +847,146 @@ mod tests {
         let c = zfp_compress(&f, &ZfpConfig::fixed_rate(40.0));
         let g: Field3<f64> = zfp_decompress(&c).unwrap();
         assert!(f.max_abs_diff(&g) < 1e-6);
+    }
+
+    // --- accuracy mode ----------------------------------------------------
+
+    fn lcg_field(dims: Dim3, seed: u64, amplitude: f32) -> Field3<f32> {
+        let mut state = seed;
+        Field3::from_fn(dims, |_, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * amplitude
+        })
+    }
+
+    #[test]
+    fn accuracy_mode_respects_bound() {
+        let f = smooth_field(16);
+        for eb in [10.0, 1.0, 0.1, 1e-3] {
+            let c = zfp_compress(&f, &ZfpConfig::accuracy(eb));
+            let g: Field3<f32> = zfp_decompress(&c).unwrap();
+            let err = f.max_abs_diff(&g);
+            assert!(err <= eb, "eb={eb} got {err}");
+        }
+    }
+
+    #[test]
+    fn accuracy_mode_bounds_rough_data() {
+        let f = lcg_field(Dim3::cube(12), 7, 2.0e4);
+        let eb = 5.0;
+        let c = zfp_compress(&f, &ZfpConfig::accuracy(eb));
+        let g: Field3<f32> = zfp_decompress(&c).unwrap();
+        assert!(f.max_abs_diff(&g) <= eb, "err {}", f.max_abs_diff(&g));
+    }
+
+    #[test]
+    fn accuracy_looser_bound_is_smaller() {
+        let f = smooth_field(16);
+        let tight = zfp_compress(&f, &ZfpConfig::accuracy(0.01));
+        let loose = zfp_compress(&f, &ZfpConfig::accuracy(1.0));
+        assert!(loose.len() < tight.len(), "{} vs {}", loose.len(), tight.len());
+    }
+
+    #[test]
+    fn accuracy_smooth_data_compresses_well() {
+        let f = smooth_field(32);
+        let c = zfp_compress(&f, &ZfpConfig::accuracy(0.5));
+        let ratio = c.ratio::<f32>();
+        assert!(ratio > 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn accuracy_mode_is_deterministic() {
+        let f = lcg_field(Dim3::new(6, 10, 15), 99, 3.0e3);
+        let a = zfp_compress(&f, &ZfpConfig::accuracy(0.25));
+        let b = zfp_compress(&f, &ZfpConfig::accuracy(0.25));
+        assert_eq!(a.as_bytes(), b.as_bytes());
+    }
+
+    #[test]
+    fn accuracy_container_roundtrips_through_bytes() {
+        let f = smooth_field(8);
+        let c = zfp_compress(&f, &ZfpConfig::accuracy(0.1));
+        let c2 = ZfpCompressed::from_bytes(c.as_bytes().to_vec()).unwrap();
+        assert_eq!(c2.dims(), f.dims());
+        assert_eq!(c2.mode(), ZfpMode::Accuracy(0.1));
+        let a: Field3<f32> = zfp_decompress(&c).unwrap();
+        let b: Field3<f32> = zfp_decompress(&c2).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical() {
+        let mut scratch = ZfpScratch::default();
+        for (dims, eb) in [
+            (Dim3::cube(12), 0.1),
+            (Dim3::new(1, 1, 40), 0.5),
+            (Dim3::new(5, 9, 2), 0.05),
+            (Dim3::cube(12), 0.1),
+        ] {
+            let f = lcg_field(dims, 42, 100.0);
+            let cfg = ZfpConfig::accuracy(eb);
+            let fresh =
+                zfp_compress_slice_with(f.as_slice(), dims, &cfg, &mut ZfpScratch::default());
+            let reused = zfp_compress_slice_with(f.as_slice(), dims, &cfg, &mut scratch);
+            assert_eq!(fresh.as_bytes(), reused.as_bytes(), "scratch leak on {dims:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_plane_roundtrip() {
+        // Direct encode/decode mirror check over adversarial masks,
+        // including the implied-1 at position 63 and the all-ones plane.
+        let masks = [
+            0u64,
+            1,
+            1 << 63,
+            0x8000_0000_0000_0001,
+            !0u64,
+            0xAAAA_5555_0000_FFFF,
+            0x0000_0000_0001_0000,
+        ];
+        for window in 1..=masks.len() {
+            let seq = &masks[..window];
+            let mut bits = Bits::default();
+            let mut n = 0usize;
+            for &m in seq {
+                encode_plane_grouped(&mut bits, m, &mut n);
+            }
+            let mut cur = BitCursor::new(&bits.buf);
+            let mut n2 = 0usize;
+            for &m in seq {
+                let got = decode_plane_grouped(&mut cur, &mut n2).expect("bits available");
+                assert_eq!(got, m, "mask {m:#x} in window {window}");
+            }
+            assert_eq!(n, n2);
+        }
+    }
+
+    #[test]
+    fn deep_subnormal_f64_blocks_round_to_zero_not_nan() {
+        // max|v| < 2^-1024 under-runs the 16-bit biased exponent; the
+        // block must become the empty block (zeros), never wrap the bias
+        // and decode to NaN/inf.
+        let f = Field3::from_fn(Dim3::cube(4), |_, _, _| 2.0f64.powi(-1060));
+        for cfg in [ZfpConfig::accuracy(1e-300), ZfpConfig::fixed_rate(8.0)] {
+            let c = zfp_compress(&f, &cfg);
+            let g: Field3<f64> = zfp_decompress(&c).unwrap();
+            assert!(
+                g.as_slice().iter().all(|&x| x == 0.0),
+                "{cfg:?}: {:?}",
+                &g.as_slice()[..2]
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_values_become_zeros() {
+        let mut v = vec![1.0f32; 64];
+        v[13] = f32::NAN;
+        let f = Field3::from_vec(Dim3::cube(4), v).unwrap();
+        let c = zfp_compress(&f, &ZfpConfig::accuracy(0.1));
+        let g: Field3<f32> = zfp_decompress(&c).unwrap();
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
     }
 }

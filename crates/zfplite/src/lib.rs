@@ -13,14 +13,22 @@
 //! 3. apply ZFP's reversible integer lifting transform along each axis
 //!    ([`transform`]),
 //! 4. reorder coefficients by total sequency, convert to negabinary, and
-//!    emit bit planes MSB-first until the per-block bit budget is spent
+//!    emit bit planes MSB-first — either until the per-block bit budget is
+//!    spent (fixed-rate mode) or until a *verified* per-block absolute
+//!    error bound is met (accuracy mode, [`codec::ZfpMode::Accuracy`]),
+//!    with ZFP's group-testing significance coding squeezing sparse planes
 //!    ([`codec`]).
 //!
 //! Decompression mirrors the steps; whatever bit planes were cut simply
-//! stay zero, which is where the (unbounded, data-dependent) error comes
-//! from.
+//! stay zero. In fixed-rate mode that error is unbounded and data-dependent
+//! (the paper's contrast case); accuracy mode bounds it per block, which is
+//! what lets the multi-codec pipeline (`codec-core`) treat zfplite as an
+//! error-bounded backend alongside `rsz`.
 
 pub mod codec;
 pub mod transform;
 
-pub use codec::{zfp_compress, zfp_decompress, ZfpCompressed, ZfpConfig, ZfpError};
+pub use codec::{
+    zfp_compress, zfp_compress_slice, zfp_compress_slice_with, zfp_decompress,
+    zfp_decompress_slice, ZfpCompressed, ZfpConfig, ZfpError, ZfpMode, ZfpScratch,
+};

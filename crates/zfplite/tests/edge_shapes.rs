@@ -1,0 +1,151 @@
+//! Deterministic-seed round-trip tests for the zfplite codec on the shapes
+//! most likely to break boundary-block logic: a single cell, non-power-of-
+//! two bricks, 4096-cell pencils, and all-constant fields — the same
+//! coverage rsz's edge-shape suite provides. Accuracy mode additionally
+//! carries a hard bound assertion on every shape.
+
+use gridlab::{Dim3, Field3};
+use zfplite::{zfp_compress, zfp_decompress, ZfpConfig};
+
+/// Deterministic pseudo-random field from an LCG — no RNG crate involved,
+/// so these inputs are stable across toolchains and shim changes.
+fn lcg_field(dims: Dim3, seed: u64, amplitude: f32) -> Field3<f32> {
+    let mut state = seed;
+    Field3::from_fn(dims, |_, _, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * amplitude
+    })
+}
+
+fn assert_bound_roundtrip(field: &Field3<f32>, eb: f64) {
+    let c = zfp_compress(field, &ZfpConfig::accuracy(eb));
+    let recon: Field3<f32> = zfp_decompress(&c).expect("self-produced container decodes");
+    assert_eq!(recon.dims(), field.dims());
+    let err = field.max_abs_diff(&recon);
+    assert!(err <= eb, "bound violated: {err} > {eb} on {:?}", field.dims());
+}
+
+fn assert_fixed_rate_roundtrip(field: &Field3<f32>, rate: f64) {
+    let c = zfp_compress(field, &ZfpConfig::fixed_rate(rate));
+    let recon: Field3<f32> = zfp_decompress(&c).expect("decodes");
+    assert_eq!(recon.dims(), field.dims());
+    assert!(recon.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn one_cell_field_roundtrips() {
+    for value in [0.0f32, 1.0, -3.5e6, 4.2e-12] {
+        let field = Field3::from_vec(Dim3::new(1, 1, 1), vec![value]).expect("sized");
+        assert_bound_roundtrip(&field, f64::max(1e-3, value.abs() as f64 * 1e-6));
+        assert_fixed_rate_roundtrip(&field, 8.0);
+    }
+}
+
+#[test]
+fn one_cell_tight_bound() {
+    let field = Field3::from_vec(Dim3::new(1, 1, 1), vec![123.456f32]).expect("sized");
+    assert_bound_roundtrip(&field, 1e-4);
+}
+
+#[test]
+fn degenerate_pencils_and_slabs_roundtrip() {
+    // Shapes thinner than one 4×4×4 block in one or two axes exercise the
+    // edge-replication gather/scatter on every block.
+    for dims in [
+        Dim3::new(17, 1, 1),
+        Dim3::new(1, 23, 1),
+        Dim3::new(1, 1, 31),
+        Dim3::new(13, 7, 1),
+        Dim3::new(1, 11, 5),
+        Dim3::new(9, 1, 19),
+    ] {
+        let field = lcg_field(dims, 0xE1, 2.0e4);
+        assert_bound_roundtrip(&field, 20.0);
+        assert_fixed_rate_roundtrip(&field, 12.0);
+    }
+}
+
+#[test]
+fn non_power_of_two_cube_roundtrips() {
+    for (n, seed) in [(3usize, 7u64), (5, 11), (7, 13), (13, 17)] {
+        let field = lcg_field(Dim3::cube(n), seed, 1.0e5);
+        assert_bound_roundtrip(&field, 50.0);
+        assert_fixed_rate_roundtrip(&field, 10.0);
+    }
+}
+
+#[test]
+fn ragged_dims_roundtrip() {
+    let field = lcg_field(Dim3::new(6, 10, 15), 0xBEEF, 3.0e3);
+    assert_bound_roundtrip(&field, 2.0);
+}
+
+#[test]
+fn all_constant_field_compresses_tiny() {
+    let dims = Dim3::cube(16);
+    let field = Field3::from_fn(dims, |_, _, _| 42.0f32);
+    let c = zfp_compress(&field, &ZfpConfig::accuracy(1e-3));
+    let recon: Field3<f32> = zfp_decompress(&c).expect("decodes");
+    assert!(field.max_abs_diff(&recon) <= 1e-3);
+    // A constant block concentrates at DC; group testing must leave the
+    // 63 AC planes nearly free.
+    let raw = dims.len() * std::mem::size_of::<f32>();
+    assert!(c.len() * 20 < raw, "constant field barely compressed: {} of {raw}", c.len());
+}
+
+#[test]
+fn all_zero_field_roundtrips() {
+    let field = Field3::<f32>::zeros(Dim3::new(4, 1, 9));
+    assert_bound_roundtrip(&field, 1e-6);
+    let c = zfp_compress(&field, &ZfpConfig::accuracy(1e-6));
+    let recon: Field3<f32> = zfp_decompress(&c).expect("decodes");
+    assert!(recon.as_slice().iter().all(|&v| v == 0.0));
+}
+
+#[test]
+fn long_pencils_roundtrip() {
+    // 4096-cell pencils: every block replicates along two axes, and the
+    // plane coder sees long runs of identical blocks.
+    for dims in [Dim3::new(1, 1, 4096), Dim3::new(1, 4096, 1), Dim3::new(4096, 1, 1)] {
+        let smooth = Field3::from_fn(dims, |x, y, z| ((x + y + z) as f32 * 0.01).sin() * 3.0);
+        assert_bound_roundtrip(&smooth, 0.05);
+        let rough = lcg_field(dims, 0xFACE, 5.0e3);
+        assert_bound_roundtrip(&rough, 5.0);
+        assert_fixed_rate_roundtrip(&rough, 6.0);
+    }
+}
+
+#[test]
+fn compression_is_bitwise_deterministic_on_edge_shapes() {
+    for dims in [Dim3::new(1, 1, 1), Dim3::cube(5), Dim3::new(6, 10, 15)] {
+        let field = lcg_field(dims, 99, 1.0e4);
+        let a = zfp_compress(&field, &ZfpConfig::accuracy(1.0));
+        let b = zfp_compress(&field, &ZfpConfig::accuracy(1.0));
+        assert_eq!(a.as_bytes(), b.as_bytes(), "nondeterministic container on {dims:?}");
+    }
+}
+
+#[test]
+fn tight_bound_on_high_dynamic_range() {
+    // A bright spike next to tiny values inside one block: the shared
+    // block exponent forces many planes; the bound must still hold on the
+    // small values (absolute, not relative).
+    let mut v = vec![1e-3f32; 64];
+    v[21] = 5.0e5;
+    let field = Field3::from_vec(Dim3::cube(4), v).unwrap();
+    assert_bound_roundtrip(&field, 0.5);
+}
+
+#[test]
+fn recompression_is_stable() {
+    // Compressing a decompressed pencil at the same bound must stay within
+    // the bound again (fixed-point of the block quantiser).
+    let dims = Dim3::new(1, 1, 513);
+    let field = lcg_field(dims, 0x51, 800.0);
+    let cfg = ZfpConfig::accuracy(1.0);
+    let c1 = zfp_compress(&field, &cfg);
+    let r1: Field3<f32> = zfp_decompress(&c1).expect("decodes");
+    let c2 = zfp_compress(&r1, &cfg);
+    let r2: Field3<f32> = zfp_decompress(&c2).expect("decodes");
+    assert!(r1.max_abs_diff(&r2) <= 1.0);
+}

@@ -22,7 +22,7 @@ proptest! {
         let d = f.dims();
         let blocks = d.nx.div_ceil(4) * d.ny.div_ceil(4) * d.nz.div_ceil(4);
         let budget_bits = ((rate * 64.0).ceil() as usize).max(24) * blocks;
-        let header = 4 + 1 + 3 + 24 + 8 + 4;
+        let header = 4 + 1 + 3 + 24 + 1 + 8 + 4;
         let payload = c.len() - header;
         prop_assert!(payload * 8 >= budget_bits);
         prop_assert!(payload * 8 < budget_bits + 8, "payload {} bits vs {}", payload * 8, budget_bits);

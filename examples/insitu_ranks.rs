@@ -2,7 +2,10 @@
 //! its partition, with the global mean gathered by `allreduce` exactly as
 //! the paper describes (§3.6: "extract the overall mean value of the
 //! entire dataset by MPI_Allreduce after each partition computes their
-//! own").
+//! own"). The optimizer is deterministic and replicated, so after one
+//! `allgather` of the per-rank means every rank computes the full joint
+//! (codec, bound) assignment locally and compresses its own brick with
+//! its assigned backend — no extra collective for the codec dimension.
 //!
 //! ```text
 //! cargo run --release --example insitu_ranks
@@ -10,10 +13,10 @@
 
 use adaptive_config::comm::run_ranks;
 use adaptive_config::optimizer::{Optimizer, QualityTarget};
-use adaptive_config::ratio_model::{PartitionFeature, RatioModel};
-use gridlab::Decomposition;
+use adaptive_config::ratio_model::{sample_bricks, CodecModelBank, PartitionFeature};
+use adaptive_config::{CodecId, Container};
+use gridlab::{Decomposition, Field3};
 use nyxlite::NyxConfig;
-use rsz::{compress_slice, SzConfig};
 
 fn main() {
     let n = 48;
@@ -26,13 +29,18 @@ fn main() {
     let sigma = gridlab::stats::summarize(field.as_slice()).std_dev();
     let eb_avg = 0.1 * sigma;
 
-    // A rate model calibrated offline (see quickstart); here we hard-wire a
-    // typical fit so the example focuses on the rank choreography.
-    let model = RatioModel { c: -0.4, a0: -2.0, a1: 0.45 };
-    let optimizer = Optimizer::new(model);
+    // Rate models calibrated offline on a handful of sample bricks, one
+    // per backend — the one-off trial step (see quickstart); in situ code
+    // below only reads the fitted bank.
+    let samples = sample_bricks(field, &dec, 7);
+    let refs: Vec<&Field3<f32>> = samples.iter().collect();
+    let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
+    let (bank, _) = CodecModelBank::calibrate(&CodecId::ALL, &refs, &sweep);
+    let optimizer = Optimizer::with_models(bank);
 
-    // Each rank: extract its feature, allreduce the mean, compress its own
-    // brick at the bound the (replicated) optimizer assigns to it.
+    // Each rank: extract its feature, allreduce/allgather the means,
+    // compress its own brick with the codec + bound the (replicated)
+    // optimizer assigns to it.
     let results = run_ranks(ranks, |rank, comm| {
         let p = dec.partition(rank).expect("rank is a partition id");
         let brick = field.extract(p.origin, p.dims);
@@ -54,19 +62,25 @@ fn main() {
             .collect();
         let decision = optimizer.optimize(&features, &QualityTarget::fft_only(eb_avg));
         let my_eb = decision.ebs[rank];
+        let my_codec = decision.codecs[rank];
 
-        let compressed = compress_slice(brick.as_slice(), brick.dims(), &SzConfig::abs(my_eb));
-        (my_eb, compressed.len(), brick.len() * 4, global_mean)
+        let container = Container::compress(my_codec, brick.as_slice(), brick.dims(), my_eb);
+        (my_eb, my_codec, container.len(), brick.len() * 4, global_mean)
     });
 
-    let total_orig: usize = results.iter().map(|r| r.2).sum();
-    let total_comp: usize = results.iter().map(|r| r.1).sum();
+    let total_orig: usize = results.iter().map(|r| r.3).sum();
+    let total_comp: usize = results.iter().map(|r| r.2).sum();
     println!("ranks: {ranks}");
-    println!("global mean (allreduce): {:.2}", results[0].3);
-    for (rank, (eb, comp, orig, _)) in results.iter().enumerate().take(6) {
-        println!("  rank {rank}: eb {eb:9.3}  {orig} B -> {comp} B");
+    println!("global mean (allreduce): {:.2}", results[0].4);
+    for (rank, (eb, codec, comp, orig, _)) in results.iter().enumerate().take(6) {
+        println!("  rank {rank}: {codec:>3} @ eb {eb:9.3}  {orig} B -> {comp} B");
     }
     println!("  ... ({} more ranks)", ranks - 6);
+    let mix: Vec<String> = codec_core::codec_counts(results.iter().map(|r| r.1))
+        .iter()
+        .map(|(c, k)| format!("{k} × {c}"))
+        .collect();
+    println!("codec mix: {}", mix.join(", "));
     println!(
         "aggregate ratio {:.1}x at mean eb {:.3} (budget {:.3})",
         total_orig as f64 / total_comp as f64,

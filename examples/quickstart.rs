@@ -1,5 +1,7 @@
 //! Quickstart: generate a small Nyx-like snapshot, compress one field
-//! adaptively, and verify the error bound and the ratio win.
+//! adaptively with the multi-codec pipeline (per partition, the optimizer
+//! picks both the codec backend and its error bound), and verify the
+//! error bound and the ratio win.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,6 +9,7 @@
 
 use adaptive_config::optimizer::QualityTarget;
 use adaptive_config::pipeline::{InSituPipeline, PipelineConfig};
+use adaptive_config::CodecId;
 use gridlab::{Decomposition, Field3};
 use nyxlite::NyxConfig;
 
@@ -16,8 +19,8 @@ fn main() {
     let field = &snap.baryon_density;
     println!("generated snapshot: {} ({} MB for 6 fields)", snap.dims, snap.total_bytes() >> 20);
 
-    // 2. Decompose into 4³ = 64 partitions (one per simulated MPI rank).
-    let dec = Decomposition::cubic(64, 4).expect("4 divides 64");
+    // 2. Decompose into 8³ = 512 partitions (one per simulated MPI rank).
+    let dec = Decomposition::cubic(64, 8).expect("8 divides 64");
 
     // 3. Quality budget: an average absolute bound (here 10 % of the field
     //    std-dev; see the fig13 experiment for deriving it from a P(k)
@@ -25,14 +28,20 @@ fn main() {
     let sigma = gridlab::stats::summarize(field.as_slice()).std_dev();
     let eb_avg = 0.1 * sigma;
 
-    // 4. Calibrate the rate model on sample partitions (one-off), then run.
-    let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(eb_avg));
+    // 4. Calibrate one rate model per codec backend on sample partitions
+    //    (one-off), then run. `with_codecs` opens the selection space; the
+    //    default is the paper's rsz-only configuration.
+    let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(eb_avg))
+        .with_codecs(&CodecId::ALL);
     let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
-    let (pipeline, report) = InSituPipeline::calibrate(cfg, field, 4, &sweep);
-    println!(
-        "calibrated rate model: c = {:.3}, C(mean) fit R² = {:.3}",
-        pipeline.optimizer.ratio_model.c, report.c_fit_r2
-    );
+    let (pipeline, reports) = InSituPipeline::calibrate_all(cfg, field, 4, &sweep);
+    for (codec, report) in &reports {
+        let model = pipeline.optimizer.models.get(*codec).expect("calibrated");
+        println!(
+            "calibrated {codec:>3} rate model: c = {:+.3}, C(mean) fit R² = {:.3}",
+            model.c, report.c_fit_r2
+        );
+    }
 
     let adaptive = pipeline.run_adaptive(field);
     let traditional = pipeline.run_traditional(field, eb_avg / 2.0); // conservative baseline
@@ -44,13 +53,21 @@ fn main() {
         adaptive.ebs.iter().cloned().fold(f64::MAX, f64::min),
         adaptive.ebs.iter().cloned().fold(f64::MIN, f64::max),
     );
-    println!("traditional: {:6.1}x ratio at uniform conservative eb", traditional.ratio());
+    let mix: Vec<String> = adaptive
+        .codec_counts()
+        .iter()
+        .map(|(c, n)| format!("{n} × {c}"))
+        .collect();
+    println!("codec mix:   {} over {} partitions", mix.join(", "), adaptive.codecs.len());
+    println!("traditional: {:6.1}x ratio at uniform conservative eb (rsz)", traditional.ratio());
     println!(
         "improvement: {:.1} %",
         (adaptive.ratio() / traditional.ratio() - 1.0) * 100.0
     );
 
-    // 5. Verify the per-partition bound guarantee on the reconstruction.
+    // 5. Verify the per-partition bound guarantee on the reconstruction —
+    //    every container is a v2 codec-tagged, checksummed container.
+    assert!(adaptive.containers.iter().all(|c| c.version() == 2 && c.checksum().is_some()));
     let recon: Field3<f32> = adaptive.reconstruct(&dec).expect("assembles");
     let worst = dec
         .split(field)

@@ -4,6 +4,7 @@
 //! tests can address the whole stack through one dependency.
 
 pub use adaptive_config;
+pub use codec_core;
 pub use cosmoanalysis;
 pub use fftlite;
 pub use gridlab;

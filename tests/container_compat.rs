@@ -1,0 +1,73 @@
+//! Container-format compatibility: the golden v1 fixture (bare `rsz`
+//! bytes, the only format the pipeline emitted before the multi-codec v2
+//! containers) must keep decoding, and today's encoder must still produce
+//! those exact bytes for the same input — the byte-stability promise that
+//! makes old snapshots readable forever.
+//!
+//! The fixture is regenerated (never casually!) by
+//! `cargo run --release -p bench --bin diag_v1_fixture`.
+
+use codec_core::{fnv1a64, CodecId, Container};
+use gridlab::{Dim3, Field3};
+
+const FIXTURE_EB: f64 = 0.25;
+
+/// Must match `diag_v1_fixture`.
+fn fixture_field() -> Field3<f32> {
+    let mut state = 0x517EC0DEu64;
+    Field3::from_fn(Dim3::cube(16), |_, _, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * 2.0e3
+    })
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/v1_rsz_16cube.bin");
+    std::fs::read(path).expect("golden fixture present in tests/fixtures/")
+}
+
+#[test]
+fn golden_v1_container_still_decodes() {
+    let bytes = fixture_bytes();
+    let c = Container::from_bytes(bytes).expect("v1 container recognised");
+    assert_eq!(c.version(), 1, "bare RSZ1 bytes are version 1");
+    assert_eq!(c.codec(), CodecId::Rsz);
+    assert_eq!(c.checksum(), None, "v1 predates checksums");
+    assert_eq!(c.dims(), Dim3::cube(16));
+
+    let recon = c.decode_field::<f32>().expect("decodes");
+    let field = fixture_field();
+    let err = field.max_abs_diff(&recon);
+    assert!(err <= FIXTURE_EB * (1.0 + 1e-9), "bound violated on golden bytes: {err}");
+}
+
+#[test]
+fn v1_format_is_byte_stable() {
+    // Compressing the fixture's field today must reproduce the golden
+    // bytes exactly — any drift in the rsz container layout breaks every
+    // stored v1 snapshot and must be a conscious, versioned change.
+    let golden = fixture_bytes();
+    let now = rsz::compress(&fixture_field(), &rsz::SzConfig::abs(FIXTURE_EB));
+    assert_eq!(
+        fnv1a64(now.as_bytes()),
+        fnv1a64(&golden),
+        "rsz container bytes drifted from the golden v1 fixture"
+    );
+    assert_eq!(now.as_bytes(), &golden[..]);
+}
+
+#[test]
+fn v1_and_v2_decode_to_identical_values() {
+    // Wrapping the same payload in a v2 container must not change a single
+    // reconstructed bit relative to the legacy v1 path.
+    let field = fixture_field();
+    let v1 = Container::from_bytes(fixture_bytes()).unwrap();
+    let v2 = Container::compress(CodecId::Rsz, field.as_slice(), field.dims(), FIXTURE_EB);
+    assert_eq!(v2.version(), codec_core::CONTAINER_VERSION);
+    let (a, _) = v1.decode::<f32>().unwrap();
+    let (b, _) = v2.decode::<f32>().unwrap();
+    assert_eq!(
+        a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+}

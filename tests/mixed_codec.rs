@@ -1,0 +1,136 @@
+//! The multi-codec subsystem end to end: on a field whose partitions play
+//! to different backends' strengths (smooth structure → rsz's Lorenzo
+//! prediction; wide-band noise → zfp's table-free bit planes), the fitted
+//! per-codec rate models must disagree, the optimizer must emit a genuine
+//! codec mix in one v2 snapshot, and the mixed result must win on ratio at
+//! the same quality target while every partition honours its bound.
+
+use adaptive_config::optimizer::QualityTarget;
+use adaptive_config::pipeline::{InSituPipeline, PipelineConfig};
+use adaptive_config::CodecId;
+use gridlab::{Decomposition, Dim3, Field3};
+
+/// Half the octants are smooth waves (rsz territory), half are bright
+/// wide-band noise (zfp territory) — mean tracks roughness so the
+/// mean-indexed rate models can separate the two regimes.
+fn two_regime_field(n: usize) -> Field3<f32> {
+    let mut state = 0xA11CE5u64;
+    Field3::from_fn(Dim3::cube(n), |x, y, z| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        if x < n / 2 {
+            (10.0 + (y as f64 * 0.3).sin() * 4.0 + (z as f64 * 0.2).cos() * 3.0 + 0.02 * noise)
+                as f32
+        } else {
+            (500.0 + 400.0 * noise) as f32
+        }
+    })
+}
+
+fn build(n: usize, parts: usize) -> (InSituPipeline, Field3<f32>, Decomposition, f64) {
+    let field = two_regime_field(n);
+    let dec = Decomposition::cubic(n, parts).expect("divides");
+    let sigma = gridlab::stats::summarize(field.as_slice()).std_dev();
+    let eb_avg = 0.05 * sigma;
+    let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
+    let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(eb_avg))
+        .with_codecs(&CodecId::ALL);
+    let (p, _) = InSituPipeline::calibrate(cfg, &field, 2, &sweep);
+    (p, field, dec, eb_avg)
+}
+
+#[test]
+fn models_disagree_and_adaptive_mixes_codecs() {
+    let (p, field, dec, _) = build(32, 4);
+
+    // The per-codec fits must actually disagree across the feature range
+    // (otherwise "mixing" would be vacuous).
+    let rsz = p.optimizer.models.get(CodecId::Rsz).expect("fitted");
+    let zfp = p.optimizer.models.get(CodecId::Zfp).expect("fitted");
+    assert!(
+        rsz != zfp,
+        "per-codec models are identical; the selection problem is degenerate"
+    );
+
+    let run = p.run_adaptive(&field);
+    let counts = run.codec_counts();
+    assert!(
+        counts.len() >= 2,
+        "expected a v2 snapshot mixing at least two codecs, got {counts:?}"
+    );
+    for (codec, n) in &counts {
+        assert!(*n > 0, "{codec} won no partitions: {counts:?}");
+    }
+    assert_eq!(counts.iter().map(|(_, n)| n).sum::<usize>(), dec.num_partitions());
+
+    // Every container is a v2, codec-tagged, checksummed container whose
+    // tag matches the optimizer's assignment.
+    for (c, codec) in run.containers.iter().zip(&run.codecs) {
+        assert_eq!(c.version(), 2);
+        assert_eq!(c.codec(), *codec);
+        assert!(c.checksum().is_some());
+    }
+}
+
+#[test]
+fn mixed_run_honours_every_partition_bound() {
+    let (p, field, dec, _) = build(32, 4);
+    let run = p.run_adaptive(&field);
+    let recon: Field3<f32> = run.reconstruct(&dec).expect("assembles");
+    let bricks_o = dec.split(&field);
+    let bricks_r = dec.split(&recon);
+    for (((bo, br), &eb), codec) in
+        bricks_o.iter().zip(&bricks_r).zip(&run.ebs).zip(&run.codecs)
+    {
+        let err = bo.max_abs_diff(br);
+        assert!(err <= eb * (1.0 + 1e-9), "{codec}: partition err {err} > eb {eb}");
+    }
+}
+
+#[test]
+fn adaptive_mixed_beats_single_codec_runs_at_equal_quality() {
+    let (p, field, _, _) = build(32, 4);
+    let mixed = p.run_adaptive(&field);
+    let mean_eb = |r: &adaptive_config::PipelineResult| {
+        r.ebs.iter().sum::<f64>() / r.ebs.len() as f64
+    };
+    for codec in CodecId::ALL {
+        let single = p.run_adaptive_single(&field, codec);
+        // Equal quality target: both runs spend the same mean-bound budget.
+        assert!(
+            (mean_eb(&mixed) - mean_eb(&single)).abs() <= 1e-9 * mean_eb(&mixed),
+            "budgets diverged: mixed {} vs {codec} {}",
+            mean_eb(&mixed),
+            mean_eb(&single)
+        );
+        assert!(
+            mixed.ratio() > single.ratio(),
+            "adaptive-mixed {:.3}x does not beat {codec}-only {:.3}x",
+            mixed.ratio(),
+            single.ratio()
+        );
+    }
+}
+
+#[test]
+fn mixed_containers_roundtrip_through_storage_bytes() {
+    // A mixed snapshot written out and read back byte-by-byte reconstructs
+    // identically — the wire format carries everything needed.
+    let (p, field, dec, _) = build(16, 2);
+    let run = p.run_adaptive(&field);
+    let direct: Field3<f32> = run.reconstruct(&dec).unwrap();
+    let bricks: Vec<Field3<f32>> = run
+        .containers
+        .iter()
+        .map(|c| {
+            let stored = c.as_bytes().to_vec();
+            let back = adaptive_config::Container::from_bytes(stored).expect("reparses");
+            assert_eq!(back.codec(), c.codec());
+            back.decode_field::<f32>().expect("decodes")
+        })
+        .collect();
+    let via_storage = dec.assemble(&bricks).unwrap();
+    for (a, b) in direct.as_slice().iter().zip(via_storage.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
