@@ -10,7 +10,7 @@
 //!   flipped-candidacy probability 25 % inside the `±eb` band around
 //!   `t_boundary`, expected mass fault `t_boundary·Σ n_bc/4`;
 //! * [`error_model::sz_error`] — empirical validation hooks for the
-//!   uniform-error premise (Fig. 3);
+//!   uniform-error premise (Fig. 3), per codec backend;
 //! * [`ratio_model`] — the bit-rate model `b_m = C_m·eb^c` with shared
 //!   exponent `c` and `C_m` predicted from the partition **mean** via a
 //!   logarithmic fit (Eq. 15, Fig. 10), fitted **per codec backend**
@@ -39,6 +39,7 @@ pub mod math;
 pub mod optimizer;
 pub mod pipeline;
 pub mod ratio_model;
+pub mod session;
 pub mod trial_and_error;
 
 pub use codec_core::{CodecId, Container};
@@ -47,3 +48,6 @@ pub use error_model::halo::HaloErrorModel;
 pub use optimizer::{OptimizedConfig, Optimizer, QualityTarget};
 pub use pipeline::{InSituPipeline, PipelineConfig, PipelineResult};
 pub use ratio_model::{CodecModelBank, PartitionFeature, RatioModel};
+pub use session::{
+    QualityPolicy, Recalibration, SessionConfig, SnapshotRecord, SnapshotStats, StreamSession,
+};

@@ -47,8 +47,7 @@ pub fn r_squared(xs: &[f64], ys: &[f64], a: f64, b: f64) -> f64 {
     if ss_tot == 0.0 {
         return 1.0;
     }
-    let ss_res: f64 =
-        xs.iter().zip(ys).map(|(x, y)| (y - (a + b * x)) * (y - (a + b * x))).sum();
+    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (a + b * x)) * (y - (a + b * x))).sum();
     1.0 - ss_res / ss_tot
 }
 

@@ -486,8 +486,7 @@ mod tests {
         // boundary_cells_ref = 100 at eb_ref = 1; at eb ≈ 0.2 the modeled
         // fault is t_b · (2·100·0.2)/4 = t_b·10. Set budget below that.
         let t_b = 88.16;
-        let unconstrained =
-            opt.optimize(&f, &QualityTarget::fft_only(0.2)).predicted_bitrate;
+        let unconstrained = opt.optimize(&f, &QualityTarget::fft_only(0.2)).predicted_bitrate;
         let tgt = QualityTarget::with_halo(0.2, t_b, 100.0);
         let cfg = opt.optimize(&f, &tgt);
         assert!(cfg.halo_limited);

@@ -29,7 +29,7 @@
 
 use crate::optimizer::{OptimizedConfig, Optimizer, QualityTarget};
 use crate::ratio_model::{
-    extract_features, sample_bricks, CalibrationReport, CodecModelBank,
+    extract_features, sample_bricks, CalibrationReport, CodecModelBank, PartitionFeature,
 };
 use codec_core::{CodecId, Container};
 use gridlab::{Decomposition, Field3, GridError, Scalar};
@@ -92,6 +92,11 @@ impl Timings {
 /// Outcome of compressing one field through the pipeline.
 #[derive(Debug, Clone)]
 pub struct PipelineResult {
+    /// Per-partition features the optimizer priced (empty for the
+    /// traditional baseline, which never extracts them). The streaming
+    /// session's drift detector reads these to compare predicted vs
+    /// measured per-partition bit rates.
+    pub features: Vec<PartitionFeature>,
     /// Per-partition bounds used (uniform for the traditional baseline).
     pub ebs: Vec<f64>,
     /// Per-partition codec assignment (uniform for the traditional
@@ -125,6 +130,26 @@ impl PipelineResult {
         codec_core::codec_counts(self.codecs.iter().copied())
     }
 
+    /// `(min, max)` of the per-partition bounds, ignoring NaNs; `None`
+    /// when no partition carries a finite bound (or there are none).
+    pub fn eb_range(&self) -> Option<(f64, f64)> {
+        self.ebs.iter().filter(|e| !e.is_nan()).fold(None, |acc, &e| match acc {
+            None => Some((e, e)),
+            Some((lo, hi)) => Some((lo.min(e), hi.max(e))),
+        })
+    }
+
+    /// Per-partition **measured** bit rate (bits/value) of the codec
+    /// payloads — the wrapper overhead is excluded, matching what the rate
+    /// models calibrate on, so this is directly comparable to
+    /// [`RatioModel::predict_bitrate`](crate::ratio_model::RatioModel::predict_bitrate).
+    pub fn measured_bitrates(&self) -> Vec<f64> {
+        self.containers
+            .iter()
+            .map(|c| 8.0 * c.payload_len() as f64 / c.dims().len() as f64)
+            .collect()
+    }
+
     /// Decompress every partition and reassemble the full field.
     pub fn reconstruct<T: Scalar>(&self, dec: &Decomposition) -> Result<Field3<T>, GridError> {
         let bricks: Vec<Field3<T>> = self
@@ -137,9 +162,15 @@ impl PipelineResult {
 }
 
 /// The adaptive in situ pipeline.
+///
+/// The configuration is deliberately not public: between-run retargeting
+/// goes through [`InSituPipeline::set_target`], and time-series loops
+/// should drive a [`StreamSession`](crate::session::StreamSession), whose
+/// [`QualityPolicy`](crate::session::QualityPolicy) is the sanctioned way
+/// to evolve the target across snapshots.
 #[derive(Debug, Clone)]
 pub struct InSituPipeline {
-    pub cfg: PipelineConfig,
+    cfg: PipelineConfig,
     pub optimizer: Optimizer,
 }
 
@@ -183,30 +214,78 @@ impl InSituPipeline {
         (Self::with_models(cfg, models), reports)
     }
 
+    /// Read-only view of the pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Retarget the quality budget between runs — the one sanctioned
+    /// mutation of a built pipeline. For snapshot series prefer
+    /// [`StreamSession`](crate::session::StreamSession), which derives the
+    /// target each snapshot from a [`QualityPolicy`](crate::session::QualityPolicy).
+    pub fn set_target(&mut self, target: QualityTarget) {
+        self.cfg.target = target;
+    }
+
+    /// Swap the fitted model bank (drift-triggered recalibration installs
+    /// refreshed models through this), preserving the rest of the
+    /// optimizer's state (e.g. a tuned `clamp_factor`). Panics if an
+    /// enabled codec has no model, mirroring
+    /// [`InSituPipeline::with_models`].
+    pub fn set_models(&mut self, models: CodecModelBank) {
+        for &codec in &self.cfg.codecs {
+            assert!(models.get(codec).is_some(), "no model fitted for enabled codec {codec}");
+        }
+        self.optimizer.models = models;
+    }
+
+    /// Extract the per-partition features the optimizer prices, honouring
+    /// the configured halo threshold and reference bound.
+    pub fn extract_features<T: Scalar>(&self, field: &Field3<T>) -> Vec<PartitionFeature> {
+        let t_boundary = self.cfg.target.halo.map(|h| h.t_boundary).unwrap_or(0.0);
+        extract_features(field, &self.cfg.dec, t_boundary, self.cfg.eb_ref)
+    }
+
     /// Run the full adaptive flow on one field.
     pub fn run_adaptive<T: Scalar>(&self, field: &Field3<T>) -> PipelineResult {
-        let dec = &self.cfg.dec;
-        let t_boundary = self.cfg.target.halo.map(|h| h.t_boundary).unwrap_or(0.0);
-
         let t0 = Instant::now();
-        let features = extract_features(field, dec, t_boundary, self.cfg.eb_ref);
+        let features = self.extract_features(field);
         let t_features = t0.elapsed();
+        let mut r = self.run_with_features(field, features);
+        r.timings.features = t_features;
+        r
+    }
 
+    /// The optimize + compress tail of the adaptive flow over
+    /// already-extracted features (the streaming session extracts features
+    /// once per snapshot and reuses them for policy resolution). The
+    /// returned feature timing is zero; callers that measured extraction
+    /// themselves patch it in.
+    pub fn run_with_features<T: Scalar>(
+        &self,
+        field: &Field3<T>,
+        features: Vec<PartitionFeature>,
+    ) -> PipelineResult {
+        assert_eq!(features.len(), self.cfg.dec.num_partitions());
         let t1 = Instant::now();
         let decision = self.optimizer.optimize(&features, &self.cfg.target);
         let t_optimize = t1.elapsed();
 
-        let (containers, t_compress) =
-            self.compress_with(field, &decision.ebs, &decision.codecs);
+        let (containers, t_compress) = self.compress_with(field, &decision.ebs, &decision.codecs);
         let compressed_bytes = containers.iter().map(|c| c.len()).sum();
         PipelineResult {
+            features,
             ebs: decision.ebs.clone(),
             codecs: decision.codecs.clone(),
             containers,
             original_bytes: field.len() * T::BYTES,
             compressed_bytes,
             decision: Some(decision),
-            timings: Timings { features: t_features, optimize: t_optimize, compress: t_compress },
+            timings: Timings {
+                features: Duration::ZERO,
+                optimize: t_optimize,
+                compress: t_compress,
+            },
         }
     }
 
@@ -220,6 +299,7 @@ impl InSituPipeline {
         let (containers, t_compress) = self.compress_with(field, &ebs, &codecs);
         let compressed_bytes = containers.iter().map(|c| c.len()).sum();
         PipelineResult {
+            features: Vec::new(),
             ebs,
             codecs,
             containers,
@@ -291,18 +371,16 @@ mod tests {
         let field = contrast_field(n);
         let dec = Decomposition::cubic(n, parts).unwrap();
         let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg));
-        let (p, _) =
-            InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
+        let (p, _) = InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
         (p, field)
     }
 
     fn multi_pipeline(n: usize, parts: usize, eb_avg: f64) -> (InSituPipeline, Field3<f32>) {
         let field = contrast_field(n);
         let dec = Decomposition::cubic(n, parts).unwrap();
-        let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg))
-            .with_codecs(&CodecId::ALL);
-        let (p, _) =
-            InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
+        let cfg =
+            PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg)).with_codecs(&CodecId::ALL);
+        let (p, _) = InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
         (p, field)
     }
 
@@ -365,11 +443,49 @@ mod tests {
         // checked by the release-mode perf experiment at realistic scale;
         // here we just require the overhead not to exceed compression
         // wholesale.
-        assert!(
-            r.timings.overhead_fraction() < 2.0,
-            "overhead {}",
-            r.timings.overhead_fraction()
-        );
+        assert!(r.timings.overhead_fraction() < 2.0, "overhead {}", r.timings.overhead_fraction());
+    }
+
+    #[test]
+    fn eb_range_spans_the_bounds() {
+        let (p, field) = pipeline(32, 4, 0.2);
+        let r = p.run_adaptive(&field);
+        let (lo, hi) = r.eb_range().expect("non-empty run");
+        assert!(lo <= hi);
+        assert!(r.ebs.iter().all(|&e| (lo..=hi).contains(&e)));
+        // NaN-safe: poisoning one entry must not poison the range.
+        let mut poisoned = r.clone();
+        poisoned.ebs[0] = f64::NAN;
+        let (plo, phi) = poisoned.eb_range().expect("other entries remain");
+        assert!(plo.is_finite() && phi.is_finite());
+    }
+
+    #[test]
+    fn eb_range_on_empty_and_single_partition_results() {
+        let empty = PipelineResult {
+            features: Vec::new(),
+            ebs: Vec::new(),
+            codecs: Vec::new(),
+            containers: Vec::new(),
+            original_bytes: 0,
+            compressed_bytes: 0,
+            decision: None,
+            timings: Timings::default(),
+        };
+        assert_eq!(empty.eb_range(), None);
+        let mut all_nan = empty.clone();
+        all_nan.ebs = vec![f64::NAN];
+        assert_eq!(all_nan.eb_range(), None);
+
+        // Single partition: a 16³ domain decomposed 1×1×1 (calibration
+        // needs ≥ 2 sample bricks, so install a model directly).
+        let field = contrast_field(16);
+        let dec = Decomposition::cubic(16, 1).unwrap();
+        let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(0.3));
+        let model = crate::ratio_model::RatioModel { c: -0.5, a0: 0.5, a1: 0.3 };
+        let p = InSituPipeline::with_models(cfg, CodecModelBank::single(CodecId::Rsz, model));
+        let r = p.run_traditional(&field, 0.3);
+        assert_eq!(r.eb_range(), Some((0.3, 0.3)));
     }
 
     #[test]
@@ -430,9 +546,7 @@ mod tests {
         let recon: Field3<f32> = r.reconstruct(&p.cfg.dec).unwrap();
         let bricks_o = p.cfg.dec.split(&field);
         let bricks_r = p.cfg.dec.split(&recon);
-        for (((bo, br), &eb), codec) in
-            bricks_o.iter().zip(&bricks_r).zip(&r.ebs).zip(&r.codecs)
-        {
+        for (((bo, br), &eb), codec) in bricks_o.iter().zip(&bricks_r).zip(&r.ebs).zip(&r.codecs) {
             let err = bo.max_abs_diff(br);
             assert!(err <= eb + 1e-9, "{codec} partition err {err} > eb {eb}");
         }
@@ -460,17 +574,24 @@ mod tests {
     }
 
     #[test]
+    fn set_models_preserves_optimizer_tuning() {
+        let (mut p, _) = pipeline(16, 2, 0.3);
+        p.optimizer.clamp_factor = 8.0;
+        let bank = p.optimizer.models.clone();
+        p.set_models(bank);
+        assert_eq!(p.optimizer.clamp_factor, 8.0, "swapping models must not reset tuning");
+    }
+
+    #[test]
     fn with_models_rejects_missing_codec() {
         let field = contrast_field(16);
         let dec = Decomposition::cubic(16, 2).unwrap();
         let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(0.2));
         let (p, _) = InSituPipeline::calibrate(cfg, &field, 2, &[0.1, 0.2, 0.4]);
         // rsz-only bank, but a config that enables both codecs:
-        let both = PipelineConfig::new(dec, QualityTarget::fft_only(0.2))
-            .with_codecs(&CodecId::ALL);
+        let both =
+            PipelineConfig::new(dec, QualityTarget::fft_only(0.2)).with_codecs(&CodecId::ALL);
         let bank = p.optimizer.models.clone();
-        assert!(
-            std::panic::catch_unwind(move || InSituPipeline::with_models(both, bank)).is_err()
-        );
+        assert!(std::panic::catch_unwind(move || InSituPipeline::with_models(both, bank)).is_err());
     }
 }

@@ -98,11 +98,7 @@ impl RatioModel {
     pub fn predict_overall_bitrate(&self, means: &[f64], ebs: &[f64]) -> f64 {
         assert_eq!(means.len(), ebs.len());
         assert!(!means.is_empty());
-        means
-            .iter()
-            .zip(ebs)
-            .map(|(&m, &e)| self.predict_bitrate(m, e))
-            .sum::<f64>()
+        means.iter().zip(ebs).map(|(&m, &e)| self.predict_bitrate(m, e)).sum::<f64>()
             / means.len() as f64
     }
 
@@ -169,10 +165,8 @@ impl RatioModel {
         for brick in bricks {
             let mean = gridlab::stats::mean(brick.as_slice());
             means.push(mean);
-            let rates: Vec<f64> = eb_sweep
-                .iter()
-                .map(|&eb| measure(brick, eb).max(1e-6).ln())
-                .collect();
+            let rates: Vec<f64> =
+                eb_sweep.iter().map(|&eb| measure(brick, eb).max(1e-6).ln()).collect();
             let (_, slope) = linear_fit(&ln_ebs, &rates);
             exponents.push(slope);
             ln_rates.push(rates);
@@ -183,12 +177,9 @@ impl RatioModel {
         let coeffs: Vec<f64> = ln_rates
             .iter()
             .map(|rates| {
-                let ln_c = rates
-                    .iter()
-                    .zip(&ln_ebs)
-                    .map(|(lb, le)| lb - c_shared * le)
-                    .sum::<f64>()
-                    / rates.len() as f64;
+                let ln_c =
+                    rates.iter().zip(&ln_ebs).map(|(lb, le)| lb - c_shared * le).sum::<f64>()
+                        / rates.len() as f64;
                 ln_c.exp()
             })
             .collect();
@@ -268,10 +259,7 @@ impl CodecModelBank {
     pub fn new(entries: Vec<(CodecId, RatioModel)>) -> Self {
         assert!(!entries.is_empty(), "bank needs at least one codec model");
         for (i, (a, _)) in entries.iter().enumerate() {
-            assert!(
-                entries[..i].iter().all(|(b, _)| b != a),
-                "duplicate codec {a} in bank"
-            );
+            assert!(entries[..i].iter().all(|(b, _)| b != a), "duplicate codec {a} in bank");
         }
         Self { entries }
     }
@@ -338,7 +326,9 @@ mod tests {
             let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
             (offset
                 + amp
-                    * ((x as f64 * 0.8).sin() + (y as f64 * 0.6).cos() + (z as f64 * 0.9).sin()
+                    * ((x as f64 * 0.8).sin()
+                        + (y as f64 * 0.6).cos()
+                        + (z as f64 * 0.9).sin()
                         + noise)) as f32
         })
     }
@@ -391,8 +381,7 @@ mod tests {
         let means = [5.0, 50.0];
         let ebs = [0.1, 0.1];
         let overall = model.predict_overall_bitrate(&means, &ebs);
-        let manual =
-            (model.predict_bitrate(5.0, 0.1) + model.predict_bitrate(50.0, 0.1)) / 2.0;
+        let manual = (model.predict_bitrate(5.0, 0.1) + model.predict_bitrate(50.0, 0.1)) / 2.0;
         assert!((overall - manual).abs() < 1e-12);
     }
 

@@ -68,7 +68,7 @@ fn pipeline(
 fn parallel_adaptive_containers_match_serial_bytes() {
     let (p, field) = pipeline(32, 4, 0.2, &[CodecId::Rsz]);
     let run = p.run_adaptive(&field);
-    let reference = serial_containers(&field, &p.cfg.dec, &run.codecs, &run.ebs);
+    let reference = serial_containers(&field, &p.config().dec, &run.codecs, &run.ebs);
     assert_eq!(run.containers.len(), reference.len());
     for (id, (par, ser)) in run.containers.iter().zip(&reference).enumerate() {
         assert_eq!(
@@ -83,7 +83,7 @@ fn parallel_adaptive_containers_match_serial_bytes() {
 fn parallel_traditional_containers_match_serial_bytes() {
     let (p, field) = pipeline(32, 4, 0.2, &[CodecId::Rsz]);
     let run = p.run_traditional(&field, 0.15);
-    let reference = serial_containers(&field, &p.cfg.dec, &run.codecs, &run.ebs);
+    let reference = serial_containers(&field, &p.config().dec, &run.codecs, &run.ebs);
     for (id, (par, ser)) in run.containers.iter().zip(&reference).enumerate() {
         assert_eq!(par.as_bytes(), ser.as_bytes(), "partition {id} differs");
     }
@@ -96,7 +96,7 @@ fn mixed_codec_parallel_containers_match_serial_bytes() {
     // cross-codec scratch state must never leak into the bytes.
     let (p, field) = pipeline(32, 4, 0.2, &CodecId::ALL);
     let run = p.run_adaptive(&field);
-    let reference = serial_containers(&field, &p.cfg.dec, &run.codecs, &run.ebs);
+    let reference = serial_containers(&field, &p.config().dec, &run.codecs, &run.ebs);
     assert_eq!(run.containers.len(), reference.len());
     for (id, (par, ser)) in run.containers.iter().zip(&reference).enumerate() {
         assert_eq!(
@@ -129,11 +129,11 @@ fn parallel_reconstruction_is_bit_identical_to_serial_decode() {
     let (p, field) = pipeline(32, 4, 0.2, &CodecId::ALL);
     let run = p.run_adaptive(&field);
     // Parallel path: PipelineResult::reconstruct (par_iter decode).
-    let recon_par: Field3<f32> = run.reconstruct(&p.cfg.dec).unwrap();
+    let recon_par: Field3<f32> = run.reconstruct(&p.config().dec).unwrap();
     // Serial path: decode each container on this thread, assemble.
     let bricks: Vec<Field3<f32>> =
         run.containers.iter().map(|c| c.decode_field::<f32>().unwrap()).collect();
-    let recon_ser = p.cfg.dec.assemble(&bricks).unwrap();
+    let recon_ser = p.config().dec.assemble(&bricks).unwrap();
     let a = recon_par.as_slice();
     let b = recon_ser.as_slice();
     assert_eq!(a.len(), b.len());

@@ -32,8 +32,7 @@ fn calibrate_and_run_adaptive_on_16_cubed() {
 
     // The per-partition bound holds on the reconstruction.
     let recon: Field3<f32> = result.reconstruct(&dec).expect("assembles");
-    for ((orig, rec), &eb) in
-        dec.split(field).iter().zip(dec.split(&recon).iter()).zip(&result.ebs)
+    for ((orig, rec), &eb) in dec.split(field).iter().zip(dec.split(&recon).iter()).zip(&result.ebs)
     {
         assert!(orig.max_abs_diff(rec) <= eb + 1e-9);
     }

@@ -1,0 +1,41 @@
+//! Criterion: streaming session engine — the cold first push (one full
+//! calibration + compress) against the steady-state push where the models
+//! transfer and the snapshot pays only features + optimize + compress.
+//! The gap is the amortization the session buys a redshift-series loop.
+
+use adaptive_config::session::{QualityPolicy, Recalibration, SessionConfig, StreamSession};
+use bench::{workloads, Scale};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_stream(c: &mut Criterion) {
+    let scale = Scale { n: 64, parts: 4, seed: 42 };
+    let snap = workloads::snapshot(&scale);
+    let field = &snap.baryon_density;
+    let dec = workloads::decomposition(&scale);
+    let session_cfg = || SessionConfig::new(dec.clone(), QualityPolicy::SigmaScaled(0.1));
+
+    let mut g = c.benchmark_group("insitu_stream");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((field.len() * 4) as u64));
+    g.bench_function("first_push_cold", |b| {
+        b.iter(|| {
+            let mut s = StreamSession::new(session_cfg());
+            s.push_snapshot(field)
+        })
+    });
+    {
+        let mut s = StreamSession::new(session_cfg());
+        s.push_snapshot(field);
+        g.bench_function("steady_push", |b| {
+            b.iter(|| {
+                let rec = s.push_snapshot(field);
+                assert_eq!(rec.stats.recalibration, Recalibration::Skipped);
+                rec
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -153,8 +153,7 @@ fn main() {
     {
         let field = &snap.baryon_density;
         let eb_avg = workloads::default_eb_avg(field);
-        let pipeline =
-            workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
+        let pipeline = workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
         t.measure("insitu_step/adaptive", &grid, samples, Some(bytes), || {
             black_box(pipeline.run_adaptive(field));
         });
@@ -198,6 +197,76 @@ fn main() {
                 "pipeline speedup parallel-over-serial: {:.2}x on {} core(s)",
                 serial as f64 / parallel as f64,
                 t.host_parallelism
+            ));
+        }
+    }
+
+    // --- insitu_stream workloads: session amortization over a series ---
+    // The streaming session calibrates once (snapshot 0) and transfers the
+    // models across later snapshots, refreshing only on measured drift.
+    // Recorded: cold-vs-steady push wall clock, plus the modeling +
+    // optimization cost per snapshot across a 5-snapshot redshift series —
+    // the amortization the session engine exists to buy.
+    {
+        use adaptive_config::session::{QualityPolicy, SessionConfig, StreamSession};
+        let field = &snap.baryon_density;
+        let session_cfg = || SessionConfig::new(dec.clone(), QualityPolicy::SigmaScaled(0.1));
+        t.measure("insitu_stream/first_push_cold", &grid, samples, Some(bytes), || {
+            let mut s = StreamSession::new(session_cfg());
+            black_box(s.push_snapshot(field));
+        });
+        {
+            let mut s = StreamSession::new(session_cfg());
+            s.push_snapshot(field);
+            t.measure("insitu_stream/steady_push", &grid, samples, Some(bytes), || {
+                black_box(s.push_snapshot(field));
+            });
+        }
+
+        let nyx = nyxlite::NyxConfig::new(scale.n, scale.seed);
+        let redshifts = [54.0, 51.0, 48.0, 45.0, 42.0];
+        let fields: Vec<_> = redshifts.iter().map(|&z| nyx.generate(z).baryon_density).collect();
+        let mut full_costs = Vec::new();
+        let mut steady_costs = Vec::new();
+        let mut refreshes = 0;
+        for _ in 0..samples.max(1) {
+            let mut s = StreamSession::new(session_cfg());
+            for f in &fields {
+                s.push_snapshot(f);
+            }
+            let h = s.history();
+            full_costs.push(h[0].model_cost.as_nanos() as u64);
+            let steady: u64 =
+                h[1..].iter().map(|st| st.adaptive_cost().as_nanos() as u64).sum::<u64>()
+                    / (h.len() - 1) as u64;
+            steady_costs.push(steady);
+            refreshes = s.refreshes();
+        }
+        full_costs.sort_unstable();
+        steady_costs.sort_unstable();
+        let full = full_costs[full_costs.len() / 2];
+        let steady = steady_costs[steady_costs.len() / 2];
+        let series_grid = format!("{grid}, 5 snapshots");
+        for (name, ns) in [
+            ("insitu_stream/series/full_calibration", full),
+            ("insitu_stream/series/steady_model_optimize", steady),
+        ] {
+            t.entries.push(bench::trajectory::BenchEntry {
+                bench: name.to_string(),
+                median_ns: ns,
+                throughput: 0.0,
+                throughput_unit: String::new(),
+                grid: series_grid.clone(),
+            });
+        }
+        if steady > 0 {
+            t.note(format!(
+                "insitu_stream series: full calibration {:.2} ms on snapshot 0, \
+                 steady modeling+optimize {:.3} ms/snapshot after ({:.1}x cheaper), \
+                 {refreshes} drift refresh(es) in 5 snapshots",
+                full as f64 / 1e6,
+                steady as f64 / 1e6,
+                full as f64 / steady as f64,
             ));
         }
     }
@@ -267,11 +336,8 @@ fn main() {
                     grid: sel_grid.clone(),
                 });
             }
-            let mix: Vec<String> = mixed
-                .codec_counts()
-                .iter()
-                .map(|(c, n)| format!("{n} {c}"))
-                .collect();
+            let mix: Vec<String> =
+                mixed.codec_counts().iter().map(|(c, n)| format!("{n} {c}")).collect();
             t.note(format!(
                 "codec_select {kind}: adaptive-mixed {:.2}x ({}) vs rsz-only {:.2}x vs \
                  zfp-only {:.2}x at mean eb {:.4}",
@@ -288,17 +354,12 @@ fn main() {
     if smoke {
         eprintln!("smoke run: not persisted");
     } else {
-        let path = t
-            .save_next(std::path::Path::new("results"))
-            .expect("write trajectory under results/");
+        let path =
+            t.save_next(std::path::Path::new("results")).expect("write trajectory under results/");
         eprintln!("wrote {}", path.display());
     }
 }
 
-fn par_compress(
-    dec: &Decomposition,
-    field: &Field3<f32>,
-    cfg: &SzConfig,
-) -> Vec<rsz::Compressed> {
+fn par_compress(dec: &Decomposition, field: &Field3<f32>, cfg: &SzConfig) -> Vec<rsz::Compressed> {
     dec.par_map(field, |_, brick| compress_slice(brick.as_slice(), brick.dims(), cfg))
 }

@@ -1,0 +1,60 @@
+//! Regenerate the `STRM` stream-container golden fixture used by the root
+//! `stream_compat` test.
+//!
+//! The fixture is a 2-frame × 8-partition stream over a deterministic LCG
+//! field family (no RNG crate, stable across toolchains), with even
+//! partitions compressed by `rsz` and odd ones by `zfplite` so the fixture
+//! pins the manifest layout *and* both codec payload formats inside v2
+//! containers. If the fixture needs re-rooting after a *deliberate*
+//! stream-format version bump, run:
+//!
+//! ```text
+//! cargo run --release -p bench --bin diag_strm_fixture
+//! ```
+//!
+//! and commit the new bytes together with the rationale.
+
+use codec_core::{CodecId, Container, StreamWriter};
+use gridlab::{Decomposition, Dim3, Field3};
+
+/// Must match `tests/stream_compat.rs`.
+fn fixture_field(frame: u64) -> Field3<f32> {
+    let mut state = 0xA11CE ^ (frame << 32);
+    Field3::from_fn(Dim3::cube(16), |_, _, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * (150.0 + 25.0 * frame as f32)
+    })
+}
+
+/// Must match `tests/stream_compat.rs`.
+fn fixture_stream() -> Vec<u8> {
+    let dec = Decomposition::cubic(16, 2).expect("2 divides 16");
+    let mut w = StreamWriter::new(dec.num_partitions());
+    for frame in 0..2u64 {
+        let field = fixture_field(frame);
+        let containers: Vec<Container> = dec
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let brick = field.extract(p.origin, p.dims);
+                let codec = if i % 2 == 0 { CodecId::Rsz } else { CodecId::Zfp };
+                Container::compress(codec, brick.as_slice(), brick.dims(), 0.25)
+            })
+            .collect();
+        w.push_frame(&containers);
+    }
+    w.finish()
+}
+
+fn main() {
+    let bytes = fixture_stream();
+    let path = std::path::Path::new("tests/fixtures/strm_v1_2x8.bin");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir fixtures");
+    std::fs::write(path, &bytes).expect("write fixture");
+    println!(
+        "wrote {} ({} bytes, fnv1a64 {:#018x})",
+        path.display(),
+        bytes.len(),
+        codec_core::fnv1a64(&bytes)
+    );
+}

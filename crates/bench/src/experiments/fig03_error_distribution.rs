@@ -22,10 +22,7 @@ pub fn run(scale: &Scale) -> Report {
         r.row(vec![f(d.histogram.center(i)), c.to_string(), f(expect)]);
     }
     r.note(format!("error mean = {} (model: 0)", f(d.mean)));
-    r.note(format!(
-        "variance / (eb²/3) = {} (model: 1.0 for uniform)",
-        f(d.variance_vs_uniform())
-    ));
+    r.note(format!("variance / (eb²/3) = {} (model: 1.0 for uniform)", f(d.variance_vs_uniform())));
     r.note(format!("bin-count CV = {} (0 = perfectly flat)", f(d.uniformity_cv())));
     r.note(format!("bound violations = {} (must be 0)", d.bound_violations));
     r

@@ -21,8 +21,9 @@ pub fn run(scale: &Scale) -> Report {
 
     // Mixed bounds: alternate between 0.5× and 1.5× of a base bound.
     let base = workloads::default_eb_avg(field);
-    let ebs: Vec<f64> =
-        (0..dec.num_partitions()).map(|i| if i % 2 == 0 { 0.5 * base } else { 1.5 * base }).collect();
+    let ebs: Vec<f64> = (0..dec.num_partitions())
+        .map(|i| if i % 2 == 0 { 0.5 * base } else { 1.5 * base })
+        .collect();
 
     // Compress/decompress per partition.
     let bricks = dec.par_map(field, |p, brick| {
@@ -47,8 +48,7 @@ pub fn run(scale: &Scale) -> Report {
     let model = FftErrorModel::new(field.len());
     let sigma_model = model.sigma_mixed(&ebs);
     let re: Vec<f64> = errs.iter().map(|z| z.re).collect();
-    let sigma_real =
-        (re.iter().map(|e| e * e).sum::<f64>() / re.len() as f64).sqrt();
+    let sigma_real = (re.iter().map(|e| e * e).sum::<f64>() / re.len() as f64).sqrt();
 
     let mut r = Report::new(
         "fig04",

@@ -37,8 +37,7 @@ pub fn run(scale: &Scale) -> Report {
             .map(|(&a, &b)| Complex64::real(a as f64 - b as f64))
             .collect();
         Fft3::new(d.nx, d.ny, d.nz).forward(&mut buf);
-        let measured =
-            (buf.iter().map(|z| z.re * z.re).sum::<f64>() / buf.len() as f64).sqrt();
+        let measured = (buf.iter().map(|z| z.re * z.re).sum::<f64>() / buf.len() as f64).sqrt();
         let predicted = model.sigma_mixed(&ebs);
         r.row(vec![f(eb_avg), f(predicted), f(measured), f(measured / predicted)]);
     }

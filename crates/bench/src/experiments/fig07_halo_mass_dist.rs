@@ -20,11 +20,11 @@ pub fn run(scale: &Scale) -> Report {
     let orig = masses(field);
 
     // Log-spaced mass bins spanning the original catalog.
-    let (lo, hi) = match (orig.iter().cloned().reduce(f64::min), orig.iter().cloned().reduce(f64::max))
-    {
-        (Some(lo), Some(hi)) if hi > lo => (lo.ln(), (hi * 1.001).ln()),
-        _ => (0.0, 1.0),
-    };
+    let (lo, hi) =
+        match (orig.iter().cloned().reduce(f64::min), orig.iter().cloned().reduce(f64::max)) {
+            (Some(lo), Some(hi)) if hi > lo => (lo.ln(), (hi * 1.001).ln()),
+            _ => (0.0, 1.0),
+        };
     let bins = 6;
     let w = (hi - lo) / bins as f64;
     let hist = |ms: &[f64]| -> Vec<usize> {

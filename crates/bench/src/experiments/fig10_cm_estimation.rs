@@ -34,12 +34,7 @@ pub fn run(scale: &Scale) -> Report {
         let ln_b: Vec<f64> =
             sweep.iter().map(|&eb| measured_bitrate(&brick, eb).max(1e-6).ln()).collect();
         // C from the measured points under the shared exponent.
-        let ln_c = ln_b
-            .iter()
-            .zip(&ln_eb)
-            .map(|(lb, le)| lb - model.c * le)
-            .sum::<f64>()
-            / 2.0;
+        let ln_c = ln_b.iter().zip(&ln_eb).map(|(lb, le)| lb - model.c * le).sum::<f64>() / 2.0;
         let c_meas = ln_c.exp();
         let c_pred = model.coefficient(mean);
         let rel = (c_pred - c_meas).abs() / c_meas;
@@ -91,9 +86,7 @@ mod tests {
         let nums: Vec<f64> = note
             .split('=')
             .skip(1)
-            .filter_map(|s| {
-                s.trim().split([',', ' ']).next().and_then(|t| t.parse::<f64>().ok())
-            })
+            .filter_map(|s| s.trim().split([',', ' ']).next().and_then(|t| t.parse::<f64>().ok()))
             .collect();
         assert_eq!(nums.len(), 2, "{note}");
         assert!((nums[0] - nums[1]).abs() < 0.5 * nums[0].abs().max(0.2), "{note}");

@@ -60,8 +60,7 @@ pub fn run(scale: &Scale) -> Report {
     let recon_a: Field3<f32> = adaptive.reconstruct(&dec).expect("assembles");
     let ps_a = power_spectrum(&recon_a, kind);
 
-    let traditional =
-        pipeline.run_traditional(field, workloads::traditional_eb(eb_avg));
+    let traditional = pipeline.run_traditional(field, workloads::traditional_eb(eb_avg));
     let recon_t: Field3<f32> = traditional.reconstruct(&dec).expect("assembles");
     let ps_t = power_spectrum(&recon_t, kind);
 
@@ -83,9 +82,7 @@ pub fn run(scale: &Scale) -> Report {
     let ok_t = band_ratio_ok(&ps_t, &ps0, k_cut, 0.01);
     let ok_l = band_ratio_ok(&ps_loose, &ps0, k_cut, 0.01);
     r.note(format!("model-derived eb_avg = {} (k_cut = {k_cut})", f(eb_avg)));
-    r.note(format!(
-        "within ±1 % for k<cut: adaptive {ok_a}, traditional {ok_t}, 4x-loose {ok_l}"
-    ));
+    r.note(format!("within ±1 % for k<cut: adaptive {ok_a}, traditional {ok_t}, 4x-loose {ok_l}"));
     r.note(format!(
         "ratio at the model-derived budget: adaptive {}x vs conservative traditional {}x",
         f(adaptive.ratio()),

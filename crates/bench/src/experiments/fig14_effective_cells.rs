@@ -67,7 +67,7 @@ mod tests {
         let r = run(&Scale { n: 48, parts: 4, seed: 27 });
         let total: usize = r.rows.iter().map(|row| row[1].parse::<usize>().unwrap()).sum();
         assert_eq!(total, 64); // 4³ partitions
-        // More than one occupied bucket ⇒ the dispersion the paper shows.
+                               // More than one occupied bucket ⇒ the dispersion the paper shows.
         let occupied = r.rows.iter().filter(|row| row[1] != "0").count();
         assert!(occupied >= 2, "boundary-cell counts not dispersed");
     }

@@ -19,8 +19,11 @@ pub fn run(scale: &Scale) -> Report {
     // Calibrate + optimize on the earliest snapshot to define "static".
     let first = cfg.generate(redshifts[0]);
     let eb_avg = workloads::default_eb_avg(&first.baryon_density);
-    let pipeline =
-        workloads::calibrated_pipeline(&first.baryon_density, &dec, QualityTarget::fft_only(eb_avg));
+    let pipeline = workloads::calibrated_pipeline(
+        &first.baryon_density,
+        &dec,
+        QualityTarget::fft_only(eb_avg),
+    );
     let static_ebs = pipeline.run_adaptive(&first.baryon_density).ebs.clone();
 
     let mut r = Report::new(
@@ -36,24 +39,14 @@ pub fn run(scale: &Scale) -> Report {
         // format as the pipeline, so the comparison is storage-fair).
         let static_r = {
             let containers = dec.par_map(field, |p, brick| {
-                Container::compress(
-                    CodecId::Rsz,
-                    brick.as_slice(),
-                    brick.dims(),
-                    static_ebs[p.id],
-                )
+                Container::compress(CodecId::Rsz, brick.as_slice(), brick.dims(), static_ebs[p.id])
             });
             let bytes: usize = containers.iter().map(|c| c.len()).sum();
             (field.len() * 4) as f64 / bytes as f64
         };
         let traditional =
             pipeline.run_traditional(field, workloads::traditional_eb(eb_avg)).ratio();
-        r.row(vec![
-            f(z),
-            f(1.0),
-            f(static_r / adaptive),
-            f(traditional / adaptive),
-        ]);
+        r.row(vec![f(z), f(1.0), f(static_r / adaptive), f(traditional / adaptive)]);
     }
     r.note("values < 1 mean the method trails per-snapshot adaptive optimization");
     r.note("traditional gap should widen at lower z as partition contrast grows");

@@ -23,8 +23,7 @@ pub fn run(scale: &Scale) -> Report {
         let snap = cfg.generate(z);
         let field = &snap.baryon_density;
         let eb_avg = workloads::default_eb_avg(field);
-        let pipeline =
-            workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
+        let pipeline = workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
         let ebs = pipeline.run_adaptive(field).ebs;
         let mean = ebs.iter().sum::<f64>() / ebs.len() as f64;
         let min = ebs.iter().cloned().fold(f64::MAX, f64::min);

@@ -28,8 +28,7 @@ pub fn run(scale: &Scale) -> Report {
     }
     for &parts in &parts_list {
         let dec = Decomposition::cubic(scale.n, parts).expect("divides");
-        let pipeline =
-            workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
+        let pipeline = workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
         let a = pipeline.run_adaptive(field).ratio();
         let t = pipeline.run_traditional(field, workloads::traditional_eb(eb_avg)).ratio();
         r.row(vec![

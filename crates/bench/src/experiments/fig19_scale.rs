@@ -24,8 +24,7 @@ pub fn run(scale: &Scale) -> Report {
         let field = &snap.baryon_density;
         let dec = Decomposition::cubic(n, scale.parts).expect("divides");
         let eb_avg = workloads::default_eb_avg(field);
-        let pipeline =
-            workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
+        let pipeline = workloads::calibrated_pipeline(field, &dec, QualityTarget::fft_only(eb_avg));
         let a = pipeline.run_adaptive(field).ratio();
         let t = pipeline.run_traditional(field, workloads::traditional_eb(eb_avg)).ratio();
         r.row(vec![

@@ -48,9 +48,7 @@ pub fn run(scale: &Scale) -> Report {
     // Also time the collectives: the MPI_Allreduce stand-in.
     let t0 = Instant::now();
     let ranks = dec.num_partitions().min(64);
-    let _ = adaptive_config::comm::run_ranks(ranks, |rank, comm| {
-        comm.allreduce_mean(rank as f64)
-    });
+    let _ = adaptive_config::comm::run_ranks(ranks, |rank, comm| comm.allreduce_mean(rank as f64));
     r.note(format!(
         "allreduce over {ranks} simulated ranks: {} ms (thread spawn dominated)",
         f(t0.elapsed().as_secs_f64() * 1e3)

@@ -313,8 +313,7 @@ mod tests {
         let mut state = seed;
         (0..dims.len())
             .map(|_| {
-                state =
-                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * amp
             })
             .collect()
@@ -371,9 +370,7 @@ mod tests {
                 CodecId::Zfp => ZfpCodec.compress_slice(&vals, dims, 0.1),
             };
             assert_eq!(via_id, direct, "{id}");
-            let (a, _) = id
-                .decompress_slice_with::<f32>(&via_id, &mut scratch)
-                .expect("decodes");
+            let (a, _) = id.decompress_slice_with::<f32>(&via_id, &mut scratch).expect("decodes");
             assert_eq!(a.len(), dims.len());
         }
     }

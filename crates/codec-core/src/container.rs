@@ -107,8 +107,7 @@ impl Container {
         }
         let codec = CodecId::from_tag(bytes[5])
             .ok_or_else(|| CodecError::Format(format!("unknown codec tag {}", bytes[5])))?;
-        let payload_len =
-            u64::from_le_bytes(bytes[14..22].try_into().expect("8 bytes")) as usize;
+        let payload_len = u64::from_le_bytes(bytes[14..22].try_into().expect("8 bytes")) as usize;
         if bytes.len() != WRAPPER_LEN + payload_len {
             return Err(CodecError::Format(format!(
                 "payload length {} does not match container size {}",
@@ -207,8 +206,7 @@ mod tests {
         let mut state = seed;
         (0..dims.len())
             .map(|_| {
-                state =
-                    state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * amp
             })
             .collect()

@@ -41,12 +41,22 @@
 //! — bare `rsz` `RSZ1` bytes, the only format earlier pipeline revisions
 //! emitted — are still recognised by [`Container::from_bytes`] and decode
 //! through the same API.
+//!
+//! ## Stream containers
+//!
+//! [`stream`] frames a whole snapshot *series*: the `STRM` manifest
+//! ([`StreamWriter`]/[`StreamReader`]) records a frame index plus a
+//! frame×partition offset table over v2 containers, so any
+//! (snapshot, partition) pair decodes in O(1) without scanning prior
+//! frames — the storage format of the streaming session engine.
 
 pub mod codec;
 pub mod container;
+pub mod stream;
 
 pub use codec::{
-    codec_counts, with_scratch, CodecCaps, CodecError, CodecId, CodecScratch, LossyCodec,
-    RszCodec, ZfpCodec,
+    codec_counts, with_scratch, CodecCaps, CodecError, CodecId, CodecScratch, LossyCodec, RszCodec,
+    ZfpCodec,
 };
 pub use container::{fnv1a64, Container, CONTAINER_VERSION};
+pub use stream::{StreamReader, StreamWriter, STREAM_VERSION};

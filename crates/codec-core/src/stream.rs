@@ -1,0 +1,411 @@
+//! Multi-snapshot stream containers.
+//!
+//! A time-series compression loop (the paper's Fig. 16 redshift-series
+//! workflow) produces one set of per-partition [`Container`]s per
+//! snapshot. Before this format existed those sets were disconnected
+//! byte blobs with no framing — a reader had to know out-of-band how many
+//! partitions each snapshot held and where each one started. The `STRM`
+//! stream container gives the series a manifest: every (snapshot,
+//! partition) pair is addressable in O(1) without scanning prior frames.
+//!
+//! ## v1 layout
+//!
+//! ```text
+//! offset  size        field
+//! 0       4           magic "STRM"
+//! 4       1           version (= 1)
+//! 5       3           reserved (zero)
+//! 8       4           partitions per frame, little-endian u32
+//! 12      4           frame (snapshot) count, little-endian u32
+//! 16      8           FNV-1a-64 checksum of the offset-table bytes
+//! 24      8·(F·P+1)   offset table: absolute byte offset of container
+//!                     (frame-major: entry f·P + p), little-endian u64;
+//!                     the final entry is the total stream length
+//! ...                 concatenated v2 partition containers, frame-major
+//! ```
+//!
+//! The table is the whole index: container `(f, p)` occupies
+//! `table[f·P+p] .. table[f·P+p+1]`, so random access needs one slice and
+//! one [`Container::from_bytes`] parse. The table checksum makes manifest
+//! corruption loud at open time; payload integrity stays with each v2
+//! container's own checksum, verified on decode. Offsets are absolute so
+//! a frame range can be served straight from storage without rebasing.
+
+use crate::codec::CodecError;
+use crate::container::{fnv1a64, Container};
+use gridlab::{Decomposition, Field3, Scalar};
+use rayon::prelude::*;
+
+const MAGIC: &[u8; 4] = b"STRM";
+/// Current stream-container version.
+pub const STREAM_VERSION: u8 = 1;
+/// Fixed header bytes preceding the offset table.
+const HEADER_LEN: usize = 4 + 1 + 3 + 4 + 4 + 8;
+
+/// Accumulates per-snapshot container sets and serialises them into one
+/// `STRM` stream.
+///
+/// Frames are buffered as raw container bytes (they are in memory anyway
+/// at emission time) because the offset table precedes the payload region.
+#[derive(Debug, Clone, Default)]
+pub struct StreamWriter {
+    partitions: usize,
+    frames: Vec<Vec<Vec<u8>>>,
+}
+
+impl StreamWriter {
+    /// A writer for frames of `partitions` containers each.
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions > 0, "a frame needs at least one partition");
+        Self { partitions, frames: Vec::new() }
+    }
+
+    /// Append one snapshot's containers (partition-id order).
+    pub fn push_frame(&mut self, containers: &[Container]) {
+        assert_eq!(
+            containers.len(),
+            self.partitions,
+            "frame has {} partitions, stream expects {}",
+            containers.len(),
+            self.partitions
+        );
+        self.frames.push(containers.iter().map(|c| c.as_bytes().to_vec()).collect());
+    }
+
+    /// Frames pushed so far.
+    pub fn frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Partitions per frame.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Serialise header + offset table + payload region. Consumes the
+    /// writer, so each buffered frame is released right after it is
+    /// appended — the ~2× transient peak (output allocation + buffered
+    /// frames) lasts only for the copy loop instead of persisting past
+    /// return. A spill-to-disk writer that avoids the in-memory copy
+    /// entirely is a ROADMAP follow-up.
+    pub fn finish(self) -> Vec<u8> {
+        let p = self.partitions;
+        let f = self.frames.len();
+        let table_len = 8 * (f * p + 1);
+        let payload_len: usize = self.frames.iter().flat_map(|fr| fr.iter().map(Vec::len)).sum();
+
+        let mut table = Vec::with_capacity(table_len);
+        let mut cursor = (HEADER_LEN + table_len) as u64;
+        for frame in &self.frames {
+            for c in frame {
+                table.extend_from_slice(&cursor.to_le_bytes());
+                cursor += c.len() as u64;
+            }
+        }
+        table.extend_from_slice(&cursor.to_le_bytes());
+
+        let mut bytes = Vec::with_capacity(HEADER_LEN + table_len + payload_len);
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(STREAM_VERSION);
+        bytes.extend_from_slice(&[0u8; 3]);
+        bytes.extend_from_slice(&(p as u32).to_le_bytes());
+        bytes.extend_from_slice(&(f as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&table).to_le_bytes());
+        bytes.extend_from_slice(&table);
+        for frame in self.frames {
+            for c in frame {
+                bytes.extend_from_slice(&c);
+            }
+        }
+        debug_assert_eq!(bytes.len() as u64, cursor);
+        bytes
+    }
+}
+
+/// Zero-copy view over `STRM` bytes with O(1) (frame, partition) access.
+#[derive(Debug, Clone)]
+pub struct StreamReader<'a> {
+    bytes: &'a [u8],
+    partitions: usize,
+    frames: usize,
+    offsets: Vec<u64>,
+}
+
+impl<'a> StreamReader<'a> {
+    /// Parse and validate the manifest (magic, version, table checksum,
+    /// offset monotonicity and bounds). Container payloads are validated
+    /// lazily, on access.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(CodecError::Format("stream shorter than header".into()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(CodecError::Format("bad stream magic".into()));
+        }
+        let version = bytes[4];
+        if version != STREAM_VERSION {
+            return Err(CodecError::Format(format!("unsupported stream version {version}")));
+        }
+        let partitions = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let frames = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        if partitions == 0 {
+            return Err(CodecError::Format("stream declares zero partitions".into()));
+        }
+        let stored_fnv = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let entries = frames
+            .checked_mul(partitions)
+            .and_then(|n| n.checked_add(1))
+            .ok_or_else(|| CodecError::Format("offset-table size overflow".into()))?;
+        let table_end = 8usize
+            .checked_mul(entries)
+            .and_then(|len| HEADER_LEN.checked_add(len))
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| CodecError::Format("offset table truncated".into()))?;
+        let table = &bytes[HEADER_LEN..table_end];
+        let actual_fnv = fnv1a64(table);
+        if actual_fnv != stored_fnv {
+            return Err(CodecError::Format(format!(
+                "offset-table checksum mismatch: stored {stored_fnv:#018x}, \
+                 computed {actual_fnv:#018x}"
+            )));
+        }
+        let offsets: Vec<u64> = table
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        if offsets[0] != table_end as u64 {
+            return Err(CodecError::Format(format!(
+                "first offset {} does not start at the payload region {table_end}",
+                offsets[0]
+            )));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CodecError::Format("offset table is not monotone".into()));
+        }
+        if *offsets.last().expect("entries >= 1") != bytes.len() as u64 {
+            return Err(CodecError::Format(format!(
+                "final offset {} does not match stream length {}",
+                offsets.last().unwrap(),
+                bytes.len()
+            )));
+        }
+        Ok(Self { bytes, partitions, frames, offsets })
+    }
+
+    /// Snapshot frames in the stream.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Partitions per frame.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Raw v2-container bytes of one (frame, partition) — one table lookup,
+    /// no parsing.
+    pub fn container_bytes(&self, frame: usize, partition: usize) -> Result<&'a [u8], CodecError> {
+        if frame >= self.frames || partition >= self.partitions {
+            return Err(CodecError::Format(format!(
+                "(frame {frame}, partition {partition}) outside stream of \
+                 {}x{}",
+                self.frames, self.partitions
+            )));
+        }
+        let i = frame * self.partitions + partition;
+        Ok(&self.bytes[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// Parse one (frame, partition) container — random access, O(1) in the
+    /// number of preceding frames/partitions.
+    pub fn container(&self, frame: usize, partition: usize) -> Result<Container, CodecError> {
+        Container::from_bytes(self.container_bytes(frame, partition)?.to_vec())
+    }
+
+    /// All containers of one frame, partition-id order.
+    pub fn frame(&self, frame: usize) -> Result<Vec<Container>, CodecError> {
+        (0..self.partitions).map(|p| self.container(frame, p)).collect()
+    }
+
+    /// Decode one frame's partitions (in parallel, matching the pipeline's
+    /// sharded reconstruct path) and reassemble the full field.
+    pub fn reconstruct_frame<T: Scalar>(
+        &self,
+        frame: usize,
+        dec: &Decomposition,
+    ) -> Result<Field3<T>, CodecError> {
+        let containers = self.frame(frame)?;
+        let bricks: Vec<Field3<T>> =
+            containers.par_iter().map(|c| c.decode_field::<T>()).collect::<Result<_, _>>()?;
+        dec.assemble(&bricks).map_err(|e| CodecError::Format(e.to_string()))
+    }
+
+    /// Decode exactly one (frame, partition) brick without touching any
+    /// other container.
+    pub fn reconstruct_partition<T: Scalar>(
+        &self,
+        frame: usize,
+        partition: usize,
+    ) -> Result<Field3<T>, CodecError> {
+        self.container(frame, partition)?.decode_field::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::CodecId;
+    use gridlab::Dim3;
+
+    fn lcg_field(dims: Dim3, seed: u64, amp: f32) -> Field3<f32> {
+        let mut state = seed;
+        Field3::from_fn(dims, |_, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * amp
+        })
+    }
+
+    /// Two frames over a 2×2×2-brick decomposition, mixing codecs.
+    fn sample_stream() -> (Vec<u8>, Decomposition, Vec<Field3<f32>>) {
+        let dec = Decomposition::cubic(8, 2).unwrap();
+        let mut w = StreamWriter::new(dec.num_partitions());
+        let mut fields = Vec::new();
+        for frame in 0..2u64 {
+            let field = lcg_field(Dim3::cube(8), 77 + frame, 120.0 + 40.0 * frame as f32);
+            let containers: Vec<Container> = dec
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let brick = field.extract(p.origin, p.dims);
+                    let codec = if i % 2 == 0 { CodecId::Rsz } else { CodecId::Zfp };
+                    Container::compress(codec, brick.as_slice(), brick.dims(), 0.25)
+                })
+                .collect();
+            w.push_frame(&containers);
+            fields.push(field);
+        }
+        (w.finish(), dec, fields)
+    }
+
+    #[test]
+    fn roundtrip_every_frame_and_partition() {
+        let (bytes, dec, fields) = sample_stream();
+        let r = StreamReader::new(&bytes).expect("parses");
+        assert_eq!(r.frames(), 2);
+        assert_eq!(r.partitions(), 8);
+        for (f, field) in fields.iter().enumerate() {
+            let recon: Field3<f32> = r.reconstruct_frame(f, &dec).expect("assembles");
+            assert!(field.max_abs_diff(&recon) <= 0.25 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_access_matches_sequential_decode() {
+        let (bytes, dec, _) = sample_stream();
+        let r = StreamReader::new(&bytes).expect("parses");
+        // Access in scrambled order; every brick must be byte-identical to
+        // the frame-ordered decode.
+        for (f, p) in [(1usize, 7usize), (0, 3), (1, 0), (0, 0), (1, 4)] {
+            let direct: Field3<f32> = r.reconstruct_partition(f, p).expect("decodes");
+            let sequential = {
+                let whole: Field3<f32> = r.reconstruct_frame(f, &dec).unwrap();
+                let part = dec.partition(p).unwrap();
+                whole.extract(part.origin, part.dims)
+            };
+            assert_eq!(direct.as_slice(), sequential.as_slice(), "({f}, {p})");
+        }
+    }
+
+    #[test]
+    fn out_of_range_access_is_rejected() {
+        let (bytes, _, _) = sample_stream();
+        let r = StreamReader::new(&bytes).unwrap();
+        assert!(r.container(2, 0).is_err());
+        assert!(r.container(0, 8).is_err());
+        assert!(r.container_bytes(9, 9).is_err());
+    }
+
+    #[test]
+    fn manifest_corruption_is_loud() {
+        let (bytes, _, _) = sample_stream();
+        // Bad magic.
+        let mut b = bytes.clone();
+        b[0] = b'X';
+        assert!(StreamReader::new(&b).is_err());
+        // Unknown version.
+        let mut b = bytes.clone();
+        b[4] = 9;
+        assert!(StreamReader::new(&b).is_err());
+        // Flipped offset-table byte: checksum catches it.
+        let mut b = bytes.clone();
+        b[HEADER_LEN + 3] ^= 0x10;
+        let err = StreamReader::new(&b).expect_err("table corruption detected");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Truncated payload region: final offset no longer matches.
+        let mut b = bytes.clone();
+        b.truncate(b.len() - 5);
+        assert!(StreamReader::new(&b).is_err());
+    }
+
+    #[test]
+    fn payload_corruption_is_caught_by_the_container_checksum() {
+        let (bytes, _, _) = sample_stream();
+        let r = StreamReader::new(&bytes).unwrap();
+        let start = r.offsets[0] as usize;
+        let mut b = bytes.clone();
+        // Flip a byte deep inside the first container's payload (past its
+        // 22-byte wrapper) so only the v2 checksum can notice.
+        b[start + 30] ^= 0x08;
+        let r2 = StreamReader::new(&b).expect("manifest still valid");
+        let c = r2.container(0, 0).expect("wrapper still parses");
+        assert!(c.decode::<f32>().is_err());
+    }
+
+    #[test]
+    fn huge_declared_counts_are_rejected_not_panicked_on() {
+        // A header whose frames×partitions table size overflows usize must
+        // fail the parse (truncated table), not wrap around, sneak past
+        // the size check, and panic on first access.
+        let mut b = vec![0u8; HEADER_LEN + 8];
+        b[..4].copy_from_slice(b"STRM");
+        b[4] = STREAM_VERSION;
+        b[8..12].copy_from_slice(&0x8000_0000u32.to_le_bytes());
+        b[12..16].copy_from_slice(&0x8000_0000u32.to_le_bytes());
+        let fnv = fnv1a64(&b[HEADER_LEN..]);
+        b[16..24].copy_from_slice(&fnv.to_le_bytes());
+        let err = StreamReader::new(&b).expect_err("oversized table rejected");
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn empty_stream_has_valid_manifest() {
+        let w = StreamWriter::new(4);
+        let bytes = w.finish();
+        let r = StreamReader::new(&bytes).expect("parses");
+        assert_eq!(r.frames(), 0);
+        assert_eq!(r.partitions(), 4);
+        assert!(r.container(0, 0).is_err());
+    }
+
+    #[test]
+    fn writer_rejects_wrong_partition_count() {
+        let mut w = StreamWriter::new(3);
+        let dims = Dim3::cube(4);
+        let f = lcg_field(dims, 1, 10.0);
+        let c = Container::compress(CodecId::Rsz, f.as_slice(), dims, 0.1);
+        assert!(std::panic::catch_unwind(move || w.push_frame(&[c])).is_err());
+    }
+
+    #[test]
+    fn header_layout_is_pinned() {
+        let (bytes, _, _) = sample_stream();
+        assert_eq!(&bytes[..4], b"STRM");
+        assert_eq!(bytes[4], STREAM_VERSION);
+        assert_eq!(&bytes[5..8], &[0, 0, 0]);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 8);
+        assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 2);
+        // 17 table entries (2 frames × 8 partitions + 1 end marker).
+        let first = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        assert_eq!(first as usize, HEADER_LEN + 8 * 17);
+    }
+}

@@ -143,10 +143,7 @@ mod tests {
     #[test]
     fn nearest_candidate_wins() {
         let a = catalog(vec![halo((0.0, 0.0, 0.0), 100.0, 10)]);
-        let b = catalog(vec![
-            halo((1.5, 0.0, 0.0), 40.0, 4),
-            halo((0.1, 0.0, 0.0), 99.0, 10),
-        ]);
+        let b = catalog(vec![halo((1.5, 0.0, 0.0), 40.0, 4), halo((0.1, 0.0, 0.0), 99.0, 10)]);
         let cmp = compare_catalogs(&a, &b, 2.0);
         assert_eq!(cmp.n_matched, 1);
         // Matched with the nearer (mass 99) one: ratio error 1%.

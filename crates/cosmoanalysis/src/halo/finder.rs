@@ -157,11 +157,7 @@ pub fn find_halos<T: Scalar>(field: &Field3<T>, config: &HaloFinderConfig) -> Ha
         .map(|a| Halo {
             cells: a.cells,
             mass: a.mass,
-            position: (
-                a.cx / a.cells as f64,
-                a.cy / a.cells as f64,
-                a.cz / a.cells as f64,
-            ),
+            position: (a.cx / a.cells as f64, a.cy / a.cells as f64, a.cz / a.cells as f64),
             max_density: a.max,
         })
         .collect();
@@ -189,12 +185,12 @@ mod tests {
     /// one at (12,12,12).
     fn two_blobs(n: usize) -> Field3<f64> {
         Field3::from_fn(Dim3::cube(n), |x, y, z| {
-            let d1 = ((x as f64 - 4.0).powi(2) + (y as f64 - 4.0).powi(2)
-                + (z as f64 - 4.0).powi(2))
-            .sqrt();
-            let d2 = ((x as f64 - 12.0).powi(2) + (y as f64 - 12.0).powi(2)
-                + (z as f64 - 12.0).powi(2))
-            .sqrt();
+            let d1 =
+                ((x as f64 - 4.0).powi(2) + (y as f64 - 4.0).powi(2) + (z as f64 - 4.0).powi(2))
+                    .sqrt();
+            let d2 =
+                ((x as f64 - 12.0).powi(2) + (y as f64 - 12.0).powi(2) + (z as f64 - 12.0).powi(2))
+                    .sqrt();
             100.0 * (-d1 * d1 / 4.0).exp() + 30.0 * (-d2 * d2 / 4.0).exp() + 1.0
         })
     }
@@ -232,11 +228,7 @@ mod tests {
         let f = two_blobs(16);
         let cat = find_halos(&f, &cfg(10.0, 20.0));
         // Recompute by brute force over cells near each blob.
-        let manual: f64 = f
-            .as_slice()
-            .iter()
-            .filter(|&&v| v > 10.0)
-            .sum();
+        let manual: f64 = f.as_slice().iter().filter(|&&v| v > 10.0).sum();
         assert!((cat.total_mass() - manual).abs() < 1e-9);
     }
 
@@ -306,11 +298,7 @@ mod tests {
     fn boundary_cells_matches_range_count() {
         let f = two_blobs(16);
         let nb = boundary_cells(&f, 10.0, 1.0);
-        let manual = f
-            .as_slice()
-            .iter()
-            .filter(|&&v| v > 9.0 && v < 11.0)
-            .count();
+        let manual = f.as_slice().iter().filter(|&&v| v > 9.0 && v < 11.0).count();
         assert_eq!(nb, manual);
         assert!(nb > 0);
     }

@@ -47,8 +47,7 @@ impl UnionFind {
         if ra == rb {
             return ra;
         }
-        let (big, small) =
-            if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
         self.parent[small] = big as u32;
         self.size[big] += self.size[small];
         big

@@ -76,11 +76,7 @@ pub fn power_spectrum<T: Scalar>(field: &Field3<T>, kind: SpectrumKind) -> Power
                 _ => mean,
             };
             assert!(norm != 0.0, "overdensity spectrum needs a non-zero mean");
-            field
-                .as_slice()
-                .iter()
-                .map(|v| Complex64::real(v.to_f64() / norm - 1.0))
-                .collect()
+            field.as_slice().iter().map(|v| Complex64::real(v.to_f64() / norm - 1.0)).collect()
         }
         SpectrumKind::Raw => field.as_slice().iter().map(|v| Complex64::real(v.to_f64())).collect(),
     };

@@ -81,8 +81,7 @@ fn window_ssim<T: Scalar>(a: &[T], b: &[T], c1: f64, c2: f64) -> f64 {
     va /= n;
     vb /= n;
     cov /= n;
-    ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
-        / ((ma * ma + mb * mb + c1) * (va + vb + c2))
+    ((2.0 * ma * mb + c1) * (2.0 * cov + c2)) / ((ma * ma + mb * mb + c1) * (va + vb + c2))
 }
 
 #[cfg(test)]

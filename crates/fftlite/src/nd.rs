@@ -263,8 +263,7 @@ mod tests {
         let time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let mut spec = x.clone();
         Fft3::new(nx, ny, nz).forward(&mut spec);
-        let freq: f64 =
-            spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / (nx * ny * nz) as f64;
+        let freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / (nx * ny * nz) as f64;
         assert!((time - freq).abs() < 1e-8 * time.max(1.0));
     }
 

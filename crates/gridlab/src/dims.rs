@@ -76,7 +76,9 @@ impl Dim3 {
 
     /// Whether `other` exactly tiles `self` along every axis.
     pub fn divides(&self, other: Dim3) -> bool {
-        self.nx.is_multiple_of(other.nx) && self.ny.is_multiple_of(other.ny) && self.nz.is_multiple_of(other.nz)
+        self.nx.is_multiple_of(other.nx)
+            && self.ny.is_multiple_of(other.ny)
+            && self.nz.is_multiple_of(other.nz)
     }
 
     /// Iterate over all `(x, y, z)` coordinates in linear-index order.
@@ -91,14 +93,8 @@ impl Dim3 {
     /// Eulerian halo finder groups face-adjacent over-dense cells).
     pub fn face_neighbors(&self, x: usize, y: usize, z: usize) -> impl Iterator<Item = usize> + '_ {
         let d = *self;
-        let deltas: [(isize, isize, isize); 6] = [
-            (-1, 0, 0),
-            (1, 0, 0),
-            (0, -1, 0),
-            (0, 1, 0),
-            (0, 0, -1),
-            (0, 0, 1),
-        ];
+        let deltas: [(isize, isize, isize); 6] =
+            [(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)];
         deltas.into_iter().filter_map(move |(dx, dy, dz)| {
             let nx = x.checked_add_signed(dx)?;
             let ny = y.checked_add_signed(dy)?;

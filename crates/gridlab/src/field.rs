@@ -97,12 +97,7 @@ impl<T: Scalar> Field3<T> {
         if self.dims != other.dims {
             return Err(GridError::ShapeMismatch { expected: self.len(), got: other.len() });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| a - b)
-            .collect();
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a - b).collect();
         Ok(Self { dims: self.dims, data })
     }
 

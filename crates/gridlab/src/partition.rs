@@ -144,10 +144,7 @@ impl Decomposition {
         let mut out = Field3::zeros(self.domain);
         for (p, b) in self.iter().zip(bricks) {
             if b.dims() != self.brick {
-                return Err(GridError::ShapeMismatch {
-                    expected: self.brick.len(),
-                    got: b.len(),
-                });
+                return Err(GridError::ShapeMismatch { expected: self.brick.len(), got: b.len() });
             }
             out.insert(p.origin, b);
         }
@@ -246,11 +243,8 @@ mod tests {
         let dec = Decomposition::cubic(8, 2).unwrap();
         let f = Field3::from_fn(Dim3::cube(8), |x, y, z| (x + 2 * y + 3 * z) as f64);
         let sums = dec.par_map(&f, |_, b| b.as_slice().iter().sum::<f64>());
-        let serial: Vec<f64> = dec
-            .split(&f)
-            .iter()
-            .map(|b| b.as_slice().iter().sum::<f64>())
-            .collect();
+        let serial: Vec<f64> =
+            dec.split(&f).iter().map(|b| b.as_slice().iter().sum::<f64>()).collect();
         assert_eq!(sums, serial);
     }
 }

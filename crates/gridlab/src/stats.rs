@@ -310,8 +310,7 @@ mod tests {
 
     #[test]
     fn boundary_cells_scale_linearly() {
-        let feat =
-            PartitionFeatures { mean: 0.0, boundary_cells: 100, eb_ref: 1.0, cells: 1000 };
+        let feat = PartitionFeatures { mean: 0.0, boundary_cells: 100, eb_ref: 1.0, cells: 1000 };
         assert!((feat.boundary_cells_at(0.5) - 50.0).abs() < 1e-12);
         assert!((feat.boundary_cells_at(2.0) - 200.0).abs() < 1e-12);
     }

@@ -130,9 +130,8 @@ pub fn temperature_field(
             let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             let u2: f64 = rng.gen::<f64>();
             let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            let t = params.t0
-                * (rho / rho_mean).powf(params.gamma_m1)
-                * (params.t_scatter * g).exp();
+            let t =
+                params.t0 * (rho / rho_mean).powf(params.gamma_m1) * (params.t_scatter * g).exp();
             t.clamp(1.0e2, 1.0e7)
         })
         .collect();

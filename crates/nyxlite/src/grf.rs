@@ -53,8 +53,7 @@ pub fn white_noise(dims: Dim3, seed: u64) -> Field3<f64> {
 pub fn grf_modes(dims: Dim3, spectrum: &PowerSpectrum, seed: u64) -> Vec<Complex64> {
     let noise = white_noise(dims, seed);
     let fft = Fft3::new(dims.nx, dims.ny, dims.nz);
-    let mut modes: Vec<Complex64> =
-        noise.as_slice().iter().map(|&v| Complex64::real(v)).collect();
+    let mut modes: Vec<Complex64> = noise.as_slice().iter().map(|&v| Complex64::real(v)).collect();
     fft.forward(&mut modes);
     let mut idx = 0usize;
     for i in 0..dims.nx {
@@ -151,8 +150,7 @@ mod tests {
         let dims = Dim3::cube(32);
         let f = gaussian_field(dims, &PowerSpectrum::default(), 11);
         let fft = Fft3::new(32, 32, 32);
-        let mut modes: Vec<Complex64> =
-            f.as_slice().iter().map(|&v| Complex64::real(v)).collect();
+        let mut modes: Vec<Complex64> = f.as_slice().iter().map(|&v| Complex64::real(v)).collect();
         fft.forward(&mut modes);
         let mut low = 0.0;
         let mut nlow = 0u64;
@@ -189,13 +187,8 @@ mod tests {
         let a = gaussian_field(dims, &p1, 21);
         let b = gaussian_field(dims, &p2, 21);
         let n = a.len() as f64;
-        let corr: f64 = a
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(&x, &y)| x * y)
-            .sum::<f64>()
-            / n;
+        let corr: f64 =
+            a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x * y).sum::<f64>() / n;
         assert!(corr > 0.99, "corr {corr}"); // both are unit variance
     }
 }

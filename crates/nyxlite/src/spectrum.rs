@@ -100,8 +100,7 @@ mod tests {
 
     #[test]
     fn uv_slope_is_ns_minus_4() {
-        let p =
-            PowerSpectrum { ns: 1.0, k_turn: 1.0, amplitude: 1.0, k_smooth: f64::INFINITY };
+        let p = PowerSpectrum { ns: 1.0, k_turn: 1.0, amplitude: 1.0, k_smooth: f64::INFINITY };
         let k1 = 100.0;
         let k2 = 200.0;
         let slope = (p.eval(k2) / p.eval(k1)).ln() / (k2 / k1).ln();

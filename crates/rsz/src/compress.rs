@@ -735,8 +735,7 @@ pub fn decompress_slice_with<T: Scalar>(
         *pos += k;
         Ok(s)
     };
-    let payload_len =
-        u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
+    let payload_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8")) as usize;
     let raw = take(&mut pos, payload_len)?;
     let payload_owned;
     let payload: &[u8] = if h.lossless {
@@ -1072,12 +1071,8 @@ mod tests {
         let eb = 0.2;
         let c = compress(&f, &SzConfig::abs(eb));
         let g: Field3<f32> = decompress(&c).unwrap();
-        let errs: Vec<f64> = f
-            .as_slice()
-            .iter()
-            .zip(g.as_slice())
-            .map(|(&a, &b)| a as f64 - b as f64)
-            .collect();
+        let errs: Vec<f64> =
+            f.as_slice().iter().zip(g.as_slice()).map(|(&a, &b)| a as f64 - b as f64).collect();
         let mean: f64 = errs.iter().sum::<f64>() / errs.len() as f64;
         let var: f64 =
             errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64;
@@ -1094,9 +1089,7 @@ mod tests {
         let mut scratch = SzScratch::default();
         let cfg = SzConfig::abs(0.1);
         for dims in [Dim3::cube(12), Dim3::new(1, 1, 40), Dim3::new(5, 9, 2), Dim3::cube(12)] {
-            let f = Field3::from_fn(dims, |x, y, z| {
-                ((x * 31 + y * 7 + z * 3) % 97) as f32 * 0.5
-            });
+            let f = Field3::from_fn(dims, |x, y, z| ((x * 31 + y * 7 + z * 3) % 97) as f32 * 0.5);
             let fresh = compress_slice_with(f.as_slice(), dims, &cfg, &mut SzScratch::default());
             let reused = compress_slice_with(f.as_slice(), dims, &cfg, &mut scratch);
             assert_eq!(fresh.as_bytes(), reused.as_bytes(), "scratch leak on {dims:?}");

@@ -94,10 +94,8 @@ pub fn code_lengths_sorted(freqs: &[(u32, u64)]) -> Vec<(u32, u8)> {
         return vec![(freqs[0].0, 1)];
     }
 
-    let mut heap: BinaryHeap<Node> = freqs
-        .iter()
-        .map(|&(s, c)| Node { weight: c, tie: s, kind: NodeKind::Leaf(s) })
-        .collect();
+    let mut heap: BinaryHeap<Node> =
+        freqs.iter().map(|&(s, c)| Node { weight: c, tie: s, kind: NodeKind::Leaf(s) }).collect();
     let mut tie = u32::MAX;
     while heap.len() > 1 {
         let a = heap.pop().expect("len > 1");

@@ -31,17 +31,18 @@ pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
 
     let mut flags_pos = usize::MAX;
     let mut flag_bit = 8u8;
-    let push_flag = |out: &mut Vec<u8>, is_match: bool, flags_pos: &mut usize, flag_bit: &mut u8| {
-        if *flag_bit == 8 {
-            out.push(0);
-            *flags_pos = out.len() - 1;
-            *flag_bit = 0;
-        }
-        if is_match {
-            out[*flags_pos] |= 1 << *flag_bit;
-        }
-        *flag_bit += 1;
-    };
+    let push_flag =
+        |out: &mut Vec<u8>, is_match: bool, flags_pos: &mut usize, flag_bit: &mut u8| {
+            if *flag_bit == 8 {
+                out.push(0);
+                *flags_pos = out.len() - 1;
+                *flag_bit = 0;
+            }
+            if is_match {
+                out[*flags_pos] |= 1 << *flag_bit;
+            }
+            *flag_bit += 1;
+        };
 
     let mut i = 0;
     while i < input.len() {

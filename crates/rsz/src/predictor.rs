@@ -53,7 +53,8 @@ pub fn lorenzo3(recon: &[f64], ny: usize, nz: usize, x: usize, y: usize, z: usiz
         }
     }
     let (xi, yi, zi) = (x as isize, y as isize, z as isize);
-    at(recon, ny, nz, xi - 1, yi, zi) + at(recon, ny, nz, xi, yi - 1, zi)
+    at(recon, ny, nz, xi - 1, yi, zi)
+        + at(recon, ny, nz, xi, yi - 1, zi)
         + at(recon, ny, nz, xi, yi, zi - 1)
         - at(recon, ny, nz, xi - 1, yi - 1, zi)
         - at(recon, ny, nz, xi - 1, yi, zi - 1)

@@ -21,10 +21,7 @@ pub fn dominant_code(codes: &[u32]) -> u32 {
     for &c in codes {
         *freq.entry(c).or_insert(0) += 1;
     }
-    freq.into_iter()
-        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-        .map(|(c, _)| c)
-        .unwrap_or(0)
+    freq.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))).map(|(c, _)| c).unwrap_or(0)
 }
 
 /// Fold runs of `dom`; returns `(symbols, run_lengths)`.

@@ -86,8 +86,7 @@ fn all_constant_field_compresses_tiny() {
 fn all_zero_field_roundtrips() {
     let field = Field3::<f32>::zeros(Dim3::new(4, 1, 9));
     assert_bound_roundtrip(&field, 1e-6);
-    let recon: Field3<f32> =
-        decompress(&compress(&field, &SzConfig::abs(1e-6))).expect("decodes");
+    let recon: Field3<f32> = decompress(&compress(&field, &SzConfig::abs(1e-6))).expect("decodes");
     assert!(recon.as_slice().iter().all(|&v| v.abs() <= 1e-6));
 }
 
@@ -139,11 +138,9 @@ fn minimum_radius_roundtrips_on_mixed_fields() {
     // radius = 2 is the smallest the format allows: codes {1, 2, 3} around
     // the bias, so almost any roughness forces the verbatim path — the
     // harshest mix of branches in the fused loop.
-    for (dims, amplitude) in [
-        (Dim3::cube(9), 1.0e3f32),
-        (Dim3::new(1, 1, 200), 50.0),
-        (Dim3::new(3, 17, 2), 0.0),
-    ] {
+    for (dims, amplitude) in
+        [(Dim3::cube(9), 1.0e3f32), (Dim3::new(1, 1, 200), 50.0), (Dim3::new(3, 17, 2), 0.0)]
+    {
         let field = lcg_field(dims, 0xBEE5, amplitude);
         let cfg = SzConfig::abs(0.25).with_radius(2);
         let c = compress(&field, &cfg);

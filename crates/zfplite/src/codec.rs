@@ -30,9 +30,7 @@
 //! scoped worker per core — does not allocate per call, matching
 //! `rsz::SzScratch`.
 
-use crate::transform::{
-    from_negabinary, fwd_xform, inv_xform, sequency_order, to_negabinary,
-};
+use crate::transform::{from_negabinary, fwd_xform, inv_xform, sequency_order, to_negabinary};
 use gridlab::{Dim3, Field3, Scalar};
 use std::cell::RefCell;
 
@@ -73,9 +71,7 @@ impl ZfpConfig {
 
     fn block_bits(&self) -> usize {
         match self.mode {
-            ZfpMode::FixedRate(rate) => {
-                ((rate * 64.0).ceil() as usize).max(BLOCK_HEADER_BITS + 1)
-            }
+            ZfpMode::FixedRate(rate) => ((rate * 64.0).ceil() as usize).max(BLOCK_HEADER_BITS + 1),
             ZfpMode::Accuracy(_) => 0,
         }
     }
@@ -336,13 +332,7 @@ fn with_tls_scratch<R>(f: impl FnOnce(&mut ZfpScratch) -> R) -> R {
 
 // --- block gather/scatter with edge replication ---
 
-fn gather_block<T: Scalar>(
-    values: &[T],
-    d: Dim3,
-    bx: usize,
-    by: usize,
-    bz: usize,
-) -> [f64; 64] {
+fn gather_block<T: Scalar>(values: &[T], d: Dim3, bx: usize, by: usize, bz: usize) -> [f64; 64] {
     let mut out = [0.0f64; 64];
     for i in 0..4 {
         for j in 0..4 {
@@ -419,13 +409,7 @@ fn block_to_planes(vals: &[f64; 64], order: &[usize; 64]) -> Option<(i32, [u64; 
 /// The exact decoder arithmetic for a truncated block: negabinary →
 /// inverse sequency → inverse transform → value domain. Used both by the
 /// decoder and by the encoder's per-block bound verification.
-fn planes_to_block(
-    e: i32,
-    nb: &[u64; 64],
-    cut: usize,
-    order: &[usize; 64],
-    out: &mut [f64; 64],
-) {
+fn planes_to_block(e: i32, nb: &[u64; 64], cut: usize, order: &[usize; 64], out: &mut [f64; 64]) {
     let keep = if cut == 0 { !0u64 } else { !0u64 << cut };
     let mut q = [0i64; 64];
     for (slot, &dst) in nb.iter().zip(order.iter()) {
@@ -745,7 +729,8 @@ mod tests {
 
     fn smooth_field(n: usize) -> Field3<f32> {
         Field3::from_fn(Dim3::cube(n), |x, y, z| {
-            ((x as f32) * 0.2).sin() * 30.0 + ((y as f32) * 0.15).cos() * 20.0
+            ((x as f32) * 0.2).sin() * 30.0
+                + ((y as f32) * 0.15).cos() * 20.0
                 + ((z as f32) * 0.1).sin() * 10.0
         })
     }
@@ -972,11 +957,7 @@ mod tests {
         for cfg in [ZfpConfig::accuracy(1e-300), ZfpConfig::fixed_rate(8.0)] {
             let c = zfp_compress(&f, &cfg);
             let g: Field3<f64> = zfp_decompress(&c).unwrap();
-            assert!(
-                g.as_slice().iter().all(|&x| x == 0.0),
-                "{cfg:?}: {:?}",
-                &g.as_slice()[..2]
-            );
+            assert!(g.as_slice().iter().all(|&x| x == 0.0), "{cfg:?}: {:?}", &g.as_slice()[..2]);
         }
     }
 

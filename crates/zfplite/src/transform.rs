@@ -10,8 +10,7 @@
 /// Forward lifting on a stride-`s` 4-vector starting at `p` within `data`.
 #[inline]
 pub fn fwd_lift(data: &mut [i64], p: usize, s: usize) {
-    let (mut x, mut y, mut z, mut w) =
-        (data[p], data[p + s], data[p + 2 * s], data[p + 3 * s]);
+    let (mut x, mut y, mut z, mut w) = (data[p], data[p + s], data[p + 2 * s], data[p + 3 * s]);
     // Lifted transform from the ZFP reference implementation.
     x += w;
     x >>= 1;
@@ -36,8 +35,7 @@ pub fn fwd_lift(data: &mut [i64], p: usize, s: usize) {
 /// Inverse lifting (exact inverse of [`fwd_lift`]).
 #[inline]
 pub fn inv_lift(data: &mut [i64], p: usize, s: usize) {
-    let (mut x, mut y, mut z, mut w) =
-        (data[p], data[p + s], data[p + 2 * s], data[p + 3 * s]);
+    let (mut x, mut y, mut z, mut w) = (data[p], data[p + s], data[p + 2 * s], data[p + 3 * s]);
     y += w >> 1;
     w -= y >> 1;
     y += w;

@@ -50,7 +50,10 @@ fn main() {
     let recon_catalog = find_halos(&recon, &hc);
     let cmp = compare_catalogs(&orig_catalog, &recon_catalog, 2.0);
 
-    println!("halos: original {}, reconstructed {}, matched {}", cmp.n_original, cmp.n_reconstructed, cmp.n_matched);
+    println!(
+        "halos: original {}, reconstructed {}, matched {}",
+        cmp.n_original, cmp.n_reconstructed, cmp.n_matched
+    );
     println!("position RMSE: {:.4} cells", cmp.position_rmse);
     println!("mass-ratio RMSE: {:.5} (paper keeps this within 0.01)", cmp.mass_ratio_rmse);
     println!(

@@ -46,24 +46,17 @@ fn main() {
     let adaptive = pipeline.run_adaptive(field);
     let traditional = pipeline.run_traditional(field, eb_avg / 2.0); // conservative baseline
 
+    let (eb_min, eb_max) = adaptive.eb_range().expect("non-empty run");
     println!(
-        "adaptive:    {:6.1}x ratio at mean eb {:.3} (bounds span {:.3}..{:.3})",
+        "adaptive:    {:6.1}x ratio at mean eb {:.3} (bounds span {eb_min:.3}..{eb_max:.3})",
         adaptive.ratio(),
         adaptive.ebs.iter().sum::<f64>() / adaptive.ebs.len() as f64,
-        adaptive.ebs.iter().cloned().fold(f64::MAX, f64::min),
-        adaptive.ebs.iter().cloned().fold(f64::MIN, f64::max),
     );
-    let mix: Vec<String> = adaptive
-        .codec_counts()
-        .iter()
-        .map(|(c, n)| format!("{n} × {c}"))
-        .collect();
+    let mix: Vec<String> =
+        adaptive.codec_counts().iter().map(|(c, n)| format!("{n} × {c}")).collect();
     println!("codec mix:   {} over {} partitions", mix.join(", "), adaptive.codecs.len());
     println!("traditional: {:6.1}x ratio at uniform conservative eb (rsz)", traditional.ratio());
-    println!(
-        "improvement: {:.1} %",
-        (adaptive.ratio() / traditional.ratio() - 1.0) * 100.0
-    );
+    println!("improvement: {:.1} %", (adaptive.ratio() / traditional.ratio() - 1.0) * 100.0);
 
     // 5. Verify the per-partition bound guarantee on the reconstruction —
     //    every container is a v2 codec-tagged, checksummed container.

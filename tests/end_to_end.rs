@@ -9,11 +9,7 @@ use cosmoanalysis::{HaloFinderConfig, SpectrumKind};
 use gridlab::{Decomposition, Field3};
 use nyxlite::NyxConfig;
 
-fn pipeline_for(
-    field: &Field3<f32>,
-    dec: &Decomposition,
-    target: QualityTarget,
-) -> InSituPipeline {
+fn pipeline_for(field: &Field3<f32>, dec: &Decomposition, target: QualityTarget) -> InSituPipeline {
     let eb = target.eb_avg;
     let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb).collect();
     let cfg = PipelineConfig::new(dec.clone(), target);
@@ -39,9 +35,7 @@ fn full_chain_baryon_density() {
     let recon: Field3<f32> = result.reconstruct(&dec).expect("assembles");
 
     // 1. Error-bound guarantee per partition.
-    for ((o, r), &eb) in
-        dec.split(field).iter().zip(dec.split(&recon).iter()).zip(&result.ebs)
-    {
+    for ((o, r), &eb) in dec.split(field).iter().zip(dec.split(&recon).iter()).zip(&result.ebs) {
         assert!(o.max_abs_diff(r) <= eb + 1e-9);
     }
 

@@ -47,17 +47,11 @@ fn models_disagree_and_adaptive_mixes_codecs() {
     // (otherwise "mixing" would be vacuous).
     let rsz = p.optimizer.models.get(CodecId::Rsz).expect("fitted");
     let zfp = p.optimizer.models.get(CodecId::Zfp).expect("fitted");
-    assert!(
-        rsz != zfp,
-        "per-codec models are identical; the selection problem is degenerate"
-    );
+    assert!(rsz != zfp, "per-codec models are identical; the selection problem is degenerate");
 
     let run = p.run_adaptive(&field);
     let counts = run.codec_counts();
-    assert!(
-        counts.len() >= 2,
-        "expected a v2 snapshot mixing at least two codecs, got {counts:?}"
-    );
+    assert!(counts.len() >= 2, "expected a v2 snapshot mixing at least two codecs, got {counts:?}");
     for (codec, n) in &counts {
         assert!(*n > 0, "{codec} won no partitions: {counts:?}");
     }
@@ -79,9 +73,7 @@ fn mixed_run_honours_every_partition_bound() {
     let recon: Field3<f32> = run.reconstruct(&dec).expect("assembles");
     let bricks_o = dec.split(&field);
     let bricks_r = dec.split(&recon);
-    for (((bo, br), &eb), codec) in
-        bricks_o.iter().zip(&bricks_r).zip(&run.ebs).zip(&run.codecs)
-    {
+    for (((bo, br), &eb), codec) in bricks_o.iter().zip(&bricks_r).zip(&run.ebs).zip(&run.codecs) {
         let err = bo.max_abs_diff(br);
         assert!(err <= eb * (1.0 + 1e-9), "{codec}: partition err {err} > eb {eb}");
     }
@@ -91,9 +83,8 @@ fn mixed_run_honours_every_partition_bound() {
 fn adaptive_mixed_beats_single_codec_runs_at_equal_quality() {
     let (p, field, _, _) = build(32, 4);
     let mixed = p.run_adaptive(&field);
-    let mean_eb = |r: &adaptive_config::PipelineResult| {
-        r.ebs.iter().sum::<f64>() / r.ebs.len() as f64
-    };
+    let mean_eb =
+        |r: &adaptive_config::PipelineResult| r.ebs.iter().sum::<f64>() / r.ebs.len() as f64;
     for codec in CodecId::ALL {
         let single = p.run_adaptive_single(&field, codec);
         // Equal quality target: both runs spend the same mean-bound budget.

@@ -119,8 +119,7 @@ fn eq10_mixture_matches_uniform_at_equal_mean() {
     };
 
     let uniform = spectral_sigma(&[eb; 8]);
-    let mixed: Vec<f64> =
-        (0..8).map(|i| if i % 2 == 0 { 0.5 * eb } else { 1.5 * eb }).collect();
+    let mixed: Vec<f64> = (0..8).map(|i| if i % 2 == 0 { 0.5 * eb } else { 1.5 * eb }).collect();
     let mixed_sigma = spectral_sigma(&mixed);
     let rel = (mixed_sigma / uniform - 1.0).abs();
     assert!(rel < 0.6, "mixture changed σ by {rel} (uniform {uniform}, mixed {mixed_sigma})");

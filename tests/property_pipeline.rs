@@ -12,10 +12,7 @@ fn small_field() -> impl Strategy<Value = Field3<f32>> {
     (4usize..=10, 4usize..=10, 4usize..=10)
         .prop_flat_map(|(nx, ny, nz)| {
             let n = nx * ny * nz;
-            (
-                Just(Dim3::new(nx, ny, nz)),
-                proptest::collection::vec(-1.0e4f32..1.0e4f32, n),
-            )
+            (Just(Dim3::new(nx, ny, nz)), proptest::collection::vec(-1.0e4f32..1.0e4f32, n))
         })
         .prop_map(|(dims, data)| Field3::from_vec(dims, data).expect("sized"))
 }

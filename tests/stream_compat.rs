@@ -1,0 +1,123 @@
+//! Stream-container compatibility: the golden `STRM` fixture pins the
+//! manifest layout (header, offset table) and the byte stability of a
+//! mixed-codec 2-frame stream, so stored series stay readable forever —
+//! any drift must be a conscious, versioned change.
+//!
+//! The fixture is regenerated (never casually!) by
+//! `cargo run --release -p bench --bin diag_strm_fixture`.
+
+use codec_core::{fnv1a64, CodecId, Container, StreamReader, StreamWriter, STREAM_VERSION};
+use gridlab::{Decomposition, Dim3, Field3};
+
+const FIXTURE_EB: f64 = 0.25;
+
+/// Must match `diag_strm_fixture`.
+fn fixture_field(frame: u64) -> Field3<f32> {
+    let mut state = 0xA11CE ^ (frame << 32);
+    Field3::from_fn(Dim3::cube(16), |_, _, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * (150.0 + 25.0 * frame as f32)
+    })
+}
+
+/// Must match `diag_strm_fixture`.
+fn fixture_stream() -> Vec<u8> {
+    let dec = fixture_dec();
+    let mut w = StreamWriter::new(dec.num_partitions());
+    for frame in 0..2u64 {
+        let field = fixture_field(frame);
+        let containers: Vec<Container> = dec
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let brick = field.extract(p.origin, p.dims);
+                let codec = if i % 2 == 0 { CodecId::Rsz } else { CodecId::Zfp };
+                Container::compress(codec, brick.as_slice(), brick.dims(), FIXTURE_EB)
+            })
+            .collect();
+        w.push_frame(&containers);
+    }
+    w.finish()
+}
+
+fn fixture_dec() -> Decomposition {
+    Decomposition::cubic(16, 2).expect("2 divides 16")
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/strm_v1_2x8.bin");
+    std::fs::read(path).expect("golden fixture present in tests/fixtures/")
+}
+
+#[test]
+fn golden_strm_manifest_layout_is_pinned() {
+    let bytes = fixture_bytes();
+    // Byte-level header promises (see codec_core::stream docs).
+    assert_eq!(&bytes[..4], b"STRM");
+    assert_eq!(bytes[4], STREAM_VERSION);
+    assert_eq!(&bytes[5..8], &[0, 0, 0]);
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 8, "partitions");
+    assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 2, "frames");
+    // Offset table: 17 entries starting right after the 24-byte header,
+    // first offset pointing at the payload region, last at EOF.
+    let first = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+    assert_eq!(first, 24 + 8 * 17);
+    let last_entry = 24 + 8 * 16;
+    let last = u64::from_le_bytes(bytes[last_entry..last_entry + 8].try_into().unwrap());
+    assert_eq!(last, bytes.len() as u64);
+}
+
+#[test]
+fn golden_strm_fixture_still_decodes() {
+    let bytes = fixture_bytes();
+    let r = StreamReader::new(&bytes).expect("stream recognised");
+    assert_eq!(r.frames(), 2);
+    assert_eq!(r.partitions(), 8);
+    let dec = fixture_dec();
+    for frame in 0..2u64 {
+        let field = fixture_field(frame);
+        let recon: Field3<f32> = r.reconstruct_frame(frame as usize, &dec).expect("decodes");
+        let err = field.max_abs_diff(&recon);
+        assert!(err <= FIXTURE_EB * (1.0 + 1e-9), "frame {frame}: bound violated: {err}");
+    }
+    // The codec mix is part of the promise: even partitions rsz, odd zfp.
+    for p in 0..8 {
+        let c = r.container(0, p).expect("parses");
+        let expect = if p % 2 == 0 { CodecId::Rsz } else { CodecId::Zfp };
+        assert_eq!(c.codec(), expect, "partition {p}");
+    }
+}
+
+#[test]
+fn strm_format_is_byte_stable() {
+    // Writing the fixture's series today must reproduce the golden bytes
+    // exactly — any drift in the manifest, the v2 wrapper, or either codec
+    // payload breaks every stored stream.
+    let golden = fixture_bytes();
+    let now = fixture_stream();
+    assert_eq!(
+        fnv1a64(&now),
+        fnv1a64(&golden),
+        "stream bytes drifted from the golden STRM fixture"
+    );
+    assert_eq!(now, golden);
+}
+
+#[test]
+fn random_access_matches_sequential_decode_on_the_fixture() {
+    let bytes = fixture_bytes();
+    let r = StreamReader::new(&bytes).unwrap();
+    let dec = fixture_dec();
+    for frame in 0..2 {
+        let whole: Field3<f32> = r.reconstruct_frame(frame, &dec).unwrap();
+        for p in 0..8 {
+            let direct: Field3<f32> = r.reconstruct_partition(frame, p).unwrap();
+            let part = dec.partition(p).unwrap();
+            assert_eq!(
+                direct.as_slice(),
+                whole.extract(part.origin, part.dims).as_slice(),
+                "(frame {frame}, partition {p})"
+            );
+        }
+    }
+}

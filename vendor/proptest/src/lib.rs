@@ -106,7 +106,10 @@ macro_rules! prop_assert_eq {
         if !(left == right) {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
                 "assert_eq failed: `{}` = {:?} vs `{}` = {:?}",
-                stringify!($left), left, stringify!($right), right
+                stringify!($left),
+                left,
+                stringify!($right),
+                right
             )));
         }
     }};
@@ -119,7 +122,8 @@ macro_rules! prop_assert_ne {
         let right = $right;
         if left == right {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
-                "assert_ne failed: both sides = {:?}", left
+                "assert_ne failed: both sides = {:?}",
+                left
             )));
         }
     }};

@@ -105,8 +105,12 @@ where
     where
         G: Fn(&T) -> bool + Send + Sync + 'a,
     {
-        let kept: Vec<T> =
-            self.map(move |t| if g(&t) { Some(t) } else { None }).drive().into_iter().flatten().collect();
+        let kept: Vec<T> = self
+            .map(move |t| if g(&t) { Some(t) } else { None })
+            .drive()
+            .into_iter()
+            .flatten()
+            .collect();
         ParIter::<T, T, fn(T) -> T>::from_items(kept)
     }
 

@@ -268,7 +268,10 @@ mod tests {
         assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
         assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
-        assert_eq!(<(usize, usize, usize)>::from_value(&(1usize, 2usize, 3usize).to_value()).unwrap(), (1, 2, 3));
+        assert_eq!(
+            <(usize, usize, usize)>::from_value(&(1usize, 2usize, 3usize).to_value()).unwrap(),
+            (1, 2, 3)
+        );
     }
 
     #[test]

@@ -181,7 +181,9 @@ fn tuple_arity(stream: TokenStream) -> usize {
         saw_any = true;
         match tok {
             TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
-            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth = angle_depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
             TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
             _ => {}
         }

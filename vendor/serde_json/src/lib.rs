@@ -225,18 +225,13 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            let b = *self
-                .bytes
-                .get(self.pos)
-                .ok_or_else(|| Error("unterminated string".into()))?;
+            let b = *self.bytes.get(self.pos).ok_or_else(|| Error("unterminated string".into()))?;
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
                 b'\\' => {
-                    let e = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    let e =
+                        *self.bytes.get(self.pos).ok_or_else(|| Error("dangling escape".into()))?;
                     self.pos += 1;
                     match e {
                         b'"' => out.push('"'),
@@ -260,8 +255,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&low) {
                                     return Err(Error("invalid low surrogate".into()));
                                 }
-                                let combined =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 out.push(
                                     char::from_u32(combined)
                                         .ok_or_else(|| Error("bad surrogate pair".into()))?,
@@ -302,11 +296,8 @@ impl<'a> Parser<'a> {
             .get(self.pos..self.pos + 4)
             .ok_or_else(|| Error("short \\u escape".into()))?;
         self.pos += 4;
-        u16::from_str_radix(
-            std::str::from_utf8(hex).map_err(|_| Error("bad hex".into()))?,
-            16,
-        )
-        .map_err(|_| Error("bad hex".into()))
+        u16::from_str_radix(std::str::from_utf8(hex).map_err(|_| Error("bad hex".into()))?, 16)
+            .map_err(|_| Error("bad hex".into()))
     }
 
     fn number(&mut self) -> Result<Value, Error> {
