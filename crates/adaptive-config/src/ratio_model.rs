@@ -253,6 +253,32 @@ pub struct CodecModelBank {
     entries: Vec<(CodecId, RatioModel)>,
 }
 
+/// Serialized as the (priority-ordered) entry list — the shape a session
+/// checkpoint persists so a restarted run skips recalibration.
+impl Serialize for CodecModelBank {
+    fn to_value(&self) -> serde::Value {
+        self.entries.to_value()
+    }
+}
+
+/// The inverse of the [`Serialize`] impl, with the constructor's
+/// invariants re-checked as *errors*: a corrupted or hand-edited
+/// checkpoint must fail the restore, not panic it.
+impl Deserialize for CodecModelBank {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = Vec::<(CodecId, RatioModel)>::from_value(v)?;
+        if entries.is_empty() {
+            return Err(serde::Error::custom("model bank needs at least one codec model"));
+        }
+        for (i, (a, _)) in entries.iter().enumerate() {
+            if entries[..i].iter().any(|(b, _)| b == a) {
+                return Err(serde::Error::custom(format!("duplicate codec {a} in model bank")));
+            }
+        }
+        Ok(Self { entries })
+    }
+}
+
 impl CodecModelBank {
     /// Build from per-codec fits. Order is selection-priority order: ties
     /// in predicted cost go to the earlier entry.

@@ -27,12 +27,39 @@
 //! calibration event, the measured drift residual and the modeling cost,
 //! so the amortization claim is auditable from the session history alone.
 //!
+//! ## Checkpoint / restore
+//!
+//! Long-running simulations die; without persistence a restart repays the
+//! full first-snapshot calibration the session exists to amortize.
+//! [`StreamSession::save`] serialises everything the modeling layer
+//! learned — the fitted [`CodecModelBank`], the [`QualityPolicy`] and the
+//! rest of the [`SessionConfig`] (including the partition geometry), the
+//! optimizer's clamp tuning, and the drift state — into a versioned
+//! `CKPT` blob ([`SessionCheckpoint`] is the typed form).
+//! [`StreamSession::restore`] rebuilds a session that **skips
+//! recalibration entirely**: its next [`StreamSession::push_snapshot`]
+//! transfers the checkpointed models exactly as the uninterrupted run
+//! would have, so resumed frames are byte-identical to never having
+//! crashed. Every corruption of the blob surfaces as a typed
+//! [`CheckpointError`], never a panic. Versioning rule: the `CKPT`
+//! version byte bumps on any layout/semantics change, and old readers
+//! reject newer blobs loudly (no silent best-effort decode of models that
+//! would then misprice every partition).
+//!
+//! Pairing rule for durable streams: persist the blob only after the
+//! matching frame's `append_frame` returns, so the checkpoint on disk
+//! always corresponds to the stream's recoverable prefix. A checkpoint
+//! taken after a frame that did *not* survive the crash may already carry
+//! a drift-refreshed bank (refreshes fire inside the push that detects
+//! them) and re-pushing the lost snapshot against it would not reproduce
+//! the uninterrupted bytes.
+//!
 //! [`RatioModel::calibrate_by`]: crate::ratio_model::RatioModel::calibrate_by
 
 use crate::optimizer::{HaloTarget, QualityTarget};
 use crate::pipeline::{InSituPipeline, PipelineConfig, PipelineResult, Timings};
 use crate::ratio_model::{sample_bricks, CalibrationReport, CodecModelBank};
-use codec_core::CodecId;
+use codec_core::{fnv1a64, CodecId};
 use gridlab::{Decomposition, Field3, Scalar};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -58,16 +85,19 @@ pub enum QualityPolicy {
 }
 
 impl QualityPolicy {
-    /// Panic on non-positive policy parameters — run at session
-    /// construction so a `FixedEb(0.0)` fails where the user wrote it, not
-    /// as an `eb > 0` assert deep inside the optimizer mid-series.
-    fn validate(&self) {
+    /// Non-panicking invariant check — the restore path must reject a
+    /// corrupt policy with a typed error, not a panic.
+    fn check(&self) -> Result<(), String> {
         let (name, v) = match *self {
             QualityPolicy::FixedEb(eb) => ("FixedEb bound", eb),
             QualityPolicy::SigmaScaled(fraction) => ("SigmaScaled fraction", fraction),
             QualityPolicy::BitrateBudget(budget) => ("BitrateBudget bits/value", budget),
         };
-        assert!(v > 0.0 && v.is_finite(), "{name} must be positive and finite, got {v}");
+        if v > 0.0 && v.is_finite() {
+            Ok(())
+        } else {
+            Err(format!("{name} must be positive and finite, got {v}"))
+        }
     }
 
     /// The bound used to centre the first-snapshot calibration sweep,
@@ -135,8 +165,10 @@ impl QualityPolicy {
     }
 }
 
-/// Static configuration of a [`StreamSession`].
-#[derive(Debug, Clone)]
+/// Static configuration of a [`StreamSession`]. Serializable: the whole
+/// config (decomposition geometry included) rides along in a session
+/// checkpoint so a restarted run cannot resume against the wrong layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionConfig {
     /// Domain decomposition shared by every snapshot.
     pub dec: Decomposition,
@@ -209,6 +241,44 @@ impl SessionConfig {
         self.halo = Some(HaloTarget { t_boundary, mass_fault_budget });
         self
     }
+
+    /// Every invariant [`StreamSession::new`] asserts, as a `Result` — the
+    /// one implementation behind both the constructor's panics (caller
+    /// bugs fail where they were written) and the checkpoint-restore
+    /// validation (corrupt blobs fail with a typed error).
+    fn check(&self) -> Result<(), String> {
+        if self.dec.num_partitions() < 2 {
+            return Err("a session needs at least two partitions".into());
+        }
+        if self.codecs.is_empty() {
+            return Err("need at least one codec".into());
+        }
+        self.policy.check()?;
+        if !(self.drift_threshold > 0.0 && self.drift_threshold.is_finite()) {
+            return Err(format!(
+                "drift threshold must be positive and finite, got {}",
+                self.drift_threshold
+            ));
+        }
+        if self.calib_stride < 1 || self.refresh_stride < 1 {
+            return Err("strides start at 1".into());
+        }
+        if self.sweep_multipliers.len() < 2 {
+            return Err("full calibration needs >= 2 bounds".into());
+        }
+        if self.refresh_multipliers.len() < 2 {
+            return Err("refresh needs >= 2 bounds".into());
+        }
+        for m in self.sweep_multipliers.iter().chain(&self.refresh_multipliers) {
+            if !(*m > 0.0 && m.is_finite()) {
+                return Err(format!("sweep multipliers must be positive and finite, got {m}"));
+            }
+        }
+        if !(self.eb_ref > 0.0 && self.eb_ref.is_finite()) {
+            return Err(format!("eb_ref must be positive and finite, got {}", self.eb_ref));
+        }
+        Ok(())
+    }
 }
 
 /// What the modeling layer did for one snapshot.
@@ -273,20 +343,29 @@ pub struct StreamSession {
     pipeline: Option<InSituPipeline>,
     history: Vec<SnapshotStats>,
     calibration_reports: Vec<(CodecId, CalibrationReport)>,
+    /// Lifetime counters carried over from the checkpoint a restored
+    /// session resumed from (all zero for a fresh session): snapshots,
+    /// full calibrations, refreshes before the restart.
+    prior: (usize, usize, usize),
+    /// Drift residual of the most recent snapshot (restored included).
+    last_drift: f64,
 }
 
 impl StreamSession {
     /// Create an idle session; the first [`StreamSession::push_snapshot`]
     /// performs the one full calibration.
     pub fn new(cfg: SessionConfig) -> Self {
-        assert!(cfg.dec.num_partitions() >= 2, "a session needs at least two partitions");
-        assert!(!cfg.codecs.is_empty(), "need at least one codec");
-        cfg.policy.validate();
-        assert!(cfg.drift_threshold > 0.0, "drift threshold must be positive");
-        assert!(cfg.calib_stride >= 1 && cfg.refresh_stride >= 1, "strides start at 1");
-        assert!(cfg.sweep_multipliers.len() >= 2, "full calibration needs ≥ 2 bounds");
-        assert!(cfg.refresh_multipliers.len() >= 2, "refresh needs ≥ 2 bounds");
-        Self { cfg, pipeline: None, history: Vec::new(), calibration_reports: Vec::new() }
+        if let Err(m) = cfg.check() {
+            panic!("{m}");
+        }
+        Self {
+            cfg,
+            pipeline: None,
+            history: Vec::new(),
+            calibration_reports: Vec::new(),
+            prior: (0, 0, 0),
+            last_drift: 0.0,
+        }
     }
 
     /// Compress the next snapshot of the series.
@@ -338,7 +417,7 @@ impl StreamSession {
         }
 
         let stats = SnapshotStats {
-            snapshot: self.history.len(),
+            snapshot: self.snapshots(),
             eb_avg,
             recalibration,
             drift_residual,
@@ -346,6 +425,7 @@ impl StreamSession {
             timings: result.timings,
         };
         self.history.push(stats);
+        self.last_drift = drift_residual;
         SnapshotRecord { result, stats }
     }
 
@@ -397,25 +477,286 @@ impl StreamSession {
         &self.calibration_reports
     }
 
-    /// Per-snapshot stats, oldest first.
+    /// Per-snapshot stats since this process started, oldest first. A
+    /// restored session's history restarts empty (wall-clock diagnostics
+    /// do not survive a checkpoint); the lifetime counters below include
+    /// the pre-restart snapshots.
     pub fn history(&self) -> &[SnapshotStats] {
         &self.history
     }
 
-    /// Snapshots pushed so far.
+    /// Snapshots pushed over the session's lifetime, restarts included.
     pub fn snapshots(&self) -> usize {
-        self.history.len()
+        self.prior.0 + self.history.len()
     }
 
-    /// How many snapshots ran a full calibration (must be ≤ 1: only the
-    /// first snapshot ever pays it).
+    /// How many snapshots ran a full calibration over the session's
+    /// lifetime (must be ≤ 1: only the first snapshot of the *series* ever
+    /// pays it — a restore does not reset this).
     pub fn full_calibrations(&self) -> usize {
-        self.history.iter().filter(|s| s.recalibration == Recalibration::Full).count()
+        self.prior.1
+            + self.history.iter().filter(|s| s.recalibration == Recalibration::Full).count()
     }
 
-    /// How many snapshots triggered a sampled refresh.
+    /// How many snapshots triggered a sampled refresh, restarts included.
     pub fn refreshes(&self) -> usize {
-        self.history.iter().filter(|s| s.recalibration == Recalibration::Refreshed).count()
+        self.prior.2
+            + self.history.iter().filter(|s| s.recalibration == Recalibration::Refreshed).count()
+    }
+
+    /// Drift residual of the most recent snapshot (0 before the first).
+    pub fn last_drift(&self) -> f64 {
+        self.last_drift
+    }
+
+    /// Snapshot the session's learned state as a typed checkpoint. See
+    /// [`StreamSession::save`] for the serialized form.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            config: self.cfg.clone(),
+            bank: self.models().cloned(),
+            clamp_factor: self
+                .pipeline
+                .as_ref()
+                .map_or(DEFAULT_CLAMP_FACTOR, |p| p.optimizer.clamp_factor),
+            snapshots: self.snapshots(),
+            full_calibrations: self.full_calibrations(),
+            refreshes: self.refreshes(),
+            last_drift: self.last_drift,
+        }
+    }
+
+    /// Serialise the session into a versioned `CKPT` blob: everything a
+    /// restarted run needs to resume **without recalibrating** — the
+    /// fitted model bank, the quality policy and partition geometry, the
+    /// optimizer tuning, and the drift state.
+    pub fn save(&self) -> Vec<u8> {
+        self.checkpoint().to_bytes()
+    }
+
+    /// Rebuild a session from [`StreamSession::save`] bytes. The restored
+    /// session's next [`StreamSession::push_snapshot`] transfers the
+    /// checkpointed models — no full calibration — and compresses
+    /// byte-identically to the uninterrupted run. All corruption surfaces
+    /// as a typed [`CheckpointError`].
+    pub fn restore(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        Self::from_checkpoint(SessionCheckpoint::from_bytes(bytes)?)
+    }
+
+    /// [`StreamSession::restore`] over an already-parsed checkpoint.
+    pub fn from_checkpoint(ckpt: SessionCheckpoint) -> Result<Self, CheckpointError> {
+        ckpt.validate()?;
+        let SessionCheckpoint {
+            config: cfg,
+            bank,
+            clamp_factor,
+            snapshots,
+            full_calibrations,
+            refreshes,
+            last_drift,
+        } = ckpt;
+        let pipeline = match bank {
+            Some(bank) => {
+                // The eb_avg placeholder is overwritten by the policy
+                // before the optimizer ever prices against it; the halo
+                // constraint must survive, it drives feature extraction.
+                let pc = PipelineConfig {
+                    dec: cfg.dec.clone(),
+                    target: Self::target_for(cfg.halo, 1.0),
+                    codecs: cfg.codecs.clone(),
+                    eb_ref: cfg.eb_ref,
+                };
+                let mut p = InSituPipeline::with_models(pc, bank);
+                p.optimizer.clamp_factor = clamp_factor;
+                Some(p)
+            }
+            None => None,
+        };
+        Ok(Self {
+            cfg,
+            pipeline,
+            history: Vec::new(),
+            calibration_reports: Vec::new(),
+            prior: (snapshots, full_calibrations, refreshes),
+            last_drift,
+        })
+    }
+}
+
+/// `Optimizer::with_models`'s clamp default, mirrored for checkpoints of
+/// never-calibrated sessions (no optimizer exists to read it from yet).
+const DEFAULT_CLAMP_FACTOR: f64 = 4.0;
+
+/// Current `CKPT` blob version. Bumps on any layout or semantics change;
+/// readers reject other versions loudly.
+pub const CHECKPOINT_VERSION: u8 = 1;
+const CKPT_MAGIC: &[u8; 4] = b"CKPT";
+/// Fixed wrapper bytes preceding the checkpoint payload.
+const CKPT_HEADER_LEN: usize = 4 + 1 + 3 + 8 + 8;
+
+/// Why a checkpoint failed to restore. Corruption must never panic the
+/// restore path — the fault-injection suite drives every byte of the blob
+/// through these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Wrapper-level problem: magic, version, length, or checksum.
+    Format(String),
+    /// The payload is not a valid checkpoint document.
+    Parse(String),
+    /// Decoded fine but violates a session invariant (e.g. a codec with
+    /// no fitted model, a non-finite threshold).
+    Invalid(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+            CheckpointError::Parse(m) => write!(f, "checkpoint parse error: {m}"),
+            CheckpointError::Invalid(m) => write!(f, "checkpoint invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// The typed contents of a `CKPT` blob — what a [`StreamSession`] needs
+/// to resume a series without recalibrating.
+///
+/// ## `CKPT` v1 layout
+///
+/// ```text
+/// offset  size  field
+/// 0       4     magic "CKPT"
+/// 4       1     version (= 1)
+/// 5       3     reserved (zero)
+/// 8       8     FNV-1a-64 checksum of the payload, little-endian
+/// 16      8     payload length, little-endian u64
+/// 24      n     payload: the checkpoint document, serialized through the
+///               vendored serde shims (JSON text; field order is
+///               declaration order, floats round-trip exactly)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// Full session configuration, partition geometry included.
+    pub config: SessionConfig,
+    /// The fitted per-codec model bank; `None` for a session checkpointed
+    /// before its first snapshot (restore then calibrates as usual).
+    pub bank: Option<CodecModelBank>,
+    /// The optimizer's clamp tuning at checkpoint time.
+    pub clamp_factor: f64,
+    /// Lifetime snapshot count at checkpoint time.
+    pub snapshots: usize,
+    /// Lifetime full-calibration count (≤ 1 for a healthy series).
+    pub full_calibrations: usize,
+    /// Lifetime drift-refresh count.
+    pub refreshes: usize,
+    /// Drift residual of the last snapshot before the checkpoint.
+    pub last_drift: f64,
+}
+
+impl SessionCheckpoint {
+    /// Serialise into a `CKPT` blob (wrapper + checksummed payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = serde_json::to_string(self).expect("shim serialization is total");
+        let payload = payload.as_bytes();
+        let mut bytes = Vec::with_capacity(CKPT_HEADER_LEN + payload.len());
+        bytes.extend_from_slice(CKPT_MAGIC);
+        bytes.push(CHECKPOINT_VERSION);
+        bytes.extend_from_slice(&[0u8; 3]);
+        bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes
+    }
+
+    /// Parse and validate a `CKPT` blob: structure, checksum, document,
+    /// then session invariants. Total — every corruption is a typed error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < CKPT_HEADER_LEN {
+            return Err(CheckpointError::Format("checkpoint shorter than header".into()));
+        }
+        if &bytes[..4] != CKPT_MAGIC {
+            return Err(CheckpointError::Format("bad checkpoint magic".into()));
+        }
+        if bytes[4] != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Format(format!(
+                "unsupported checkpoint version {}",
+                bytes[4]
+            )));
+        }
+        let stored_fnv = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let payload_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        if payload_len != (bytes.len() - CKPT_HEADER_LEN) as u64 {
+            return Err(CheckpointError::Format(format!(
+                "payload length {payload_len} does not match blob size {}",
+                bytes.len()
+            )));
+        }
+        let payload = &bytes[CKPT_HEADER_LEN..];
+        let actual_fnv = fnv1a64(payload);
+        if actual_fnv != stored_fnv {
+            return Err(CheckpointError::Format(format!(
+                "payload checksum mismatch: stored {stored_fnv:#018x}, computed {actual_fnv:#018x}"
+            )));
+        }
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| CheckpointError::Parse(format!("payload is not UTF-8: {e}")))?;
+        let ckpt: SessionCheckpoint =
+            serde_json::from_str(text).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+
+    /// Session invariants a decodable checkpoint can still violate.
+    fn validate(&self) -> Result<(), CheckpointError> {
+        self.config.check().map_err(CheckpointError::Invalid)?;
+        if !(self.clamp_factor > 1.0 && self.clamp_factor.is_finite()) {
+            return Err(CheckpointError::Invalid(format!(
+                "clamp factor must be finite and > 1, got {}",
+                self.clamp_factor
+            )));
+        }
+        if !(self.last_drift >= 0.0 && self.last_drift.is_finite()) {
+            return Err(CheckpointError::Invalid(format!(
+                "last drift must be finite and non-negative, got {}",
+                self.last_drift
+            )));
+        }
+        if self.full_calibrations + self.refreshes > self.snapshots {
+            return Err(CheckpointError::Invalid(format!(
+                "{} calibrations + {} refreshes exceed {} snapshots",
+                self.full_calibrations, self.refreshes, self.snapshots
+            )));
+        }
+        match &self.bank {
+            None => {
+                if self.snapshots != 0 {
+                    return Err(CheckpointError::Invalid(format!(
+                        "{} snapshots recorded but no model bank — a pushed-to session is \
+                         always calibrated",
+                        self.snapshots
+                    )));
+                }
+            }
+            Some(bank) => {
+                for &codec in &self.config.codecs {
+                    if bank.get(codec).is_none() {
+                        return Err(CheckpointError::Invalid(format!(
+                            "no model in the bank for enabled codec {codec}"
+                        )));
+                    }
+                }
+                for (codec, m) in bank.entries() {
+                    if !(m.c.is_finite() && m.a0.is_finite() && m.a1.is_finite()) {
+                        return Err(CheckpointError::Invalid(format!(
+                            "non-finite rate model for codec {codec}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -639,5 +980,205 @@ mod tests {
         let p = s.pipeline().unwrap();
         let r = p.run_traditional(&evolving_field(16, 1.0, 7), 0.2);
         assert_eq!(drift_residual(&r, &p.optimizer.models), 0.0);
+    }
+
+    // --- drift_residual edge cases ---------------------------------------
+
+    use crate::optimizer::QualityTarget;
+    use crate::pipeline::PipelineConfig;
+    use crate::ratio_model::RatioModel;
+
+    #[test]
+    fn drift_residual_of_zero_partition_result_is_zero() {
+        // A snapshot with no partitions at all: the signal is 0, never a
+        // 0/0 NaN that would poison the threshold compare.
+        let empty = PipelineResult {
+            features: Vec::new(),
+            ebs: Vec::new(),
+            codecs: Vec::new(),
+            containers: Vec::new(),
+            original_bytes: 0,
+            compressed_bytes: 0,
+            decision: None,
+            timings: Timings::default(),
+        };
+        let bank = CodecModelBank::single(CodecId::Rsz, RatioModel { c: -0.5, a0: 0.5, a1: 0.3 });
+        let r = drift_residual(&empty, &bank);
+        assert_eq!(r, 0.0);
+        assert!(r <= 0.5, "an empty snapshot must never read as drifted");
+    }
+
+    #[test]
+    fn drift_residual_with_floor_level_rates_stays_finite() {
+        // A constant field compresses to a near-zero payload rate and a
+        // coefficient-floored model predicts near-zero bits: both sides of
+        // the residual sit at their floors and the result must stay
+        // finite and comparable, not NaN/inf from a 0-division.
+        let dec = Decomposition::cubic(8, 2).unwrap();
+        let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(0.1));
+        // a0 = -100 pushes C(mean) onto the C_FLOOR: predicted ≈ 0.
+        let model = RatioModel { c: -0.5, a0: -100.0, a1: 0.0 };
+        let p = crate::pipeline::InSituPipeline::with_models(
+            cfg,
+            CodecModelBank::single(CodecId::Rsz, model),
+        );
+        let flat = Field3::from_fn(Dim3::cube(8), |_, _, _| 3.0f32);
+        let r = p.run_adaptive(&flat);
+        let residual = drift_residual(&r, &p.optimizer.models);
+        assert!(residual.is_finite(), "residual {residual}");
+        assert!(residual >= 0.0);
+        // And the threshold compare is well-defined either way.
+        let _ = residual > 0.5;
+    }
+
+    #[test]
+    fn drift_residual_of_single_partition_result_is_finite() {
+        // Sessions require >= 2 partitions, but the drift signal itself
+        // must hold up on a 1-partition stream (the mean is one term).
+        let dec = Decomposition::cubic(8, 1).unwrap();
+        let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(0.2));
+        let model = RatioModel { c: -0.6, a0: 1.0, a1: 0.2 };
+        let p = crate::pipeline::InSituPipeline::with_models(
+            cfg,
+            CodecModelBank::single(CodecId::Rsz, model),
+        );
+        let field = evolving_field(8, 2.0, 3);
+        let r = p.run_adaptive(&field);
+        assert_eq!(r.features.len(), 1);
+        let residual = drift_residual(&r, &p.optimizer.models);
+        assert!(residual.is_finite() && residual >= 0.0, "residual {residual}");
+    }
+
+    // --- checkpoint / restore --------------------------------------------
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_session_state() {
+        let mut s = session(32, 4, QualityPolicy::SigmaScaled(0.1));
+        s.push_snapshot(&evolving_field(32, 2.0, 9));
+        s.push_snapshot(&evolving_field(32, 2.02, 9));
+        let ckpt = s.checkpoint();
+        let bytes = s.save();
+        assert_eq!(&bytes[..4], b"CKPT");
+        assert_eq!(bytes[4], CHECKPOINT_VERSION);
+        let restored = StreamSession::restore(&bytes).expect("restores");
+        assert_eq!(restored.checkpoint(), ckpt);
+        assert_eq!(restored.models(), s.models());
+        assert_eq!(restored.snapshots(), 2);
+        assert_eq!(restored.full_calibrations(), 1);
+        assert_eq!(restored.last_drift(), s.last_drift());
+        assert!(restored.history().is_empty(), "wall-clock history does not survive");
+    }
+
+    #[test]
+    fn restore_skips_recalibration_and_matches_uninterrupted_bytes() {
+        let fields: Vec<Field3<f32>> =
+            (0..4).map(|i| evolving_field(32, 1.5 + 0.02 * i as f64, 13)).collect();
+        // Uninterrupted reference run.
+        let mut a = session(32, 4, QualityPolicy::SigmaScaled(0.1));
+        let a_recs: Vec<_> = fields.iter().map(|f| a.push_snapshot(f)).collect();
+        // Crash after snapshot 1, restore, resume.
+        let mut b = session(32, 4, QualityPolicy::SigmaScaled(0.1));
+        b.push_snapshot(&fields[0]);
+        b.push_snapshot(&fields[1]);
+        let blob = b.save();
+        drop(b);
+        let mut b = StreamSession::restore(&blob).expect("restores");
+        for (i, f) in fields[2..].iter().enumerate() {
+            let rec = b.push_snapshot(f);
+            let reference = &a_recs[i + 2];
+            assert_ne!(
+                rec.stats.recalibration,
+                Recalibration::Full,
+                "restore must never repay the full calibration"
+            );
+            assert_eq!(rec.stats.recalibration, reference.stats.recalibration);
+            assert_eq!(rec.stats.snapshot, reference.stats.snapshot, "numbering continues");
+            assert_eq!(rec.stats.eb_avg, reference.stats.eb_avg);
+            assert_eq!(rec.stats.drift_residual, reference.stats.drift_residual);
+            for (c1, c2) in rec.result.containers.iter().zip(&reference.result.containers) {
+                assert_eq!(c1.as_bytes(), c2.as_bytes(), "resumed frames must be byte-identical");
+            }
+        }
+        assert_eq!(b.full_calibrations(), 1, "lifetime count carries the pre-crash calibration");
+        assert_eq!(b.snapshots(), 4);
+    }
+
+    #[test]
+    fn refreshed_bank_after_restore_matches_non_restarted_drift_decisions() {
+        // Regression for the restore path: a regime change after the
+        // restart must trigger the same sampled refresh, and the refreshed
+        // bank must steer the following snapshot identically to a run that
+        // never restarted.
+        let make = || {
+            let dec = Decomposition::cubic(24, 2).unwrap();
+            StreamSession::new(
+                SessionConfig::new(dec, QualityPolicy::SigmaScaled(0.1)).with_drift_threshold(0.05),
+            )
+        };
+        let calm = evolving_field(24, 1.0, 21);
+        let wild0 = evolving_field(24, 50.0, 77);
+        let wild1 = evolving_field(24, 50.0, 78);
+
+        let mut a = make();
+        a.push_snapshot(&calm);
+        let a_drift = a.push_snapshot(&wild0);
+        let a_after = a.push_snapshot(&wild1);
+
+        let mut b = make();
+        b.push_snapshot(&calm);
+        let b2 = StreamSession::restore(&b.save()).expect("restores");
+        let mut b2 = b2;
+        let b_drift = b2.push_snapshot(&wild0);
+        let b_after = b2.push_snapshot(&wild1);
+
+        assert_eq!(a_drift.stats.recalibration, Recalibration::Refreshed);
+        assert_eq!(b_drift.stats.recalibration, Recalibration::Refreshed);
+        assert_eq!(a_drift.stats.drift_residual, b_drift.stats.drift_residual);
+        assert_eq!(b2.models(), a.models(), "refreshed banks must agree");
+        assert_eq!(a_after.stats.drift_residual, b_after.stats.drift_residual);
+        assert_eq!(a_after.stats.recalibration, b_after.stats.recalibration);
+        for (c1, c2) in a_after.result.containers.iter().zip(&b_after.result.containers) {
+            assert_eq!(c1.as_bytes(), c2.as_bytes());
+        }
+        assert_eq!(b2.refreshes(), a.refreshes());
+    }
+
+    #[test]
+    fn uncalibrated_session_checkpoints_and_restores() {
+        let s = session(16, 2, QualityPolicy::FixedEb(0.2));
+        let blob = s.save();
+        let mut r = StreamSession::restore(&blob).expect("restores");
+        assert!(r.models().is_none());
+        assert_eq!(r.snapshots(), 0);
+        // The restored idle session calibrates on its first push as usual.
+        let rec = r.push_snapshot(&evolving_field(16, 1.0, 5));
+        assert_eq!(rec.stats.recalibration, Recalibration::Full);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_fail_with_typed_errors() {
+        let mut s = session(16, 2, QualityPolicy::FixedEb(0.2));
+        s.push_snapshot(&evolving_field(16, 1.0, 5));
+        let good = s.save();
+        // Wrapper corruptions.
+        let mut b = good.clone();
+        b[0] = b'X';
+        assert!(matches!(SessionCheckpoint::from_bytes(&b), Err(CheckpointError::Format(_))));
+        let mut b = good.clone();
+        b[4] = 9;
+        assert!(matches!(SessionCheckpoint::from_bytes(&b), Err(CheckpointError::Format(_))));
+        // Payload bit flip: checksum catches it.
+        let mut b = good.clone();
+        let last = b.len() - 1;
+        b[last] ^= 0x20;
+        let err = SessionCheckpoint::from_bytes(&b).expect_err("flip detected");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // Truncation.
+        assert!(SessionCheckpoint::from_bytes(&good[..good.len() - 3]).is_err());
+        assert!(SessionCheckpoint::from_bytes(&good[..10]).is_err());
+        // Semantic violation: a codec without a model.
+        let mut ckpt = s.checkpoint();
+        ckpt.config.codecs = CodecId::ALL.to_vec();
+        assert!(matches!(StreamSession::from_checkpoint(ckpt), Err(CheckpointError::Invalid(_))));
     }
 }

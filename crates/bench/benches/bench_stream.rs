@@ -34,6 +34,22 @@ fn bench_stream(c: &mut Criterion) {
             })
         });
     }
+    // Restore from a CKPT blob + first push: the kill-and-resume path.
+    // Should sit next to steady_push, nowhere near first_push_cold — the
+    // checkpoint replaces the recalibration, that is its entire point.
+    {
+        let mut s = StreamSession::new(session_cfg());
+        s.push_snapshot(field);
+        let blob = s.save();
+        g.bench_function("restored_push", |b| {
+            b.iter(|| {
+                let mut r = StreamSession::restore(&blob).expect("checkpoint restores");
+                let rec = r.push_snapshot(field);
+                assert_ne!(rec.stats.recalibration, Recalibration::Full);
+                rec
+            })
+        });
+    }
     g.finish();
 }
 

@@ -269,6 +269,65 @@ fn main() {
                 full as f64 / steady as f64,
             ));
         }
+
+        // --- insitu_stream/restore: checkpoint round-trip instead of a
+        // recalibration. A restarted simulation restores the CKPT blob and
+        // its first push pays steady-state modeling cost — the datum the
+        // durability layer exists to buy (vs repaying full calibration).
+        {
+            use adaptive_config::session::{Recalibration, StreamSession};
+            let mut s = StreamSession::new(session_cfg());
+            s.push_snapshot(field);
+            let blob = s.save();
+            t.measure("insitu_stream/restore/save_checkpoint", &grid, samples, None, || {
+                black_box(s.save());
+            });
+            t.measure("insitu_stream/restore/restore_session", &grid, samples, None, || {
+                black_box(StreamSession::restore(&blob).expect("checkpoint restores"));
+            });
+            t.measure(
+                "insitu_stream/restore/first_push_resumed",
+                &grid,
+                samples,
+                Some(bytes),
+                || {
+                    let mut r = StreamSession::restore(&blob).expect("checkpoint restores");
+                    black_box(r.push_snapshot(field));
+                },
+            );
+            let mut costs = Vec::new();
+            for _ in 0..samples.max(1) {
+                let mut r = StreamSession::restore(&blob).expect("checkpoint restores");
+                let rec = r.push_snapshot(field);
+                assert_ne!(
+                    rec.stats.recalibration,
+                    Recalibration::Full,
+                    "a restored session must not recalibrate"
+                );
+                costs.push(rec.stats.adaptive_cost().as_nanos() as u64);
+            }
+            costs.sort_unstable();
+            let resumed = costs[costs.len() / 2];
+            t.entries.push(bench::trajectory::BenchEntry {
+                bench: "insitu_stream/restore/resumed_model_optimize".to_string(),
+                median_ns: resumed,
+                throughput: 0.0,
+                throughput_unit: String::new(),
+                grid: grid.clone(),
+            });
+            if resumed > 0 && steady > 0 {
+                t.note(format!(
+                    "insitu_stream restore: resumed modeling+optimize {:.3} ms on the first \
+                     post-restore push ({:.2}x the steady state, {:.1}x cheaper than the \
+                     {:.2} ms full calibration it replaces), checkpoint blob {} bytes",
+                    resumed as f64 / 1e6,
+                    resumed as f64 / steady as f64,
+                    full as f64 / resumed as f64,
+                    full as f64 / 1e6,
+                    blob.len(),
+                ));
+            }
+        }
     }
 
     // --- codec_select workloads: rsz-only vs zfp-only vs adaptive-mixed ---

@@ -1,0 +1,55 @@
+//! Regenerate the `CKPT` session-checkpoint golden fixture used by the
+//! root `durable_compat` test.
+//!
+//! The fixture is a hand-specified [`SessionCheckpoint`] (dyadic-rational
+//! model coefficients, so every float is exactly representable and the
+//! rendered JSON is bit-stable across platforms) wrapped in the v1 `CKPT`
+//! blob. It pins the wrapper layout, the checkpoint document's field
+//! order, and the float round-trip promise a restarted simulation's
+//! byte-identical resume depends on. If the fixture needs re-rooting
+//! after a *deliberate* checkpoint version bump, run:
+//!
+//! ```text
+//! cargo run --release -p bench --bin diag_ckpt_fixture
+//! ```
+//!
+//! and commit the new bytes together with the rationale.
+
+use adaptive_config::ratio_model::{CodecModelBank, RatioModel};
+use adaptive_config::session::{QualityPolicy, SessionCheckpoint, SessionConfig};
+use codec_core::CodecId;
+use gridlab::Decomposition;
+
+/// Must match `tests/durable_compat.rs`.
+fn fixture_checkpoint() -> SessionCheckpoint {
+    let dec = Decomposition::cubic(16, 2).expect("2 divides 16");
+    let config = SessionConfig::new(dec, QualityPolicy::SigmaScaled(0.125))
+        .with_codecs(&CodecId::ALL)
+        .with_halo(88.0625, 10000.0);
+    let bank = CodecModelBank::new(vec![
+        (CodecId::Rsz, RatioModel { c: -0.6875, a0: 0.84375, a1: 0.21875 }),
+        (CodecId::Zfp, RatioModel { c: -0.40625, a0: 1.125, a1: 0.15625 }),
+    ]);
+    SessionCheckpoint {
+        config,
+        bank: Some(bank),
+        clamp_factor: 4.0,
+        snapshots: 3,
+        full_calibrations: 1,
+        refreshes: 1,
+        last_drift: 0.25,
+    }
+}
+
+fn main() {
+    let bytes = fixture_checkpoint().to_bytes();
+    let path = std::path::Path::new("tests/fixtures/ckpt_v1_session.bin");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir fixtures");
+    std::fs::write(path, &bytes).expect("write fixture");
+    println!(
+        "wrote {} ({} bytes, fnv1a64 {:#018x})",
+        path.display(),
+        bytes.len(),
+        codec_core::fnv1a64(&bytes)
+    );
+}

@@ -134,6 +134,8 @@ pub struct CodecCaps {
 pub enum CodecError {
     /// Wrapper/container-level problem (bad magic, truncation, checksum).
     Format(String),
+    /// Filesystem problem on the durable-stream paths (context + cause).
+    Io(String),
     /// `rsz` payload error.
     Rsz(rsz::SzError),
     /// `zfplite` payload error.
@@ -144,6 +146,7 @@ impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::Format(m) => write!(f, "container error: {m}"),
+            CodecError::Io(m) => write!(f, "stream io error: {m}"),
             CodecError::Rsz(e) => write!(f, "rsz: {e}"),
             CodecError::Zfp(e) => write!(f, "zfp: {e}"),
         }

@@ -40,6 +40,20 @@ const WRAPPER_LEN: usize = 4 + 1 + 1 + 8 + 8;
 /// Magic of a legacy (v1) bare-rsz container.
 const V1_MAGIC: &[u8; 4] = b"RSZ1";
 
+/// Total byte length of the v2 container starting at `bytes[0]`, if the
+/// wrapper is structurally plausible (magic, version, declared payload
+/// length). The durable-stream recovery scanner uses this to walk a
+/// frame's containers without duplicating the wrapper layout; a `None`
+/// means "not a v2 container here" and ends the scan. Full validation
+/// stays with [`Container::from_bytes`].
+pub(crate) fn peek_total_len(bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < WRAPPER_LEN || &bytes[..4] != MAGIC || bytes[4] != CONTAINER_VERSION {
+        return None;
+    }
+    let payload_len = u64::from_le_bytes(bytes[14..22].try_into().expect("8 bytes"));
+    usize::try_from(payload_len).ok()?.checked_add(WRAPPER_LEN)
+}
+
 /// FNV-1a 64-bit hash — the payload checksum. Stable, allocation-free,
 /// and fast enough to be invisible next to entropy coding.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {

@@ -44,15 +44,22 @@
 //!
 //! ## Stream containers
 //!
-//! [`stream`] frames a whole snapshot *series*: the `STRM` manifest
+//! [`stream`] frames a whole snapshot *series*: the `STRM` v1 manifest
 //! ([`StreamWriter`]/[`StreamReader`]) records a frame index plus a
 //! frame×partition offset table over v2 containers, so any
 //! (snapshot, partition) pair decodes in O(1) without scanning prior
-//! frames — the storage format of the streaming session engine.
+//! frames. [`stream_file`] is the durable `STRM` v2 variant the streaming
+//! session engine persists through: data-first/manifest-last so frames
+//! append straight to disk ([`StreamFileWriter`]), a crash loses at most
+//! the in-flight frame ([`recover_stream`]/[`StreamFileWriter::recover`]
+//! re-derive the valid prefix), and [`StreamFileReader`] serves the same
+//! O(1) random access from a [`StreamSource`] (file or bytes) without
+//! loading the payload region.
 
 pub mod codec;
 pub mod container;
 pub mod stream;
+pub mod stream_file;
 
 pub use codec::{
     codec_counts, with_scratch, CodecCaps, CodecError, CodecId, CodecScratch, LossyCodec, RszCodec,
@@ -60,3 +67,7 @@ pub use codec::{
 };
 pub use container::{fnv1a64, Container, CONTAINER_VERSION};
 pub use stream::{StreamReader, StreamWriter, STREAM_VERSION};
+pub use stream_file::{
+    footer_len, recover_stream, stream_file_bytes, trailer_len, FileSource, RecoveryReport,
+    StreamFileReader, StreamFileWriter, StreamSource, STREAM_FILE_VERSION,
+};

@@ -30,6 +30,14 @@
 //! corruption loud at open time; payload integrity stays with each v2
 //! container's own checksum, verified on decode. Offsets are absolute so
 //! a frame range can be served straight from storage without rebasing.
+//!
+//! v1 is manifest-*first* and therefore neither appendable nor
+//! crash-safe: the whole series must be buffered before `finish`. Long
+//! runs should persist through the durable, data-first `STRM` v2 format
+//! in [`crate::stream_file`] instead, which appends each frame as it
+//! lands and recovers a valid truncated stream after a crash; this module
+//! remains the in-memory packaging/interchange form, and v1 streams stay
+//! readable forever.
 
 use crate::codec::CodecError;
 use crate::container::{fnv1a64, Container};

@@ -1,0 +1,807 @@
+//! Durable (append-to-disk) stream containers — `STRM` version 2.
+//!
+//! The in-memory [`StreamWriter`](crate::stream::StreamWriter) buffers a
+//! whole series and emits a manifest-*first* stream: fine for post-hoc
+//! packaging, fatal for the paper's deployment mode, where a simulation
+//! emits snapshots over hours of wall clock and can die at any instant. A
+//! manifest-first layout cannot be appended to (the offset table precedes
+//! the payload region), and a crash loses the entire buffered series.
+//!
+//! Version 2 inverts the layout: **data first, manifest last**.
+//!
+//! ## v2 layout
+//!
+//! ```text
+//! offset  size       field
+//! 0       4          magic "STRM"
+//! 4       1          version (= 2)
+//! 5       3          reserved (zero)
+//! 8       4          partitions per frame P, little-endian u32
+//! 12      4          reserved (zero; the frame count lives in the trailer)
+//!
+//! per frame (appended as the snapshot lands):
+//!         ...        P concatenated v2 partition containers
+//!         4          footer magic "FTR2"
+//!         4          frame index, little-endian u32
+//!         8·(P+1)    absolute offsets: start of each container, then the
+//!                    footer's own start (= end of the frame's data)
+//!         8          FNV-1a-64 of the footer bytes above
+//!
+//! trailer (appended once, by `finish`):
+//!         4          trailer magic "TLR2"
+//!         4          frame count F, little-endian u32
+//!         8·F        absolute offset of each frame's footer
+//!         8          FNV-1a-64 of the trailer bytes above
+//!         8          absolute offset of the trailer start (the file's
+//!                    last 8 bytes — how a reader finds the trailer)
+//! ```
+//!
+//! ## Crash-loss guarantee & recovery semantics
+//!
+//! Every frame is flushed (data, then footer) before `append_frame`
+//! returns, so a crash at any instant loses **at most the in-flight
+//! frame** — never a frame that was already acknowledged. A crashed file
+//! has no trailer (or a torn one); [`recover`]/[`StreamFileWriter::recover`]
+//! re-derive the valid prefix by scanning frames forward from the header:
+//! a frame survives iff every container wrapper parses, its footer is
+//! present with the right index and offsets, and the footer checksum
+//! verifies. Everything after the last intact footer is truncated, and the
+//! result is **byte-identical to a fresh write of the surviving frames**
+//! (the crash-recovery equivalence property suite pins this). Payload
+//! integrity stays with each v2 container's own checksum, verified on
+//! decode, so a bit-flipped region that survives recovery still fails
+//! loudly instead of reconstructing garbage.
+//!
+//! [`StreamFileReader`] needs only the trailer and the footers to serve
+//! O(1) random access to any (frame, partition) — container bytes are read
+//! from the [`StreamSource`] on demand, so a multi-hour series never has
+//! to fit in memory on the *read* path. The recovery scan currently does
+//! read the whole file (recovery is rare and runs once per crash; a
+//! bounded-window streaming scan is a ROADMAP follow-up for streams that
+//! outgrow RAM).
+//!
+//! [`recover`]: recover_stream
+
+use crate::codec::CodecError;
+use crate::container::{fnv1a64, Container};
+use crate::stream::STREAM_VERSION;
+use gridlab::{Decomposition, Field3, Scalar};
+use rayon::prelude::*;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+const MAGIC: &[u8; 4] = b"STRM";
+/// Durable (append-to-disk) stream-container version.
+pub const STREAM_FILE_VERSION: u8 = 2;
+const FOOTER_MAGIC: &[u8; 4] = b"FTR2";
+const TRAILER_MAGIC: &[u8; 4] = b"TLR2";
+/// Fixed header bytes preceding the first frame.
+const FILE_HEADER_LEN: usize = 16;
+
+/// Byte length of one frame footer in a stream of `partitions`-wide
+/// frames: magic + index + (P+1) offsets + checksum.
+pub fn footer_len(partitions: usize) -> usize {
+    4 + 4 + 8 * (partitions + 1) + 8
+}
+
+/// Byte length of the trailer of a finished `frames`-frame stream: magic
+/// + count + F footer offsets + checksum + back-pointer.
+pub fn trailer_len(frames: usize) -> usize {
+    4 + 4 + 8 * frames + 8 + 8
+}
+
+fn encode_header(partitions: usize) -> [u8; FILE_HEADER_LEN] {
+    let mut h = [0u8; FILE_HEADER_LEN];
+    h[..4].copy_from_slice(MAGIC);
+    h[4] = STREAM_FILE_VERSION;
+    h[8..12].copy_from_slice(&(partitions as u32).to_le_bytes());
+    h
+}
+
+/// Footer of one frame: magic, index, container offsets + footer start,
+/// checksum over all of the above.
+fn encode_footer(index: u32, offsets: &[u64]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(footer_len(offsets.len() - 1));
+    f.extend_from_slice(FOOTER_MAGIC);
+    f.extend_from_slice(&index.to_le_bytes());
+    for &o in offsets {
+        f.extend_from_slice(&o.to_le_bytes());
+    }
+    let fnv = fnv1a64(&f);
+    f.extend_from_slice(&fnv.to_le_bytes());
+    f
+}
+
+fn encode_trailer(footer_offsets: &[u64], trailer_start: u64) -> Vec<u8> {
+    let mut t = Vec::with_capacity(trailer_len(footer_offsets.len()));
+    t.extend_from_slice(TRAILER_MAGIC);
+    t.extend_from_slice(&(footer_offsets.len() as u32).to_le_bytes());
+    for &o in footer_offsets {
+        t.extend_from_slice(&o.to_le_bytes());
+    }
+    let fnv = fnv1a64(&t);
+    t.extend_from_slice(&fnv.to_le_bytes());
+    t.extend_from_slice(&trailer_start.to_le_bytes());
+    t
+}
+
+fn io_err(context: &str, e: std::io::Error) -> CodecError {
+    CodecError::Io(format!("{context}: {e}"))
+}
+
+/// What a recovery pass found and kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Partitions per frame, from the surviving header.
+    pub partitions: usize,
+    /// Complete frames that survived (intact data + footer).
+    pub frames_kept: usize,
+    /// Bytes of the valid prefix (header + surviving frames).
+    pub bytes_kept: u64,
+    /// Bytes discarded past the last intact footer (torn frame, torn or
+    /// stale trailer).
+    pub bytes_dropped: u64,
+}
+
+/// Scan a durable stream's frames forward from the header, returning
+/// `(partitions, footer offsets of intact frames, end of valid prefix)`.
+///
+/// This is the recovery primitive: it never trusts a trailer and treats
+/// the first structural violation as end-of-stream.
+fn scan_frames(bytes: &[u8]) -> Result<(usize, Vec<u64>, u64), CodecError> {
+    if bytes.len() < FILE_HEADER_LEN {
+        return Err(CodecError::Format("stream file shorter than header".into()));
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(CodecError::Format("bad stream-file magic".into()));
+    }
+    if bytes[4] != STREAM_FILE_VERSION {
+        return Err(CodecError::Format(format!(
+            "unsupported stream-file version {} (expected {STREAM_FILE_VERSION}; version \
+             {STREAM_VERSION} streams are in-memory manifests, not files)",
+            bytes[4]
+        )));
+    }
+    let partitions = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if partitions == 0 {
+        return Err(CodecError::Format("stream file declares zero partitions".into()));
+    }
+    let flen = footer_len(partitions);
+    let mut footers = Vec::new();
+    let mut cursor = FILE_HEADER_LEN as u64;
+    'frames: loop {
+        let mut offsets = Vec::with_capacity(partitions + 1);
+        let mut c = cursor as usize;
+        for _ in 0..partitions {
+            // A container survives iff its wrapper parses structurally and
+            // the declared payload fits — the wrapper peek (owned by
+            // `container.rs`, the layout's home) decides how far to skip,
+            // and `Container::from_bytes` re-checks everything including
+            // the codec header.
+            let Some(total) = crate::container::peek_total_len(&bytes[c..]) else {
+                break 'frames;
+            };
+            let Some(end) = c.checked_add(total) else {
+                break 'frames;
+            };
+            if end > bytes.len() || Container::from_bytes(bytes[c..end].to_vec()).is_err() {
+                break 'frames;
+            }
+            offsets.push(c as u64);
+            c = end;
+        }
+        offsets.push(c as u64); // footer start = end of the frame's data
+        if c + flen > bytes.len() {
+            break;
+        }
+        let footer = &bytes[c..c + flen];
+        let expected = encode_footer(footers.len() as u32, &offsets);
+        if footer != expected.as_slice() {
+            // Covers magic, index, offset mismatches and checksum at once:
+            // the footer is a pure function of (index, offsets).
+            break;
+        }
+        footers.push(c as u64);
+        cursor = (c + flen) as u64;
+    }
+    Ok((partitions, footers, cursor))
+}
+
+/// Serialise a whole series into durable-stream bytes in one go — the
+/// byte-exact in-memory equivalent of [`StreamFileWriter::create`] +
+/// `append_frame` per frame + `finish`. Used by the golden-fixture
+/// regenerator and the crash-recovery property suite; production writers
+/// should append through [`StreamFileWriter`] so frames hit disk as they
+/// land.
+pub fn stream_file_bytes(partitions: usize, frames: &[Vec<Container>]) -> Vec<u8> {
+    assert!(partitions > 0, "a frame needs at least one partition");
+    let mut bytes = encode_header(partitions).to_vec();
+    let mut footers = Vec::with_capacity(frames.len());
+    for (i, frame) in frames.iter().enumerate() {
+        assert_eq!(
+            frame.len(),
+            partitions,
+            "frame {i} has {} partitions, stream expects {partitions}",
+            frame.len()
+        );
+        let mut offsets = Vec::with_capacity(partitions + 1);
+        for c in frame {
+            offsets.push(bytes.len() as u64);
+            bytes.extend_from_slice(c.as_bytes());
+        }
+        offsets.push(bytes.len() as u64);
+        footers.push(bytes.len() as u64);
+        bytes.extend_from_slice(&encode_footer(i as u32, &offsets));
+    }
+    let trailer_start = bytes.len() as u64;
+    bytes.extend_from_slice(&encode_trailer(&footers, trailer_start));
+    bytes
+}
+
+/// Recover the valid prefix of (possibly crashed) durable-stream bytes.
+///
+/// Returns finished stream bytes — the surviving frames re-trailered,
+/// byte-identical to [`stream_file_bytes`] over those frames — plus the
+/// [`RecoveryReport`]. Fails only when the header itself did not survive
+/// (nothing is recoverable without the partition count).
+pub fn recover_stream(bytes: &[u8]) -> Result<(Vec<u8>, RecoveryReport), CodecError> {
+    let (partitions, footers, valid_end) = scan_frames(bytes)?;
+    let mut out = bytes[..valid_end as usize].to_vec();
+    out.extend_from_slice(&encode_trailer(&footers, valid_end));
+    let report = RecoveryReport {
+        partitions,
+        frames_kept: footers.len(),
+        bytes_kept: valid_end,
+        bytes_dropped: bytes.len() as u64 - valid_end,
+    };
+    Ok((out, report))
+}
+
+/// Appends each snapshot's containers to disk as the simulation produces
+/// them — the durable counterpart of the in-memory
+/// [`StreamWriter`](crate::stream::StreamWriter).
+///
+/// Data-first, manifest-last: the header goes out at `create`, every
+/// `append_frame` writes containers then the frame footer and flushes, and
+/// `finish` appends the trailer that gives readers O(1) access. A process
+/// killed between frames loses nothing; killed mid-frame it loses only
+/// that frame, and [`StreamFileWriter::recover`] truncates the torn tail
+/// and returns a writer ready to append the re-run snapshot.
+#[derive(Debug)]
+pub struct StreamFileWriter {
+    file: File,
+    path: PathBuf,
+    partitions: usize,
+    /// Footer offset of every completed frame.
+    footers: Vec<u64>,
+    /// Current end-of-data offset (next frame starts here).
+    cursor: u64,
+}
+
+impl StreamFileWriter {
+    /// Create (truncating) a durable stream at `path` for frames of
+    /// `partitions` containers each, writing the header immediately.
+    pub fn create(path: impl AsRef<Path>, partitions: usize) -> Result<Self, CodecError> {
+        assert!(partitions > 0, "a frame needs at least one partition");
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("create stream file", e))?;
+        file.write_all(&encode_header(partitions)).map_err(|e| io_err("write header", e))?;
+        file.flush().map_err(|e| io_err("flush header", e))?;
+        Ok(Self { file, path, partitions, footers: Vec::new(), cursor: FILE_HEADER_LEN as u64 })
+    }
+
+    /// Re-open a crashed (or merely unfinished) stream: scan for the valid
+    /// prefix, truncate everything past the last intact footer, and return
+    /// a writer positioned to append the next frame, plus what was kept
+    /// and dropped. `finish` afterwards yields bytes identical to an
+    /// uninterrupted write of the surviving + appended frames.
+    pub fn recover(path: impl AsRef<Path>) -> Result<(Self, RecoveryReport), CodecError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("open stream file", e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| io_err("read stream file", e))?;
+        let (partitions, footers, valid_end) = scan_frames(&bytes)?;
+        file.set_len(valid_end).map_err(|e| io_err("truncate to valid prefix", e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek to end", e))?;
+        let report = RecoveryReport {
+            partitions,
+            frames_kept: footers.len(),
+            bytes_kept: valid_end,
+            bytes_dropped: bytes.len() as u64 - valid_end,
+        };
+        Ok((Self { file, path, partitions, footers, cursor: valid_end }, report))
+    }
+
+    /// Append one snapshot's containers (partition-id order) and flush.
+    /// After this returns, the frame survives any crash.
+    pub fn append_frame(&mut self, containers: &[Container]) -> Result<(), CodecError> {
+        assert_eq!(
+            containers.len(),
+            self.partitions,
+            "frame has {} partitions, stream expects {}",
+            containers.len(),
+            self.partitions
+        );
+        let mut offsets = Vec::with_capacity(self.partitions + 1);
+        let mut cursor = self.cursor;
+        for c in containers {
+            offsets.push(cursor);
+            self.file.write_all(c.as_bytes()).map_err(|e| io_err("write container", e))?;
+            cursor += c.as_bytes().len() as u64;
+        }
+        offsets.push(cursor);
+        let footer = encode_footer(self.footers.len() as u32, &offsets);
+        self.file.write_all(&footer).map_err(|e| io_err("write frame footer", e))?;
+        self.file.flush().map_err(|e| io_err("flush frame", e))?;
+        self.footers.push(cursor);
+        self.cursor = cursor + footer.len() as u64;
+        Ok(())
+    }
+
+    /// Frames written so far (including recovered ones).
+    pub fn frames(&self) -> usize {
+        self.footers.len()
+    }
+
+    /// Partitions per frame.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append the trailer and flush, completing the stream. Returns the
+    /// total file length. The file stays recoverable (and thus readable
+    /// after a [`recover`](StreamFileWriter::recover) pass) even if this
+    /// is never called — the trailer only buys trailer-based O(1) opens.
+    pub fn finish(mut self) -> Result<u64, CodecError> {
+        let trailer = encode_trailer(&self.footers, self.cursor);
+        self.file.write_all(&trailer).map_err(|e| io_err("write trailer", e))?;
+        self.file.flush().map_err(|e| io_err("flush trailer", e))?;
+        Ok(self.cursor + trailer.len() as u64)
+    }
+}
+
+/// Byte source a [`StreamFileReader`] serves random access from: a file,
+/// or any in-memory byte store. `read_at` must fill the whole buffer.
+pub trait StreamSource {
+    /// Total bytes available.
+    fn len(&self) -> u64;
+
+    /// True when the source holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read exactly `buf.len()` bytes starting at `offset`. Callers
+    /// bounds-check against [`StreamSource::len`] first; short reads are
+    /// errors.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), CodecError>;
+}
+
+impl StreamSource for &[u8] {
+    fn len(&self) -> u64 {
+        <[u8]>::len(self) as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), CodecError> {
+        let start = offset as usize;
+        let end = start
+            .checked_add(buf.len())
+            .filter(|&e| e <= <[u8]>::len(self))
+            .ok_or_else(|| CodecError::Format("read past end of stream bytes".into()))?;
+        buf.copy_from_slice(&self[start..end]);
+        Ok(())
+    }
+}
+
+/// Positioned reads over a [`File`] — the mutex serialises the seek+read
+/// pair (std's positional `read_exact_at` is unix-only; this stays
+/// portable and the lock is invisible next to decode cost).
+#[derive(Debug)]
+pub struct FileSource {
+    file: Mutex<File>,
+    len: u64,
+}
+
+impl FileSource {
+    /// Open `path` read-only.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, CodecError> {
+        let file = File::open(path).map_err(|e| io_err("open stream file", e))?;
+        let len = file.metadata().map_err(|e| io_err("stat stream file", e))?.len();
+        Ok(Self { file: Mutex::new(file), len })
+    }
+}
+
+impl StreamSource for FileSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), CodecError> {
+        if offset.checked_add(buf.len() as u64).is_none_or(|end| end > self.len) {
+            return Err(CodecError::Format("read past end of stream file".into()));
+        }
+        let mut file = self.file.lock().expect("file source lock");
+        file.seek(SeekFrom::Start(offset)).map_err(|e| io_err("seek stream file", e))?;
+        file.read_exact(buf).map_err(|e| io_err("read stream file", e))
+    }
+}
+
+/// O(1) random access over a finished durable stream without loading the
+/// payload region: open cost is header + trailer + one footer per frame;
+/// each container access reads exactly its own bytes from the source.
+#[derive(Debug)]
+pub struct StreamFileReader<S> {
+    source: S,
+    partitions: usize,
+    frames: usize,
+    /// Per frame: `partitions` container starts + the footer start, so
+    /// container `(f, p)` spans `offsets[f·(P+1)+p] .. offsets[f·(P+1)+p+1]`.
+    offsets: Vec<u64>,
+}
+
+impl StreamFileReader<FileSource> {
+    /// Open a finished stream file. Crashed files (no trailer) must go
+    /// through [`StreamFileWriter::recover`] first.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, CodecError> {
+        Self::from_source(FileSource::open(path)?)
+    }
+}
+
+impl<S: StreamSource> StreamFileReader<S> {
+    /// Validate header, trailer, and every frame footer over `source`.
+    pub fn from_source(source: S) -> Result<Self, CodecError> {
+        let len = source.len();
+        let mut header = [0u8; FILE_HEADER_LEN];
+        if len < (FILE_HEADER_LEN + trailer_len(0)) as u64 {
+            return Err(CodecError::Format("stream file shorter than header + trailer".into()));
+        }
+        source.read_at(0, &mut header)?;
+        if &header[..4] != MAGIC {
+            return Err(CodecError::Format("bad stream-file magic".into()));
+        }
+        if header[4] != STREAM_FILE_VERSION {
+            return Err(CodecError::Format(format!(
+                "unsupported stream-file version {}",
+                header[4]
+            )));
+        }
+        let partitions = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        if partitions == 0 {
+            return Err(CodecError::Format("stream file declares zero partitions".into()));
+        }
+
+        // Locate the trailer through the back-pointer in the last 8 bytes.
+        let mut tail = [0u8; 8];
+        source.read_at(len - 8, &mut tail)?;
+        let trailer_start = u64::from_le_bytes(tail);
+        if trailer_start < FILE_HEADER_LEN as u64 || trailer_start >= len {
+            return Err(CodecError::Format(format!(
+                "trailer back-pointer {trailer_start} outside stream of {len} bytes"
+            )));
+        }
+        let tlen = (len - trailer_start) as usize;
+        let mut trailer = vec![0u8; tlen];
+        source.read_at(trailer_start, &mut trailer)?;
+        if tlen < trailer_len(0) || &trailer[..4] != TRAILER_MAGIC {
+            return Err(CodecError::Format("bad stream trailer magic".into()));
+        }
+        let frames = u32::from_le_bytes(trailer[4..8].try_into().expect("4 bytes")) as usize;
+        if trailer_len(frames) != tlen {
+            return Err(CodecError::Format(format!(
+                "trailer declares {frames} frames but spans {tlen} bytes"
+            )));
+        }
+        let body_end = tlen - 16;
+        let stored_fnv =
+            u64::from_le_bytes(trailer[body_end..body_end + 8].try_into().expect("8 bytes"));
+        let actual_fnv = fnv1a64(&trailer[..body_end]);
+        if stored_fnv != actual_fnv {
+            return Err(CodecError::Format(format!(
+                "trailer checksum mismatch: stored {stored_fnv:#018x}, computed {actual_fnv:#018x}"
+            )));
+        }
+        let footer_offsets: Vec<u64> = trailer[8..body_end]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+
+        // Walk the footers: each yields its frame's container offsets.
+        let flen = footer_len(partitions);
+        let mut offsets = Vec::with_capacity(frames * (partitions + 1));
+        let mut expected_start = FILE_HEADER_LEN as u64;
+        for (i, &fo) in footer_offsets.iter().enumerate() {
+            if fo
+                .checked_add(flen as u64)
+                .is_none_or(|end| end > trailer_start || fo < expected_start)
+            {
+                return Err(CodecError::Format(format!(
+                    "frame {i} footer offset {fo} outside the data region"
+                )));
+            }
+            let mut footer = vec![0u8; flen];
+            source.read_at(fo, &mut footer)?;
+            let frame_offsets: Vec<u64> = footer[8..flen - 8]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            if footer != encode_footer(i as u32, &frame_offsets) {
+                return Err(CodecError::Format(format!(
+                    "frame {i} footer is corrupt (magic, index, or checksum)"
+                )));
+            }
+            // Offsets must tile the data region contiguously and end at
+            // the footer itself.
+            if frame_offsets[0] != expected_start
+                || *frame_offsets.last().expect("P+1 entries") != fo
+                || frame_offsets.windows(2).any(|w| w[0] >= w[1])
+            {
+                return Err(CodecError::Format(format!(
+                    "frame {i} container offsets do not tile the data region"
+                )));
+            }
+            offsets.extend_from_slice(&frame_offsets);
+            expected_start = fo + flen as u64;
+        }
+        if expected_start != trailer_start {
+            return Err(CodecError::Format(format!(
+                "data region ends at {expected_start} but the trailer starts at {trailer_start}"
+            )));
+        }
+        Ok(Self { source, partitions, frames, offsets })
+    }
+
+    /// Snapshot frames in the stream.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Partitions per frame.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Raw v2-container bytes of one (frame, partition) — one bounded read
+    /// from the source.
+    pub fn container_bytes(&self, frame: usize, partition: usize) -> Result<Vec<u8>, CodecError> {
+        if frame >= self.frames || partition >= self.partitions {
+            return Err(CodecError::Format(format!(
+                "(frame {frame}, partition {partition}) outside stream of {}x{}",
+                self.frames, self.partitions
+            )));
+        }
+        let i = frame * (self.partitions + 1) + partition;
+        let (start, end) = (self.offsets[i], self.offsets[i + 1]);
+        let mut buf = vec![0u8; (end - start) as usize];
+        self.source.read_at(start, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Parse one (frame, partition) container — O(1) in the number of
+    /// preceding frames/partitions, reading only that container's bytes.
+    pub fn container(&self, frame: usize, partition: usize) -> Result<Container, CodecError> {
+        Container::from_bytes(self.container_bytes(frame, partition)?)
+    }
+
+    /// All containers of one frame, partition-id order.
+    pub fn frame(&self, frame: usize) -> Result<Vec<Container>, CodecError> {
+        (0..self.partitions).map(|p| self.container(frame, p)).collect()
+    }
+
+    /// Decode one frame's partitions (in parallel, after a serial read
+    /// pass) and reassemble the full field.
+    pub fn reconstruct_frame<T: Scalar>(
+        &self,
+        frame: usize,
+        dec: &Decomposition,
+    ) -> Result<Field3<T>, CodecError> {
+        let containers = self.frame(frame)?;
+        let bricks: Vec<Field3<T>> =
+            containers.par_iter().map(|c| c.decode_field::<T>()).collect::<Result<_, _>>()?;
+        dec.assemble(&bricks).map_err(|e| CodecError::Format(e.to_string()))
+    }
+
+    /// Decode exactly one (frame, partition) brick without reading any
+    /// other container's bytes.
+    pub fn reconstruct_partition<T: Scalar>(
+        &self,
+        frame: usize,
+        partition: usize,
+    ) -> Result<Field3<T>, CodecError> {
+        self.container(frame, partition)?.decode_field::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::CodecId;
+    use gridlab::Dim3;
+
+    fn lcg_field(dims: Dim3, seed: u64, amp: f32) -> Field3<f32> {
+        let mut state = seed;
+        Field3::from_fn(dims, |_, _, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u32 << 24) as f32 - 0.5) * amp
+        })
+    }
+
+    fn sample_frames(frames: usize) -> (Decomposition, Vec<Vec<Container>>, Vec<Field3<f32>>) {
+        let dec = Decomposition::cubic(8, 2).unwrap();
+        let mut out = Vec::new();
+        let mut fields = Vec::new();
+        for frame in 0..frames as u64 {
+            let field = lcg_field(Dim3::cube(8), 97 + frame, 110.0 + 30.0 * frame as f32);
+            let containers: Vec<Container> = dec
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let brick = field.extract(p.origin, p.dims);
+                    let codec = if i % 2 == 0 { CodecId::Rsz } else { CodecId::Zfp };
+                    Container::compress(codec, brick.as_slice(), brick.dims(), 0.25)
+                })
+                .collect();
+            out.push(containers);
+            fields.push(field);
+        }
+        (dec, out, fields)
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("codec_core_{}_{tag}.strm", std::process::id()))
+    }
+
+    #[test]
+    fn file_writer_matches_in_memory_encoding_and_reads_back() {
+        let (dec, frames, fields) = sample_frames(3);
+        let path = temp_path("roundtrip");
+        let mut w = StreamFileWriter::create(&path, dec.num_partitions()).unwrap();
+        for f in &frames {
+            w.append_frame(f).unwrap();
+        }
+        assert_eq!(w.frames(), 3);
+        let total = w.finish().unwrap();
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk.len() as u64, total);
+        assert_eq!(on_disk, stream_file_bytes(dec.num_partitions(), &frames));
+
+        let r = StreamFileReader::open(&path).unwrap();
+        assert_eq!(r.frames(), 3);
+        assert_eq!(r.partitions(), 8);
+        for (f, field) in fields.iter().enumerate() {
+            let recon: Field3<f32> = r.reconstruct_frame(f, &dec).unwrap();
+            assert!(field.max_abs_diff(&recon) <= 0.25 + 1e-9);
+        }
+        // Random access matches the direct container bytes.
+        let direct = r.container_bytes(2, 5).unwrap();
+        assert_eq!(direct, frames[2][5].as_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crashed_file_recovers_to_the_surviving_prefix_and_appends() {
+        let (dec, frames, _) = sample_frames(3);
+        let p = dec.num_partitions();
+        let path = temp_path("recover");
+        let mut w = StreamFileWriter::create(&path, p).unwrap();
+        for f in &frames {
+            w.append_frame(f).unwrap();
+        }
+        drop(w); // crash: no trailer was ever written
+                 // Tear the last frame's footer.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+
+        let (mut w, report) = StreamFileWriter::recover(&path).unwrap();
+        assert_eq!(report.frames_kept, 2);
+        assert_eq!(report.partitions, p);
+        assert!(report.bytes_dropped > 0);
+        // Re-append the lost frame; the result is byte-identical to an
+        // uninterrupted write.
+        w.append_frame(&frames[2]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), stream_file_bytes(p, &frames));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_bytes_equals_fresh_write_at_every_truncation() {
+        let (dec, frames, _) = sample_frames(2);
+        let p = dec.num_partitions();
+        let full = stream_file_bytes(p, &frames);
+        let frame0_end = {
+            let one = stream_file_bytes(p, &frames[..1]);
+            one.len() - trailer_len(1)
+        };
+        for cut in [
+            FILE_HEADER_LEN,             // nothing written yet
+            FILE_HEADER_LEN + 10,        // mid first container
+            frame0_end - 3,              // mid first footer
+            frame0_end,                  // clean frame boundary
+            frame0_end + 40,             // mid second frame
+            full.len() - trailer_len(2), // both frames, no trailer
+        ] {
+            let (rec, report) = recover_stream(&full[..cut]).unwrap();
+            let kept = report.frames_kept;
+            assert_eq!(rec, stream_file_bytes(p, &frames[..kept]), "cut at {cut}");
+            let r = StreamFileReader::from_source(rec.as_slice()).unwrap();
+            assert_eq!(r.frames(), kept);
+        }
+        // Recovery of a finished stream is the identity.
+        let (rec, report) = recover_stream(&full).unwrap();
+        assert_eq!(rec, full);
+        assert_eq!(report.frames_kept, 2);
+        assert_eq!(report.bytes_dropped, trailer_len(2) as u64);
+    }
+
+    #[test]
+    fn recovery_without_a_surviving_header_is_a_typed_error() {
+        let (dec, frames, _) = sample_frames(1);
+        let full = stream_file_bytes(dec.num_partitions(), &frames);
+        assert!(recover_stream(&full[..7]).is_err());
+        let mut bad = full.clone();
+        bad[0] = b'X';
+        assert!(recover_stream(&bad).is_err());
+        let mut bad = full;
+        bad[4] = STREAM_VERSION; // v1 manifests are not durable files
+        assert!(recover_stream(&bad).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_crashed_and_corrupt_streams() {
+        let (dec, frames, _) = sample_frames(2);
+        let full = stream_file_bytes(dec.num_partitions(), &frames);
+        // No trailer: the reader refuses (recover first).
+        let torn = &full[..full.len() - trailer_len(2)];
+        assert!(StreamFileReader::from_source(torn).is_err());
+        // Flipped trailer byte: checksum catches it.
+        let mut bad = full.clone();
+        let tstart = full.len() - trailer_len(2);
+        bad[tstart + 9] ^= 0x04;
+        let err = StreamFileReader::from_source(bad.as_slice()).expect_err("trailer corrupt");
+        assert!(
+            err.to_string().contains("checksum") || err.to_string().contains("footer"),
+            "{err}"
+        );
+        // Flipped footer byte inside the data region.
+        let mut bad = full.clone();
+        let footer0 = {
+            let one = stream_file_bytes(dec.num_partitions(), &frames[..1]);
+            one.len() - trailer_len(1) - footer_len(8)
+        };
+        bad[footer0 + 5] ^= 0x01;
+        assert!(StreamFileReader::from_source(bad.as_slice()).is_err());
+        // Out-of-range access on a healthy stream.
+        let r = StreamFileReader::from_source(full.as_slice()).unwrap();
+        assert!(r.container(2, 0).is_err());
+        assert!(r.container(0, 8).is_err());
+    }
+
+    #[test]
+    fn empty_stream_finishes_and_reads_back() {
+        let path = temp_path("empty");
+        let w = StreamFileWriter::create(&path, 4).unwrap();
+        w.finish().unwrap();
+        let r = StreamFileReader::open(&path).unwrap();
+        assert_eq!(r.frames(), 0);
+        assert_eq!(r.partitions(), 4);
+        assert!(r.container(0, 0).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,16 +1,21 @@
 //! Compress a whole redshift series through the streaming session engine
-//! (the paper's Fig. 16 workflow): one full calibration on the first
-//! snapshot, a σ-scaled quality policy instead of hand-mutated targets,
-//! drift-checked model transfer across snapshots (Fig. 10(b)), and every
-//! frame appended to one `STRM` stream container with O(1) random access
-//! to any (snapshot, partition).
+//! (the paper's Fig. 16 workflow) — and survive a mid-run crash.
+//!
+//! Phase 1 appends each snapshot's frame to a **durable** `STRM` v2
+//! stream file as it lands and checkpoints the session's learned state
+//! (model bank, policy, drift) into a `CKPT` blob. The run is then
+//! killed mid-frame: the file is torn at an arbitrary byte and the
+//! session dropped. Phase 2 recovers the valid stream prefix, restores
+//! the session from the checkpoint — **skipping recalibration entirely**
+//! — re-pushes the lost snapshot, and finishes the series. The resumed
+//! frames are asserted byte-identical to an uninterrupted run's.
 //!
 //! ```text
 //! cargo run --release --example redshift_series
 //! ```
 
-use adaptive_config::session::{QualityPolicy, SessionConfig, StreamSession};
-use codec_core::{StreamReader, StreamWriter};
+use adaptive_config::session::{QualityPolicy, Recalibration, SessionConfig, StreamSession};
+use codec_core::{StreamFileReader, StreamFileWriter};
 use gridlab::{Decomposition, Field3};
 use nyxlite::NyxConfig;
 
@@ -19,53 +24,111 @@ fn main() {
     let cfg = NyxConfig::new(n, 5);
     let dec = Decomposition::cubic(n, 4).expect("4 divides 48");
     let redshifts = [54.0, 51.0, 48.0, 45.0, 42.0];
+    let session_cfg = || SessionConfig::new(dec.clone(), QualityPolicy::SigmaScaled(0.1));
+    let dir = std::env::temp_dir();
+    let stream_path = dir.join(format!("redshift_series_{}.strm", std::process::id()));
+    let ckpt_path = dir.join(format!("redshift_series_{}.ckpt", std::process::id()));
 
-    // The session owns the model bank: the first push calibrates it, later
-    // pushes reuse it and only refresh from a sampled brick subset if the
-    // measured bit rates drift from the predictions. The policy re-derives
-    // the budget from each snapshot's evolving amplitude (10 % of σ).
-    let mut session =
-        StreamSession::new(SessionConfig::new(dec.clone(), QualityPolicy::SigmaScaled(0.1)));
-    let mut stream = StreamWriter::new(dec.num_partitions());
+    // Uninterrupted reference run (in memory) — the crashed-and-resumed
+    // run below must reproduce its frames byte for byte.
+    let mut reference = StreamSession::new(session_cfg());
+    let ref_frames: Vec<_> = redshifts
+        .iter()
+        .map(|&z| reference.push_snapshot(&cfg.generate(z).baryon_density).result.containers)
+        .collect();
 
-    println!("z      sigma(z)  eb_avg     ratio   eb spread (max/min)  model     drift");
-    for &z in &redshifts {
+    // --- Phase 1: durable run, killed mid-frame -------------------------
+    println!("z      sigma(z)  eb_avg     ratio   model      drift");
+    let mut session = StreamSession::new(session_cfg());
+    let mut writer =
+        StreamFileWriter::create(&stream_path, dec.num_partitions()).expect("create stream");
+    let crash_after = 3; // dies while writing the 4th frame
+    for (i, &z) in redshifts[..crash_after + 1].iter().enumerate() {
         let snap = cfg.generate(z);
         let rec = session.push_snapshot(&snap.baryon_density);
-        stream.push_frame(&rec.result.containers);
-
-        let (eb_min, eb_max) = rec.result.eb_range().expect("non-empty run");
-        println!(
-            "{z:5.1}  {:8.3}  {:8.3}  {:7.1}x  {:8.2}             {:<9} {:.2}",
-            cfg.sigma_at(z),
-            rec.stats.eb_avg,
-            rec.result.ratio(),
-            eb_max / eb_min,
-            format!("{:?}", rec.stats.recalibration),
-            rec.stats.drift_residual,
-        );
+        writer.append_frame(&rec.result.containers).expect("append frame");
+        // The checkpoint must pair with the durable prefix: persist it
+        // only once the matching frame's append has returned. The crash
+        // frame's append never completes, so its checkpoint (which could
+        // already carry a drift-refreshed bank) is never written — the
+        // restored state is exactly the state that produced the surviving
+        // frames.
+        if i < crash_after {
+            std::fs::write(&ckpt_path, session.save()).expect("write checkpoint");
+        }
+        print_row(&cfg, z, &rec);
     }
+    // Kill: tear the last frame (as if the node died mid-write), drop the
+    // writer without a trailer, forget the session.
+    let bytes = std::fs::read(&stream_path).expect("read stream");
+    std::fs::write(&stream_path, &bytes[..bytes.len() - 1234]).expect("tear stream");
+    drop(writer);
+    drop(session);
+    println!("  *** crash while writing frame {crash_after} ***");
+
+    // --- Phase 2: recover, restore, resume ------------------------------
+    let (mut writer, report) = StreamFileWriter::recover(&stream_path).expect("recover stream");
+    println!(
+        "  recovered {} intact frame(s), dropped {} torn byte(s)",
+        report.frames_kept, report.bytes_dropped
+    );
+    assert_eq!(report.frames_kept, crash_after, "the in-flight frame is the only loss");
+    let blob = std::fs::read(&ckpt_path).expect("read checkpoint");
+    let mut session = StreamSession::restore(&blob).expect("restore session");
+    assert!(session.models().is_some(), "restored with fitted models — no recalibration");
+    for &z in &redshifts[report.frames_kept..] {
+        let snap = cfg.generate(z);
+        let rec = session.push_snapshot(&snap.baryon_density);
+        assert_ne!(
+            rec.stats.recalibration,
+            Recalibration::Full,
+            "a restored session must never repay the full calibration"
+        );
+        writer.append_frame(&rec.result.containers).expect("append frame");
+        print_row(&cfg, z, &rec);
+    }
+    writer.finish().expect("finish stream");
     assert_eq!(session.full_calibrations(), 1, "exactly one full calibration per series");
     println!(
-        "\nmodeling cost: 1 full calibration + {} sampled refresh(es) over {} snapshots",
+        "\nmodeling cost: 1 full calibration + {} sampled refresh(es) over {} snapshots \
+         (restart included)",
         session.refreshes(),
         session.snapshots()
     );
 
-    // The whole series is one addressable artifact now: decode snapshot 3,
-    // partition 10 straight out of the stream — no scanning of frames 0–2.
-    let bytes = stream.finish();
-    let reader = StreamReader::new(&bytes).expect("stream parses");
-    let brick: Field3<f32> = reader.reconstruct_partition(3, 10).expect("random access");
-    let full: Field3<f32> = reader.reconstruct_frame(3, &dec).expect("sequential");
+    // The whole series is one addressable artifact again: O(1) random
+    // access straight off the file, and every resumed frame byte-identical
+    // to the run that never crashed.
+    let reader = StreamFileReader::open(&stream_path).expect("stream parses");
+    assert_eq!(reader.frames(), redshifts.len());
+    for (f, frame) in ref_frames.iter().enumerate() {
+        for (p, c) in frame.iter().enumerate() {
+            let on_disk = reader.container_bytes(f, p).expect("random access");
+            assert_eq!(on_disk, c.as_bytes(), "(frame {f}, partition {p}) diverged");
+        }
+    }
+    let brick: Field3<f32> = reader.reconstruct_partition(4, 10).expect("random access");
+    let full: Field3<f32> = reader.reconstruct_frame(4, &dec).expect("sequential");
     let part = dec.partition(10).expect("partition 10 exists");
     assert_eq!(brick.as_slice(), full.extract(part.origin, part.dims).as_slice());
     println!(
-        "stream: {} frames x {} partitions, {} KiB; random-access (3, 10) matches \
-         the sequential decode",
+        "stream: {} frames x {} partitions on disk; all {} frames byte-identical to the \
+         uninterrupted run; random-access (4, 10) matches the sequential decode",
         reader.frames(),
         reader.partitions(),
-        bytes.len() >> 10
+        redshifts.len()
     );
-    println!("lower redshift => more contrast => wider bound spread and higher ratio");
+    std::fs::remove_file(&stream_path).ok();
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+fn print_row(cfg: &NyxConfig, z: f64, rec: &adaptive_config::session::SnapshotRecord) {
+    println!(
+        "{z:5.1}  {:8.3}  {:8.3}  {:7.1}x  {:<9}  {:.2}",
+        cfg.sigma_at(z),
+        rec.stats.eb_avg,
+        rec.result.ratio(),
+        format!("{:?}", rec.stats.recalibration),
+        rec.stats.drift_residual,
+    );
 }
