@@ -5,6 +5,13 @@
 //! one thread per rank and hands each a [`Comm`] supporting `barrier`,
 //! `allreduce_sum` and `allgather` with the same blocking semantics MPI
 //! gives, so in situ code reads like its MPI counterpart.
+//!
+//! [`CommGroup`] is the spawn-free half: it owns the collective state and
+//! mints a [`Comm`] per rank on demand, so rank handles can attach to
+//! threads that already exist — simulation ranks feeding a
+//! `stream_server::StreamServer`, a test harness's own workers — instead
+//! of the group owning its threads. [`run_ranks`] is now a thin wrapper
+//! that builds a group and spawns one scoped thread per handle.
 
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
@@ -96,6 +103,52 @@ impl Comm {
     }
 }
 
+/// A rank group without threads: collective state plus a [`Comm`] factory.
+///
+/// Where [`run_ranks`] owns the threads it spawns, a `CommGroup` lets the
+/// caller own them — create a group of `size`, hand `group.comm(rank)` to
+/// each of `size` pre-existing threads, and the collectives work exactly
+/// as under `run_ranks`. Every collective still blocks until all `size`
+/// handles arrive, so the caller must drive all ranks concurrently.
+pub struct CommGroup {
+    shared: Arc<Shared>,
+}
+
+impl CommGroup {
+    /// A group of `size` ranks (panics on `size == 0`).
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0);
+        Self {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    arrived: 0,
+                    generation: 0,
+                    sum: 0.0,
+                    result: 0.0,
+                    gathered: vec![0.0; size],
+                    gather_result: Vec::new(),
+                }),
+                cv: Condvar::new(),
+                size,
+            }),
+        }
+    }
+
+    /// Number of ranks in the group.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// The handle for `rank` (panics when out of range). Handles are
+    /// cheap `Arc` clones; minting the same rank twice is allowed but the
+    /// two handles then count as one rank — do not use both in the same
+    /// collective.
+    pub fn comm(&self, rank: usize) -> Comm {
+        assert!(rank < self.shared.size, "rank {rank} out of 0..{}", self.shared.size);
+        Comm { shared: Arc::clone(&self.shared), rank }
+    }
+}
+
 /// Run `f(rank, comm)` on `size` OS threads; returns per-rank results in
 /// rank order. Uses std scoped threads so `f` can borrow.
 ///
@@ -109,24 +162,11 @@ where
     R: Send,
     F: Fn(usize, &Comm) -> R + Sync,
 {
-    assert!(size > 0);
-    let shared = Arc::new(Shared {
-        state: Mutex::new(State {
-            arrived: 0,
-            generation: 0,
-            sum: 0.0,
-            result: 0.0,
-            gathered: vec![0.0; size],
-            gather_result: Vec::new(),
-        }),
-        cv: Condvar::new(),
-        size,
-    });
-
+    let group = CommGroup::new(size);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..size)
             .map(|rank| {
-                let comm = Comm { shared: Arc::clone(&shared), rank };
+                let comm = group.comm(rank);
                 let f = &f;
                 s.spawn(move || f(rank, &comm))
             })
@@ -178,6 +218,30 @@ mod tests {
     fn results_are_rank_ordered() {
         let out = run_ranks(6, |rank, _| rank * 2);
         assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn comm_group_attaches_to_caller_owned_threads() {
+        // The server-transport shape: threads exist first, handles are
+        // minted after — no run_ranks fan-out.
+        let group = CommGroup::new(3);
+        assert_eq!(group.size(), 3);
+        let out = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|rank| {
+                    let comm = group.comm(rank);
+                    s.spawn(move || comm.allreduce_sum((rank + 1) as f64))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        assert_eq!(out, vec![6.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 0..2")]
+    fn comm_group_rejects_out_of_range_rank() {
+        CommGroup::new(2).comm(2);
     }
 
     #[test]

@@ -49,5 +49,6 @@ pub use optimizer::{OptimizedConfig, Optimizer, QualityTarget};
 pub use pipeline::{InSituPipeline, PipelineConfig, PipelineResult};
 pub use ratio_model::{CodecModelBank, PartitionFeature, RatioModel};
 pub use session::{
-    QualityPolicy, Recalibration, SessionConfig, SnapshotRecord, SnapshotStats, StreamSession,
+    QualityPolicy, Recalibration, RefreshTask, SessionConfig, SnapshotRecord, SnapshotStats,
+    StreamSession,
 };

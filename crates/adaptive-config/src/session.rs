@@ -58,8 +58,8 @@
 
 use crate::optimizer::{HaloTarget, QualityTarget};
 use crate::pipeline::{InSituPipeline, PipelineConfig, PipelineResult, Timings};
-use crate::ratio_model::{sample_bricks, CalibrationReport, CodecModelBank};
-use codec_core::{fnv1a64, CodecId};
+use crate::ratio_model::{sample_bricks, CalibrationReport, CodecModelBank, RatioModel};
+use codec_core::{fnv1a64, CodecId, Container};
 use gridlab::{Decomposition, Field3, Scalar};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -97,6 +97,22 @@ impl QualityPolicy {
             Ok(())
         } else {
             Err(format!("{name} must be positive and finite, got {v}"))
+        }
+    }
+
+    /// One rung down a quality-degradation ladder: the same contract,
+    /// `factor` times looser. Quality policies loosen by *widening* the
+    /// bound (`FixedEb`, `SigmaScaled` multiply by `factor`); a storage
+    /// contract loosens by *shrinking* the budget (`BitrateBudget`
+    /// divides by `factor`) — both directions mean "spend fewer bits".
+    /// This is the primitive an overloaded server steps through instead
+    /// of stalling its callers.
+    pub fn relax(&self, factor: f64) -> QualityPolicy {
+        assert!(factor >= 1.0 && factor.is_finite(), "relax factor must be ≥ 1, got {factor}");
+        match *self {
+            QualityPolicy::FixedEb(eb) => QualityPolicy::FixedEb(eb * factor),
+            QualityPolicy::SigmaScaled(f) => QualityPolicy::SigmaScaled(f * factor),
+            QualityPolicy::BitrateBudget(b) => QualityPolicy::BitrateBudget(b / factor),
         }
     }
 
@@ -370,9 +386,44 @@ impl StreamSession {
 
     /// Compress the next snapshot of the series.
     pub fn push_snapshot<T: Scalar>(&mut self, field: &Field3<T>) -> SnapshotRecord {
+        let (record, task) = self.push_inner(field, false);
+        debug_assert!(task.is_none(), "inline pushes complete their refresh in place");
+        record
+    }
+
+    /// [`push_snapshot`](StreamSession::push_snapshot), with drift-
+    /// triggered refreshes **deferred**: instead of recalibrating inline
+    /// (which can take several times the compress cost and, in a
+    /// multi-tenant server, starve neighbouring streams), a detected
+    /// drift returns a [`RefreshTask`] capturing the sampled bricks at
+    /// detection time. The caller steps the task at its own pace —
+    /// interleaving other sessions' pushes between steps — and hands the
+    /// finished task back through
+    /// [`install_refresh`](StreamSession::install_refresh) *before this
+    /// session's next push*. Driven to completion, the deferred path
+    /// installs a bank bit-identical to what the inline path would have
+    /// fitted, so the compressed series is byte-identical either way.
+    ///
+    /// The returned record is exactly what `push_snapshot` would have
+    /// produced for this snapshot (the refresh only ever affects *later*
+    /// snapshots); its stats already say [`Recalibration::Refreshed`],
+    /// with `model_cost` covering only the brick sampling.
+    pub fn push_snapshot_deferred<T: Scalar>(
+        &mut self,
+        field: &Field3<T>,
+    ) -> (SnapshotRecord, Option<RefreshTask<T>>) {
+        self.push_inner(field, true)
+    }
+
+    fn push_inner<T: Scalar>(
+        &mut self,
+        field: &Field3<T>,
+        defer_refresh: bool,
+    ) -> (SnapshotRecord, Option<RefreshTask<T>>) {
         let sigma = gridlab::stats::summarize(field.as_slice()).std_dev();
         let mut model_cost = Duration::ZERO;
         let mut recalibration = Recalibration::Skipped;
+        let mut deferred = None;
 
         if self.pipeline.is_none() {
             let t = Instant::now();
@@ -410,8 +461,12 @@ impl StreamSession {
         if recalibration == Recalibration::Skipped && drift_residual > self.cfg.drift_threshold {
             let t = Instant::now();
             let sweep: Vec<f64> = self.cfg.refresh_multipliers.iter().map(|m| m * eb_avg).collect();
-            let bank = self.fit_bank(field, self.cfg.refresh_stride, &sweep, false);
-            self.pipeline.as_mut().expect("calibrated").set_models(bank);
+            if defer_refresh {
+                deferred = Some(self.refresh_task(field, &sweep));
+            } else {
+                let bank = self.fit_bank(field, self.cfg.refresh_stride, &sweep, false);
+                self.pipeline.as_mut().expect("calibrated").set_models(bank);
+            }
             model_cost += t.elapsed();
             recalibration = Recalibration::Refreshed;
         }
@@ -426,7 +481,45 @@ impl StreamSession {
         };
         self.history.push(stats);
         self.last_drift = drift_residual;
-        SnapshotRecord { result, stats }
+        (SnapshotRecord { result, stats }, deferred)
+    }
+
+    /// Capture a deferred refresh: the same brick subset and sweep the
+    /// inline path would use, cloned at detection time so later field
+    /// mutations cannot leak into the fit.
+    fn refresh_task<T: Scalar>(&self, field: &Field3<T>, sweep: &[f64]) -> RefreshTask<T> {
+        let parts = self.cfg.dec.num_partitions();
+        let stride = self.cfg.refresh_stride.min(parts - 1).max(1);
+        RefreshTask {
+            codecs: self.cfg.codecs.clone(),
+            bricks: sample_bricks(field, &self.cfg.dec, stride),
+            sweep: sweep.to_vec(),
+            measured: Vec::new(),
+        }
+    }
+
+    /// Install the bank a completed [`RefreshTask`] fitted — the deferred
+    /// counterpart of the inline refresh's `set_models`. Panics if the
+    /// task still has steps left (installing a half-measured fit would
+    /// silently misprice every partition) or if the session was never
+    /// calibrated (a refresh implies a fitted bank to replace).
+    pub fn install_refresh<T: Scalar>(&mut self, task: RefreshTask<T>) {
+        assert!(task.is_done(), "refresh task has {} steps left", task.remaining());
+        let bank = task.into_bank();
+        self.pipeline.as_mut().expect("a refresh implies a calibrated session").set_models(bank);
+    }
+
+    /// Swap the quality policy mid-series — the hook a multi-tenant
+    /// budget arbiter uses to impose an externally computed share (e.g.
+    /// a [`QualityPolicy::BitrateBudget`] slice of a global storage
+    /// contract), and the degradation ladder uses to shed quality under
+    /// load ([`QualityPolicy::relax`]). Takes effect from the next push;
+    /// panics on invalid parameters exactly like the constructor.
+    pub fn set_policy(&mut self, policy: QualityPolicy) {
+        if let Err(m) = policy.check() {
+            panic!("{m}");
+        }
+        self.cfg.policy = policy;
     }
 
     /// Fit one model per enabled codec on a sampled brick subset. The
@@ -580,6 +673,90 @@ impl StreamSession {
             prior: (snapshots, full_calibrations, refreshes),
             last_drift,
         })
+    }
+}
+
+/// A drift-triggered model refresh, sliced into yieldable units so a
+/// scheduler can interleave other work between steps — the primitive that
+/// keeps one drifting stream's recalibration from starving its
+/// neighbours in a multi-tenant server.
+///
+/// Each [`step`](RefreshTask::step) performs exactly one trial
+/// compression (one `(codec, brick, bound)` measurement — the unit the
+/// whole refresh cost is made of); everything else (means, the two-pass
+/// fit) is arithmetic too cheap to slice. The task owns clones of the
+/// sampled bricks, so it stays valid however long the scheduler delays
+/// it. Once done, [`StreamSession::install_refresh`] fits and installs
+/// the bank; the fit replays the stored measurements through the *same*
+/// [`RatioModel::calibrate_by`] code path the inline refresh uses, so a
+/// completed deferred refresh is bit-identical to the inline one.
+#[derive(Debug, Clone)]
+pub struct RefreshTask<T: Scalar> {
+    codecs: Vec<CodecId>,
+    bricks: Vec<Field3<T>>,
+    sweep: Vec<f64>,
+    /// Raw bits/value measurements in calibration order: codec-major,
+    /// then brick, then sweep bound.
+    measured: Vec<f64>,
+}
+
+impl<T: Scalar> RefreshTask<T> {
+    /// Total yieldable units (trial compressions) in this refresh.
+    pub fn total_steps(&self) -> usize {
+        self.codecs.len() * self.bricks.len() * self.sweep.len()
+    }
+
+    /// Steps not yet performed.
+    pub fn remaining(&self) -> usize {
+        self.total_steps() - self.measured.len()
+    }
+
+    /// True once every measurement has been taken.
+    pub fn is_done(&self) -> bool {
+        self.measured.len() == self.total_steps()
+    }
+
+    /// Perform one trial compression (no-op when already done). Returns
+    /// `true` when the task is complete.
+    pub fn step(&mut self) -> bool {
+        if !self.is_done() {
+            let i = self.measured.len();
+            let per_codec = self.bricks.len() * self.sweep.len();
+            let codec = self.codecs[i / per_codec];
+            let brick = &self.bricks[(i % per_codec) / self.sweep.len()];
+            let eb = self.sweep[i % self.sweep.len()];
+            let c = Container::compress(codec, brick.as_slice(), brick.dims(), eb);
+            self.measured.push(8.0 * c.payload_len() as f64 / brick.len() as f64);
+        }
+        self.is_done()
+    }
+
+    /// Drive every remaining step back-to-back (what an idle scheduler —
+    /// or a single-tenant caller — does).
+    pub fn run_to_completion(&mut self) {
+        while !self.step() {}
+    }
+
+    /// Fit the bank from the completed measurements, replaying them
+    /// through the standard calibration so the arithmetic (and therefore
+    /// the bank, bit for bit) matches the inline refresh.
+    fn into_bank(self) -> CodecModelBank {
+        assert!(self.is_done(), "cannot fit an incomplete refresh");
+        let refs: Vec<&Field3<T>> = self.bricks.iter().collect();
+        let next = std::cell::Cell::new(0usize);
+        let mut entries = Vec::with_capacity(self.codecs.len());
+        for &codec in &self.codecs {
+            // calibrate_by queries measurements in exactly the order step()
+            // recorded them (brick-major, sweep inner), so a replay cursor
+            // stands in for the compressor.
+            let (model, _) = RatioModel::calibrate_by(&refs, &self.sweep, |_, _| {
+                let i = next.get();
+                next.set(i + 1);
+                self.measured[i]
+            });
+            entries.push((codec, model));
+        }
+        CodecModelBank::new(entries)
     }
 }
 
@@ -1047,6 +1224,129 @@ mod tests {
         assert_eq!(r.features.len(), 1);
         let residual = drift_residual(&r, &p.optimizer.models);
         assert!(residual.is_finite() && residual >= 0.0, "residual {residual}");
+    }
+
+    // --- server hooks: deferred refresh, policy swap, relax ladder -------
+
+    #[test]
+    fn deferred_refresh_is_bit_identical_to_inline() {
+        let make = || {
+            let dec = Decomposition::cubic(24, 2).unwrap();
+            StreamSession::new(
+                SessionConfig::new(dec, QualityPolicy::SigmaScaled(0.1)).with_drift_threshold(0.05),
+            )
+        };
+        let calm = evolving_field(24, 1.0, 21);
+        let wild0 = evolving_field(24, 50.0, 77);
+        let wild1 = evolving_field(24, 50.0, 78);
+
+        let mut inline = make();
+        inline.push_snapshot(&calm);
+        let i_drift = inline.push_snapshot(&wild0);
+        let inline_bank = inline.models().cloned();
+        let i_after = inline.push_snapshot(&wild1);
+
+        let mut deferred = make();
+        let (_, t) = deferred.push_snapshot_deferred(&calm);
+        assert!(t.is_none(), "no drift on the calibration snapshot");
+        let (d_drift, t) = deferred.push_snapshot_deferred(&wild0);
+        let mut task = t.expect("drift must hand back a task");
+        assert_eq!(d_drift.stats.recalibration, Recalibration::Refreshed);
+        assert_eq!(d_drift.stats.drift_residual, i_drift.stats.drift_residual);
+        for (c1, c2) in d_drift.result.containers.iter().zip(&i_drift.result.containers) {
+            assert_eq!(c1.as_bytes(), c2.as_bytes(), "the drifted snapshot itself is unaffected");
+        }
+        // Step one at a time — the yieldable unit is one trial compression.
+        let total = task.total_steps();
+        assert!(total >= 4, "codecs × bricks × sweep, got {total}");
+        let mut steps = 0;
+        while !task.step() {
+            steps += 1;
+            assert_eq!(task.remaining(), total - steps);
+        }
+        assert!(task.is_done());
+        deferred.install_refresh(task);
+        assert_eq!(
+            deferred.models().cloned(),
+            inline_bank,
+            "refreshed banks must agree bit-for-bit"
+        );
+
+        let (d_after, t) = deferred.push_snapshot_deferred(&wild1);
+        assert_eq!(
+            t.is_some(),
+            i_after.stats.recalibration == Recalibration::Refreshed,
+            "both paths must agree on whether the next snapshot drifts"
+        );
+        assert_eq!(d_after.stats.drift_residual, i_after.stats.drift_residual);
+        for (c1, c2) in d_after.result.containers.iter().zip(&i_after.result.containers) {
+            assert_eq!(c1.as_bytes(), c2.as_bytes(), "post-refresh frames must match inline");
+        }
+    }
+
+    #[test]
+    fn incomplete_refresh_cannot_install() {
+        let dec = Decomposition::cubic(24, 2).unwrap();
+        let mut s = StreamSession::new(
+            SessionConfig::new(dec, QualityPolicy::SigmaScaled(0.1)).with_drift_threshold(0.05),
+        );
+        s.push_snapshot(&evolving_field(24, 1.0, 21));
+        let (_, t) = s.push_snapshot_deferred(&evolving_field(24, 50.0, 77));
+        let mut task = t.expect("drift");
+        task.step(); // one of several
+        assert!(!task.is_done());
+        assert!(std::panic::catch_unwind(move || s.install_refresh(task)).is_err());
+    }
+
+    #[test]
+    fn run_to_completion_equals_stepping() {
+        let dec = Decomposition::cubic(24, 2).unwrap();
+        let make = || {
+            StreamSession::new(
+                SessionConfig::new(dec.clone(), QualityPolicy::SigmaScaled(0.1))
+                    .with_drift_threshold(0.05),
+            )
+        };
+        let calm = evolving_field(24, 1.0, 21);
+        let wild = evolving_field(24, 50.0, 77);
+        let mut a = make();
+        a.push_snapshot(&calm);
+        let (_, ta) = a.push_snapshot_deferred(&wild);
+        let mut ta = ta.unwrap();
+        ta.run_to_completion();
+        a.install_refresh(ta);
+        let mut b = make();
+        b.push_snapshot(&calm);
+        let (_, tb) = b.push_snapshot_deferred(&wild);
+        let mut tb = tb.unwrap();
+        while !tb.step() {}
+        b.install_refresh(tb);
+        assert_eq!(a.models(), b.models());
+    }
+
+    #[test]
+    fn set_policy_takes_effect_next_push() {
+        let mut s = session(16, 2, QualityPolicy::FixedEb(0.3));
+        assert_eq!(s.push_snapshot(&evolving_field(16, 1.0, 3)).stats.eb_avg, 0.3);
+        s.set_policy(QualityPolicy::FixedEb(0.15));
+        assert_eq!(s.push_snapshot(&evolving_field(16, 1.0, 3)).stats.eb_avg, 0.15);
+        assert_eq!(s.config().policy, QualityPolicy::FixedEb(0.15));
+        // Invalid swaps fail like the constructor.
+        let mut s2 = session(16, 2, QualityPolicy::FixedEb(0.3));
+        assert!(std::panic::catch_unwind(move || {
+            s2.set_policy(QualityPolicy::BitrateBudget(-1.0))
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn relax_ladder_loosens_every_policy_kind() {
+        assert_eq!(QualityPolicy::FixedEb(0.2).relax(2.0), QualityPolicy::FixedEb(0.4));
+        assert_eq!(QualityPolicy::SigmaScaled(0.1).relax(2.0), QualityPolicy::SigmaScaled(0.2));
+        assert_eq!(QualityPolicy::BitrateBudget(4.0).relax(2.0), QualityPolicy::BitrateBudget(2.0));
+        // factor 1 is the identity rung.
+        assert_eq!(QualityPolicy::FixedEb(0.2).relax(1.0), QualityPolicy::FixedEb(0.2));
+        assert!(std::panic::catch_unwind(|| QualityPolicy::FixedEb(0.2).relax(0.5)).is_err());
     }
 
     // --- checkpoint / restore --------------------------------------------

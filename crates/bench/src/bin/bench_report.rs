@@ -409,6 +409,61 @@ fn main() {
         }
     }
 
+    // --- stream_server workloads: the multi-stream service under load ---
+    // Aggregate ingest throughput, steady-state p99 push latency at N
+    // concurrent streams, and the fairness ratio when one stream is
+    // poisoned (drift-recalibrating on every snapshot): neighbour p99
+    // contended over uncontended. The service's scheduling contract is
+    // that this ratio stays ≤ 2 — the same bound the integration suite
+    // asserts — because recalibration yields one trial compression at a
+    // time instead of monopolising a worker.
+    {
+        let streams = if smoke { 4 } else { 8 };
+        let steps = if smoke { 4 } else { 16 };
+        let sn = if smoke { 16 } else { 32 };
+        let calm = stream_server_run(streams, steps, sn, false);
+        let contended = stream_server_run(streams, steps, sn, true);
+        let sessions_grid = format!("{sn}x{sn}x{sn}, {streams} streams x {steps} snapshots");
+
+        t.entries.push(bench::trajectory::BenchEntry {
+            bench: format!("stream_server/sessions_per_sec/{streams}_streams"),
+            median_ns: calm.wall_ns,
+            throughput: calm.pushes_per_sec,
+            throughput_unit: "snapshots/s".to_string(),
+            grid: sessions_grid.clone(),
+        });
+        t.entries.push(bench::trajectory::BenchEntry {
+            bench: format!("stream_server/p99_push_latency/{streams}_streams"),
+            median_ns: calm.p99_ns,
+            throughput: 0.0,
+            throughput_unit: String::new(),
+            grid: sessions_grid.clone(),
+        });
+        t.entries.push(bench::trajectory::BenchEntry {
+            bench: "stream_server/p99_push_latency/poisoned_neighbours".to_string(),
+            median_ns: contended.p99_ns,
+            throughput: 0.0,
+            throughput_unit: String::new(),
+            grid: sessions_grid.clone(),
+        });
+        let fairness = contended.p99_ns as f64 / calm.p99_ns.max(1) as f64;
+        t.entries.push(bench::trajectory::BenchEntry {
+            bench: "stream_server/fairness_ratio/one_poisoned".to_string(),
+            median_ns: 0,
+            throughput: fairness,
+            throughput_unit: "x".to_string(),
+            grid: sessions_grid,
+        });
+        t.note(format!(
+            "stream_server: {streams} streams x {steps} snapshots ingest at {:.1} snapshots/s, \
+             uncontended p99 push {:.2} ms; with one poisoned stream neighbour p99 {:.2} ms \
+             (fairness ratio {fairness:.2}x, contract ≤ 2x)",
+            calm.pushes_per_sec,
+            calm.p99_ns as f64 / 1e6,
+            contended.p99_ns as f64 / 1e6,
+        ));
+    }
+
     println!("{}", t.to_json());
     if smoke {
         eprintln!("smoke run: not persisted");
@@ -421,4 +476,94 @@ fn main() {
 
 fn par_compress(dec: &Decomposition, field: &Field3<f32>, cfg: &SzConfig) -> Vec<rsz::Compressed> {
     dec.par_map(field, |_, brick| compress_slice(brick.as_slice(), brick.dims(), cfg))
+}
+
+struct StreamServerStats {
+    /// Wall clock for the whole run (all streams, all snapshots).
+    wall_ns: u64,
+    /// Aggregate ingest rate across all streams.
+    pushes_per_sec: f64,
+    /// p99 push latency pooled over the calm streams, first (calibration)
+    /// push excluded.
+    p99_ns: u64,
+}
+
+/// Drive `streams` lockstepped client threads against a fresh
+/// `StreamServer`; when `poison` is set the last stream recalibrates on
+/// every snapshot (zero drift threshold + amplitude hops) and only its
+/// neighbours' latencies are pooled.
+fn stream_server_run(streams: usize, steps: usize, n: usize, poison: bool) -> StreamServerStats {
+    use adaptive_config::session::{QualityPolicy, SessionConfig};
+    use gridlab::Dim3;
+    use std::sync::Barrier;
+    use std::time::Instant;
+    use stream_server::{ServerConfig, StreamServer, TenantConfig};
+
+    let noisy_field = |amp: f64, seed: u64| {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+        Field3::from_fn(Dim3::cube(n), |x, y, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            let base = if x >= n / 2 && y >= n / 2 { 40.0 * amp } else { 8.0 };
+            (base + amp * noise) as f32
+        })
+    };
+    let dec = Decomposition::cubic(n, 2).expect("2 divides n");
+    let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+        workers: 4,
+        queue_capacity: 8,
+        degrade_threshold: 1.0,
+        degrade_ladder: vec![],
+        global_budget: None,
+    });
+    let tenants: Vec<_> = (0..streams)
+        .map(|tid| {
+            let mut cfg = SessionConfig::new(dec.clone(), QualityPolicy::SigmaScaled(0.1));
+            if poison && tid == streams - 1 {
+                cfg = cfg.with_drift_threshold(1e-9);
+            }
+            server.register(TenantConfig::new(cfg)).expect("registration")
+        })
+        .collect();
+    let barrier = Barrier::new(streams);
+    let t0 = Instant::now();
+    let per_stream: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..streams)
+            .map(|tid| {
+                let server = &server;
+                let barrier = &barrier;
+                let noisy_field = &noisy_field;
+                let tenant = tenants[tid];
+                s.spawn(move || {
+                    let poison_me = poison && tid == streams - 1;
+                    let mut lat = Vec::with_capacity(steps);
+                    for step in 0..steps {
+                        let f = if poison_me {
+                            noisy_field(3.0 + 17.0 * (step % 3) as f64, 777 + step as u64)
+                        } else {
+                            noisy_field(1.0, tid as u64 + 1)
+                        };
+                        barrier.wait();
+                        let p0 = Instant::now();
+                        server.push(tenant, f).expect("push succeeds");
+                        lat.push(p0.elapsed().as_nanos() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    server.shutdown().expect("clean shutdown");
+    let measured = if poison { streams - 1 } else { streams };
+    let mut pooled: Vec<u64> =
+        per_stream[..measured].iter().flat_map(|l| l.iter().skip(1).copied()).collect();
+    pooled.sort_unstable();
+    let p99_ns = pooled[(pooled.len() as f64 * 0.99).ceil() as usize - 1];
+    StreamServerStats {
+        wall_ns,
+        pushes_per_sec: (streams * steps) as f64 / (wall_ns as f64 / 1e9),
+        p99_ns,
+    }
 }

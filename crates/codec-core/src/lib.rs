@@ -69,5 +69,5 @@ pub use container::{fnv1a64, Container, CONTAINER_VERSION};
 pub use stream::{StreamReader, StreamWriter, STREAM_VERSION};
 pub use stream_file::{
     footer_len, recover_stream, stream_file_bytes, trailer_len, FileSource, RecoveryReport,
-    StreamFileReader, StreamFileWriter, StreamSource, STREAM_FILE_VERSION,
+    StreamFileReader, StreamFileWriter, StreamSource, SyncPolicy, STREAM_FILE_VERSION,
 };

@@ -40,7 +40,30 @@
 //!
 //! Every frame is flushed (data, then footer) before `append_frame`
 //! returns, so a crash at any instant loses **at most the in-flight
-//! frame** — never a frame that was already acknowledged. A crashed file
+//! frame** — never a frame that was already acknowledged. How far that
+//! guarantee extends depends on the writer's [`SyncPolicy`]:
+//!
+//! * [`SyncPolicy::Flush`] (the default) writes through to the OS page
+//!   cache only. Acknowledged frames survive **process death** (the
+//!   kernel owns the bytes once `write(2)` returns) but a kernel panic
+//!   or power loss may drop any suffix of frames still sitting dirty in
+//!   the page cache.
+//! * [`SyncPolicy::SyncPerFrame`] issues `sync_data` (fdatasync) after
+//!   each frame's footer, so an acknowledged frame survives **power
+//!   loss** too — the strongest guarantee, at one device round-trip of
+//!   latency per append. (As always, a storage device that acknowledges
+//!   flushes from a volatile write cache can still lie; that is below
+//!   this layer.)
+//! * [`SyncPolicy::SyncOnFinish`] behaves like `Flush` per frame and
+//!   issues a single `sync_data` before `finish` returns: the whole
+//!   stream is power-loss durable once finished, while mid-stream power
+//!   loss has `Flush` semantics. The right trade when only completed
+//!   streams matter.
+//!
+//! Under every policy the on-disk **bytes** are identical — the policy
+//! changes when they are durable, not what they are — and recovery
+//! (below) applies unchanged: whatever prefix physically survived is
+//! re-derived by scanning, never trusted from a trailer. A crashed file
 //! has no trailer (or a torn one); [`recover`]/[`StreamFileWriter::recover`]
 //! re-derive the valid prefix by scanning frames forward from the header:
 //! a frame survives iff every container wrapper parses, its footer is
@@ -131,6 +154,33 @@ fn io_err(context: &str, e: std::io::Error) -> CodecError {
     CodecError::Io(format!("{context}: {e}"))
 }
 
+/// Checked u64 → usize conversion for offsets/lengths decoded from stream
+/// bytes: on 32-bit targets a >4 GiB value must surface as a typed error,
+/// not truncate silently.
+fn to_usize(v: u64, what: &str) -> Result<usize, CodecError> {
+    usize::try_from(v)
+        .map_err(|_| CodecError::Format(format!("{what} {v} exceeds this platform's usize")))
+}
+
+/// When a [`StreamFileWriter`]'s bytes become durable. See the module
+/// docs' crash-loss section for the full power-loss semantics of each
+/// level; in short: `Flush` survives process death, `SyncPerFrame`
+/// survives power loss per acknowledged frame, `SyncOnFinish` survives
+/// power loss once `finish` has returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Flush to the OS page cache after every frame (the default — the
+    /// original writer behaviour).
+    #[default]
+    Flush,
+    /// `sync_data` after every frame footer: each acknowledged frame is
+    /// power-loss durable before `append_frame` returns.
+    SyncPerFrame,
+    /// Flush per frame, one `sync_data` in `finish`: the finished stream
+    /// is power-loss durable as a unit.
+    SyncOnFinish,
+}
+
 /// What a recovery pass found and kept.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -170,10 +220,12 @@ fn scan_frames(bytes: &[u8]) -> Result<(usize, Vec<u64>, u64), CodecError> {
     }
     let flen = footer_len(partitions);
     let mut footers = Vec::new();
-    let mut cursor = FILE_HEADER_LEN as u64;
+    // The cursor indexes in-memory bytes, so it lives as usize and only
+    // widens to u64 at the boundary — no narrowing cast to get wrong.
+    let mut cursor = FILE_HEADER_LEN;
     'frames: loop {
         let mut offsets = Vec::with_capacity(partitions + 1);
-        let mut c = cursor as usize;
+        let mut c = cursor;
         for _ in 0..partitions {
             // A container survives iff its wrapper parses structurally and
             // the declared payload fits — the wrapper peek (owned by
@@ -204,9 +256,9 @@ fn scan_frames(bytes: &[u8]) -> Result<(usize, Vec<u64>, u64), CodecError> {
             break;
         }
         footers.push(c as u64);
-        cursor = (c + flen) as u64;
+        cursor = c + flen;
     }
-    Ok((partitions, footers, cursor))
+    Ok((partitions, footers, cursor as u64))
 }
 
 /// Serialise a whole series into durable-stream bytes in one go — the
@@ -248,7 +300,7 @@ pub fn stream_file_bytes(partitions: usize, frames: &[Vec<Container>]) -> Vec<u8
 /// (nothing is recoverable without the partition count).
 pub fn recover_stream(bytes: &[u8]) -> Result<(Vec<u8>, RecoveryReport), CodecError> {
     let (partitions, footers, valid_end) = scan_frames(bytes)?;
-    let mut out = bytes[..valid_end as usize].to_vec();
+    let mut out = bytes[..to_usize(valid_end, "valid prefix end")?].to_vec();
     out.extend_from_slice(&encode_trailer(&footers, valid_end));
     let report = RecoveryReport {
         partitions,
@@ -274,6 +326,7 @@ pub struct StreamFileWriter {
     file: File,
     path: PathBuf,
     partitions: usize,
+    sync: SyncPolicy,
     /// Footer offset of every completed frame.
     footers: Vec<u64>,
     /// Current end-of-data offset (next frame starts here).
@@ -283,7 +336,19 @@ pub struct StreamFileWriter {
 impl StreamFileWriter {
     /// Create (truncating) a durable stream at `path` for frames of
     /// `partitions` containers each, writing the header immediately.
+    /// Durability is [`SyncPolicy::Flush`]; use
+    /// [`create_with`](StreamFileWriter::create_with) to choose another.
     pub fn create(path: impl AsRef<Path>, partitions: usize) -> Result<Self, CodecError> {
+        Self::create_with(path, partitions, SyncPolicy::default())
+    }
+
+    /// [`create`](StreamFileWriter::create) with an explicit durability
+    /// level — see [`SyncPolicy`] and the module docs' power-loss table.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        partitions: usize,
+        sync: SyncPolicy,
+    ) -> Result<Self, CodecError> {
         assert!(partitions > 0, "a frame needs at least one partition");
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
@@ -295,15 +360,33 @@ impl StreamFileWriter {
             .map_err(|e| io_err("create stream file", e))?;
         file.write_all(&encode_header(partitions)).map_err(|e| io_err("write header", e))?;
         file.flush().map_err(|e| io_err("flush header", e))?;
-        Ok(Self { file, path, partitions, footers: Vec::new(), cursor: FILE_HEADER_LEN as u64 })
+        Ok(Self {
+            file,
+            path,
+            partitions,
+            sync,
+            footers: Vec::new(),
+            cursor: FILE_HEADER_LEN as u64,
+        })
     }
 
     /// Re-open a crashed (or merely unfinished) stream: scan for the valid
     /// prefix, truncate everything past the last intact footer, and return
     /// a writer positioned to append the next frame, plus what was kept
     /// and dropped. `finish` afterwards yields bytes identical to an
-    /// uninterrupted write of the surviving + appended frames.
+    /// uninterrupted write of the surviving + appended frames. Durability
+    /// is [`SyncPolicy::Flush`]; use
+    /// [`recover_with`](StreamFileWriter::recover_with) to choose another.
     pub fn recover(path: impl AsRef<Path>) -> Result<(Self, RecoveryReport), CodecError> {
+        Self::recover_with(path, SyncPolicy::default())
+    }
+
+    /// [`recover`](StreamFileWriter::recover) with an explicit durability
+    /// level for the appends that follow.
+    pub fn recover_with(
+        path: impl AsRef<Path>,
+        sync: SyncPolicy,
+    ) -> Result<(Self, RecoveryReport), CodecError> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
@@ -321,7 +404,7 @@ impl StreamFileWriter {
             bytes_kept: valid_end,
             bytes_dropped: bytes.len() as u64 - valid_end,
         };
-        Ok((Self { file, path, partitions, footers, cursor: valid_end }, report))
+        Ok((Self { file, path, partitions, sync, footers, cursor: valid_end }, report))
     }
 
     /// Append one snapshot's containers (partition-id order) and flush.
@@ -345,9 +428,19 @@ impl StreamFileWriter {
         let footer = encode_footer(self.footers.len() as u32, &offsets);
         self.file.write_all(&footer).map_err(|e| io_err("write frame footer", e))?;
         self.file.flush().map_err(|e| io_err("flush frame", e))?;
+        if self.sync == SyncPolicy::SyncPerFrame {
+            // sync_data covers every dirty byte of the file, so the header
+            // (and any earlier frame) rides along with the first sync.
+            self.file.sync_data().map_err(|e| io_err("sync frame", e))?;
+        }
         self.footers.push(cursor);
         self.cursor = cursor + footer.len() as u64;
         Ok(())
+    }
+
+    /// The durability level this writer was created with.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync
     }
 
     /// Frames written so far (including recovered ones).
@@ -373,6 +466,11 @@ impl StreamFileWriter {
         let trailer = encode_trailer(&self.footers, self.cursor);
         self.file.write_all(&trailer).map_err(|e| io_err("write trailer", e))?;
         self.file.flush().map_err(|e| io_err("flush trailer", e))?;
+        if self.sync != SyncPolicy::Flush {
+            // SyncPerFrame syncs here too so the trailer itself is as
+            // durable as the frames it indexes.
+            self.file.sync_data().map_err(|e| io_err("sync trailer", e))?;
+        }
         Ok(self.cursor + trailer.len() as u64)
     }
 }
@@ -400,7 +498,7 @@ impl StreamSource for &[u8] {
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), CodecError> {
-        let start = offset as usize;
+        let start = to_usize(offset, "read offset")?;
         let end = start
             .checked_add(buf.len())
             .filter(|&e| e <= <[u8]>::len(self))
@@ -496,7 +594,7 @@ impl<S: StreamSource> StreamFileReader<S> {
                 "trailer back-pointer {trailer_start} outside stream of {len} bytes"
             )));
         }
-        let tlen = (len - trailer_start) as usize;
+        let tlen = to_usize(len - trailer_start, "trailer length")?;
         let mut trailer = vec![0u8; tlen];
         source.read_at(trailer_start, &mut trailer)?;
         if tlen < trailer_len(0) || &trailer[..4] != TRAILER_MAGIC {
@@ -588,7 +686,7 @@ impl<S: StreamSource> StreamFileReader<S> {
         }
         let i = frame * (self.partitions + 1) + partition;
         let (start, end) = (self.offsets[i], self.offsets[i + 1]);
-        let mut buf = vec![0u8; (end - start) as usize];
+        let mut buf = vec![0u8; to_usize(end - start, "container length")?];
         self.source.read_at(start, &mut buf)?;
         Ok(buf)
     }
@@ -791,6 +889,36 @@ mod tests {
         let r = StreamFileReader::from_source(full.as_slice()).unwrap();
         assert!(r.container(2, 0).is_err());
         assert!(r.container(0, 8).is_err());
+    }
+
+    #[test]
+    fn sync_policies_change_durability_not_bytes() {
+        let (dec, frames, _) = sample_frames(2);
+        let p = dec.num_partitions();
+        let expected = stream_file_bytes(p, &frames);
+        for sync in [SyncPolicy::Flush, SyncPolicy::SyncPerFrame, SyncPolicy::SyncOnFinish] {
+            let path = temp_path(&format!("sync_{sync:?}"));
+            let mut w = StreamFileWriter::create_with(&path, p, sync).unwrap();
+            assert_eq!(w.sync_policy(), sync);
+            w.append_frame(&frames[0]).unwrap();
+            w.append_frame(&frames[1]).unwrap();
+            w.finish().unwrap();
+            assert_eq!(std::fs::read(&path).unwrap(), expected, "{sync:?}");
+            // Recovery under the same policy appends identically.
+            std::fs::write(&path, &expected[..expected.len() - trailer_len(2) - 1]).unwrap();
+            let (mut w, report) = StreamFileWriter::recover_with(&path, sync).unwrap();
+            assert_eq!(report.frames_kept, 1);
+            assert_eq!(w.sync_policy(), sync);
+            w.append_frame(&frames[1]).unwrap();
+            w.finish().unwrap();
+            assert_eq!(std::fs::read(&path).unwrap(), expected, "{sync:?} after recover");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn default_sync_policy_is_flush() {
+        assert_eq!(SyncPolicy::default(), SyncPolicy::Flush);
     }
 
     #[test]

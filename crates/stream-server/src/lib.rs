@@ -1,0 +1,910 @@
+//! # stream-server — the multi-stream compression service
+//!
+//! The paper's deployment story is one rank compressing one field in
+//! situ; the north star is a long-running **service** absorbing many
+//! concurrent simulation streams. This crate is the layer above
+//! [`StreamSession`]: a session manager owning N concurrent tenants,
+//! sharded across a fixed worker-thread pool, with admission control,
+//! quality shedding, a global storage-budget arbiter, and scheduling
+//! that keeps one misbehaving stream from starving its neighbours.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! clients (any thread)          StreamServer                workers
+//! ───────────────────  ───────────────────────────  ──────────────────────
+//! push(tenant, field) → admission control → bounded ┐
+//!                       (occupancy ladder,  shard   ├→ worker 0: sessions
+//!                        Overloaded when    queues  │   0, W, 2W, …
+//!                        full)                      ├→ worker 1: sessions
+//!                                                   │   1, W+1, …
+//!                        replies ride a per-push    ┘   …
+//!                        channel back to the caller
+//! ```
+//!
+//! * **Sharding.** Each tenant (a [`StreamSession`] plus its optional
+//!   durable [`StreamFileWriter`]) is owned by exactly one worker —
+//!   `tenant_id % workers` — so session state needs no locking and every
+//!   tenant's pushes execute in submission order. Each worker is fed by
+//!   its own bounded MPMC queue (the vendored `crossbeam-channel` shim).
+//! * **Admission control.** [`StreamServer::push`] never blocks on a
+//!   saturated queue: data jobs enter with `try_send`, and a full shard
+//!   queue surfaces as [`ServerError::Overloaded`] immediately — the
+//!   simulation decides whether to retry, drop, or slow down. Below
+//!   saturation, queue occupancy at or past
+//!   [`ServerConfig::degrade_threshold`] walks the
+//!   [`ServerConfig::degrade_ladder`]: the push is admitted with its
+//!   tenant's [`QualityPolicy`] relaxed by the rung's factor
+//!   ([`QualityPolicy::relax`]) — quality sheds before throughput does,
+//!   and the applied factor is reported in [`PushOutcome::degraded`].
+//!   (Control jobs — register, close, policy updates — use blocking
+//!   sends: they are rare and must not be droppable.)
+//! * **Budget arbiter.** With [`ServerConfig::global_budget`] set, every
+//!   tenant registering with a [`QualityPolicy::BitrateBudget`] policy
+//!   joins one storage contract: a global average of `G` bits/value over
+//!   all budgeted tenants' data. Tenant `i` with weight `w_i` and `c_i`
+//!   values per snapshot receives `r_i = G · w_i · Σc_j / Σ(w_j·c_j)`
+//!   bits/value (equal weights ⇒ every budgeted tenant gets exactly
+//!   `G`), recomputed whenever a budgeted tenant joins or leaves and
+//!   imposed through [`StreamSession::set_policy`].
+//! * **Fair scheduling.** A drifting stream's recalibration runs as a
+//!   yieldable low-priority unit ([`RefreshTask`]): pushes return a
+//!   deferred task, and the worker steps it **one trial compression at a
+//!   time, only while its queue is empty** — an arriving push waits for
+//!   at most one in-flight step, never a whole recalibration. A
+//!   session's own next push drives its pending refresh to completion
+//!   first (the drifting tenant pays its own refresh cost, preserving
+//!   single-tenant byte-identity), but its neighbours' pushes interleave
+//!   between steps. The poisoned-stream suite in `tests/stream_server.rs`
+//!   asserts the resulting p99 bound.
+//!
+//! Determinism contract: per tenant, the sequence of compressed frames
+//! is **byte-identical** to a single-tenant [`StreamSession`] fed the
+//! same snapshots — whatever the interleaving with other tenants —
+//! provided no push was quality-degraded and the tenant is not under a
+//! (policy-rewriting) budget arbiter.
+
+use adaptive_config::session::RefreshTask;
+use adaptive_config::{QualityPolicy, SessionConfig, SnapshotRecord, StreamSession};
+use codec_core::{CodecError, StreamFileWriter, SyncPolicy};
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use gridlab::{Field3, Scalar};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Stable identifier of a registered stream (assigned by
+/// [`StreamServer::register`], unique for the server's lifetime).
+pub type TenantId = usize;
+
+/// Server-level configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; sessions shard as `tenant_id % workers`.
+    pub workers: usize,
+    /// Bounded capacity of **each** worker's ingestion queue (in-flight
+    /// pushes per shard). Admission control is per shard.
+    pub queue_capacity: usize,
+    /// Queue-occupancy fraction (0..=1) at which quality shedding
+    /// engages; `1.0` disables the ladder (overload then only ever
+    /// rejects).
+    pub degrade_threshold: f64,
+    /// Relax factors, mildest first: occupancy between the threshold and
+    /// saturation maps linearly onto the rungs. Empty = never degrade.
+    pub degrade_ladder: Vec<f64>,
+    /// Global storage contract in bits/value across all budgeted
+    /// tenants; `None` leaves every tenant's own policy untouched.
+    pub global_budget: Option<f64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 16,
+            degrade_threshold: 0.75,
+            degrade_ladder: vec![2.0, 4.0],
+            global_budget: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn check(&self) {
+        assert!(self.workers >= 1, "need at least one worker");
+        assert!(self.queue_capacity >= 1, "need a queue of at least one slot");
+        assert!(
+            (0.0..=1.0).contains(&self.degrade_threshold),
+            "degrade threshold is an occupancy fraction, got {}",
+            self.degrade_threshold
+        );
+        for &f in &self.degrade_ladder {
+            assert!(f >= 1.0 && f.is_finite(), "ladder rungs are relax factors ≥ 1, got {f}");
+        }
+        if let Some(g) = self.global_budget {
+            assert!(g > 0.0 && g.is_finite(), "global budget must be positive, got {g}");
+        }
+    }
+}
+
+/// Per-tenant registration: the session recipe plus service-level knobs.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// The session the server will own for this stream.
+    pub session: SessionConfig,
+    /// Arbiter weight (only meaningful for budgeted tenants under a
+    /// [`ServerConfig::global_budget`]); must be positive.
+    pub weight: f64,
+    /// When set, every accepted frame appends to a durable stream file
+    /// at this path ([`StreamFileWriter`] lifecycle: created at
+    /// registration, finished at [`StreamServer::close_tenant`]).
+    pub stream_path: Option<PathBuf>,
+    /// Durability level of the tenant's stream file.
+    pub sync: SyncPolicy,
+}
+
+impl TenantConfig {
+    /// A tenant with defaults: weight 1, no durable stream.
+    pub fn new(session: SessionConfig) -> Self {
+        Self { session, weight: 1.0, stream_path: None, sync: SyncPolicy::Flush }
+    }
+
+    /// Builder-style: persist frames to a durable stream file.
+    pub fn with_stream(mut self, path: impl Into<PathBuf>, sync: SyncPolicy) -> Self {
+        self.stream_path = Some(path.into());
+        self.sync = sync;
+        self
+    }
+
+    /// Builder-style: arbiter weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(weight > 0.0 && weight.is_finite(), "weight must be positive, got {weight}");
+        self.weight = weight;
+        self
+    }
+}
+
+/// Why the server could not serve a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The shard's ingestion queue is saturated; the push was **not**
+    /// enqueued. Retry, drop the snapshot, or slow the producer — the
+    /// server never stalls the simulation loop.
+    Overloaded {
+        /// In-flight jobs on the tenant's shard at rejection time.
+        queue_len: usize,
+        /// The shard queue's bounded capacity.
+        capacity: usize,
+    },
+    /// No tenant with this id (never registered, or already closed).
+    UnknownTenant(TenantId),
+    /// The server (or this tenant's worker) has shut down.
+    Closed,
+    /// The tenant's durable stream writer failed.
+    Codec(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Overloaded { queue_len, capacity } => {
+                write!(f, "shard queue saturated ({queue_len}/{capacity} in flight)")
+            }
+            ServerError::UnknownTenant(id) => write!(f, "unknown tenant {id}"),
+            ServerError::Closed => write!(f, "server is shut down"),
+            ServerError::Codec(m) => write!(f, "stream writer error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<CodecError> for ServerError {
+    fn from(e: CodecError) -> Self {
+        ServerError::Codec(e.to_string())
+    }
+}
+
+/// What an accepted push produced.
+#[derive(Debug, Clone)]
+pub struct PushOutcome {
+    /// The session's snapshot outcome (containers + stats), exactly what
+    /// a single-tenant [`StreamSession::push_snapshot`] would return.
+    pub record: SnapshotRecord,
+    /// The relax factor admission control applied to this push (`None` =
+    /// full contracted quality). Reported, never silent: the simulation
+    /// always knows when a frame was shed to a looser bound.
+    pub degraded: Option<f64>,
+    /// Frames in the tenant's durable stream after this append (`None`
+    /// when the tenant has no stream file).
+    pub stream_frames: Option<usize>,
+}
+
+/// An in-flight push: redeem with [`PushTicket::wait`] (or poll). Issued
+/// by [`StreamServer::try_push`], which returns as soon as the job is
+/// *admitted* — the asynchronous half of the admission-control contract.
+#[derive(Debug)]
+pub struct PushTicket {
+    rx: Receiver<Result<PushOutcome, ServerError>>,
+}
+
+impl PushTicket {
+    /// Block until the worker finishes this push.
+    pub fn wait(self) -> Result<PushOutcome, ServerError> {
+        self.rx.recv().map_err(|_| ServerError::Closed)?
+    }
+
+    /// Non-blocking poll; `None` while the push is still in flight.
+    pub fn try_wait(&self) -> Option<Result<PushOutcome, ServerError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(crossbeam_channel::TryRecvError::Empty) => None,
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Some(Err(ServerError::Closed)),
+        }
+    }
+}
+
+enum Job<T: Scalar> {
+    Push {
+        tenant: TenantId,
+        field: Field3<T>,
+        /// Relax factor admission control chose (1.0 = none).
+        degrade: f64,
+        reply: Sender<Result<PushOutcome, ServerError>>,
+    },
+    Register {
+        tenant: TenantId,
+        cfg: Box<TenantConfig>,
+        reply: Sender<Result<(), ServerError>>,
+    },
+    /// Arbiter-imposed policy update (budget share recomputation).
+    SetPolicy {
+        tenant: TenantId,
+        policy: QualityPolicy,
+    },
+    Close {
+        tenant: TenantId,
+        /// Total stream-file bytes when the tenant had a writer.
+        reply: Sender<Result<Option<u64>, ServerError>>,
+    },
+}
+
+/// Worker-side tenant state: the session, its optional durable writer,
+/// and the deferred refresh the scheduler is stepping through.
+struct Tenant<T: Scalar> {
+    session: StreamSession,
+    writer: Option<StreamFileWriter>,
+    pending: Option<RefreshTask<T>>,
+}
+
+/// How long an idle worker parks between queue polls once every pending
+/// refresh is drained.
+const IDLE_PARK: Duration = Duration::from_millis(2);
+
+fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>) {
+    let mut tenants: HashMap<TenantId, Tenant<T>> = HashMap::new();
+    // Round-robin cursor over tenants with pending refresh work.
+    let mut refresh_cursor = 0usize;
+    loop {
+        // Queue first: incoming pushes always preempt refresh work.
+        match rx.try_recv() {
+            Ok(job) => {
+                handle_job(&mut tenants, job);
+                continue;
+            }
+            Err(crossbeam_channel::TryRecvError::Disconnected) => break,
+            Err(crossbeam_channel::TryRecvError::Empty) => {}
+        }
+        // Idle: advance one deferred refresh by ONE step (one trial
+        // compression), then re-check the queue — the yieldable
+        // low-priority unit that keeps recalibration from starving
+        // neighbouring streams.
+        let mut pending: Vec<TenantId> =
+            tenants.iter().filter(|(_, t)| t.pending.is_some()).map(|(&id, _)| id).collect();
+        if !pending.is_empty() {
+            pending.sort_unstable();
+            let id = pending[refresh_cursor % pending.len()];
+            refresh_cursor = refresh_cursor.wrapping_add(1);
+            let tenant = tenants.get_mut(&id).expect("listed above");
+            let task = tenant.pending.as_mut().expect("filtered above");
+            if task.step() {
+                let task = tenant.pending.take().expect("present");
+                tenant.session.install_refresh(task);
+            }
+            continue;
+        }
+        // Nothing to do: park until a job lands or the server drops us.
+        match rx.recv_timeout(IDLE_PARK) {
+            Ok(job) => handle_job(&mut tenants, job),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Teardown sweep: the server shut down without closing every tenant.
+    // Writers flush what they have; an unfinished (trailer-less) stream
+    // remains recoverable by scan, so nothing acknowledged is lost.
+    for (_, tenant) in tenants.drain() {
+        if let Some(w) = tenant.writer {
+            let _ = w.finish();
+        }
+    }
+}
+
+fn handle_job<T: Scalar>(tenants: &mut HashMap<TenantId, Tenant<T>>, job: Job<T>) {
+    match job {
+        Job::Register { tenant, cfg, reply } => {
+            let writer = match cfg.stream_path {
+                Some(ref path) => {
+                    match StreamFileWriter::create_with(
+                        path,
+                        cfg.session.dec.num_partitions(),
+                        cfg.sync,
+                    ) {
+                        Ok(w) => Some(w),
+                        Err(e) => {
+                            let _ = reply.send(Err(e.into()));
+                            return;
+                        }
+                    }
+                }
+                None => None,
+            };
+            let session = StreamSession::new(cfg.session.clone());
+            tenants.insert(tenant, Tenant { session, writer, pending: None });
+            let _ = reply.send(Ok(()));
+        }
+        Job::Push { tenant, field, degrade, reply } => {
+            let Some(t) = tenants.get_mut(&tenant) else {
+                let _ = reply.send(Err(ServerError::UnknownTenant(tenant)));
+                return;
+            };
+            // The tenant's own next push drives its pending refresh home
+            // first: models must be refreshed before the next snapshot
+            // compresses, or the multi-tenant byte-identity contract
+            // breaks. (Neighbours' pushes never pass through here — only
+            // this tenant pays.)
+            if let Some(mut task) = t.pending.take() {
+                task.run_to_completion();
+                t.session.install_refresh(task);
+            }
+            let base = t.session.config().policy;
+            if degrade > 1.0 {
+                t.session.set_policy(base.relax(degrade));
+            }
+            let (record, deferred) = t.session.push_snapshot_deferred(&field);
+            if degrade > 1.0 {
+                t.session.set_policy(base);
+            }
+            t.pending = deferred;
+            let mut stream_frames = None;
+            if let Some(w) = t.writer.as_mut() {
+                if let Err(e) = w.append_frame(&record.result.containers) {
+                    let _ = reply.send(Err(e.into()));
+                    return;
+                }
+                stream_frames = Some(w.frames());
+            }
+            let degraded = (degrade > 1.0).then_some(degrade);
+            let _ = reply.send(Ok(PushOutcome { record, degraded, stream_frames }));
+        }
+        Job::SetPolicy { tenant, policy } => {
+            if let Some(t) = tenants.get_mut(&tenant) {
+                t.session.set_policy(policy);
+            }
+        }
+        Job::Close { tenant, reply } => {
+            let Some(mut t) = tenants.remove(&tenant) else {
+                let _ = reply.send(Err(ServerError::UnknownTenant(tenant)));
+                return;
+            };
+            // A pending refresh dies with the session; the stream is
+            // closed, no later snapshot will ever price through it.
+            t.pending = None;
+            let bytes = match t.writer {
+                Some(w) => match w.finish() {
+                    Ok(n) => Some(n),
+                    Err(e) => {
+                        let _ = reply.send(Err(e.into()));
+                        return;
+                    }
+                },
+                None => None,
+            };
+            let _ = reply.send(Ok(bytes));
+        }
+    }
+}
+
+/// Registry row the arbiter prices from.
+struct TenantMeta {
+    shard: usize,
+    /// Values per snapshot (`dec.domain().len()`).
+    cells: usize,
+    weight: f64,
+    /// True when the tenant registered under the global storage contract
+    /// (a `BitrateBudget` policy with [`ServerConfig::global_budget`]
+    /// set).
+    budgeted: bool,
+}
+
+struct Registry {
+    next_id: TenantId,
+    tenants: HashMap<TenantId, TenantMeta>,
+}
+
+/// The session manager. See the module docs for the architecture; all
+/// methods take `&self` and are safe to call from any number of client
+/// threads.
+pub struct StreamServer<T: Scalar> {
+    cfg: ServerConfig,
+    shards: Vec<Sender<Job<T>>>,
+    handles: Vec<JoinHandle<()>>,
+    registry: Mutex<Registry>,
+}
+
+impl<T: Scalar> StreamServer<T> {
+    /// Spawn the worker pool and start serving.
+    pub fn start(cfg: ServerConfig) -> Self {
+        cfg.check();
+        let mut shards = Vec::with_capacity(cfg.workers);
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let (tx, rx) = bounded::<Job<T>>(cfg.queue_capacity);
+            shards.push(tx);
+            handles.push(std::thread::spawn(move || worker_loop(rx)));
+        }
+        Self {
+            cfg,
+            shards,
+            handles,
+            registry: Mutex::new(Registry { next_id: 0, tenants: HashMap::new() }),
+        }
+    }
+
+    /// Server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Register a new stream; its session is created on (and owned by)
+    /// the worker at `id % workers`. Blocks until the worker acknowledges
+    /// (durable-writer creation errors surface here). Joining or leaving
+    /// tenants re-arbitrates the global budget across budgeted sessions.
+    pub fn register(&self, cfg: TenantConfig) -> Result<TenantId, ServerError> {
+        assert!(
+            cfg.weight > 0.0 && cfg.weight.is_finite(),
+            "tenant weight must be positive, got {}",
+            cfg.weight
+        );
+        let budgeted = self.cfg.global_budget.is_some()
+            && matches!(cfg.session.policy, QualityPolicy::BitrateBudget(_));
+        let cells = cfg.session.dec.domain().len();
+        let weight = cfg.weight;
+        let (id, shard) = {
+            let mut reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+            let id = reg.next_id;
+            reg.next_id += 1;
+            let shard = id % self.shards.len();
+            reg.tenants.insert(id, TenantMeta { shard, cells, weight, budgeted });
+            (id, shard)
+        };
+        let (reply_tx, reply_rx) = bounded(1);
+        let sent = self.shards[shard].send(Job::Register {
+            tenant: id,
+            cfg: Box::new(cfg),
+            reply: reply_tx,
+        });
+        let ack = match sent {
+            Ok(()) => reply_rx.recv().map_err(|_| ServerError::Closed)?,
+            Err(_) => Err(ServerError::Closed),
+        };
+        if let Err(e) = ack {
+            self.registry.lock().unwrap_or_else(|p| p.into_inner()).tenants.remove(&id);
+            return Err(e);
+        }
+        if budgeted {
+            self.rearbitrate();
+        }
+        Ok(id)
+    }
+
+    /// Admit one snapshot without waiting for the result — the
+    /// asynchronous push. Returns as soon as the job is enqueued;
+    /// admission control applies exactly as in [`StreamServer::push`].
+    pub fn try_push(&self, tenant: TenantId, field: Field3<T>) -> Result<PushTicket, ServerError> {
+        let shard = {
+            let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+            reg.tenants.get(&tenant).ok_or(ServerError::UnknownTenant(tenant))?.shard
+        };
+        let tx = &self.shards[shard];
+        // Occupancy-driven quality ladder, sampled at admission time.
+        let (len, cap) = (tx.len(), self.cfg.queue_capacity);
+        let occupancy = len as f64 / cap as f64;
+        let degrade =
+            if occupancy >= self.cfg.degrade_threshold && !self.cfg.degrade_ladder.is_empty() {
+                let span = (1.0 - self.cfg.degrade_threshold).max(f64::EPSILON);
+                let depth = ((occupancy - self.cfg.degrade_threshold) / span
+                    * self.cfg.degrade_ladder.len() as f64)
+                    .floor() as usize;
+                self.cfg.degrade_ladder[depth.min(self.cfg.degrade_ladder.len() - 1)]
+            } else {
+                1.0
+            };
+        let (reply_tx, reply_rx) = bounded(1);
+        match tx.try_send(Job::Push { tenant, field, degrade, reply: reply_tx }) {
+            Ok(()) => Ok(PushTicket { rx: reply_rx }),
+            Err(TrySendError::Full(_)) => {
+                Err(ServerError::Overloaded { queue_len: tx.len(), capacity: cap })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServerError::Closed),
+        }
+    }
+
+    /// Compress one snapshot through the tenant's session: admission
+    /// control (typed [`ServerError::Overloaded`] on a saturated shard,
+    /// quality ladder near saturation — the caller is **never** stalled
+    /// by an overloaded server), then block for the worker's result.
+    pub fn push(&self, tenant: TenantId, field: Field3<T>) -> Result<PushOutcome, ServerError> {
+        self.try_push(tenant, field)?.wait()
+    }
+
+    /// In-flight jobs on the tenant's shard right now.
+    pub fn queue_len(&self, tenant: TenantId) -> Result<usize, ServerError> {
+        let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+        let meta = reg.tenants.get(&tenant).ok_or(ServerError::UnknownTenant(tenant))?;
+        Ok(self.shards[meta.shard].len())
+    }
+
+    /// Unregister a tenant: completes every queued push first (FIFO),
+    /// finishes its durable stream (returning the file's total bytes),
+    /// and releases its budget share back to the remaining budgeted
+    /// tenants.
+    pub fn close_tenant(&self, tenant: TenantId) -> Result<Option<u64>, ServerError> {
+        let (shard, budgeted) = {
+            let mut reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+            let meta = reg.tenants.remove(&tenant).ok_or(ServerError::UnknownTenant(tenant))?;
+            (meta.shard, meta.budgeted)
+        };
+        let (reply_tx, reply_rx) = bounded(1);
+        if self.shards[shard].send(Job::Close { tenant, reply: reply_tx }).is_err() {
+            return Err(ServerError::Closed);
+        }
+        let out = reply_rx.recv().map_err(|_| ServerError::Closed)?;
+        if budgeted {
+            self.rearbitrate();
+        }
+        out
+    }
+
+    /// Recompute every budgeted tenant's bits/value share
+    /// (`r_i = G · w_i · Σc_j / Σ(w_j·c_j)`) and impose it via a policy
+    /// update on the owning worker. Total spend equals `G · Σc_j`
+    /// whatever the weights; equal weights give every tenant exactly `G`.
+    fn rearbitrate(&self) {
+        let Some(g) = self.cfg.global_budget else { return };
+        let shares: Vec<(TenantId, usize, f64)> = {
+            let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+            let budgeted: Vec<(&TenantId, &TenantMeta)> =
+                reg.tenants.iter().filter(|(_, m)| m.budgeted).collect();
+            let total_cells: f64 = budgeted.iter().map(|(_, m)| m.cells as f64).sum();
+            let weighted: f64 = budgeted.iter().map(|(_, m)| m.weight * m.cells as f64).sum();
+            if weighted <= 0.0 {
+                return;
+            }
+            budgeted
+                .iter()
+                .map(|(&id, m)| (id, m.shard, g * m.weight * total_cells / weighted))
+                .collect()
+        };
+        for (id, shard, share) in shares {
+            // Blocking send: a budget update must not be droppable. The
+            // queue drains (workers never stop consuming), so this
+            // terminates.
+            let _ = self.shards[shard]
+                .send(Job::SetPolicy { tenant: id, policy: QualityPolicy::BitrateBudget(share) });
+        }
+    }
+
+    /// Stop serving: close every remaining tenant (finishing durable
+    /// streams), then join the workers. Queued work completes first.
+    pub fn shutdown(mut self) -> Result<(), ServerError> {
+        let ids: Vec<TenantId> = {
+            let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
+            reg.tenants.keys().copied().collect()
+        };
+        let mut first_err = None;
+        for id in ids {
+            if let Err(e) = self.close_tenant(id) {
+                first_err.get_or_insert(e);
+            }
+        }
+        self.shards.clear(); // drop senders: workers drain and exit
+        for h in self.handles.drain(..) {
+            h.join().expect("worker panicked");
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<T: Scalar> Drop for StreamServer<T> {
+    fn drop(&mut self) {
+        // shutdown() already drained these on the happy path; this covers
+        // callers that just drop the server. Workers finish queued work,
+        // flush writers, and exit once the senders disappear.
+        self.shards.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_config::QualityPolicy;
+    use gridlab::{Decomposition, Dim3};
+
+    fn field(n: usize, amp: f64, seed: u64) -> Field3<f32> {
+        let mut state = seed;
+        Field3::from_fn(Dim3::cube(n), |x, y, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            let base = if x >= n / 2 && y >= n / 2 { 40.0 * amp } else { 8.0 };
+            (base + amp * noise) as f32
+        })
+    }
+
+    fn session_cfg(n: usize, parts: usize, policy: QualityPolicy) -> SessionConfig {
+        SessionConfig::new(Decomposition::cubic(n, parts).unwrap(), policy)
+    }
+
+    #[test]
+    fn single_tenant_roundtrip_matches_direct_session() {
+        let cfg = session_cfg(16, 2, QualityPolicy::SigmaScaled(0.1));
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 2,
+            degrade_threshold: 1.0,
+            ..ServerConfig::default()
+        });
+        let id = server.register(TenantConfig::new(cfg.clone())).unwrap();
+        let mut direct = StreamSession::new(cfg);
+        for i in 0..3 {
+            let f = field(16, 1.0 + 0.01 * i as f64, 7);
+            let got = server.push(id, f.clone()).unwrap();
+            let want = direct.push_snapshot(&f);
+            assert_eq!(got.degraded, None);
+            assert_eq!(got.record.stats.eb_avg, want.stats.eb_avg);
+            for (a, b) in got.record.result.containers.iter().zip(&want.result.containers) {
+                assert_eq!(a.as_bytes(), b.as_bytes());
+            }
+        }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unknown_tenant_is_typed() {
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig::default());
+        match server.push(99, field(16, 1.0, 1)) {
+            Err(ServerError::UnknownTenant(99)) => {}
+            other => panic!("expected UnknownTenant, got {other:?}"),
+        }
+        assert!(matches!(server.queue_len(3), Err(ServerError::UnknownTenant(3))));
+        assert!(matches!(server.close_tenant(0), Err(ServerError::UnknownTenant(0))));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn forced_degradation_relaxes_quality_and_reports_it() {
+        // threshold 0 + single rung ⇒ every push degrades by exactly 2×.
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 1,
+            degrade_threshold: 0.0,
+            degrade_ladder: vec![2.0],
+            ..ServerConfig::default()
+        });
+        let id = server
+            .register(TenantConfig::new(session_cfg(16, 2, QualityPolicy::FixedEb(0.2))))
+            .unwrap();
+        let out = server.push(id, field(16, 1.0, 3)).unwrap();
+        assert_eq!(out.degraded, Some(2.0));
+        assert_eq!(out.record.stats.eb_avg, 0.4, "FixedEb 0.2 relaxed 2× = 0.4");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn degradation_is_per_push_not_sticky() {
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 1,
+            degrade_threshold: 0.0,
+            degrade_ladder: vec![4.0],
+            ..ServerConfig::default()
+        });
+        let id = server
+            .register(TenantConfig::new(session_cfg(16, 2, QualityPolicy::FixedEb(0.1))))
+            .unwrap();
+        let degraded = server.push(id, field(16, 1.0, 5)).unwrap();
+        assert_eq!(degraded.record.stats.eb_avg, 0.1 * 4.0);
+        // A fresh server without the ladder sees the base policy again —
+        // and the first server's tenant config was never mutated
+        // (degradation swaps the policy back after each push).
+        server.shutdown().unwrap();
+        let calm: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 1,
+            degrade_threshold: 1.0,
+            degrade_ladder: vec![],
+            ..ServerConfig::default()
+        });
+        let id2 = calm
+            .register(TenantConfig::new(session_cfg(16, 2, QualityPolicy::FixedEb(0.1))))
+            .unwrap();
+        let full = calm.push(id2, field(16, 1.0, 5)).unwrap();
+        assert_eq!(full.record.stats.eb_avg, 0.1);
+        assert_eq!(full.degraded, None);
+        calm.shutdown().unwrap();
+    }
+
+    #[test]
+    fn equal_weights_split_the_global_budget_evenly() {
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 2,
+            degrade_threshold: 1.0,
+            global_budget: Some(3.0),
+            ..ServerConfig::default()
+        });
+        let a = server
+            .register(TenantConfig::new(session_cfg(16, 2, QualityPolicy::BitrateBudget(99.0))))
+            .unwrap();
+        let b = server
+            .register(TenantConfig::new(session_cfg(16, 2, QualityPolicy::BitrateBudget(1.0))))
+            .unwrap();
+        // Both tenants' own budget numbers are overwritten by the
+        // arbitrated share: equal weights, equal data ⇒ exactly G each.
+        let out_a = server.push(a, field(16, 2.0, 9)).unwrap();
+        let out_b = server.push(b, field(16, 2.0, 9)).unwrap();
+        assert_eq!(
+            out_a.record.stats.eb_avg, out_b.record.stats.eb_avg,
+            "same share, same field ⇒ same resolved bound"
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn weighted_arbiter_shares_scale_with_weight() {
+        // weight 3 vs 1 on identical data: r_hi = G·3·2c/(4c) = 1.5G,
+        // r_lo = 0.5G — the heavier tenant gets the looser bound (higher
+        // bitrate allowance ⇒ tighter eb... i.e. *more* bits). Verify via
+        // the resolved bounds: more bits/value ⇒ smaller eb.
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 1,
+            degrade_threshold: 1.0,
+            global_budget: Some(2.0),
+            ..ServerConfig::default()
+        });
+        let hi = server
+            .register(
+                TenantConfig::new(session_cfg(16, 2, QualityPolicy::BitrateBudget(1.0)))
+                    .with_weight(3.0),
+            )
+            .unwrap();
+        let lo = server
+            .register(
+                TenantConfig::new(session_cfg(16, 2, QualityPolicy::BitrateBudget(1.0)))
+                    .with_weight(1.0),
+            )
+            .unwrap();
+        let f = field(16, 4.0, 17);
+        let out_hi = server.push(hi, f.clone()).unwrap();
+        let out_lo = server.push(lo, f).unwrap();
+        assert!(
+            out_hi.record.stats.eb_avg < out_lo.record.stats.eb_avg,
+            "more budget ⇒ tighter bound: hi {} vs lo {}",
+            out_hi.record.stats.eb_avg,
+            out_lo.record.stats.eb_avg
+        );
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn durable_stream_lifecycle_appends_and_finishes() {
+        let path = std::env::temp_dir()
+            .join(format!("stream_server_{}_lifecycle.strm", std::process::id()));
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 1,
+            degrade_threshold: 1.0,
+            ..ServerConfig::default()
+        });
+        let id = server
+            .register(
+                TenantConfig::new(session_cfg(16, 2, QualityPolicy::SigmaScaled(0.1)))
+                    .with_stream(&path, SyncPolicy::Flush),
+            )
+            .unwrap();
+        for i in 0..3 {
+            let out = server.push(id, field(16, 1.0 + 0.1 * i as f64, 23)).unwrap();
+            assert_eq!(out.stream_frames, Some(i + 1));
+        }
+        let bytes = server.close_tenant(id).unwrap().expect("tenant had a stream");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), bytes);
+        let reader = codec_core::StreamFileReader::open(&path).unwrap();
+        assert_eq!(reader.frames(), 3);
+        assert_eq!(reader.partitions(), 8);
+        // Closed tenant is gone.
+        assert!(matches!(server.push(id, field(16, 1.0, 23)), Err(ServerError::UnknownTenant(_))));
+        server.shutdown().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saturated_queue_returns_overloaded_not_blocking() {
+        use std::time::Instant;
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            degrade_threshold: 1.0,
+            degrade_ladder: vec![],
+            ..ServerConfig::default()
+        });
+        let id = server
+            .register(TenantConfig::new(session_cfg(32, 2, QualityPolicy::SigmaScaled(0.1))))
+            .unwrap();
+        // Saturate: issue async pushes until admission fails. The worker
+        // compresses 32³ snapshots slower than we can enqueue, so the
+        // 1-slot queue fills within a handful of attempts.
+        let mut tickets = Vec::new();
+        let mut overloaded = None;
+        let t0 = Instant::now();
+        for i in 0..1000 {
+            match server.try_push(id, field(32, 1.0 + 0.001 * i as f64, 31)) {
+                Ok(t) => tickets.push(t),
+                Err(e) => {
+                    overloaded = Some((e, t0.elapsed()));
+                    break;
+                }
+            }
+        }
+        let (err, latency) = overloaded.expect("a 1-slot queue must saturate");
+        match err {
+            ServerError::Overloaded { capacity: 1, .. } => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // The rejection was immediate — no stall anywhere near a single
+        // compress, let alone a queue drain.
+        assert!(latency < Duration::from_secs(5), "rejection took {latency:?}");
+        // Everything that WAS admitted completes.
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn drop_without_shutdown_flushes_writers() {
+        let path =
+            std::env::temp_dir().join(format!("stream_server_{}_drop.strm", std::process::id()));
+        {
+            let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+                workers: 1,
+                degrade_threshold: 1.0,
+                ..ServerConfig::default()
+            });
+            let id = server
+                .register(
+                    TenantConfig::new(session_cfg(16, 2, QualityPolicy::SigmaScaled(0.1)))
+                        .with_stream(&path, SyncPolicy::Flush),
+                )
+                .unwrap();
+            server.push(id, field(16, 1.0, 41)).unwrap();
+            // Dropped, not shut down.
+        }
+        // The teardown sweep finished the stream: it opens directly.
+        let reader = codec_core::StreamFileReader::open(&path).unwrap();
+        assert_eq!(reader.frames(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

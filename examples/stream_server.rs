@@ -1,0 +1,115 @@
+//! Multi-stream compression service: several simulation ranks, each
+//! producing its own evolving field, feed one shared `StreamServer`. The
+//! rank threads are caller-owned (`CommGroup` mints their communicator
+//! handles — the server does not spawn them), one rank's stream is
+//! "poisoned" with continuous drift to exercise the yieldable
+//! recalibration path, and the final `allreduce` aggregates the achieved
+//! ratios exactly as the single-rank examples do.
+//!
+//! ```text
+//! cargo run --release --example stream_server
+//! ```
+
+use adaptive_config::comm::CommGroup;
+use adaptive_config::{QualityPolicy, SessionConfig};
+use gridlab::Decomposition;
+use nyxlite::NyxConfig;
+use stream_server::{ServerConfig, StreamServer, TenantConfig};
+
+fn main() {
+    let n = 32;
+    let ranks = 6;
+    let steps = 4;
+
+    let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+        workers: 3,
+        queue_capacity: 8,
+        global_budget: Some(4.0),
+        ..ServerConfig::default()
+    });
+
+    // One tenant per rank. Rank 0 streams under the global storage
+    // contract; the rest use sigma-scaled bounds. Rank `ranks - 1` is the
+    // poisoned stream: its snapshots hop between unrelated universes and
+    // its drift threshold is dialled to zero, so every push schedules a
+    // deferred recalibration — the worst neighbour the scheduler faces.
+    let dec = Decomposition::cubic(n, 2).expect("2 divides 32");
+    let tenants: Vec<_> = (0..ranks)
+        .map(|rank| {
+            let policy = if rank == 0 {
+                QualityPolicy::BitrateBudget(4.0)
+            } else {
+                QualityPolicy::SigmaScaled(0.1)
+            };
+            let mut session = SessionConfig::new(dec.clone(), policy);
+            if rank == ranks - 1 {
+                session = session.with_drift_threshold(1e-6);
+            }
+            server.register(TenantConfig::new(session)).expect("server is accepting registrations")
+        })
+        .collect();
+
+    // Caller-owned rank threads: CommGroup attaches a communicator to
+    // each, no run_ranks fan-out needed.
+    let group = CommGroup::new(ranks);
+    let per_rank = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let comm = group.comm(rank);
+                let server = &server;
+                let tenant = tenants[rank];
+                s.spawn(move || {
+                    let poisoned = rank == ranks - 1;
+                    let mut ratio_sum = 0.0;
+                    let mut recals = 0usize;
+                    for step in 0..steps {
+                        // Calm ranks evolve smoothly along redshift; the
+                        // poisoned rank hops to a fresh universe each step.
+                        let seed = if poisoned { 100 * step as u64 + 11 } else { rank as u64 };
+                        let z = 42.0 - 2.0 * step as f64;
+                        let snap = NyxConfig::new(n, seed).generate(z);
+                        let out = server
+                            .push(tenant, snap.temperature.clone())
+                            .expect("push admitted: queues sized for the offered load");
+                        ratio_sum += out.record.result.original_bytes as f64
+                            / out.record.result.compressed_bytes as f64;
+                        if out.record.stats.recalibration
+                            == adaptive_config::Recalibration::Refreshed
+                        {
+                            recals += 1;
+                        }
+                        // Lockstep like a real simulation loop: every rank
+                        // finishes step k before any starts k + 1.
+                        comm.barrier();
+                    }
+                    let mean_ratio = ratio_sum / steps as f64;
+                    let global_ratio = comm.allreduce_mean(mean_ratio);
+                    (mean_ratio, recals, global_ratio)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect::<Vec<_>>()
+    });
+
+    println!("{ranks} streams x {steps} snapshots through the service:");
+    for (rank, (ratio, recals, _)) in per_rank.iter().enumerate() {
+        let tag = if rank == ranks - 1 {
+            " (poisoned)"
+        } else if rank == 0 {
+            " (budgeted)"
+        } else {
+            ""
+        };
+        println!("  rank {rank}{tag}: mean ratio {ratio:6.1}x, {recals} recalibration(s)");
+    }
+    println!("fleet mean ratio (allreduce): {:.1}x", per_rank[0].2);
+    let (_, poisoned_recals, _) = per_rank[ranks - 1];
+    assert!(
+        poisoned_recals >= steps - 1,
+        "the poisoned stream recalibrates on every post-calibration snapshot, \
+         got {poisoned_recals}/{}",
+        steps - 1
+    );
+    server.shutdown().expect("clean shutdown");
+    println!("server shut down cleanly");
+}

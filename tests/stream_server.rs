@@ -1,0 +1,301 @@
+//! Acceptance suite for the multi-stream compression service:
+//!
+//! * **Isolation / determinism** — ≥8 concurrent sessions driven from ≥8
+//!   client threads produce, per stream, frames byte-identical to a
+//!   single-tenant [`StreamSession`] fed the same snapshots, whatever the
+//!   cross-tenant interleaving (including streams that drift and
+//!   recalibrate mid-series).
+//! * **Fault injection** — a saturated shard rejects with the typed
+//!   [`ServerError::Overloaded`] without ever stalling the caller, and a
+//!   near-saturated queue sheds quality through the configured ladder
+//!   (reported per push, never silent).
+//! * **Fairness** — one poisoned stream recalibrating on every snapshot
+//!   must not starve its neighbours: their p99 push latency stays within
+//!   2× the uncontended p99 (same topology, nobody poisoned).
+
+use adaptive_config::{QualityPolicy, Recalibration, SessionConfig, StreamSession};
+use gridlab::{Decomposition, Dim3, Field3};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+use stream_server::{ServerConfig, ServerError, StreamServer, TenantConfig};
+
+/// Deterministic pseudo-random field: a two-level step structure plus
+/// LCG noise. `amp` controls the dynamic range; jumping `amp` between
+/// snapshots changes per-partition bit rates enough to trip the drift
+/// detector, while a constant `amp` stream transfers its models for free.
+fn field(n: usize, amp: f64, seed: u64) -> Field3<f32> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+    Field3::from_fn(Dim3::cube(n), |x, y, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        let base = if x >= n / 2 && y >= n / 2 { 40.0 * amp } else { 8.0 };
+        (base + amp * noise) as f32
+    })
+}
+
+/// Per-tenant snapshot series. Odd tenants hop amplitude mid-series so
+/// their streams drift and exercise the deferred-refresh path; even
+/// tenants evolve smoothly.
+fn series(tenant: usize, steps: usize, n: usize) -> Vec<Field3<f32>> {
+    (0..steps)
+        .map(|step| {
+            let amp = if tenant % 2 == 1 && step >= steps / 2 {
+                30.0 + tenant as f64
+            } else {
+                1.0 + 0.05 * step as f64
+            };
+            field(n, amp, (tenant as u64 + 1) * 1000 + step as u64)
+        })
+        .collect()
+}
+
+fn session_cfg(n: usize, policy: QualityPolicy) -> SessionConfig {
+    SessionConfig::new(Decomposition::cubic(n, 2).expect("2 divides n"), policy)
+}
+
+/// A session that treats ANY residual as drift: every post-calibration
+/// push schedules a recalibration — the drift-poisoned stream.
+fn poisoned_cfg(n: usize, policy: QualityPolicy) -> SessionConfig {
+    session_cfg(n, policy).with_drift_threshold(1e-9)
+}
+
+#[test]
+fn eight_threaded_streams_match_single_tenant_byte_for_byte() {
+    let n = 16;
+    let steps = 5;
+    let streams = 8;
+    // 3 workers for 8 tenants: every worker owns at least two sessions,
+    // so cross-tenant interleaving on a shared shard is guaranteed.
+    let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+        workers: 3,
+        queue_capacity: 8,
+        degrade_threshold: 1.0, // determinism: quality shedding off
+        degrade_ladder: vec![],
+        global_budget: None,
+    });
+    // Odd tenants run drift-poisoned configs: with amplitude hops AND a
+    // zero drift threshold they recalibrate on every snapshot, so the
+    // byte-identity contract is proven across the deferred-refresh path
+    // too, not just the steady transfer path.
+    let cfg_for = |t: usize| {
+        if t % 2 == 1 {
+            poisoned_cfg(n, QualityPolicy::SigmaScaled(0.1))
+        } else {
+            session_cfg(n, QualityPolicy::SigmaScaled(0.1))
+        }
+    };
+    let tenants: Vec<_> = (0..streams)
+        .map(|t| server.register(TenantConfig::new(cfg_for(t))).expect("registration"))
+        .collect();
+
+    // 8 client threads hammer the server concurrently (no lockstep — the
+    // interleaving is whatever the scheduler produces).
+    let served: Vec<Vec<Vec<Vec<u8>>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..streams)
+            .map(|t| {
+                let server = &server;
+                let tenant = tenants[t];
+                s.spawn(move || {
+                    series(t, steps, n)
+                        .into_iter()
+                        .map(|f| {
+                            let out = server.push(tenant, f).expect("push succeeds");
+                            assert_eq!(out.degraded, None, "shedding is off");
+                            out.record
+                                .result
+                                .containers
+                                .iter()
+                                .map(|c| c.as_bytes().to_vec())
+                                .collect::<Vec<_>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    server.shutdown().expect("clean shutdown");
+
+    // Reference: one single-tenant session per stream, same snapshots.
+    for (t, served_frames) in served.iter().enumerate() {
+        let mut reference = StreamSession::new(cfg_for(t));
+        let mut refreshed = 0;
+        for (step, f) in series(t, steps, n).iter().enumerate() {
+            let want = reference.push_snapshot(f);
+            if want.stats.recalibration == Recalibration::Refreshed {
+                refreshed += 1;
+            }
+            let got = &served_frames[step];
+            assert_eq!(got.len(), want.result.containers.len());
+            for (p, want_c) in want.result.containers.iter().enumerate() {
+                assert_eq!(
+                    got[p].as_slice(),
+                    want_c.as_bytes(),
+                    "stream {t}, snapshot {step}, partition {p} diverged from single-tenant"
+                );
+            }
+        }
+        if t % 2 == 1 {
+            assert!(refreshed > 0, "odd stream {t} was built to drift at least once");
+        }
+    }
+}
+
+#[test]
+fn saturated_shard_rejects_with_typed_overloaded() {
+    let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        degrade_threshold: 1.0,
+        degrade_ladder: vec![],
+        global_budget: None,
+    });
+    let id = server
+        .register(TenantConfig::new(session_cfg(32, QualityPolicy::SigmaScaled(0.1))))
+        .expect("registration");
+    let mut tickets = Vec::new();
+    let mut rejection = None;
+    let t0 = Instant::now();
+    for step in 0..1000 {
+        match server.try_push(id, field(32, 1.0 + 0.001 * step as f64, 5)) {
+            Ok(t) => tickets.push(t),
+            Err(e) => {
+                rejection = Some((e, t0.elapsed()));
+                break;
+            }
+        }
+    }
+    let (err, waited) = rejection.expect("a 1-slot queue under a spam loop must saturate");
+    assert!(
+        matches!(err, ServerError::Overloaded { capacity: 1, .. }),
+        "expected Overloaded, got {err:?}"
+    );
+    // The contract is "never stall the caller": rejection happens at
+    // admission time, not after a queue drain.
+    assert!(waited < Duration::from_secs(10), "rejection took {waited:?}");
+    for t in tickets {
+        t.wait().expect("admitted pushes complete");
+    }
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn overload_shedding_degrades_quality_and_reports_the_factor() {
+    // threshold 0 forces every push onto the ladder's last rung the
+    // moment anything is queued; with a free queue the first rung holds.
+    // Deterministic variant: threshold 0 + one rung ⇒ every push sheds 2×.
+    let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        degrade_threshold: 0.0,
+        degrade_ladder: vec![2.0],
+        global_budget: None,
+    });
+    let id = server
+        .register(TenantConfig::new(session_cfg(16, QualityPolicy::FixedEb(0.25))))
+        .expect("registration");
+    let shed = server.push(id, field(16, 1.0, 13)).expect("push");
+    assert_eq!(shed.degraded, Some(2.0), "shedding must be reported, not silent");
+    assert_eq!(shed.record.stats.eb_avg, 0.5, "FixedEb 0.25 relaxed 2× = 0.5");
+    server.shutdown().expect("clean shutdown");
+
+    // Same tenant config on an unloaded server: full contracted quality.
+    let calm: StreamServer<f32> = StreamServer::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        degrade_threshold: 1.0,
+        degrade_ladder: vec![],
+        global_budget: None,
+    });
+    let id = calm
+        .register(TenantConfig::new(session_cfg(16, QualityPolicy::FixedEb(0.25))))
+        .expect("registration");
+    let full = calm.push(id, field(16, 1.0, 13)).expect("push");
+    assert_eq!(full.degraded, None);
+    assert_eq!(full.record.stats.eb_avg, 0.25);
+    calm.shutdown().expect("clean shutdown");
+}
+
+/// Drive `streams` lockstepped client threads against a fresh server,
+/// poisoning the last stream when asked (a new, unrelated universe every
+/// snapshot ⇒ drift + deferred recalibration on every push). Returns the
+/// pooled post-warmup push latencies of the first `streams - 1` (calm)
+/// streams.
+fn fairness_run(streams: usize, steps: usize, poisoned: bool) -> Vec<Duration> {
+    let n = 16;
+    let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+        workers: 4,
+        queue_capacity: 8,
+        degrade_threshold: 1.0, // measure scheduling, not shedding
+        degrade_ladder: vec![],
+        global_budget: None,
+    });
+    let tenants: Vec<_> = (0..streams)
+        .map(|t| {
+            let cfg = if poisoned && t == streams - 1 {
+                poisoned_cfg(n, QualityPolicy::SigmaScaled(0.1))
+            } else {
+                session_cfg(n, QualityPolicy::SigmaScaled(0.1))
+            };
+            server.register(TenantConfig::new(cfg)).expect("registration")
+        })
+        .collect();
+    let barrier = Barrier::new(streams);
+    let per_stream: Vec<Vec<Duration>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..streams)
+            .map(|t| {
+                let server = &server;
+                let barrier = &barrier;
+                let tenant = tenants[t];
+                s.spawn(move || {
+                    let poison_me = poisoned && t == streams - 1;
+                    let mut lat = Vec::with_capacity(steps);
+                    for step in 0..steps {
+                        // Calm streams hold their statistics (models
+                        // transfer for free); the poisoned stream jumps
+                        // to a fresh amplitude regime every snapshot.
+                        let f = if poison_me {
+                            field(n, 3.0 + 17.0 * (step % 3) as f64, 777 + step as u64)
+                        } else {
+                            field(n, 1.0, t as u64 + 1)
+                        };
+                        barrier.wait(); // lockstep: all ranks push together
+                        let t0 = Instant::now();
+                        server.push(tenant, f).expect("push succeeds");
+                        lat.push(t0.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    server.shutdown().expect("clean shutdown");
+    // Pool the calm streams' latencies, skipping each stream's first push
+    // (full calibration, an order of magnitude above steady state).
+    per_stream[..streams - 1].iter().flat_map(|l| l.iter().skip(1).copied()).collect()
+}
+
+fn p99(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[(samples.len() as f64 * 0.99).ceil() as usize - 1]
+}
+
+#[test]
+fn poisoned_stream_cannot_starve_neighbours() {
+    let streams = 8;
+    let steps = 12;
+    // Phase A: uncontended baseline — same topology, nobody poisoned.
+    let mut calm = fairness_run(streams, steps, false);
+    // Phase B: stream 7 recalibrates on every snapshot.
+    let mut contended = fairness_run(streams, steps, true);
+    let p99_calm = p99(&mut calm);
+    let p99_contended = p99(&mut contended);
+    // The scheduling contract: recalibration is a yieldable low-priority
+    // unit, so one drifting tenant costs its neighbours at most one
+    // in-flight refresh step, never a whole recalibration.
+    assert!(
+        p99_contended <= p99_calm * 2,
+        "neighbour p99 {p99_contended:?} exceeds 2x the uncontended p99 {p99_calm:?}"
+    );
+}

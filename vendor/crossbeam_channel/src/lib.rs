@@ -1,0 +1,482 @@
+//! Offline stand-in for `crossbeam-channel` 0.5: the bounded-MPMC subset.
+//!
+//! The build container has no crates.io access, so this shim re-implements
+//! exactly the API surface the workspace's stream server uses: `bounded`
+//! channels with clonable `Sender`/`Receiver` endpoints, non-blocking
+//! `try_send`/`try_recv`, blocking `send`/`recv`, and `recv_timeout`.
+//! Semantics match upstream where the subset overlaps:
+//!
+//! * FIFO per channel; every message is delivered to exactly one receiver.
+//! * A channel is **disconnected** when all endpoints of one side have
+//!   dropped. Sends to a receiver-less channel fail immediately; receives
+//!   drain any buffered messages first and only then report disconnection
+//!   (upstream's "disconnected means empty AND no senders" rule).
+//! * `try_send` on a full channel returns [`TrySendError::Full`] without
+//!   blocking — the primitive admission control builds on.
+//!
+//! Not implemented: zero-capacity rendezvous channels (`bounded(0)`
+//! panics here; upstream turns them into handoffs), `unbounded`, `select!`
+//! and the `Iterator`/`IntoIterator` glue. Built on `std::sync`
+//! Mutex + Condvar; poisoning is absorbed (a panicking holder of the
+//! queue lock cannot leave it half-mutated — every critical section is a
+//! single push/pop).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The send half failed because every receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Why a `try_send` did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The buffer is at capacity — the caller's backpressure signal.
+    Full(T),
+    /// Every receiver is gone; the channel can never drain.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The message that was not sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+
+    /// True when the failure is backpressure, not teardown.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+}
+
+/// The receive half failed: the buffer is empty and every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Why a `try_recv` returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now (senders may still produce).
+    Empty,
+    /// Empty and every sender is gone.
+    Disconnected,
+}
+
+/// Why a `recv_timeout` returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with the buffer still empty.
+    Timeout,
+    /// Empty and every sender is gone.
+    Disconnected,
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+impl std::error::Error for RecvError {}
+impl std::error::Error for TryRecvError {}
+impl std::error::Error for RecvTimeoutError {}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    cap: usize,
+    /// Signalled when a message lands or the last sender leaves.
+    not_empty: Condvar,
+    /// Signalled when a slot frees or the last receiver leaves.
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // Absorb poisoning: see the module docs.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Create a bounded FIFO channel holding at most `cap` in-flight
+/// messages. Both endpoints clone freely (MPMC). Panics when `cap` is 0
+/// (upstream's rendezvous mode is outside this shim's subset).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "this shim does not implement zero-capacity rendezvous channels");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner { queue: VecDeque::with_capacity(cap), senders: 1, receivers: 1 }),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+/// The sending half; clone per producer.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; clone per consumer.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueue without blocking, or report `Full`/`Disconnected` — the
+    /// admission-control primitive: an overloaded queue surfaces here
+    /// instead of stalling the caller.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.lock();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if inner.queue.len() >= self.shared.cap {
+            return Err(TrySendError::Full(value));
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, blocking while the buffer is full. Fails only when every
+    /// receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.lock();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if inner.queue.len() < self.shared.cap {
+                inner.queue.push_back(value);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.shared.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.shared.cap
+    }
+
+    /// The channel's fixed capacity.
+    pub fn capacity(&self) -> Option<usize> {
+        Some(self.shared.cap)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.lock();
+        match inner.queue.pop_front() {
+            Some(v) => {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                Ok(v)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Dequeue, blocking while the buffer is empty. Fails only when the
+    /// buffer is empty *and* every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.not_empty.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// [`recv`](Receiver::recv) with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's fixed capacity.
+    pub fn capacity(&self) -> Option<usize> {
+        Some(self.shared.cap)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            drop(inner);
+            // Blocked receivers must wake to observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            drop(inner);
+            // Blocked senders must wake to observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sender {{ len: {}, cap: {} }}", self.len(), self.shared.cap)
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Receiver {{ len: {}, cap: {} }}", self.len(), self.shared.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn try_send_reports_full_without_blocking() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(tx.is_full());
+        match tx.try_send(3) {
+            Err(TrySendError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn drop_all_receivers_disconnects_senders() {
+        let (tx, rx) = bounded::<u32>(1);
+        let rx2 = rx.clone();
+        drop(rx);
+        tx.try_send(7).unwrap(); // one receiver still alive
+        drop(rx2);
+        assert_eq!(tx.try_send(8), Err(TrySendError::Disconnected(8)));
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn drop_all_senders_drains_then_disconnects() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        // Buffered messages still arrive after the last sender leaves.
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(42).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn blocked_sender_wakes_when_a_slot_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || tx.send(2)); // blocks: full
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 250;
+        let (tx, rx) = bounded(8);
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        tx.send(p * PER_PRODUCER + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expected, "every message delivered exactly once");
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected_loudly() {
+        assert!(std::panic::catch_unwind(|| bounded::<u8>(0)).is_err());
+    }
+}

@@ -4,7 +4,11 @@
 //! crate supplies `RngCore`, `SeedableRng`, and the `Rng` extension trait
 //! (`gen`, `gen_range`, `gen_bool`) the workspace calls. Floating-point
 //! conversion follows rand's convention: 53 random mantissa bits mapped
-//! uniformly onto `[0, 1)`.
+//! uniformly onto `[0, 1)`. Integer `gen_range` reproduces upstream
+//! 0.8.5's `UniformInt::sample_single` exactly — Lemire widening-multiply
+//! rejection (exact-modulo zone for ≤16-bit types, bitmask zone above) —
+//! so integer draws consume the same generator words and yield the same
+//! values as real rand over any `RngCore`.
 
 use std::ops::Range;
 
@@ -98,26 +102,71 @@ impl Uniformable for f32 {
     }
 }
 
+// Integer sampling reproduces upstream rand 0.8.5 exactly:
+//
+// * `sample_unit` mirrors the `Standard` distribution's width rule —
+//   types ≤ 32 bits truncate one `next_u32`, 64-bit types take one
+//   `next_u64`, and `usize`/`isize` follow the target's pointer width —
+//   so each draw consumes the same generator words as upstream.
+// * `sample_range` is `UniformInt::sample_single` (Lemire's
+//   widening-multiply rejection): `gen_range(low..high)` delegates to
+//   `sample_single_inclusive(low, high - 1)`, whose span over a non-empty
+//   exclusive range is `high - low` (never zero, so the upstream
+//   full-range special case cannot trigger). A raw `$u_large` word `v` is
+//   widened, multiplied by the span, and split into `(hi, lo)` halves;
+//   `hi` is the candidate and `lo` is rejected above the zone — the exact
+//   modulo zone for the small types (≤ 16 bits), the shifted power-of-two
+//   approximation for the rest, both per upstream.
 macro_rules! impl_uniform_int {
-    ($($t:ty),*) => {$(
-        impl Uniformable for $t {
-            fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> $t {
-                rng.next_u64() as $t
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty, $unit:ident) => {
+        impl Uniformable for $ty {
+            fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> $ty {
+                rng.$unit() as $ty
             }
-            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<$ty>) -> $ty {
                 assert!(range.start < range.end, "empty range");
-                let span = (range.end as i128 - range.start as i128) as u128;
-                // Modulo, NOT upstream rand's Lemire rejection: bias is
-                // < 2^-64 per draw, but streams diverge from upstream
-                // here (no in-tree caller draws integer ranges).
-                let draw = rng.next_u64() as u128 % span;
-                (range.start as i128 + draw as i128) as $t
+                let span =
+                    (range.end as $unsigned).wrapping_sub(range.start as $unsigned) as $u_large;
+                let zone = if <$unsigned>::BITS <= 16 {
+                    // Exact zone by modulo — upstream's fast path for the
+                    // 8/16-bit types.
+                    let ints_to_reject = (<$u_large>::MAX - span + 1) % span;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    // Conservative power-of-two zone; the `- 1` keeps the
+                    // `<=` comparison unbiased (upstream's comment).
+                    (span << span.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = rng.$unit() as $u_large;
+                    let m = (v as $wide) * (span as $wide);
+                    let hi = (m >> <$u_large>::BITS) as $u_large;
+                    let lo = m as $u_large;
+                    if lo <= zone {
+                        return range.start.wrapping_add(hi as $ty);
+                    }
+                }
             }
         }
-    )*};
+    };
 }
 
-impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_uniform_int!(u8, u8, u32, u64, next_u32);
+impl_uniform_int!(u16, u16, u32, u64, next_u32);
+impl_uniform_int!(u32, u32, u32, u64, next_u32);
+impl_uniform_int!(u64, u64, u64, u128, next_u64);
+impl_uniform_int!(i8, u8, u32, u64, next_u32);
+impl_uniform_int!(i16, u16, u32, u64, next_u32);
+impl_uniform_int!(i32, u32, u32, u64, next_u32);
+impl_uniform_int!(i64, u64, u64, u128, next_u64);
+#[cfg(target_pointer_width = "64")]
+impl_uniform_int!(usize, usize, usize, u128, next_u64);
+#[cfg(target_pointer_width = "64")]
+impl_uniform_int!(isize, usize, usize, u128, next_u64);
+#[cfg(target_pointer_width = "32")]
+impl_uniform_int!(usize, usize, usize, u64, next_u32);
+#[cfg(target_pointer_width = "32")]
+impl_uniform_int!(isize, usize, usize, u64, next_u32);
 
 /// User-facing extension methods, auto-implemented for every generator.
 pub trait Rng: RngCore {
@@ -173,5 +222,97 @@ mod tests {
             let i = r.gen_range(5usize..17);
             assert!((5..17).contains(&i));
         }
+    }
+
+    /// Replays a fixed word tape, so the tests below pin the exact
+    /// arithmetic rand 0.8.5 performs on known generator output.
+    struct Tape {
+        words: Vec<u64>,
+        i: usize,
+    }
+
+    impl Tape {
+        fn new(words: &[u64]) -> Self {
+            Tape { words: words.to_vec(), i: 0 }
+        }
+    }
+
+    impl RngCore for Tape {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let w = self.words[self.i];
+            self.i += 1;
+            w
+        }
+    }
+
+    #[test]
+    fn u32_gen_range_is_rand_08_lemire_rejection() {
+        // gen_range(0u32..10) = sample_single_inclusive(0, 9):
+        // span 10, zone = (10 << 28) − 1 = 0x9FFF_FFFF.
+        //   v = 0           → hi 0, lo 0              → accept 0
+        //   v = 0x8000_0000 → 10·v = 0x5_0000_0000    → hi 5, lo 0 → 5
+        //   v = 0xFFFF_FFFF → 10·v = 0x9_FFFF_FFF6    → lo 0xFFFF_FFF6
+        //                     > zone → REJECT, consume another word
+        //   v = 7           → hi 0, lo 70             → accept 0
+        let mut r = Tape::new(&[0, 0x8000_0000, 0xFFFF_FFFF, 7]);
+        assert_eq!(r.gen_range(0u32..10), 0);
+        assert_eq!(r.gen_range(0u32..10), 5);
+        assert_eq!(r.gen_range(0u32..10), 0);
+        assert_eq!(r.i, 4, "the rejected word must be consumed, as upstream does");
+    }
+
+    #[test]
+    fn small_int_gen_range_uses_the_exact_modulo_zone() {
+        // i8 takes upstream's ≤16-bit fast path: gen_range(-128i8..127)
+        // has inclusive span 255, ints_to_reject = (2³² − 255) % 255 = 1,
+        // zone = 0xFFFF_FFFE. v = 0xFFFF_FFFF → 255·v = 0xFE_FFFF_FF01 →
+        // hi 254, lo 0xFFFF_FF01 ≤ zone → accept −128 + 254 = 126, the
+        // range's top value.
+        let mut r = Tape::new(&[0xFFFF_FFFF]);
+        assert_eq!(r.gen_range(-128i8..127), 126);
+        assert_eq!(r.i, 1);
+    }
+
+    #[test]
+    fn u64_gen_range_widens_through_u128() {
+        // gen_range(0u64..6): span 6, zone = (6 << 61) − 1 =
+        // 0xBFFF_FFFF_FFFF_FFFF.
+        //   v = u64::MAX → 6·v = 0x5_FFFF_FFFF_FFFF_FFFA → lo > zone →
+        //                  REJECT
+        //   v = 3        → hi 0 → accept 0
+        //   v = 1 << 62  → 6·v = 0x1_8000_…_0000 → hi 1, lo 0x8000_… ≤
+        //                  zone → accept 1
+        let mut r = Tape::new(&[u64::MAX, 3, 1 << 62]);
+        assert_eq!(r.gen_range(0u64..6), 0);
+        assert_eq!(r.gen_range(0u64..6), 1);
+        assert_eq!(r.i, 3);
+    }
+
+    #[test]
+    fn integer_sample_unit_width_matches_rand_08() {
+        // Standard-distribution width rule: ≤32-bit types truncate one
+        // u32 draw, 64-bit types take one u64 draw.
+        let mut r = Tape::new(&[0x0102_0304, 0xDEAD_BEEF_CAFE_F00D]);
+        let b: u8 = r.gen();
+        assert_eq!(b, 0x04, "u8 truncates a u32 word");
+        let w: u64 = r.gen();
+        assert_eq!(w, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(r.i, 2);
+    }
+
+    #[test]
+    fn gen_range_covers_bounds_and_stays_inside() {
+        let mut r = Lcg(11);
+        let (mut saw_lo, mut saw_hi) = (false, false);
+        for _ in 0..4000 {
+            let v = r.gen_range(-3i32..3);
+            assert!((-3..3).contains(&v));
+            saw_lo |= v == -3;
+            saw_hi |= v == 2;
+        }
+        assert!(saw_lo && saw_hi, "both range ends must be reachable");
     }
 }

@@ -1,0 +1,47 @@
+//! Pins integer `gen_range` draws over a real ChaCha8 stream.
+//!
+//! Two facts combine to make these literals equal genuine rand 0.8.5 +
+//! rand_chacha 0.3 output: the shim's ChaCha8 word stream is pinned
+//! against upstream vectors (see `src/lib.rs` tests), and the shim's
+//! integer `gen_range` reproduces `UniformInt::sample_single`'s Lemire
+//! widening-multiply rejection arithmetic exactly (see the hand-derived
+//! tape tests in the `rand` shim). Any regression in either layer —
+//! word order, widening width, zone computation, rejection consumption —
+//! shifts these sequences.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn u32_draws_match_rand_08_stream() {
+    let mut r = ChaCha8Rng::seed_from_u64(42);
+    let got: Vec<u32> = (0..6).map(|_| r.gen_range(0u32..100)).collect();
+    assert_eq!(got, [22, 68, 14, 95, 77, 42]);
+}
+
+#[test]
+fn u64_draws_match_rand_08_stream() {
+    // 64-bit ranges consume two ChaCha words per accepted draw (one
+    // next_u64) and widen through u128.
+    let mut r = ChaCha8Rng::seed_from_u64(42);
+    let got: Vec<u64> = (0..4).map(|_| r.gen_range(0u64..1_000_003)).collect();
+    assert_eq!(got, [681898, 950278, 427517, 627362]);
+}
+
+#[test]
+fn usize_draws_match_rand_08_stream() {
+    // On 64-bit targets usize follows the u64 path, per upstream's
+    // target_pointer_width dispatch.
+    let mut r = ChaCha8Rng::seed_from_u64(7);
+    let got: Vec<usize> = (0..6).map(|_| r.gen_range(0usize..17)).collect();
+    assert_eq!(got, [12, 10, 6, 1, 14, 6]);
+}
+
+#[test]
+fn i8_draws_match_rand_08_stream() {
+    // Signed small ints: unsigned-span arithmetic plus the ≤16-bit
+    // exact-modulo zone, one u32 word per accepted draw.
+    let mut r = ChaCha8Rng::seed_from_u64(7);
+    let got: Vec<i8> = (0..6).map(|_| r.gen_range(-100i8..100)).collect();
+    assert_eq!(got, [-72, -69, -64, -67, -46, 40]);
+}
