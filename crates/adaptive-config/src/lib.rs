@@ -47,8 +47,8 @@ pub use error_model::fft::FftErrorModel;
 pub use error_model::halo::HaloErrorModel;
 pub use optimizer::{OptimizedConfig, Optimizer, QualityTarget};
 pub use pipeline::{InSituPipeline, PipelineConfig, PipelineResult};
-pub use ratio_model::{CodecModelBank, PartitionFeature, RatioModel};
+pub use ratio_model::{CalibrationError, CodecModelBank, PartitionFeature, RatioModel};
 pub use session::{
-    QualityPolicy, Recalibration, RefreshTask, SessionConfig, SnapshotRecord, SnapshotStats,
-    StreamSession,
+    PushError, QualityPolicy, Recalibration, RefreshTask, SessionConfig, SnapshotRecord,
+    SnapshotStats, StreamSession,
 };

@@ -29,7 +29,8 @@
 
 use crate::optimizer::{OptimizedConfig, Optimizer, QualityTarget};
 use crate::ratio_model::{
-    extract_features, sample_bricks, CalibrationReport, CodecModelBank, PartitionFeature,
+    extract_features, sample_bricks, CalibrationError, CalibrationReport, CodecModelBank,
+    PartitionFeature,
 };
 use codec_core::{CodecId, Container};
 use gridlab::{Decomposition, Field3, GridError, Scalar};
@@ -188,16 +189,18 @@ impl InSituPipeline {
     /// bound in `sweep`), then build the pipeline. This is the one-off
     /// trial step; it replaces the traditional per-snapshot
     /// trial-and-error. Returns the primary codec's diagnostics; see
-    /// [`InSituPipeline::calibrate_all`] for every backend's.
+    /// [`InSituPipeline::calibrate_all`] for every backend's. Fails with
+    /// a typed [`CalibrationError`] when the sample bricks carry
+    /// non-finite cells (the fit would be silently poisoned).
     pub fn calibrate<T: Scalar>(
         cfg: PipelineConfig,
         field: &Field3<T>,
         sample_stride: usize,
         sweep: &[f64],
-    ) -> (Self, CalibrationReport) {
-        let (pipeline, mut reports) = Self::calibrate_all(cfg, field, sample_stride, sweep);
+    ) -> Result<(Self, CalibrationReport), CalibrationError> {
+        let (pipeline, mut reports) = Self::calibrate_all(cfg, field, sample_stride, sweep)?;
         let primary = reports.remove(0).1;
-        (pipeline, primary)
+        Ok((pipeline, primary))
     }
 
     /// [`InSituPipeline::calibrate`] returning the per-codec diagnostics
@@ -207,11 +210,11 @@ impl InSituPipeline {
         field: &Field3<T>,
         sample_stride: usize,
         sweep: &[f64],
-    ) -> (Self, Vec<(CodecId, CalibrationReport)>) {
+    ) -> Result<(Self, Vec<(CodecId, CalibrationReport)>), CalibrationError> {
         let bricks = sample_bricks(field, &cfg.dec, sample_stride);
         let refs: Vec<&Field3<T>> = bricks.iter().collect();
-        let (models, reports) = CodecModelBank::calibrate(&cfg.codecs, &refs, sweep);
-        (Self::with_models(cfg, models), reports)
+        let (models, reports) = CodecModelBank::calibrate(&cfg.codecs, &refs, sweep)?;
+        Ok((Self::with_models(cfg, models), reports))
     }
 
     /// Read-only view of the pipeline configuration.
@@ -371,7 +374,8 @@ mod tests {
         let field = contrast_field(n);
         let dec = Decomposition::cubic(n, parts).unwrap();
         let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg));
-        let (p, _) = InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
+        let (p, _) = InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8])
+            .expect("finite field calibrates");
         (p, field)
     }
 
@@ -380,7 +384,8 @@ mod tests {
         let dec = Decomposition::cubic(n, parts).unwrap();
         let cfg =
             PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg)).with_codecs(&CodecId::ALL);
-        let (p, _) = InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
+        let (p, _) = InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8])
+            .expect("finite field calibrates");
         (p, field)
     }
 
@@ -512,7 +517,8 @@ mod tests {
                 &field,
                 1.max(parts / 2),
                 &[0.05, 0.1, 0.2, 0.4, 0.8],
-            );
+            )
+            .expect("finite field calibrates");
             let a = p.run_adaptive(&field).ratio();
             let t = p.run_traditional(&field, 0.2).ratio();
             a / t
@@ -587,7 +593,8 @@ mod tests {
         let field = contrast_field(16);
         let dec = Decomposition::cubic(16, 2).unwrap();
         let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(0.2));
-        let (p, _) = InSituPipeline::calibrate(cfg, &field, 2, &[0.1, 0.2, 0.4]);
+        let (p, _) = InSituPipeline::calibrate(cfg, &field, 2, &[0.1, 0.2, 0.4])
+            .expect("finite field calibrates");
         // rsz-only bank, but a config that enables both codecs:
         let both =
             PipelineConfig::new(dec, QualityTarget::fft_only(0.2)).with_codecs(&CodecId::ALL);

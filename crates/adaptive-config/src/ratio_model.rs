@@ -69,6 +69,34 @@ pub struct RatioModel {
 /// Floor for predicted coefficients/bit rates so inversions stay finite.
 const C_FLOOR: f64 = 1e-4;
 
+/// Why a calibration attempt was rejected. Non-finite inputs used to
+/// leak NaN coefficients into the bank (where `NaN > threshold` is
+/// silently `false` and the drift detector goes blind); they are now a
+/// typed error at the fit boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CalibrationError {
+    /// A sample partition's mean is NaN/∞ — the field carries non-finite
+    /// cells and the `mean → C` fit would be poisoned.
+    NonFiniteMean { brick: usize, mean: f64 },
+    /// A trial compression reported a NaN/∞ bit rate at this bound.
+    NonFiniteRate { brick: usize, eb: f64, rate: f64 },
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFiniteMean { brick, mean } => {
+                write!(f, "sample brick {brick} has non-finite mean {mean}")
+            }
+            Self::NonFiniteRate { brick, eb, rate } => {
+                write!(f, "sample brick {brick} measured non-finite bit rate {rate} at eb {eb}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
 /// Per-sample diagnostics from calibration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CalibrationReport {
@@ -123,7 +151,7 @@ impl RatioModel {
         bricks: &[&Field3<T>],
         eb_sweep: &[f64],
         base: &SzConfig,
-    ) -> (RatioModel, CalibrationReport) {
+    ) -> Result<(RatioModel, CalibrationReport), CalibrationError> {
         Self::calibrate_by(bricks, eb_sweep, |brick, eb| {
             let mut cfg = *base;
             cfg.mode = rsz::ErrorMode::Abs(eb);
@@ -140,7 +168,7 @@ impl RatioModel {
         codec: CodecId,
         bricks: &[&Field3<T>],
         eb_sweep: &[f64],
-    ) -> (RatioModel, CalibrationReport) {
+    ) -> Result<(RatioModel, CalibrationReport), CalibrationError> {
         Self::calibrate_by(bricks, eb_sweep, |brick, eb| {
             let c = Container::compress(codec, brick.as_slice(), brick.dims(), eb);
             8.0 * c.payload_len() as f64 / brick.len() as f64
@@ -149,11 +177,19 @@ impl RatioModel {
 
     /// The paper's two-step fit over an arbitrary bit-rate measurement
     /// (bits/value at a given bound).
+    ///
+    /// Rejects non-finite sample means and measured rates with a typed
+    /// [`CalibrationError`] (a NaN anywhere in the fit would otherwise
+    /// propagate into every later prediction, where `NaN > threshold`
+    /// comparisons silently disable the drift detector). Zero-variance
+    /// sample sets — all bricks sharing one mean, e.g. a constant field —
+    /// degrade to a flat `C(mean)` fit instead of panicking the
+    /// least-squares solver on degenerate abscissae.
     pub fn calibrate_by<T: Scalar>(
         bricks: &[&Field3<T>],
         eb_sweep: &[f64],
         measure: impl Fn(&Field3<T>, f64) -> f64,
-    ) -> (RatioModel, CalibrationReport) {
+    ) -> Result<(RatioModel, CalibrationReport), CalibrationError> {
         assert!(bricks.len() >= 2, "need at least two sample partitions");
         assert!(eb_sweep.len() >= 2, "need at least two bounds in the sweep");
         let ln_ebs: Vec<f64> = eb_sweep.iter().map(|e| e.ln()).collect();
@@ -162,11 +198,20 @@ impl RatioModel {
         let mut exponents = Vec::with_capacity(bricks.len());
         let mut ln_rates: Vec<Vec<f64>> = Vec::with_capacity(bricks.len());
         let mut means = Vec::with_capacity(bricks.len());
-        for brick in bricks {
+        for (b, brick) in bricks.iter().enumerate() {
             let mean = gridlab::stats::mean(brick.as_slice());
+            if !mean.is_finite() {
+                return Err(CalibrationError::NonFiniteMean { brick: b, mean });
+            }
             means.push(mean);
-            let rates: Vec<f64> =
-                eb_sweep.iter().map(|&eb| measure(brick, eb).max(1e-6).ln()).collect();
+            let mut rates = Vec::with_capacity(eb_sweep.len());
+            for &eb in eb_sweep {
+                let rate = measure(brick, eb);
+                if !rate.is_finite() {
+                    return Err(CalibrationError::NonFiniteRate { brick: b, eb, rate });
+                }
+                rates.push(rate.max(1e-6).ln());
+            }
             let (_, slope) = linear_fit(&ln_ebs, &rates);
             exponents.push(slope);
             ln_rates.push(rates);
@@ -184,17 +229,25 @@ impl RatioModel {
             })
             .collect();
         let xs: Vec<f64> = means.iter().map(|&m| ln_mean(m)).collect();
-        let (a0, a1) = linear_fit(&xs, &coeffs);
+        let spread = xs.iter().fold(f64::NEG_INFINITY, |a, &x| a.max(x))
+            - xs.iter().fold(f64::INFINITY, |a, &x| a.min(x));
+        let (a0, a1) = if spread > 1e-12 {
+            linear_fit(&xs, &coeffs)
+        } else {
+            // Identical means (constant field): C cannot depend on the
+            // mean, so fit the constant model C(mean) = mean(C_m).
+            (coeffs.iter().sum::<f64>() / coeffs.len() as f64, 0.0)
+        };
         let r2 = r_squared(&xs, &coeffs, a0, a1);
 
-        (
+        Ok((
             RatioModel { c: c_shared, a0, a1 },
             CalibrationReport {
                 samples: means.into_iter().zip(coeffs).collect(),
                 exponents,
                 c_fit_r2: r2,
             },
-        )
+        ))
     }
 }
 
@@ -236,6 +289,22 @@ pub fn sample_bricks<T: Scalar>(
         .enumerate()
         .filter(|(i, _)| i % stride == 0)
         .map(|(_, p)| field.extract(p.origin, p.dims))
+        .collect()
+}
+
+/// Extract the bricks for an explicit partition-id list — the localised
+/// drift-refresh path samples exactly the partitions whose residual
+/// tripped the threshold rather than a blind stride.
+pub fn bricks_at<T: Scalar>(
+    field: &Field3<T>,
+    dec: &gridlab::Decomposition,
+    ids: &[usize],
+) -> Vec<Field3<T>> {
+    ids.iter()
+        .map(|&id| {
+            let p = dec.partition(id).expect("partition id in range");
+            field.extract(p.origin, p.dims)
+        })
         .collect()
 }
 
@@ -301,16 +370,16 @@ impl CodecModelBank {
         codecs: &[CodecId],
         bricks: &[&Field3<T>],
         eb_sweep: &[f64],
-    ) -> (Self, Vec<(CodecId, CalibrationReport)>) {
+    ) -> Result<(Self, Vec<(CodecId, CalibrationReport)>), CalibrationError> {
         assert!(!codecs.is_empty(), "need at least one codec");
         let mut entries = Vec::with_capacity(codecs.len());
         let mut reports = Vec::with_capacity(codecs.len());
         for &codec in codecs {
-            let (model, report) = RatioModel::calibrate_codec(codec, bricks, eb_sweep);
+            let (model, report) = RatioModel::calibrate_codec(codec, bricks, eb_sweep)?;
             entries.push((codec, model));
             reports.push((codec, report));
         }
-        (Self::new(entries), reports)
+        Ok((Self::new(entries), reports))
     }
 
     /// The model fitted for `codec`, if enabled.
@@ -371,6 +440,7 @@ mod tests {
             .collect();
         let refs: Vec<&Field3<f32>> = bricks.iter().collect();
         RatioModel::calibrate(&refs, &[0.05, 0.1, 0.2, 0.4, 0.8], &SzConfig::abs(1.0))
+            .expect("finite bricks calibrate")
     }
 
     #[test]
@@ -470,7 +540,8 @@ mod tests {
             .collect();
         let refs: Vec<&Field3<f32>> = bricks.iter().collect();
         let sweep = [0.05, 0.1, 0.2, 0.4, 0.8];
-        let (bank, reports) = CodecModelBank::calibrate(&CodecId::ALL, &refs, &sweep);
+        let (bank, reports) =
+            CodecModelBank::calibrate(&CodecId::ALL, &refs, &sweep).expect("finite bricks");
         assert_eq!(bank.len(), 2);
         assert_eq!(reports.len(), 2);
         for (codec, model) in bank.entries() {
@@ -478,6 +549,59 @@ mod tests {
         }
         assert_eq!(bank.primary().0, CodecId::Rsz);
         assert!(bank.get(CodecId::Zfp).is_some());
+    }
+
+    #[test]
+    fn nan_laced_bricks_are_a_typed_error_not_a_nan_model() {
+        let good = brick(8, 2.0, 20.0, 1);
+        let mut bad = brick(8, 2.0, 20.0, 2);
+        bad.as_mut_slice()[7] = f32::NAN;
+        let refs = [&good, &bad];
+        let err = RatioModel::calibrate(&refs, &[0.1, 0.4], &SzConfig::abs(1.0)).unwrap_err();
+        assert!(matches!(err, CalibrationError::NonFiniteMean { brick: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn non_finite_measured_rate_is_a_typed_error() {
+        let a = brick(8, 2.0, 20.0, 1);
+        let b = brick(8, 2.0, 40.0, 2);
+        let refs = [&a, &b];
+        let err = RatioModel::calibrate_by(&refs, &[0.1, 0.4], |_, eb| {
+            if eb > 0.2 {
+                f64::INFINITY
+            } else {
+                4.0
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, CalibrationError::NonFiniteRate { brick: 0, .. }), "{err}");
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn constant_bricks_calibrate_to_a_flat_finite_model() {
+        // All sample means identical → degenerate ln-mean abscissae. This
+        // used to panic linear_fit ("x values are degenerate"); now it
+        // must degrade to a mean-independent coefficient.
+        let a = Field3::<f32>::constant(Dim3::cube(8), 7.25);
+        let b = Field3::<f32>::constant(Dim3::cube(8), 7.25);
+        let refs = [&a, &b];
+        let (model, _) =
+            RatioModel::calibrate(&refs, &[0.1, 0.4], &SzConfig::abs(1.0)).expect("flat fit");
+        assert_eq!(model.a1, 0.0);
+        assert!(model.a0.is_finite() && model.c.is_finite());
+        assert!(model.predict_bitrate(7.25, 0.1).is_finite());
+    }
+
+    #[test]
+    fn bricks_at_extracts_the_requested_partitions() {
+        let f = brick(16, 1.0, 0.0, 2);
+        let dec = Decomposition::cubic(16, 4).unwrap();
+        let picked = bricks_at(&f, &dec, &[3, 17]);
+        assert_eq!(picked.len(), 2);
+        let all = dec.split(&f);
+        assert_eq!(picked[0].as_slice(), all[3].as_slice());
+        assert_eq!(picked[1].as_slice(), all[17].as_slice());
     }
 
     #[test]

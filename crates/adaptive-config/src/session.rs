@@ -17,10 +17,49 @@
 //!   instead of assumed). When structure formation drifts the rate curves
 //!   past the threshold, the session runs an **incremental recalibration**:
 //!   a sampled refresh over a small brick subset and a short bound sweep
-//!   (reusing [`sample_bricks`] + the [`RatioModel::calibrate_by`]
-//!   plumbing via [`CodecModelBank::calibrate`]), several times cheaper
-//!   than the first-snapshot calibration. The refreshed models take effect
+//!   (reusing the [`RatioModel::calibrate_by`] plumbing via
+//!   [`CodecModelBank::calibrate`]), several times cheaper than the
+//!   first-snapshot calibration. The refreshed models take effect
 //!   from the next snapshot — no snapshot is ever compressed twice.
+//!
+//! ## Per-partition drift localisation
+//!
+//! The drift signal is per-partition before it is a mean:
+//! [`drift_residuals`] reports each partition's relative
+//! |predicted − measured| bit-rate error, and [`drift_residual`] is its
+//! mean. When the mean trips [`SessionConfig::drift_threshold`], the
+//! refresh samples **only the partitions whose own residual exceeds the
+//! threshold** (padded to the fit's two-brick minimum with the
+//! worst-residual partitions, and evenly subsampled down to the old
+//! stride-derived brick count if a global shift trips *every*
+//! partition). The sample always includes the two **calmest** partitions
+//! as healthy anchors: the refreshed models replace the bank globally,
+//! and a fit drawn only from anomalous bricks would mis-price every
+//! partition that never drifted. A moving shock front therefore refits
+//! from the handful of bricks it is crossing plus two anchors, while a
+//! full regime shift degrades to exactly the old whole-bank sampled
+//! refresh — the localised path's worst case *is* the previous
+//! behaviour, never more. The deferred
+//! [`RefreshTask`] captures the same partition list, so inline and
+//! deferred refreshes stay bit-for-bit identical.
+//! [`SnapshotStats::refreshed_partitions`] and
+//! [`SnapshotRecord::residuals`] expose the localisation for audit.
+//!
+//! ## Non-finite ingestion
+//!
+//! A field carrying NaN/∞ cells cannot be modeled: partition means go
+//! NaN, the fit poisons the bank, and every later `residual > threshold`
+//! comparison is silently `false` — a blinded drift detector, the worst
+//! failure mode of all. [`StreamSession::push_snapshot`] therefore
+//! screens the field and rejects non-finite input with a typed
+//! [`PushError::NonFiniteInput`] before any state changes; the session
+//! stays usable for the next (finite) snapshot. Residual terms are also
+//! saturated: a non-finite prediction or an invalid bound reads as a
+//! huge residual (drift **fires**) rather than a NaN comparison (drift
+//! silently disabled). The chaos harness (`tests/chaos_matrix.rs`,
+//! driven by the `scenarios` workload zoo) pins both behaviours, plus
+//! the true-positive/false-positive envelope of the detector on every
+//! scenario series.
 //!
 //! Per-snapshot outcomes ([`SnapshotRecord`]) carry the containers (ready
 //! for a `codec_core::StreamWriter` frame) plus [`SnapshotStats`] with the
@@ -58,11 +97,49 @@
 
 use crate::optimizer::{HaloTarget, QualityTarget};
 use crate::pipeline::{InSituPipeline, PipelineConfig, PipelineResult, Timings};
-use crate::ratio_model::{sample_bricks, CalibrationReport, CodecModelBank, RatioModel};
+use crate::ratio_model::{
+    bricks_at, sample_bricks, CalibrationError, CalibrationReport, CodecModelBank, RatioModel,
+};
 use codec_core::{fnv1a64, CodecId, Container};
 use gridlab::{Decomposition, Field3, Scalar};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
+
+/// Why a snapshot push was rejected. The session state is untouched by a
+/// rejected push — the caller can fix or drop the offending snapshot and
+/// continue the series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PushError {
+    /// The field carries NaN/∞ cells; modeling it would silently corrupt
+    /// the bank (see the module's non-finite ingestion notes).
+    NonFiniteInput {
+        /// How many cells are NaN/∞.
+        non_finite: usize,
+        /// Total cells in the field.
+        cells: usize,
+    },
+    /// Model calibration rejected the sampled bricks.
+    Calibration(CalibrationError),
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::NonFiniteInput { non_finite, cells } => {
+                write!(f, "field has {non_finite} non-finite of {cells} cells")
+            }
+            PushError::Calibration(e) => write!(f, "calibration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+impl From<CalibrationError> for PushError {
+    fn from(e: CalibrationError) -> Self {
+        PushError::Calibration(e)
+    }
+}
 
 /// How a session derives each snapshot's average-bound budget.
 ///
@@ -325,6 +402,11 @@ pub struct SnapshotStats {
     /// Wall-clock cost of calibration/refresh work this snapshot (zero
     /// when [`Recalibration::Skipped`]).
     pub model_cost: Duration,
+    /// How many partitions this snapshot's refresh sampled (0 unless
+    /// [`Recalibration::Refreshed`]) — the localisation audit trail: a
+    /// localised drift refits from few bricks, a global regime shift from
+    /// the full stride-derived sample set.
+    pub refreshed_partitions: usize,
     /// The pipeline run's phase timings (features / optimize / compress).
     pub timings: Timings,
 }
@@ -345,6 +427,10 @@ impl SnapshotStats {
 pub struct SnapshotRecord {
     pub result: PipelineResult,
     pub stats: SnapshotStats,
+    /// Per-partition drift residuals of this snapshot (the terms whose
+    /// mean is `stats.drift_residual`) — which partitions the models
+    /// mis-priced, and by how much.
+    pub residuals: Vec<f64>,
 }
 
 /// Measured bit rates this small (bits/value) are treated as the floor
@@ -384,11 +470,15 @@ impl StreamSession {
         }
     }
 
-    /// Compress the next snapshot of the series.
-    pub fn push_snapshot<T: Scalar>(&mut self, field: &Field3<T>) -> SnapshotRecord {
-        let (record, task) = self.push_inner(field, false);
+    /// Compress the next snapshot of the series. Rejects non-finite
+    /// fields with a typed [`PushError`] (session state untouched).
+    pub fn push_snapshot<T: Scalar>(
+        &mut self,
+        field: &Field3<T>,
+    ) -> Result<SnapshotRecord, PushError> {
+        let (record, task) = self.push_inner(field, false)?;
         debug_assert!(task.is_none(), "inline pushes complete their refresh in place");
-        record
+        Ok(record)
     }
 
     /// [`push_snapshot`](StreamSession::push_snapshot), with drift-
@@ -411,7 +501,7 @@ impl StreamSession {
     pub fn push_snapshot_deferred<T: Scalar>(
         &mut self,
         field: &Field3<T>,
-    ) -> (SnapshotRecord, Option<RefreshTask<T>>) {
+    ) -> Result<(SnapshotRecord, Option<RefreshTask<T>>), PushError> {
         self.push_inner(field, true)
     }
 
@@ -419,7 +509,13 @@ impl StreamSession {
         &mut self,
         field: &Field3<T>,
         defer_refresh: bool,
-    ) -> (SnapshotRecord, Option<RefreshTask<T>>) {
+    ) -> Result<(SnapshotRecord, Option<RefreshTask<T>>), PushError> {
+        // Screen before touching any state: a NaN/∞ cell would poison the
+        // Welford σ, the partition means, and ultimately the model bank.
+        let non_finite = field.as_slice().iter().filter(|v| !v.is_finite()).count();
+        if non_finite > 0 {
+            return Err(PushError::NonFiniteInput { non_finite, cells: field.len() });
+        }
         let sigma = gridlab::stats::summarize(field.as_slice()).std_dev();
         let mut model_cost = Duration::ZERO;
         let mut recalibration = Recalibration::Skipped;
@@ -429,7 +525,7 @@ impl StreamSession {
             let t = Instant::now();
             let eb0 = self.cfg.policy.bootstrap_eb(sigma);
             let sweep: Vec<f64> = self.cfg.sweep_multipliers.iter().map(|m| m * eb0).collect();
-            let bank = self.fit_bank(field, self.cfg.calib_stride, &sweep, true);
+            let bank = self.fit_bank(field, self.cfg.calib_stride, &sweep, true)?;
             let target = Self::target_for(self.cfg.halo, eb0);
             let pc = PipelineConfig {
                 dec: self.cfg.dec.clone(),
@@ -457,14 +553,22 @@ impl StreamSession {
         let mut result = pipeline.run_with_features(field, features);
         result.timings.features = features_time;
 
-        let drift_residual = drift_residual(&result, &pipeline.optimizer.models);
+        let residuals = drift_residuals(&result, &pipeline.optimizer.models);
+        let drift_residual = mean_residual(&residuals);
+        let mut refreshed_partitions = 0usize;
         if recalibration == Recalibration::Skipped && drift_residual > self.cfg.drift_threshold {
             let t = Instant::now();
             let sweep: Vec<f64> = self.cfg.refresh_multipliers.iter().map(|m| m * eb_avg).collect();
+            let ids = localized_refresh_ids(
+                &residuals,
+                self.cfg.drift_threshold,
+                self.cfg.refresh_stride,
+            );
+            refreshed_partitions = ids.len();
             if defer_refresh {
-                deferred = Some(self.refresh_task(field, &sweep));
+                deferred = Some(self.refresh_task(field, &ids, &sweep));
             } else {
-                let bank = self.fit_bank(field, self.cfg.refresh_stride, &sweep, false);
+                let bank = self.fit_bank_at(field, &ids, &sweep)?;
                 self.pipeline.as_mut().expect("calibrated").set_models(bank);
             }
             model_cost += t.elapsed();
@@ -477,22 +581,26 @@ impl StreamSession {
             recalibration,
             drift_residual,
             model_cost,
+            refreshed_partitions,
             timings: result.timings,
         };
         self.history.push(stats);
         self.last_drift = drift_residual;
-        (SnapshotRecord { result, stats }, deferred)
+        Ok((SnapshotRecord { result, stats, residuals }, deferred))
     }
 
-    /// Capture a deferred refresh: the same brick subset and sweep the
-    /// inline path would use, cloned at detection time so later field
-    /// mutations cannot leak into the fit.
-    fn refresh_task<T: Scalar>(&self, field: &Field3<T>, sweep: &[f64]) -> RefreshTask<T> {
-        let parts = self.cfg.dec.num_partitions();
-        let stride = self.cfg.refresh_stride.min(parts - 1).max(1);
+    /// Capture a deferred refresh: the same localised brick subset and
+    /// sweep the inline path would use, cloned at detection time so later
+    /// field mutations cannot leak into the fit.
+    fn refresh_task<T: Scalar>(
+        &self,
+        field: &Field3<T>,
+        ids: &[usize],
+        sweep: &[f64],
+    ) -> RefreshTask<T> {
         RefreshTask {
             codecs: self.cfg.codecs.clone(),
-            bricks: sample_bricks(field, &self.cfg.dec, stride),
+            bricks: bricks_at(field, &self.cfg.dec, ids),
             sweep: sweep.to_vec(),
             measured: Vec::new(),
         }
@@ -531,16 +639,30 @@ impl StreamSession {
         stride: usize,
         sweep: &[f64],
         keep_reports: bool,
-    ) -> CodecModelBank {
+    ) -> Result<CodecModelBank, CalibrationError> {
         let parts = self.cfg.dec.num_partitions();
         let stride = stride.min(parts - 1).max(1);
         let bricks = sample_bricks(field, &self.cfg.dec, stride);
         let refs: Vec<&Field3<T>> = bricks.iter().collect();
-        let (bank, reports) = CodecModelBank::calibrate(&self.cfg.codecs, &refs, sweep);
+        let (bank, reports) = CodecModelBank::calibrate(&self.cfg.codecs, &refs, sweep)?;
         if keep_reports {
             self.calibration_reports = reports;
         }
-        bank
+        Ok(bank)
+    }
+
+    /// Fit one model per enabled codec from an explicit partition-id list
+    /// — the localised refresh path.
+    fn fit_bank_at<T: Scalar>(
+        &self,
+        field: &Field3<T>,
+        ids: &[usize],
+        sweep: &[f64],
+    ) -> Result<CodecModelBank, CalibrationError> {
+        let bricks = bricks_at(field, &self.cfg.dec, ids);
+        let refs: Vec<&Field3<T>> = bricks.iter().collect();
+        let (bank, _) = CodecModelBank::calibrate(&self.cfg.codecs, &refs, sweep)?;
+        Ok(bank)
     }
 
     fn target_for(halo: Option<HaloTarget>, eb_avg: f64) -> QualityTarget {
@@ -706,6 +828,13 @@ impl<T: Scalar> RefreshTask<T> {
         self.codecs.len() * self.bricks.len() * self.sweep.len()
     }
 
+    /// How many partitions this refresh samples — the localisation
+    /// audit: few for a localised drift, the stride-derived full sample
+    /// count for a global regime shift.
+    pub fn sampled_partitions(&self) -> usize {
+        self.bricks.len()
+    }
+
     /// Steps not yet performed.
     pub fn remaining(&self) -> usize {
         self.total_steps() - self.measured.len()
@@ -753,7 +882,8 @@ impl<T: Scalar> RefreshTask<T> {
                 let i = next.get();
                 next.set(i + 1);
                 self.measured[i]
-            });
+            })
+            .expect("measurements of a screened (finite) field replay finitely");
             entries.push((codec, model));
         }
         CodecModelBank::new(entries)
@@ -937,22 +1067,87 @@ impl SessionCheckpoint {
     }
 }
 
+/// Residual value substituted when a partition's prediction cannot be
+/// evaluated (non-finite model output, non-finite measurement, or an
+/// invalid bound). Any such partition must *fire* the drift detector:
+/// the naive arithmetic would produce NaN, and `NaN > threshold` is
+/// silently `false` — a broken model would disable its own alarm.
+pub const RESIDUAL_SATURATION: f64 = 1e9;
+
+/// Per-partition relative |predicted − measured| bit rate of one run
+/// under the models that produced it — the drift signal before
+/// averaging, and the input to drift localisation. Partitions whose
+/// prediction cannot be evaluated saturate to [`RESIDUAL_SATURATION`].
+pub fn drift_residuals(result: &PipelineResult, bank: &CodecModelBank) -> Vec<f64> {
+    let measured = result.measured_bitrates();
+    result
+        .features
+        .iter()
+        .zip(&result.ebs)
+        .zip(&result.codecs)
+        .zip(&measured)
+        .map(|(((f, &eb), codec), &m)| {
+            let model = bank.get(*codec).expect("run's codec is in the bank");
+            if !(eb > 0.0 && eb.is_finite()) {
+                return RESIDUAL_SATURATION;
+            }
+            let predicted = model.predict_bitrate(f.mean, eb);
+            let term = (predicted - m).abs() / m.max(BITRATE_FLOOR);
+            if term.is_finite() {
+                term
+            } else {
+                RESIDUAL_SATURATION
+            }
+        })
+        .collect()
+}
+
 /// Mean relative |predicted − measured| per-partition bit rate of one run
-/// under the models that produced it — the session's drift signal.
+/// under the models that produced it — the session's drift signal (the
+/// mean of [`drift_residuals`]).
 pub fn drift_residual(result: &PipelineResult, bank: &CodecModelBank) -> f64 {
-    if result.features.is_empty() {
+    mean_residual(&drift_residuals(result, bank))
+}
+
+fn mean_residual(residuals: &[f64]) -> f64 {
+    if residuals.is_empty() {
         return 0.0;
     }
-    let measured = result.measured_bitrates();
-    let mut acc = 0.0;
-    for (((f, &eb), codec), &m) in
-        result.features.iter().zip(&result.ebs).zip(&result.codecs).zip(&measured)
-    {
-        let predicted =
-            bank.get(*codec).expect("run's codec is in the bank").predict_bitrate(f.mean, eb);
-        acc += (predicted - m).abs() / m.max(BITRATE_FLOOR);
+    residuals.iter().sum::<f64>() / residuals.len() as f64
+}
+
+/// Which partitions a drift-triggered refresh should sample: every
+/// partition over the threshold, padded to the fit's two-brick minimum
+/// with the worst offenders, plus the two *calmest* partitions as healthy
+/// anchors (a refit sampled only from anomalous bricks would replace the
+/// global model with one blind to the undrifted majority), and evenly
+/// subsampled down to the stride-derived budget the old whole-bank
+/// refresh would have used (so the localised path can never cost more
+/// than the previous behaviour).
+fn localized_refresh_ids(residuals: &[f64], threshold: f64, refresh_stride: usize) -> Vec<usize> {
+    let parts = residuals.len();
+    let mut order: Vec<usize> = (0..parts).collect();
+    order.sort_by(|&a, &b| {
+        residuals[b].partial_cmp(&residuals[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ids: Vec<usize> = (0..parts).filter(|&i| residuals[i] > threshold).collect();
+    if ids.len() < 2 {
+        // The mean tripped but fewer than two individual partitions did
+        // (a broad, shallow shift): fall back to the two worst residuals.
+        ids = order.iter().take(2).copied().collect();
     }
-    acc / result.features.len() as f64
+    for &anchor in order.iter().rev().take(2) {
+        if !ids.contains(&anchor) {
+            ids.push(anchor);
+        }
+    }
+    ids.sort_unstable();
+    let stride = refresh_stride.min(parts - 1).max(1);
+    let budget = parts.div_ceil(stride).max(2);
+    if ids.len() > budget {
+        ids = (0..budget).map(|k| ids[k * ids.len() / budget]).collect();
+    }
+    ids
 }
 
 #[cfg(test)]
@@ -983,7 +1178,7 @@ mod tests {
         let mut s = session(32, 4, QualityPolicy::SigmaScaled(0.1));
         for i in 0..4 {
             let field = evolving_field(32, 1.0 + 0.01 * i as f64, 9);
-            let rec = s.push_snapshot(&field);
+            let rec = s.push_snapshot(&field).unwrap();
             if i == 0 {
                 assert_eq!(rec.stats.recalibration, Recalibration::Full);
                 assert!(rec.stats.model_cost > Duration::ZERO);
@@ -1002,7 +1197,7 @@ mod tests {
     fn fixed_policy_keeps_the_budget_fixed() {
         let mut s = session(16, 2, QualityPolicy::FixedEb(0.3));
         for amp in [1.0, 3.0] {
-            let rec = s.push_snapshot(&evolving_field(16, amp, 3));
+            let rec = s.push_snapshot(&evolving_field(16, amp, 3)).unwrap();
             assert_eq!(rec.stats.eb_avg, 0.3);
             let mean = rec.result.ebs.iter().sum::<f64>() / rec.result.ebs.len() as f64;
             assert!(mean <= 0.3 * (1.0 + 1e-9), "mean {mean}");
@@ -1012,15 +1207,15 @@ mod tests {
     #[test]
     fn sigma_policy_tracks_field_amplitude() {
         let mut s = session(16, 2, QualityPolicy::SigmaScaled(0.1));
-        let lo = s.push_snapshot(&evolving_field(16, 1.0, 5)).stats.eb_avg;
-        let hi = s.push_snapshot(&evolving_field(16, 6.0, 5)).stats.eb_avg;
+        let lo = s.push_snapshot(&evolving_field(16, 1.0, 5)).unwrap().stats.eb_avg;
+        let hi = s.push_snapshot(&evolving_field(16, 6.0, 5)).unwrap().stats.eb_avg;
         assert!(hi > lo * 2.0, "budget should scale with contrast: {lo} → {hi}");
     }
 
     #[test]
     fn bitrate_budget_policy_hits_the_predicted_budget() {
         let mut s = session(24, 2, QualityPolicy::BitrateBudget(2.0));
-        let rec = s.push_snapshot(&evolving_field(24, 2.0, 11));
+        let rec = s.push_snapshot(&evolving_field(24, 2.0, 11)).unwrap();
         let predicted = rec.result.decision.as_ref().unwrap().predicted_bitrate;
         // The optimizer redistributes bounds at the resolved eb_avg, so the
         // realised prediction sits near (at or below) the budget.
@@ -1036,16 +1231,16 @@ mod tests {
         let cfg =
             SessionConfig::new(dec, QualityPolicy::SigmaScaled(0.1)).with_drift_threshold(0.05);
         let mut s = StreamSession::new(cfg);
-        s.push_snapshot(&evolving_field(24, 1.0, 21));
+        s.push_snapshot(&evolving_field(24, 1.0, 21)).unwrap();
         // A violently different field: the transferred model must misfit.
-        let rec = s.push_snapshot(&evolving_field(24, 50.0, 77));
+        let rec = s.push_snapshot(&evolving_field(24, 50.0, 77)).unwrap();
         assert_eq!(rec.stats.recalibration, Recalibration::Refreshed);
         assert!(rec.stats.drift_residual > 0.05);
         assert_eq!(s.full_calibrations(), 1, "refresh must not count as full");
         assert_eq!(s.refreshes(), 1);
         // The refreshed model applies from the NEXT snapshot and fits the
         // new regime better.
-        let rec2 = s.push_snapshot(&evolving_field(24, 50.0, 78));
+        let rec2 = s.push_snapshot(&evolving_field(24, 50.0, 78)).unwrap();
         assert!(
             rec2.stats.drift_residual < rec.stats.drift_residual,
             "refresh should reduce the residual: {} → {}",
@@ -1057,10 +1252,10 @@ mod tests {
     #[test]
     fn steady_state_adaptive_cost_is_below_full_calibration_cost() {
         let mut s = session(32, 4, QualityPolicy::SigmaScaled(0.1));
-        let first = s.push_snapshot(&evolving_field(32, 2.0, 31));
+        let first = s.push_snapshot(&evolving_field(32, 2.0, 31)).unwrap();
         let mut steady = Duration::ZERO;
         for i in 0..3 {
-            let rec = s.push_snapshot(&evolving_field(32, 2.0 + 0.01 * i as f64, 31));
+            let rec = s.push_snapshot(&evolving_field(32, 2.0 + 0.01 * i as f64, 31)).unwrap();
             steady = steady.max(rec.stats.adaptive_cost());
         }
         assert!(
@@ -1076,7 +1271,7 @@ mod tests {
         let mut s = session(16, 2, QualityPolicy::SigmaScaled(0.15));
         for amp in [1.0, 4.0, 9.0] {
             let field = evolving_field(16, amp, 41);
-            let rec = s.push_snapshot(&field);
+            let rec = s.push_snapshot(&field).unwrap();
             let dec = &s.pipeline().unwrap().config().dec;
             let recon: Field3<f32> = rec.result.reconstruct(dec).unwrap();
             for ((bo, br), &eb) in
@@ -1093,7 +1288,7 @@ mod tests {
         let cfg =
             SessionConfig::new(dec, QualityPolicy::SigmaScaled(0.1)).with_codecs(&CodecId::ALL);
         let mut s = StreamSession::new(cfg);
-        let rec = s.push_snapshot(&evolving_field(32, 3.0, 13));
+        let rec = s.push_snapshot(&evolving_field(32, 3.0, 13)).unwrap();
         let total: usize = rec.result.codec_counts().iter().map(|(_, n)| n).sum();
         assert_eq!(total, 64);
         assert!(s.models().unwrap().get(CodecId::Zfp).is_some());
@@ -1140,7 +1335,7 @@ mod tests {
         // bound, so the rate curve is flat (c ≈ 0) and cannot be inverted
         // for the budget.
         let flat = Field3::from_fn(Dim3::cube(16), |x, y, z| 5.0 + (x + y + z) as f32 * 1e-3);
-        let rec = s.push_snapshot(&flat);
+        let rec = s.push_snapshot(&flat).unwrap();
         assert!(
             rec.stats.eb_avg > 1e-13 && rec.stats.eb_avg < 1e3,
             "degenerate curve must not produce an absurd bound: {}",
@@ -1153,7 +1348,7 @@ mod tests {
         // Traditional runs carry no features; the signal degrades to 0
         // rather than panicking.
         let mut s = session(16, 2, QualityPolicy::FixedEb(0.2));
-        s.push_snapshot(&evolving_field(16, 1.0, 7));
+        s.push_snapshot(&evolving_field(16, 1.0, 7)).unwrap();
         let p = s.pipeline().unwrap();
         let r = p.run_traditional(&evolving_field(16, 1.0, 7), 0.2);
         assert_eq!(drift_residual(&r, &p.optimizer.models), 0.0);
@@ -1241,15 +1436,15 @@ mod tests {
         let wild1 = evolving_field(24, 50.0, 78);
 
         let mut inline = make();
-        inline.push_snapshot(&calm);
-        let i_drift = inline.push_snapshot(&wild0);
+        inline.push_snapshot(&calm).unwrap();
+        let i_drift = inline.push_snapshot(&wild0).unwrap();
         let inline_bank = inline.models().cloned();
-        let i_after = inline.push_snapshot(&wild1);
+        let i_after = inline.push_snapshot(&wild1).unwrap();
 
         let mut deferred = make();
-        let (_, t) = deferred.push_snapshot_deferred(&calm);
+        let (_, t) = deferred.push_snapshot_deferred(&calm).unwrap();
         assert!(t.is_none(), "no drift on the calibration snapshot");
-        let (d_drift, t) = deferred.push_snapshot_deferred(&wild0);
+        let (d_drift, t) = deferred.push_snapshot_deferred(&wild0).unwrap();
         let mut task = t.expect("drift must hand back a task");
         assert_eq!(d_drift.stats.recalibration, Recalibration::Refreshed);
         assert_eq!(d_drift.stats.drift_residual, i_drift.stats.drift_residual);
@@ -1272,7 +1467,7 @@ mod tests {
             "refreshed banks must agree bit-for-bit"
         );
 
-        let (d_after, t) = deferred.push_snapshot_deferred(&wild1);
+        let (d_after, t) = deferred.push_snapshot_deferred(&wild1).unwrap();
         assert_eq!(
             t.is_some(),
             i_after.stats.recalibration == Recalibration::Refreshed,
@@ -1290,8 +1485,8 @@ mod tests {
         let mut s = StreamSession::new(
             SessionConfig::new(dec, QualityPolicy::SigmaScaled(0.1)).with_drift_threshold(0.05),
         );
-        s.push_snapshot(&evolving_field(24, 1.0, 21));
-        let (_, t) = s.push_snapshot_deferred(&evolving_field(24, 50.0, 77));
+        s.push_snapshot(&evolving_field(24, 1.0, 21)).unwrap();
+        let (_, t) = s.push_snapshot_deferred(&evolving_field(24, 50.0, 77)).unwrap();
         let mut task = t.expect("drift");
         task.step(); // one of several
         assert!(!task.is_done());
@@ -1310,14 +1505,14 @@ mod tests {
         let calm = evolving_field(24, 1.0, 21);
         let wild = evolving_field(24, 50.0, 77);
         let mut a = make();
-        a.push_snapshot(&calm);
-        let (_, ta) = a.push_snapshot_deferred(&wild);
+        a.push_snapshot(&calm).unwrap();
+        let (_, ta) = a.push_snapshot_deferred(&wild).unwrap();
         let mut ta = ta.unwrap();
         ta.run_to_completion();
         a.install_refresh(ta);
         let mut b = make();
-        b.push_snapshot(&calm);
-        let (_, tb) = b.push_snapshot_deferred(&wild);
+        b.push_snapshot(&calm).unwrap();
+        let (_, tb) = b.push_snapshot_deferred(&wild).unwrap();
         let mut tb = tb.unwrap();
         while !tb.step() {}
         b.install_refresh(tb);
@@ -1327,9 +1522,9 @@ mod tests {
     #[test]
     fn set_policy_takes_effect_next_push() {
         let mut s = session(16, 2, QualityPolicy::FixedEb(0.3));
-        assert_eq!(s.push_snapshot(&evolving_field(16, 1.0, 3)).stats.eb_avg, 0.3);
+        assert_eq!(s.push_snapshot(&evolving_field(16, 1.0, 3)).unwrap().stats.eb_avg, 0.3);
         s.set_policy(QualityPolicy::FixedEb(0.15));
-        assert_eq!(s.push_snapshot(&evolving_field(16, 1.0, 3)).stats.eb_avg, 0.15);
+        assert_eq!(s.push_snapshot(&evolving_field(16, 1.0, 3)).unwrap().stats.eb_avg, 0.15);
         assert_eq!(s.config().policy, QualityPolicy::FixedEb(0.15));
         // Invalid swaps fail like the constructor.
         let mut s2 = session(16, 2, QualityPolicy::FixedEb(0.3));
@@ -1354,8 +1549,8 @@ mod tests {
     #[test]
     fn checkpoint_roundtrip_preserves_session_state() {
         let mut s = session(32, 4, QualityPolicy::SigmaScaled(0.1));
-        s.push_snapshot(&evolving_field(32, 2.0, 9));
-        s.push_snapshot(&evolving_field(32, 2.02, 9));
+        s.push_snapshot(&evolving_field(32, 2.0, 9)).unwrap();
+        s.push_snapshot(&evolving_field(32, 2.02, 9)).unwrap();
         let ckpt = s.checkpoint();
         let bytes = s.save();
         assert_eq!(&bytes[..4], b"CKPT");
@@ -1375,16 +1570,16 @@ mod tests {
             (0..4).map(|i| evolving_field(32, 1.5 + 0.02 * i as f64, 13)).collect();
         // Uninterrupted reference run.
         let mut a = session(32, 4, QualityPolicy::SigmaScaled(0.1));
-        let a_recs: Vec<_> = fields.iter().map(|f| a.push_snapshot(f)).collect();
+        let a_recs: Vec<_> = fields.iter().map(|f| a.push_snapshot(f).unwrap()).collect();
         // Crash after snapshot 1, restore, resume.
         let mut b = session(32, 4, QualityPolicy::SigmaScaled(0.1));
-        b.push_snapshot(&fields[0]);
-        b.push_snapshot(&fields[1]);
+        b.push_snapshot(&fields[0]).unwrap();
+        b.push_snapshot(&fields[1]).unwrap();
         let blob = b.save();
         drop(b);
         let mut b = StreamSession::restore(&blob).expect("restores");
         for (i, f) in fields[2..].iter().enumerate() {
-            let rec = b.push_snapshot(f);
+            let rec = b.push_snapshot(f).unwrap();
             let reference = &a_recs[i + 2];
             assert_ne!(
                 rec.stats.recalibration,
@@ -1420,16 +1615,16 @@ mod tests {
         let wild1 = evolving_field(24, 50.0, 78);
 
         let mut a = make();
-        a.push_snapshot(&calm);
-        let a_drift = a.push_snapshot(&wild0);
-        let a_after = a.push_snapshot(&wild1);
+        a.push_snapshot(&calm).unwrap();
+        let a_drift = a.push_snapshot(&wild0).unwrap();
+        let a_after = a.push_snapshot(&wild1).unwrap();
 
         let mut b = make();
-        b.push_snapshot(&calm);
+        b.push_snapshot(&calm).unwrap();
         let b2 = StreamSession::restore(&b.save()).expect("restores");
         let mut b2 = b2;
-        let b_drift = b2.push_snapshot(&wild0);
-        let b_after = b2.push_snapshot(&wild1);
+        let b_drift = b2.push_snapshot(&wild0).unwrap();
+        let b_after = b2.push_snapshot(&wild1).unwrap();
 
         assert_eq!(a_drift.stats.recalibration, Recalibration::Refreshed);
         assert_eq!(b_drift.stats.recalibration, Recalibration::Refreshed);
@@ -1451,14 +1646,14 @@ mod tests {
         assert!(r.models().is_none());
         assert_eq!(r.snapshots(), 0);
         // The restored idle session calibrates on its first push as usual.
-        let rec = r.push_snapshot(&evolving_field(16, 1.0, 5));
+        let rec = r.push_snapshot(&evolving_field(16, 1.0, 5)).unwrap();
         assert_eq!(rec.stats.recalibration, Recalibration::Full);
     }
 
     #[test]
     fn corrupt_checkpoints_fail_with_typed_errors() {
         let mut s = session(16, 2, QualityPolicy::FixedEb(0.2));
-        s.push_snapshot(&evolving_field(16, 1.0, 5));
+        s.push_snapshot(&evolving_field(16, 1.0, 5)).unwrap();
         let good = s.save();
         // Wrapper corruptions.
         let mut b = good.clone();

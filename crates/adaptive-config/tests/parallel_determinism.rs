@@ -60,7 +60,8 @@ fn pipeline(
     let field = contrast_field(n);
     let dec = Decomposition::cubic(n, parts).unwrap();
     let cfg = PipelineConfig::new(dec, QualityTarget::fft_only(eb_avg)).with_codecs(codecs);
-    let (p, _) = InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8]);
+    let (p, _) = InSituPipeline::calibrate(cfg, &field, 3, &[0.05, 0.1, 0.2, 0.4, 0.8])
+        .expect("finite field calibrates");
     (p, field)
 }
 

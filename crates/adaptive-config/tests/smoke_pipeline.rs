@@ -21,7 +21,8 @@ fn calibrate_and_run_adaptive_on_16_cubed() {
     let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
 
     let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(eb_avg));
-    let (pipeline, _report) = InSituPipeline::calibrate(cfg, field, 2, &sweep);
+    let (pipeline, _report) =
+        InSituPipeline::calibrate(cfg, field, 2, &sweep).expect("finite field calibrates");
     let result = pipeline.run_adaptive(field);
 
     // One eb per partition, all positive/finite, mean within the budget.

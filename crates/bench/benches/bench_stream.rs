@@ -20,15 +20,15 @@ fn bench_stream(c: &mut Criterion) {
     g.bench_function("first_push_cold", |b| {
         b.iter(|| {
             let mut s = StreamSession::new(session_cfg());
-            s.push_snapshot(field)
+            s.push_snapshot(field).expect("finite bench field")
         })
     });
     {
         let mut s = StreamSession::new(session_cfg());
-        s.push_snapshot(field);
+        s.push_snapshot(field).expect("finite bench field");
         g.bench_function("steady_push", |b| {
             b.iter(|| {
-                let rec = s.push_snapshot(field);
+                let rec = s.push_snapshot(field).expect("finite bench field");
                 assert_eq!(rec.stats.recalibration, Recalibration::Skipped);
                 rec
             })
@@ -39,12 +39,12 @@ fn bench_stream(c: &mut Criterion) {
     // checkpoint replaces the recalibration, that is its entire point.
     {
         let mut s = StreamSession::new(session_cfg());
-        s.push_snapshot(field);
+        s.push_snapshot(field).expect("finite bench field");
         let blob = s.save();
         g.bench_function("restored_push", |b| {
             b.iter(|| {
                 let mut r = StreamSession::restore(&blob).expect("checkpoint restores");
-                let rec = r.push_snapshot(field);
+                let rec = r.push_snapshot(field).expect("finite bench field");
                 assert_ne!(rec.stats.recalibration, Recalibration::Full);
                 rec
             })

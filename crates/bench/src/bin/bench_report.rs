@@ -213,13 +213,13 @@ fn main() {
         let session_cfg = || SessionConfig::new(dec.clone(), QualityPolicy::SigmaScaled(0.1));
         t.measure("insitu_stream/first_push_cold", &grid, samples, Some(bytes), || {
             let mut s = StreamSession::new(session_cfg());
-            black_box(s.push_snapshot(field));
+            black_box(s.push_snapshot(field).expect("finite bench field"));
         });
         {
             let mut s = StreamSession::new(session_cfg());
-            s.push_snapshot(field);
+            s.push_snapshot(field).expect("finite bench field");
             t.measure("insitu_stream/steady_push", &grid, samples, Some(bytes), || {
-                black_box(s.push_snapshot(field));
+                black_box(s.push_snapshot(field).expect("finite bench field"));
             });
         }
 
@@ -232,7 +232,7 @@ fn main() {
         for _ in 0..samples.max(1) {
             let mut s = StreamSession::new(session_cfg());
             for f in &fields {
-                s.push_snapshot(f);
+                s.push_snapshot(f).expect("finite bench field");
             }
             let h = s.history();
             full_costs.push(h[0].model_cost.as_nanos() as u64);
@@ -277,7 +277,7 @@ fn main() {
         {
             use adaptive_config::session::{Recalibration, StreamSession};
             let mut s = StreamSession::new(session_cfg());
-            s.push_snapshot(field);
+            s.push_snapshot(field).expect("finite bench field");
             let blob = s.save();
             t.measure("insitu_stream/restore/save_checkpoint", &grid, samples, None, || {
                 black_box(s.save());
@@ -292,13 +292,13 @@ fn main() {
                 Some(bytes),
                 || {
                     let mut r = StreamSession::restore(&blob).expect("checkpoint restores");
-                    black_box(r.push_snapshot(field));
+                    black_box(r.push_snapshot(field).expect("finite bench field"));
                 },
             );
             let mut costs = Vec::new();
             for _ in 0..samples.max(1) {
                 let mut r = StreamSession::restore(&blob).expect("checkpoint restores");
-                let rec = r.push_snapshot(field);
+                let rec = r.push_snapshot(field).expect("finite bench field");
                 assert_ne!(
                     rec.stats.recalibration,
                     Recalibration::Full,

@@ -1,0 +1,62 @@
+//! Regenerate the scenario-generator golden fixture the CI determinism
+//! gate diffs against.
+//!
+//! The `scenarios` crate's generators are seeded and must produce
+//! bit-identical fields forever: the chaos matrix pins drift TP/FP
+//! envelopes against their exact output, so a silent generator change
+//! would re-tune the envelope without anyone noticing. This tool hashes
+//! every generator at pinned parameters plus every field of the
+//! `scenario_matrix`, and writes the table to
+//! `tests/fixtures/scenarios_v1.json`. CI reruns it and `git diff`s the
+//! fixture; a *deliberate* generator change is committed together with
+//! the regenerated hashes (and a re-checked envelope):
+//!
+//! ```text
+//! cargo run --release -p bench --bin diag_scenario_fixture
+//! ```
+
+use codec_core::fnv1a64;
+use gridlab::Field3;
+use scenarios::{
+    all_constant, amr_nested, constant_padded, inf_laced, nan_laced, scenario_matrix, shock_front,
+    shot_noise, smooth_grf,
+};
+
+/// FNV-1a-64 over the field's f32 bit patterns, little-endian — stable
+/// across platforms and NaN-transparent (bits, not values).
+fn field_hash(f: &Field3<f32>) -> u64 {
+    let bytes: Vec<u8> = f.as_slice().iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+    fnv1a64(&bytes)
+}
+
+fn main() {
+    let n = 16;
+    let mut rows: Vec<(String, u64)> = vec![
+        ("smooth_grf(16, 42, 3.0)".into(), field_hash(&smooth_grf(n, 42, 3.0))),
+        ("amr_nested(16, 17, 3)".into(), field_hash(&amr_nested(n, 17, 3))),
+        ("shot_noise(16, 7, 4096)".into(), field_hash(&shot_noise(n, 7, 4096))),
+        ("shock_front(16, 9, 0.5)".into(), field_hash(&shock_front(n, 9, 0.5))),
+        ("constant_padded(16, 21, 0.5)".into(), field_hash(&constant_padded(n, 21, 0.5))),
+        ("all_constant(16, 7.25)".into(), field_hash(&all_constant(n, 7.25))),
+        ("nan_laced(16, 3, 0.01)".into(), field_hash(&nan_laced(n, 3, 0.01))),
+        ("inf_laced(16, 4, 0.01)".into(), field_hash(&inf_laced(n, 4, 0.01))),
+    ];
+    for series in scenario_matrix(n) {
+        for (s, f) in series.fields.iter().enumerate() {
+            rows.push((format!("matrix/{}/{s}", series.name), field_hash(f)));
+        }
+    }
+
+    // Hand-rendered JSON: one sorted row per line, bit-stable output.
+    let mut doc = String::from("{\n");
+    for (i, (k, h)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        doc.push_str(&format!("  \"{k}\": \"{h:#018x}\"{sep}\n"));
+    }
+    doc.push_str("}\n");
+
+    let path = std::path::Path::new("tests/fixtures/scenarios_v1.json");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir fixtures");
+    std::fs::write(path, doc.as_bytes()).expect("write fixture");
+    println!("wrote {} ({} hashes, {} bytes)", path.display(), rows.len(), doc.len());
+}

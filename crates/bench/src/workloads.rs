@@ -86,7 +86,7 @@ pub fn calibrated_pipeline_with_codecs(
     let sweep: Vec<f64> = EB_SWEEP.iter().map(|s| s / 0.2 * eb_avg).collect();
     let cfg = PipelineConfig::new(dec.clone(), target).with_codecs(codecs);
     let stride = (dec.num_partitions() / 16).max(1);
-    let (p, _) = InSituPipeline::calibrate(cfg, field, stride, &sweep);
+    let (p, _) = InSituPipeline::calibrate(cfg, field, stride, &sweep).expect("finite bench field");
     p
 }
 

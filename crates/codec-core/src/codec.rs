@@ -354,6 +354,30 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_input_never_panics_and_matches_caps() {
+        // The codec layer quarantines poisoned cells instead of erroring:
+        // rsz returns them bit-exactly (preserves_non_finite), zfp decodes
+        // the containing block as zeros. Rejection, when wanted, happens
+        // upstream at the session's ingestion screen.
+        let dims = Dim3::cube(6);
+        let mut vals = lcg(dims, 99, 10.0);
+        vals[5] = f32::NAN;
+        vals[100] = f32::INFINITY;
+        let mut scratch = CodecScratch::default();
+        for id in CodecId::ALL {
+            let bytes = id.compress_slice_with(&vals, dims, 0.25, &mut scratch);
+            let (back, d) = id.decompress_slice_with::<f32>(&bytes, &mut scratch).expect("decodes");
+            assert_eq!(d, dims);
+            if id.caps().preserves_non_finite {
+                assert_eq!(back[5].to_bits(), vals[5].to_bits(), "{id}: NaN must roundtrip");
+                assert_eq!(back[100].to_bits(), vals[100].to_bits(), "{id}: ∞ must roundtrip");
+            } else {
+                assert!(back.iter().all(|v| v.is_finite()), "{id}: quarantine decodes finite");
+            }
+        }
+    }
+
+    #[test]
     fn caps_reflect_backend_semantics() {
         assert!(CodecId::Rsz.caps().bound_guaranteed);
         assert!(!CodecId::Zfp.caps().bound_guaranteed);

@@ -27,6 +27,13 @@
 //!   or on non-finite inputs — see each adapter's docs.
 //! * Implementations must be deterministic: identical `(values, dims, eb)`
 //!   must produce identical bytes regardless of scratch reuse.
+//! * Non-finite input is **quarantined, never an error** at this layer:
+//!   [`CodecCaps::preserves_non_finite`] backends (rsz) store NaN/∞ cells
+//!   verbatim and return them bit-exactly; others (zfplite accuracy mode)
+//!   store the containing 4³ block empty and decode it as zeros. Callers
+//!   that must refuse poisoned fields screen upstream — the streaming
+//!   session's ingestion check turns them into a typed error before any
+//!   codec runs.
 //!
 //! Scratch buffers ([`CodecScratch`]) bundle every backend's reusable
 //! working memory; [`with_scratch`] hands out a thread-local instance so a

@@ -940,6 +940,26 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_cells_roundtrip_bit_exactly() {
+        // NaN/∞ make the residual unpredictable: such cells are stored
+        // verbatim and come back bit-for-bit. The error bound is vacuous
+        // for them — quarantine, never a panic or a silent rewrite.
+        let mut f = wavy_field(8);
+        f.as_mut_slice()[3] = f32::NAN;
+        f.as_mut_slice()[77] = f32::INFINITY;
+        f.as_mut_slice()[200] = f32::NEG_INFINITY;
+        let c = compress(&f, &SzConfig::abs(0.1));
+        let g: Field3<f32> = decompress(&c).unwrap();
+        for (a, b) in f.as_slice().iter().zip(g.as_slice()) {
+            if a.is_finite() {
+                assert!((a - b).abs() <= 0.1 + 1e-9, "bound violated near poisoned cell");
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits(), "non-finite cell must survive bit-exactly");
+            }
+        }
+    }
+
+    #[test]
     fn smooth_field_compresses_hard() {
         let f = wavy_field(32);
         let c = compress(&f, &SzConfig::abs(0.5));

@@ -24,6 +24,13 @@
 //! quantiser injects is approximately uniform on `[-eb, eb]` — the paper's
 //! Eq. 3 — which the model layer (`adaptive-config`) depends on and
 //! validates empirically (Fig. 3).
+//!
+//! **Non-finite input is quarantined, not rejected**: a NaN/∞ cell (and any
+//! cell whose residual against it is non-finite) is unpredictable by
+//! definition, so it is stored verbatim and decodes **bit-exactly**. The
+//! error bound is vacuous for such cells; compression never panics on them.
+//! Callers that want poisoned fields refused outright must screen upstream
+//! (the streaming session's ingestion check does).
 
 pub mod bitstream;
 pub mod compress;

@@ -1,0 +1,305 @@
+//! # scenarios — the workload zoo
+//!
+//! Every quality and drift number in the repo's early PRs came from
+//! smooth Nyx-style GRF fields — the paper's home turf. This crate is
+//! the other turf: deterministic, seeded generators for the field
+//! families an adaptive compression service actually meets in the wild,
+//! plus a registry of snapshot *series* with a pinned expectation of how
+//! the [`StreamSession`] drift detector must behave on each
+//! (fire on regime shifts, stay quiet on healthy evolution).
+//!
+//! The root `tests/chaos_matrix.rs` harness drives every scenario
+//! through `StreamSession` and `StreamServer` and asserts the
+//! true-positive/false-positive envelope; `diag_scenario_fixture` pins
+//! every generator's exact output bytes (FNV checksums) so the matrix
+//! stays deterministic across platforms and refactors.
+//!
+//! ## Field families
+//!
+//! | generator | stresses |
+//! |---|---|
+//! | [`smooth_grf`] | baseline: the paper's operating regime |
+//! | [`amr_nested`] | nested-refinement contrast (AMR-style patches) |
+//! | [`shot_noise`] | particle-deposited counts — discrete, spiky |
+//! | [`shock_front`] | a high-contrast moving discontinuity |
+//! | [`constant_padded`] | zero-variance partitions (σ = 0 edge) |
+//! | [`all_constant`] | the fully degenerate field |
+//! | [`nan_laced`] / [`inf_laced`] | non-finite ingestion hardening |
+//!
+//! All generators are pure functions of `(n, seed, params)` — no global
+//! RNG, no platform floats beyond IEEE ops — so the same call always
+//! returns bit-identical fields.
+//!
+//! [`StreamSession`]: https://docs.rs/adaptive-config
+
+use gridlab::{Dim3, Field3};
+
+mod series;
+
+pub use series::{scenario_matrix, DriftExpectation, ScenarioSeries};
+
+/// Deterministic 64-bit mixer (splitmix64): the crate's only randomness
+/// primitive. Every generator derives its stream from one of these.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed.wrapping_add(0x9e3779b97f4a7c15) }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.uniform() * n as f64) as usize % n.max(1)
+    }
+}
+
+/// Smooth low-frequency field — the healthy baseline. A few incoherent
+/// sinusoidal modes plus weak white noise; `amp` scales the contrast
+/// (structure "forms" as amp grows, like lowering redshift).
+pub fn smooth_grf(n: usize, seed: u64, amp: f64) -> Field3<f32> {
+    let mut rng = Rng64::new(seed);
+    // 4 random low-k modes with random phases.
+    let modes: Vec<(f64, f64, f64, f64)> = (0..4)
+        .map(|_| {
+            let kx = 1.0 + rng.uniform() * 2.0;
+            let ky = 1.0 + rng.uniform() * 2.0;
+            let kz = 1.0 + rng.uniform() * 2.0;
+            let phase = rng.uniform() * std::f64::consts::TAU;
+            (kx, ky, kz, phase)
+        })
+        .collect();
+    let inv = std::f64::consts::TAU / n as f64;
+    let mut noise_rng = Rng64::new(seed ^ 0x5eed);
+    Field3::from_fn(Dim3::cube(n), |x, y, z| {
+        let mut v = 10.0;
+        for &(kx, ky, kz, phase) in &modes {
+            v += amp * (inv * (kx * x as f64 + ky * y as f64 + kz * z as f64) + phase).sin();
+        }
+        v += 0.05 * amp * (noise_rng.uniform() - 0.5);
+        v as f32
+    })
+}
+
+/// AMR-style nested refinement: a smooth base with `levels` nested cubic
+/// patches, each half the size of its parent and carrying progressively
+/// higher-frequency, higher-amplitude detail — the partition-to-partition
+/// contrast profile of an adaptively refined mesh flattened to a uniform
+/// grid.
+pub fn amr_nested(n: usize, seed: u64, levels: usize) -> Field3<f32> {
+    let mut rng = Rng64::new(seed);
+    // Patch ℓ spans [origin, origin + n/2^(ℓ+1)) per axis.
+    let mut patches = Vec::with_capacity(levels);
+    let mut span = n;
+    for level in 0..levels {
+        span = (span / 2).max(2);
+        let origin = (
+            rng.index(n.saturating_sub(span).max(1)),
+            rng.index(n.saturating_sub(span).max(1)),
+            rng.index(n.saturating_sub(span).max(1)),
+        );
+        let freq = 0.7 * (level + 1) as f64;
+        let amp = 4.0 * (level + 1) as f64;
+        patches.push((origin, span, freq, amp));
+    }
+    let mut noise_rng = Rng64::new(seed ^ 0xa317);
+    let inv = std::f64::consts::TAU / n as f64;
+    Field3::from_fn(Dim3::cube(n), |x, y, z| {
+        let mut v = 12.0 + 2.0 * (inv * (x + y + z) as f64).sin();
+        let jitter = noise_rng.uniform() - 0.5;
+        for &((ox, oy, oz), span, freq, amp) in &patches {
+            let inside = (ox..ox + span).contains(&x)
+                && (oy..oy + span).contains(&y)
+                && (oz..oz + span).contains(&z);
+            if inside {
+                v += amp * ((freq * x as f64).sin() * (freq * y as f64).cos() + 0.3 * jitter);
+            }
+        }
+        v as f32
+    })
+}
+
+/// Particle-deposited density: `particles` pseudo-random points dropped
+/// onto the grid nearest-grid-point style, yielding Poisson-like integer
+/// counts — discrete, spiky, and nothing like the smooth fields the
+/// power-law rate model was calibrated against.
+pub fn shot_noise(n: usize, seed: u64, particles: usize) -> Field3<f32> {
+    let mut rng = Rng64::new(seed);
+    let mut counts = vec![0u32; n * n * n];
+    for _ in 0..particles {
+        // Clustered deposit: half the particles land uniformly, half near
+        // one of 8 cluster centres (r ~ n/8 Gaussian-ish via CLT of 4).
+        let (x, y, z) = if rng.uniform() < 0.5 {
+            (rng.index(n), rng.index(n), rng.index(n))
+        } else {
+            let c = rng.index(8);
+            let cx = (c & 1) * (n / 2) + n / 4;
+            let cy = ((c >> 1) & 1) * (n / 2) + n / 4;
+            let cz = ((c >> 2) & 1) * (n / 2) + n / 4;
+            let spread = (n / 8).max(1) as f64;
+            let mut g = |centre: usize| {
+                let u = (0..4).map(|_| rng.uniform()).sum::<f64>() / 2.0 - 1.0; // ~N-ish in [-1,1]
+                ((centre as f64 + u * spread).rem_euclid(n as f64)) as usize % n
+            };
+            (g(cx), g(cy), g(cz))
+        };
+        counts[(z * n + y) * n + x] += 1;
+    }
+    Field3::from_fn(Dim3::cube(n), |x, y, z| counts[(z * n + y) * n + x] as f32)
+}
+
+/// Shock front: a smooth background split by a high-contrast `tanh`
+/// discontinuity at plane `x = pos · n`. Sweeping `pos` across snapshots
+/// yields a moving discontinuity — localized drift, partition by
+/// partition, as the front crosses them.
+pub fn shock_front(n: usize, seed: u64, pos: f64) -> Field3<f32> {
+    let mut noise_rng = Rng64::new(seed ^ 0xf207);
+    let front = pos * n as f64;
+    let inv = std::f64::consts::TAU / n as f64;
+    Field3::from_fn(Dim3::cube(n), |x, y, z| {
+        let base = 8.0 + (inv * (y + z) as f64).sin();
+        // Post-shock side: 30× denser and much rougher.
+        let s = 0.5 * (1.0 + ((x as f64 - front) / 1.5).tanh());
+        let rough = 6.0 * (noise_rng.uniform() - 0.5);
+        (base + s * (240.0 + rough)) as f32
+    })
+}
+
+/// A smooth field whose lower `pad_fraction` of z-slabs is overwritten
+/// with one exact constant — zero-variance partitions next to live ones
+/// (sensor dropouts, halo-exchange ghost padding, masked regions).
+pub fn constant_padded(n: usize, seed: u64, pad_fraction: f64) -> Field3<f32> {
+    let base = smooth_grf(n, seed, 3.0);
+    let cut = ((pad_fraction * n as f64) as usize).min(n);
+    Field3::from_fn(Dim3::cube(n), |x, y, z| if z < cut { 7.25 } else { base.get(x, y, z) })
+}
+
+/// The fully degenerate field: every cell the same value (σ = 0).
+pub fn all_constant(n: usize, value: f32) -> Field3<f32> {
+    Field3::from_fn(Dim3::cube(n), |_, _, _| value)
+}
+
+/// A smooth field with `fraction` of cells replaced by NaN at seeded
+/// pseudo-random sites — the classic missing-data / uninitialised-ghost
+/// ingestion hazard.
+pub fn nan_laced(n: usize, seed: u64, fraction: f64) -> Field3<f32> {
+    lace(n, seed, fraction, |_| f32::NAN)
+}
+
+/// Like [`nan_laced`] but with alternating `±∞` (overflowed cells).
+pub fn inf_laced(n: usize, seed: u64, fraction: f64) -> Field3<f32> {
+    lace(n, seed, fraction, |i| if i % 2 == 0 { f32::INFINITY } else { f32::NEG_INFINITY })
+}
+
+fn lace(n: usize, seed: u64, fraction: f64, poison: impl Fn(usize) -> f32) -> Field3<f32> {
+    assert!((0.0..=1.0).contains(&fraction));
+    let base = smooth_grf(n, seed, 2.0);
+    let cells = n * n * n;
+    let hits = ((cells as f64 * fraction).ceil() as usize).clamp(1, cells);
+    let mut rng = Rng64::new(seed ^ 0xdead);
+    let mut poisoned: Vec<f32> = base.as_slice().to_vec();
+    for i in 0..hits {
+        let at = rng.index(cells);
+        poisoned[at] = poison(i);
+    }
+    Field3::from_vec(Dim3::cube(n), poisoned).expect("cells match")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for (a, b) in [
+            (smooth_grf(8, 3, 2.0), smooth_grf(8, 3, 2.0)),
+            (amr_nested(8, 5, 3), amr_nested(8, 5, 3)),
+            (shot_noise(8, 7, 4096), shot_noise(8, 7, 4096)),
+            (shock_front(8, 9, 0.5), shock_front(8, 9, 0.5)),
+            (constant_padded(8, 11, 0.5), constant_padded(8, 11, 0.5)),
+            (nan_laced(8, 13, 0.01), nan_laced(8, 13, 0.01)),
+            (inf_laced(8, 15, 0.01), inf_laced(8, 15, 0.01)),
+        ] {
+            let bits =
+                |f: &Field3<f32>| f.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b));
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_field() {
+        assert_ne!(smooth_grf(8, 1, 2.0).as_slice(), smooth_grf(8, 2, 2.0).as_slice());
+    }
+
+    #[test]
+    fn finite_generators_are_finite() {
+        for f in [
+            smooth_grf(8, 3, 2.0),
+            amr_nested(8, 5, 3),
+            shot_noise(8, 7, 4096),
+            shock_front(8, 9, 0.3),
+            constant_padded(8, 11, 0.4),
+            all_constant(8, 7.25),
+        ] {
+            assert!(f.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn laced_generators_contain_the_advertised_poison() {
+        let nan = nan_laced(8, 21, 0.02);
+        assert!(nan.as_slice().iter().any(|v| v.is_nan()));
+        let inf = inf_laced(8, 23, 0.02);
+        assert!(inf.as_slice().iter().any(|v| v.is_infinite() && *v > 0.0));
+        assert!(inf.as_slice().iter().any(|v| v.is_infinite() && *v < 0.0));
+    }
+
+    #[test]
+    fn constant_padded_has_a_zero_variance_slab() {
+        let f = constant_padded(8, 11, 0.5);
+        for z in 0..4 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    assert_eq!(f.get(x, y, z), 7.25);
+                }
+            }
+        }
+        // And the live half actually varies.
+        let live: Vec<f32> = (4..8)
+            .flat_map(|z| (0..8).flat_map(move |y| (0..8).map(move |x| (x, y, z))))
+            .map(|(x, y, z)| f.get(x, y, z))
+            .collect();
+        assert!(live.iter().any(|&v| v != live[0]));
+    }
+
+    #[test]
+    fn shock_front_separates_two_regimes() {
+        let f = shock_front(16, 9, 0.5);
+        let lo = f.get(1, 8, 8);
+        let hi = f.get(14, 8, 8);
+        assert!(hi > lo + 100.0, "post-shock {hi} should dwarf pre-shock {lo}");
+    }
+
+    #[test]
+    fn shot_noise_deposits_every_particle() {
+        let f = shot_noise(8, 7, 4096);
+        let total: f64 = f.as_slice().iter().map(|&v| v as f64).sum();
+        assert_eq!(total, 4096.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Snapshot *series* with pinned drift-detector expectations.
+//!
+//! A [`ScenarioSeries`] is an ordered run of snapshots plus the
+//! behaviour the `StreamSession` drift detector must show on it — the
+//! true-positive/false-positive envelope that `tests/chaos_matrix.rs`
+//! asserts and CI pins. The registry lives in [`scenario_matrix`] so the
+//! chaos harness and the fixture regenerator iterate the exact same
+//! scenarios.
+
+use crate::{amr_nested, shock_front, shot_noise, smooth_grf};
+use gridlab::Field3;
+
+/// How the drift detector must behave across a series. Indices count
+/// *post-calibration* snapshots: snapshot 0 calibrates the bank, so the
+/// detector's first verdict is on snapshot 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftExpectation {
+    /// Healthy evolution: no refresh may fire anywhere in the series
+    /// (false-positive envelope).
+    Quiet,
+    /// A regime shift at this snapshot index: a refresh MUST fire at
+    /// `at` (true-positive envelope). Earlier snapshots must stay quiet.
+    FiresAt(usize),
+    /// Persistent mis-pricing or continual motion: at least `min`
+    /// refreshes across the series, first one no later than snapshot
+    /// `by`.
+    Continual { min: usize, by: usize },
+}
+
+/// A named, seeded run of snapshots with its pinned drift expectation.
+pub struct ScenarioSeries {
+    pub name: &'static str,
+    pub fields: Vec<Field3<f32>>,
+    pub expect: DriftExpectation,
+}
+
+impl ScenarioSeries {
+    fn new(name: &'static str, fields: Vec<Field3<f32>>, expect: DriftExpectation) -> Self {
+        assert!(fields.len() >= 3, "a series needs calibration + at least two verdicts");
+        Self { name, fields, expect }
+    }
+}
+
+/// Healthy baseline: the same universe forming structure smoothly —
+/// amplitude creeps up a few percent per step, same modes, same seed.
+pub fn healthy_smooth_series(n: usize, steps: usize) -> ScenarioSeries {
+    let fields = (0..steps).map(|s| smooth_grf(n, 42, 3.0 * (1.0 + 0.03 * s as f64))).collect();
+    ScenarioSeries::new("healthy_smooth", fields, DriftExpectation::Quiet)
+}
+
+/// Healthy AMR run: the patch layout is frozen (same seed) and only the
+/// patch detail amplitude breathes slightly — high contrast, but the
+/// per-partition statistics the models were calibrated on barely move.
+pub fn healthy_amr_series(n: usize, steps: usize) -> ScenarioSeries {
+    let fields = (0..steps).map(|_| amr_nested(n, 17, 3)).collect();
+    ScenarioSeries::new("healthy_amr", fields, DriftExpectation::Quiet)
+}
+
+/// Merger event: a calm smooth universe up to `shift_at`, then the field
+/// jumps to a violently different regime — amplitude ×40 and a
+/// different mode set (new seed) — and stays there. The detector must
+/// fire exactly when the regime flips.
+pub fn regime_shift_series(n: usize, steps: usize, shift_at: usize) -> ScenarioSeries {
+    assert!((1..steps).contains(&shift_at));
+    let fields = (0..steps)
+        .map(|s| {
+            if s < shift_at {
+                smooth_grf(n, 42, 3.0 * (1.0 + 0.03 * s as f64))
+            } else {
+                smooth_grf(n, 4242, 120.0)
+            }
+        })
+        .collect();
+    ScenarioSeries::new("regime_shift_merger", fields, DriftExpectation::FiresAt(shift_at))
+}
+
+/// A shock front sweeping through the volume, crossing new partitions
+/// every step — continual, *localised* drift: only the partitions the
+/// front is crossing mis-predict, the rest stay calm.
+pub fn moving_shock_series(n: usize, steps: usize) -> ScenarioSeries {
+    let fields =
+        (0..steps).map(|s| shock_front(n, 9, 0.15 + 0.7 * s as f64 / (steps - 1) as f64)).collect();
+    // The detector needs the front to cross a few partition boundaries
+    // before the accumulated mis-prediction trips the mean residual, so
+    // the first guaranteed fire is mid-series, not on the second step.
+    ScenarioSeries::new("moving_shock", fields, DriftExpectation::Continual { min: 1, by: 3 })
+}
+
+/// Particle counts with particle number growing each step (infall):
+/// discrete shot noise the power-law rate model was never fit for. The
+/// steady-state residual on this series is the documented mis-pricing
+/// that motivates the next modeling PR.
+pub fn shot_noise_series(n: usize, steps: usize) -> ScenarioSeries {
+    let cells = n * n * n;
+    // Start sparse (a quarter-particle per cell: mostly zeros with rare
+    // spikes — the worst case for a power-law fit on the mean) and
+    // double the load each step, an infall the snapshot-0 models have no
+    // way to extrapolate.
+    let fields = (0..steps).map(|s| shot_noise(n, 7 + s as u64, (cells / 4) << s.min(8))).collect();
+    ScenarioSeries::new("shot_noise_infall", fields, DriftExpectation::Continual { min: 1, by: 3 })
+}
+
+/// The full scenario matrix at grid size `n` — the single source of
+/// truth iterated by `tests/chaos_matrix.rs` and `diag_scenario_fixture`.
+pub fn scenario_matrix(n: usize) -> Vec<ScenarioSeries> {
+    vec![
+        healthy_smooth_series(n, 6),
+        healthy_amr_series(n, 5),
+        regime_shift_series(n, 6, 3),
+        moving_shock_series(n, 6),
+        shot_noise_series(n, 5),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_deterministic_and_well_formed() {
+        let a = scenario_matrix(8);
+        let b = scenario_matrix(8);
+        assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(sa.expect, sb.expect);
+            assert_eq!(sa.fields.len(), sb.fields.len());
+            for (fa, fb) in sa.fields.iter().zip(&sb.fields) {
+                let bits =
+                    |f: &Field3<f32>| f.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(fa), bits(fb), "{} must regenerate bit-identically", sa.name);
+            }
+        }
+    }
+
+    #[test]
+    fn regime_shift_actually_shifts() {
+        let s = regime_shift_series(8, 6, 3);
+        let spread = |f: &Field3<f32>| {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &v in f.as_slice() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            (hi - lo) as f64
+        };
+        assert!(spread(&s.fields[3]) > 10.0 * spread(&s.fields[2]));
+    }
+
+    #[test]
+    fn matrix_fields_are_finite() {
+        for s in scenario_matrix(8) {
+            for f in &s.fields {
+                assert!(f.as_slice().iter().all(|v| v.is_finite()), "{} must be finite", s.name);
+            }
+        }
+    }
+}

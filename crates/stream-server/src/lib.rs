@@ -30,7 +30,11 @@
 //! * **Admission control.** [`StreamServer::push`] never blocks on a
 //!   saturated queue: data jobs enter with `try_send`, and a full shard
 //!   queue surfaces as [`ServerError::Overloaded`] immediately — the
-//!   simulation decides whether to retry, drop, or slow down. Below
+//!   simulation decides whether to retry, drop, or slow down. The error
+//!   carries a [`retry_hint`](ServerError::Overloaded): the shard's
+//!   smoothed per-push service time times the queue depth — roughly when
+//!   a freed slot can be expected — so callers back off proportionally
+//!   to the actual drain rate instead of guessing. Below
 //!   saturation, queue occupancy at or past
 //!   [`ServerConfig::degrade_threshold`] walks the
 //!   [`ServerConfig::degrade_ladder`]: the push is admitted with its
@@ -63,18 +67,25 @@
 //! same snapshots — whatever the interleaving with other tenants —
 //! provided no push was quality-degraded and the tenant is not under a
 //! (policy-rewriting) budget arbiter.
+//!
+//! Poisoned input: a snapshot with NaN/∞ cells is rejected by the
+//! session's ingestion screen and surfaces as
+//! [`ServerError::NonFiniteInput`] on that push's reply — the tenant's
+//! session state is untouched, the worker keeps serving, and the next
+//! finite snapshot proceeds normally.
 
 use adaptive_config::session::RefreshTask;
-use adaptive_config::{QualityPolicy, SessionConfig, SnapshotRecord, StreamSession};
+use adaptive_config::{PushError, QualityPolicy, SessionConfig, SnapshotRecord, StreamSession};
 use codec_core::{CodecError, StreamFileWriter, SyncPolicy};
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use gridlab::{Field3, Scalar};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Stable identifier of a registered stream (assigned by
 /// [`StreamServer::register`], unique for the server's lifetime).
@@ -178,7 +189,24 @@ pub enum ServerError {
         queue_len: usize,
         /// The shard queue's bounded capacity.
         capacity: usize,
+        /// Suggested backoff before retrying: the shard's smoothed
+        /// per-push service time scaled by the queue depth — an estimate
+        /// of when a slot frees up. Producers that sleep this long
+        /// retry roughly once per drained job instead of spinning.
+        retry_hint: Duration,
     },
+    /// The snapshot contained NaN/∞ cells and was rejected by the
+    /// session's ingestion screen. The tenant's models and stream are
+    /// untouched; the next finite push proceeds normally.
+    NonFiniteInput {
+        /// Non-finite cells in the rejected snapshot.
+        non_finite: usize,
+        /// Total cells in the rejected snapshot.
+        cells: usize,
+    },
+    /// The tenant's session could not fit its rate models (degenerate
+    /// or non-finite calibration measurements).
+    Session(String),
     /// No tenant with this id (never registered, or already closed).
     UnknownTenant(TenantId),
     /// The server (or this tenant's worker) has shut down.
@@ -190,9 +218,16 @@ pub enum ServerError {
 impl fmt::Display for ServerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServerError::Overloaded { queue_len, capacity } => {
-                write!(f, "shard queue saturated ({queue_len}/{capacity} in flight)")
+            ServerError::Overloaded { queue_len, capacity, retry_hint } => {
+                write!(
+                    f,
+                    "shard queue saturated ({queue_len}/{capacity} in flight; retry in ~{retry_hint:?})"
+                )
             }
+            ServerError::NonFiniteInput { non_finite, cells } => {
+                write!(f, "snapshot rejected: {non_finite} of {cells} cells are NaN/infinite")
+            }
+            ServerError::Session(m) => write!(f, "session model fit failed: {m}"),
             ServerError::UnknownTenant(id) => write!(f, "unknown tenant {id}"),
             ServerError::Closed => write!(f, "server is shut down"),
             ServerError::Codec(m) => write!(f, "stream writer error: {m}"),
@@ -205,6 +240,17 @@ impl std::error::Error for ServerError {}
 impl From<CodecError> for ServerError {
     fn from(e: CodecError) -> Self {
         ServerError::Codec(e.to_string())
+    }
+}
+
+impl From<PushError> for ServerError {
+    fn from(e: PushError) -> Self {
+        match e {
+            PushError::NonFiniteInput { non_finite, cells } => {
+                ServerError::NonFiniteInput { non_finite, cells }
+            }
+            PushError::Calibration(c) => ServerError::Session(c.to_string()),
+        }
     }
 }
 
@@ -284,7 +330,11 @@ struct Tenant<T: Scalar> {
 /// refresh is drained.
 const IDLE_PARK: Duration = Duration::from_millis(2);
 
-fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>) {
+/// Seed for the per-shard smoothed push service time: 1 ms, a plausible
+/// cold-start figure that the EWMA replaces within a few pushes.
+const PUSH_NANOS_SEED: u64 = 1_000_000;
+
+fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>, push_nanos: Arc<AtomicU64>) {
     let mut tenants: HashMap<TenantId, Tenant<T>> = HashMap::new();
     // Round-robin cursor over tenants with pending refresh work.
     let mut refresh_cursor = 0usize;
@@ -292,7 +342,7 @@ fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>) {
         // Queue first: incoming pushes always preempt refresh work.
         match rx.try_recv() {
             Ok(job) => {
-                handle_job(&mut tenants, job);
+                handle_job(&mut tenants, job, &push_nanos);
                 continue;
             }
             Err(crossbeam_channel::TryRecvError::Disconnected) => break,
@@ -318,7 +368,7 @@ fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>) {
         }
         // Nothing to do: park until a job lands or the server drops us.
         match rx.recv_timeout(IDLE_PARK) {
-            Ok(job) => handle_job(&mut tenants, job),
+            Ok(job) => handle_job(&mut tenants, job, &push_nanos),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -333,7 +383,11 @@ fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>) {
     }
 }
 
-fn handle_job<T: Scalar>(tenants: &mut HashMap<TenantId, Tenant<T>>, job: Job<T>) {
+fn handle_job<T: Scalar>(
+    tenants: &mut HashMap<TenantId, Tenant<T>>,
+    job: Job<T>,
+    push_nanos: &AtomicU64,
+) {
     match job {
         Job::Register { tenant, cfg, reply } => {
             let writer = match cfg.stream_path {
@@ -357,6 +411,7 @@ fn handle_job<T: Scalar>(tenants: &mut HashMap<TenantId, Tenant<T>>, job: Job<T>
             let _ = reply.send(Ok(()));
         }
         Job::Push { tenant, field, degrade, reply } => {
+            let started = Instant::now();
             let Some(t) = tenants.get_mut(&tenant) else {
                 let _ = reply.send(Err(ServerError::UnknownTenant(tenant)));
                 return;
@@ -374,10 +429,19 @@ fn handle_job<T: Scalar>(tenants: &mut HashMap<TenantId, Tenant<T>>, job: Job<T>
             if degrade > 1.0 {
                 t.session.set_policy(base.relax(degrade));
             }
-            let (record, deferred) = t.session.push_snapshot_deferred(&field);
+            let outcome = t.session.push_snapshot_deferred(&field);
             if degrade > 1.0 {
                 t.session.set_policy(base);
             }
+            let (record, deferred) = match outcome {
+                Ok(v) => v,
+                Err(e) => {
+                    // Rejected pushes leave the tenant untouched: no
+                    // pending refresh, no stream frame, models as-is.
+                    let _ = reply.send(Err(e.into()));
+                    return;
+                }
+            };
             t.pending = deferred;
             let mut stream_frames = None;
             if let Some(w) = t.writer.as_mut() {
@@ -389,6 +453,12 @@ fn handle_job<T: Scalar>(tenants: &mut HashMap<TenantId, Tenant<T>>, job: Job<T>
             }
             let degraded = (degrade > 1.0).then_some(degrade);
             let _ = reply.send(Ok(PushOutcome { record, degraded, stream_frames }));
+            // Fold the observed service time into the shard's smoothed
+            // estimate (feeds Overloaded::retry_hint). Rejected pushes
+            // return above and keep the estimate unbiased.
+            let sample = started.elapsed().as_nanos() as u64;
+            let old = push_nanos.load(Ordering::Relaxed);
+            push_nanos.store((3 * old + sample) / 4, Ordering::Relaxed);
         }
         Job::SetPolicy { tenant, policy } => {
             if let Some(t) = tenants.get_mut(&tenant) {
@@ -441,6 +511,9 @@ struct Registry {
 pub struct StreamServer<T: Scalar> {
     cfg: ServerConfig,
     shards: Vec<Sender<Job<T>>>,
+    /// Per-shard EWMA of push service time in nanoseconds, maintained by
+    /// the worker, read at admission time to derive `retry_hint`.
+    push_nanos: Vec<Arc<AtomicU64>>,
     handles: Vec<JoinHandle<()>>,
     registry: Mutex<Registry>,
 }
@@ -451,14 +524,18 @@ impl<T: Scalar> StreamServer<T> {
         cfg.check();
         let mut shards = Vec::with_capacity(cfg.workers);
         let mut handles = Vec::with_capacity(cfg.workers);
+        let mut push_nanos = Vec::with_capacity(cfg.workers);
         for _ in 0..cfg.workers {
             let (tx, rx) = bounded::<Job<T>>(cfg.queue_capacity);
+            let ewma = Arc::new(AtomicU64::new(PUSH_NANOS_SEED));
             shards.push(tx);
-            handles.push(std::thread::spawn(move || worker_loop(rx)));
+            push_nanos.push(Arc::clone(&ewma));
+            handles.push(std::thread::spawn(move || worker_loop(rx, ewma)));
         }
         Self {
             cfg,
             shards,
+            push_nanos,
             handles,
             registry: Mutex::new(Registry { next_id: 0, tenants: HashMap::new() }),
         }
@@ -537,7 +614,10 @@ impl<T: Scalar> StreamServer<T> {
         match tx.try_send(Job::Push { tenant, field, degrade, reply: reply_tx }) {
             Ok(()) => Ok(PushTicket { rx: reply_rx }),
             Err(TrySendError::Full(_)) => {
-                Err(ServerError::Overloaded { queue_len: tx.len(), capacity: cap })
+                let queue_len = tx.len();
+                let service = self.push_nanos[shard].load(Ordering::Relaxed).max(1);
+                let retry_hint = Duration::from_nanos(service.saturating_mul(queue_len as u64 + 1));
+                Err(ServerError::Overloaded { queue_len, capacity: cap, retry_hint })
             }
             Err(TrySendError::Disconnected(_)) => Err(ServerError::Closed),
         }
@@ -677,7 +757,7 @@ mod tests {
         for i in 0..3 {
             let f = field(16, 1.0 + 0.01 * i as f64, 7);
             let got = server.push(id, f.clone()).unwrap();
-            let want = direct.push_snapshot(&f);
+            let want = direct.push_snapshot(&f).unwrap();
             assert_eq!(got.degraded, None);
             assert_eq!(got.record.stats.eb_avg, want.stats.eb_avg);
             for (a, b) in got.record.result.containers.iter().zip(&want.result.containers) {
@@ -870,7 +950,13 @@ mod tests {
         }
         let (err, latency) = overloaded.expect("a 1-slot queue must saturate");
         match err {
-            ServerError::Overloaded { capacity: 1, .. } => {}
+            ServerError::Overloaded { capacity: 1, retry_hint, .. } => {
+                assert!(retry_hint > Duration::ZERO, "retry_hint must be a usable backoff");
+                assert!(
+                    retry_hint < Duration::from_secs(60),
+                    "retry_hint {retry_hint:?} is not a plausible drain estimate"
+                );
+            }
             other => panic!("expected Overloaded, got {other:?}"),
         }
         // The rejection was immediate — no stall anywhere near a single
@@ -880,6 +966,33 @@ mod tests {
         for t in tickets {
             t.wait().unwrap();
         }
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn non_finite_push_is_rejected_and_session_survives() {
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 1,
+            degrade_threshold: 1.0,
+            ..ServerConfig::default()
+        });
+        let id = server
+            .register(TenantConfig::new(session_cfg(16, 2, QualityPolicy::SigmaScaled(0.1))))
+            .unwrap();
+        // Healthy push first: the session calibrates on finite data.
+        server.push(id, field(16, 1.0, 7)).unwrap();
+        // Poison one cell; the push must fail typed, not panic or hang.
+        let mut bad = field(16, 1.0, 7);
+        bad.as_mut_slice()[100] = f32::NAN;
+        match server.push(id, bad) {
+            Err(ServerError::NonFiniteInput { non_finite: 1, cells }) => {
+                assert_eq!(cells, 16 * 16 * 16);
+            }
+            other => panic!("expected NonFiniteInput, got {other:?}"),
+        }
+        // The tenant is untouched: the next finite push succeeds.
+        let out = server.push(id, field(16, 1.01, 7)).unwrap();
+        assert_eq!(out.degraded, None);
         server.shutdown().unwrap();
     }
 

@@ -970,4 +970,22 @@ mod tests {
         let g: Field3<f32> = zfp_decompress(&c).unwrap();
         assert!(g.as_slice().iter().all(|&x| x == 0.0));
     }
+
+    #[test]
+    fn infinities_quarantine_like_nan_in_accuracy_mode() {
+        // ±∞ hits the same empty-block path as NaN: the containing block
+        // decodes to zeros, blocks elsewhere are untouched, and accuracy
+        // mode never panics on poisoned input.
+        let n = 8; // 2×2×2 blocks of 4³
+        let mut f = Field3::from_fn(Dim3::cube(n), |x, y, z| (x + 2 * y + 3 * z) as f32);
+        f.as_mut_slice()[0] = f32::INFINITY;
+        f.as_mut_slice()[1] = f32::NEG_INFINITY;
+        let c = zfp_compress(&f, &ZfpConfig::accuracy(0.1));
+        let g: Field3<f32> = zfp_decompress(&c).unwrap();
+        assert!(g.as_slice().iter().all(|v| v.is_finite()), "no non-finite value survives");
+        // The poisoned block is zeroed...
+        assert_eq!(g.get(0, 0, 0), 0.0);
+        // ...while a far block still honours the bound.
+        assert!((g.get(7, 7, 7) - f.get(7, 7, 7)).abs() <= 0.1 + 1e-6);
+    }
 }

@@ -33,7 +33,8 @@ fn main() {
 
     let cfg = PipelineConfig::new(dec.clone(), target);
     let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
-    let (pipeline, _) = InSituPipeline::calibrate(cfg, field, 4, &sweep);
+    let (pipeline, _) =
+        InSituPipeline::calibrate(cfg, field, 4, &sweep).expect("finite demo field");
     let result = pipeline.run_adaptive(field);
     let decision = result.decision.as_ref().expect("adaptive run has a decision");
 

@@ -35,7 +35,8 @@ fn main() {
     let samples = sample_bricks(field, &dec, 7);
     let refs: Vec<&Field3<f32>> = samples.iter().collect();
     let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
-    let (bank, _) = CodecModelBank::calibrate(&CodecId::ALL, &refs, &sweep);
+    let (bank, _) =
+        CodecModelBank::calibrate(&CodecId::ALL, &refs, &sweep).expect("finite demo field");
     let optimizer = Optimizer::with_models(bank);
 
     // Each rank: extract its feature, allreduce/allgather the means,

@@ -34,7 +34,8 @@ fn main() {
     let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(eb_avg))
         .with_codecs(&CodecId::ALL);
     let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
-    let (pipeline, reports) = InSituPipeline::calibrate_all(cfg, field, 4, &sweep);
+    let (pipeline, reports) =
+        InSituPipeline::calibrate_all(cfg, field, 4, &sweep).expect("finite demo field");
     for (codec, report) in &reports {
         let model = pipeline.optimizer.models.get(*codec).expect("calibrated");
         println!(

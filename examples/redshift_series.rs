@@ -34,7 +34,13 @@ fn main() {
     let mut reference = StreamSession::new(session_cfg());
     let ref_frames: Vec<_> = redshifts
         .iter()
-        .map(|&z| reference.push_snapshot(&cfg.generate(z).baryon_density).result.containers)
+        .map(|&z| {
+            reference
+                .push_snapshot(&cfg.generate(z).baryon_density)
+                .expect("finite snapshot")
+                .result
+                .containers
+        })
         .collect();
 
     // --- Phase 1: durable run, killed mid-frame -------------------------
@@ -45,7 +51,7 @@ fn main() {
     let crash_after = 3; // dies while writing the 4th frame
     for (i, &z) in redshifts[..crash_after + 1].iter().enumerate() {
         let snap = cfg.generate(z);
-        let rec = session.push_snapshot(&snap.baryon_density);
+        let rec = session.push_snapshot(&snap.baryon_density).expect("finite snapshot");
         writer.append_frame(&rec.result.containers).expect("append frame");
         // The checkpoint must pair with the durable prefix: persist it
         // only once the matching frame's append has returned. The crash
@@ -78,7 +84,7 @@ fn main() {
     assert!(session.models().is_some(), "restored with fitted models — no recalibration");
     for &z in &redshifts[report.frames_kept..] {
         let snap = cfg.generate(z);
-        let rec = session.push_snapshot(&snap.baryon_density);
+        let rec = session.push_snapshot(&snap.baryon_density).expect("finite snapshot");
         assert_ne!(
             rec.stats.recalibration,
             Recalibration::Full,

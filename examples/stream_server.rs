@@ -12,18 +12,35 @@
 
 use adaptive_config::comm::CommGroup;
 use adaptive_config::{QualityPolicy, SessionConfig};
-use gridlab::Decomposition;
+use gridlab::{Decomposition, Field3};
 use nyxlite::NyxConfig;
-use stream_server::{ServerConfig, StreamServer, TenantConfig};
+use stream_server::{PushOutcome, ServerConfig, ServerError, StreamServer, TenantConfig};
+
+/// Push with backoff: on `Overloaded`, sleep for the server's
+/// `retry_hint` — the shard's smoothed service time times the queue
+/// depth — instead of a guessed constant. The hint shrinks as the queue
+/// drains, so retries self-pace to the actual drain rate.
+fn push_with_retry(server: &StreamServer<f32>, tenant: usize, field: Field3<f32>) -> PushOutcome {
+    loop {
+        match server.push(tenant, field.clone()) {
+            Ok(out) => return out,
+            Err(ServerError::Overloaded { retry_hint, .. }) => std::thread::sleep(retry_hint),
+            Err(e) => panic!("push failed: {e}"),
+        }
+    }
+}
 
 fn main() {
     let n = 32;
     let ranks = 6;
     let steps = 4;
 
+    // A deliberately tight queue (2 slots for 6 ranks on 3 workers) so
+    // admission control actually rejects under the offered load and the
+    // retry loop above exercises `retry_hint`.
     let server: StreamServer<f32> = StreamServer::start(ServerConfig {
         workers: 3,
-        queue_capacity: 8,
+        queue_capacity: 2,
         global_budget: Some(4.0),
         ..ServerConfig::default()
     });
@@ -68,9 +85,7 @@ fn main() {
                         let seed = if poisoned { 100 * step as u64 + 11 } else { rank as u64 };
                         let z = 42.0 - 2.0 * step as f64;
                         let snap = NyxConfig::new(n, seed).generate(z);
-                        let out = server
-                            .push(tenant, snap.temperature.clone())
-                            .expect("push admitted: queues sized for the offered load");
+                        let out = push_with_retry(server, tenant, snap.temperature.clone());
                         ratio_sum += out.record.result.original_bytes as f64
                             / out.record.result.compressed_bytes as f64;
                         if out.record.stats.recalibration

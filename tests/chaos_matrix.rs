@@ -1,0 +1,405 @@
+//! Chaos matrix: every adversarial scenario from the `scenarios` crate
+//! driven through the streaming stack, with the drift detector's
+//! true-positive / false-positive envelope pinned per scenario.
+//!
+//! The contract under test:
+//!
+//! * **TP** — every regime-shift scenario fires [`Recalibration::Refreshed`]
+//!   at (or by) the snapshot its [`DriftExpectation`] names;
+//! * **FP** — healthy series (smooth evolution, frozen AMR hierarchy)
+//!   never fire at all;
+//! * **poison** — NaN/∞-laced fields surface as typed errors through both
+//!   the session ([`PushError::NonFiniteInput`]) and the server
+//!   ([`ServerError::NonFiniteInput`]) push paths, and quarantine (never
+//!   panic) at the codec layer;
+//! * **sigma = 0** — constant and constant-padded fields calibrate and
+//!   stream under `SigmaScaled` without degenerate fits;
+//! * **localisation** — a drift confined to a few partitions refits only
+//!   those partitions, measurably cheaper than the full-bank budget.
+
+use adaptive_config::session::drift_residuals;
+use adaptive_config::{
+    PushError, QualityPolicy, Recalibration, SessionConfig, SnapshotRecord, StreamSession,
+};
+use codec_core::{CodecId, CodecScratch};
+use gridlab::{Decomposition, Dim3, Field3};
+use proptest::prelude::*;
+use scenarios::{
+    all_constant, amr_nested, constant_padded, inf_laced, nan_laced, scenario_matrix, shock_front,
+    shot_noise, smooth_grf, DriftExpectation, Rng64, ScenarioSeries,
+};
+use stream_server::{ServerConfig, ServerError, StreamServer, TenantConfig};
+
+const N: usize = 16;
+
+/// The harness drift threshold: above the healthy-series residual
+/// ceiling (the FP envelope — 0.17 smooth, 0.29 frozen-AMR in-sample
+/// misfit on these grids), below every adversarial scenario's worst
+/// misprediction (0.50 shot noise, 0.74 regime shift, ≫1 moving shock).
+/// The envelope test prints the observed margins so CI logs document
+/// them.
+const HARNESS_THRESHOLD: f64 = 0.35;
+
+fn session_for(n: usize) -> StreamSession {
+    let dec = Decomposition::cubic(n, 2).expect("2 divides the scenario grids");
+    StreamSession::new(
+        SessionConfig::new(dec, QualityPolicy::SigmaScaled(0.1))
+            .with_drift_threshold(HARNESS_THRESHOLD),
+    )
+}
+
+/// Drive one series through a fresh session; returns the per-snapshot
+/// records (index 0 is the calibration snapshot).
+fn run_series(series: &ScenarioSeries) -> Vec<SnapshotRecord> {
+    let mut session = session_for(N);
+    series
+        .fields
+        .iter()
+        .map(|f| session.push_snapshot(f).expect("scenario fields are finite"))
+        .collect()
+}
+
+fn fires(records: &[SnapshotRecord]) -> Vec<usize> {
+    records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.stats.recalibration == Recalibration::Refreshed)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The pinned TP/FP envelope: what each scenario's expectation demands of
+/// an observed fire pattern.
+fn check_envelope(name: &str, expect: &DriftExpectation, fired: &[usize]) {
+    match *expect {
+        DriftExpectation::Quiet => {
+            assert!(fired.is_empty(), "{name}: healthy series must stay quiet, fired at {fired:?}");
+        }
+        DriftExpectation::FiresAt(at) => {
+            assert!(
+                fired.contains(&at),
+                "{name}: regime shift at snapshot {at} missed (fired at {fired:?})"
+            );
+            assert!(
+                fired.iter().all(|&s| s >= at),
+                "{name}: false positive before the shift (fired at {fired:?}, shift at {at})"
+            );
+        }
+        DriftExpectation::Continual { min, by } => {
+            let early = fired.iter().filter(|&&s| s <= by).count();
+            assert!(
+                early >= min,
+                "{name}: expected ≥{min} refresh(es) by snapshot {by}, fired at {fired:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn drift_detector_meets_the_scenario_envelope() {
+    for series in scenario_matrix(N) {
+        let records = run_series(&series);
+        let fired = fires(&records);
+        let worst = records.iter().skip(1).map(|r| r.stats.drift_residual).fold(0.0f64, f64::max);
+        eprintln!(
+            "chaos {:<22} worst residual {worst:8.3}  threshold {HARNESS_THRESHOLD}  fired {fired:?}",
+            series.name
+        );
+        check_envelope(series.name, &series.expect, &fired);
+        // Every residual the detector saw is usable arithmetic — finite
+        // or deliberately saturated, never NaN (NaN > threshold is
+        // silently false and would disable the alarm).
+        for r in &records {
+            assert!(r.stats.drift_residual.is_finite(), "{}: NaN drift signal", series.name);
+            assert!(r.residuals.iter().all(|v| v.is_finite()), "{}: NaN residual", series.name);
+        }
+    }
+}
+
+#[test]
+fn scenario_envelope_holds_through_the_server_deferred_path() {
+    // Same envelope through `StreamServer` (deferred refresh tasks,
+    // completed lazily before the tenant's next push) for the sharpest
+    // TP scenario and one healthy FP control.
+    let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+        workers: 1,
+        degrade_threshold: 1.0,
+        ..ServerConfig::default()
+    });
+    for series in scenario_matrix(N) {
+        if !matches!(series.expect, DriftExpectation::FiresAt(_) | DriftExpectation::Quiet) {
+            continue;
+        }
+        let dec = Decomposition::cubic(N, 2).expect("2 divides 16");
+        let id = server
+            .register(TenantConfig::new(
+                SessionConfig::new(dec, QualityPolicy::SigmaScaled(0.1))
+                    .with_drift_threshold(HARNESS_THRESHOLD),
+            ))
+            .unwrap();
+        let mut fired = Vec::new();
+        for (s, f) in series.fields.iter().enumerate() {
+            let out = server.push(id, f.clone()).expect("finite scenario push");
+            if out.record.stats.recalibration == Recalibration::Refreshed {
+                fired.push(s);
+            }
+        }
+        check_envelope(series.name, &series.expect, &fired);
+        server.close_tenant(id).unwrap();
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn non_finite_fields_are_typed_errors_on_the_session_push_path() {
+    for poisoned in [nan_laced(N, 3, 0.01), inf_laced(N, 4, 0.01)] {
+        let mut session = session_for(N);
+        // Reject on the calibration push...
+        match session.push_snapshot(&poisoned) {
+            Err(PushError::NonFiniteInput { non_finite, cells }) => {
+                assert!(non_finite > 0 && non_finite < cells);
+                assert_eq!(cells, N * N * N);
+            }
+            other => panic!("expected NonFiniteInput, got {other:?}"),
+        }
+        // ...and on a post-calibration push, leaving the session usable.
+        session.push_snapshot(&smooth_grf(N, 1, 3.0)).expect("finite field calibrates");
+        assert!(matches!(session.push_snapshot(&poisoned), Err(PushError::NonFiniteInput { .. })));
+        let rec = session.push_snapshot(&smooth_grf(N, 1, 3.1)).expect("session survived");
+        assert!(rec.stats.drift_residual.is_finite());
+    }
+}
+
+#[test]
+fn non_finite_fields_are_typed_errors_on_the_server_push_path() {
+    let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+        workers: 1,
+        degrade_threshold: 1.0,
+        ..ServerConfig::default()
+    });
+    let dec = Decomposition::cubic(N, 2).expect("2 divides 16");
+    let id = server
+        .register(TenantConfig::new(SessionConfig::new(dec, QualityPolicy::SigmaScaled(0.1))))
+        .unwrap();
+    server.push(id, smooth_grf(N, 1, 3.0)).expect("finite field calibrates");
+    match server.push(id, nan_laced(N, 5, 0.02)) {
+        Err(ServerError::NonFiniteInput { non_finite, cells }) => {
+            assert!(non_finite > 0);
+            assert_eq!(cells, N * N * N);
+        }
+        other => panic!("expected NonFiniteInput, got {other:?}"),
+    }
+    server.push(id, smooth_grf(N, 1, 3.05)).expect("tenant survived the poison");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn poisoned_fields_quarantine_without_panic_at_the_codec_layer() {
+    // Below the session's screen, both backends must degrade gracefully:
+    // rsz quarantines NaN/∞ bit-exactly, zfp decodes the poisoned block
+    // as zeros. Neither may panic or corrupt neighbouring cells.
+    let dims = Dim3::cube(N);
+    let mut scratch = CodecScratch::default();
+    for field in [nan_laced(N, 6, 0.03), inf_laced(N, 7, 0.03)] {
+        for id in CodecId::ALL {
+            let bytes = id.compress_slice_with(field.as_slice(), dims, 0.1, &mut scratch);
+            let (back, d) = id.decompress_slice_with::<f32>(&bytes, &mut scratch).expect("decodes");
+            assert_eq!(d, dims);
+            if id.caps().preserves_non_finite {
+                for (a, b) in field.as_slice().iter().zip(&back) {
+                    if !a.is_finite() {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{id}: poison must roundtrip");
+                    }
+                }
+            } else {
+                assert!(back.iter().all(|v| v.is_finite()), "{id}: quarantine decodes finite");
+            }
+        }
+    }
+}
+
+#[test]
+fn sigma_zero_fields_stream_under_sigma_scaled_policy() {
+    // A fully constant field has sigma = 0: the policy floors the bound
+    // at 1e-12 and calibration falls back to a flat (zero-slope) fit
+    // instead of a degenerate-abscissa panic.
+    let mut session = session_for(N);
+    for _ in 0..3 {
+        let rec = session.push_snapshot(&all_constant(N, 7.25)).expect("constant field streams");
+        assert!(rec.stats.eb_avg > 0.0 && rec.stats.eb_avg.is_finite());
+        assert!(rec.stats.drift_residual.is_finite());
+    }
+    // Half the domain constant (dead partitions), half alive: the mixed
+    // bank must calibrate and the dead partitions must not poison the
+    // drift signal on later snapshots.
+    let mut session = session_for(N);
+    for seed in 0..3 {
+        let rec = session
+            .push_snapshot(&constant_padded(N, 21 + seed, 0.5))
+            .expect("padded field streams");
+        assert!(rec.stats.drift_residual.is_finite());
+    }
+}
+
+/// Grid size for the localisation scenarios: 8³-cell partition bricks
+/// (cubic(32, 4), 64 partitions), big enough that a constant brick's
+/// measured rate is payload- not header-dominated — the regime where a
+/// flattened partition is sharply mispredicted.
+const NLOC: usize = 32;
+
+/// A rough base field where a collapsed object (two bricks suddenly
+/// constant at a far-off mean) appears: drift localised to those
+/// partitions, and — because the new bricks have a *distinct mean* — a
+/// regime the `C(mean)` model family can absorb once refreshed.
+fn field_with_void(n: usize, seed: u64, void: bool) -> Field3<f32> {
+    let mut f = smooth_grf(n, seed, 60.0);
+    if void {
+        // Partitions of cubic(32, 4) are 8³ bricks; flatten the four
+        // bricks of the (bx = 0, by = 0) column.
+        for x in 0..8 {
+            for y in 0..8 {
+                for z in 0..n {
+                    f.set(x, y, z, 2000.0);
+                }
+            }
+        }
+    }
+    f
+}
+
+fn localisation_cfg() -> SessionConfig {
+    let dec = Decomposition::cubic(NLOC, 4).expect("4 divides 32");
+    // FixedEb keeps partitions decoupled (SigmaScaled would let the
+    // void shift the global sigma and drift *every* partition's bound).
+    SessionConfig::new(dec, QualityPolicy::FixedEb(0.5)).with_drift_threshold(HARNESS_THRESHOLD)
+}
+
+#[test]
+fn localised_drift_refits_only_the_offending_partitions() {
+    let cfg = localisation_cfg();
+    let parts = cfg.dec.num_partitions();
+    assert_eq!(parts, 64);
+    // The budget the old whole-bank refresh always paid.
+    let full_budget = parts.div_ceil(cfg.refresh_stride.min(parts - 1).max(1)).max(2);
+    let mut session = StreamSession::new(cfg);
+    session.push_snapshot(&field_with_void(NLOC, 11, false)).expect("calibrates");
+    session.push_snapshot(&field_with_void(NLOC, 12, false)).expect("healthy step");
+    let rec = session.push_snapshot(&field_with_void(NLOC, 13, true)).expect("void step");
+    assert_eq!(
+        rec.stats.recalibration,
+        Recalibration::Refreshed,
+        "a collapse rewriting 4/64 partitions must trip the detector \
+         (drift_residual {})",
+        rec.stats.drift_residual
+    );
+    eprintln!(
+        "chaos localisation: refreshed {} of {} partitions (full-bank budget {})",
+        rec.stats.refreshed_partitions, parts, full_budget
+    );
+    assert!(
+        rec.stats.refreshed_partitions < full_budget,
+        "localised refresh must sample fewer bricks than the full-bank budget: \
+         {} vs {}",
+        rec.stats.refreshed_partitions,
+        full_budget
+    );
+    assert!(rec.stats.refreshed_partitions >= 2, "fit needs its two-brick minimum");
+    // The refreshed models absorb the new regime: the persisting void
+    // stays quiet on the following snapshot.
+    let calm = session.push_snapshot(&field_with_void(NLOC, 14, true)).expect("void persists");
+    assert_eq!(calm.stats.recalibration, Recalibration::Skipped, "refresh must absorb the void");
+}
+
+#[test]
+fn shot_noise_is_mispriced_by_the_power_law_model() {
+    // Documented mis-pricing (see ROADMAP): particle-deposited counts
+    // violate the smooth-field premise behind `b = C(mean)·eb^c`, so the
+    // model keeps over/under-shooting as the particle load grows — the
+    // detector compensates by refreshing continually. This test is the
+    // executable form of that claim: residuals on shot noise stay an
+    // order of magnitude above the healthy-series envelope.
+    let series = scenario_matrix(N);
+    let shot =
+        series.iter().find(|s| s.name == "shot_noise_infall").expect("matrix has shot noise");
+    let healthy = series.iter().find(|s| s.name == "healthy_smooth").expect("matrix has smooth");
+    let worst = |s: &ScenarioSeries| {
+        run_series(s)
+            .iter()
+            .skip(1) // snapshot 0 is calibration, residual is in-sample
+            .map(|r| r.stats.drift_residual)
+            .fold(0.0f64, f64::max)
+    };
+    let (shot_worst, healthy_worst) = (worst(shot), worst(healthy));
+    eprintln!("chaos mispricing: shot noise {shot_worst:.3} vs healthy {healthy_worst:.3}");
+    assert!(
+        shot_worst > HARNESS_THRESHOLD && shot_worst > 2.0 * healthy_worst,
+        "shot noise no longer mis-priced? worst residual {shot_worst:.3} vs healthy \
+         {healthy_worst:.3} — if a model change fixed this, move the scenario to the \
+         healthy set and close the ROADMAP follow-up"
+    );
+}
+
+#[test]
+fn per_partition_residuals_expose_the_void_not_the_neighbours() {
+    // White-box check of the localisation signal itself: residuals are
+    // per-partition, and only the flattened bricks spike.
+    let cfg = localisation_cfg();
+    let threshold = cfg.drift_threshold;
+    let mut session = StreamSession::new(cfg);
+    session.push_snapshot(&field_with_void(NLOC, 11, false)).expect("calibrates");
+    let rec = session.push_snapshot(&field_with_void(NLOC, 13, true)).expect("void step");
+    let spiked: Vec<usize> =
+        rec.residuals.iter().enumerate().filter(|(_, &r)| r > threshold).map(|(i, _)| i).collect();
+    assert!(
+        (4..=7).contains(&spiked.len()),
+        "expected a handful of spiked partitions (the 4-brick collapse plus at \
+         most its shadow), got {spiked:?}"
+    );
+    // The collapsed column is (bx = 0, by = 0): partition ids 0..4 under
+    // the z-fastest id layout.
+    for id in 0..4 {
+        assert!(spiked.contains(&id), "collapsed brick {id} must spike: {spiked:?}");
+    }
+    let _ = drift_residuals; // re-exported entry point used by the session internally
+}
+
+proptest! {
+    // The vendored runner caps this further via PROPTEST_CASES (CI: 64).
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No generator output — whatever the parameters — may panic the
+    /// full pipeline: finite fields stream, poisoned fields surface as
+    /// the typed rejection.
+    #[test]
+    fn no_generator_output_panics_the_pipeline(
+        kind in 0usize..7,
+        seed in 0u64..1000,
+        knob in 0.05f64..0.95,
+    ) {
+        let n = 8; // smallest cubic(·, 2)-decomposable scenario grid
+        let field = match kind {
+            0 => smooth_grf(n, seed, 0.1 + knob * 200.0),
+            1 => amr_nested(n, seed, 1 + (knob * 4.0) as usize),
+            2 => shot_noise(n, seed, 1 + (knob * 4096.0) as usize),
+            3 => shock_front(n, seed, knob),
+            4 => constant_padded(n, seed, knob),
+            5 => nan_laced(n, seed, knob),
+            _ => inf_laced(n, seed, knob),
+        };
+        let mut session = session_for(n);
+        for _ in 0..2 {
+            match session.push_snapshot(&field) {
+                Ok(rec) => prop_assert!(rec.stats.drift_residual.is_finite()),
+                Err(PushError::NonFiniteInput { non_finite, cells }) => {
+                    prop_assert!(non_finite > 0 && non_finite <= cells);
+                }
+                Err(e) => {
+                    return Err(TestCaseError::Fail(format!("unexpected error {e}")));
+                }
+            }
+        }
+        // And the raw generators keep the determinism contract.
+        let mut rng = Rng64::new(seed);
+        let _ = rng.next_u64();
+    }
+}

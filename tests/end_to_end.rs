@@ -13,7 +13,7 @@ fn pipeline_for(field: &Field3<f32>, dec: &Decomposition, target: QualityTarget)
     let eb = target.eb_avg;
     let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb).collect();
     let cfg = PipelineConfig::new(dec.clone(), target);
-    InSituPipeline::calibrate(cfg, field, 4, &sweep).0
+    InSituPipeline::calibrate(cfg, field, 4, &sweep).expect("finite field calibrates").0
 }
 
 #[test]

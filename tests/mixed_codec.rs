@@ -35,7 +35,8 @@ fn build(n: usize, parts: usize) -> (InSituPipeline, Field3<f32>, Decomposition,
     let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0, 4.0].iter().map(|m| m * eb_avg).collect();
     let cfg = PipelineConfig::new(dec.clone(), QualityTarget::fft_only(eb_avg))
         .with_codecs(&CodecId::ALL);
-    let (p, _) = InSituPipeline::calibrate(cfg, &field, 2, &sweep);
+    let (p, _) =
+        InSituPipeline::calibrate(cfg, &field, 2, &sweep).expect("finite field calibrates");
     (p, field, dec, eb_avg)
 }
 

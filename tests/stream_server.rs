@@ -121,7 +121,7 @@ fn eight_threaded_streams_match_single_tenant_byte_for_byte() {
         let mut reference = StreamSession::new(cfg_for(t));
         let mut refreshed = 0;
         for (step, f) in series(t, steps, n).iter().enumerate() {
-            let want = reference.push_snapshot(f);
+            let want = reference.push_snapshot(f).expect("finite reference snapshot");
             if want.stats.recalibration == Recalibration::Refreshed {
                 refreshed += 1;
             }

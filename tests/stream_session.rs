@@ -28,7 +28,7 @@ fn run_series(
     let mut stream = StreamWriter::new(dec.num_partitions());
     for &z in &REDSHIFTS {
         let snap = cfg.generate(z);
-        let rec = session.push_snapshot(&snap.baryon_density);
+        let rec = session.push_snapshot(&snap.baryon_density).expect("finite snapshot");
         stream.push_frame(&rec.result.containers);
     }
     (session, stream.finish(), dec)
@@ -110,7 +110,7 @@ fn stream_frames_decode_within_their_recorded_bounds() {
     let mut fields = Vec::new();
     for &z in &REDSHIFTS {
         let snap = cfg.generate(z);
-        let rec = session.push_snapshot(&snap.baryon_density);
+        let rec = session.push_snapshot(&snap.baryon_density).expect("finite snapshot");
         stream.push_frame(&rec.result.containers);
         all_ebs.push(rec.result.ebs.clone());
         fields.push(snap.baryon_density);
@@ -143,7 +143,13 @@ fn kill_and_resume_reproduces_the_uninterrupted_stream() {
     let mut reference = StreamSession::new(session_cfg());
     let ref_frames: Vec<_> = REDSHIFTS
         .iter()
-        .map(|&z| reference.push_snapshot(&cfg.generate(z).baryon_density).result.containers)
+        .map(|&z| {
+            reference
+                .push_snapshot(&cfg.generate(z).baryon_density)
+                .expect("finite snapshot")
+                .result
+                .containers
+        })
         .collect();
 
     // Durable run, torn while writing frame 2. The checkpoint pairs with
@@ -155,7 +161,7 @@ fn kill_and_resume_reproduces_the_uninterrupted_stream() {
     let mut writer = StreamFileWriter::create(&path, dec.num_partitions()).unwrap();
     let mut blob = Vec::new();
     for (i, &z) in REDSHIFTS[..3].iter().enumerate() {
-        let rec = session.push_snapshot(&cfg.generate(z).baryon_density);
+        let rec = session.push_snapshot(&cfg.generate(z).baryon_density).expect("finite snapshot");
         writer.append_frame(&rec.result.containers).unwrap();
         if i < 2 {
             blob = session.save();
@@ -172,7 +178,7 @@ fn kill_and_resume_reproduces_the_uninterrupted_stream() {
     assert!(report.bytes_dropped > 0);
     let mut session = StreamSession::restore(&blob).expect("restores");
     for &z in &REDSHIFTS[report.frames_kept..] {
-        let rec = session.push_snapshot(&cfg.generate(z).baryon_density);
+        let rec = session.push_snapshot(&cfg.generate(z).baryon_density).expect("finite snapshot");
         assert_ne!(rec.stats.recalibration, Recalibration::Full, "restore skips recalibration");
         writer.append_frame(&rec.result.containers).unwrap();
     }
