@@ -49,6 +49,6 @@ pub use optimizer::{OptimizedConfig, Optimizer, QualityTarget};
 pub use pipeline::{InSituPipeline, PipelineConfig, PipelineResult};
 pub use ratio_model::{CalibrationError, CodecModelBank, PartitionFeature, RatioModel};
 pub use session::{
-    PushError, QualityPolicy, Recalibration, RefreshTask, SessionConfig, SnapshotRecord,
-    SnapshotStats, StreamSession,
+    PushError, QualityPolicy, Recalibration, RefreshTask, SessionConfig, SessionMetrics,
+    SnapshotRecord, SnapshotStats, StreamSession,
 };

@@ -103,7 +103,9 @@ use crate::ratio_model::{
 use codec_core::{fnv1a64, CodecId, Container};
 use gridlab::{Decomposition, Field3, Scalar};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use telemetry::{Counter, Event, Gauge, Histogram, MetricsRegistry};
 
 /// Why a snapshot push was rejected. The session state is untouched by a
 /// rejected push — the caller can fix or drop the offending snapshot and
@@ -438,6 +440,64 @@ pub struct SnapshotRecord {
 /// the mean up.
 const BITRATE_FLOOR: f64 = 1e-3;
 
+/// Telemetry handles a session caches when a registry is attached via
+/// [`StreamSession::attach_metrics`]. Handles are resolved once at
+/// attach time (registration takes the registry mutex); per-push updates
+/// are lock-free. Cloning shares the handles — clones report into the
+/// same series.
+#[derive(Debug, Clone)]
+pub struct SessionMetrics {
+    registry: Arc<MetricsRegistry>,
+    stream: u64,
+    /// `session_drift_residual{stream}`: drift residual of the latest
+    /// push (gauge — the instantaneous drift signal).
+    drift_gauge: Arc<Gauge>,
+    /// `session_model_ns{kind="calibration"}`: full-calibration cost.
+    model_calibration_ns: Arc<Histogram>,
+    /// `session_model_ns{kind="refresh"}`: localized-refresh cost
+    /// (sampling only, for deferred refreshes).
+    model_refresh_ns: Arc<Histogram>,
+    /// `session_steady_ns`: steady-state modeling per push (feature
+    /// extraction + optimizer resolve — the no-recalibration cost).
+    steady_ns: Arc<Histogram>,
+    /// `span_self_ns{phase="session_push"}`: the push's self time, i.e.
+    /// excluding the codec compress spans nested inside it.
+    push_span_ns: Arc<Histogram>,
+    refresh_partitions: Arc<Counter>,
+    refreshes: Arc<Counter>,
+}
+
+impl SessionMetrics {
+    fn new(registry: Arc<MetricsRegistry>, stream: u64) -> Self {
+        let s = stream.to_string();
+        let by_stream: &[(&str, &str)] = &[("stream", s.as_str())];
+        Self {
+            drift_gauge: registry.gauge("session_drift_residual", by_stream),
+            model_calibration_ns: registry
+                .histogram("session_model_ns", &[("stream", &s), ("kind", "calibration")]),
+            model_refresh_ns: registry
+                .histogram("session_model_ns", &[("stream", &s), ("kind", "refresh")]),
+            steady_ns: registry.histogram("session_steady_ns", by_stream),
+            push_span_ns: registry
+                .histogram("span_self_ns", &[("stream", &s), ("phase", "session_push")]),
+            refresh_partitions: registry.counter("session_refresh_partitions_total", by_stream),
+            refreshes: registry.counter("session_refreshes_total", by_stream),
+            registry,
+            stream,
+        }
+    }
+
+    /// The registry these handles report into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The stream id used as the `stream` label.
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+}
+
 /// The streaming session engine. See the module docs for the lifecycle.
 #[derive(Debug, Clone)]
 pub struct StreamSession {
@@ -451,6 +511,11 @@ pub struct StreamSession {
     prior: (usize, usize, usize),
     /// Drift residual of the most recent snapshot (restored included).
     last_drift: f64,
+    /// Telemetry handles, when a registry is attached. Purely
+    /// observational: never serialized (checkpoints carry no metrics —
+    /// a restored session starts detached) and never affects the
+    /// compressed bytes.
+    metrics: Option<SessionMetrics>,
 }
 
 impl StreamSession {
@@ -467,7 +532,23 @@ impl StreamSession {
             calibration_reports: Vec::new(),
             prior: (0, 0, 0),
             last_drift: 0.0,
+            metrics: None,
         }
+    }
+
+    /// Attach a metrics registry: per-push modeling timings, the drift
+    /// gauge, refresh counters, and the drift/refresh/checkpoint events
+    /// start reporting under the `stream` label. The multi-tenant server
+    /// attaches its own registry per tenant; standalone sessions may
+    /// attach [`telemetry::global`]. Observational only — attaching (or
+    /// not) never changes the compressed bytes.
+    pub fn attach_metrics(&mut self, registry: Arc<MetricsRegistry>, stream: u64) {
+        self.metrics = Some(SessionMetrics::new(registry, stream));
+    }
+
+    /// The attached metrics handles, if any.
+    pub fn metrics(&self) -> Option<&SessionMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Compress the next snapshot of the series. Rejects non-finite
@@ -516,6 +597,12 @@ impl StreamSession {
         if non_finite > 0 {
             return Err(PushError::NonFiniteInput { non_finite, cells: field.len() });
         }
+        // Span over the whole (accepted) push: its recorded self time
+        // excludes the codec compress spans nested inside, so the phase
+        // breakdown push → compress sums instead of double-counting. The
+        // handle is cloned out so the guard's borrow cannot pin `self`.
+        let push_span_hist = self.metrics.as_ref().map(|m| Arc::clone(&m.push_span_ns));
+        let _push_span = push_span_hist.as_ref().map(|h| telemetry::span(h));
         let sigma = gridlab::stats::summarize(field.as_slice()).std_dev();
         let mut model_cost = Duration::ZERO;
         let mut recalibration = Recalibration::Skipped;
@@ -584,6 +671,32 @@ impl StreamSession {
             refreshed_partitions,
             timings: result.timings,
         };
+        if let Some(m) = &self.metrics {
+            m.drift_gauge.set(drift_residual);
+            let steady = stats.timings.features + stats.timings.optimize;
+            m.steady_ns.record(steady.as_nanos() as u64);
+            match recalibration {
+                Recalibration::Full => {
+                    m.model_calibration_ns.record(model_cost.as_nanos() as u64);
+                }
+                Recalibration::Refreshed => {
+                    m.model_refresh_ns.record(model_cost.as_nanos() as u64);
+                    m.refreshes.inc();
+                    m.refresh_partitions.add(refreshed_partitions as u64);
+                    m.registry.record_event(Event::DriftDetected {
+                        stream: m.stream,
+                        residual: drift_residual,
+                        partitions: refreshed_partitions as u64,
+                    });
+                    if deferred.is_none() {
+                        // Inline refreshes complete within this push; the
+                        // deferred path completes in `install_refresh`.
+                        m.registry.record_event(Event::RefreshCompleted { stream: m.stream });
+                    }
+                }
+                Recalibration::Skipped => {}
+            }
+        }
         self.history.push(stats);
         self.last_drift = drift_residual;
         Ok((SnapshotRecord { result, stats, residuals }, deferred))
@@ -615,6 +728,9 @@ impl StreamSession {
         assert!(task.is_done(), "refresh task has {} steps left", task.remaining());
         let bank = task.into_bank();
         self.pipeline.as_mut().expect("a refresh implies a calibrated session").set_models(bank);
+        if let Some(m) = &self.metrics {
+            m.registry.record_event(Event::RefreshCompleted { stream: m.stream });
+        }
     }
 
     /// Swap the quality policy mid-series — the hook a multi-tenant
@@ -746,7 +862,14 @@ impl StreamSession {
     /// fitted model bank, the quality policy and partition geometry, the
     /// optimizer tuning, and the drift state.
     pub fn save(&self) -> Vec<u8> {
-        self.checkpoint().to_bytes()
+        let bytes = self.checkpoint().to_bytes();
+        if let Some(m) = &self.metrics {
+            m.registry.record_event(Event::CheckpointSaved {
+                stream: m.stream,
+                bytes: bytes.len() as u64,
+            });
+        }
+        bytes
     }
 
     /// Rebuild a session from [`StreamSession::save`] bytes. The restored
@@ -794,6 +917,7 @@ impl StreamSession {
             calibration_reports: Vec::new(),
             prior: (snapshots, full_calibrations, refreshes),
             last_drift,
+            metrics: None,
         })
     }
 }

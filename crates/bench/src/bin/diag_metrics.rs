@@ -1,0 +1,230 @@
+//! Diagnostic + CI smoke gate for the telemetry subsystem.
+//!
+//! Drives a tiny two-tenant workload (16³ fields) through every
+//! instrumented path — overload rejection, quality degradation, drift
+//! refresh, session checkpoint, durable persistence, and truncated-tail
+//! recovery — then prints the Prometheus and JSON renders of the three
+//! registries involved (the server's, a standalone session's, and the
+//! process-global codec registry) and validates the exposition format:
+//!
+//! * every non-comment Prometheus line must parse as `name{labels} value`
+//!   (or `name value`) with an identifier name, well-formed `k="v"`
+//!   labels, and a finite value;
+//! * every `*_total` series (counters) must be non-negative;
+//! * both JSON renders must parse.
+//!
+//! Exits nonzero on any violation, so CI can run it as a gate:
+//!
+//! ```text
+//! cargo run --release --bin diag_metrics
+//! ```
+
+use adaptive_config::{QualityPolicy, SessionConfig, StreamSession};
+use codec_core::{recover_stream, SyncPolicy};
+use gridlab::{Decomposition, Dim3, Field3};
+use std::sync::Arc;
+use stream_server::{ServerConfig, ServerError, StreamServer, TenantConfig};
+use telemetry::MetricsRegistry;
+
+const N: usize = 16;
+
+fn field(amp: f64, seed: u64) -> Field3<f32> {
+    let mut state = seed;
+    Field3::from_fn(Dim3::cube(N), |x, y, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        let base = if x >= N / 2 && y >= N / 2 { 40.0 * amp } else { 8.0 };
+        (base + amp * noise) as f32
+    })
+}
+
+fn session_cfg(policy: QualityPolicy) -> SessionConfig {
+    SessionConfig::new(Decomposition::cubic(N, 2).expect("2 divides 16"), policy)
+}
+
+/// Validate one registry's Prometheus render; returns format violations.
+fn validate_prometheus(which: &str, text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut series = 0usize;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        series += 1;
+        let Some((name_part, value_part)) = line.rsplit_once(' ') else {
+            errs.push(format!("{which}: no value separator in {line:?}"));
+            continue;
+        };
+        match value_part.parse::<f64>() {
+            Ok(v) if v.is_finite() => {
+                let name = name_part.split('{').next().unwrap_or("");
+                if (name.ends_with("_total") || name.ends_with("_count")) && v < 0.0 {
+                    errs.push(format!("{which}: negative counter in {line:?}"));
+                }
+            }
+            _ => errs.push(format!("{which}: non-finite or unparsable value in {line:?}")),
+        }
+        let (name, labels) = match name_part.split_once('{') {
+            Some((n, rest)) => (n, Some(rest)),
+            None => (name_part, None),
+        };
+        let ident = |s: &str| {
+            !s.is_empty()
+                && !s.starts_with(|c: char| c.is_ascii_digit())
+                && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        };
+        if !ident(name) {
+            errs.push(format!("{which}: bad metric name in {line:?}"));
+        }
+        if let Some(rest) = labels {
+            let Some(body) = rest.strip_suffix('}') else {
+                errs.push(format!("{which}: unterminated label set in {line:?}"));
+                continue;
+            };
+            for pair in body.split(',') {
+                let ok = pair
+                    .split_once("=\"")
+                    .map(|(k, v)| ident(k) && v.ends_with('"') && !v[..v.len() - 1].contains('"'))
+                    .unwrap_or(false);
+                if !ok {
+                    errs.push(format!("{which}: malformed label {pair:?} in {line:?}"));
+                }
+            }
+        }
+    }
+    if series == 0 {
+        errs.push(format!("{which}: render produced no series at all"));
+    }
+    errs
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("diag_metrics_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let stream_path = dir.join("tenant_a.strm");
+
+    // --- the two-tenant workload -----------------------------------------
+    // One slot, one worker, an aggressive ladder: admission control is
+    // guaranteed to both degrade and reject under the spam loop below.
+    let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        degrade_threshold: 0.5,
+        degrade_ladder: vec![2.0],
+        global_budget: None,
+    });
+    let a = server
+        .register(
+            TenantConfig::new(session_cfg(QualityPolicy::SigmaScaled(0.1)))
+                .with_stream(&stream_path, SyncPolicy::Flush),
+        )
+        .expect("register tenant A");
+    let b = server
+        .register(TenantConfig::new(
+            session_cfg(QualityPolicy::SigmaScaled(0.1)).with_drift_threshold(1e-6),
+        ))
+        .expect("register tenant B");
+
+    // Steady traffic: tenant A persists frames; tenant B's near-zero
+    // drift threshold schedules a refresh on every post-calibration push.
+    for step in 0..4 {
+        server.push(a, field(1.0 + 0.01 * step as f64, 7)).expect("tenant A push");
+        server.push(b, field(1.0 + 0.5 * step as f64, 1000 + step)).expect("tenant B push");
+    }
+    // Saturate the single shard slot until a typed reject lands.
+    let mut tickets = Vec::new();
+    loop {
+        match server.try_push(a, field(1.0, 5)) {
+            Ok(t) => tickets.push(t),
+            Err(ServerError::Overloaded { .. }) => break,
+            Err(e) => panic!("unexpected admission error {e}"),
+        }
+    }
+    for t in tickets {
+        t.wait().expect("admitted pushes complete");
+    }
+    let server_reg = Arc::clone(server.metrics());
+    server.close_tenant(a).expect("close A");
+    server.close_tenant(b).expect("close B");
+    server.shutdown().expect("clean shutdown");
+
+    // Standalone session: checkpoint path (CheckpointSaved event).
+    let session_reg = Arc::new(MetricsRegistry::new());
+    let mut session = StreamSession::new(session_cfg(QualityPolicy::SigmaScaled(0.1)));
+    session.attach_metrics(Arc::clone(&session_reg), 0);
+    session.push_snapshot(&field(1.0, 21)).expect("calibration push");
+    session.push_snapshot(&field(1.01, 21)).expect("steady push");
+    let ckpt = session.save();
+    assert!(!ckpt.is_empty(), "checkpoint bytes");
+
+    // Recovery paths into the process-global registry: clean first, then
+    // a torn tail (truncated mid-frame) that must count as truncated.
+    let bytes = std::fs::read(&stream_path).expect("stream file");
+    recover_stream(&bytes).expect("clean recovery");
+    let torn = &bytes[..bytes.len() - 17];
+    let (_, report) = recover_stream(torn).expect("torn recovery");
+    assert!(report.bytes_dropped > 0, "truncation must drop bytes");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // --- render + validate ------------------------------------------------
+    let mut errs = Vec::new();
+    for (which, reg) in [
+        ("server", server_reg.as_ref()),
+        ("session", session_reg.as_ref()),
+        ("global", telemetry::global()),
+    ] {
+        let prom = reg.render_prometheus();
+        println!("### {which} registry (prometheus)\n{prom}");
+        errs.extend(validate_prometheus(which, &prom));
+        let json = reg.render_json();
+        println!("### {which} registry (json)\n{json}\n");
+        if serde_json::from_str::<serde::Value>(&json).is_err() {
+            errs.push(format!("{which}: render_json does not parse"));
+        }
+    }
+
+    // Cross-check the workload left the marks it was designed to leave.
+    let snap = server_reg.snapshot();
+    let mut expect = |cond: bool, what: &str| {
+        if !cond {
+            errs.push(format!("workload mark missing: {what}"));
+        }
+    };
+    expect(snap.counter("server_overloaded_total", &[]).unwrap_or(0) >= 1, "overload reject");
+    expect(snap.counter("server_degraded_total", &[]).unwrap_or(0) >= 1, "degraded admit");
+    expect(
+        snap.events.iter().any(|e| matches!(e.event, telemetry::Event::DriftDetected { .. })),
+        "drift event",
+    );
+    let session_snap = session_reg.snapshot();
+    expect(
+        session_snap
+            .events
+            .iter()
+            .any(|e| matches!(e.event, telemetry::Event::CheckpointSaved { .. })),
+        "checkpoint event",
+    );
+    let global_snap = telemetry::global().snapshot();
+    expect(
+        global_snap.counter("stream_recoveries_total", &[("outcome", "truncated")]).unwrap_or(0)
+            >= 1,
+        "truncated recovery",
+    );
+    expect(
+        global_snap.counter("stream_recoveries_total", &[("outcome", "clean")]).unwrap_or(0) >= 1,
+        "clean recovery",
+    );
+    expect(
+        global_snap.histogram("codec_compress_ns", &[("codec", "rsz")]).map_or(0, |h| h.count) > 0,
+        "codec compress samples",
+    );
+
+    if errs.is_empty() {
+        println!("diag_metrics: all renders well-formed, all workload marks present");
+    } else {
+        for e in &errs {
+            eprintln!("diag_metrics violation: {e}");
+        }
+        std::process::exit(1);
+    }
+}

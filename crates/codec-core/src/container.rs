@@ -89,7 +89,10 @@ impl Container {
         eb: f64,
         scratch: &mut CodecScratch,
     ) -> Self {
+        let obs = crate::obs::codec_metrics(codec);
+        let _span = telemetry::span(&obs.compress_ns);
         let payload = codec.compress_slice_with(values, dims, eb, scratch);
+        obs.compress_payload_bytes.add(payload.len() as u64);
         let mut bytes = Vec::with_capacity(WRAPPER_LEN + payload.len());
         bytes.extend_from_slice(MAGIC);
         bytes.push(CONTAINER_VERSION);
@@ -193,7 +196,10 @@ impl Container {
         &self,
         scratch: &mut CodecScratch,
     ) -> Result<(Vec<T>, Dim3), CodecError> {
+        let obs = crate::obs::codec_metrics(self.codec);
+        let _span = telemetry::span(&obs.decompress_ns);
         let payload = self.payload();
+        obs.decompress_payload_bytes.add(payload.len() as u64);
         if let Some(stored) = self.checksum() {
             let actual = fnv1a64(payload);
             if actual != stored {

@@ -65,6 +65,7 @@
 
 pub mod codec;
 pub mod container;
+mod obs;
 pub mod stream;
 pub mod stream_file;
 

@@ -1,0 +1,99 @@
+//! Cached telemetry handles for codec-core's static hot paths.
+//!
+//! `Container::compress`/`decode` and the stream-file writer are free
+//! functions/value types with no owner to hand them a registry, so they
+//! record into the process-wide [`telemetry::global`] registry. Handles
+//! are resolved once into `OnceLock` statics: the per-call cost is one
+//! atomic load plus the metric update itself — no name lookup, no lock.
+
+use crate::codec::CodecId;
+use std::sync::{Arc, OnceLock};
+use telemetry::{Counter, Histogram};
+
+pub(crate) struct CodecMetrics {
+    /// Self time of one compress call (span-recorded: nested under the
+    /// session's optimize/compress phase in the span stack).
+    pub compress_ns: Arc<Histogram>,
+    pub decompress_ns: Arc<Histogram>,
+    /// Compressed payload bytes produced (excluding the wrapper).
+    pub compress_payload_bytes: Arc<Counter>,
+    /// Compressed payload bytes consumed by decodes.
+    pub decompress_payload_bytes: Arc<Counter>,
+}
+
+fn codec_label(codec: CodecId) -> &'static str {
+    match codec {
+        CodecId::Rsz => "rsz",
+        CodecId::Zfp => "zfp",
+    }
+}
+
+pub(crate) fn codec_metrics(codec: CodecId) -> &'static CodecMetrics {
+    static ALL: OnceLock<Vec<CodecMetrics>> = OnceLock::new();
+    let all = ALL.get_or_init(|| {
+        let reg = telemetry::global();
+        CodecId::ALL
+            .iter()
+            .map(|&c| {
+                let l = codec_label(c);
+                CodecMetrics {
+                    compress_ns: reg.histogram("codec_compress_ns", &[("codec", l)]),
+                    decompress_ns: reg.histogram("codec_decompress_ns", &[("codec", l)]),
+                    compress_payload_bytes: reg
+                        .counter("codec_compress_payload_bytes_total", &[("codec", l)]),
+                    decompress_payload_bytes: reg
+                        .counter("codec_decompress_payload_bytes_total", &[("codec", l)]),
+                }
+            })
+            .collect()
+    });
+    &all[codec.tag() as usize]
+}
+
+pub(crate) struct StreamFileMetrics {
+    /// Self time of one `append_frame` (span-recorded: nested under the
+    /// server's persist phase).
+    pub append_ns: Arc<Histogram>,
+    /// Flush + (policy-dependent) fdatasync portion of an append.
+    pub sync_ns: Arc<Histogram>,
+    /// Container bytes appended to durable streams (wrapper included —
+    /// this is what hits the disk).
+    pub append_bytes: Arc<Counter>,
+    pub frames: Arc<Counter>,
+    /// Recovery scans that found the file cleanly finished (the bytes
+    /// past the valid prefix were exactly its trailer).
+    pub recoveries_clean: Arc<Counter>,
+    /// Recovery scans that dropped a torn tail (data lost).
+    pub recoveries_truncated: Arc<Counter>,
+}
+
+pub(crate) fn stream_file_metrics() -> &'static StreamFileMetrics {
+    static M: OnceLock<StreamFileMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = telemetry::global();
+        StreamFileMetrics {
+            append_ns: reg.histogram("stream_frame_append_ns", &[]),
+            sync_ns: reg.histogram("stream_frame_sync_ns", &[]),
+            append_bytes: reg.counter("stream_append_bytes_total", &[]),
+            frames: reg.counter("stream_frames_total", &[]),
+            recoveries_clean: reg.counter("stream_recoveries_total", &[("outcome", "clean")]),
+            recoveries_truncated: reg
+                .counter("stream_recoveries_total", &[("outcome", "truncated")]),
+        }
+    })
+}
+
+/// Record the outcome of a recovery scan: counter plus — when a torn
+/// tail was actually dropped — a [`telemetry::Event::RecoveryTruncated`]
+/// journal entry in the global registry. A finished file's stale trailer
+/// being rewritten is *not* truncation; the caller decides.
+pub(crate) fn record_recovery(frames_kept: usize, truncated: bool) {
+    let m = stream_file_metrics();
+    if truncated {
+        m.recoveries_truncated.inc();
+        telemetry::global()
+            .record_event(telemetry::Event::RecoveryTruncated { frames_kept: frames_kept as u64 });
+    } else {
+        m.recoveries_clean.inc();
+    }
+}

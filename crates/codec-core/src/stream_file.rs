@@ -300,7 +300,8 @@ pub fn stream_file_bytes(partitions: usize, frames: &[Vec<Container>]) -> Vec<u8
 /// (nothing is recoverable without the partition count).
 pub fn recover_stream(bytes: &[u8]) -> Result<(Vec<u8>, RecoveryReport), CodecError> {
     let (partitions, footers, valid_end) = scan_frames(bytes)?;
-    let mut out = bytes[..to_usize(valid_end, "valid prefix end")?].to_vec();
+    let prefix = to_usize(valid_end, "valid prefix end")?;
+    let mut out = bytes[..prefix].to_vec();
     out.extend_from_slice(&encode_trailer(&footers, valid_end));
     let report = RecoveryReport {
         partitions,
@@ -308,6 +309,9 @@ pub fn recover_stream(bytes: &[u8]) -> Result<(Vec<u8>, RecoveryReport), CodecEr
         bytes_kept: valid_end,
         bytes_dropped: bytes.len() as u64 - valid_end,
     };
+    // "Truncated" means data was lost — a finished file's own trailer
+    // past the prefix (byte-identical to the one just rebuilt) is not.
+    crate::obs::record_recovery(report.frames_kept, bytes[prefix..] != out[prefix..]);
     Ok((out, report))
 }
 
@@ -404,6 +408,9 @@ impl StreamFileWriter {
             bytes_kept: valid_end,
             bytes_dropped: bytes.len() as u64 - valid_end,
         };
+        let prefix = to_usize(valid_end, "valid prefix end")?;
+        let truncated = bytes[prefix..] != encode_trailer(&footers, valid_end)[..];
+        crate::obs::record_recovery(report.frames_kept, truncated);
         Ok((Self { file, path, partitions, sync, footers, cursor: valid_end }, report))
     }
 
@@ -417,6 +424,8 @@ impl StreamFileWriter {
             containers.len(),
             self.partitions
         );
+        let obs = crate::obs::stream_file_metrics();
+        let _span = telemetry::span(&obs.append_ns);
         let mut offsets = Vec::with_capacity(self.partitions + 1);
         let mut cursor = self.cursor;
         for c in containers {
@@ -427,12 +436,16 @@ impl StreamFileWriter {
         offsets.push(cursor);
         let footer = encode_footer(self.footers.len() as u32, &offsets);
         self.file.write_all(&footer).map_err(|e| io_err("write frame footer", e))?;
+        let sync_started = std::time::Instant::now();
         self.file.flush().map_err(|e| io_err("flush frame", e))?;
         if self.sync == SyncPolicy::SyncPerFrame {
             // sync_data covers every dirty byte of the file, so the header
             // (and any earlier frame) rides along with the first sync.
             self.file.sync_data().map_err(|e| io_err("sync frame", e))?;
         }
+        obs.sync_ns.record(sync_started.elapsed().as_nanos() as u64);
+        obs.append_bytes.add(cursor - self.cursor + footer.len() as u64);
+        obs.frames.inc();
         self.footers.push(cursor);
         self.cursor = cursor + footer.len() as u64;
         Ok(())

@@ -31,9 +31,10 @@
 //!   saturated queue: data jobs enter with `try_send`, and a full shard
 //!   queue surfaces as [`ServerError::Overloaded`] immediately — the
 //!   simulation decides whether to retry, drop, or slow down. The error
-//!   carries a [`retry_hint`](ServerError::Overloaded): the shard's
-//!   smoothed per-push service time times the queue depth — roughly when
-//!   a freed slot can be expected — so callers back off proportionally
+//!   carries a [`retry_hint`](ServerError::Overloaded): the shard's p90
+//!   per-push service time (from its `server_push_service_ns` histogram)
+//!   times the queue depth — roughly when a freed slot can be expected —
+//!   so callers back off proportionally
 //!   to the actual drain rate instead of guessing. Below
 //!   saturation, queue occupancy at or past
 //!   [`ServerConfig::degrade_threshold`] walks the
@@ -82,10 +83,10 @@ use gridlab::{Field3, Scalar};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use telemetry::{Counter, Event, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 
 /// Stable identifier of a registered stream (assigned by
 /// [`StreamServer::register`], unique for the server's lifetime).
@@ -189,8 +190,8 @@ pub enum ServerError {
         queue_len: usize,
         /// The shard queue's bounded capacity.
         capacity: usize,
-        /// Suggested backoff before retrying: the shard's smoothed
-        /// per-push service time scaled by the queue depth — an estimate
+        /// Suggested backoff before retrying: the shard's p90 push
+        /// service time scaled by the queue depth — an estimate
         /// of when a slot frees up. Producers that sleep this long
         /// retry roughly once per drained job instead of spinning.
         retry_hint: Duration,
@@ -318,23 +319,57 @@ enum Job<T: Scalar> {
     },
 }
 
+/// Per-tenant counter handles, registered when the tenant registers and
+/// bumped by the owning worker after each accepted push.
+struct TenantCounters {
+    /// `server_pushes_total{tenant}`.
+    pushes: Arc<Counter>,
+    /// `server_bytes_in_total{tenant}`: original snapshot bytes.
+    bytes_in: Arc<Counter>,
+    /// `server_bytes_out_total{tenant}`: compressed container bytes.
+    /// The tenant's achieved compression ratio is `bytes_in / bytes_out`.
+    bytes_out: Arc<Counter>,
+}
+
 /// Worker-side tenant state: the session, its optional durable writer,
-/// and the deferred refresh the scheduler is stepping through.
+/// the deferred refresh the scheduler is stepping through, and the
+/// tenant's counter handles.
 struct Tenant<T: Scalar> {
     session: StreamSession,
     writer: Option<StreamFileWriter>,
     pending: Option<RefreshTask<T>>,
+    counters: TenantCounters,
+}
+
+/// Telemetry handles one worker records into: resolved once at server
+/// start, lock-free thereafter.
+struct ShardMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// `server_push_service_ns{shard}`: worker-measured service time of
+    /// accepted pushes. Its p90 drives [`ServerError::Overloaded`]'s
+    /// `retry_hint`.
+    service_ns: Arc<Histogram>,
+    /// `server_refresh_steps_total{shard}`: deferred-refresh steps run
+    /// from the idle loop.
+    refresh_steps: Arc<Counter>,
+    /// `span_self_ns{phase="serve_push"}`: dispatch overhead around the
+    /// session push and persist (span self time).
+    serve_span: Arc<Histogram>,
+    /// `span_self_ns{phase="persist"}`: durable-stream append, excluding
+    /// the codec-layer append span nested inside it.
+    persist_span: Arc<Histogram>,
 }
 
 /// How long an idle worker parks between queue polls once every pending
 /// refresh is drained.
 const IDLE_PARK: Duration = Duration::from_millis(2);
 
-/// Seed for the per-shard smoothed push service time: 1 ms, a plausible
-/// cold-start figure that the EWMA replaces within a few pushes.
+/// Cold-start retry hint before the shard's service-time histogram has
+/// its first sample: 1 ms, a plausible figure the histogram replaces
+/// after the first accepted push.
 const PUSH_NANOS_SEED: u64 = 1_000_000;
 
-fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>, push_nanos: Arc<AtomicU64>) {
+fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>, metrics: ShardMetrics) {
     let mut tenants: HashMap<TenantId, Tenant<T>> = HashMap::new();
     // Round-robin cursor over tenants with pending refresh work.
     let mut refresh_cursor = 0usize;
@@ -342,7 +377,7 @@ fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>, push_nanos: Arc<AtomicU64>) {
         // Queue first: incoming pushes always preempt refresh work.
         match rx.try_recv() {
             Ok(job) => {
-                handle_job(&mut tenants, job, &push_nanos);
+                handle_job(&mut tenants, job, &metrics);
                 continue;
             }
             Err(crossbeam_channel::TryRecvError::Disconnected) => break,
@@ -360,6 +395,7 @@ fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>, push_nanos: Arc<AtomicU64>) {
             refresh_cursor = refresh_cursor.wrapping_add(1);
             let tenant = tenants.get_mut(&id).expect("listed above");
             let task = tenant.pending.as_mut().expect("filtered above");
+            metrics.refresh_steps.inc();
             if task.step() {
                 let task = tenant.pending.take().expect("present");
                 tenant.session.install_refresh(task);
@@ -368,7 +404,7 @@ fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>, push_nanos: Arc<AtomicU64>) {
         }
         // Nothing to do: park until a job lands or the server drops us.
         match rx.recv_timeout(IDLE_PARK) {
-            Ok(job) => handle_job(&mut tenants, job, &push_nanos),
+            Ok(job) => handle_job(&mut tenants, job, &metrics),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -386,7 +422,7 @@ fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>, push_nanos: Arc<AtomicU64>) {
 fn handle_job<T: Scalar>(
     tenants: &mut HashMap<TenantId, Tenant<T>>,
     job: Job<T>,
-    push_nanos: &AtomicU64,
+    metrics: &ShardMetrics,
 ) {
     match job {
         Job::Register { tenant, cfg, reply } => {
@@ -406,12 +442,21 @@ fn handle_job<T: Scalar>(
                 }
                 None => None,
             };
-            let session = StreamSession::new(cfg.session.clone());
-            tenants.insert(tenant, Tenant { session, writer, pending: None });
+            let mut session = StreamSession::new(cfg.session.clone());
+            session.attach_metrics(Arc::clone(&metrics.registry), tenant as u64);
+            let t = tenant.to_string();
+            let labels: &[(&str, &str)] = &[("tenant", t.as_str())];
+            let counters = TenantCounters {
+                pushes: metrics.registry.counter("server_pushes_total", labels),
+                bytes_in: metrics.registry.counter("server_bytes_in_total", labels),
+                bytes_out: metrics.registry.counter("server_bytes_out_total", labels),
+            };
+            tenants.insert(tenant, Tenant { session, writer, pending: None, counters });
             let _ = reply.send(Ok(()));
         }
         Job::Push { tenant, field, degrade, reply } => {
             let started = Instant::now();
+            let _serve_span = telemetry::span(&metrics.serve_span);
             let Some(t) = tenants.get_mut(&tenant) else {
                 let _ = reply.send(Err(ServerError::UnknownTenant(tenant)));
                 return;
@@ -445,20 +490,26 @@ fn handle_job<T: Scalar>(
             t.pending = deferred;
             let mut stream_frames = None;
             if let Some(w) = t.writer.as_mut() {
-                if let Err(e) = w.append_frame(&record.result.containers) {
+                let persist_span = telemetry::span(&metrics.persist_span);
+                let appended = w.append_frame(&record.result.containers);
+                drop(persist_span);
+                if let Err(e) = appended {
                     let _ = reply.send(Err(e.into()));
                     return;
                 }
                 stream_frames = Some(w.frames());
             }
+            t.counters.pushes.inc();
+            t.counters.bytes_in.add(record.result.original_bytes as u64);
+            t.counters.bytes_out.add(record.result.compressed_bytes as u64);
             let degraded = (degrade > 1.0).then_some(degrade);
+            // Record the observed service time into the shard's
+            // histogram before replying, so a client that saw the push
+            // complete also sees its sample in a snapshot. The p90 feeds
+            // Overloaded::retry_hint; rejected pushes return above and
+            // keep the estimate unbiased.
+            metrics.service_ns.record(started.elapsed().as_nanos() as u64);
             let _ = reply.send(Ok(PushOutcome { record, degraded, stream_frames }));
-            // Fold the observed service time into the shard's smoothed
-            // estimate (feeds Overloaded::retry_hint). Rejected pushes
-            // return above and keep the estimate unbiased.
-            let sample = started.elapsed().as_nanos() as u64;
-            let old = push_nanos.load(Ordering::Relaxed);
-            push_nanos.store((3 * old + sample) / 4, Ordering::Relaxed);
         }
         Job::SetPolicy { tenant, policy } => {
             if let Some(t) = tenants.get_mut(&tenant) {
@@ -505,15 +556,56 @@ struct Registry {
     tenants: HashMap<TenantId, TenantMeta>,
 }
 
+/// Backoff estimate on a saturated shard: the shard's p90 push service
+/// time scaled by the queue depth — roughly when a freed slot can be
+/// expected. Monotone in both arguments (pinned by a unit test): a
+/// deeper queue or slower service never shortens the hint.
+fn retry_hint_after(p90_service_ns: u64, queue_len: usize) -> Duration {
+    Duration::from_nanos(p90_service_ns.max(1).saturating_mul(queue_len as u64 + 1))
+}
+
+/// Aggregated, typed server statistics — the quick-look counterpart of
+/// the full [`MetricsRegistry::snapshot`], built from the same handles.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Accepted pushes across all tenants.
+    pub pushes: u64,
+    /// Typed [`ServerError::Overloaded`] rejections (exactly one per
+    /// rejected push).
+    pub overloaded: u64,
+    /// Pushes admitted at relaxed quality by the degrade ladder.
+    pub degraded: u64,
+    /// Deferred-refresh steps run from worker idle loops.
+    pub refresh_steps: u64,
+    /// Push service time merged across all shards.
+    pub push_service: HistogramSnapshot,
+    /// Admission-sampled queue depth per shard (occupancy observed at
+    /// the most recent admission attempt on that shard).
+    pub queue_depths: Vec<f64>,
+}
+
 /// The session manager. See the module docs for the architecture; all
 /// methods take `&self` and are safe to call from any number of client
 /// threads.
 pub struct StreamServer<T: Scalar> {
     cfg: ServerConfig,
     shards: Vec<Sender<Job<T>>>,
-    /// Per-shard EWMA of push service time in nanoseconds, maintained by
-    /// the worker, read at admission time to derive `retry_hint`.
-    push_nanos: Vec<Arc<AtomicU64>>,
+    /// Per-shard histogram of push service time in nanoseconds,
+    /// recorded by the worker, read at admission time to derive
+    /// `retry_hint` (p90 × queue depth).
+    service_hists: Vec<Arc<Histogram>>,
+    /// Per-shard `server_queue_depth` gauges, sampled at admission time
+    /// (enqueue and reject both update them).
+    queue_gauges: Vec<Arc<Gauge>>,
+    /// This server's own metrics registry: per-server scoping keeps
+    /// concurrent servers (and the test harness) from polluting each
+    /// other's counts. Codec-layer metrics live in [`telemetry::global`].
+    metrics: Arc<MetricsRegistry>,
+    overloaded_total: Arc<Counter>,
+    degraded_total: Arc<Counter>,
+    /// `server_admission_ns`: client-side admission latency (the
+    /// synchronous part of `try_push`).
+    admission_ns: Arc<Histogram>,
     handles: Vec<JoinHandle<()>>,
     registry: Mutex<Registry>,
 }
@@ -522,20 +614,37 @@ impl<T: Scalar> StreamServer<T> {
     /// Spawn the worker pool and start serving.
     pub fn start(cfg: ServerConfig) -> Self {
         cfg.check();
+        let metrics = Arc::new(MetricsRegistry::new());
         let mut shards = Vec::with_capacity(cfg.workers);
         let mut handles = Vec::with_capacity(cfg.workers);
-        let mut push_nanos = Vec::with_capacity(cfg.workers);
-        for _ in 0..cfg.workers {
+        let mut service_hists = Vec::with_capacity(cfg.workers);
+        let mut queue_gauges = Vec::with_capacity(cfg.workers);
+        for shard in 0..cfg.workers {
             let (tx, rx) = bounded::<Job<T>>(cfg.queue_capacity);
-            let ewma = Arc::new(AtomicU64::new(PUSH_NANOS_SEED));
+            let s = shard.to_string();
+            let labels: &[(&str, &str)] = &[("shard", s.as_str())];
+            let service = metrics.histogram("server_push_service_ns", labels);
+            let shard_metrics = ShardMetrics {
+                registry: Arc::clone(&metrics),
+                service_ns: Arc::clone(&service),
+                refresh_steps: metrics.counter("server_refresh_steps_total", labels),
+                serve_span: metrics.histogram("span_self_ns", &[("phase", "serve_push")]),
+                persist_span: metrics.histogram("span_self_ns", &[("phase", "persist")]),
+            };
             shards.push(tx);
-            push_nanos.push(Arc::clone(&ewma));
-            handles.push(std::thread::spawn(move || worker_loop(rx, ewma)));
+            service_hists.push(service);
+            queue_gauges.push(metrics.gauge("server_queue_depth", labels));
+            handles.push(std::thread::spawn(move || worker_loop(rx, shard_metrics)));
         }
         Self {
             cfg,
             shards,
-            push_nanos,
+            service_hists,
+            queue_gauges,
+            overloaded_total: metrics.counter("server_overloaded_total", &[]),
+            degraded_total: metrics.counter("server_degraded_total", &[]),
+            admission_ns: metrics.histogram("server_admission_ns", &[]),
+            metrics,
             handles,
             registry: Mutex::new(Registry { next_id: 0, tenants: HashMap::new() }),
         }
@@ -544,6 +653,40 @@ impl<T: Scalar> StreamServer<T> {
     /// Server configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.cfg
+    }
+
+    /// This server's metrics registry: counters, gauges, histograms and
+    /// the event journal for every tenant it serves. Codec-layer metrics
+    /// (compress timings, stream-file appends) live in
+    /// [`telemetry::global`], since those paths are shared statics.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Typed snapshot of every metric plus the retained journal —
+    /// shorthand for `metrics().snapshot()`.
+    pub fn metrics_snapshot(&self) -> telemetry::MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Aggregated quick-look statistics (see [`ServerStats`]).
+    pub fn stats(&self) -> ServerStats {
+        let merged = Histogram::new();
+        for h in &self.service_hists {
+            merged.merge_from(h);
+        }
+        let snap = self.metrics.snapshot();
+        let sum_of = |name: &str| -> u64 {
+            snap.counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| *v).sum()
+        };
+        ServerStats {
+            pushes: sum_of("server_pushes_total"),
+            overloaded: self.overloaded_total.get(),
+            degraded: self.degraded_total.get(),
+            refresh_steps: sum_of("server_refresh_steps_total"),
+            push_service: merged.snapshot(),
+            queue_depths: self.queue_gauges.iter().map(|g| g.get()).collect(),
+        }
     }
 
     /// Register a new stream; its session is created on (and owned by)
@@ -592,6 +735,7 @@ impl<T: Scalar> StreamServer<T> {
     /// asynchronous push. Returns as soon as the job is enqueued;
     /// admission control applies exactly as in [`StreamServer::push`].
     pub fn try_push(&self, tenant: TenantId, field: Field3<T>) -> Result<PushTicket, ServerError> {
+        let admission_started = Instant::now();
         let shard = {
             let reg = self.registry.lock().unwrap_or_else(|e| e.into_inner());
             reg.tenants.get(&tenant).ok_or(ServerError::UnknownTenant(tenant))?.shard
@@ -610,17 +754,36 @@ impl<T: Scalar> StreamServer<T> {
             } else {
                 1.0
             };
+        if degrade > 1.0 {
+            self.degraded_total.inc();
+            self.metrics.record_event(Event::Degraded { stream: tenant as u64, rung: degrade });
+        }
         let (reply_tx, reply_rx) = bounded(1);
-        match tx.try_send(Job::Push { tenant, field, degrade, reply: reply_tx }) {
-            Ok(()) => Ok(PushTicket { rx: reply_rx }),
+        let outcome = match tx.try_send(Job::Push { tenant, field, degrade, reply: reply_tx }) {
+            Ok(()) => {
+                self.queue_gauges[shard].set(tx.len() as f64);
+                Ok(PushTicket { rx: reply_rx })
+            }
             Err(TrySendError::Full(_)) => {
                 let queue_len = tx.len();
-                let service = self.push_nanos[shard].load(Ordering::Relaxed).max(1);
-                let retry_hint = Duration::from_nanos(service.saturating_mul(queue_len as u64 + 1));
-                Err(ServerError::Overloaded { queue_len, capacity: cap, retry_hint })
+                self.queue_gauges[shard].set(queue_len as f64);
+                self.overloaded_total.inc();
+                self.metrics.record_event(Event::Overloaded {
+                    stream: tenant as u64,
+                    shard: shard as u64,
+                    queue_len: queue_len as u64,
+                });
+                let p90 = self.service_hists[shard].quantile(0.90).unwrap_or(PUSH_NANOS_SEED);
+                Err(ServerError::Overloaded {
+                    queue_len,
+                    capacity: cap,
+                    retry_hint: retry_hint_after(p90, queue_len),
+                })
             }
             Err(TrySendError::Disconnected(_)) => Err(ServerError::Closed),
-        }
+        };
+        self.admission_ns.record(admission_started.elapsed().as_nanos() as u64);
+        outcome
     }
 
     /// Compress one snapshot through the tenant's session: admission
@@ -1019,5 +1182,86 @@ mod tests {
         let reader = codec_core::StreamFileReader::open(&path).unwrap();
         assert_eq!(reader.frames(), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retry_hint_is_monotone_under_load() {
+        // Deeper queues never shorten the hint...
+        let mut prev = Duration::ZERO;
+        for queue_len in 0..64 {
+            let hint = retry_hint_after(PUSH_NANOS_SEED, queue_len);
+            assert!(hint >= prev, "hint shrank as the queue grew at len {queue_len}");
+            assert!(hint > Duration::ZERO);
+            prev = hint;
+        }
+        // ...and slower observed service never shortens it either: the
+        // p90 of a histogram is non-decreasing as slower samples land.
+        let hist = Histogram::new();
+        let mut prev_p90 = 0;
+        let mut prev_hint = Duration::ZERO;
+        for sample in [1_000u64, 5_000, 5_000, 20_000, 80_000, 80_000, 320_000] {
+            hist.record(sample);
+            let p90 = hist.quantile(0.90).unwrap();
+            assert!(p90 >= prev_p90, "p90 dropped after recording slower sample {sample}");
+            let hint = retry_hint_after(p90, 8);
+            assert!(hint >= prev_hint, "hint dropped after recording slower sample {sample}");
+            prev_p90 = p90;
+            prev_hint = hint;
+        }
+        // Degenerate inputs still produce a usable (nonzero) backoff.
+        assert!(retry_hint_after(0, 0) > Duration::ZERO);
+    }
+
+    #[test]
+    fn saturation_updates_gauge_counter_and_journal() {
+        // One worker, one-slot queue: park the worker behind a first push,
+        // fill the slot, and the next push must reject as Overloaded with
+        // every observability surface agreeing on what happened.
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            degrade_threshold: 1.0,
+            ..ServerConfig::default()
+        });
+        let id = server
+            .register(TenantConfig::new(session_cfg(16, 2, QualityPolicy::SigmaScaled(0.1))))
+            .unwrap();
+        let mut rejects = 0u64;
+        let mut tickets = Vec::new();
+        // Push without waiting until at least one admission fails.
+        for i in 0.. {
+            match server.try_push(id, field(16, 1.0 + 0.001 * i as f64, 5)) {
+                Ok(t) => tickets.push(t),
+                Err(ServerError::Overloaded { queue_len, capacity, retry_hint }) => {
+                    rejects += 1;
+                    assert_eq!(capacity, 1);
+                    assert!(queue_len >= 1);
+                    assert!(retry_hint > Duration::ZERO);
+                    // The admission-sampled queue-depth gauge saw the
+                    // saturated queue (the worker never lowers it).
+                    let stats = server.stats();
+                    assert!(
+                        stats.queue_depths[0] > 0.0,
+                        "queue gauge flat at saturation: {stats:?}"
+                    );
+                    break;
+                }
+                Err(other) => panic!("unexpected admission error {other:?}"),
+            }
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.overloaded, rejects, "overload counter != typed rejects");
+        let overloaded_events = server
+            .metrics()
+            .journal()
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.event, Event::Overloaded { .. }))
+            .count() as u64;
+        assert_eq!(overloaded_events, rejects, "journal != typed rejects");
+        server.shutdown().unwrap();
     }
 }

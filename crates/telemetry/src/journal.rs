@@ -1,0 +1,124 @@
+//! Bounded structured event journal: the "what happened" companion to
+//! the "how much/how fast" metrics.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A typed operational event. `stream` is the emitting stream/tenant id
+/// where one applies (0 for process-level events like recovery scans).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Admission control rejected a push: the shard queue was full.
+    Overloaded { stream: u64, shard: u64, queue_len: u64 },
+    /// Admission control admitted a push at relaxed quality.
+    Degraded { stream: u64, rung: f64 },
+    /// A session's drift residual crossed its threshold; a (possibly
+    /// deferred) localized refresh of `partitions` models was scheduled.
+    DriftDetected { stream: u64, residual: f64, partitions: u64 },
+    /// A scheduled refresh finished and its models were installed.
+    RefreshCompleted { stream: u64 },
+    /// A session checkpoint was serialized.
+    CheckpointSaved { stream: u64, bytes: u64 },
+    /// A stream-file recovery scan dropped a torn tail, keeping
+    /// `frames_kept` intact frames.
+    RecoveryTruncated { frames_kept: u64 },
+}
+
+impl Event {
+    /// Stable snake_case tag used by the render paths.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Overloaded { .. } => "overloaded",
+            Event::Degraded { .. } => "degraded",
+            Event::DriftDetected { .. } => "drift_detected",
+            Event::RefreshCompleted { .. } => "refresh_completed",
+            Event::CheckpointSaved { .. } => "checkpoint_saved",
+            Event::RecoveryTruncated { .. } => "recovery_truncated",
+        }
+    }
+}
+
+/// One journal row: a monotone sequence number, time since the journal
+/// was created, and the event itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Monotone across the journal's lifetime — entry `seq` is the
+    /// `seq`-th event ever recorded, whether or not older entries have
+    /// been evicted.
+    pub seq: u64,
+    /// Elapsed time from journal creation to the event.
+    pub elapsed: Duration,
+    pub event: Event,
+}
+
+struct JournalInner {
+    entries: VecDeque<JournalEntry>,
+    next_seq: u64,
+}
+
+/// A bounded ring buffer of [`JournalEntry`]s: the newest `capacity`
+/// events survive, the oldest are evicted first. Events are rare
+/// (rejections, drift, checkpoints — not per-sample), so a mutex push
+/// is fine; the hot paths never touch this.
+pub struct EventJournal {
+    capacity: usize,
+    start: Instant,
+    inner: Mutex<JournalInner>,
+}
+
+impl EventJournal {
+    /// `capacity` must be ≥ 1.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "journal capacity must be at least 1");
+        Self {
+            capacity,
+            start: Instant::now(),
+            inner: Mutex::new(JournalInner { entries: VecDeque::new(), next_seq: 0 }),
+        }
+    }
+
+    /// Append an event, evicting the oldest entry at capacity. Returns
+    /// the assigned sequence number.
+    pub fn record(&self, event: Event) -> u64 {
+        let elapsed = self.start.elapsed();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.entries.len() == self.capacity {
+            inner.entries.pop_front();
+        }
+        inner.entries.push_back(JournalEntry { seq, elapsed, event });
+        seq
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.entries.iter().cloned().collect()
+    }
+
+    /// Retained entry count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events ever recorded, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).next_seq
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EventJournal(len={}, capacity={})", self.len(), self.capacity)
+    }
+}

@@ -1,0 +1,76 @@
+//! # telemetry — in-process observability for the streaming service
+//!
+//! The service layer makes load-dependent runtime decisions — admission
+//! rejects, quality degradation, deferred recalibration, budget
+//! arbitration — and this crate is how those decisions become visible
+//! at runtime instead of only in offline criterion benches. It is a
+//! self-contained metrics kernel: **zero dependencies, std atomics
+//! only**, so every layer down to `codec-core`'s static compress path
+//! can record into it without pulling shims into leaf crates.
+//!
+//! ## Pieces
+//!
+//! * [`Counter`] / [`Gauge`] — single relaxed atomics. Counters are
+//!   monotone `u64`; gauges hold an `f64` (bit-cast through `AtomicU64`)
+//!   so fractional signals like drift residuals fit.
+//! * [`Histogram`] — a **log-bucketed** (log-linear) latency/size
+//!   histogram: 8 linear sub-buckets per power-of-two octave, 496
+//!   buckets covering all of `u64`. Recording is two relaxed
+//!   `fetch_add`s plus a `fetch_max`/`fetch_min` — no locks, no
+//!   allocation — and histograms **merge** across shards by adding
+//!   bucket arrays. See the type docs for why log buckets beat exact
+//!   quantiles here.
+//! * [`EventJournal`] — a bounded ring buffer of typed [`Event`]s
+//!   (overloads, degrades, drift, refreshes, checkpoints, recovery
+//!   truncations) with monotone sequence numbers; the newest N events
+//!   survive, the oldest are evicted.
+//! * [`span`](fn@span) — lightweight span timing over a thread-local
+//!   stack: a span records its **self time** (elapsed minus enclosed
+//!   child spans), so nested phases — push → optimize → compress →
+//!   persist — attribute wall time correctly instead of double-counting
+//!   parents.
+//! * [`MetricsRegistry`] — names + labels to metric handles, with a
+//!   typed [`snapshot`](MetricsRegistry::snapshot), a Prometheus text
+//!   exposition ([`render_prometheus`](MetricsRegistry::render_prometheus)),
+//!   and a hand-rolled JSON dump
+//!   ([`render_json`](MetricsRegistry::render_json)).
+//!
+//! ## Usage discipline
+//!
+//! Registration (name lookup) takes a mutex — do it **once**, keep the
+//! returned `Arc` handle, and update through the handle on the hot
+//! path. The instrumented layers follow this: the stream server
+//! registers per-shard/per-tenant handles at startup/registration time,
+//! sessions cache their handles when metrics are attached, and
+//! codec-core caches per-codec handles in `OnceLock` statics against
+//! the process-wide [`global`] registry.
+//!
+//! The contract with the benches: total instrumentation overhead on the
+//! `insitu_step/adaptive` and `stream_server/ingest` hot paths stays
+//! ≤ 2% (pinned by `results/BENCH_0006.json`).
+
+mod journal;
+mod metrics;
+mod registry;
+mod span;
+
+pub use journal::{Event, EventJournal, JournalEntry};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use registry::{MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use span::{span, SpanGuard};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry. Layers that have no natural owner to hand
+/// them a registry — `codec-core`'s static compress/decode and stream
+/// file paths — record here; scoped owners (each [`StreamServer`] in
+/// `stream-server`) carry their own registry so tests can make exact
+/// assertions even when the test harness runs many servers in one
+/// process.
+///
+/// [`StreamServer`]: https://docs.rs/stream-server
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}

@@ -1,0 +1,303 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone event counter. `inc`/`add` are single relaxed `fetch_add`s;
+/// reads are racy-but-atomic snapshots, which is all a counter needs.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// Last-write-wins instantaneous value. Holds an `f64` bit-cast through
+/// an `AtomicU64` so fractional signals (drift residuals, occupancy)
+/// fit; non-finite writes are dropped so the exposition formats never
+/// see NaN/∞.
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0)) // 0u64 == 0.0f64 bit pattern
+    }
+
+    /// Set the gauge. Non-finite values are ignored (the render paths
+    /// promise finite numbers).
+    pub fn set(&self, v: f64) {
+        if v.is_finite() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Add a (possibly negative) delta via a CAS loop.
+    pub fn add(&self, delta: f64) {
+        if !delta.is_finite() {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+/// Sub-buckets per power-of-two octave, as a bit count: 2³ = 8 linear
+/// slots per octave, bounding the relative quantization error at
+/// 1/8 = 12.5% (and the quantile *over*estimate below that, since the
+/// reported bound is clamped to the exact observed max).
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total buckets: `SUB` exact buckets for values `0..SUB`, then 8
+/// sub-buckets for each octave `2³..2⁶⁴`. Covers all of `u64`.
+pub const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Bucket index for a recorded value. Exact for `v < 2·SUB` (index ==
+/// value); log-linear above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros();
+        let sub = ((v >> (octave - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        SUB + (octave - SUB_BITS) as usize * SUB + sub
+    }
+}
+
+/// Smallest value mapping to bucket `i` (the bucket's lower edge).
+#[inline]
+fn bucket_lower(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let k = i - SUB;
+        let octave = SUB_BITS as usize + k / SUB;
+        let sub = (k % SUB) as u64;
+        (SUB as u64 + sub) << (octave - SUB_BITS as usize)
+    }
+}
+
+/// Largest value mapping to bucket `i` (the bucket's upper edge,
+/// inclusive).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i + 1 < NUM_BUCKETS {
+        bucket_lower(i + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples (nanoseconds,
+/// bytes, …).
+///
+/// ## Why log buckets instead of exact quantiles
+///
+/// Exact quantiles need either every sample retained (unbounded memory,
+/// a lock or an MPSC channel on the hot path) or a mergeable sketch
+/// (t-digest/DDSketch — real code, real dependencies, and still
+/// approximate). Log-linear bucketing gets the useful half of that
+/// trade for free: recording is two relaxed `fetch_add`s into a fixed
+/// 496-slot array, quantile error is bounded at 12.5% *relative* (one
+/// sub-bucket), memory is constant, and two histograms merge by adding
+/// bucket arrays — which is exactly what per-shard service-time
+/// histograms need to roll up into a server-wide view. Latency
+/// decisions downstream (the `Overloaded` retry hint) key off p90
+/// *scale*, not its third significant digit, so a ≤ 12.5% bucket edge
+/// is comfortably inside the noise floor of a shared host.
+///
+/// Quantiles are **deterministic**: [`Histogram::quantile`] reports the
+/// upper edge of the bucket holding the rank, clamped to the exact
+/// observed maximum (tracked via `fetch_max`), so a single recorded
+/// value reports itself exactly.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> =
+            buckets.into_boxed_slice().try_into().expect("NUM_BUCKETS slots");
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Record one sample: two relaxed `fetch_add`s plus max/min updates.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Exact smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.min.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper edge of the bucket
+    /// containing that rank, clamped to the exact observed max. `None`
+    /// when empty. Deterministic for a given multiset of samples.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).min(self.max.load(Ordering::Relaxed)));
+            }
+        }
+        Some(self.max.load(Ordering::Relaxed))
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition) —
+    /// how per-shard histograms roll up into a server-wide view.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c > 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        if n > 0 {
+            self.count.fetch_add(n, Ordering::Relaxed);
+            self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time summary (count/sum/min/max and the standard
+    /// quantiles).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            p50: self.quantile(0.50).unwrap_or(0),
+            p90: self.quantile(0.90).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+        }
+    }
+
+    /// Lower edge of bucket `i` — exposed for the bucket-boundary tests.
+    pub fn bucket_lower_edge(i: usize) -> u64 {
+        bucket_lower(i)
+    }
+
+    /// Upper (inclusive) edge of bucket `i`.
+    pub fn bucket_upper_edge(i: usize) -> u64 {
+        bucket_upper(i)
+    }
+
+    /// Bucket index a value records into.
+    pub fn bucket_of(v: u64) -> usize {
+        bucket_index(v)
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram(count={}, sum={})", self.count(), self.sum())
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// Exact observed min (0 when empty).
+    pub min: u64,
+    /// Exact observed max (0 when empty).
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The registry: names + labels → metric handles, plus the snapshot and
+//! render paths.
+
+use crate::journal::{Event, EventJournal, JournalEntry};
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Default journal capacity: plenty for the operational events one
+/// process emits between scrapes, small enough to never matter.
+const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+/// A metric's identity: name plus sorted `(key, value)` label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        Self { name: name.to_string(), labels }
+    }
+
+    /// `name{k="v",…}` — the Prometheus series identity.
+    fn series(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let pairs: Vec<String> = self.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{}{{{}}}", self.name, pairs.join(","))
+    }
+
+    /// Same as [`MetricKey::series`] but with extra label pairs spliced
+    /// in (for quantile labels on histogram exposition).
+    fn series_with(&self, extra: &[(&str, &str)]) -> String {
+        let mut labels = self.labels.clone();
+        for (k, v) in extra {
+            labels.push((k.to_string(), v.to_string()));
+        }
+        labels.sort();
+        let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{}{{{}}}", self.name, pairs.join(","))
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Names + labels → lock-free metric handles, one bounded event
+/// journal, and the snapshot/render paths. Registration locks a mutex
+/// (do it once, keep the `Arc`); updates through the handles are
+/// lock-free.
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+    journal: EventJournal,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Self { metrics: Mutex::new(BTreeMap::new()), journal: EventJournal::new(capacity) }
+    }
+
+    /// Get-or-create the counter `name{labels}`. Panics if the series
+    /// is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match metrics.entry(key).or_insert_with(|| Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match metrics.entry(key).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get-or-create the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        match metrics.entry(key).or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// The registry's event journal.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Shorthand for `journal().record(event)`.
+    pub fn record_event(&self, event: Event) -> u64 {
+        self.journal.record(event)
+    }
+
+    /// A typed point-in-time view of every registered metric plus the
+    /// retained journal entries. Deterministically ordered by
+    /// (name, labels).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (key, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => counters.push((key.clone(), c.get())),
+                Metric::Gauge(g) => gauges.push((key.clone(), g.get())),
+                Metric::Histogram(h) => histograms.push((key.clone(), h.snapshot())),
+            }
+        }
+        drop(metrics);
+        MetricsSnapshot { counters, gauges, histograms, events: self.journal.entries() }
+    }
+
+    /// Prometheus text exposition: `# TYPE` comments plus one
+    /// `name{labels} value` line per series; histograms render as
+    /// summaries (`quantile` labels + `_count`/`_sum`/`_max` series).
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
+    /// Hand-rolled JSON dump of the same snapshot (no serializer
+    /// dependency; the telemetry crate stays dependency-free).
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.metrics.lock().unwrap_or_else(|e| e.into_inner()).len();
+        write!(f, "MetricsRegistry({n} series, {:?})", self.journal)
+    }
+}
+
+/// Typed snapshot returned by [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(MetricKey, u64)>,
+    pub gauges: Vec<(MetricKey, f64)>,
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+    pub events: Vec<JournalEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name + labels (`None` when absent). Labels
+    /// match irrespective of order.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = MetricKey::new(name, labels);
+        self.counters.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name + labels.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Histogram summary by name + labels.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
+        let key = MetricKey::new(name, labels);
+        self.histograms.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// See [`MetricsRegistry::render_prometheus`].
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_comment = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let comment = format!("# TYPE {name} {kind}\n");
+            if comment != last_type_comment {
+                out.push_str(&comment);
+                last_type_comment = comment;
+            }
+        };
+        for (key, v) in &self.counters {
+            type_line(&mut out, &key.name, "counter");
+            let _ = writeln!(out, "{} {v}", key.series());
+        }
+        for (key, v) in &self.gauges {
+            type_line(&mut out, &key.name, "gauge");
+            let _ = writeln!(out, "{} {}", key.series(), fmt_f64(*v));
+        }
+        for (key, h) in &self.histograms {
+            type_line(&mut out, &key.name, "summary");
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                let _ = writeln!(out, "{} {v}", key.series_with(&[("quantile", q)]));
+            }
+            let base =
+                MetricKey { name: format!("{}_count", key.name), labels: key.labels.clone() };
+            let _ = writeln!(out, "{} {}", base.series(), h.count);
+            let base = MetricKey { name: format!("{}_sum", key.name), labels: key.labels.clone() };
+            let _ = writeln!(out, "{} {}", base.series(), h.sum);
+            let base = MetricKey { name: format!("{}_max", key.name), labels: key.labels.clone() };
+            let _ = writeln!(out, "{} {}", base.series(), h.max);
+        }
+        out
+    }
+
+    /// See [`MetricsRegistry::render_json`].
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": [");
+        for (i, (key, v)) in self.counters.iter().enumerate() {
+            push_sep(&mut out, i);
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"labels\": {}, \"value\": {v}}}",
+                json_str(&key.name),
+                json_labels(&key.labels)
+            );
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, (key, v)) in self.gauges.iter().enumerate() {
+            push_sep(&mut out, i);
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"labels\": {}, \"value\": {}}}",
+                json_str(&key.name),
+                json_labels(&key.labels),
+                fmt_f64(*v)
+            );
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, (key, h)) in self.histograms.iter().enumerate() {
+            push_sep(&mut out, i);
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"labels\": {}, \"count\": {}, \"sum\": {}, \"min\": {}, \
+                 \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                json_str(&key.name),
+                json_labels(&key.labels),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p99
+            );
+        }
+        out.push_str("\n  ],\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            push_sep(&mut out, i);
+            let _ = write!(
+                out,
+                "{{\"seq\": {}, \"elapsed_ns\": {}, \"kind\": {}",
+                e.seq,
+                e.elapsed.as_nanos(),
+                json_str(e.event.kind())
+            );
+            match &e.event {
+                Event::Overloaded { stream, shard, queue_len } => {
+                    let _ =
+                        write!(out,
+                        ", \"stream\": {stream}, \"shard\": {shard}, \"queue_len\": {queue_len}");
+                }
+                Event::Degraded { stream, rung } => {
+                    let _ = write!(out, ", \"stream\": {stream}, \"rung\": {}", fmt_f64(*rung));
+                }
+                Event::DriftDetected { stream, residual, partitions } => {
+                    let _ = write!(
+                        out,
+                        ", \"stream\": {stream}, \"residual\": {}, \
+                         \"partitions\": {partitions}",
+                        fmt_f64(*residual)
+                    );
+                }
+                Event::RefreshCompleted { stream } => {
+                    let _ = write!(out, ", \"stream\": {stream}");
+                }
+                Event::CheckpointSaved { stream, bytes } => {
+                    let _ = write!(out, ", \"stream\": {stream}, \"bytes\": {bytes}");
+                }
+                Event::RecoveryTruncated { frames_kept } => {
+                    let _ = write!(out, ", \"frames_kept\": {frames_kept}");
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn push_sep(out: &mut String, i: usize) {
+    if i > 0 {
+        out.push(',');
+    }
+    out.push_str("\n    ");
+}
+
+/// Finite-only float formatting (gauges drop non-finite writes, so this
+/// is belt-and-braces for the exposition formats).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json_str(k), json_str(v));
+    }
+    out.push('}');
+    out
+}

@@ -1,0 +1,48 @@
+//! Span timing with a thread-local stack: a span records its **self
+//! time** — wall time minus the wall time of spans nested inside it on
+//! the same thread — so a phase breakdown like push → optimize →
+//! compress → persist sums to the whole without double-counting.
+
+use crate::metrics::Histogram;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Per-frame accumulator of child-span wall time, one slot per open
+    /// span on this thread.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Start a span that records its self time (nanoseconds) into `hist`
+/// when dropped. Nesting is per-thread: a child span opened on another
+/// thread (e.g. inside a parallel map) still times itself correctly but
+/// its wall time stays inside the parent's self time, since the parent
+/// genuinely waited for it.
+pub fn span(hist: &Histogram) -> SpanGuard<'_> {
+    SPAN_STACK.with(|s| s.borrow_mut().push(0));
+    SpanGuard { hist, start: Instant::now() }
+}
+
+/// RAII guard returned by [`span`]; records on drop.
+#[must_use = "a span measures the scope it lives in — bind it to a variable"]
+pub struct SpanGuard<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let total = self.start.elapsed().as_nanos() as u64;
+        let child_ns = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let child = stack.pop().unwrap_or(0);
+            // Propagate this span's *total* wall time into the parent's
+            // child accumulator: the parent's self time excludes us.
+            if let Some(parent) = stack.last_mut() {
+                *parent += total;
+            }
+            child
+        });
+        self.hist.record(total.saturating_sub(child_ns));
+    }
+}

@@ -1,0 +1,304 @@
+//! Telemetry-kernel contracts: bucket-boundary exactness, concurrent
+//! increment exactness, journal wraparound, span self-time attribution,
+//! and the two render formats.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::{span, Counter, Event, EventJournal, Histogram, MetricsRegistry, NUM_BUCKETS};
+
+// ---------------------------------------------------------------------
+// Histogram buckets
+// ---------------------------------------------------------------------
+
+/// Every bucket's edges map back to that bucket: a value on a bucket
+/// edge lands deterministically in its own bucket, never a neighbour.
+#[test]
+fn bucket_edges_roundtrip_exactly() {
+    for i in 0..NUM_BUCKETS {
+        let lo = Histogram::bucket_lower_edge(i);
+        let hi = Histogram::bucket_upper_edge(i);
+        assert!(lo <= hi, "bucket {i}: lower {lo} > upper {hi}");
+        assert_eq!(Histogram::bucket_of(lo), i, "lower edge {lo} of bucket {i}");
+        assert_eq!(Histogram::bucket_of(hi), i, "upper edge {hi} of bucket {i}");
+        if i + 1 < NUM_BUCKETS {
+            assert_eq!(
+                Histogram::bucket_lower_edge(i + 1),
+                hi + 1,
+                "buckets {i} and {} must tile without gaps",
+                i + 1
+            );
+        }
+    }
+    // The scheme is exact (index == value) through two octaves.
+    for v in 0..16u64 {
+        assert_eq!(Histogram::bucket_of(v) as u64, v);
+    }
+    assert_eq!(Histogram::bucket_of(u64::MAX), NUM_BUCKETS - 1);
+}
+
+/// A single sample reports itself exactly at every quantile (the bucket
+/// upper edge is clamped to the observed max), and quantiles of a known
+/// multiset are deterministic.
+#[test]
+fn quantiles_are_deterministic_and_clamped_to_max() {
+    let h = Histogram::new();
+    assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+    h.record(1_000_000);
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), Some(1_000_000));
+    }
+
+    // 90 fast + 10 slow samples: p50 sits in the fast bucket, p99 in
+    // the slow one, and repeated evaluation never wobbles.
+    let h = Histogram::new();
+    for _ in 0..90 {
+        h.record(100);
+    }
+    for _ in 0..10 {
+        h.record(100_000);
+    }
+    let p50 = h.quantile(0.50).unwrap();
+    let p99 = h.quantile(0.99).unwrap();
+    assert!(p50 < 128, "p50 {p50} must stay in the fast bucket");
+    assert_eq!(p99, 100_000, "p99 lands in the slow bucket, clamped to exact max");
+    for _ in 0..3 {
+        assert_eq!(h.quantile(0.50), Some(p50));
+        assert_eq!(h.quantile(0.99), Some(p99));
+    }
+    assert_eq!(h.max(), Some(100_000));
+    assert_eq!(h.min(), Some(100));
+}
+
+/// Bucket quantization error is bounded: the reported quantile is never
+/// below the true value and never more than 12.5% above it.
+#[test]
+fn quantile_relative_error_is_bounded() {
+    for v in [1u64, 7, 8, 100, 1_000, 123_456, 10_000_000, u64::MAX / 3] {
+        let h = Histogram::new();
+        h.record(v);
+        h.record(v.saturating_mul(2)); // push p50's bucket below the max clamp
+        let p50 = h.quantile(0.50).unwrap();
+        assert!(p50 >= v, "p50 {p50} must not underestimate {v}");
+        assert!(
+            (p50 as f64) <= (v as f64) * 1.125 + 1.0,
+            "p50 {p50} overestimates {v} by more than one sub-bucket"
+        );
+    }
+}
+
+/// Merging shard histograms is bucket-wise addition: count, sum, max
+/// and quantiles match recording everything into one histogram.
+#[test]
+fn merge_matches_single_histogram() {
+    let merged = Histogram::new();
+    let reference = Histogram::new();
+    for shard in 0..4u64 {
+        let h = Histogram::new();
+        for i in 0..100u64 {
+            let v = shard * 10_000 + i * 37;
+            h.record(v);
+            reference.record(v);
+        }
+        merged.merge_from(&h);
+    }
+    assert_eq!(merged.count(), reference.count());
+    assert_eq!(merged.sum(), reference.sum());
+    assert_eq!(merged.max(), reference.max());
+    assert_eq!(merged.min(), reference.min());
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(merged.quantile(q), reference.quantile(q));
+    }
+}
+
+proptest! {
+    /// N threads × M increments sum exactly — no lost updates in the
+    /// counter or the histogram (count, sum, and per-bucket totals).
+    #[test]
+    fn concurrent_increments_sum_exactly(
+        threads in 2usize..6,
+        per_thread in 1usize..200,
+        value in 0u64..1_000_000,
+    ) {
+        let counter = Arc::new(Counter::new());
+        let hist = Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let counter = Arc::clone(&counter);
+                let hist = Arc::clone(&hist);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        counter.inc();
+                        hist.record(value);
+                    }
+                });
+            }
+        });
+        let n = (threads * per_thread) as u64;
+        prop_assert_eq!(counter.get(), n);
+        prop_assert_eq!(hist.count(), n);
+        prop_assert_eq!(hist.sum(), n * value);
+        prop_assert_eq!(hist.quantile(0.5), Some(value));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event journal
+// ---------------------------------------------------------------------
+
+/// At capacity the oldest entries are evicted and sequence numbers stay
+/// monotone across the eviction boundary.
+#[test]
+fn journal_wraparound_evicts_oldest_keeps_monotone_seq() {
+    let j = EventJournal::new(4);
+    for i in 0..10u64 {
+        let seq = j.record(Event::RefreshCompleted { stream: i });
+        assert_eq!(seq, i, "record returns the assigned sequence number");
+    }
+    assert_eq!(j.len(), 4, "ring retains exactly its capacity");
+    assert_eq!(j.total_recorded(), 10);
+    let entries = j.entries();
+    let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, vec![6, 7, 8, 9], "newest survive, oldest evicted");
+    for w in entries.windows(2) {
+        assert!(w[0].seq < w[1].seq, "sequence numbers stay monotone");
+        assert!(w[0].elapsed <= w[1].elapsed, "timestamps stay ordered");
+    }
+    // The retained payloads are the newest ones, in order.
+    for (e, want) in entries.iter().zip(6u64..) {
+        assert_eq!(e.event, Event::RefreshCompleted { stream: want });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Span timing
+// ---------------------------------------------------------------------
+
+/// A parent span's recorded self time excludes its children: the three
+/// recorded self times sum to (roughly) the outer wall time, not 2× it.
+#[test]
+fn nested_spans_attribute_self_time() {
+    let outer = Histogram::new();
+    let inner = Histogram::new();
+    let sleep = Duration::from_millis(20);
+    let t0 = std::time::Instant::now();
+    {
+        let _outer = span(&outer);
+        {
+            let _inner = span(&inner);
+            std::thread::sleep(sleep);
+        }
+        {
+            let _inner = span(&inner);
+            std::thread::sleep(sleep);
+        }
+    }
+    let wall = t0.elapsed().as_nanos() as u64;
+    assert_eq!(outer.count(), 1);
+    assert_eq!(inner.count(), 2);
+    let inner_total = inner.sum();
+    let outer_self = outer.sum();
+    assert!(
+        inner_total >= 2 * sleep.as_nanos() as u64,
+        "children cover their sleeps: {inner_total}ns"
+    );
+    assert!(
+        outer_self < sleep.as_nanos() as u64,
+        "parent self time {outer_self}ns must exclude ~{}ns of child time",
+        inner_total
+    );
+    assert!(
+        outer_self + inner_total <= wall + wall / 4,
+        "self times sum to the wall time, not double-count it"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Registry + render paths
+// ---------------------------------------------------------------------
+
+/// Registration is get-or-create: the same (name, labels) yields the
+/// same underlying metric whatever the label order.
+#[test]
+fn registration_is_idempotent_and_label_order_free() {
+    let reg = MetricsRegistry::new();
+    let a = reg.counter("pushes_total", &[("tenant", "0"), ("shard", "1")]);
+    let b = reg.counter("pushes_total", &[("shard", "1"), ("tenant", "0")]);
+    a.inc();
+    b.add(2);
+    assert_eq!(a.get(), 3, "both handles hit the same counter");
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("pushes_total", &[("tenant", "0"), ("shard", "1")]), Some(3));
+    assert_eq!(snap.counter("pushes_total", &[("tenant", "9")]), None);
+}
+
+/// Every exposition line is `name{labels} value` (or a `# TYPE`
+/// comment) and the JSON dump is valid JSON.
+#[test]
+fn render_paths_are_well_formed() {
+    let reg = MetricsRegistry::new();
+    reg.counter("requests_total", &[("tenant", "0")]).add(5);
+    reg.gauge("queue_depth", &[("shard", "0")]).set(3.5);
+    let h = reg.histogram("service_ns", &[]);
+    h.record(1000);
+    h.record(2000);
+    reg.record_event(Event::Overloaded { stream: 1, shard: 0, queue_len: 4 });
+    reg.record_event(Event::DriftDetected { stream: 1, residual: 0.42, partitions: 3 });
+
+    let text = reg.render_prometheus();
+    assert!(text.contains("requests_total{tenant=\"0\"} 5"));
+    assert!(text.contains("queue_depth{shard=\"0\"} 3.5"));
+    assert!(text.contains("service_ns_count 2"));
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("every line has a value");
+        assert!(value.parse::<f64>().is_ok(), "unparseable value in line: {line}");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in line: {line}"
+        );
+        if let Some(rest) = series.strip_prefix(name) {
+            assert!(
+                rest.is_empty() || (rest.starts_with('{') && rest.ends_with('}')),
+                "malformed labels in line: {line}"
+            );
+        }
+    }
+
+    let json = reg.render_json();
+    let parsed: serde::Value = serde_json::from_str(&json).expect("render_json parses");
+    let top = parsed.as_map().expect("top-level object");
+    let counters = serde::field(top, "counters").unwrap().as_seq().unwrap();
+    let c0 = counters[0].as_map().unwrap();
+    assert_eq!(serde::field(c0, "value").unwrap().as_f64(), Some(5.0));
+    let events = serde::field(top, "events").unwrap().as_seq().unwrap();
+    assert_eq!(events.len(), 2);
+    let e0 = events[0].as_map().unwrap();
+    assert_eq!(serde::field(e0, "kind").unwrap(), &serde::Value::Str("overloaded".into()));
+    let e1 = events[1].as_map().unwrap();
+    assert_eq!(serde::field(e1, "kind").unwrap(), &serde::Value::Str("drift_detected".into()));
+    assert_eq!(serde::field(e1, "partitions").unwrap().as_f64(), Some(3.0));
+}
+
+/// The typed snapshot carries histogram summaries and journal entries.
+#[test]
+fn snapshot_is_typed_and_complete() {
+    let reg = MetricsRegistry::with_journal_capacity(2);
+    let h = reg.histogram("latency_ns", &[("shard", "0")]);
+    for v in [100u64, 200, 300, 400_000] {
+        h.record(v);
+    }
+    reg.record_event(Event::CheckpointSaved { stream: 7, bytes: 1234 });
+    let snap = reg.snapshot();
+    let hs = snap.histogram("latency_ns", &[("shard", "0")]).expect("registered");
+    assert_eq!(hs.count, 4);
+    assert_eq!(hs.max, 400_000);
+    assert!(hs.p50 >= 200 && hs.p50 < 400_000);
+    assert!((hs.mean() - (100.0 + 200.0 + 300.0 + 400_000.0) / 4.0).abs() < 1e-9);
+    assert_eq!(snap.events.len(), 1);
+    assert_eq!(snap.events[0].event, Event::CheckpointSaved { stream: 7, bytes: 1234 });
+}

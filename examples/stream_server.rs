@@ -17,7 +17,7 @@ use nyxlite::NyxConfig;
 use stream_server::{PushOutcome, ServerConfig, ServerError, StreamServer, TenantConfig};
 
 /// Push with backoff: on `Overloaded`, sleep for the server's
-/// `retry_hint` — the shard's smoothed service time times the queue
+/// `retry_hint` — the shard's p90 push service time times the queue
 /// depth — instead of a guessed constant. The hint shrinks as the queue
 /// drains, so retries self-pace to the actual drain rate.
 fn push_with_retry(server: &StreamServer<f32>, tenant: usize, field: Field3<f32>) -> PushOutcome {
@@ -124,6 +124,37 @@ fn main() {
         "the poisoned stream recalibrates on every post-calibration snapshot, \
          got {poisoned_recals}/{}",
         steps - 1
+    );
+    // The same story the ranks just told, read back from the server's
+    // telemetry instead of the clients' bookkeeping: per-tenant traffic
+    // from the `server_bytes_{in,out}_total` counters, tail latency from
+    // the merged per-shard service histograms, and the admission-control
+    // counters for how often load shedding engaged.
+    let snap = server.metrics_snapshot();
+    let stats = server.stats();
+    println!("\nserver metrics at shutdown:");
+    println!("  tenant     pushes       bytes in      bytes out   ratio");
+    for &tenant in &tenants {
+        let t = tenant.to_string();
+        let labels: &[(&str, &str)] = &[("tenant", t.as_str())];
+        let pushes = snap.counter("server_pushes_total", labels).unwrap_or(0);
+        let bytes_in = snap.counter("server_bytes_in_total", labels).unwrap_or(0);
+        let bytes_out = snap.counter("server_bytes_out_total", labels).unwrap_or(0);
+        let ratio = bytes_in as f64 / bytes_out.max(1) as f64;
+        println!("  {tenant:>6} {pushes:>10} {bytes_in:>14} {bytes_out:>14} {ratio:6.1}x");
+    }
+    let p = stats.push_service;
+    println!(
+        "  push service: p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms over {} pushes",
+        p.p50 as f64 / 1e6,
+        p.p90 as f64 / 1e6,
+        p.p99 as f64 / 1e6,
+        p.count
+    );
+    println!(
+        "  admission: {} overload reject(s), {} degraded admit(s), \
+         {} idle refresh step(s)",
+        stats.overloaded, stats.degraded, stats.refresh_steps
     );
     server.shutdown().expect("clean shutdown");
     println!("server shut down cleanly");

@@ -138,13 +138,39 @@ fn scenario_envelope_holds_through_the_server_deferred_path() {
             ))
             .unwrap();
         let mut fired = Vec::new();
+        let mut fired_residuals = Vec::new();
         for (s, f) in series.fields.iter().enumerate() {
             let out = server.push(id, f.clone()).expect("finite scenario push");
             if out.record.stats.recalibration == Recalibration::Refreshed {
                 fired.push(s);
+                fired_residuals.push(out.record.stats.drift_residual);
             }
         }
         check_envelope(series.name, &series.expect, &fired);
+        // The server's event journal must pin exactly the refreshes the
+        // scenario fired for this tenant: one DriftDetected per refresh,
+        // in order, carrying the residual the push reported.
+        let drift_residuals: Vec<f64> = server
+            .metrics()
+            .journal()
+            .entries()
+            .iter()
+            .filter_map(|e| match e.event {
+                telemetry::Event::DriftDetected { stream, residual, .. } if stream == id as u64 => {
+                    Some(residual)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            drift_residuals.len(),
+            fired.len(),
+            "{}: journal DriftDetected events != fired refreshes",
+            series.name
+        );
+        for (got, want) in drift_residuals.iter().zip(&fired_residuals) {
+            assert_eq!(got, want, "{}: journal residual != push residual", series.name);
+        }
         server.close_tenant(id).unwrap();
     }
     server.shutdown().unwrap();

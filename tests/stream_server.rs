@@ -173,6 +173,20 @@ fn saturated_shard_rejects_with_typed_overloaded() {
     // The contract is "never stall the caller": rejection happens at
     // admission time, not after a queue drain.
     assert!(waited < Duration::from_secs(10), "rejection took {waited:?}");
+    // Observability contract, read while the shard is still backed up:
+    // the admission-sampled queue-depth gauge saw the saturated queue,
+    // and the overload counter counts exactly the typed rejects (one).
+    let stats = server.stats();
+    assert!(stats.queue_depths[0] > 0.0, "queue-depth gauge flat during backpressure: {stats:?}");
+    assert_eq!(stats.overloaded, 1, "overload counter != typed Overloaded rejects");
+    let journal_overloads = server
+        .metrics()
+        .journal()
+        .entries()
+        .iter()
+        .filter(|e| matches!(e.event, telemetry::Event::Overloaded { .. }))
+        .count();
+    assert_eq!(journal_overloads, 1, "journal must hold the one Overloaded event");
     for t in tickets {
         t.wait().expect("admitted pushes complete");
     }
