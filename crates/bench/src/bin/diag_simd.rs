@@ -1,0 +1,172 @@
+//! Diagnostic + CI gate for the SIMD kernel dispatch.
+//!
+//! Prints the detected ISA, the `HPDC21_SIMD` policy, the resolved
+//! process-wide backend, and the per-kernel dispatch table, then runs a
+//! scalar-vs-SIMD parity sweep over representative fields (smooth,
+//! shocked, NaN/Inf-laced, pencil-shaped) for every vectorised kernel:
+//! rsz compress/decompress, zfplite compress/decompress, and the
+//! interleaved FNV digest. Containers must be byte-identical and
+//! reconstructions bit-identical across backends.
+//!
+//! Exits nonzero on any divergence, so CI can run it as a gate:
+//!
+//! ```text
+//! cargo run --release --bin diag_simd
+//! HPDC21_SIMD=off   cargo run --release --bin diag_simd
+//! ```
+//!
+//! Under `HPDC21_SIMD=force` the first dispatch panics when the host has
+//! no SIMD backend — a forced lane fails loudly instead of silently
+//! measuring the scalar fallback.
+
+use gridlab::{Dim3, Field3};
+use portable_simd::Backend;
+use rsz::{SzConfig, SzScratch};
+use zfplite::{ZfpConfig, ZfpScratch};
+
+fn pencil(len: usize, seed: u64) -> Field3<f32> {
+    let mut state = seed | 1;
+    Field3::from_fn(Dim3::new(1, 1, len), |_, _, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2e4) as f32
+    })
+}
+
+fn rsz_parity(field: &Field3<f32>, cfg: &SzConfig) -> Result<(), String> {
+    let mut scratch = SzScratch::default();
+    let a = rsz::compress_slice_backend(
+        field.as_slice(),
+        field.dims(),
+        cfg,
+        &mut scratch,
+        Backend::Scalar,
+    );
+    let b = rsz::compress_slice_backend(
+        field.as_slice(),
+        field.dims(),
+        cfg,
+        &mut scratch,
+        Backend::Avx2,
+    );
+    if a.as_bytes() != b.as_bytes() {
+        return Err(format!("rsz containers diverge at dims {:?}", field.dims()));
+    }
+    let (da, _) = rsz::decompress_slice_backend::<f32>(a.as_bytes(), &mut scratch, Backend::Scalar)
+        .map_err(|e| format!("scalar decode failed: {e:?}"))?;
+    let (db, _) = rsz::decompress_slice_backend::<f32>(a.as_bytes(), &mut scratch, Backend::Avx2)
+        .map_err(|e| format!("simd decode failed: {e:?}"))?;
+    let same = da.iter().zip(&db).all(|(x, y)| x.to_bits() == y.to_bits());
+    if !same {
+        return Err(format!("rsz reconstructions diverge at dims {:?}", field.dims()));
+    }
+    Ok(())
+}
+
+fn zfp_parity(field: &Field3<f32>, cfg: &ZfpConfig) -> Result<(), String> {
+    let mut scratch = ZfpScratch::default();
+    let a = zfplite::zfp_compress_slice_backend(
+        field.as_slice(),
+        field.dims(),
+        cfg,
+        &mut scratch,
+        Backend::Scalar,
+    );
+    let b = zfplite::zfp_compress_slice_backend(
+        field.as_slice(),
+        field.dims(),
+        cfg,
+        &mut scratch,
+        Backend::Avx2,
+    );
+    if a.as_bytes() != b.as_bytes() {
+        return Err(format!("zfp containers diverge at dims {:?}", field.dims()));
+    }
+    let (da, _) = zfplite::zfp_decompress_slice_backend::<f32>(a.as_bytes(), Backend::Scalar)
+        .map_err(|e| format!("scalar decode failed: {e:?}"))?;
+    let (db, _) = zfplite::zfp_decompress_slice_backend::<f32>(a.as_bytes(), Backend::Avx2)
+        .map_err(|e| format!("simd decode failed: {e:?}"))?;
+    let same = da.iter().zip(&db).all(|(x, y)| x.to_bits() == y.to_bits());
+    if !same {
+        return Err(format!("zfp reconstructions diverge at dims {:?}", field.dims()));
+    }
+    Ok(())
+}
+
+fn main() {
+    let policy = std::env::var("HPDC21_SIMD").unwrap_or_default();
+    let detected = portable_simd::detect();
+    // Resolves (and caches) the process-wide decision; panics loudly under
+    // HPDC21_SIMD=force on a scalar-only host.
+    let resolved = portable_simd::backend();
+    println!("detected ISA:      {}", detected.name());
+    println!("HPDC21_SIMD:       {:?}", if policy.is_empty() { "(unset)" } else { &policy });
+    println!("resolved backend:  {}", resolved.name());
+    println!();
+    println!("dispatch table:");
+    for kernel in codec_core::KERNELS {
+        println!("  {kernel:<18} -> {}", resolved.name());
+    }
+
+    // The dispatch decision must also be visible to operators: publish the
+    // gauges and verify they landed in the global registry.
+    codec_core::record_kernel_backends();
+    let snap = telemetry::global().snapshot();
+    let mut failures: Vec<String> = Vec::new();
+    for kernel in codec_core::KERNELS {
+        let labels = [("kernel", kernel), ("isa", resolved.name())];
+        if snap.gauge("codec_kernel_backend", &labels) != Some(1.0) {
+            failures.push(format!("codec_kernel_backend gauge missing for kernel {kernel}"));
+        }
+    }
+
+    // Parity sweep: every vectorised kernel, scalar vs SIMD, on fields that
+    // stress the wavefront (pencils), block remainders (non-pow-2 cubes),
+    // and non-finite handling (laced scenarios).
+    let fields: Vec<(&str, Field3<f32>)> = vec![
+        ("smooth_grf_12", scenarios::smooth_grf(12, 7, 2.0)),
+        ("nan_laced_9", scenarios::nan_laced(9, 11, 0.05)),
+        ("inf_laced_9", scenarios::inf_laced(9, 13, 0.05)),
+        ("shock_front_10", scenarios::shock_front(10, 17, 0.4)),
+        ("pencil_4096", pencil(4096, 23)),
+        ("single_cell", pencil(1, 29)),
+    ];
+    let rsz_cfgs =
+        [("abs_0.05", SzConfig::abs(0.05)), ("pw_rel_0.01", SzConfig::pw_rel(0.01, 1e-20))];
+    let zfp_cfgs = [
+        ("accuracy_0.05", ZfpConfig::accuracy(0.05)),
+        ("fixed_rate_7", ZfpConfig::fixed_rate(7.0)),
+    ];
+
+    println!();
+    for (fname, field) in &fields {
+        for (cname, cfg) in &rsz_cfgs {
+            match rsz_parity(field, cfg) {
+                Ok(()) => println!("parity rsz/{cname:<12} {fname:<15} ok"),
+                Err(e) => failures.push(format!("rsz/{cname}/{fname}: {e}")),
+            }
+        }
+        for (cname, cfg) in &zfp_cfgs {
+            match zfp_parity(field, cfg) {
+                Ok(()) => println!("parity zfp/{cname:<12} {fname:<15} ok"),
+                Err(e) => failures.push(format!("zfp/{cname}/{fname}: {e}")),
+            }
+        }
+    }
+    for len in [0usize, 1, 3, 4, 7, 64, 4097] {
+        let bytes: Vec<u8> = (0..len).map(|i| (i as u64 * 167 % 251) as u8).collect();
+        if codec_core::fnv1a64_quad(&bytes) != codec_core::fnv1a64_quad_scalar(&bytes) {
+            failures.push(format!("fnv1a64_quad diverges at len {len}"));
+        }
+    }
+    println!("parity fnv1a64_quad              ok (7 lengths)");
+
+    if failures.is_empty() {
+        println!("\ndiag_simd: backend {} OK, all parity checks passed", resolved.name());
+    } else {
+        eprintln!("\ndiag_simd: {} failure(s)", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -73,7 +73,8 @@ pub use codec::{
     codec_counts, with_scratch, CodecCaps, CodecError, CodecId, CodecScratch, LossyCodec, RszCodec,
     ZfpCodec,
 };
-pub use container::{fnv1a64, Container, CONTAINER_VERSION};
+pub use container::{fnv1a64, fnv1a64_quad, fnv1a64_quad_scalar, Container, CONTAINER_VERSION};
+pub use obs::{record_kernel_backends, KERNELS};
 pub use stream::{StreamReader, StreamWriter, STREAM_VERSION};
 pub use stream_file::{
     footer_len, recover_stream, stream_file_bytes, trailer_len, FileSource, RecoveryReport,

@@ -28,9 +28,39 @@ fn codec_label(codec: CodecId) -> &'static str {
     }
 }
 
+/// Names of the SIMD-dispatched kernels published by
+/// [`record_kernel_backends`], in the order the hot paths run them.
+pub const KERNELS: [&str; 6] = [
+    "lorenzo_quantise",
+    "lorenzo_recon",
+    "zfp_lift",
+    "zfp_plane_mask",
+    "fnv1a64_quad",
+    "huffman_count",
+];
+
+/// Publish the process-wide SIMD dispatch decision as
+/// `codec_kernel_backend{kernel,isa}` gauges (value 1 on the resolved
+/// backend). The decision is made once per process by
+/// [`portable_simd::backend`] (detection plus the `HPDC21_SIMD` policy
+/// override), so one publication is both cheap and complete; repeated
+/// calls are no-ops. Also invoked lazily the first time any codec metric
+/// is touched, so every compressing process exports its dispatch table.
+pub fn record_kernel_backends() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let isa = portable_simd::backend().name();
+        let reg = telemetry::global();
+        for kernel in KERNELS {
+            reg.gauge("codec_kernel_backend", &[("kernel", kernel), ("isa", isa)]).set(1.0);
+        }
+    });
+}
+
 pub(crate) fn codec_metrics(codec: CodecId) -> &'static CodecMetrics {
     static ALL: OnceLock<Vec<CodecMetrics>> = OnceLock::new();
     let all = ALL.get_or_init(|| {
+        record_kernel_backends();
         let reg = telemetry::global();
         CodecId::ALL
             .iter()
@@ -95,5 +125,24 @@ pub(crate) fn record_recovery(frames_kept: usize, truncated: bool) {
             .record_event(telemetry::Event::RecoveryTruncated { frames_kept: frames_kept as u64 });
     } else {
         m.recoveries_clean.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_backend_gauges_are_published() {
+        record_kernel_backends();
+        let isa = portable_simd::backend().name();
+        let snap = telemetry::global().snapshot();
+        for kernel in KERNELS {
+            assert_eq!(
+                snap.gauge("codec_kernel_backend", &[("kernel", kernel), ("isa", isa)]),
+                Some(1.0),
+                "missing dispatch gauge for kernel {kernel}"
+            );
+        }
     }
 }

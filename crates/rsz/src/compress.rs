@@ -31,7 +31,9 @@ use crate::lossless::{lzss_compress, lzss_decompress, LzssError};
 use crate::predictor::{lorenzo3, lorenzo3_interior};
 use crate::quantizer::{Quantizer, UNPREDICTABLE};
 use crate::rle::{fold_into, unfold, RUN_MARKER};
+use crate::simd_walk;
 use gridlab::{Dim3, Field3, Scalar};
+use portable_simd::Backend;
 use std::cell::RefCell;
 use std::collections::HashMap;
 
@@ -380,6 +382,10 @@ pub struct SzScratch {
     /// RLE-folded symbol stream and run side-channel.
     symbols: Vec<u32>,
     runs: Vec<u32>,
+    /// Verbatim-cell rank prefix counts (SIMD reconstruction walk only).
+    ranks: Vec<u32>,
+    /// Four interleaved sub-histograms (SIMD-backend frequency count).
+    freq4: Vec<u64>,
 }
 
 thread_local! {
@@ -415,6 +421,58 @@ fn dense_sorted_counts(items: &[u32], limit: usize, scratch: &mut SzScratch) -> 
         scratch.touched.iter().map(|&c| (c, scratch.freq[c as usize])).collect();
     for &c in &scratch.touched {
         scratch.freq[c as usize] = 0;
+    }
+    pairs
+}
+
+/// Widest code space the 4-way count will allocate sub-histograms for
+/// (4 × 2^16 × 8 B = 2 MiB of scratch; wider spaces use the single
+/// histogram, which is identical in output).
+const QUAD_COUNT_LIMIT: usize = 1 << 16;
+
+/// [`dense_sorted_counts`] with four interleaved sub-histograms: runs of
+/// one dominant code no longer serialise on a single counter's
+/// store-to-load chain, which is the bottleneck on smooth fields where one
+/// code covers most cells. Counts are exact, so the folded result is
+/// identical to the single-histogram path.
+fn dense_sorted_counts_quad(
+    items: &[u32],
+    limit: usize,
+    scratch: &mut SzScratch,
+) -> Vec<(u32, u64)> {
+    if scratch.freq4.len() < 4 * limit {
+        scratch.freq4.resize(4 * limit, 0);
+    }
+    scratch.touched.clear();
+    let freq4 = &mut scratch.freq4[..4 * limit];
+    let touched = &mut scratch.touched;
+    let mut bump = |lane: usize, c: u32| {
+        let slot = &mut freq4[lane * limit + c as usize];
+        if *slot == 0 {
+            touched.push(c); // may repeat across lanes; deduped below
+        }
+        *slot += 1;
+    };
+    let mut chunks = items.chunks_exact(4);
+    for quad in &mut chunks {
+        bump(0, quad[0]);
+        bump(1, quad[1]);
+        bump(2, quad[2]);
+        bump(3, quad[3]);
+    }
+    for &c in chunks.remainder() {
+        bump(0, c);
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    let pairs: Vec<(u32, u64)> = touched
+        .iter()
+        .map(|&c| (c, (0..4).map(|lane| freq4[lane * limit + c as usize]).sum()))
+        .collect();
+    for &c in touched.iter() {
+        for lane in 0..4 {
+            freq4[lane * limit + c as usize] = 0;
+        }
     }
     pairs
 }
@@ -537,12 +595,27 @@ pub fn compress_slice<T: Scalar>(values: &[T], dims: Dim3, cfg: &SzConfig) -> Co
 }
 
 /// [`compress_slice`] with caller-owned scratch (for benchmarks or callers
-/// that want deterministic buffer lifetimes).
+/// that want deterministic buffer lifetimes). Uses the process-wide SIMD
+/// dispatch decision ([`portable_simd::backend`]).
 pub fn compress_slice_with<T: Scalar>(
     values: &[T],
     dims: Dim3,
     cfg: &SzConfig,
     scratch: &mut SzScratch,
+) -> Compressed {
+    compress_slice_backend(values, dims, cfg, scratch, portable_simd::backend())
+}
+
+/// [`compress_slice_with`] with an explicit kernel backend — the hook the
+/// forced-backend parity suites and `diag_simd` use to compare the scalar
+/// raster walk against the SIMD wavefront in one process. Both backends
+/// produce byte-identical containers on every input.
+pub fn compress_slice_backend<T: Scalar>(
+    values: &[T],
+    dims: Dim3,
+    cfg: &SzConfig,
+    scratch: &mut SzScratch,
+    backend: Backend,
 ) -> Compressed {
     assert_eq!(values.len(), dims.len(), "slice length must match dims");
     let n = dims.len();
@@ -554,22 +627,29 @@ pub fn compress_slice_with<T: Scalar>(
             scratch.vals.clear();
             scratch.vals.extend(values.iter().map(|v| v.to_f64()));
             let vals = std::mem::take(&mut scratch.vals);
-            forward_walk(
-                dims,
-                &quant,
-                &vals,
-                |i, r| {
-                    // Verify in T precision: the decompressor's output cast
-                    // must still honour the bound.
-                    let rt = T::from_f64(r).to_f64();
-                    if (rt - vals[i]).abs() <= eb {
-                        Some(r)
-                    } else {
-                        None
-                    }
-                },
-                scratch,
-            );
+            if backend != Backend::Scalar {
+                let SzScratch { recon, codes, unpred, .. } = &mut *scratch;
+                simd_walk::forward_walk_abs_wavefront::<T>(
+                    dims, &quant, &vals, codes, unpred, recon,
+                );
+            } else {
+                forward_walk(
+                    dims,
+                    &quant,
+                    &vals,
+                    |i, r| {
+                        // Verify in T precision: the decompressor's output
+                        // cast must still honour the bound.
+                        let rt = T::from_f64(r).to_f64();
+                        if (rt - vals[i]).abs() <= eb {
+                            Some(r)
+                        } else {
+                            None
+                        }
+                    },
+                    scratch,
+                );
+            }
             scratch.vals = vals;
             (None, None)
         }
@@ -617,7 +697,11 @@ pub fn compress_slice_with<T: Scalar>(
     let code_space = 2 * cfg.radius as usize;
     let codes = std::mem::take(&mut scratch.codes);
     let code_counts = if code_space <= DENSE_COUNT_LIMIT {
-        dense_sorted_counts(&codes, code_space, scratch)
+        if backend != Backend::Scalar && code_space <= QUAD_COUNT_LIMIT {
+            dense_sorted_counts_quad(&codes, code_space, scratch)
+        } else {
+            dense_sorted_counts(&codes, code_space, scratch)
+        }
     } else {
         hashed_sorted_counts(&codes)
     };
@@ -711,10 +795,21 @@ pub fn decompress_slice<T: Scalar>(bytes: &[u8]) -> Result<(Vec<T>, Dim3), SzErr
     with_tls_scratch(|scratch| decompress_slice_with(bytes, scratch))
 }
 
-/// [`decompress_slice`] with caller-owned scratch.
+/// [`decompress_slice`] with caller-owned scratch. Uses the process-wide
+/// SIMD dispatch decision ([`portable_simd::backend`]).
 pub fn decompress_slice_with<T: Scalar>(
     bytes: &[u8],
     scratch: &mut SzScratch,
+) -> Result<(Vec<T>, Dim3), SzError> {
+    decompress_slice_backend(bytes, scratch, portable_simd::backend())
+}
+
+/// [`decompress_slice_with`] with an explicit kernel backend (parity-test
+/// hook; see [`compress_slice_backend`]).
+pub fn decompress_slice_backend<T: Scalar>(
+    bytes: &[u8],
+    scratch: &mut SzScratch,
+    backend: Backend,
 ) -> Result<(Vec<T>, Dim3), SzError> {
     let h = Header::parse(bytes)?;
     if h.tag != T::TAG {
@@ -842,49 +937,55 @@ pub fn decompress_slice_with<T: Scalar>(
         .iter()
         .map(|v| if is_pwrel { v.to_f64().abs().max(rel_floor).ln() } else { v.to_f64() })
         .collect();
-    scratch.recon.clear();
-    scratch.recon.resize(n, 0.0);
-    let recon = &mut scratch.recon[..];
-    let mut up_pos = 0usize;
-    let mut idx = 0usize;
-    for x in 0..dims.nx {
-        for y in 0..ny {
-            if x == 0 || y == 0 {
-                for z in 0..nz {
-                    let code = codes[idx];
-                    if code == UNPREDICTABLE {
-                        recon[idx] = up_recon[up_pos];
-                        up_pos += 1;
-                    } else {
-                        let pred = lorenzo3(recon, ny, nz, x, y, z);
-                        recon[idx] = quant.dequantize(code, pred);
+    if backend != Backend::Scalar {
+        let SzScratch { recon, ranks, .. } = &mut *scratch;
+        simd_walk::recon_walk_wavefront(dims, &quant, &codes, &up_recon, ranks, recon);
+    } else {
+        scratch.recon.clear();
+        scratch.recon.resize(n, 0.0);
+        let recon = &mut scratch.recon[..];
+        let mut up_pos = 0usize;
+        let mut idx = 0usize;
+        for x in 0..dims.nx {
+            for y in 0..ny {
+                if x == 0 || y == 0 {
+                    for z in 0..nz {
+                        let code = codes[idx];
+                        if code == UNPREDICTABLE {
+                            recon[idx] = up_recon[up_pos];
+                            up_pos += 1;
+                        } else {
+                            let pred = lorenzo3(recon, ny, nz, x, y, z);
+                            recon[idx] = quant.dequantize(code, pred);
+                        }
+                        idx += 1;
                     }
-                    idx += 1;
-                }
-            } else {
-                let code = codes[idx];
-                if code == UNPREDICTABLE {
-                    recon[idx] = up_recon[up_pos];
-                    up_pos += 1;
                 } else {
-                    let pred = lorenzo3(recon, ny, nz, x, y, 0);
-                    recon[idx] = quant.dequantize(code, pred);
-                }
-                idx += 1;
-                for _z in 1..nz {
                     let code = codes[idx];
                     if code == UNPREDICTABLE {
                         recon[idx] = up_recon[up_pos];
                         up_pos += 1;
                     } else {
-                        let pred = lorenzo3_interior(recon, sx, sy, idx);
+                        let pred = lorenzo3(recon, ny, nz, x, y, 0);
                         recon[idx] = quant.dequantize(code, pred);
                     }
                     idx += 1;
+                    for _z in 1..nz {
+                        let code = codes[idx];
+                        if code == UNPREDICTABLE {
+                            recon[idx] = up_recon[up_pos];
+                            up_pos += 1;
+                        } else {
+                            let pred = lorenzo3_interior(recon, sx, sy, idx);
+                            recon[idx] = quant.dequantize(code, pred);
+                        }
+                        idx += 1;
+                    }
                 }
             }
         }
     }
+    let recon = &scratch.recon[..];
 
     // --- mirror walk, pass 2: emit T values in the original domain ---
     let mut out: Vec<T> = Vec::with_capacity(n);
@@ -1118,6 +1219,93 @@ mod tests {
             let (via_fresh, _) = decompress_slice::<f32>(fresh.as_bytes()).unwrap();
             assert_eq!(via_scratch, via_fresh);
         }
+    }
+
+    #[test]
+    fn simd_and_scalar_backends_are_byte_identical() {
+        // The tentpole invariant: the wavefront walk must emit the exact
+        // container bytes of the raster walk, and reconstruct the exact
+        // output, on smooth, noisy, and poisoned fields of awkward shapes.
+        // (On non-AVX2 hosts the Avx2 request runs the baseline clone of
+        // the same wavefront body — the comparison still bites.)
+        let mut scratch = SzScratch::default();
+        let shapes = [
+            Dim3::cube(1),
+            Dim3::new(1, 1, 4096),
+            Dim3::new(4096, 1, 1),
+            Dim3::new(3, 5, 7),
+            Dim3::new(2, 17, 13),
+            Dim3::cube(12),
+        ];
+        for dims in shapes {
+            let mut state = 0x9e3779b97f4a7c15u64 ^ dims.len() as u64;
+            let mut f = Field3::from_fn(dims, |x, y, z| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.3;
+                ((x as f64 * 0.3).sin() * 40.0 + (y as f64 + z as f64) * 0.7 + noise) as f32
+            });
+            // Poison a few cells: verbatim fallback must agree lane-for-lane.
+            let n = dims.len();
+            f.as_mut_slice()[n / 3] = f32::NAN;
+            f.as_mut_slice()[n / 2] = f32::INFINITY;
+            for cfg in [SzConfig::abs(0.1), SzConfig::abs(1e-6), SzConfig::abs(f64::MAX)] {
+                let a =
+                    compress_slice_backend(f.as_slice(), dims, &cfg, &mut scratch, Backend::Scalar);
+                let b =
+                    compress_slice_backend(f.as_slice(), dims, &cfg, &mut scratch, Backend::Avx2);
+                assert_eq!(a.as_bytes(), b.as_bytes(), "compress diverged on {dims:?}");
+                let (da, _) =
+                    decompress_slice_backend::<f32>(a.as_bytes(), &mut scratch, Backend::Scalar)
+                        .unwrap();
+                let (db, _) =
+                    decompress_slice_backend::<f32>(a.as_bytes(), &mut scratch, Backend::Avx2)
+                        .unwrap();
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&da), bits(&db), "decompress diverged on {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn quad_count_matches_single_histogram() {
+        // Same scratch across both paths and repeated calls: identical
+        // pairs and a clean sparse reset either way.
+        let mut scratch = SzScratch::default();
+        let mut state = 5u64;
+        let items: Vec<u32> = (0..10_007)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if i % 3 == 0 {
+                    7
+                } else {
+                    (state % 50) as u32
+                }
+            })
+            .collect();
+        for slice in [&items[..], &items[..7], &items[..0], &items[..4]] {
+            let single = dense_sorted_counts(slice, 64, &mut scratch);
+            let quad = dense_sorted_counts_quad(slice, 64, &mut scratch);
+            assert_eq!(single, quad, "diverged on {} items", slice.len());
+        }
+    }
+
+    #[test]
+    fn simd_backend_handles_pwrel_containers() {
+        // PwRel compression still uses the raster walk, but decompression's
+        // pass 1 is mode-agnostic and runs the wavefront — outputs must
+        // match the scalar mirror walk bit-for-bit.
+        let mut scratch = SzScratch::default();
+        let f = Field3::from_fn(Dim3::new(6, 9, 11), |x, y, z| {
+            let v = (1.0 + x as f64 + 10.0 * y as f64) * (z as f64 + 1.0);
+            (if (x + y) % 2 == 0 { v } else { -v }) as f32
+        });
+        let c = compress(&f, &SzConfig::pw_rel(0.01, 1e-12));
+        let (da, _) =
+            decompress_slice_backend::<f32>(c.as_bytes(), &mut scratch, Backend::Scalar).unwrap();
+        let (db, _) =
+            decompress_slice_backend::<f32>(c.as_bytes(), &mut scratch, Backend::Avx2).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&da), bits(&db));
     }
 
     #[test]

@@ -264,11 +264,30 @@ impl CodeBook {
     }
 
     /// Encode `symbols` into `w`.
+    ///
+    /// Codewords are concatenated MSB-first, so consecutive symbols pack
+    /// into one local accumulator and flush together — typically several
+    /// symbols per `push_bits` call instead of one. The emitted bit stream
+    /// is identical to pushing each codeword individually.
     pub fn encode(&self, symbols: &[u32], w: &mut BitWriter) -> Result<(), HuffmanError> {
+        let mut acc = 0u64;
+        let mut pending = 0u8;
         for &s in symbols {
             let (code, len) = self.lookup(s).ok_or(HuffmanError::UnknownSymbol(s))?;
-            w.push_bits(code, len);
+            if pending + len > 56 {
+                w.push_bits(acc, pending);
+                acc = 0;
+                pending = 0;
+                if len > 56 {
+                    // Degenerate ≥ 57-bit codeword: bypass the accumulator.
+                    w.push_bits(code, len);
+                    continue;
+                }
+            }
+            acc = (acc << len) | (code & ((1u64 << len) - 1));
+            pending += len;
         }
+        w.push_bits(acc, pending);
         Ok(())
     }
 

@@ -32,6 +32,13 @@
 //! Callers that want poisoned fields refused outright must screen upstream
 //! (the streaming session's ingestion check does).
 
+//!
+//! **SIMD backends**: the hot walks have wavefront SIMD variants
+//! ([`simd_walk`]) dispatched at runtime through `vendor/portable_simd`;
+//! scalar and SIMD paths emit byte-identical containers. Force a path
+//! process-wide with `HPDC21_SIMD=force|off`, or per call via
+//! [`compress_slice_backend`]/[`decompress_slice_backend`].
+
 pub mod bitstream;
 pub mod compress;
 pub mod huffman;
@@ -39,8 +46,11 @@ pub mod lossless;
 pub mod predictor;
 pub mod quantizer;
 pub mod rle;
+mod simd_walk;
 
 pub use compress::{
-    compress, compress_slice, compress_slice_with, decompress, decompress_slice,
-    decompress_slice_with, CodecStats, Compressed, ErrorMode, SzConfig, SzError, SzScratch,
+    compress, compress_slice, compress_slice_backend, compress_slice_with, decompress,
+    decompress_slice, decompress_slice_backend, decompress_slice_with, CodecStats, Compressed,
+    ErrorMode, SzConfig, SzError, SzScratch,
 };
+pub use portable_simd::Backend;

@@ -1,0 +1,418 @@
+//! SIMD wavefront variants of the quantisation walks.
+//!
+//! The raster walks in [`crate::compress`] carry a loop-borne dependency:
+//! every interior cell's Lorenzo prediction reads `recon[idx − 1]`, the
+//! cell visited immediately before it. Vectorising *along* the raster
+//! would need that serial chain broken — and any reassociation of the
+//! stencil changes which codes are emitted, i.e. the container bytes.
+//!
+//! Instead these walks traverse each x-plane's interior along
+//! **anti-diagonals** (`y + z = const`): with plane `x − 1` complete,
+//! cells on one diagonal depend only on the two previous diagonals, so
+//! four of them can run as SIMD lanes. Each lane performs *exactly* the
+//! per-cell scalar operation sequence — same IEEE ops, same left-to-right
+//! association, same rounding — so the codes, reconstruction buffer, and
+//! therefore the container bytes are bit-identical to the raster walk's
+//! on every input, including NaN/Inf cells (whose verbatim fallback
+//! propagates through lane predictions just as it does serially).
+//!
+//! Ordering bookkeeping differs from the raster walk in one way: codes
+//! are written *by cell index* instead of pushed, and the verbatim-value
+//! list is rebuilt by a raster scan afterwards — index order equals push
+//! order, so the payload layout is unchanged.
+//!
+//! Dispatch follows the vendor shim's multiversion pattern
+//! (see `vendor/portable_simd`): one generic body, an
+//! `#[target_feature(enable = "avx2")]` clone picked when the host
+//! supports it, and the plain clone otherwise. The original raster walk
+//! remains the scalar reference implementation and is what
+//! [`portable_simd::Backend::Scalar`] selects.
+
+use crate::predictor::{lorenzo3, lorenzo3_interior};
+use crate::quantizer::{Quantizer, UNPREDICTABLE};
+use gridlab::{Dim3, Scalar};
+use portable_simd::f64x4;
+
+const LANES: usize = 4;
+
+/// One cell of the ABS-mode forward walk, writing by index. Mirrors
+/// `forward_cell` + the ABS accept closure in `compress` exactly.
+#[inline(always)]
+fn forward_cell_abs_at<T: Scalar>(
+    quant: &Quantizer,
+    eb: f64,
+    vals: &[f64],
+    idx: usize,
+    pred: f64,
+    codes: &mut [u32],
+    recon: &mut [f64],
+) {
+    let val = vals[idx];
+    if let Some((code, r)) = quant.quantize(val, pred) {
+        // Verify in T precision: the decompressor's output cast must
+        // still honour the bound.
+        let rt = T::from_f64(r).to_f64();
+        if (rt - val).abs() <= eb {
+            codes[idx] = code;
+            recon[idx] = r;
+            return;
+        }
+    }
+    codes[idx] = UNPREDICTABLE;
+    recon[idx] = val; // exact in the transformed domain
+}
+
+/// Four interior cells on one anti-diagonal: fused Lorenzo predict +
+/// quantise + bound checks, lane `k` at flat index `base + k·stride`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn forward_chunk_abs<T: Scalar>(
+    vals: &[f64],
+    base: usize,
+    stride: usize,
+    sx: usize,
+    sy: usize,
+    eb: f64,
+    two_eb: f64,
+    radius: u32,
+    codes: &mut [u32],
+    recon: &mut [f64],
+) {
+    // The seven stencil loads, combined with the raster walk's exact
+    // left-to-right association.
+    let t1 = f64x4::gather(recon, base - 1, stride);
+    let t2 = f64x4::gather(recon, base - sy, stride);
+    let t3 = f64x4::gather(recon, base - sx, stride);
+    let t4 = f64x4::gather(recon, base - sy - 1, stride);
+    let t5 = f64x4::gather(recon, base - sx - 1, stride);
+    let t6 = f64x4::gather(recon, base - sx - sy, stride);
+    let t7 = f64x4::gather(recon, base - sx - sy - 1, stride);
+    let pred = t1 + t2 + t3 - t4 - t5 - t6 + t7;
+
+    let val = f64x4::gather(vals, base, stride);
+    let diff = val - pred;
+    let q = diff.div(f64x4::splat(two_eb)).round();
+    let finite = diff.is_finite();
+    let in_range = q.abs().lt(f64x4::splat(radius as f64));
+    // `pred + (q·2)·eb`, the quantiser's exact expression shape.
+    let rf = pred + q * f64x4::splat(2.0) * f64x4::splat(eb);
+    let over = (rf - val).abs().gt(f64x4::splat(eb));
+    let qi = q.to_i64().to_array();
+
+    let rfa = rf.to_array();
+    let vala = val.to_array();
+    for k in 0..LANES {
+        let idx = base + k * stride;
+        // T-precision recheck (the ABS accept closure).
+        let rt = T::from_f64(rfa[k]).to_f64();
+        let keep = finite[k] && in_range[k] && !over[k] && (rt - vala[k]).abs() <= eb;
+        if keep {
+            // In-range lanes can't overflow; rejected lanes may hold a
+            // saturated cast, discarded below — wrap instead of trapping.
+            codes[idx] = qi[k].wrapping_add(radius as i64) as u32;
+            recon[idx] = rfa[k];
+        } else {
+            codes[idx] = UNPREDICTABLE;
+            recon[idx] = vala[k];
+        }
+    }
+}
+
+/// The full ABS forward walk, wavefront order. Writes `codes` (by index)
+/// and `recon`; the caller rebuilds the verbatim list by raster scan.
+#[inline(always)]
+fn forward_walk_abs_body<T: Scalar>(
+    dims: Dim3,
+    quant: &Quantizer,
+    vals: &[f64],
+    codes: &mut [u32],
+    recon: &mut [f64],
+) {
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    let (sx, sy) = (ny * nz, nz);
+    let eb = quant.error_bound();
+    let two_eb = 2.0 * eb;
+    let radius = quant.radius();
+
+    // Plane x = 0 and each plane's y = 0 row / z = 0 column use the
+    // general bounds-checked stencil, exactly like the raster walk.
+    for y in 0..ny {
+        for z in 0..nz {
+            let idx = y * sy + z;
+            let pred = lorenzo3(recon, ny, nz, 0, y, z);
+            forward_cell_abs_at::<T>(quant, eb, vals, idx, pred, codes, recon);
+        }
+    }
+    for x in 1..nx {
+        let plane = x * sx;
+        for z in 0..nz {
+            let pred = lorenzo3(recon, ny, nz, x, 0, z);
+            forward_cell_abs_at::<T>(quant, eb, vals, plane + z, pred, codes, recon);
+        }
+        for y in 1..ny {
+            let pred = lorenzo3(recon, ny, nz, x, y, 0);
+            forward_cell_abs_at::<T>(quant, eb, vals, plane + y * sy, pred, codes, recon);
+        }
+        if ny < 2 || nz < 2 {
+            continue; // no interior cells in this plane
+        }
+        // Interior wavefront: anti-diagonal d = y + z, cells independent
+        // within a diagonal, flat-index stride sy − 1 between them.
+        let stride = sy - 1;
+        for d in 2..=(ny - 1) + (nz - 1) {
+            let y_lo = if d > nz - 1 { d - (nz - 1) } else { 1 };
+            let y_hi = (ny - 1).min(d - 1);
+            let len = y_hi - y_lo + 1;
+            let base0 = plane + y_lo * sy + (d - y_lo);
+            let mut done = 0usize;
+            while done + LANES <= len {
+                forward_chunk_abs::<T>(
+                    vals,
+                    base0 + done * stride,
+                    stride,
+                    sx,
+                    sy,
+                    eb,
+                    two_eb,
+                    radius,
+                    codes,
+                    recon,
+                );
+                done += LANES;
+            }
+            for k in done..len {
+                let idx = base0 + k * stride;
+                let pred = lorenzo3_interior(recon, sx, sy, idx);
+                forward_cell_abs_at::<T>(quant, eb, vals, idx, pred, codes, recon);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn forward_walk_abs_avx2<T: Scalar>(
+    dims: Dim3,
+    quant: &Quantizer,
+    vals: &[f64],
+    codes: &mut [u32],
+    recon: &mut [f64],
+) {
+    forward_walk_abs_body::<T>(dims, quant, vals, codes, recon);
+}
+
+/// Run the wavefront forward walk with the best compiled clone for this
+/// host. Byte-identical to the raster walk on every input.
+pub(crate) fn forward_walk_abs_wavefront<T: Scalar>(
+    dims: Dim3,
+    quant: &Quantizer,
+    vals: &[f64],
+    codes: &mut Vec<u32>,
+    unpred: &mut Vec<usize>,
+    recon: &mut Vec<f64>,
+) {
+    let n = dims.len();
+    recon.clear();
+    recon.resize(n, 0.0);
+    codes.clear();
+    codes.resize(n, UNPREDICTABLE);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support verified on this exact host above.
+            unsafe { forward_walk_abs_avx2::<T>(dims, quant, vals, codes, recon) };
+        } else {
+            forward_walk_abs_body::<T>(dims, quant, vals, codes, recon);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    forward_walk_abs_body::<T>(dims, quant, vals, codes, recon);
+
+    // Index order is raster order, so this reproduces the raster walk's
+    // push order for the verbatim side-channel.
+    unpred.clear();
+    for (i, &c) in codes.iter().enumerate() {
+        if c == UNPREDICTABLE {
+            unpred.push(i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decompress reconstruction (mirror walk pass 1)
+// ---------------------------------------------------------------------------
+
+/// One cell of the reconstruction walk, mode-agnostic (the transformed
+/// domain is already baked into `up_recon`).
+#[inline(always)]
+fn recon_cell_at(
+    quant: &Quantizer,
+    codes: &[u32],
+    up_recon: &[f64],
+    up_rank: &[u32],
+    idx: usize,
+    pred: f64,
+    recon: &mut [f64],
+) {
+    let code = codes[idx];
+    if code == UNPREDICTABLE {
+        recon[idx] = up_recon[up_rank[idx] as usize];
+    } else {
+        recon[idx] = quant.dequantize(code, pred);
+    }
+}
+
+/// Four interior cells of the reconstruction wavefront.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn recon_chunk(
+    codes: &[u32],
+    up_recon: &[f64],
+    up_rank: &[u32],
+    base: usize,
+    stride: usize,
+    sx: usize,
+    sy: usize,
+    eb: f64,
+    radius: u32,
+    recon: &mut [f64],
+) {
+    let t1 = f64x4::gather(recon, base - 1, stride);
+    let t2 = f64x4::gather(recon, base - sy, stride);
+    let t3 = f64x4::gather(recon, base - sx, stride);
+    let t4 = f64x4::gather(recon, base - sy - 1, stride);
+    let t5 = f64x4::gather(recon, base - sx - 1, stride);
+    let t6 = f64x4::gather(recon, base - sx - sy, stride);
+    let t7 = f64x4::gather(recon, base - sx - sy - 1, stride);
+    let pred = t1 + t2 + t3 - t4 - t5 - t6 + t7;
+
+    let mut qf = [0.0f64; LANES];
+    let mut verbatim = [false; LANES];
+    for k in 0..LANES {
+        let code = codes[base + k * stride];
+        verbatim[k] = code == UNPREDICTABLE;
+        qf[k] = (code as i64 - radius as i64) as f64;
+    }
+    // `pred + q·2·eb`, the dequantiser's exact expression shape.
+    let rf = pred + f64x4::from_array(qf) * f64x4::splat(2.0) * f64x4::splat(eb);
+    let rfa = rf.to_array();
+    for k in 0..LANES {
+        let idx = base + k * stride;
+        recon[idx] = if verbatim[k] { up_recon[up_rank[idx] as usize] } else { rfa[k] };
+    }
+}
+
+#[inline(always)]
+fn recon_walk_body(
+    dims: Dim3,
+    quant: &Quantizer,
+    codes: &[u32],
+    up_recon: &[f64],
+    up_rank: &[u32],
+    recon: &mut [f64],
+) {
+    let (nx, ny, nz) = (dims.nx, dims.ny, dims.nz);
+    let (sx, sy) = (ny * nz, nz);
+    let eb = quant.error_bound();
+    let radius = quant.radius();
+
+    for y in 0..ny {
+        for z in 0..nz {
+            let idx = y * sy + z;
+            let pred = lorenzo3(recon, ny, nz, 0, y, z);
+            recon_cell_at(quant, codes, up_recon, up_rank, idx, pred, recon);
+        }
+    }
+    for x in 1..nx {
+        let plane = x * sx;
+        for z in 0..nz {
+            let pred = lorenzo3(recon, ny, nz, x, 0, z);
+            recon_cell_at(quant, codes, up_recon, up_rank, plane + z, pred, recon);
+        }
+        for y in 1..ny {
+            let pred = lorenzo3(recon, ny, nz, x, y, 0);
+            recon_cell_at(quant, codes, up_recon, up_rank, plane + y * sy, pred, recon);
+        }
+        if ny < 2 || nz < 2 {
+            continue;
+        }
+        let stride = sy - 1;
+        for d in 2..=(ny - 1) + (nz - 1) {
+            let y_lo = if d > nz - 1 { d - (nz - 1) } else { 1 };
+            let y_hi = (ny - 1).min(d - 1);
+            let len = y_hi - y_lo + 1;
+            let base0 = plane + y_lo * sy + (d - y_lo);
+            let mut done = 0usize;
+            while done + LANES <= len {
+                recon_chunk(
+                    codes,
+                    up_recon,
+                    up_rank,
+                    base0 + done * stride,
+                    stride,
+                    sx,
+                    sy,
+                    eb,
+                    radius,
+                    recon,
+                );
+                done += LANES;
+            }
+            for k in done..len {
+                let idx = base0 + k * stride;
+                let pred = lorenzo3_interior(recon, sx, sy, idx);
+                recon_cell_at(quant, codes, up_recon, up_rank, idx, pred, recon);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn recon_walk_avx2(
+    dims: Dim3,
+    quant: &Quantizer,
+    codes: &[u32],
+    up_recon: &[f64],
+    up_rank: &[u32],
+    recon: &mut [f64],
+) {
+    recon_walk_body(dims, quant, codes, up_recon, up_rank, recon);
+}
+
+/// Wavefront reconstruction walk (decompress pass 1), both error modes.
+/// The raster walk consumes verbatim values in visit order; here each
+/// verbatim cell's rank is precomputed (`up_rank`, a prefix count over
+/// raster order) so out-of-order lanes read the right one.
+pub(crate) fn recon_walk_wavefront(
+    dims: Dim3,
+    quant: &Quantizer,
+    codes: &[u32],
+    up_recon: &[f64],
+    ranks: &mut Vec<u32>,
+    recon: &mut Vec<f64>,
+) {
+    let n = dims.len();
+    recon.clear();
+    recon.resize(n, 0.0);
+    ranks.clear();
+    ranks.resize(n, 0);
+    let mut rank = 0u32;
+    for (r, &c) in ranks.iter_mut().zip(codes.iter()) {
+        *r = rank;
+        if c == UNPREDICTABLE {
+            rank += 1;
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support verified on this exact host above.
+            unsafe { recon_walk_avx2(dims, quant, codes, up_recon, ranks, recon) };
+        } else {
+            recon_walk_body(dims, quant, codes, up_recon, ranks, recon);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    recon_walk_body(dims, quant, codes, up_recon, ranks, recon);
+}

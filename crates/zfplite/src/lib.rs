@@ -25,10 +25,21 @@
 //! what lets the multi-codec pipeline (`codec-core`) treat zfplite as an
 //! error-bounded backend alongside `rsz`.
 
+//!
+//! **SIMD backends**: the integer lifting transform and the bit-plane
+//! significance scans have lane-parallel variants ([`simd`]) dispatched at
+//! runtime through `vendor/portable_simd`; integer arithmetic is exact, so
+//! scalar and SIMD paths emit byte-identical containers. Force a path
+//! process-wide with `HPDC21_SIMD=force|off`, or per call via
+//! [`zfp_compress_slice_backend`]/[`zfp_decompress_slice_backend`].
+
 pub mod codec;
+mod simd;
 pub mod transform;
 
 pub use codec::{
-    zfp_compress, zfp_compress_slice, zfp_compress_slice_with, zfp_decompress,
-    zfp_decompress_slice, ZfpCompressed, ZfpConfig, ZfpError, ZfpMode, ZfpScratch,
+    zfp_compress, zfp_compress_slice, zfp_compress_slice_backend, zfp_compress_slice_with,
+    zfp_decompress, zfp_decompress_slice, zfp_decompress_slice_backend, ZfpCompressed, ZfpConfig,
+    ZfpError, ZfpMode, ZfpScratch,
 };
+pub use portable_simd::Backend;

@@ -1,0 +1,305 @@
+//! SIMD variants of the block codec's integer hot loops.
+//!
+//! Everything here is exact integer arithmetic — wrapping adds and
+//! arithmetic shifts — so lane-parallel evaluation is bit-identical to the
+//! scalar reference by construction; no floating-point reasoning is needed
+//! (contrast `rsz::simd_walk`). Three loops are vectorised:
+//!
+//! * the forward/inverse lifting transform: each axis pass applies four
+//!   independent 4-point lifts, which become one lift over `i64x4` lanes.
+//!   The y- and x-axis passes load lanes contiguously over `z`; the z-axis
+//!   pass (stride 1 within a row) goes through a 4×4 transpose instead of
+//!   gathers;
+//! * the bit-plane significance scan: extracting plane `b` of 64
+//!   negabinary coefficients into one mask word is a shift/mask/
+//!   variable-shift OR-fold over `u64x4` instead of 64 single-bit steps.
+//!
+//! Dispatch follows the vendor shim's multiversion pattern (see
+//! `vendor/portable_simd`): a generic body, an
+//! `#[target_feature(enable = "avx2")]` clone for capable hosts, and the
+//! original scalar functions in [`crate::transform`] as the
+//! [`portable_simd::Backend::Scalar`] reference.
+
+use portable_simd::{i64x4, transpose4_i64, u64x4};
+
+/// Forward 4-point lift over four independent vectors, one per lane.
+/// The exact step sequence of [`crate::transform::fwd_lift`] in lane-parallel form.
+#[inline(always)]
+fn fwd_lift_lanes(
+    mut x: i64x4,
+    mut y: i64x4,
+    mut z: i64x4,
+    mut w: i64x4,
+) -> (i64x4, i64x4, i64x4, i64x4) {
+    x = x + w;
+    x = x.shr(1);
+    w = w - x;
+    z = z + y;
+    z = z.shr(1);
+    y = y - z;
+    x = x + z;
+    x = x.shr(1);
+    z = z - x;
+    w = w + y;
+    w = w.shr(1);
+    y = y - w;
+    w = w + y.shr(1);
+    y = y - w.shr(1);
+    (x, y, z, w)
+}
+
+/// Inverse lift (exact mirror of [`crate::transform::inv_lift`]).
+#[inline(always)]
+fn inv_lift_lanes(
+    mut x: i64x4,
+    mut y: i64x4,
+    mut z: i64x4,
+    mut w: i64x4,
+) -> (i64x4, i64x4, i64x4, i64x4) {
+    y = y + w.shr(1);
+    w = w - y.shr(1);
+    y = y + w;
+    w = w.shl(1);
+    w = w - y;
+    z = z + x;
+    x = x.shl(1);
+    x = x - z;
+    y = y + z;
+    z = z.shl(1);
+    z = z - y;
+    w = w + x;
+    x = x.shl(1);
+    x = x - w;
+    (x, y, z, w)
+}
+
+#[inline(always)]
+fn load4(block: &[i64; 64], at: usize) -> i64x4 {
+    i64x4::from_slice(&block[at..at + 4])
+}
+
+#[inline(always)]
+fn store4(block: &mut [i64; 64], at: usize, v: i64x4) {
+    v.write_to_slice(&mut block[at..at + 4]);
+}
+
+/// Forward 3-D transform, four lifts per instruction. Axis order matches
+/// `transform::fwd_xform` (z, then y, then x); lifts within one axis pass
+/// are independent, so batching them cannot change the result.
+#[inline(always)]
+fn fwd_xform_body(block: &mut [i64; 64]) {
+    // Along z (stride 1): the four row-vectors of each x-plane transpose
+    // into (x, y, z, w) component lanes and back.
+    for x in 0..4 {
+        let p = 16 * x;
+        let rows =
+            [load4(block, p), load4(block, p + 4), load4(block, p + 8), load4(block, p + 12)];
+        let [cx, cy, cz, cw] = transpose4_i64(rows);
+        let (cx, cy, cz, cw) = fwd_lift_lanes(cx, cy, cz, cw);
+        let rows = transpose4_i64([cx, cy, cz, cw]);
+        store4(block, p, rows[0]);
+        store4(block, p + 4, rows[1]);
+        store4(block, p + 8, rows[2]);
+        store4(block, p + 12, rows[3]);
+    }
+    // Along y (stride 4): lanes run over z, components are contiguous rows.
+    for x in 0..4 {
+        let p = 16 * x;
+        let (a, b, c, d) = fwd_lift_lanes(
+            load4(block, p),
+            load4(block, p + 4),
+            load4(block, p + 8),
+            load4(block, p + 12),
+        );
+        store4(block, p, a);
+        store4(block, p + 4, b);
+        store4(block, p + 8, c);
+        store4(block, p + 12, d);
+    }
+    // Along x (stride 16): lanes run over z, components are whole planes.
+    for y in 0..4 {
+        let p = 4 * y;
+        let (a, b, c, d) = fwd_lift_lanes(
+            load4(block, p),
+            load4(block, p + 16),
+            load4(block, p + 32),
+            load4(block, p + 48),
+        );
+        store4(block, p, a);
+        store4(block, p + 16, b);
+        store4(block, p + 32, c);
+        store4(block, p + 48, d);
+    }
+}
+
+/// Inverse 3-D transform (reverse axis order of [`fwd_xform_body`]).
+#[inline(always)]
+fn inv_xform_body(block: &mut [i64; 64]) {
+    for y in 0..4 {
+        let p = 4 * y;
+        let (a, b, c, d) = inv_lift_lanes(
+            load4(block, p),
+            load4(block, p + 16),
+            load4(block, p + 32),
+            load4(block, p + 48),
+        );
+        store4(block, p, a);
+        store4(block, p + 16, b);
+        store4(block, p + 32, c);
+        store4(block, p + 48, d);
+    }
+    for x in 0..4 {
+        let p = 16 * x;
+        let (a, b, c, d) = inv_lift_lanes(
+            load4(block, p),
+            load4(block, p + 4),
+            load4(block, p + 8),
+            load4(block, p + 12),
+        );
+        store4(block, p, a);
+        store4(block, p + 4, b);
+        store4(block, p + 8, c);
+        store4(block, p + 12, d);
+    }
+    for x in 0..4 {
+        let p = 16 * x;
+        let rows =
+            [load4(block, p), load4(block, p + 4), load4(block, p + 8), load4(block, p + 12)];
+        let [cx, cy, cz, cw] = transpose4_i64(rows);
+        let (cx, cy, cz, cw) = inv_lift_lanes(cx, cy, cz, cw);
+        let rows = transpose4_i64([cx, cy, cz, cw]);
+        store4(block, p, rows[0]);
+        store4(block, p + 4, rows[1]);
+        store4(block, p + 8, rows[2]);
+        store4(block, p + 12, rows[3]);
+    }
+}
+
+/// Bit `b` of all 64 coefficients as one mask word (`mask bit i` =
+/// `nb[i] >> b & 1`): the group-test significance scan's inner loop.
+#[inline(always)]
+fn plane_mask_body(nb: &[u64; 64], b: u32) -> u64 {
+    let one = u64x4::splat(1);
+    let mut acc = u64x4::splat(0);
+    let mut i = 0u32;
+    while i < 64 {
+        let v = u64x4::from_slice(&nb[i as usize..i as usize + 4]);
+        acc = acc.or(v.shr(b).and(one).shl_each([i, i + 1, i + 2, i + 3]));
+        i += 4;
+    }
+    acc.or_lanes()
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fwd_xform(block: &mut [i64; 64]) {
+        super::fwd_xform_body(block);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn inv_xform(block: &mut [i64; 64]) {
+        super::inv_xform_body(block);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn plane_mask(nb: &[u64; 64], b: u32) -> u64 {
+        super::plane_mask_body(nb, b)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn have_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Forward transform with the best compiled clone for this host.
+pub(crate) fn fwd_xform_simd(block: &mut [i64; 64]) {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 support verified on this exact host above.
+        return unsafe { avx2::fwd_xform(block) };
+    }
+    fwd_xform_body(block);
+}
+
+/// Inverse transform with the best compiled clone for this host.
+pub(crate) fn inv_xform_simd(block: &mut [i64; 64]) {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 support verified on this exact host above.
+        return unsafe { avx2::inv_xform(block) };
+    }
+    inv_xform_body(block);
+}
+
+/// Plane-mask scan with the best compiled clone for this host.
+pub(crate) fn plane_mask_simd(nb: &[u64; 64], b: u32) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2() {
+        // SAFETY: AVX2 support verified on this exact host above.
+        return unsafe { avx2::plane_mask(nb, b) };
+    }
+    plane_mask_body(nb, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{fwd_xform, inv_xform};
+
+    fn rand_block(seed: u64, amp: i64) -> [i64; 64] {
+        let mut state = seed;
+        let mut out = [0i64; 64];
+        for o in &mut out {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *o = ((state >> 33) as i64 % (2 * amp)) - amp;
+        }
+        out
+    }
+
+    #[test]
+    fn lanes_lift_matches_scalar_lift() {
+        for seed in 0..50 {
+            let mut a = rand_block(seed, 1 << 40);
+            let mut b = a;
+            fwd_xform(&mut a);
+            fwd_xform_simd(&mut b);
+            assert_eq!(a, b, "forward diverged at seed {seed}");
+            inv_xform(&mut a);
+            inv_xform_simd(&mut b);
+            assert_eq!(a, b, "inverse diverged at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lanes_lift_matches_scalar_at_codec_magnitudes() {
+        // The codec feeds |q| < 2^50 (Q_BITS); the lift grows a few bits
+        // beyond that. Parity must hold across the whole working range.
+        for seed in 0..20 {
+            let mut a = rand_block(seed, 1 << 50);
+            let mut b = a;
+            fwd_xform(&mut a);
+            fwd_xform_simd(&mut b);
+            assert_eq!(a, b);
+            inv_xform(&mut a);
+            inv_xform_simd(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn plane_mask_matches_bit_loop() {
+        for seed in 0..20 {
+            let nb: [u64; 64] = rand_block(seed, i64::MAX / 4).map(|v| v as u64);
+            for b in 0..64 {
+                let mut want = 0u64;
+                for (i, u) in nb.iter().enumerate() {
+                    want |= ((u >> b) & 1) << i;
+                }
+                assert_eq!(plane_mask_simd(&nb, b), want, "plane {b} seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! Offline stand-in for `std::simd` (the unstable portable-SIMD API).
+//!
+//! No crates.io access and no nightly toolchain in the build container, so
+//! this shim supplies the subset the workspace's codec kernels use:
+//! fixed-width lane types ([`f64x4`], [`i64x4`], [`i32x8`], [`u64x4`]) with
+//! elementwise arithmetic, plus a runtime [`Backend`] dispatch layer.
+//!
+//! ## Dispatch model
+//!
+//! Lane types are plain `[T; N]` wrappers whose operations are written as
+//! `#[inline(always)]` elementwise scalar code. That makes every kernel
+//! body *one* piece of source with *two* compiled clones:
+//!
+//! 1. a **baseline clone** — the ordinary safe function, compiled for the
+//!    lowest common denominator target (the reference implementation), and
+//! 2. an **accelerated clone** — the same body wrapped in an
+//!    `unsafe fn` annotated `#[target_feature(enable = "avx2")]`, which
+//!    lets LLVM lower the elementwise lane ops to real vector
+//!    instructions.
+//!
+//! Callers pick a clone at runtime via [`backend`]: ISA support is probed
+//! once with `is_x86_feature_detected!` and cached in a `OnceLock`
+//! (detect once, dispatch forever). On non-x86_64 targets detection
+//! always resolves to [`Backend::Scalar`], so the accelerated clone is
+//! never reachable where it could not run.
+//!
+//! ## Byte-identity contract
+//!
+//! Both clones execute the *same* per-lane operation sequence — IEEE-754
+//! adds/subs/muls/divs/rounds and exact integer ops, no reassociation, no
+//! FMA contraction (Rust never auto-contracts) — so scalar and SIMD paths
+//! produce bit-identical results on every input, including NaN/Inf lanes.
+//! The workspace's golden-bytes fixtures and forced-backend parity suites
+//! gate this invariant.
+//!
+//! ## Forcing a backend
+//!
+//! `HPDC21_SIMD=off` pins [`backend`] to scalar, `HPDC21_SIMD=force`
+//! insists on the accelerated path (panics if the host lacks it — a CI
+//! guard against silent fallback), and `HPDC21_SIMD=auto` (or unset) uses
+//! whatever was detected. Kernels additionally expose explicit-backend
+//! entry points so parity tests can compare both clones in one process
+//! regardless of the environment.
+
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Backend detection and dispatch
+// ---------------------------------------------------------------------------
+
+/// Which compiled clone of a kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Baseline clone: safe, portable, the reference implementation.
+    Scalar,
+    /// AVX2-annotated clone (x86_64 with runtime-verified support only).
+    Avx2,
+}
+
+impl Backend {
+    /// Stable label for telemetry and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The `HPDC21_SIMD` override policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Use the detected backend (default).
+    Auto,
+    /// Insist on an accelerated backend; panic when none is available.
+    Force,
+    /// Pin to scalar regardless of detection.
+    Off,
+}
+
+impl Policy {
+    /// Parse an `HPDC21_SIMD` value; unknown strings fall back to `Auto`
+    /// (an observable diagnostic would be noise on every process start —
+    /// `diag_simd` prints the resolved policy instead).
+    pub fn parse(value: Option<&str>) -> Policy {
+        match value.map(str::trim) {
+            Some("force") => Policy::Force,
+            Some("off") => Policy::Off,
+            _ => Policy::Auto,
+        }
+    }
+
+    /// Resolve the policy against a detected backend.
+    ///
+    /// `Force` with a scalar-only host panics: a forced-SIMD CI lane must
+    /// fail loudly rather than silently measure the fallback.
+    pub fn resolve(self, detected: Backend) -> Backend {
+        match self {
+            Policy::Auto => detected,
+            Policy::Off => Backend::Scalar,
+            Policy::Force => {
+                assert!(
+                    detected != Backend::Scalar,
+                    "HPDC21_SIMD=force but no SIMD backend is available on this host"
+                );
+                detected
+            }
+        }
+    }
+}
+
+/// Probe the host ISA (uncached; use [`backend`] on hot paths).
+pub fn detect() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Backend::Avx2;
+        }
+    }
+    Backend::Scalar
+}
+
+/// The process-wide dispatch decision: detected ISA filtered through the
+/// `HPDC21_SIMD` policy, computed once and cached.
+pub fn backend() -> Backend {
+    static CACHED: OnceLock<Backend> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        let policy = Policy::parse(std::env::var("HPDC21_SIMD").ok().as_deref());
+        policy.resolve(detect())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Lane types
+// ---------------------------------------------------------------------------
+
+/// Define a lane type: a `[T; N]` wrapper with elementwise constructors,
+/// loads/stores, and the shared arithmetic ops.
+macro_rules! lanes {
+    ($name:ident, $t:ty, $n:literal) => {
+        // Lowercase names mirror `std::simd` (`f64x4` etc.) so a future
+        // swap to the real portable-SIMD API is a use-statement change.
+        #[allow(non_camel_case_types)]
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        #[repr(transparent)]
+        pub struct $name(pub [$t; $n]);
+
+        impl $name {
+            pub const LANES: usize = $n;
+
+            #[inline(always)]
+            pub fn splat(v: $t) -> Self {
+                Self([v; $n])
+            }
+
+            #[inline(always)]
+            pub fn from_array(a: [$t; $n]) -> Self {
+                Self(a)
+            }
+
+            #[inline(always)]
+            pub fn from_slice(s: &[$t]) -> Self {
+                let mut a = [<$t>::default(); $n];
+                a.copy_from_slice(&s[..$n]);
+                Self(a)
+            }
+
+            /// Strided gather: lane `i` loads `s[base + i·stride]`.
+            #[inline(always)]
+            pub fn gather(s: &[$t], base: usize, stride: usize) -> Self {
+                let mut a = [<$t>::default(); $n];
+                for (i, slot) in a.iter_mut().enumerate() {
+                    *slot = s[base + i * stride];
+                }
+                Self(a)
+            }
+
+            /// Strided scatter: lane `i` stores to `s[base + i·stride]`.
+            #[inline(always)]
+            pub fn scatter(self, s: &mut [$t], base: usize, stride: usize) {
+                for (i, v) in self.0.iter().enumerate() {
+                    s[base + i * stride] = *v;
+                }
+            }
+
+            #[inline(always)]
+            pub fn to_array(self) -> [$t; $n] {
+                self.0
+            }
+
+            #[inline(always)]
+            pub fn write_to_slice(self, s: &mut [$t]) {
+                s[..$n].copy_from_slice(&self.0);
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                let mut out = self.0;
+                for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+                    *o = elem_add(*o, *r);
+                }
+                Self(out)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                let mut out = self.0;
+                for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+                    *o = elem_sub(*o, *r);
+                }
+                Self(out)
+            }
+        }
+
+        impl std::ops::Mul for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                let mut out = self.0;
+                for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+                    *o = elem_mul(*o, *r);
+                }
+                Self(out)
+            }
+        }
+    };
+}
+
+// Elementwise primitives: wrapping for the integer lanes (the codec
+// kernels' semantics), plain IEEE for floats. Free functions so the
+// `lanes!` macro can share one body across numeric kinds.
+#[inline(always)]
+fn elem_add<T: ElemArith>(a: T, b: T) -> T {
+    a.e_add(b)
+}
+#[inline(always)]
+fn elem_sub<T: ElemArith>(a: T, b: T) -> T {
+    a.e_sub(b)
+}
+#[inline(always)]
+fn elem_mul<T: ElemArith>(a: T, b: T) -> T {
+    a.e_mul(b)
+}
+
+trait ElemArith: Copy {
+    fn e_add(self, o: Self) -> Self;
+    fn e_sub(self, o: Self) -> Self;
+    fn e_mul(self, o: Self) -> Self;
+}
+
+impl ElemArith for f64 {
+    #[inline(always)]
+    fn e_add(self, o: Self) -> Self {
+        self + o
+    }
+    #[inline(always)]
+    fn e_sub(self, o: Self) -> Self {
+        self - o
+    }
+    #[inline(always)]
+    fn e_mul(self, o: Self) -> Self {
+        self * o
+    }
+}
+
+macro_rules! wrapping_elem {
+    ($t:ty) => {
+        impl ElemArith for $t {
+            #[inline(always)]
+            fn e_add(self, o: Self) -> Self {
+                self.wrapping_add(o)
+            }
+            #[inline(always)]
+            fn e_sub(self, o: Self) -> Self {
+                self.wrapping_sub(o)
+            }
+            #[inline(always)]
+            fn e_mul(self, o: Self) -> Self {
+                self.wrapping_mul(o)
+            }
+        }
+    };
+}
+
+wrapping_elem!(i64);
+wrapping_elem!(u64);
+wrapping_elem!(i32);
+
+lanes!(f64x4, f64, 4);
+lanes!(i64x4, i64, 4);
+lanes!(u64x4, u64, 4);
+lanes!(i32x8, i32, 8);
+
+// --- float-specific ops ----------------------------------------------------
+
+impl f64x4 {
+    /// Elementwise `f64::div` (one `vdivpd` under AVX2 — the big win in
+    /// the quantisation kernel, where division dominates the scalar loop).
+    /// An inherent method, not `ops::Div`, to mirror `std::simd`'s shape
+    /// and keep call sites free of trait imports.
+    #[allow(clippy::should_implement_trait)]
+    #[inline(always)]
+    pub fn div(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o /= *r;
+        }
+        Self(out)
+    }
+
+    /// Elementwise `f64::round` (half away from zero, exactly the scalar
+    /// semantics — both clones run this same code, so ties break
+    /// identically).
+    #[inline(always)]
+    pub fn round(self) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = o.round();
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    pub fn abs(self) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = o.abs();
+        }
+        Self(out)
+    }
+
+    /// Per-lane `is_finite` mask.
+    #[inline(always)]
+    pub fn is_finite(self) -> [bool; 4] {
+        let mut m = [false; 4];
+        for (b, v) in m.iter_mut().zip(self.0.iter()) {
+            *b = v.is_finite();
+        }
+        m
+    }
+
+    /// Per-lane `self < rhs` mask (false on NaN, like scalar `<`).
+    #[inline(always)]
+    pub fn lt(self, rhs: Self) -> [bool; 4] {
+        let mut m = [false; 4];
+        for (i, b) in m.iter_mut().enumerate() {
+            *b = self.0[i] < rhs.0[i];
+        }
+        m
+    }
+
+    /// Per-lane `self <= rhs` mask (false on NaN, like scalar `<=`).
+    #[inline(always)]
+    pub fn le(self, rhs: Self) -> [bool; 4] {
+        let mut m = [false; 4];
+        for (i, b) in m.iter_mut().enumerate() {
+            *b = self.0[i] <= rhs.0[i];
+        }
+        m
+    }
+
+    /// Per-lane `self > rhs` mask (false on NaN, like scalar `>`).
+    #[inline(always)]
+    pub fn gt(self, rhs: Self) -> [bool; 4] {
+        let mut m = [false; 4];
+        for (i, b) in m.iter_mut().enumerate() {
+            *b = self.0[i] > rhs.0[i];
+        }
+        m
+    }
+
+    /// Per-lane saturating `as i64` cast (scalar `as` semantics).
+    #[inline(always)]
+    pub fn to_i64(self) -> i64x4 {
+        let mut out = [0i64; 4];
+        for (o, v) in out.iter_mut().zip(self.0.iter()) {
+            *o = *v as i64;
+        }
+        i64x4(out)
+    }
+
+    /// Per-lane round-trip through `f32` (the T-precision recheck in the
+    /// ABS accept path): `f64 → f32 → f64`.
+    #[inline(always)]
+    pub fn through_f32(self) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = (*o as f32) as f64;
+        }
+        Self(out)
+    }
+}
+
+// --- integer-specific ops --------------------------------------------------
+
+impl i64x4 {
+    /// Elementwise arithmetic shift right by a constant. An inherent
+    /// method, not `ops::Shr` (the operand is a `u32` count, not a lane
+    /// vector).
+    #[allow(clippy::should_implement_trait)]
+    #[inline(always)]
+    pub fn shr(self, n: u32) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o >>= n;
+        }
+        Self(out)
+    }
+
+    /// Elementwise shift left by a constant (wrapping, like the scalar
+    /// `<<` on in-range shifts); inherent for the same reason as [`Self::shr`].
+    #[allow(clippy::should_implement_trait)]
+    #[inline(always)]
+    pub fn shl(self, n: u32) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o <<= n;
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    pub fn to_f64(self) -> f64x4 {
+        let mut out = [0.0f64; 4];
+        for (o, v) in out.iter_mut().zip(self.0.iter()) {
+            *o = *v as f64;
+        }
+        f64x4(out)
+    }
+
+    /// Reinterpret lanes as `u64` (negabinary packing).
+    #[inline(always)]
+    pub fn cast_u64(self) -> u64x4 {
+        let mut out = [0u64; 4];
+        for (o, v) in out.iter_mut().zip(self.0.iter()) {
+            *o = *v as u64;
+        }
+        u64x4(out)
+    }
+}
+
+impl u64x4 {
+    /// Elementwise logical shift right by a constant (inherent, not
+    /// `ops::Shr` — the operand is a `u32` count, not a lane vector).
+    #[allow(clippy::should_implement_trait)]
+    #[inline(always)]
+    pub fn shr(self, n: u32) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o >>= n;
+        }
+        Self(out)
+    }
+
+    /// Elementwise shift left by per-lane amounts (AVX2 `vpsllvq`; the
+    /// bit-plane transpose needs lane-varying shifts).
+    #[inline(always)]
+    pub fn shl_each(self, n: [u32; 4]) -> Self {
+        let mut out = self.0;
+        for (o, k) in out.iter_mut().zip(n.iter()) {
+            *o <<= *k;
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    pub fn and(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o &= *r;
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    pub fn or(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o |= *r;
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    pub fn xor(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o ^= *r;
+        }
+        Self(out)
+    }
+
+    /// OR-fold the four lanes into one value.
+    #[inline(always)]
+    pub fn or_lanes(self) -> u64 {
+        (self.0[0] | self.0[1]) | (self.0[2] | self.0[3])
+    }
+
+    /// Reinterpret lanes as `i64`.
+    #[inline(always)]
+    pub fn cast_i64(self) -> i64x4 {
+        let mut out = [0i64; 4];
+        for (o, v) in out.iter_mut().zip(self.0.iter()) {
+            *o = *v as i64;
+        }
+        i64x4(out)
+    }
+}
+
+/// 4×4 in-register transpose of `i64` lanes: rows in, columns out.
+/// Used by the z-direction lifting pass, whose four independent lifts
+/// have their elements laid out across (not along) memory rows.
+#[inline(always)]
+pub fn transpose4_i64(rows: [i64x4; 4]) -> [i64x4; 4] {
+    let [a, b, c, d] = rows;
+    [
+        i64x4([a.0[0], b.0[0], c.0[0], d.0[0]]),
+        i64x4([a.0[1], b.0[1], c.0[1], d.0[1]]),
+        i64x4([a.0[2], b.0[2], c.0[2], d.0[2]]),
+        i64x4([a.0[3], b.0[3], c.0[3], d.0[3]]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parse_and_resolve() {
+        assert_eq!(Policy::parse(None), Policy::Auto);
+        assert_eq!(Policy::parse(Some("force")), Policy::Force);
+        assert_eq!(Policy::parse(Some(" off ")), Policy::Off);
+        assert_eq!(Policy::parse(Some("bogus")), Policy::Auto);
+        assert_eq!(Policy::Auto.resolve(Backend::Avx2), Backend::Avx2);
+        assert_eq!(Policy::Off.resolve(Backend::Avx2), Backend::Scalar);
+        assert_eq!(Policy::Force.resolve(Backend::Avx2), Backend::Avx2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn force_panics_without_simd() {
+        let _ = Policy::Force.resolve(Backend::Scalar);
+    }
+
+    #[test]
+    fn backend_is_cached_and_consistent() {
+        assert_eq!(backend(), backend());
+    }
+
+    #[test]
+    fn f64_ops_match_scalar() {
+        let a = f64x4::from_array([1.5, -2.5, f64::NAN, 1e300]);
+        let b = f64x4::splat(2.0);
+        let s = (a.div(b)).round().to_array();
+        for (i, v) in a.to_array().iter().enumerate() {
+            let expect = (v / 2.0).round();
+            if expect.is_nan() {
+                assert!(s[i].is_nan());
+            } else {
+                assert_eq!(s[i].to_bits(), expect.to_bits(), "lane {i}");
+            }
+        }
+        assert_eq!(a.is_finite(), [true, true, false, true]);
+        // round() must be half-away-from-zero, not banker's rounding.
+        assert_eq!(f64x4::splat(2.5).round().to_array(), [3.0; 4]);
+        assert_eq!(f64x4::splat(-2.5).round().to_array(), [-3.0; 4]);
+        // The largest double below 0.5 must round to 0 (the trunc(x+0.5)
+        // trap).
+        assert_eq!(f64x4::splat(0.49999999999999994).round().to_array(), [0.0; 4]);
+    }
+
+    #[test]
+    fn int_ops_match_scalar() {
+        let a = i64x4::from_array([i64::MAX, -7, 0, 1 << 40]);
+        let b = i64x4::splat(3);
+        assert_eq!((a + b).to_array()[0], i64::MAX.wrapping_add(3));
+        assert_eq!(a.shr(1).to_array()[1], -7 >> 1);
+        let u = u64x4::from_array([1, 2, 4, 8]);
+        assert_eq!(u.shl_each([0, 1, 2, 3]).or_lanes(), 1 | 4 | 16 | 64);
+    }
+
+    #[test]
+    fn gather_scatter_strided() {
+        let src: Vec<i64> = (0..32).collect();
+        let v = i64x4::gather(&src, 3, 5);
+        assert_eq!(v.to_array(), [3, 8, 13, 18]);
+        let mut dst = vec![0i64; 32];
+        v.scatter(&mut dst, 1, 2);
+        assert_eq!(&dst[..8], &[0, 3, 0, 8, 0, 13, 0, 18]);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let rows = [
+            i64x4::from_array([0, 1, 2, 3]),
+            i64x4::from_array([4, 5, 6, 7]),
+            i64x4::from_array([8, 9, 10, 11]),
+            i64x4::from_array([12, 13, 14, 15]),
+        ];
+        let t = transpose4_i64(rows);
+        assert_eq!(t[0].to_array(), [0, 4, 8, 12]);
+        assert_eq!(transpose4_i64(t), rows);
+    }
+}

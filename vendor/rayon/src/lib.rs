@@ -36,15 +36,31 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Batches handed to the dynamic queue per worker; >1 gives load balancing
 /// for uneven item costs at negligible queue-lock overhead.
 const BATCHES_PER_WORKER: usize = 4;
 
-fn thread_count(items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
-    hw.min(items).max(1)
+/// Hardware parallelism, detected once per process.
+/// `available_parallelism` can cost a syscall (cgroup probing on Linux),
+/// and terminal operations fire once per partition loop iteration — the
+/// answer cannot change mid-process, so cache it.
+fn hardware_parallelism() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
+}
+
+/// Number of workers a terminal operation over `items` items will use.
+///
+/// `1` is the serial dispatch: the chain runs inline on the caller with no
+/// queue, no `Mutex`, and no scoped threads. That is always the decision
+/// on a single-core host (`available_parallelism() == 1`) no matter how
+/// many items there are — spawning one worker thread would add fan-out
+/// overhead with zero added parallelism. Public so callers (and the
+/// dispatch-pinning tests) can observe the decision without racing it.
+pub fn planned_workers(items: usize) -> usize {
+    hardware_parallelism().min(items).max(1)
 }
 
 fn ident<T>(t: T) -> T {
@@ -149,7 +165,7 @@ where
     fn drive(self) -> Vec<T> {
         let Self { mut items, f, .. } = self;
         let n = items.len();
-        let workers = thread_count(n);
+        let workers = planned_workers(n);
         if workers <= 1 {
             return items.into_iter().map(f).collect();
         }
@@ -242,7 +258,9 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 }
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+    pub use crate::{
+        planned_workers, IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut,
+    };
 }
 
 pub mod iter {
@@ -348,5 +366,27 @@ mod tests {
         let v: Vec<u32> = Vec::new();
         let out: Vec<u32> = v.into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dispatch_decision_is_pinned() {
+        // The serial/parallel dispatch contract: zero or one item is
+        // always serial; on a single-core host EVERY fan-out is serial
+        // (no worker threads, no queue), and worker count never exceeds
+        // the cached hardware parallelism.
+        let hw = super::hardware_parallelism();
+        assert_eq!(super::planned_workers(0), 1);
+        assert_eq!(super::planned_workers(1), 1);
+        if hw == 1 {
+            assert_eq!(super::planned_workers(usize::MAX), 1, "single core ⇒ serial always");
+        } else {
+            assert!(super::planned_workers(usize::MAX) > 1);
+        }
+        for items in [2usize, 3, 64, 100_000] {
+            let w = super::planned_workers(items);
+            assert!(w >= 1 && w <= hw && w <= items, "items {items} → workers {w}");
+        }
+        // The cached probe is stable across calls.
+        assert_eq!(hw, super::hardware_parallelism());
     }
 }
