@@ -289,6 +289,13 @@ pub struct SessionConfig {
     pub refresh_multipliers: Vec<f64>,
     /// Reference bound for boundary-cell feature extraction.
     pub eb_ref: f64,
+    /// Auto-checkpoint cadence: `Some(k)` asks the embedding layer to
+    /// persist a checkpoint every `k` accepted snapshots (see
+    /// [`StreamSession::should_checkpoint`]/[`StreamSession::save_to`]),
+    /// so the saved `CKPT` can never drift arbitrarily far behind the
+    /// durable stream prefix. `None` (the default) keeps persistence
+    /// fully caller-driven.
+    pub checkpoint_every: Option<usize>,
 }
 
 impl SessionConfig {
@@ -314,7 +321,15 @@ impl SessionConfig {
             sweep_multipliers: vec![0.25, 0.5, 1.0, 2.0, 4.0],
             refresh_multipliers: vec![0.5, 2.0],
             eb_ref: 1.0,
+            checkpoint_every: None,
         }
+    }
+
+    /// Builder-style: auto-checkpoint every `every` accepted snapshots.
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        assert!(every > 0, "checkpoint cadence starts at 1");
+        self.checkpoint_every = Some(every);
+        self
     }
 
     /// Builder-style: open the codec selection space.
@@ -371,6 +386,9 @@ impl SessionConfig {
         }
         if !(self.eb_ref > 0.0 && self.eb_ref.is_finite()) {
             return Err(format!("eb_ref must be positive and finite, got {}", self.eb_ref));
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err("checkpoint cadence starts at 1".into());
         }
         Ok(())
     }
@@ -872,6 +890,38 @@ impl StreamSession {
         bytes
     }
 
+    /// True when [`SessionConfig::checkpoint_every`] says the current
+    /// snapshot count is a checkpoint boundary. Embedding layers call
+    /// this after each accepted snapshot and persist via
+    /// [`StreamSession::save_to`], so the saved `CKPT` tracks the durable
+    /// stream prefix at the configured cadence instead of silently going
+    /// stale.
+    pub fn should_checkpoint(&self) -> bool {
+        self.cfg.checkpoint_every.is_some_and(|k| {
+            let n = self.snapshots();
+            n > 0 && n.is_multiple_of(k)
+        })
+    }
+
+    /// Persist [`StreamSession::save`] bytes to `path` atomically
+    /// (write-temp + rename): a crash mid-save leaves the previous
+    /// checkpoint intact, never a torn blob next to a newer stream.
+    /// Returns the bytes written.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<u64, CheckpointError> {
+        let path = path.as_ref();
+        let bytes = self.save();
+        let mut tmp_os = path.to_path_buf().into_os_string();
+        tmp_os.push(".tmp");
+        let tmp: std::path::PathBuf = tmp_os.into();
+        let io = |what: &str, e: std::io::Error| CheckpointError::Io(format!("{what}: {e}"));
+        std::fs::write(&tmp, &bytes).map_err(|e| io("write checkpoint temp file", e))?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io("publish checkpoint", e));
+        }
+        Ok(bytes.len() as u64)
+    }
+
     /// Rebuild a session from [`StreamSession::save`] bytes. The restored
     /// session's next [`StreamSession::push_snapshot`] transfers the
     /// checkpointed models — no full calibration — and compresses
@@ -1019,8 +1069,9 @@ impl<T: Scalar> RefreshTask<T> {
 const DEFAULT_CLAMP_FACTOR: f64 = 4.0;
 
 /// Current `CKPT` blob version. Bumps on any layout or semantics change;
-/// readers reject other versions loudly.
-pub const CHECKPOINT_VERSION: u8 = 1;
+/// readers reject other versions loudly. v2 added
+/// [`SessionConfig::checkpoint_every`] to the config document.
+pub const CHECKPOINT_VERSION: u8 = 2;
 const CKPT_MAGIC: &[u8; 4] = b"CKPT";
 /// Fixed wrapper bytes preceding the checkpoint payload.
 const CKPT_HEADER_LEN: usize = 4 + 1 + 3 + 8 + 8;
@@ -1037,6 +1088,9 @@ pub enum CheckpointError {
     /// Decoded fine but violates a session invariant (e.g. a codec with
     /// no fitted model, a non-finite threshold).
     Invalid(String),
+    /// Persisting or loading the blob failed at the filesystem layer
+    /// ([`StreamSession::save_to`]).
+    Io(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -1045,6 +1099,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
             CheckpointError::Parse(m) => write!(f, "checkpoint parse error: {m}"),
             CheckpointError::Invalid(m) => write!(f, "checkpoint invalid: {m}"),
+            CheckpointError::Io(m) => write!(f, "checkpoint io error: {m}"),
         }
     }
 }
@@ -1054,12 +1109,12 @@ impl std::error::Error for CheckpointError {}
 /// The typed contents of a `CKPT` blob — what a [`StreamSession`] needs
 /// to resume a series without recalibrating.
 ///
-/// ## `CKPT` v1 layout
+/// ## `CKPT` v2 layout
 ///
 /// ```text
 /// offset  size  field
 /// 0       4     magic "CKPT"
-/// 4       1     version (= 1)
+/// 4       1     version (= 2)
 /// 5       3     reserved (zero)
 /// 8       8     FNV-1a-64 checksum of the payload, little-endian
 /// 16      8     payload length, little-endian u64

@@ -467,6 +467,84 @@ fn main() {
         ));
     }
 
+    // --- stream_ooc workloads: out-of-core stream-file paths ---
+    // Crash recovery (bounded-window forward scan), the windowed lazy
+    // reader's sequential walk (one reused scratch buffer), and cold-
+    // frame compaction — the durability paths diag_ooc proves O(frame);
+    // here the trajectory records what that memory discipline costs in
+    // time. Throughput is stream bytes processed per pass.
+    {
+        use codec_core::{
+            compact_stream_file, recover_stream, stream_file_bytes, CompactionConfig, Container,
+            StreamFileReader,
+        };
+        let frames_n = if smoke { 8 } else { 64 };
+        let dec2 = workloads::decomposition(&scale);
+        let frame: Vec<Container> = dec2
+            .iter()
+            .map(|p| {
+                let brick = snap.baryon_density.extract(p.origin, p.dims);
+                Container::compress(
+                    adaptive_config::CodecId::Rsz,
+                    brick.as_slice(),
+                    brick.dims(),
+                    workloads::default_eb_avg(&snap.baryon_density),
+                )
+            })
+            .collect();
+        let stream: Vec<Vec<Container>> = (0..frames_n).map(|_| frame.clone()).collect();
+        let full_bytes = stream_file_bytes(frame.len(), &stream);
+        let torn = &full_bytes[..full_bytes.len() - full_bytes.len() / 7];
+        let ooc_grid = format!("{grid}, {frames_n} frames, {} KiB", full_bytes.len() / 1024);
+        let sbytes = Some(full_bytes.len() as u64);
+
+        t.measure("stream_ooc/recover_torn", &ooc_grid, samples, sbytes, || {
+            let (rec, report) = recover_stream(torn).expect("torn stream recovers");
+            assert!(report.frames_kept > 0);
+            black_box(rec);
+        });
+
+        let path = std::env::temp_dir().join(format!("bench_ooc_{}.strm", std::process::id()));
+        std::fs::write(&path, &full_bytes).expect("write stream");
+        t.measure("stream_ooc/sequential_read", &ooc_grid, samples, sbytes, || {
+            let r = StreamFileReader::open(&path).expect("open");
+            let mut scratch = Vec::new();
+            for f in 0..r.frames() {
+                for p in 0..r.partitions() {
+                    r.read_container_into(f, p, &mut scratch).expect("read");
+                    black_box(scratch.len());
+                }
+            }
+        });
+
+        // Compaction mutates the file, so each sample re-tiers a fresh
+        // copy of the pristine stream. The relaxed bound is 8x the write
+        // bound: re-quantizing an already-quantized reconstruction at
+        // only 2-4x the bound beats against the existing quantization
+        // levels and can GROW the payload; the size win appears once the
+        // cold bound clearly dominates the hot one.
+        let eb2 = 8.0 * workloads::default_eb_avg(&snap.baryon_density);
+        let mut last_report = None;
+        t.measure("stream_ooc/compact", &ooc_grid, samples, sbytes, || {
+            std::fs::write(&path, &full_bytes).expect("rewrite stream");
+            let report = compact_stream_file::<f32>(&path, CompactionConfig::new(4, eb2))
+                .expect("compact")
+                .expect("frames past the horizon");
+            last_report = Some(report);
+        });
+        if let Some(r) = last_report {
+            t.note(format!(
+                "stream_ooc: compaction re-tiered {} of {frames_n} frames at eb {eb2:.4} \
+                 ({} -> {} data bytes, {:.2}x), diag_ooc pins all paths O(frame)",
+                r.frames_compacted,
+                r.bytes_before,
+                r.bytes_after,
+                r.bytes_before as f64 / r.bytes_after.max(1) as f64,
+            ));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
     println!("{}", t.to_json());
     if smoke {
         eprintln!("smoke run: not persisted");

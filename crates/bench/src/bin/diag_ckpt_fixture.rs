@@ -3,7 +3,7 @@
 //!
 //! The fixture is a hand-specified [`SessionCheckpoint`] (dyadic-rational
 //! model coefficients, so every float is exactly representable and the
-//! rendered JSON is bit-stable across platforms) wrapped in the v1 `CKPT`
+//! rendered JSON is bit-stable across platforms) wrapped in the v2 `CKPT`
 //! blob. It pins the wrapper layout, the checkpoint document's field
 //! order, and the float round-trip promise a restarted simulation's
 //! byte-identical resume depends on. If the fixture needs re-rooting
@@ -43,7 +43,7 @@ fn fixture_checkpoint() -> SessionCheckpoint {
 
 fn main() {
     let bytes = fixture_checkpoint().to_bytes();
-    let path = std::path::Path::new("tests/fixtures/ckpt_v1_session.bin");
+    let path = std::path::Path::new("tests/fixtures/ckpt_v2_session.bin");
     std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir fixtures");
     std::fs::write(path, &bytes).expect("write fixture");
     println!(

@@ -35,8 +35,10 @@ use gridlab::{Dim3, Field3, Scalar};
 const MAGIC: &[u8; 4] = b"ACC2";
 /// Current container version.
 pub const CONTAINER_VERSION: u8 = 2;
-/// Wrapper bytes preceding the payload in a v2 container.
-const WRAPPER_LEN: usize = 4 + 1 + 1 + 8 + 8;
+/// Wrapper bytes preceding the payload in a v2 container. The durable
+/// stream scanner peeks exactly this many bytes per container, so it is
+/// crate-visible alongside [`peek_total_len`].
+pub(crate) const WRAPPER_LEN: usize = 4 + 1 + 1 + 8 + 8;
 /// Magic of a legacy (v1) bare-rsz container.
 const V1_MAGIC: &[u8; 4] = b"RSZ1";
 
@@ -62,15 +64,26 @@ pub(crate) fn peek_total_len(bytes: &[u8]) -> Option<usize> {
 /// never change. The vectorisable [`fnv1a64_quad`] is a *different* digest
 /// reserved for a future format revision.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a64_update(FNV1A64_SEED, bytes)
+}
+
+/// The FNV-1a-64 offset basis — the state an incremental digest starts
+/// from. `fnv1a64(b) == fnv1a64_update(FNV1A64_SEED, b)` by construction.
+pub(crate) const FNV1A64_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold more bytes into an in-progress [`fnv1a64`] digest. Lets bounded-
+/// memory readers checksum a large on-disk region in chunks without ever
+/// materialising it; chunking does not change the digest (the recurrence
+/// is byte-serial).
+pub(crate) fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_OFFSET: u64 = FNV1A64_SEED;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Four-stream FNV-1a-64: stream `k` hashes bytes `k, k+4, k+8, …`, the

@@ -61,7 +61,11 @@
 //! the in-flight frame ([`recover_stream`]/[`StreamFileWriter::recover`]
 //! re-derive the valid prefix), and [`StreamFileReader`] serves the same
 //! O(1) random access from a [`StreamSource`] (file or bytes) without
-//! loading the payload region.
+//! loading the payload region — or the manifest, which it validates
+//! lazily through a bounded window so long streams never have to fit in
+//! memory on any path. [`CompactionTask`] re-tiers frames older than a
+//! horizon into the `STRM` v3 cold tier (re-compressed at a relaxed
+//! bound, `FTR3`/quad-digest footers) behind an atomic rename.
 
 pub mod codec;
 pub mod container;
@@ -77,6 +81,8 @@ pub use container::{fnv1a64, fnv1a64_quad, fnv1a64_quad_scalar, Container, CONTA
 pub use obs::{record_kernel_backends, KERNELS};
 pub use stream::{StreamReader, StreamWriter, STREAM_VERSION};
 pub use stream_file::{
-    footer_len, recover_stream, stream_file_bytes, trailer_len, FileSource, RecoveryReport,
-    StreamFileReader, StreamFileWriter, StreamSource, SyncPolicy, STREAM_FILE_VERSION,
+    compact_stream_file, footer_len, recover_stream, stream_file_bytes, stream_file_bytes_tiered,
+    trailer_len, CompactionConfig, CompactionReport, CompactionTask, FileSource, RecoveryReport,
+    StreamFileReader, StreamFileWriter, StreamSource, SyncPolicy, DEFAULT_MANIFEST_WINDOW,
+    STREAM_FILE_TIERED_VERSION, STREAM_FILE_VERSION,
 };

@@ -95,6 +95,14 @@ pub(crate) struct StreamFileMetrics {
     pub recoveries_clean: Arc<Counter>,
     /// Recovery scans that dropped a torn tail (data lost).
     pub recoveries_truncated: Arc<Counter>,
+    /// Compaction runs started.
+    pub compactions: Arc<Counter>,
+    /// Frames re-tiered into the cold tier by completed compactions.
+    pub compaction_frames: Arc<Counter>,
+    /// Stream data bytes before completed compactions.
+    pub compaction_bytes_before: Arc<Counter>,
+    /// Stream data bytes after completed compactions.
+    pub compaction_bytes_after: Arc<Counter>,
 }
 
 pub(crate) fn stream_file_metrics() -> &'static StreamFileMetrics {
@@ -109,8 +117,36 @@ pub(crate) fn stream_file_metrics() -> &'static StreamFileMetrics {
             recoveries_clean: reg.counter("stream_recoveries_total", &[("outcome", "clean")]),
             recoveries_truncated: reg
                 .counter("stream_recoveries_total", &[("outcome", "truncated")]),
+            compactions: reg.counter("stream_compactions_total", &[]),
+            compaction_frames: reg.counter("stream_compaction_frames_total", &[]),
+            compaction_bytes_before: reg
+                .counter("stream_compaction_bytes_total", &[("phase", "before")]),
+            compaction_bytes_after: reg
+                .counter("stream_compaction_bytes_total", &[("phase", "after")]),
         }
     })
+}
+
+/// A compaction run began re-tiering `frames` frames: counter plus a
+/// [`telemetry::Event::CompactionStarted`] journal entry.
+pub(crate) fn record_compaction_started(frames: usize) {
+    stream_file_metrics().compactions.inc();
+    telemetry::global().record_event(telemetry::Event::CompactionStarted { frames: frames as u64 });
+}
+
+/// A compaction run finished: byte/frame counters plus a
+/// [`telemetry::Event::CompactionCompleted`] journal entry carrying the
+/// size delta.
+pub(crate) fn record_compaction_completed(frames: usize, bytes_before: u64, bytes_after: u64) {
+    let m = stream_file_metrics();
+    m.compaction_frames.add(frames as u64);
+    m.compaction_bytes_before.add(bytes_before);
+    m.compaction_bytes_after.add(bytes_after);
+    telemetry::global().record_event(telemetry::Event::CompactionCompleted {
+        frames: frames as u64,
+        bytes_before,
+        bytes_after,
+    });
 }
 
 /// Record the outcome of a recovery scan: counter plus — when a torn

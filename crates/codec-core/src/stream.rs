@@ -32,12 +32,15 @@
 //! a frame range can be served straight from storage without rebasing.
 //!
 //! v1 is manifest-*first* and therefore neither appendable nor
-//! crash-safe: the whole series must be buffered before `finish`. Long
-//! runs should persist through the durable, data-first `STRM` v2 format
-//! in [`crate::stream_file`] instead, which appends each frame as it
-//! lands and recovers a valid truncated stream after a crash; this module
-//! remains the in-memory packaging/interchange form, and v1 streams stay
-//! readable forever.
+//! crash-safe — nor out-of-core: the whole series must be buffered
+//! before `finish`, and a reader holds the whole blob. Long runs should
+//! persist through the durable, data-first `STRM` v2/v3 formats in
+//! [`crate::stream_file`] instead, which append each frame as it lands,
+//! recover a valid truncated stream after a crash, serve reads through
+//! a bounded manifest window, and re-tier cold frames — every path
+//! O(frame) memory however long the stream. This module remains the
+//! in-memory packaging/interchange form, and v1 streams stay readable
+//! forever.
 
 use crate::codec::CodecError;
 use crate::container::{fnv1a64, Container};

@@ -1,4 +1,4 @@
-//! Durable (append-to-disk) stream containers — `STRM` version 2.
+//! Durable (append-to-disk) stream containers — `STRM` versions 2 and 3.
 //!
 //! The in-memory [`StreamWriter`](crate::stream::StreamWriter) buffers a
 //! whole series and emits a manifest-*first* stream: fine for post-hoc
@@ -7,25 +7,32 @@
 //! manifest-first layout cannot be appended to (the offset table precedes
 //! the payload region), and a crash loses the entire buffered series.
 //!
-//! Version 2 inverts the layout: **data first, manifest last**.
+//! Version 2 inverts the layout: **data first, manifest last**. Version 3
+//! is the same layout plus a **cold tier**: a prefix of frames the
+//! compactor (below) has re-compressed at a relaxed bound or colder
+//! codec, marked by `FTR3` footers digested with the interleaved
+//! [`fnv1a64_quad`](crate::container::fnv1a64_quad) checksum.
 //!
-//! ## v2 layout
+//! ## v2 / v3 layout
 //!
 //! ```text
 //! offset  size       field
 //! 0       4          magic "STRM"
-//! 4       1          version (= 2)
+//! 4       1          version (= 2 append-only, 3 tiered)
 //! 5       3          reserved (zero)
 //! 8       4          partitions per frame P, little-endian u32
-//! 12      4          reserved (zero; the frame count lives in the trailer)
+//! 12      4          v2: reserved (zero; the frame count lives in the
+//!                    trailer). v3: cold frame count C, little-endian u32
+//!                    — frames 0..C are the cold tier.
 //!
 //! per frame (appended as the snapshot lands):
 //!         ...        P concatenated v2 partition containers
-//!         4          footer magic "FTR2"
+//!         4          footer magic ("FTR2" hot, "FTR3" cold)
 //!         4          frame index, little-endian u32
 //!         8·(P+1)    absolute offsets: start of each container, then the
 //!                    footer's own start (= end of the frame's data)
-//!         8          FNV-1a-64 of the footer bytes above
+//!         8          checksum of the footer bytes above — FNV-1a-64 for
+//!                    hot frames, fnv1a64_quad for cold frames
 //!
 //! trailer (appended once, by `finish`):
 //!         4          trailer magic "TLR2"
@@ -70,35 +77,63 @@
 //! present with the right index and offsets, and the footer checksum
 //! verifies. Everything after the last intact footer is truncated, and the
 //! result is **byte-identical to a fresh write of the surviving frames**
-//! (the crash-recovery equivalence property suite pins this). Payload
-//! integrity stays with each v2 container's own checksum, verified on
-//! decode, so a bit-flipped region that survives recovery still fails
+//! (the crash-recovery equivalence property suite pins this). On a v3
+//! stream a truncation that reaches into the cold tier also patches the
+//! header's cold count down to the frames kept, so the recovered file is
+//! byte-identical to [`stream_file_bytes_tiered`] over the survivors.
+//! Payload integrity stays with each v2 container's own checksum, verified
+//! on decode, so a bit-flipped region that survives recovery still fails
 //! loudly instead of reconstructing garbage.
 //!
-//! [`StreamFileReader`] needs only the trailer and the footers to serve
-//! O(1) random access to any (frame, partition) — container bytes are read
-//! from the [`StreamSource`] on demand, so a multi-hour series never has
-//! to fit in memory on the *read* path. The recovery scan currently does
-//! read the whole file (recovery is rare and runs once per crash; a
-//! bounded-window streaming scan is a ROADMAP follow-up for streams that
-//! outgrow RAM).
+//! ## Cold-frame compaction & its power-loss row
+//!
+//! [`CompactionTask`] re-tiers every frame older than a configurable
+//! horizon: each is decoded and re-compressed at a relaxed bound (and
+//! optionally a colder codec) into a fresh v3 file next to the stream
+//! (`<path>.compact`), the still-hot tail is rebased behind it, and an
+//! atomic rename publishes the result. Its power-loss semantics extend
+//! the [`SyncPolicy`] table: the original stream stays untouched until
+//! the rename, so a crash or power cut mid-compaction loses **no frames**
+//! — the next writer recovers the original file and simply re-runs the
+//! compaction (a stale `.compact` temp file is truncated by the next
+//! attempt). Under [`SyncPolicy::SyncPerFrame`] the compacted file is
+//! `sync_data`'d before the rename; under the laxer policies the rename
+//! follows the same page-cache rules as ordinary appends.
+//!
+//! ## Out-of-core guarantees
+//!
+//! Every path here is O(frame) resident, never O(stream): the recovery
+//! scan is a bounded forward window over a `Read + Seek` source (peak
+//! memory is one container plus one footer, whatever the file length);
+//! [`StreamFileReader`] validates footers lazily and keeps only a bounded
+//! manifest window resident ([`DEFAULT_MANIFEST_WINDOW`] frames), so open
+//! cost is header + trailer checksum and the resident set is
+//! O(frames-in-window); the compactor streams frame-by-frame through the
+//! same bounded reads. The writer and scanner do keep the footer-offset
+//! list (8 bytes per frame — the manifest itself, dwarfed by any single
+//! frame's containers); that is the one intrinsically per-frame cost.
 //!
 //! [`recover`]: recover_stream
 
-use crate::codec::CodecError;
-use crate::container::{fnv1a64, Container};
+use crate::codec::{CodecError, CodecId};
+use crate::container::{fnv1a64, fnv1a64_quad, fnv1a64_update, Container, FNV1A64_SEED};
 use crate::stream::STREAM_VERSION;
 use gridlab::{Decomposition, Field3, Scalar};
 use rayon::prelude::*;
+use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 const MAGIC: &[u8; 4] = b"STRM";
 /// Durable (append-to-disk) stream-container version.
 pub const STREAM_FILE_VERSION: u8 = 2;
+/// Tiered stream version: same layout with the leading `cold` frames
+/// re-compressed by the compactor and marked with `FTR3` footers.
+pub const STREAM_FILE_TIERED_VERSION: u8 = 3;
 const FOOTER_MAGIC: &[u8; 4] = b"FTR2";
+const COLD_FOOTER_MAGIC: &[u8; 4] = b"FTR3";
 const TRAILER_MAGIC: &[u8; 4] = b"TLR2";
 /// Fixed header bytes preceding the first frame.
 const FILE_HEADER_LEN: usize = 16;
@@ -123,8 +158,16 @@ fn encode_header(partitions: usize) -> [u8; FILE_HEADER_LEN] {
     h
 }
 
-/// Footer of one frame: magic, index, container offsets + footer start,
-/// checksum over all of the above.
+/// v3 header: v2 plus the cold frame count in the reserved word.
+fn encode_tiered_header(partitions: usize, cold: usize) -> [u8; FILE_HEADER_LEN] {
+    let mut h = encode_header(partitions);
+    h[4] = STREAM_FILE_TIERED_VERSION;
+    h[12..16].copy_from_slice(&(cold as u32).to_le_bytes());
+    h
+}
+
+/// Footer of one hot frame: magic, index, container offsets + footer
+/// start, checksum over all of the above.
 fn encode_footer(index: u32, offsets: &[u64]) -> Vec<u8> {
     let mut f = Vec::with_capacity(footer_len(offsets.len() - 1));
     f.extend_from_slice(FOOTER_MAGIC);
@@ -135,6 +178,31 @@ fn encode_footer(index: u32, offsets: &[u64]) -> Vec<u8> {
     let fnv = fnv1a64(&f);
     f.extend_from_slice(&fnv.to_le_bytes());
     f
+}
+
+/// Footer of one cold (re-tiered) frame: `FTR3` magic and the interleaved
+/// quad digest — structurally identical to a hot footer otherwise, so
+/// `footer_len` is tier-independent.
+fn encode_cold_footer(index: u32, offsets: &[u64]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(footer_len(offsets.len() - 1));
+    f.extend_from_slice(COLD_FOOTER_MAGIC);
+    f.extend_from_slice(&index.to_le_bytes());
+    for &o in offsets {
+        f.extend_from_slice(&o.to_le_bytes());
+    }
+    let fnv = fnv1a64_quad(&f);
+    f.extend_from_slice(&fnv.to_le_bytes());
+    f
+}
+
+/// The footer frame `index` must carry in a stream whose first
+/// `cold_frames` frames are the cold tier.
+fn expected_footer(index: usize, cold_frames: usize, offsets: &[u64]) -> Vec<u8> {
+    if index < cold_frames {
+        encode_cold_footer(index as u32, offsets)
+    } else {
+        encode_footer(index as u32, offsets)
+    }
 }
 
 fn encode_trailer(footer_offsets: &[u64], trailer_start: u64) -> Vec<u8> {
@@ -195,35 +263,82 @@ pub struct RecoveryReport {
     pub bytes_dropped: u64,
 }
 
-/// Scan a durable stream's frames forward from the header, returning
-/// `(partitions, footer offsets of intact frames, end of valid prefix)`.
+/// Seek to `pos` and fill `buf` exactly. Callers bounds-check against the
+/// source length first, so a short read here is a genuine I/O failure.
+fn read_exact_at<R: Read + Seek>(src: &mut R, pos: u64, buf: &mut [u8]) -> Result<(), CodecError> {
+    src.seek(SeekFrom::Start(pos)).map_err(|e| io_err("seek stream", e))?;
+    src.read_exact(buf).map_err(|e| io_err("read stream", e))
+}
+
+/// Copy `src[start..end)` into `dst` through a fixed 64 KiB window.
+fn copy_range(src: &mut File, start: u64, end: u64, dst: &mut File) -> Result<(), CodecError> {
+    let mut buf = vec![0u8; 64 * 1024];
+    src.seek(SeekFrom::Start(start)).map_err(|e| io_err("seek stream", e))?;
+    let mut pos = start;
+    while pos < end {
+        let n = ((end - pos) as usize).min(buf.len());
+        src.read_exact(&mut buf[..n]).map_err(|e| io_err("read stream", e))?;
+        dst.write_all(&buf[..n]).map_err(|e| io_err("write compaction temp file", e))?;
+        pos += n as u64;
+    }
+    Ok(())
+}
+
+/// What the streaming recovery scan established about a stream.
+struct ScanOutcome {
+    version: u8,
+    partitions: usize,
+    /// Cold frames the header declared (0 for v2).
+    cold_declared: usize,
+    /// Cold frames among the intact survivors.
+    cold_kept: usize,
+    /// Footer offset of every intact frame.
+    footers: Vec<u64>,
+    /// End of the valid prefix (header + surviving frames).
+    valid_end: u64,
+}
+
+/// Scan a durable stream's frames forward from the header over any
+/// `Read + Seek` source of `len` bytes.
 ///
 /// This is the recovery primitive: it never trusts a trailer and treats
-/// the first structural violation as end-of-stream.
-fn scan_frames(bytes: &[u8]) -> Result<(usize, Vec<u64>, u64), CodecError> {
-    if bytes.len() < FILE_HEADER_LEN {
+/// the first structural violation as end-of-stream. The scan is a bounded
+/// forward window — resident memory peaks at one container plus one
+/// footer regardless of stream length (plus the 8-byte-per-frame footer
+/// list it returns, which *is* the manifest).
+fn scan_frames_streaming<R: Read + Seek>(src: &mut R, len: u64) -> Result<ScanOutcome, CodecError> {
+    if len < FILE_HEADER_LEN as u64 {
         return Err(CodecError::Format("stream file shorter than header".into()));
     }
-    if &bytes[..4] != MAGIC {
+    let mut header = [0u8; FILE_HEADER_LEN];
+    read_exact_at(src, 0, &mut header)?;
+    if &header[..4] != MAGIC {
         return Err(CodecError::Format("bad stream-file magic".into()));
     }
-    if bytes[4] != STREAM_FILE_VERSION {
+    let version = header[4];
+    if version != STREAM_FILE_VERSION && version != STREAM_FILE_TIERED_VERSION {
         return Err(CodecError::Format(format!(
-            "unsupported stream-file version {} (expected {STREAM_FILE_VERSION}; version \
-             {STREAM_VERSION} streams are in-memory manifests, not files)",
-            bytes[4]
+            "unsupported stream-file version {version} (expected {STREAM_FILE_VERSION} or \
+             {STREAM_FILE_TIERED_VERSION}; version {STREAM_VERSION} streams are in-memory \
+             manifests, not files)"
         )));
     }
-    let partitions = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let partitions = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
     if partitions == 0 {
         return Err(CodecError::Format("stream file declares zero partitions".into()));
     }
-    let flen = footer_len(partitions);
-    let mut footers = Vec::new();
-    // The cursor indexes in-memory bytes, so it lives as usize and only
-    // widens to u64 at the boundary — no narrowing cast to get wrong.
-    let mut cursor = FILE_HEADER_LEN;
+    let cold_declared = if version == STREAM_FILE_TIERED_VERSION {
+        u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize
+    } else {
+        0
+    };
+    let flen = footer_len(partitions) as u64;
+    let mut footers: Vec<u64> = Vec::new();
+    let mut cursor = FILE_HEADER_LEN as u64;
+    let mut wrapper = [0u8; crate::container::WRAPPER_LEN];
+    let mut buf: Vec<u8> = Vec::new();
     'frames: loop {
+        let index = footers.len();
         let mut offsets = Vec::with_capacity(partitions + 1);
         let mut c = cursor;
         for _ in 0..partitions {
@@ -232,33 +347,47 @@ fn scan_frames(bytes: &[u8]) -> Result<(usize, Vec<u64>, u64), CodecError> {
             // `container.rs`, the layout's home) decides how far to skip,
             // and `Container::from_bytes` re-checks everything including
             // the codec header.
-            let Some(total) = crate::container::peek_total_len(&bytes[c..]) else {
-                break 'frames;
-            };
-            let Some(end) = c.checked_add(total) else {
-                break 'frames;
-            };
-            if end > bytes.len() || Container::from_bytes(bytes[c..end].to_vec()).is_err() {
+            if c.checked_add(wrapper.len() as u64).is_none_or(|e| e > len) {
                 break 'frames;
             }
-            offsets.push(c as u64);
+            read_exact_at(src, c, &mut wrapper)?;
+            let Some(total) = crate::container::peek_total_len(&wrapper) else {
+                break 'frames;
+            };
+            let Some(end) = c.checked_add(total as u64) else {
+                break 'frames;
+            };
+            if end > len {
+                break 'frames;
+            }
+            buf.clear();
+            buf.extend_from_slice(&wrapper);
+            buf.resize(total, 0);
+            // The source is already positioned just past the wrapper.
+            src.read_exact(&mut buf[wrapper.len()..]).map_err(|e| io_err("read stream", e))?;
+            if Container::from_bytes(std::mem::take(&mut buf)).is_err() {
+                break 'frames;
+            }
+            offsets.push(c);
             c = end;
         }
-        offsets.push(c as u64); // footer start = end of the frame's data
-        if c + flen > bytes.len() {
+        offsets.push(c); // footer start = end of the frame's data
+        if c.checked_add(flen).is_none_or(|e| e > len) {
             break;
         }
-        let footer = &bytes[c..c + flen];
-        let expected = encode_footer(footers.len() as u32, &offsets);
-        if footer != expected.as_slice() {
-            // Covers magic, index, offset mismatches and checksum at once:
-            // the footer is a pure function of (index, offsets).
+        buf.clear();
+        buf.resize(flen as usize, 0);
+        read_exact_at(src, c, &mut buf)?;
+        if buf != expected_footer(index, cold_declared, &offsets) {
+            // Covers magic, tier, index, offset mismatches and checksum at
+            // once: the footer is a pure function of (tier, index, offsets).
             break;
         }
-        footers.push(c as u64);
+        footers.push(c);
         cursor = c + flen;
     }
-    Ok((partitions, footers, cursor as u64))
+    let cold_kept = footers.len().min(cold_declared);
+    Ok(ScanOutcome { version, partitions, cold_declared, cold_kept, footers, valid_end: cursor })
 }
 
 /// Serialise a whole series into durable-stream bytes in one go — the
@@ -292,26 +421,69 @@ pub fn stream_file_bytes(partitions: usize, frames: &[Vec<Container>]) -> Vec<u8
     bytes
 }
 
+/// Serialise a tiered series into durable v3 stream bytes in one go — the
+/// byte-exact in-memory equivalent of what a [`CompactionTask`] publishes:
+/// `cold` frames first under `FTR3` footers, then `hot` frames under
+/// ordinary `FTR2` footers. Like [`stream_file_bytes`] this exists for
+/// fixtures and the property suites; production streams become tiered only
+/// through compaction.
+pub fn stream_file_bytes_tiered(
+    partitions: usize,
+    cold: &[Vec<Container>],
+    hot: &[Vec<Container>],
+) -> Vec<u8> {
+    assert!(partitions > 0, "a frame needs at least one partition");
+    let mut bytes = encode_tiered_header(partitions, cold.len()).to_vec();
+    let mut footers = Vec::with_capacity(cold.len() + hot.len());
+    for (i, frame) in cold.iter().chain(hot.iter()).enumerate() {
+        assert_eq!(
+            frame.len(),
+            partitions,
+            "frame {i} has {} partitions, stream expects {partitions}",
+            frame.len()
+        );
+        let mut offsets = Vec::with_capacity(partitions + 1);
+        for c in frame {
+            offsets.push(bytes.len() as u64);
+            bytes.extend_from_slice(c.as_bytes());
+        }
+        offsets.push(bytes.len() as u64);
+        footers.push(bytes.len() as u64);
+        bytes.extend_from_slice(&expected_footer(i, cold.len(), &offsets));
+    }
+    let trailer_start = bytes.len() as u64;
+    bytes.extend_from_slice(&encode_trailer(&footers, trailer_start));
+    bytes
+}
+
 /// Recover the valid prefix of (possibly crashed) durable-stream bytes.
 ///
 /// Returns finished stream bytes — the surviving frames re-trailered,
-/// byte-identical to [`stream_file_bytes`] over those frames — plus the
-/// [`RecoveryReport`]. Fails only when the header itself did not survive
-/// (nothing is recoverable without the partition count).
+/// byte-identical to [`stream_file_bytes`] over those frames (or to
+/// [`stream_file_bytes_tiered`] for a v3 stream, with the header's cold
+/// count patched down if the truncation reached into the cold tier) —
+/// plus the [`RecoveryReport`]. Fails only when the header itself did not
+/// survive (nothing is recoverable without the partition count).
 pub fn recover_stream(bytes: &[u8]) -> Result<(Vec<u8>, RecoveryReport), CodecError> {
-    let (partitions, footers, valid_end) = scan_frames(bytes)?;
-    let prefix = to_usize(valid_end, "valid prefix end")?;
+    let mut src = std::io::Cursor::new(bytes);
+    let scan = scan_frames_streaming(&mut src, bytes.len() as u64)?;
+    let prefix = to_usize(scan.valid_end, "valid prefix end")?;
     let mut out = bytes[..prefix].to_vec();
-    out.extend_from_slice(&encode_trailer(&footers, valid_end));
+    if scan.version == STREAM_FILE_TIERED_VERSION && scan.cold_kept < scan.cold_declared {
+        out[12..16].copy_from_slice(&(scan.cold_kept as u32).to_le_bytes());
+    }
+    out.extend_from_slice(&encode_trailer(&scan.footers, scan.valid_end));
     let report = RecoveryReport {
-        partitions,
-        frames_kept: footers.len(),
-        bytes_kept: valid_end,
-        bytes_dropped: bytes.len() as u64 - valid_end,
+        partitions: scan.partitions,
+        frames_kept: scan.footers.len(),
+        bytes_kept: scan.valid_end,
+        bytes_dropped: bytes.len() as u64 - scan.valid_end,
     };
     // "Truncated" means data was lost — a finished file's own trailer
     // past the prefix (byte-identical to the one just rebuilt) is not.
-    crate::obs::record_recovery(report.frames_kept, bytes[prefix..] != out[prefix..]);
+    // Losing declared cold frames is always loss.
+    let truncated = scan.cold_kept < scan.cold_declared || bytes[prefix..] != out[prefix..];
+    crate::obs::record_recovery(report.frames_kept, truncated);
     Ok((out, report))
 }
 
@@ -335,6 +507,9 @@ pub struct StreamFileWriter {
     footers: Vec<u64>,
     /// Current end-of-data offset (next frame starts here).
     cursor: u64,
+    /// Frames in the cold tier (0 until a compaction ran; appends are
+    /// always hot).
+    cold: usize,
 }
 
 impl StreamFileWriter {
@@ -353,7 +528,12 @@ impl StreamFileWriter {
         partitions: usize,
         sync: SyncPolicy,
     ) -> Result<Self, CodecError> {
-        assert!(partitions > 0, "a frame needs at least one partition");
+        if partitions == 0 {
+            // The durability layer's contract is "typed error, never a
+            // panic" — a zero-partition stream is a caller bug, but one
+            // that must surface as a Result like every other.
+            return Err(CodecError::Format("a stream frame needs at least one partition".into()));
+        }
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
@@ -371,6 +551,7 @@ impl StreamFileWriter {
             sync,
             footers: Vec::new(),
             cursor: FILE_HEADER_LEN as u64,
+            cold: 0,
         })
     }
 
@@ -397,21 +578,47 @@ impl StreamFileWriter {
             .write(true)
             .open(&path)
             .map_err(|e| io_err("open stream file", e))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes).map_err(|e| io_err("read stream file", e))?;
-        let (partitions, footers, valid_end) = scan_frames(&bytes)?;
-        file.set_len(valid_end).map_err(|e| io_err("truncate to valid prefix", e))?;
+        let len = file.metadata().map_err(|e| io_err("stat stream file", e))?.len();
+        // The scan streams straight off the file handle: recovery of a
+        // stream far larger than RAM peaks at one container resident.
+        let scan = scan_frames_streaming(&mut file, len)?;
+        // Decide "truncated" before touching the file: data was lost
+        // unless the bytes past the prefix are exactly the trailer a
+        // finished file would carry (and no declared cold frame died).
+        let rebuilt = encode_trailer(&scan.footers, scan.valid_end);
+        let tail_len = len - scan.valid_end;
+        let mut truncated = scan.cold_kept < scan.cold_declared || tail_len != rebuilt.len() as u64;
+        if !truncated && tail_len > 0 {
+            let mut tail = vec![0u8; rebuilt.len()];
+            read_exact_at(&mut file, scan.valid_end, &mut tail)?;
+            truncated = tail != rebuilt;
+        }
+        if scan.version == STREAM_FILE_TIERED_VERSION && scan.cold_kept < scan.cold_declared {
+            // The truncation reached into the cold tier: patch the
+            // header's cold count so the file stays self-consistent.
+            file.seek(SeekFrom::Start(12)).map_err(|e| io_err("seek to header", e))?;
+            file.write_all(&(scan.cold_kept as u32).to_le_bytes())
+                .map_err(|e| io_err("patch cold frame count", e))?;
+        }
+        file.set_len(scan.valid_end).map_err(|e| io_err("truncate to valid prefix", e))?;
         file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek to end", e))?;
         let report = RecoveryReport {
-            partitions,
-            frames_kept: footers.len(),
-            bytes_kept: valid_end,
-            bytes_dropped: bytes.len() as u64 - valid_end,
+            partitions: scan.partitions,
+            frames_kept: scan.footers.len(),
+            bytes_kept: scan.valid_end,
+            bytes_dropped: len - scan.valid_end,
         };
-        let prefix = to_usize(valid_end, "valid prefix end")?;
-        let truncated = bytes[prefix..] != encode_trailer(&footers, valid_end)[..];
         crate::obs::record_recovery(report.frames_kept, truncated);
-        Ok((Self { file, path, partitions, sync, footers, cursor: valid_end }, report))
+        let w = Self {
+            file,
+            path,
+            partitions: scan.partitions,
+            sync,
+            footers: scan.footers,
+            cursor: scan.valid_end,
+            cold: scan.cold_kept,
+        };
+        Ok((w, report))
     }
 
     /// Append one snapshot's containers (partition-id order) and flush.
@@ -461,6 +668,26 @@ impl StreamFileWriter {
         self.footers.len()
     }
 
+    /// Frames in the cold tier (re-compressed by a past compaction).
+    pub fn cold_frames(&self) -> usize {
+        self.cold
+    }
+
+    /// Re-tier every frame older than `cfg.horizon` in one blocking pass —
+    /// [`CompactionTask::begin`] + every `step` + `finalize`. Returns
+    /// `None` when no frame is old enough. Servers that must stay
+    /// responsive drive the task form instead, one frame per idle slot.
+    pub fn compact<T: Scalar>(
+        &mut self,
+        cfg: CompactionConfig,
+    ) -> Result<Option<CompactionReport>, CodecError> {
+        let Some(mut task) = CompactionTask::begin(self, cfg)? else {
+            return Ok(None);
+        };
+        while !task.step::<T>()? {}
+        Ok(Some(task.finalize(self)?))
+    }
+
     /// Partitions per frame.
     pub fn partitions(&self) -> usize {
         self.partitions
@@ -486,6 +713,318 @@ impl StreamFileWriter {
         }
         Ok(self.cursor + trailer.len() as u64)
     }
+}
+
+/// What a [`CompactionTask`] does to cold frames: every frame older than
+/// `horizon` (counted from the stream's end) is decoded and re-compressed
+/// at the absolute bound `eb` — with `codec` if set, else each
+/// container's original codec. `eb` is absolute because the container
+/// wrapper does not record the bound a payload was written at; the caller
+/// owns the bound schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionConfig {
+    /// Frames at the end of the stream that stay hot.
+    pub horizon: usize,
+    /// Absolute error bound cold frames are re-compressed at.
+    pub eb: f64,
+    /// Optional colder codec for the re-tiered frames.
+    pub codec: Option<CodecId>,
+}
+
+impl CompactionConfig {
+    /// Re-tier under each container's original codec at bound `eb`.
+    pub fn new(horizon: usize, eb: f64) -> Self {
+        Self { horizon, eb, codec: None }
+    }
+
+    /// Re-tier everything cold with one explicit codec.
+    pub fn with_codec(mut self, codec: CodecId) -> Self {
+        self.codec = Some(codec);
+        self
+    }
+}
+
+/// What a finished compaction accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Frames re-tiered by this run.
+    pub frames_compacted: usize,
+    /// Total cold frames after the run (including previously cold ones).
+    pub cold_frames: usize,
+    /// Stream data bytes before compaction (header + frames, no trailer).
+    pub bytes_before: u64,
+    /// Stream data bytes after compaction.
+    pub bytes_after: u64,
+}
+
+/// A sliced cold-frame compaction over a live [`StreamFileWriter`].
+///
+/// `begin` opens a `<path>.compact` temp file with a v3 header and copies
+/// any already-cold prefix verbatim; each `step` re-tiers one frame
+/// (decode → re-compress at the relaxed bound → `FTR3` footer); `finalize`
+/// rebases the hot tail behind the cold tier (footers hold absolute
+/// offsets, so every hot footer is rewritten with shifted offsets),
+/// publishes the temp file over the stream with an atomic rename, and
+/// rewires the writer onto it. The original stream is never modified
+/// before the rename, and the writer may keep appending between steps —
+/// appends only extend the original file, and `finalize` picks the new
+/// frames up during the rebase. Dropping an unfinalised task removes the
+/// temp file and leaves the stream untouched.
+///
+/// One task per stream at a time: the caller (e.g. a server worker that
+/// owns the tenant) serialises `begin`/`step`/`finalize` against appends.
+#[derive(Debug)]
+pub struct CompactionTask {
+    cfg: CompactionConfig,
+    /// Independent read handle on the original stream.
+    src: File,
+    tmp: File,
+    tmp_path: PathBuf,
+    partitions: usize,
+    flen: usize,
+    /// Frames that were already cold (copied verbatim by `begin`).
+    cold_start: usize,
+    /// First frame that stays hot after this run.
+    cold_end: usize,
+    /// Next frame to re-tier.
+    next: usize,
+    /// Footer offsets in the original file for frames `0..cold_end`,
+    /// captured at `begin` time.
+    orig_footers: Vec<u64>,
+    /// Footer offsets in the compacted file, built as frames land.
+    new_footers: Vec<u64>,
+    /// Write cursor in the temp file.
+    cursor: u64,
+    /// Reused I/O buffer for the hot-frame rebase.
+    scratch: Vec<u8>,
+    finalized: bool,
+}
+
+/// End of the data region covering the first `upto` frames.
+fn frames_end(footers: &[u64], upto: usize, flen: usize) -> u64 {
+    if upto == 0 {
+        FILE_HEADER_LEN as u64
+    } else {
+        footers[upto - 1] + flen as u64
+    }
+}
+
+impl CompactionTask {
+    /// Start compacting `writer`'s stream under `cfg`. Returns `None`
+    /// when no frame is old enough (nothing strictly colder than the
+    /// already-cold prefix).
+    pub fn begin(
+        writer: &StreamFileWriter,
+        cfg: CompactionConfig,
+    ) -> Result<Option<Self>, CodecError> {
+        if !(cfg.eb.is_finite() && cfg.eb > 0.0) {
+            return Err(CodecError::Format(format!(
+                "compaction bound {} must be finite and positive",
+                cfg.eb
+            )));
+        }
+        let flen = footer_len(writer.partitions);
+        let cold_end = writer.footers.len().saturating_sub(cfg.horizon);
+        if cold_end <= writer.cold {
+            return Ok(None);
+        }
+        let mut src =
+            File::open(&writer.path).map_err(|e| io_err("open stream for compaction", e))?;
+        let mut tmp_os = writer.path.clone().into_os_string();
+        tmp_os.push(".compact");
+        let tmp_path = PathBuf::from(tmp_os);
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| io_err("create compaction temp file", e))?;
+        tmp.write_all(&encode_tiered_header(writer.partitions, cold_end))
+            .map_err(|e| io_err("write tiered header", e))?;
+        // The already-cold prefix is re-used byte-for-byte: the header is
+        // the same length, so its absolute offsets still hold.
+        let prefix_end = frames_end(&writer.footers, writer.cold, flen);
+        copy_range(&mut src, FILE_HEADER_LEN as u64, prefix_end, &mut tmp)?;
+        crate::obs::record_compaction_started(cold_end - writer.cold);
+        Ok(Some(Self {
+            cfg,
+            src,
+            tmp,
+            tmp_path,
+            partitions: writer.partitions,
+            flen,
+            cold_start: writer.cold,
+            cold_end,
+            next: writer.cold,
+            orig_footers: writer.footers[..cold_end].to_vec(),
+            new_footers: writer.footers[..writer.cold].to_vec(),
+            cursor: prefix_end,
+            scratch: Vec::new(),
+            finalized: false,
+        }))
+    }
+
+    /// Frames still awaiting a re-tiering step.
+    pub fn remaining(&self) -> usize {
+        self.cold_end - self.next
+    }
+
+    /// True once every cold frame has been re-tiered ([`finalize`] next).
+    ///
+    /// [`finalize`]: CompactionTask::finalize
+    pub fn is_done(&self) -> bool {
+        self.next >= self.cold_end
+    }
+
+    /// Read and verify the hot footer of frame `index` at offset `fo` in
+    /// the original file, returning its container offsets.
+    fn read_frame_offsets(&mut self, index: usize, fo: u64) -> Result<Vec<u64>, CodecError> {
+        let mut footer = vec![0u8; self.flen];
+        read_exact_at(&mut self.src, fo, &mut footer)?;
+        let offsets: Vec<u64> = footer[8..self.flen - 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        if footer != encode_footer(index as u32, &offsets) {
+            return Err(CodecError::Format(format!(
+                "frame {index} footer is corrupt (magic, index, or checksum)"
+            )));
+        }
+        Ok(offsets)
+    }
+
+    /// Length of the container span `offsets[p]..offsets[p+1]`.
+    fn span_len(index: usize, offsets: &[u64], p: usize) -> Result<usize, CodecError> {
+        let span = offsets[p + 1].checked_sub(offsets[p]).ok_or_else(|| {
+            CodecError::Format(format!(
+                "frame {index} container offsets do not tile the data region"
+            ))
+        })?;
+        to_usize(span, "container length")
+    }
+
+    /// Re-tier one frame: decode every container, re-compress at the
+    /// relaxed bound, append under an `FTR3` footer. Returns `true` once
+    /// the cold phase is complete. O(frame) resident.
+    pub fn step<T: Scalar>(&mut self) -> Result<bool, CodecError> {
+        if self.next >= self.cold_end {
+            return Ok(true);
+        }
+        let i = self.next;
+        let offsets = self.read_frame_offsets(i, self.orig_footers[i])?;
+        let mut new_offsets = Vec::with_capacity(self.partitions + 1);
+        for p in 0..self.partitions {
+            let n = Self::span_len(i, &offsets, p)?;
+            let mut buf = vec![0u8; n];
+            read_exact_at(&mut self.src, offsets[p], &mut buf)?;
+            let c = Container::from_bytes(buf)?;
+            let brick = c.decode_field::<T>()?;
+            let codec = self.cfg.codec.unwrap_or(c.codec());
+            let re = Container::compress(codec, brick.as_slice(), brick.dims(), self.cfg.eb);
+            new_offsets.push(self.cursor);
+            self.tmp
+                .write_all(re.as_bytes())
+                .map_err(|e| io_err("write compacted container", e))?;
+            self.cursor += re.as_bytes().len() as u64;
+        }
+        new_offsets.push(self.cursor);
+        let footer = encode_cold_footer(i as u32, &new_offsets);
+        self.tmp.write_all(&footer).map_err(|e| io_err("write cold footer", e))?;
+        self.new_footers.push(self.cursor);
+        self.cursor += footer.len() as u64;
+        self.next += 1;
+        Ok(self.next == self.cold_end)
+    }
+
+    /// Rebase the hot tail (including frames appended since `begin`),
+    /// publish the compacted file with an atomic rename, and rewire
+    /// `writer` onto it. Errors if cold steps remain.
+    pub fn finalize(
+        mut self,
+        writer: &mut StreamFileWriter,
+    ) -> Result<CompactionReport, CodecError> {
+        if self.next < self.cold_end {
+            return Err(CodecError::Format(
+                "compaction finalised before every cold frame was re-tiered".into(),
+            ));
+        }
+        let bytes_before = writer.cursor;
+        let frames_compacted = self.cold_end - self.cold_start;
+        // Hot frames cannot be copied verbatim: their footers hold
+        // absolute offsets, which the shrunken cold tier shifted.
+        for f in self.cold_end..writer.footers.len() {
+            let offsets = self.read_frame_offsets(f, writer.footers[f])?;
+            let mut new_offsets = Vec::with_capacity(self.partitions + 1);
+            for p in 0..self.partitions {
+                let n = Self::span_len(f, &offsets, p)?;
+                self.scratch.clear();
+                self.scratch.resize(n, 0);
+                let start = offsets[p];
+                read_exact_at(&mut self.src, start, &mut self.scratch)?;
+                new_offsets.push(self.cursor);
+                self.tmp
+                    .write_all(&self.scratch)
+                    .map_err(|e| io_err("write rebased container", e))?;
+                self.cursor += n as u64;
+            }
+            new_offsets.push(self.cursor);
+            let footer = encode_footer(f as u32, &new_offsets);
+            self.tmp.write_all(&footer).map_err(|e| io_err("write rebased footer", e))?;
+            self.new_footers.push(self.cursor);
+            self.cursor += footer.len() as u64;
+        }
+        self.tmp.flush().map_err(|e| io_err("flush compacted stream", e))?;
+        if writer.sync == SyncPolicy::SyncPerFrame {
+            // Frames were power-loss durable before; they must still be
+            // after the rename, so the compacted bytes sync first.
+            self.tmp.sync_data().map_err(|e| io_err("sync compacted stream", e))?;
+        }
+        std::fs::rename(&self.tmp_path, &writer.path)
+            .map_err(|e| io_err("publish compacted stream", e))?;
+        self.finalized = true;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&writer.path)
+            .map_err(|e| io_err("reopen compacted stream", e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err("seek to end", e))?;
+        writer.file = file;
+        writer.footers = std::mem::take(&mut self.new_footers);
+        writer.cursor = self.cursor;
+        writer.cold = self.cold_end;
+        let report = CompactionReport {
+            frames_compacted,
+            cold_frames: self.cold_end,
+            bytes_before,
+            bytes_after: self.cursor,
+        };
+        crate::obs::record_compaction_completed(frames_compacted, bytes_before, self.cursor);
+        Ok(report)
+    }
+}
+
+impl Drop for CompactionTask {
+    fn drop(&mut self) {
+        if !self.finalized {
+            // Abandoned mid-run (error or shutdown): the temp file is
+            // garbage, the original stream was never touched.
+            let _ = std::fs::remove_file(&self.tmp_path);
+        }
+    }
+}
+
+/// Compact a finished stream file on disk: recover (drops the trailer),
+/// re-tier under `cfg`, finish (rewrites the trailer). Returns `None`
+/// when no frame was old enough — the file is still re-finished
+/// byte-identically in that case.
+pub fn compact_stream_file<T: Scalar>(
+    path: impl AsRef<Path>,
+    cfg: CompactionConfig,
+) -> Result<Option<CompactionReport>, CodecError> {
+    let (mut w, _) = StreamFileWriter::recover(&path)?;
+    let report = w.compact::<T>(cfg)?;
+    w.finish()?;
+    Ok(report)
 }
 
 /// Byte source a [`StreamFileReader`] serves random access from: a file,
@@ -554,17 +1093,53 @@ impl StreamSource for FileSource {
     }
 }
 
+/// Frames whose validated manifests a [`StreamFileReader`] keeps resident
+/// by default. Sized so a sequential scan re-validates nothing and a
+/// parallel per-frame decode still hits, while the resident set stays a
+/// few hundred bytes per frame.
+pub const DEFAULT_MANIFEST_WINDOW: usize = 16;
+
+/// Bounded LRU of validated per-frame manifests: `(frame, P+1 offsets)`.
+/// Linear scans are fine at window sizes (tens of entries).
+#[derive(Debug)]
+struct ManifestWindow {
+    capacity: usize,
+    entries: VecDeque<(usize, Arc<Vec<u64>>)>,
+}
+
+impl ManifestWindow {
+    fn get(&mut self, frame: usize) -> Option<Arc<Vec<u64>>> {
+        let pos = self.entries.iter().position(|(f, _)| *f == frame)?;
+        let entry = self.entries.remove(pos).expect("position just found");
+        let offsets = entry.1.clone();
+        self.entries.push_back(entry);
+        Some(offsets)
+    }
+
+    fn insert(&mut self, frame: usize, offsets: Arc<Vec<u64>>) {
+        if self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((frame, offsets));
+    }
+}
+
 /// O(1) random access over a finished durable stream without loading the
-/// payload region: open cost is header + trailer + one footer per frame;
-/// each container access reads exactly its own bytes from the source.
+/// payload region — or the manifest. Open cost is header + trailer
+/// checksum (streamed in chunks); frame footers are validated lazily on
+/// first touch and cached in a bounded window, so the resident set is
+/// O(frames-in-window) however long the stream. Each container access
+/// reads exactly its own bytes from the source.
 #[derive(Debug)]
 pub struct StreamFileReader<S> {
     source: S,
     partitions: usize,
     frames: usize,
-    /// Per frame: `partitions` container starts + the footer start, so
-    /// container `(f, p)` spans `offsets[f·(P+1)+p] .. offsets[f·(P+1)+p+1]`.
-    offsets: Vec<u64>,
+    /// Frames `0..cold_frames` are the cold tier (v3 streams; 0 for v2).
+    cold_frames: usize,
+    trailer_start: u64,
+    flen: usize,
+    window: Mutex<ManifestWindow>,
 }
 
 impl StreamFileReader<FileSource> {
@@ -576,8 +1151,17 @@ impl StreamFileReader<FileSource> {
 }
 
 impl<S: StreamSource> StreamFileReader<S> {
-    /// Validate header, trailer, and every frame footer over `source`.
+    /// Validate header and trailer over `source` with the default
+    /// manifest window. Frame footers are validated lazily per access;
+    /// call [`validate_all`](StreamFileReader::validate_all) to force the
+    /// eager whole-stream walk up front.
     pub fn from_source(source: S) -> Result<Self, CodecError> {
+        Self::from_source_with(source, DEFAULT_MANIFEST_WINDOW)
+    }
+
+    /// [`from_source`](StreamFileReader::from_source) with an explicit
+    /// manifest-window capacity (clamped to at least one frame).
+    pub fn from_source_with(source: S, window: usize) -> Result<Self, CodecError> {
         let len = source.len();
         let mut header = [0u8; FILE_HEADER_LEN];
         if len < (FILE_HEADER_LEN + trailer_len(0)) as u64 {
@@ -587,16 +1171,19 @@ impl<S: StreamSource> StreamFileReader<S> {
         if &header[..4] != MAGIC {
             return Err(CodecError::Format("bad stream-file magic".into()));
         }
-        if header[4] != STREAM_FILE_VERSION {
-            return Err(CodecError::Format(format!(
-                "unsupported stream-file version {}",
-                header[4]
-            )));
+        let version = header[4];
+        if version != STREAM_FILE_VERSION && version != STREAM_FILE_TIERED_VERSION {
+            return Err(CodecError::Format(format!("unsupported stream-file version {version}")));
         }
         let partitions = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
         if partitions == 0 {
             return Err(CodecError::Format("stream file declares zero partitions".into()));
         }
+        let cold_frames = if version == STREAM_FILE_TIERED_VERSION {
+            u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize
+        } else {
+            0
+        };
 
         // Locate the trailer through the back-pointer in the last 8 bytes.
         let mut tail = [0u8; 8];
@@ -608,74 +1195,135 @@ impl<S: StreamSource> StreamFileReader<S> {
             )));
         }
         let tlen = to_usize(len - trailer_start, "trailer length")?;
-        let mut trailer = vec![0u8; tlen];
-        source.read_at(trailer_start, &mut trailer)?;
-        if tlen < trailer_len(0) || &trailer[..4] != TRAILER_MAGIC {
+        let mut head8 = [0u8; 8];
+        if tlen < trailer_len(0) {
             return Err(CodecError::Format("bad stream trailer magic".into()));
         }
-        let frames = u32::from_le_bytes(trailer[4..8].try_into().expect("4 bytes")) as usize;
+        source.read_at(trailer_start, &mut head8)?;
+        if &head8[..4] != TRAILER_MAGIC {
+            return Err(CodecError::Format("bad stream trailer magic".into()));
+        }
+        let frames = u32::from_le_bytes(head8[4..8].try_into().expect("4 bytes")) as usize;
         if trailer_len(frames) != tlen {
             return Err(CodecError::Format(format!(
                 "trailer declares {frames} frames but spans {tlen} bytes"
             )));
         }
-        let body_end = tlen - 16;
-        let stored_fnv =
-            u64::from_le_bytes(trailer[body_end..body_end + 8].try_into().expect("8 bytes"));
-        let actual_fnv = fnv1a64(&trailer[..body_end]);
-        if stored_fnv != actual_fnv {
+        // Checksum the trailer body in bounded chunks — the body is
+        // 8 bytes per frame, the one O(stream) structure, and it never
+        // becomes resident here.
+        let body_end = trailer_start + (tlen - 16) as u64;
+        let mut h = FNV1A64_SEED;
+        let mut chunk = [0u8; 4096];
+        let mut pos = trailer_start;
+        while pos < body_end {
+            let n = ((body_end - pos) as usize).min(chunk.len());
+            source.read_at(pos, &mut chunk[..n])?;
+            h = fnv1a64_update(h, &chunk[..n]);
+            pos += n as u64;
+        }
+        let mut stored = [0u8; 8];
+        source.read_at(body_end, &mut stored)?;
+        let stored_fnv = u64::from_le_bytes(stored);
+        if stored_fnv != h {
             return Err(CodecError::Format(format!(
-                "trailer checksum mismatch: stored {stored_fnv:#018x}, computed {actual_fnv:#018x}"
+                "trailer checksum mismatch: stored {stored_fnv:#018x}, computed {h:#018x}"
             )));
         }
-        let footer_offsets: Vec<u64> = trailer[8..body_end]
+        if cold_frames > frames {
+            return Err(CodecError::Format(format!(
+                "tiered header declares {cold_frames} cold frames but the stream holds {frames}"
+            )));
+        }
+        if frames == 0 && trailer_start != FILE_HEADER_LEN as u64 {
+            return Err(CodecError::Format(format!(
+                "data region ends at {FILE_HEADER_LEN} but the trailer starts at {trailer_start}"
+            )));
+        }
+        Ok(Self {
+            source,
+            partitions,
+            frames,
+            cold_frames,
+            trailer_start,
+            flen: footer_len(partitions),
+            window: Mutex::new(ManifestWindow {
+                capacity: window.max(1),
+                entries: VecDeque::new(),
+            }),
+        })
+    }
+
+    /// One footer offset out of the trailer's index.
+    fn footer_offset(&self, frame: usize) -> Result<u64, CodecError> {
+        let mut b = [0u8; 8];
+        self.source.read_at(self.trailer_start + 8 + 8 * frame as u64, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// The validated manifest of one frame: `partitions` container starts
+    /// plus the footer start. Window hit or one footer read + validation
+    /// (magic, tier, index, checksum, contiguous tiling against the
+    /// previous frame's footer).
+    fn frame_offsets(&self, frame: usize) -> Result<Arc<Vec<u64>>, CodecError> {
+        if let Some(hit) = self.window.lock().expect("manifest window lock").get(frame) {
+            return Ok(hit);
+        }
+        let fo = self.footer_offset(frame)?;
+        let flen = self.flen as u64;
+        let expected_start = if frame == 0 {
+            FILE_HEADER_LEN as u64
+        } else {
+            self.footer_offset(frame - 1)?.checked_add(flen).ok_or_else(|| {
+                CodecError::Format(format!("frame {} footer offset overflows", frame - 1))
+            })?
+        };
+        if fo.checked_add(flen).is_none_or(|end| end > self.trailer_start) || fo < expected_start {
+            return Err(CodecError::Format(format!(
+                "frame {frame} footer offset {fo} outside the data region"
+            )));
+        }
+        let mut footer = vec![0u8; self.flen];
+        self.source.read_at(fo, &mut footer)?;
+        let offsets: Vec<u64> = footer[8..self.flen - 8]
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect();
-
-        // Walk the footers: each yields its frame's container offsets.
-        let flen = footer_len(partitions);
-        let mut offsets = Vec::with_capacity(frames * (partitions + 1));
-        let mut expected_start = FILE_HEADER_LEN as u64;
-        for (i, &fo) in footer_offsets.iter().enumerate() {
-            if fo
-                .checked_add(flen as u64)
-                .is_none_or(|end| end > trailer_start || fo < expected_start)
-            {
-                return Err(CodecError::Format(format!(
-                    "frame {i} footer offset {fo} outside the data region"
-                )));
-            }
-            let mut footer = vec![0u8; flen];
-            source.read_at(fo, &mut footer)?;
-            let frame_offsets: Vec<u64> = footer[8..flen - 8]
-                .chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-                .collect();
-            if footer != encode_footer(i as u32, &frame_offsets) {
-                return Err(CodecError::Format(format!(
-                    "frame {i} footer is corrupt (magic, index, or checksum)"
-                )));
-            }
-            // Offsets must tile the data region contiguously and end at
-            // the footer itself.
-            if frame_offsets[0] != expected_start
-                || *frame_offsets.last().expect("P+1 entries") != fo
-                || frame_offsets.windows(2).any(|w| w[0] >= w[1])
-            {
-                return Err(CodecError::Format(format!(
-                    "frame {i} container offsets do not tile the data region"
-                )));
-            }
-            offsets.extend_from_slice(&frame_offsets);
-            expected_start = fo + flen as u64;
-        }
-        if expected_start != trailer_start {
+        if footer != expected_footer(frame, self.cold_frames, &offsets) {
             return Err(CodecError::Format(format!(
-                "data region ends at {expected_start} but the trailer starts at {trailer_start}"
+                "frame {frame} footer is corrupt (magic, index, or checksum)"
             )));
         }
-        Ok(Self { source, partitions, frames, offsets })
+        // Offsets must tile the data region contiguously from the
+        // previous footer's end to this footer.
+        if offsets[0] != expected_start
+            || *offsets.last().expect("P+1 entries") != fo
+            || offsets.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(CodecError::Format(format!(
+                "frame {frame} container offsets do not tile the data region"
+            )));
+        }
+        if frame + 1 == self.frames && fo + flen != self.trailer_start {
+            return Err(CodecError::Format(format!(
+                "data region ends at {} but the trailer starts at {}",
+                fo + flen,
+                self.trailer_start
+            )));
+        }
+        let offsets = Arc::new(offsets);
+        self.window.lock().expect("manifest window lock").insert(frame, offsets.clone());
+        Ok(offsets)
+    }
+
+    /// Eagerly validate every frame footer — the pre-out-of-core open
+    /// behaviour, for callers that want whole-stream integrity up front
+    /// and accept the O(stream) walk (still O(window) resident).
+    pub fn validate_all(&self) -> Result<(), CodecError> {
+        for f in 0..self.frames {
+            self.frame_offsets(f)?;
+        }
+        Ok(())
     }
 
     /// Snapshot frames in the stream.
@@ -688,20 +1336,40 @@ impl<S: StreamSource> StreamFileReader<S> {
         self.partitions
     }
 
+    /// Frames in the cold (compacted) tier — 0 for v2 streams.
+    pub fn cold_frames(&self) -> usize {
+        self.cold_frames
+    }
+
     /// Raw v2-container bytes of one (frame, partition) — one bounded read
     /// from the source.
     pub fn container_bytes(&self, frame: usize, partition: usize) -> Result<Vec<u8>, CodecError> {
+        let mut buf = Vec::new();
+        self.read_container_into(frame, partition, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// [`container_bytes`](StreamFileReader::container_bytes) into a
+    /// caller-owned scratch buffer (cleared and resized), so per-frame
+    /// loops — sequential scans, the compactor, server read paths —
+    /// allocate once instead of once per access.
+    pub fn read_container_into(
+        &self,
+        frame: usize,
+        partition: usize,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
         if frame >= self.frames || partition >= self.partitions {
             return Err(CodecError::Format(format!(
                 "(frame {frame}, partition {partition}) outside stream of {}x{}",
                 self.frames, self.partitions
             )));
         }
-        let i = frame * (self.partitions + 1) + partition;
-        let (start, end) = (self.offsets[i], self.offsets[i + 1]);
-        let mut buf = vec![0u8; to_usize(end - start, "container length")?];
-        self.source.read_at(start, &mut buf)?;
-        Ok(buf)
+        let offsets = self.frame_offsets(frame)?;
+        let (start, end) = (offsets[partition], offsets[partition + 1]);
+        buf.clear();
+        buf.resize(to_usize(end - start, "container length")?, 0);
+        self.source.read_at(start, buf)
     }
 
     /// Parse one (frame, partition) container — O(1) in the number of
@@ -890,14 +1558,18 @@ mod tests {
             err.to_string().contains("checksum") || err.to_string().contains("footer"),
             "{err}"
         );
-        // Flipped footer byte inside the data region.
+        // Flipped footer byte inside the data region: the lazy open
+        // succeeds (footers are validated per access), but touching the
+        // poisoned frame — or the eager walk — fails.
         let mut bad = full.clone();
         let footer0 = {
             let one = stream_file_bytes(dec.num_partitions(), &frames[..1]);
             one.len() - trailer_len(1) - footer_len(8)
         };
         bad[footer0 + 5] ^= 0x01;
-        assert!(StreamFileReader::from_source(bad.as_slice()).is_err());
+        let r = StreamFileReader::from_source(bad.as_slice()).expect("open is lazy");
+        assert!(r.container(0, 0).is_err());
+        assert!(r.validate_all().is_err());
         // Out-of-range access on a healthy stream.
         let r = StreamFileReader::from_source(full.as_slice()).unwrap();
         assert!(r.container(2, 0).is_err());
@@ -932,6 +1604,224 @@ mod tests {
     #[test]
     fn default_sync_policy_is_flush() {
         assert_eq!(SyncPolicy::default(), SyncPolicy::Flush);
+    }
+
+    #[test]
+    fn zero_partition_stream_is_a_typed_error_not_a_panic() {
+        let path = temp_path("zero_p");
+        let err = StreamFileWriter::create(&path, 0).expect_err("zero partitions");
+        assert!(matches!(err, CodecError::Format(_)), "{err}");
+        assert!(!path.exists(), "no file may be created for a rejected stream");
+    }
+
+    #[test]
+    fn read_container_into_reuses_one_scratch_buffer() {
+        let (dec, frames, _) = sample_frames(2);
+        let full = stream_file_bytes(dec.num_partitions(), &frames);
+        let r = StreamFileReader::from_source(full.as_slice()).unwrap();
+        let mut buf = Vec::new();
+        for (f, frame) in frames.iter().enumerate() {
+            for (p, c) in frame.iter().enumerate() {
+                r.read_container_into(f, p, &mut buf).unwrap();
+                assert_eq!(buf, c.as_bytes());
+                assert_eq!(buf, r.container_bytes(f, p).unwrap());
+            }
+        }
+        assert!(r.read_container_into(2, 0, &mut buf).is_err());
+    }
+
+    #[test]
+    fn manifest_window_changes_residency_not_results() {
+        let (dec, frames, _) = sample_frames(3);
+        let full = stream_file_bytes(dec.num_partitions(), &frames);
+        // A one-frame window forces eviction on every frame switch; reads
+        // must still validate and match a full-window reader.
+        let tight = StreamFileReader::from_source_with(full.as_slice(), 1).unwrap();
+        let wide = StreamFileReader::from_source(full.as_slice()).unwrap();
+        for f in (0..3).chain((0..3).rev()) {
+            for p in 0..dec.num_partitions() {
+                assert_eq!(
+                    tight.container_bytes(f, p).unwrap(),
+                    wide.container_bytes(f, p).unwrap()
+                );
+            }
+        }
+        tight.validate_all().unwrap();
+    }
+
+    /// Re-compress one frame's containers the way a compaction step does,
+    /// for byte-canonical expectations.
+    fn recompress(frame: &[Container], eb: f64) -> Vec<Container> {
+        frame
+            .iter()
+            .map(|c| {
+                let brick = c.decode_field::<f32>().unwrap();
+                Container::compress(c.codec(), brick.as_slice(), brick.dims(), eb)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compaction_retiers_cold_frames_and_appends_continue() {
+        let (dec, frames, fields) = sample_frames(5);
+        let p = dec.num_partitions();
+        let path = temp_path("compact");
+        let mut w = StreamFileWriter::create(&path, p).unwrap();
+        for f in &frames[..4] {
+            w.append_frame(f).unwrap();
+        }
+        let report = w.compact::<f32>(CompactionConfig::new(2, 1.0)).unwrap().expect("2 eligible");
+        assert_eq!(report.frames_compacted, 2);
+        assert_eq!(report.cold_frames, 2);
+        assert_eq!(w.cold_frames(), 2);
+        assert_eq!(report.bytes_after, w.cursor);
+        // Appends after compaction stay hot and keep working.
+        w.append_frame(&frames[4]).unwrap();
+        let total = w.finish().unwrap();
+        // Byte-canonical: the on-disk file equals the in-memory tiered
+        // encoder over independently re-compressed cold frames.
+        let cold: Vec<Vec<Container>> = frames[..2].iter().map(|f| recompress(f, 1.0)).collect();
+        let expected = stream_file_bytes_tiered(p, &cold, &frames[2..]);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk.len() as u64, total);
+        assert_eq!(on_disk, expected);
+        assert_eq!(on_disk[4], STREAM_FILE_TIERED_VERSION);
+        assert_eq!(&on_disk[12..16], &2u32.to_le_bytes());
+        // Reads back: cold frames within the relaxed bound, hot frames at
+        // the original bound.
+        let r = StreamFileReader::open(&path).unwrap();
+        assert_eq!((r.frames(), r.cold_frames()), (5, 2));
+        r.validate_all().unwrap();
+        for (f, field) in fields.iter().enumerate() {
+            let recon: Field3<f32> = r.reconstruct_frame(f, &dec).unwrap();
+            let bound = if f < 2 { 0.25 + 1.0 } else { 0.25 };
+            assert!(field.max_abs_diff(&recon) <= bound + 1e-6, "frame {f}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_is_a_noop_below_the_horizon_and_idempotent() {
+        let (dec, frames, _) = sample_frames(3);
+        let p = dec.num_partitions();
+        let path = temp_path("compact_noop");
+        let mut w = StreamFileWriter::create(&path, p).unwrap();
+        for f in &frames {
+            w.append_frame(f).unwrap();
+        }
+        // Horizon covers every frame: nothing is cold.
+        assert!(w.compact::<f32>(CompactionConfig::new(3, 1.0)).unwrap().is_none());
+        // Compact, then compact again at the same horizon: the second run
+        // finds nothing new.
+        assert!(w.compact::<f32>(CompactionConfig::new(1, 1.0)).unwrap().is_some());
+        assert_eq!(w.cold_frames(), 2);
+        assert!(w.compact::<f32>(CompactionConfig::new(1, 1.0)).unwrap().is_none());
+        // Invalid bound is a typed error.
+        assert!(w.compact::<f32>(CompactionConfig::new(0, f64::NAN)).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn abandoned_compaction_leaves_the_stream_untouched() {
+        let (dec, frames, _) = sample_frames(3);
+        let p = dec.num_partitions();
+        let path = temp_path("compact_abort");
+        let mut w = StreamFileWriter::create(&path, p).unwrap();
+        for f in &frames {
+            w.append_frame(f).unwrap();
+        }
+        let before = std::fs::read(&path).unwrap();
+        let mut task = CompactionTask::begin(&w, CompactionConfig::new(1, 1.0)).unwrap().unwrap();
+        assert_eq!(task.remaining(), 2);
+        task.step::<f32>().unwrap();
+        assert!(!task.is_done());
+        let tmp_path = {
+            let mut os = path.clone().into_os_string();
+            os.push(".compact");
+            PathBuf::from(os)
+        };
+        assert!(tmp_path.exists());
+        drop(task); // crash/shutdown mid-run
+        assert!(!tmp_path.exists(), "abandoned temp file must be removed");
+        assert_eq!(std::fs::read(&path).unwrap(), before, "original stream untouched");
+        // The stream still compacts fine afterwards.
+        assert!(w.compact::<f32>(CompactionConfig::new(1, 1.0)).unwrap().is_some());
+        w.finish().unwrap();
+        StreamFileReader::open(&path).unwrap().validate_all().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tiered_recovery_equals_fresh_tiered_write_at_every_truncation() {
+        let (dec, frames, _) = sample_frames(4);
+        let p = dec.num_partitions();
+        let cold: Vec<Vec<Container>> = frames[..2].iter().map(|f| recompress(f, 1.0)).collect();
+        let hot: Vec<Vec<Container>> = frames[2..].to_vec();
+        let full = stream_file_bytes_tiered(p, &cold, &hot);
+        // End of the data region once `k` frames survive.
+        let prefix_len = |k: usize| {
+            let ck = k.min(2);
+            stream_file_bytes_tiered(p, &cold[..ck], &hot[..k - ck]).len() - trailer_len(k)
+        };
+        for cut in [
+            FILE_HEADER_LEN,
+            FILE_HEADER_LEN + 9,         // mid first cold container
+            prefix_len(1) - 3,           // mid first cold footer
+            prefix_len(1),               // after one cold frame
+            prefix_len(2) - 1,           // mid second cold footer
+            prefix_len(2),               // whole cold tier
+            prefix_len(3) - 5,           // mid first hot frame
+            prefix_len(3),               // cold tier + one hot frame
+            full.len() - trailer_len(4), // all frames, no trailer
+        ] {
+            let (rec, report) = recover_stream(&full[..cut]).unwrap();
+            let k = report.frames_kept;
+            let ck = k.min(2);
+            // Recovered bytes ≡ a fresh tiered write of the survivors —
+            // including the patched cold count when the cut reached into
+            // the cold tier.
+            assert_eq!(rec, stream_file_bytes_tiered(p, &cold[..ck], &hot[..k - ck]), "cut {cut}");
+            let r = StreamFileReader::from_source(rec.as_slice()).unwrap();
+            assert_eq!((r.frames(), r.cold_frames()), (k, ck), "cut {cut}");
+            r.validate_all().unwrap();
+        }
+        // Identity on the finished tiered stream.
+        let (rec, report) = recover_stream(&full).unwrap();
+        assert_eq!(rec, full);
+        assert_eq!(report.frames_kept, 4);
+
+        // The on-disk variant patches the header in place and appends on.
+        let path = temp_path("tiered_recover");
+        std::fs::write(&path, &full[..prefix_len(1) + 5]).unwrap();
+        let (mut w, report) = StreamFileWriter::recover(&path).unwrap();
+        assert_eq!(report.frames_kept, 1);
+        assert_eq!(w.cold_frames(), 1);
+        w.append_frame(&hot[0]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            stream_file_bytes_tiered(p, &cold[..1], &hot[..1])
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_stream_file_retiers_a_finished_stream_in_place() {
+        let (dec, frames, _) = sample_frames(3);
+        let p = dec.num_partitions();
+        let path = temp_path("compact_finished");
+        let mut w = StreamFileWriter::create(&path, p).unwrap();
+        for f in &frames {
+            w.append_frame(f).unwrap();
+        }
+        w.finish().unwrap();
+        let report = compact_stream_file::<f32>(&path, CompactionConfig::new(1, 0.75))
+            .unwrap()
+            .expect("2 eligible");
+        assert_eq!(report.frames_compacted, 2);
+        let cold: Vec<Vec<Container>> = frames[..2].iter().map(|f| recompress(f, 0.75)).collect();
+        assert_eq!(std::fs::read(&path).unwrap(), stream_file_bytes_tiered(p, &cold, &frames[2..]));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

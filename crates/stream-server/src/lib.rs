@@ -62,6 +62,19 @@
 //!   single-tenant byte-identity), but its neighbours' pushes interleave
 //!   between steps. The poisoned-stream suite in `tests/stream_server.rs`
 //!   asserts the resulting p99 bound.
+//! * **Background compaction.** A tenant registered with a
+//!   [`CompactionPolicy`] gets its durable stream's old frames re-tiered
+//!   into the `STRM` v3 cold region (re-compressed at the policy's
+//!   relaxed bound) one frame per idle slot — a third priority tier
+//!   strictly below pushes and refreshes, driven by the same scheduler.
+//!   [`StreamServer::close_tenant`] finishes any in-flight run and
+//!   re-tiers the final backlog, so the closed file always honours the
+//!   policy's horizon.
+//! * **Auto-checkpointing.** With [`SessionConfig::checkpoint_every`]
+//!   set on a durable tenant, the worker atomically saves the session's
+//!   checkpoint to `<stream_path>.ckpt` every N accepted frames, right
+//!   after the frame lands in the stream file. Save failures are counted
+//!   (`server_checkpoint_failures_total`), never turned into push errors.
 //!
 //! Determinism contract: per tenant, the sequence of compressed frames
 //! is **byte-identical** to a single-tenant [`StreamSession`] fed the
@@ -77,7 +90,9 @@
 
 use adaptive_config::session::RefreshTask;
 use adaptive_config::{PushError, QualityPolicy, SessionConfig, SnapshotRecord, StreamSession};
-use codec_core::{CodecError, StreamFileWriter, SyncPolicy};
+use codec_core::{
+    CodecError, CodecId, CompactionConfig, CompactionTask, StreamFileWriter, SyncPolicy,
+};
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use gridlab::{Field3, Scalar};
 use std::collections::HashMap;
@@ -142,6 +157,57 @@ impl ServerConfig {
     }
 }
 
+/// Cold-frame re-tiering contract for a tenant's durable stream: frames
+/// older than `horizon` are re-compressed at the (usually looser) bound
+/// `eb` into the `STRM` v3 cold tier, one frame per worker idle slot —
+/// strictly below deferred refreshes in priority, so compaction never
+/// delays a push or a recalibration step.
+#[derive(Debug, Clone)]
+pub struct CompactionPolicy {
+    /// Frames at the end of the stream that always stay hot.
+    pub horizon: usize,
+    /// Don't start a run until at least this many frames are past the
+    /// horizon — batches re-tiering work instead of chasing every frame.
+    /// (Ignored at [`StreamServer::close_tenant`], which re-tiers
+    /// everything past the horizon so the finished file matches the
+    /// policy.)
+    pub min_batch: usize,
+    /// Absolute error bound cold frames are re-compressed at.
+    pub eb: f64,
+    /// Optional colder codec for re-tiered frames (`None` keeps each
+    /// container's original codec).
+    pub codec: Option<CodecId>,
+}
+
+impl CompactionPolicy {
+    /// Re-tier past `horizon` at bound `eb`, original codecs, batch 1.
+    pub fn new(horizon: usize, eb: f64) -> Self {
+        assert!(eb.is_finite() && eb > 0.0, "compaction bound must be finite and positive");
+        Self { horizon, min_batch: 1, eb, codec: None }
+    }
+
+    /// Builder-style: wait for `min_batch` frames past the horizon.
+    pub fn with_min_batch(mut self, min_batch: usize) -> Self {
+        assert!(min_batch >= 1, "a compaction batch has at least one frame");
+        self.min_batch = min_batch;
+        self
+    }
+
+    /// Builder-style: re-tier everything cold with one explicit codec.
+    pub fn with_codec(mut self, codec: CodecId) -> Self {
+        self.codec = Some(codec);
+        self
+    }
+
+    fn config(&self) -> CompactionConfig {
+        let cfg = CompactionConfig::new(self.horizon, self.eb);
+        match self.codec {
+            Some(c) => cfg.with_codec(c),
+            None => cfg,
+        }
+    }
+}
+
 /// Per-tenant registration: the session recipe plus service-level knobs.
 #[derive(Debug, Clone)]
 pub struct TenantConfig {
@@ -152,16 +218,21 @@ pub struct TenantConfig {
     pub weight: f64,
     /// When set, every accepted frame appends to a durable stream file
     /// at this path ([`StreamFileWriter`] lifecycle: created at
-    /// registration, finished at [`StreamServer::close_tenant`]).
+    /// registration, finished at [`StreamServer::close_tenant`]). With
+    /// [`SessionConfig::checkpoint_every`] set, the session also
+    /// checkpoints to `<stream_path>.ckpt` at that cadence.
     pub stream_path: Option<PathBuf>,
     /// Durability level of the tenant's stream file.
     pub sync: SyncPolicy,
+    /// When set (and the tenant has a stream file), idle worker slots
+    /// re-tier old frames into the cold tier under this policy.
+    pub compaction: Option<CompactionPolicy>,
 }
 
 impl TenantConfig {
     /// A tenant with defaults: weight 1, no durable stream.
     pub fn new(session: SessionConfig) -> Self {
-        Self { session, weight: 1.0, stream_path: None, sync: SyncPolicy::Flush }
+        Self { session, weight: 1.0, stream_path: None, sync: SyncPolicy::Flush, compaction: None }
     }
 
     /// Builder-style: persist frames to a durable stream file.
@@ -175,6 +246,12 @@ impl TenantConfig {
     pub fn with_weight(mut self, weight: f64) -> Self {
         assert!(weight > 0.0 && weight.is_finite(), "weight must be positive, got {weight}");
         self.weight = weight;
+        self
+    }
+
+    /// Builder-style: re-tier old frames of the durable stream.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = Some(policy);
         self
     }
 }
@@ -332,12 +409,21 @@ struct TenantCounters {
 }
 
 /// Worker-side tenant state: the session, its optional durable writer,
-/// the deferred refresh the scheduler is stepping through, and the
-/// tenant's counter handles.
+/// the deferred refresh the scheduler is stepping through, the in-flight
+/// cold-frame compaction (if any), and the tenant's counter handles.
 struct Tenant<T: Scalar> {
     session: StreamSession,
     writer: Option<StreamFileWriter>,
     pending: Option<RefreshTask<T>>,
+    /// Re-tiering contract, if the tenant registered one.
+    compaction: Option<CompactionPolicy>,
+    /// In-flight compaction run, stepped one frame per idle slot.
+    /// Appends during a run are safe: they only extend the original
+    /// file, and `finalize` re-bases whatever the writer holds then.
+    compacting: Option<CompactionTask>,
+    /// `<stream_path>.ckpt` — where [`SessionConfig::checkpoint_every`]
+    /// checkpoints land (atomic write-temp-then-rename).
+    ckpt_path: Option<PathBuf>,
     counters: TenantCounters,
 }
 
@@ -352,6 +438,14 @@ struct ShardMetrics {
     /// `server_refresh_steps_total{shard}`: deferred-refresh steps run
     /// from the idle loop.
     refresh_steps: Arc<Counter>,
+    /// `server_compaction_steps_total{shard}`: cold-frame re-tiering
+    /// steps (one frame each) run from the idle loop or at close.
+    compaction_steps: Arc<Counter>,
+    /// `server_checkpoint_failures_total{shard}`: auto-checkpoint saves
+    /// that failed. Failures are swallowed — the frame itself is already
+    /// durable in the stream file, so a bad checkpoint must not turn an
+    /// acknowledged push into an error — but never silent.
+    checkpoint_failures: Arc<Counter>,
     /// `span_self_ns{phase="serve_push"}`: dispatch overhead around the
     /// session push and persist (span self time).
     serve_span: Arc<Histogram>,
@@ -371,8 +465,10 @@ const PUSH_NANOS_SEED: u64 = 1_000_000;
 
 fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>, metrics: ShardMetrics) {
     let mut tenants: HashMap<TenantId, Tenant<T>> = HashMap::new();
-    // Round-robin cursor over tenants with pending refresh work.
+    // Round-robin cursors over tenants with pending refresh/compaction
+    // work.
     let mut refresh_cursor = 0usize;
+    let mut compact_cursor = 0usize;
     loop {
         // Queue first: incoming pushes always preempt refresh work.
         match rx.try_recv() {
@@ -402,6 +498,13 @@ fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>, metrics: ShardMetrics) {
             }
             continue;
         }
+        // Refreshes drained: advance one cold-frame compaction by ONE
+        // frame — the third priority tier. Re-tiering old frames is pure
+        // background maintenance, so it runs strictly behind both pushes
+        // and recalibrations.
+        if step_compaction(&mut tenants, &mut compact_cursor, &metrics) {
+            continue;
+        }
         // Nothing to do: park until a job lands or the server drops us.
         match rx.recv_timeout(IDLE_PARK) {
             Ok(job) => handle_job(&mut tenants, job, &metrics),
@@ -410,11 +513,114 @@ fn worker_loop<T: Scalar>(rx: Receiver<Job<T>>, metrics: ShardMetrics) {
         }
     }
     // Teardown sweep: the server shut down without closing every tenant.
-    // Writers flush what they have; an unfinished (trailer-less) stream
-    // remains recoverable by scan, so nothing acknowledged is lost.
-    for (_, tenant) in tenants.drain() {
+    // An unfinished compaction is abandoned (its temp file is removed on
+    // drop; the original stream is untouched). Writers flush what they
+    // have; an unfinished (trailer-less) stream remains recoverable by
+    // scan, so nothing acknowledged is lost.
+    for (_, mut tenant) in tenants.drain() {
+        tenant.compacting = None;
         if let Some(w) = tenant.writer {
             let _ = w.finish();
+        }
+    }
+}
+
+/// One idle-slot unit of compaction work across the shard's tenants:
+/// step the round-robin-chosen tenant's in-flight run by one frame,
+/// finalize a finished run (atomic rename + writer re-base), or begin a
+/// new run for a tenant whose backlog crossed its `min_batch`. Returns
+/// whether any work was done (callers re-check the queue when so).
+///
+/// A step or finalize error abandons the run AND disables the tenant's
+/// policy: the original stream is intact either way (temp-file
+/// discipline), but retrying a deterministic failure every idle slot
+/// would spin the worker forever. The journal keeps the asymmetry
+/// visible: a `CompactionStarted` without its `CompactionCompleted`.
+fn step_compaction<T: Scalar>(
+    tenants: &mut HashMap<TenantId, Tenant<T>>,
+    cursor: &mut usize,
+    metrics: &ShardMetrics,
+) -> bool {
+    let mut eligible: Vec<TenantId> = tenants
+        .iter()
+        .filter(|(_, t)| t.writer.is_some() && (t.compaction.is_some() || t.compacting.is_some()))
+        .map(|(&id, _)| id)
+        .collect();
+    if eligible.is_empty() {
+        return false;
+    }
+    eligible.sort_unstable();
+    // One attempt per eligible tenant: the first that yields actual work
+    // wins the slot; a full no-op round means the shard is caught up.
+    for _ in 0..eligible.len() {
+        let id = eligible[*cursor % eligible.len()];
+        *cursor = cursor.wrapping_add(1);
+        let t = tenants.get_mut(&id).expect("listed above");
+        let writer = t.writer.as_mut().expect("filtered above");
+        if let Some(task) = t.compacting.as_mut() {
+            if !task.is_done() {
+                metrics.compaction_steps.inc();
+                if task.step::<T>().is_err() {
+                    t.compacting = None;
+                    t.compaction = None;
+                }
+            } else {
+                let task = t.compacting.take().expect("present");
+                metrics.compaction_steps.inc();
+                if task.finalize(writer).is_err() {
+                    t.compaction = None;
+                }
+            }
+            return true;
+        }
+        let Some(policy) = t.compaction.as_ref() else { continue };
+        let backlog =
+            writer.frames().saturating_sub(writer.cold_frames()).saturating_sub(policy.horizon);
+        if backlog < policy.min_batch.max(1) {
+            continue;
+        }
+        match CompactionTask::begin(writer, policy.config()) {
+            Ok(Some(task)) => {
+                t.compacting = Some(task);
+                return true;
+            }
+            Ok(None) => continue,
+            Err(_) => {
+                t.compaction = None;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Drive a tenant's compaction to its policy end-state, synchronously —
+/// the close-time path. `min_batch` is a scheduling heuristic and is
+/// ignored here: the finished file always honours the policy's horizon.
+/// Errors abandon the run; the stream stays intact and close proceeds.
+fn finish_compaction<T: Scalar>(t: &mut Tenant<T>, metrics: &ShardMetrics) {
+    let Some(writer) = t.writer.as_mut() else { return };
+    let run = |task: &mut CompactionTask, steps: &Arc<Counter>| -> Result<(), CodecError> {
+        while !task.is_done() {
+            steps.inc();
+            task.step::<T>()?;
+        }
+        Ok(())
+    };
+    if let Some(mut task) = t.compacting.take() {
+        if run(&mut task, &metrics.compaction_steps).is_ok() {
+            metrics.compaction_steps.inc();
+            let _ = task.finalize(writer);
+        }
+    }
+    // Frames appended after the last run began are re-based hot by
+    // finalize; a second pass re-tiers any of them now past the horizon.
+    if let Some(policy) = t.compaction.as_ref() {
+        if let Ok(Some(mut task)) = CompactionTask::begin(writer, policy.config()) {
+            if run(&mut task, &metrics.compaction_steps).is_ok() {
+                metrics.compaction_steps.inc();
+                let _ = task.finalize(writer);
+            }
         }
     }
 }
@@ -442,6 +648,11 @@ fn handle_job<T: Scalar>(
                 }
                 None => None,
             };
+            let ckpt_path = cfg.stream_path.as_ref().map(|p| {
+                let mut os = p.clone().into_os_string();
+                os.push(".ckpt");
+                PathBuf::from(os)
+            });
             let mut session = StreamSession::new(cfg.session.clone());
             session.attach_metrics(Arc::clone(&metrics.registry), tenant as u64);
             let t = tenant.to_string();
@@ -451,7 +662,18 @@ fn handle_job<T: Scalar>(
                 bytes_in: metrics.registry.counter("server_bytes_in_total", labels),
                 bytes_out: metrics.registry.counter("server_bytes_out_total", labels),
             };
-            tenants.insert(tenant, Tenant { session, writer, pending: None, counters });
+            tenants.insert(
+                tenant,
+                Tenant {
+                    session,
+                    writer,
+                    pending: None,
+                    compaction: cfg.compaction.clone(),
+                    compacting: None,
+                    ckpt_path,
+                    counters,
+                },
+            );
             let _ = reply.send(Ok(()));
         }
         Job::Push { tenant, field, degrade, reply } => {
@@ -499,6 +721,18 @@ fn handle_job<T: Scalar>(
                 }
                 stream_frames = Some(w.frames());
             }
+            // Auto-checkpoint at the session's cadence, AFTER the frame
+            // is durable. A failed save is counted, never surfaced as a
+            // push error: the frame itself already landed in the stream,
+            // and erroring here would make the producer re-push a frame
+            // the file holds.
+            if t.session.should_checkpoint() {
+                if let Some(path) = t.ckpt_path.as_ref() {
+                    if t.session.save_to(path).is_err() {
+                        metrics.checkpoint_failures.inc();
+                    }
+                }
+            }
             t.counters.pushes.inc();
             t.counters.bytes_in.add(record.result.original_bytes as u64);
             t.counters.bytes_out.add(record.result.compressed_bytes as u64);
@@ -522,8 +756,11 @@ fn handle_job<T: Scalar>(
                 return;
             };
             // A pending refresh dies with the session; the stream is
-            // closed, no later snapshot will ever price through it.
+            // closed, no later snapshot will ever price through it. An
+            // in-flight compaction instead runs to completion: the
+            // finished file honours the tenant's re-tiering policy.
             t.pending = None;
+            finish_compaction(&mut t, metrics);
             let bytes = match t.writer {
                 Some(w) => match w.finish() {
                     Ok(n) => Some(n),
@@ -577,6 +814,11 @@ pub struct ServerStats {
     pub degraded: u64,
     /// Deferred-refresh steps run from worker idle loops.
     pub refresh_steps: u64,
+    /// Cold-frame compaction steps (one frame each) run from worker
+    /// idle loops or at tenant close.
+    pub compaction_steps: u64,
+    /// Auto-checkpoint saves that failed (swallowed, counted).
+    pub checkpoint_failures: u64,
     /// Push service time merged across all shards.
     pub push_service: HistogramSnapshot,
     /// Admission-sampled queue depth per shard (occupancy observed at
@@ -628,6 +870,8 @@ impl<T: Scalar> StreamServer<T> {
                 registry: Arc::clone(&metrics),
                 service_ns: Arc::clone(&service),
                 refresh_steps: metrics.counter("server_refresh_steps_total", labels),
+                compaction_steps: metrics.counter("server_compaction_steps_total", labels),
+                checkpoint_failures: metrics.counter("server_checkpoint_failures_total", labels),
                 serve_span: metrics.histogram("span_self_ns", &[("phase", "serve_push")]),
                 persist_span: metrics.histogram("span_self_ns", &[("phase", "persist")]),
             };
@@ -684,6 +928,8 @@ impl<T: Scalar> StreamServer<T> {
             overloaded: self.overloaded_total.get(),
             degraded: self.degraded_total.get(),
             refresh_steps: sum_of("server_refresh_steps_total"),
+            compaction_steps: sum_of("server_compaction_steps_total"),
+            checkpoint_failures: sum_of("server_checkpoint_failures_total"),
             push_service: merged.snapshot(),
             queue_depths: self.queue_gauges.iter().map(|g| g.get()).collect(),
         }
@@ -1081,6 +1327,81 @@ mod tests {
         assert!(matches!(server.push(id, field(16, 1.0, 23)), Err(ServerError::UnknownTenant(_))));
         server.shutdown().unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn idle_workers_compact_old_frames_and_close_honours_the_policy() {
+        let path =
+            std::env::temp_dir().join(format!("stream_server_{}_compact.strm", std::process::id()));
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 1,
+            degrade_threshold: 1.0,
+            ..ServerConfig::default()
+        });
+        let id = server
+            .register(
+                TenantConfig::new(session_cfg(16, 2, QualityPolicy::FixedEb(0.1)))
+                    .with_stream(&path, SyncPolicy::Flush)
+                    .with_compaction(CompactionPolicy::new(2, 1.0)),
+            )
+            .unwrap();
+        for i in 0..5 {
+            server.push(id, field(16, 1.0 + 0.1 * i as f64, 23)).unwrap();
+        }
+        server.close_tenant(id).unwrap().expect("tenant had a stream");
+        // Whatever the idle loop managed between pushes, close re-tiered
+        // the rest: the finished file is v3 with exactly `horizon` hot
+        // frames left, and every frame still reads.
+        let reader = codec_core::StreamFileReader::open(&path).unwrap();
+        assert_eq!(reader.frames(), 5);
+        assert_eq!(reader.cold_frames(), 3, "5 frames, horizon 2");
+        reader.validate_all().unwrap();
+        for f in 0..5 {
+            for p in 0..reader.partitions() {
+                reader.container(f, p).unwrap().decode::<f32>().unwrap();
+            }
+        }
+        assert!(
+            server.stats().compaction_steps >= 3,
+            "each re-tiered frame is a counted step: {:?}",
+            server.stats()
+        );
+        server.shutdown().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn durable_tenants_checkpoint_at_their_cadence() {
+        use adaptive_config::session::SessionCheckpoint;
+        let path =
+            std::env::temp_dir().join(format!("stream_server_{}_ckpt.strm", std::process::id()));
+        let ckpt_path = {
+            let mut os = path.clone().into_os_string();
+            os.push(".ckpt");
+            std::path::PathBuf::from(os)
+        };
+        std::fs::remove_file(&ckpt_path).ok();
+        let server: StreamServer<f32> = StreamServer::start(ServerConfig {
+            workers: 1,
+            degrade_threshold: 1.0,
+            ..ServerConfig::default()
+        });
+        let cfg = session_cfg(16, 2, QualityPolicy::SigmaScaled(0.1)).with_checkpoint_every(2);
+        let id =
+            server.register(TenantConfig::new(cfg).with_stream(&path, SyncPolicy::Flush)).unwrap();
+        server.push(id, field(16, 1.0, 29)).unwrap();
+        assert!(!ckpt_path.exists(), "cadence 2: no checkpoint after 1 push");
+        for i in 1..5 {
+            server.push(id, field(16, 1.0 + 0.1 * i as f64, 29)).unwrap();
+        }
+        // Saves fired after pushes 2 and 4; the file holds the latest.
+        let ckpt = SessionCheckpoint::from_bytes(&std::fs::read(&ckpt_path).unwrap()).unwrap();
+        assert_eq!(ckpt.snapshots, 4);
+        assert_eq!(server.stats().checkpoint_failures, 0);
+        server.close_tenant(id).unwrap();
+        server.shutdown().unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&ckpt_path).ok();
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub enum Event {
     /// A stream-file recovery scan dropped a torn tail, keeping
     /// `frames_kept` intact frames.
     RecoveryTruncated { frames_kept: u64 },
+    /// A cold-frame compaction began re-tiering `frames` frames.
+    CompactionStarted { frames: u64 },
+    /// A compaction finished: the stream's data region went from
+    /// `bytes_before` to `bytes_after` bytes.
+    CompactionCompleted { frames: u64, bytes_before: u64, bytes_after: u64 },
 }
 
 impl Event {
@@ -35,6 +40,8 @@ impl Event {
             Event::RefreshCompleted { .. } => "refresh_completed",
             Event::CheckpointSaved { .. } => "checkpoint_saved",
             Event::RecoveryTruncated { .. } => "recovery_truncated",
+            Event::CompactionStarted { .. } => "compaction_started",
+            Event::CompactionCompleted { .. } => "compaction_completed",
         }
     }
 }

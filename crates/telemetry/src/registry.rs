@@ -300,6 +300,16 @@ impl MetricsSnapshot {
                 Event::RecoveryTruncated { frames_kept } => {
                     let _ = write!(out, ", \"frames_kept\": {frames_kept}");
                 }
+                Event::CompactionStarted { frames } => {
+                    let _ = write!(out, ", \"frames\": {frames}");
+                }
+                Event::CompactionCompleted { frames, bytes_before, bytes_after } => {
+                    let _ = write!(
+                        out,
+                        ", \"frames\": {frames}, \"bytes_before\": {bytes_before}, \
+                         \"bytes_after\": {bytes_after}"
+                    );
+                }
             }
             out.push('}');
         }

@@ -160,7 +160,7 @@ fn ckpt_fixture_checkpoint() -> SessionCheckpoint {
 }
 
 fn ckpt_fixture_bytes() -> Vec<u8> {
-    std::fs::read(fixture_path("ckpt_v1_session.bin"))
+    std::fs::read(fixture_path("ckpt_v2_session.bin"))
         .expect("golden fixture present in tests/fixtures/")
 }
 

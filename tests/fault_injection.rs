@@ -1,6 +1,7 @@
 //! Fault-injection matrix over every on-disk format: `ACC2` partition
 //! containers, `STRM` v1 in-memory streams, `STRM` v2 durable stream
-//! files, and `CKPT` session checkpoints.
+//! files, `STRM` v3 tiered (compacted) stream files, and `CKPT` session
+//! checkpoints.
 //!
 //! Every blob is systematically **truncated at every byte boundary** (a
 //! superset of the structural boundaries) and **bit-flipped at every
@@ -22,8 +23,8 @@
 
 use adaptive_config::session::SessionCheckpoint;
 use codec_core::{
-    recover_stream, stream_file_bytes, CodecId, Container, StreamFileReader, StreamReader,
-    StreamWriter,
+    recover_stream, stream_file_bytes, stream_file_bytes_tiered, CodecId, Container,
+    StreamFileReader, StreamReader, StreamWriter,
 };
 use gridlab::{Decomposition, Dim3, Field3};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -232,6 +233,68 @@ fn strm_v2_recovery_corruption_matrix() {
         Ok(out)
     };
     injection_matrix("STRM/v2-recover", &bytes, &baseline, &probe);
+}
+
+/// The `STRM` v3 blob a compaction would emit: frame 0 re-tiered cold at a
+/// relaxed bound (`FTR3` quad-digest footer), frame 1 hot and verbatim.
+/// Built through the canonical tiered encoder so the matrix covers the
+/// exact bytes `CompactionTask` produces.
+fn tiered_sample() -> (Vec<u8>, Vec<Vec<Container>>) {
+    let frames = sample_frames();
+    let cold: Vec<Container> = frames[0]
+        .iter()
+        .map(|c| {
+            let brick = c.decode_field::<f32>().expect("source container decodes");
+            Container::compress(c.codec(), brick.as_slice(), brick.dims(), 1.0)
+        })
+        .collect();
+    let bytes = stream_file_bytes_tiered(8, std::slice::from_ref(&cold), &frames[1..]);
+    (bytes, vec![cold, frames[1].clone()])
+}
+
+#[test]
+fn strm_v3_tiered_stream_corruption_matrix() {
+    // Same contract as the v2 matrix, now with a cold region in front: the
+    // tiered header's cold count, the `FTR3` footers, and their quad
+    // digests are all live format surface — a flip anywhere must surface
+    // as a typed error on access or leave the served bytes baseline.
+    let (bytes, frames) = tiered_sample();
+    let baseline = container_baseline(&frames);
+    let probe = |b: &[u8]| -> Result<Vec<Vec<u8>>, String> {
+        let r = StreamFileReader::from_source(b).map_err(|e| e.to_string())?;
+        let mut out = Vec::new();
+        for f in 0..r.frames() {
+            for p in 0..r.partitions() {
+                out.push(r.container_bytes(f, p).map_err(|e| e.to_string())?);
+            }
+        }
+        Ok(out)
+    };
+    injection_matrix("STRM/v3-tiered", &bytes, &baseline, &probe);
+}
+
+#[test]
+fn strm_v3_recovery_corruption_matrix() {
+    // Recovery over a tiered file: dropping frames is allowed (losing a
+    // *cold* frame additionally patches the header's cold count down), but
+    // whatever survives must re-open and decode to the written values.
+    let (bytes, frames) = tiered_sample();
+    let baseline = container_baseline(&frames);
+    let probe = |b: &[u8]| -> Result<Vec<Vec<u8>>, String> {
+        let (recovered, report) = recover_stream(b).map_err(|e| e.to_string())?;
+        let r = StreamFileReader::from_source(recovered.as_slice())
+            .map_err(|e| format!("recover produced an unreadable stream: {e}"))?;
+        assert_eq!(r.frames(), report.frames_kept, "report disagrees with the recovered stream");
+        assert!(r.cold_frames() <= r.frames(), "recovered cold count exceeds frame count");
+        let mut out = Vec::new();
+        for f in 0..r.frames() {
+            for p in 0..r.partitions() {
+                out.push(r.container_bytes(f, p).map_err(|e| e.to_string())?);
+            }
+        }
+        Ok(out)
+    };
+    injection_matrix("STRM/v3-recover", &bytes, &baseline, &probe);
 }
 
 #[test]

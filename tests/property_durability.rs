@@ -9,12 +9,20 @@
 //!   byte-identical to a fresh, uninterrupted write of the surviving
 //!   frame prefix (so recovered streams are indistinguishable from
 //!   never-crashed ones, manifest and all).
+//! * **Compaction canonicity**: re-tiering cold frames on disk produces
+//!   bytes identical to the in-memory tiered encoder over independently
+//!   re-compressed frames (compaction is deterministic and reproducible),
+//!   reconstructs within the relaxed bound for bound-guaranteed codecs,
+//!   and stays a recovery fixed point.
 //!
 //! Case counts honour `PROPTEST_CASES` (CI caps them at 64).
 
 use adaptive_config::ratio_model::{CodecModelBank, RatioModel};
 use adaptive_config::session::{QualityPolicy, SessionCheckpoint, SessionConfig, StreamSession};
-use codec_core::{recover_stream, stream_file_bytes, trailer_len, CodecId, Container};
+use codec_core::{
+    compact_stream_file, recover_stream, stream_file_bytes, stream_file_bytes_tiered, trailer_len,
+    CodecId, CompactionConfig, Container, StreamFileReader,
+};
 use gridlab::{Decomposition, Dim3, Field3};
 use proptest::prelude::*;
 
@@ -46,10 +54,17 @@ fn checkpoint() -> impl Strategy<Value = SessionCheckpoint> {
         (0.05f64..5.0, 1usize..5, 1usize..9), // drift threshold, strides
         proptest::collection::vec(0.1f64..4.0, 2..5), // sweep multipliers
         (0.1f64..2.0, 1.1f64..10.0, 0.0f64..30.0), // eb_ref, clamp, last drift
-        (0usize..50, 0usize..1000, 0usize..2), // snapshots, refresh raw, halo?
+        (0usize..50, 0usize..1000, 0usize..2, 0usize..4), // snapshots, refresh raw, halo?, ckpt cadence
     )
         .prop_map(
-            |(bank, policy, (drift, cs, rs), sweep, (eb_ref, clamp, last), (snaps, rraw, halo))| {
+            |(
+                bank,
+                policy,
+                (drift, cs, rs),
+                sweep,
+                (eb_ref, clamp, last),
+                (snaps, rraw, halo, ckpt_every),
+            )| {
                 let dec = Decomposition::cubic(8, 2).expect("2 divides 8");
                 let mut config = SessionConfig::new(dec, policy);
                 // Only enable codecs the bank actually carries.
@@ -63,6 +78,8 @@ fn checkpoint() -> impl Strategy<Value = SessionCheckpoint> {
                 if halo == 1 {
                     config = config.with_halo(64.0, 1000.0);
                 }
+                // Cadence 0 means "never checkpoint automatically" (None).
+                config.checkpoint_every = (ckpt_every > 0).then_some(ckpt_every);
                 // A calibrated session has >= 1 snapshot and exactly one full
                 // calibration; refreshes never exceed the remaining snapshots.
                 let snapshots = snaps + 1;
@@ -106,6 +123,27 @@ fn frames() -> impl Strategy<Value = Vec<Vec<Container>>> {
                 .collect()
         },
     )
+}
+
+/// Decode every container of a frame and re-compress it at `eb` with the
+/// same codec — the reference transform compaction must reproduce
+/// byte-for-byte.
+fn recompress(frame: &[Container], eb: f64) -> Vec<Container> {
+    frame
+        .iter()
+        .map(|c| {
+            let brick = c.decode_field::<f32>().expect("source container decodes");
+            Container::compress(c.codec(), brick.as_slice(), brick.dims(), eb)
+        })
+        .collect()
+}
+
+/// A collision-free scratch path for one proptest case.
+fn scratch_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("prop_{tag}_{}_{n}.strm", std::process::id()))
 }
 
 proptest! {
@@ -155,5 +193,66 @@ proptest! {
         prop_assert_eq!(report.frames_kept, kept);
         // Byte-identical to an uninterrupted write of the kept frames.
         prop_assert_eq!(&recovered, &fresh[kept]);
+    }
+
+    #[test]
+    fn compaction_is_byte_canonical_and_a_recovery_fixed_point(
+        frames in frames(),
+        horizon in 0usize..4,
+        eb2 in 0.3f64..2.0,
+    ) {
+        let partitions = 8;
+        let path = scratch_path("compact");
+        std::fs::write(&path, stream_file_bytes(partitions, &frames)).expect("write scratch");
+        let report = compact_stream_file::<f32>(&path, CompactionConfig::new(horizon, eb2));
+        let compacted = std::fs::read(&path).expect("read back");
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(report.is_ok(), "compaction failed: {}", report.err().unwrap());
+
+        // Canonical bytes: re-tiering on disk must equal the in-memory
+        // tiered encoder over independently re-compressed cold frames.
+        let cold_n = frames.len().saturating_sub(horizon);
+        match report.unwrap() {
+            None => {
+                prop_assert!(cold_n == 0, "no-op despite {} frames past the horizon", cold_n);
+                prop_assert_eq!(&compacted, &stream_file_bytes(partitions, &frames));
+            }
+            Some(rep) => {
+                prop_assert_eq!(rep.frames_compacted, cold_n);
+                prop_assert_eq!(rep.cold_frames, cold_n);
+                let cold: Vec<Vec<Container>> =
+                    frames[..cold_n].iter().map(|f| recompress(f, eb2)).collect();
+                prop_assert_eq!(
+                    &compacted,
+                    &stream_file_bytes_tiered(partitions, &cold, &frames[cold_n..])
+                );
+            }
+        }
+
+        // Recovery fixed point: a compacted stream recovers to itself.
+        // (`bytes_dropped` always counts the trailer — recovery rebuilds it
+        // rather than trusting it, so an intact stream "drops" exactly one.)
+        let (recovered, rep) = recover_stream(&compacted).expect("compacted stream recovers");
+        prop_assert_eq!(rep.bytes_dropped, trailer_len(frames.len()) as u64);
+        prop_assert_eq!(rep.frames_kept, frames.len());
+        prop_assert_eq!(&recovered, &compacted);
+
+        // Reconstructions: hot frames are bit-identical to the originals;
+        // cold frames moved at most eb2 from the pre-compaction decode
+        // wherever the codec guarantees its bound (rsz).
+        let reader = StreamFileReader::from_source(compacted.as_slice()).expect("open");
+        prop_assert_eq!(reader.cold_frames(), cold_n.min(frames.len()));
+        for (f, frame) in frames.iter().enumerate() {
+            for (p, orig) in frame.iter().enumerate() {
+                let now = reader.container(f, p).expect("container reads");
+                if f >= cold_n {
+                    prop_assert_eq!(now.as_bytes(), orig.as_bytes());
+                } else if orig.codec() == CodecId::Rsz {
+                    let before = orig.decode_field::<f32>().expect("orig decodes");
+                    let after = now.decode_field::<f32>().expect("cold decodes");
+                    prop_assert!(before.max_abs_diff(&after) <= eb2 + 1e-6);
+                }
+            }
+        }
     }
 }
